@@ -1,0 +1,31 @@
+"""Benchmark: Ablation A — histogram type under a fixed ordering."""
+
+from __future__ import annotations
+
+from repro.experiments.ablation_histograms import run_histogram_ablation
+from repro.experiments.reporting import format_records
+from repro.histogram.builder import HISTOGRAM_KINDS
+
+
+def test_histogram_type_ablation(benchmark, moreno_catalog):
+    result = benchmark.pedantic(
+        run_histogram_ablation,
+        kwargs={
+            "catalog": moreno_catalog,
+            "bucket_counts": (8, 32, 128),
+            "methods": ("num-alph", "sum-based"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nAblation A — mean error rate per (ordering, histogram kind, β)")
+    print(format_records(result.records))
+    print("\nMean error per histogram kind:")
+    for method in ("num-alph", "sum-based"):
+        for kind in sorted(HISTOGRAM_KINDS):
+            print(f"  {method:10s} {kind:12s} {result.mean_error(method, kind):.4f}")
+    # V-optimal is never worse than equi-width under either ordering.
+    for method in ("num-alph", "sum-based"):
+        assert result.mean_error(method, "v-optimal") <= result.mean_error(
+            method, "equi-width"
+        ) + 1e-9

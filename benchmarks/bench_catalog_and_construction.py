@@ -1,0 +1,46 @@
+"""Benchmarks: catalog construction and histogram construction.
+
+Not a paper table, but the two dominant offline costs of the approach: the
+one-off exact evaluation of every label path (catalog build) and the
+per-ordering histogram construction.  Tracked so regressions in the
+substrate show up even when the experiment-level benchmarks still pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.histogram.builder import domain_frequencies, make_histogram
+from repro.ordering.registry import make_ordering
+from repro.paths.catalog import SelectivityCatalog
+
+
+def test_catalog_build_k3(benchmark):
+    graph = load_dataset("moreno-health", scale=0.05)
+    catalog = benchmark.pedantic(
+        SelectivityCatalog.from_graph, args=(graph, 3), rounds=1, iterations=1
+    )
+    assert catalog.domain_size == 258
+
+
+def test_catalog_build_k4(benchmark):
+    graph = load_dataset("moreno-health", scale=0.05)
+    catalog = benchmark.pedantic(
+        SelectivityCatalog.from_graph, args=(graph, 4), rounds=1, iterations=1
+    )
+    assert catalog.domain_size == 1554
+
+
+@pytest.mark.parametrize("kind", ["equi-width", "equi-depth", "maxdiff", "end-biased", "v-optimal"])
+def test_histogram_construction(benchmark, moreno_catalog, kind):
+    ordering = make_ordering("sum-based", catalog=moreno_catalog)
+    frequencies = domain_frequencies(moreno_catalog, ordering)
+    histogram = benchmark(make_histogram, frequencies, kind, 32)
+    assert histogram.bucket_count <= 32
+
+
+def test_domain_frequency_layout(benchmark, moreno_catalog):
+    ordering = make_ordering("sum-based", catalog=moreno_catalog)
+    frequencies = benchmark(domain_frequencies, moreno_catalog, ordering)
+    assert frequencies.shape == (moreno_catalog.domain_size,)

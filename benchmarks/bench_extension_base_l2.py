@@ -1,0 +1,23 @@
+"""Benchmark: the L2 base-set extension (the paper's future-work direction)."""
+
+from __future__ import annotations
+
+from repro.experiments.extension_base_l2 import run_extension_base_l2
+from repro.experiments.reporting import format_records
+
+
+def test_l2_base_set_extension(benchmark, bench_catalogs):
+    catalog = bench_catalogs["dbpedia"]
+    result = benchmark.pedantic(
+        run_extension_base_l2,
+        kwargs={"catalog": catalog, "dataset": "dbpedia", "bucket_counts": (8, 32, 128)},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nExtension — L1 vs L2 sum-based ordering (mean error rate)")
+    print(format_records(result.records))
+    l1 = result.mean_error("sum-based")
+    l2 = result.mean_error("sum-based-L2")
+    print(f"\nmean error  sum-based (L1 base set): {l1:.4f}")
+    print(f"mean error  sum-based (L2 base set): {l2:.4f}")
+    assert l1 >= 0.0 and l2 >= 0.0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate the paper's worked example (Tables 1 and 2).
+
+This is a correctness anchor more than a performance test: it times the
+regeneration of the Section 3.4 tables and prints them in the paper's shape.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ordering_example import run_ordering_example
+from repro.experiments.reporting import format_records
+
+
+def test_tables_1_and_2(benchmark):
+    result = benchmark(run_ordering_example)
+    print("\nTable 1 — summed ranks")
+    print(format_records(result.table1_rows()))
+    print("\nTable 2 — ordered label paths per method")
+    print(format_records(result.table2_rows()))
+    # The exact values are asserted in the unit tests; here we only sanity
+    # check the shape so a broken benchmark cannot silently pass.
+    assert len(result.summed_ranks) == 12
+    assert all(len(paths) == 12 for paths in result.orderings.values())

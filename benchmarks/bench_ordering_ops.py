@@ -1,0 +1,63 @@
+"""Micro-benchmarks: the (un)ranking operations underlying Table 4.
+
+Table 4's latency differences come entirely from the cost of
+``Ordering.index`` (ranking a query path into the histogram domain).  These
+micro-benchmarks time ``index`` and ``path`` for every ordering method
+directly, which makes the source of the sum-based overhead visible without
+the histogram lookup noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation.workload import sampled_workload
+from repro.ordering.registry import PAPER_ORDERINGS, make_ordering
+
+BUCKETED_METHODS = list(PAPER_ORDERINGS)
+
+
+@pytest.mark.parametrize("method", BUCKETED_METHODS)
+def test_index_latency(benchmark, moreno_catalog, method):
+    ordering = make_ordering(method, catalog=moreno_catalog)
+    workload = sampled_workload(moreno_catalog, 256, seed=1)
+
+    def rank_all():
+        total = 0
+        for path in workload:
+            total += ordering.index(path)
+        return total
+
+    checksum = benchmark(rank_all)
+    assert checksum >= 0
+
+
+@pytest.mark.parametrize("method", BUCKETED_METHODS)
+def test_unrank_latency(benchmark, moreno_catalog, method):
+    ordering = make_ordering(method, catalog=moreno_catalog)
+    indices = list(range(0, ordering.size, max(1, ordering.size // 256)))
+
+    def unrank_all():
+        lengths = 0
+        for index in indices:
+            lengths += ordering.path(index).length
+        return lengths
+
+    checksum = benchmark(unrank_all)
+    assert checksum > 0
+
+
+def test_estimator_point_query_latency(benchmark, moreno_catalog):
+    """End-to-end point-query latency of the sum-based estimator (ms scale)."""
+    from repro.estimation.estimator import PathSelectivityEstimator
+
+    estimator = PathSelectivityEstimator.build(
+        moreno_catalog, ordering="sum-based", bucket_count=64
+    )
+    workload = sampled_workload(moreno_catalog, 256, seed=3)
+
+    def estimate_all():
+        return sum(estimator.estimate(path) for path in workload)
+
+    total = benchmark(estimate_all)
+    assert total >= 0.0

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 3 (dataset summary, paper vs stand-in)."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_records
+from repro.experiments.table3 import run_table3
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(
+        run_table3, kwargs={"scale": 0.02}, rounds=1, iterations=1
+    )
+    print("\nTable 3 — datasets (paper columns next to generated stand-ins)")
+    print(format_records([row.as_row() for row in rows]))
+    assert {row.dataset for row in rows} == {
+        "moreno-health",
+        "dbpedia",
+        "snap-er",
+        "snap-ff",
+    }
+    assert all(row.generated_label_count == row.paper_label_count for row in rows)

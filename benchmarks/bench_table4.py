@@ -1,0 +1,32 @@
+"""Benchmark: Table 4 — average estimation latency per ordering method.
+
+The paper's finding: estimation latency per query is small, shrinks slightly
+with fewer buckets, and the sum-based ordering pays an extra (un)ranking cost
+(~20 % in the paper's Java implementation; larger in pure Python, see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table4 import default_bucket_counts, run_table4
+
+
+def test_table4_estimation_latency(benchmark, moreno_catalog):
+    bucket_counts = default_bucket_counts(moreno_catalog.domain_size, steps=5)
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs={
+            "catalog": moreno_catalog,
+            "bucket_counts": bucket_counts,
+            "workload_size": 400,
+            "repetitions": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print("\nTable 4 — average estimation time per query (ms)")
+    print(result.render())
+    slowdown = result.slowdown_of("sum-based", "num-alph")
+    print(f"\nsum-based slowdown vs num-alph: {slowdown:.2f}x (paper: ~1.2x)")
+    assert slowdown > 1.0
+    assert all(r.mean_estimation_ms > 0 for r in result.results)

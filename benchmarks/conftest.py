@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or one of
+the reproduction's ablations).  The heavy inputs — dataset stand-ins and
+their selectivity catalogs — are built once per session here and shared, so
+the benchmark timings measure the experiment itself rather than set-up.
+
+Scales are deliberately small (pure-Python substrate); the *shape* of each
+result is what the reproduction tracks, and EXPERIMENTS.md records the
+paper-vs-measured comparison for every entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.paths.catalog import SelectivityCatalog
+
+#: Per-dataset scales used by the benchmark harness: large enough to show the
+#: paper's effects, small enough that a full run finishes in a few minutes.
+BENCH_SCALES: dict[str, float] = {
+    "moreno-health": 0.05,
+    "dbpedia": 0.01,
+    "snap-er": 0.006,
+    "snap-ff": 0.01,
+}
+
+#: The maximum path length used by the accuracy benchmarks.
+BENCH_MAX_LENGTH = 3
+
+
+@pytest.fixture(scope="session")
+def bench_graphs():
+    """All four dataset stand-ins at benchmark scale, keyed by name."""
+    return {
+        name: load_dataset(name, scale=BENCH_SCALES[name])
+        for name in available_datasets()
+    }
+
+
+@pytest.fixture(scope="session")
+def bench_catalogs(bench_graphs):
+    """k=3 selectivity catalogs of every benchmark dataset, keyed by name."""
+    return {
+        name: SelectivityCatalog.from_graph(graph, BENCH_MAX_LENGTH)
+        for name, graph in bench_graphs.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def moreno_catalog(bench_catalogs):
+    """The Moreno Health stand-in's catalog (the paper's primary dataset)."""
+    return bench_catalogs["moreno-health"]

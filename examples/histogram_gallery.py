@@ -1,0 +1,57 @@
+"""Histogram gallery: how bucket boundaries fall under different orderings.
+
+Run with::
+
+    python examples/histogram_gallery.py
+
+The script renders, as ASCII, the label-path frequency distribution of a
+small Moreno-Health-like graph (k = 2) laid out under the native num-alph
+ordering and under the sum-based ordering, together with the 8-bucket
+V-optimal histogram built over each.  It makes the paper's core idea visible
+in a terminal: after reordering, similar frequencies are adjacent, buckets
+are nearly flat, and the within-bucket variance (SSE) collapses.
+"""
+
+from __future__ import annotations
+
+from repro import SelectivityCatalog, build_histogram, domain_frequencies, make_ordering
+from repro.datasets.registry import moreno_like
+
+BAR_WIDTH = 48
+BUCKETS = 8
+
+
+def render(frequencies, histogram, ordering) -> None:
+    peak = max(max(frequencies), 1.0)
+    boundaries = {bucket.start for bucket in histogram.histogram.buckets}
+    for index, value in enumerate(frequencies):
+        bar = "#" * int(round(BAR_WIDTH * value / peak))
+        estimate = histogram.estimate_index(index)
+        marker = "+" if index in boundaries else "|"
+        path = str(ordering.path(index))
+        print(f"  {marker} {path:>6} {value:7.0f} {bar:<{BAR_WIDTH}} est={estimate:7.1f}")
+
+
+def main() -> None:
+    graph = moreno_like(scale=0.02, seed=7)
+    catalog = SelectivityCatalog.from_graph(graph, max_length=2)
+    print(f"graph: {graph}; domain |L2| = {catalog.domain_size}\n")
+
+    for name in ("num-alph", "sum-based"):
+        ordering = make_ordering(name, catalog=catalog)
+        frequencies = domain_frequencies(catalog, ordering)
+        histogram = build_histogram(
+            catalog, ordering, bucket_count=BUCKETS, frequencies=frequencies
+        )
+        print(f"== {name} ordering, {BUCKETS}-bucket V-optimal histogram ==")
+        print(f"   total within-bucket SSE: {histogram.total_sse():.0f}")
+        render(frequencies, histogram, ordering)
+        print()
+
+    print("'+' marks a bucket boundary. Under sum-based ordering the frequencies "
+          "rise (nearly) monotonically, so each bucket is almost flat and the "
+          "estimates track the true values far more closely.")
+
+
+if __name__ == "__main__":
+    main()

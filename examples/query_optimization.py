@@ -1,0 +1,73 @@
+"""Use the estimator inside a query optimizer — the paper's motivating scenario.
+
+Run with::
+
+    python examples/query_optimization.py
+
+A long path query (longer than the histogram's k) must be split into
+sub-paths and joined; the join order is chosen from estimated cardinalities.
+The script plans the same query three times — with exact cardinalities, with
+a sum-based-ordered histogram, and with a deliberately coarse one-bucket
+histogram — executes all three plans, and reports how much intermediate work
+each plan actually performed.  Better estimates -> cheaper plans.
+"""
+
+from __future__ import annotations
+
+from repro import PathSelectivityEstimator, SelectivityCatalog
+from repro.datasets.registry import load_dataset
+from repro.optimizer import (
+    HistogramCardinalityModel,
+    PathQueryPlanner,
+    PlanExecutor,
+    TrueCardinalityModel,
+)
+
+
+def main() -> None:
+    graph = load_dataset("dbpedia", scale=0.01, seed=11)
+    print(f"graph: {graph}")
+    catalog = SelectivityCatalog.from_graph(graph, max_length=3)
+    labels = catalog.labels
+
+    # A 7-hop query built from the two most frequent and one rare label.
+    by_frequency = sorted(labels, key=catalog.label_selectivity)
+    rare, mid, frequent = by_frequency[0], by_frequency[len(by_frequency) // 2], by_frequency[-1]
+    query = "/".join([frequent, mid, frequent, rare, frequent, mid, frequent])
+    print(f"query: {query}  (k of the histogram is {catalog.max_length})\n")
+
+    executor = PlanExecutor(graph)
+    scenarios = {
+        "exact cardinalities": TrueCardinalityModel(catalog, graph.vertex_count),
+        "sum-based histogram (64 buckets)": HistogramCardinalityModel(
+            PathSelectivityEstimator.build(catalog, ordering="sum-based", bucket_count=64),
+            catalog.max_length,
+            graph.vertex_count,
+        ),
+        "coarse histogram (1 bucket)": HistogramCardinalityModel(
+            PathSelectivityEstimator.build(catalog, ordering="num-alph", bucket_count=1),
+            catalog.max_length,
+            graph.vertex_count,
+        ),
+    }
+
+    reference_pairs = None
+    for name, model in scenarios.items():
+        planned = PathQueryPlanner(model).plan(query)
+        result = executor.execute(planned.plan)
+        if reference_pairs is None:
+            reference_pairs = result.pairs
+        assert result.pairs == reference_pairs, "all plans must compute the same answer"
+        print(f"== {name} ==")
+        print(planned.describe())
+        print(
+            f"result pairs: {result.cardinality}, "
+            f"intermediate tuples materialised: {result.total_intermediate_work}\n"
+        )
+
+    print("All plans return the same answer; the difference is the amount of "
+          "intermediate work, which is what accurate selectivity estimates buy.")
+
+
+if __name__ == "__main__":
+    main()

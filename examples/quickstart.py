@@ -1,0 +1,58 @@
+"""Quickstart: from a graph to a selectivity estimate in a dozen lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a small edge-labeled graph, computes the true selectivity
+of every label path up to length 3, builds a V-optimal histogram over the
+sum-based domain ordering (the paper's method), and compares a few estimates
+with the exact answers.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    LabeledDiGraph,
+    PathSelectivityEstimator,
+    SelectivityCatalog,
+    error_rate,
+)
+from repro.graph.generators import zipf_labeled_graph
+
+
+def main() -> None:
+    # 1. A graph: 200 vertices, 900 edges, 5 edge labels with Zipf-skewed use.
+    graph: LabeledDiGraph = zipf_labeled_graph(
+        vertex_count=200, edge_count=900, label_count=5, skew=1.0, seed=42,
+        name="quickstart",
+    )
+    print(f"graph: {graph}")
+
+    # 2. Ground truth: the selectivity f(l) of every label path with |l| <= 3.
+    catalog = SelectivityCatalog.from_graph(graph, max_length=3)
+    print(f"catalog: {catalog.domain_size} label paths, "
+          f"{len(catalog.nonzero_paths())} with non-zero selectivity")
+
+    # 3. The estimator: a 32-bucket V-optimal histogram over the sum-based
+    #    domain ordering.  This is the paper's recommended configuration.
+    estimator = PathSelectivityEstimator.build(
+        catalog, ordering="sum-based", bucket_count=32
+    )
+    print(f"estimator: {estimator.method_name} ordering, "
+          f"{estimator.bucket_count} buckets, "
+          f"{estimator.storage_entries()} stored scalars "
+          f"(vs {len(catalog)} for exact answers)\n")
+
+    # 4. Ask it about a few paths and compare with the truth.
+    sample = sorted(catalog.nonzero_paths(), key=catalog.selectivity, reverse=True)
+    print(f"{'path':>12} {'true f(l)':>10} {'estimate e(l)':>14} {'err (Eq.6)':>11}")
+    for path in sample[:5] + sample[len(sample) // 2: len(sample) // 2 + 5]:
+        truth = catalog.selectivity(path)
+        estimate = estimator.estimate(path)
+        print(f"{str(path):>12} {truth:>10d} {estimate:>14.1f} "
+              f"{error_rate(estimate, truth):>11.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets ships an older setuptools without
+the ``wheel`` package, so PEP 517 editable installs fail with
+``invalid command 'bdist_wheel'``.  Keeping a thin ``setup.py`` allows
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) to work everywhere; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""Histogram domain ordering for path selectivity estimation.
+
+A from-scratch Python reproduction of Yakovets et al., *Histogram Domain
+Ordering for Path Selectivity Estimation*, EDBT 2018.  The package is split
+into focused subpackages:
+
+* :mod:`repro.graph` — edge-labeled graph storage, IO, generators, matrices;
+* :mod:`repro.paths` — label paths, evaluation, enumeration, the catalog;
+* :mod:`repro.ordering` — ranking rules, the num/lex/sum-based/ideal orderings;
+* :mod:`repro.histogram` — equi-width/equi-depth/MaxDiff/end-biased/V-optimal;
+* :mod:`repro.estimation` — estimators, error metrics, workloads, sweeps;
+* :mod:`repro.optimizer` — a path-query planner consuming the estimates;
+* :mod:`repro.datasets` — Table 3 dataset stand-ins;
+* :mod:`repro.experiments` — the per-table/per-figure harnesses;
+* :mod:`repro.core` — the curated "paper surface" re-exports.
+
+The most common entry points are re-exported here for convenience.
+"""
+
+from repro.core import (
+    HISTOGRAM_KINDS,
+    PAPER_ORDERINGS,
+    AlphabeticalRanking,
+    CardinalityRanking,
+    Edge,
+    ExactOracle,
+    LabelPath,
+    LabelPathHistogram,
+    LabeledDiGraph,
+    Ordering,
+    PathSelectivityEstimator,
+    SelectivityCatalog,
+    SumBasedOrdering,
+    VOptimalHistogram,
+    available_orderings,
+    build_histogram,
+    domain_frequencies,
+    error_rate,
+    make_ordering,
+    make_paper_orderings,
+    mean_error_rate,
+    q_error,
+    run_sweep,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HISTOGRAM_KINDS",
+    "PAPER_ORDERINGS",
+    "AlphabeticalRanking",
+    "CardinalityRanking",
+    "Edge",
+    "ExactOracle",
+    "LabelPath",
+    "LabelPathHistogram",
+    "LabeledDiGraph",
+    "Ordering",
+    "PathSelectivityEstimator",
+    "ReproError",
+    "SelectivityCatalog",
+    "SumBasedOrdering",
+    "VOptimalHistogram",
+    "__version__",
+    "available_orderings",
+    "build_histogram",
+    "domain_frequencies",
+    "error_rate",
+    "make_ordering",
+    "make_paper_orderings",
+    "mean_error_rate",
+    "q_error",
+    "run_sweep",
+]

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro`` console script) exposes the dataset
+generators, catalog builder and every experiment harness so the paper's
+tables and figures can be regenerated without writing Python::
+
+    repro datasets                          # Table 3
+    repro generate moreno-health --scale 0.05 -o moreno.tsv
+    repro catalog moreno.tsv -k 3 -o moreno.catalog.json
+    repro experiment table4 --scale 0.02 -k 3
+    repro experiment figure2 --scale 0.01 -k 2 3
+    repro estimate moreno.catalog.json "1/2/3" --ordering sum-based --buckets 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.estimation.estimator import PathSelectivityEstimator
+from repro.experiments.ablation_histograms import run_histogram_ablation
+from repro.experiments.ablation_vopt import run_vopt_ablation
+from repro.experiments.extension_base_l2 import run_extension_base_l2
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.ordering_example import run_ordering_example
+from repro.experiments.reporting import format_records
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.paths.catalog import SelectivityCatalog
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Histogram domain ordering for path selectivity estimation "
+        "(EDBT 2018 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list the paper's datasets (Table 3 specs)")
+
+    generate = subparsers.add_parser("generate", help="generate a dataset stand-in")
+    generate.add_argument("dataset", choices=available_datasets())
+    generate.add_argument("--scale", type=float, default=0.05)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("-o", "--output", required=True, help="edge-list output path")
+
+    catalog = subparsers.add_parser("catalog", help="build a selectivity catalog")
+    catalog.add_argument("graph", help="edge-list file of the graph")
+    catalog.add_argument("-k", "--max-length", type=int, default=3)
+    catalog.add_argument("-o", "--output", required=True, help="catalog JSON output path")
+
+    estimate = subparsers.add_parser("estimate", help="estimate one path's selectivity")
+    estimate.add_argument("catalog", help="catalog JSON produced by 'repro catalog'")
+    estimate.add_argument("path", help="label path, e.g. 1/2/3")
+    estimate.add_argument("--ordering", default="sum-based")
+    estimate.add_argument("--buckets", type=int, default=32)
+    estimate.add_argument("--histogram", default="v-optimal")
+
+    experiment = subparsers.add_parser("experiment", help="run an experiment harness")
+    experiment.add_argument(
+        "name",
+        choices=(
+            "ordering-example",
+            "table3",
+            "table4",
+            "figure1",
+            "figure2",
+            "ablation-histograms",
+            "ablation-vopt",
+            "extension-l2",
+        ),
+    )
+    experiment.add_argument("--scale", type=float, default=0.02)
+    experiment.add_argument("-k", "--max-length", type=int, nargs="+", default=[3])
+    experiment.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+    return parser
+
+
+def _print(records, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(records, indent=2, default=str))
+    else:
+        print(format_records(records))
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    k_values = list(args.max_length)
+    if name == "ordering-example":
+        example = run_ordering_example()
+        print("Table 1 — summed ranks")
+        _print(example.table1_rows(), args.json)
+        print("\nTable 2 — orderings")
+        _print(example.table2_rows(), args.json)
+        return 0
+    if name == "table3":
+        rows = run_table3(scale=args.scale)
+        _print([row.as_row() for row in rows], args.json)
+        return 0
+    if name == "table4":
+        table4 = run_table4(scale=args.scale, max_length=k_values[0])
+        if args.json:
+            _print([result.as_row() for result in table4.results], True)
+        else:
+            print(table4.render())
+            print(f"\nsum-based slowdown vs num-alph: {table4.slowdown_of():.2f}x")
+        return 0
+    if name == "figure1":
+        figure1 = run_figure1(scale=args.scale, max_length=k_values[0])
+        if args.json:
+            print(json.dumps(figure1.as_series(), indent=2))
+        else:
+            print(
+                f"figure 1: {figure1.dataset} k={figure1.max_length} "
+                f"domain={figure1.domain_size} max f(l)={figure1.max_frequency:.0f} "
+                f"buckets={figure1.bucket_count}"
+            )
+        return 0
+    if name == "figure2":
+        figure2 = run_figure2(scale=args.scale, max_lengths=k_values)
+        if args.json:
+            _print(figure2.records(), True)
+        else:
+            for dataset in sorted({r.dataset for r in figure2.results}):
+                for k in k_values:
+                    print(f"\n== {dataset}, k={k} ==")
+                    print(figure2.render(dataset, k))
+        return 0
+    if name == "ablation-histograms":
+        ablation = run_histogram_ablation(scale=args.scale, max_length=k_values[0])
+        _print(ablation.records, args.json)
+        return 0
+    if name == "ablation-vopt":
+        vopt = run_vopt_ablation()
+        _print(vopt.records, args.json)
+        return 0
+    if name == "extension-l2":
+        extension = run_extension_base_l2(scale=args.scale, max_length=k_values[0])
+        _print(extension.records, args.json)
+        return 0
+    raise AssertionError(f"unhandled experiment {name!r}")  # pragma: no cover
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "datasets":
+        rows = run_table3(scale=1.0, datasets=())
+        # Only the paper columns here: generating full-scale graphs just to
+        # list them would be wasteful, so show the static specs instead.
+        from repro.datasets.registry import PAPER_DATASETS
+
+        print(format_records([spec.as_table_row() for spec in PAPER_DATASETS.values()]))
+        return 0
+    if args.command == "generate":
+        graph = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+        write_edge_list(graph, args.output)
+        print(
+            f"wrote {graph.edge_count} edges / {graph.vertex_count} vertices "
+            f"({graph.label_count} labels) to {args.output}"
+        )
+        return 0
+    if args.command == "catalog":
+        graph = read_edge_list(args.graph)
+        catalog = SelectivityCatalog.from_graph(graph, args.max_length)
+        catalog.save(args.output)
+        print(
+            f"catalog with {len(catalog)} paths (k={args.max_length}, "
+            f"|L|={len(catalog.labels)}) written to {args.output}"
+        )
+        return 0
+    if args.command == "estimate":
+        catalog = SelectivityCatalog.load(args.catalog)
+        estimator = PathSelectivityEstimator.build(
+            catalog,
+            ordering=args.ordering,
+            histogram_kind=args.histogram,
+            bucket_count=args.buckets,
+        )
+        estimate = estimator.estimate(args.path)
+        truth = catalog.selectivity(args.path)
+        print(f"estimate e(ℓ) = {estimate:.2f}   true f(ℓ) = {truth}")
+        return 0
+    if args.command == "experiment":
+        return _run_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's primary contribution, gathered under one import.
+
+``repro.core`` re-exports the objects a user needs to go from a graph to a
+selectivity estimate with a domain-ordered histogram::
+
+    from repro.core import (
+        LabeledDiGraph, SelectivityCatalog, make_ordering,
+        build_histogram, PathSelectivityEstimator,
+    )
+
+Everything here is also importable from its home subpackage; this module only
+provides the curated "paper surface".
+"""
+
+from repro.estimation.errors import error_rate, mean_error_rate, q_error
+from repro.estimation.estimator import ExactOracle, PathSelectivityEstimator
+from repro.estimation.evaluation import SweepResult, run_sweep
+from repro.graph.digraph import Edge, LabeledDiGraph
+from repro.histogram.builder import (
+    HISTOGRAM_KINDS,
+    LabelPathHistogram,
+    build_histogram,
+    domain_frequencies,
+)
+from repro.histogram.vopt import VOptimalHistogram
+from repro.ordering.base import Ordering
+from repro.ordering.ranking import AlphabeticalRanking, CardinalityRanking
+from repro.ordering.registry import (
+    PAPER_ORDERINGS,
+    available_orderings,
+    make_ordering,
+    make_paper_orderings,
+)
+from repro.ordering.sum_based import SumBasedOrdering
+from repro.paths.catalog import SelectivityCatalog
+from repro.paths.label_path import LabelPath
+
+__all__ = [
+    "HISTOGRAM_KINDS",
+    "PAPER_ORDERINGS",
+    "AlphabeticalRanking",
+    "CardinalityRanking",
+    "Edge",
+    "ExactOracle",
+    "LabelPath",
+    "LabelPathHistogram",
+    "LabeledDiGraph",
+    "Ordering",
+    "PathSelectivityEstimator",
+    "SelectivityCatalog",
+    "SumBasedOrdering",
+    "SweepResult",
+    "VOptimalHistogram",
+    "available_orderings",
+    "build_histogram",
+    "domain_frequencies",
+    "error_rate",
+    "make_ordering",
+    "make_paper_orderings",
+    "mean_error_rate",
+    "q_error",
+    "run_sweep",
+]

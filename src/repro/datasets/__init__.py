@@ -1,0 +1,25 @@
+"""Dataset stand-ins matching the paper's Table 3."""
+
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    DatasetSpec,
+    available_datasets,
+    dataset_spec,
+    dbpedia_like,
+    load_dataset,
+    moreno_like,
+    snap_er_like,
+    snap_ff_like,
+)
+
+__all__ = [
+    "PAPER_DATASETS",
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_spec",
+    "dbpedia_like",
+    "load_dataset",
+    "moreno_like",
+    "snap_er_like",
+    "snap_ff_like",
+]

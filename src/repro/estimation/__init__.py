@@ -1,0 +1,45 @@
+"""Selectivity estimation: estimators, baselines, error metrics, workloads and sweeps."""
+
+from repro.estimation.baselines import IndependenceEstimator, MarkovEstimator
+from repro.estimation.errors import (
+    ErrorSummary,
+    absolute_error,
+    error_rate,
+    mean_error_rate,
+    q_error,
+    summarize_errors,
+)
+from repro.estimation.estimator import (
+    EstimatorReport,
+    ExactOracle,
+    PathSelectivityEstimator,
+)
+from repro.estimation.evaluation import SweepResult, run_sweep
+from repro.estimation.sampling import SamplingEstimator
+from repro.estimation.workload import (
+    fixed_length_workload,
+    full_domain_workload,
+    positive_workload,
+    sampled_workload,
+)
+
+__all__ = [
+    "ErrorSummary",
+    "EstimatorReport",
+    "ExactOracle",
+    "IndependenceEstimator",
+    "MarkovEstimator",
+    "PathSelectivityEstimator",
+    "SamplingEstimator",
+    "SweepResult",
+    "absolute_error",
+    "error_rate",
+    "fixed_length_workload",
+    "full_domain_workload",
+    "mean_error_rate",
+    "positive_workload",
+    "q_error",
+    "run_sweep",
+    "sampled_workload",
+    "summarize_errors",
+]

@@ -1,0 +1,121 @@
+"""Baseline selectivity estimators that do not use a histogram.
+
+The paper's related-work section points at synopsis-free alternatives used by
+existing systems; this module implements the two classical ones so the
+histogram approach can be compared against them (the ``ablation_baselines``
+experiment):
+
+* :class:`IndependenceEstimator` — the textbook optimizer assumption: every
+  edge traversal is independent, so
+  ``e(l1/…/lk) = f(l1) · Π_{i>1} f(li) / |V|``.  Only needs the per-label
+  counts and the vertex count (``|L| + 1`` stored scalars).
+* :class:`MarkovEstimator` — an order-1 Markov model over adjacent labels
+  (the approach behind XML path-summary estimators such as Aboulnaga et al.):
+  ``e(l1/…/lk) = f(l1/l2) · Π_{i>2} f(l(i-1)/li) / f(l(i-1))``.  Needs the
+  length-≤ 2 statistics (``|L| + |L|²`` scalars) and is exact for paths of
+  length ≤ 2.
+
+Both implement the same ``estimate(path)`` protocol as
+:class:`~repro.estimation.estimator.PathSelectivityEstimator`, so they plug
+into the sweep runner, the optimizer's cardinality model and the evaluation
+utilities unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.exceptions import EstimationError
+from repro.paths.catalog import SelectivityCatalog
+from repro.paths.label_path import LabelPath, as_label_path
+
+__all__ = ["IndependenceEstimator", "MarkovEstimator"]
+
+PathLike = Union[str, LabelPath]
+
+
+class IndependenceEstimator:
+    """Estimate path selectivity assuming independent edge traversals.
+
+    Parameters
+    ----------
+    label_selectivities:
+        ``f(l)`` for every single edge label.
+    vertex_count:
+        ``|V|`` of the graph; the expected number of continuations of a path
+        through a shared intermediate vertex is ``f(l) / |V|``.
+    """
+
+    method_name = "independence"
+
+    def __init__(self, label_selectivities: dict[str, int], vertex_count: int) -> None:
+        if vertex_count < 1:
+            raise EstimationError("vertex_count must be >= 1")
+        if not label_selectivities:
+            raise EstimationError("label_selectivities must not be empty")
+        self._label_selectivities = dict(label_selectivities)
+        self._vertex_count = vertex_count
+
+    @classmethod
+    def from_catalog(cls, catalog: SelectivityCatalog, vertex_count: int) -> "IndependenceEstimator":
+        """Build the estimator from a catalog's single-label statistics."""
+        return cls(catalog.label_selectivities(), vertex_count)
+
+    def storage_entries(self) -> int:
+        """Number of scalars the estimator keeps (``|L| + 1``)."""
+        return len(self._label_selectivities) + 1
+
+    def estimate(self, path: PathLike) -> float:
+        """The independence-assumption estimate ``e(ℓ)``."""
+        label_path = as_label_path(path)
+        estimate = float(self._label_selectivities.get(label_path.first, 0))
+        for label in label_path.labels[1:]:
+            estimate *= self._label_selectivities.get(label, 0) / self._vertex_count
+        return estimate
+
+
+class MarkovEstimator:
+    """Estimate path selectivity with an order-1 Markov model over labels.
+
+    The estimate chains length-2 statistics: the number of ``l1/l2`` pairs,
+    multiplied for every further hop by the expected extension ratio
+    ``f(l_{i-1}/l_i) / f(l_{i-1})``.
+
+    Parameters
+    ----------
+    catalog:
+        Any catalog with ``max_length >= 2`` (only its length-1 and length-2
+        statistics are consulted).
+    """
+
+    method_name = "markov-1"
+
+    def __init__(self, catalog: SelectivityCatalog) -> None:
+        if catalog.max_length < 2:
+            raise EstimationError(
+                "the Markov estimator needs length-2 statistics (catalog max_length >= 2)"
+            )
+        self._single: dict[str, int] = catalog.label_selectivities()
+        self._pairs: dict[tuple[str, str], int] = {}
+        for first in catalog.labels:
+            for second in catalog.labels:
+                self._pairs[(first, second)] = catalog.selectivity(f"{first}/{second}")
+
+    def storage_entries(self) -> int:
+        """Number of scalars the estimator keeps (``|L| + |L|²``)."""
+        return len(self._single) + len(self._pairs)
+
+    def estimate(self, path: PathLike) -> float:
+        """The order-1 Markov estimate ``e(ℓ)``."""
+        label_path = as_label_path(path)
+        labels = label_path.labels
+        if len(labels) == 1:
+            return float(self._single.get(labels[0], 0))
+        estimate = float(self._pairs.get((labels[0], labels[1]), 0))
+        for previous, current in zip(labels[1:], labels[2:]):
+            pair_count = self._pairs.get((previous, current), 0)
+            previous_count = self._single.get(previous, 0)
+            if previous_count == 0:
+                return 0.0
+            estimate *= pair_count / previous_count
+        return estimate

@@ -1,0 +1,126 @@
+"""Estimation error metrics.
+
+The paper scores estimates with the bounded relative error of Equation 6::
+
+    err(ℓ) = 0                                  if e(ℓ) = f(ℓ)
+           = (e(ℓ) − f(ℓ)) / max(e(ℓ), f(ℓ))    otherwise
+
+which lies in ``(−1, 1)``; Figure 2 reports the *mean error rate*, i.e. the
+mean of its absolute value over a query workload.  The classical q-error and
+plain absolute error are provided as well for the extended analyses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import EstimationError
+
+__all__ = [
+    "error_rate",
+    "absolute_error",
+    "q_error",
+    "mean_error_rate",
+    "ErrorSummary",
+    "summarize_errors",
+]
+
+
+def error_rate(estimate: float, truth: float) -> float:
+    """The paper's Equation 6 error of a single estimate (signed, in (−1, 1)).
+
+    Both arguments must be non-negative (selectivities and their estimates).
+    """
+    if estimate < 0 or truth < 0:
+        raise EstimationError(
+            f"selectivities must be non-negative (estimate={estimate}, truth={truth})"
+        )
+    if estimate == truth:
+        return 0.0
+    return (estimate - truth) / max(estimate, truth)
+
+
+def absolute_error(estimate: float, truth: float) -> float:
+    """Plain absolute error ``|e − f|``."""
+    return abs(estimate - truth)
+
+
+def q_error(estimate: float, truth: float) -> float:
+    """The q-error ``max(e, f) / min(e, f)`` with the usual 0-handling.
+
+    Both values zero is a perfect estimate (q-error 1); exactly one of them
+    zero is an unbounded error (``inf``).
+    """
+    if estimate < 0 or truth < 0:
+        raise EstimationError(
+            f"selectivities must be non-negative (estimate={estimate}, truth={truth})"
+        )
+    if estimate == truth:
+        return 1.0
+    low, high = sorted((estimate, truth))
+    if low == 0.0:
+        return math.inf
+    return high / low
+
+
+def mean_error_rate(pairs: Iterable[tuple[float, float]]) -> float:
+    """Mean absolute Equation-6 error over ``(estimate, truth)`` pairs.
+
+    This is the quantity plotted in the paper's Figure 2.  Raises on an empty
+    workload: a mean over nothing would silently hide a broken sweep.
+    """
+    total = 0.0
+    count = 0
+    for estimate, truth in pairs:
+        total += abs(error_rate(estimate, truth))
+        count += 1
+    if count == 0:
+        raise EstimationError("cannot compute a mean error rate over an empty workload")
+    return total / count
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate error statistics of one estimator over one workload."""
+
+    query_count: int
+    mean_error_rate: float
+    max_error_rate: float
+    mean_absolute_error: float
+    mean_q_error: float
+    max_q_error: float
+
+    def as_row(self) -> dict[str, float]:
+        """A flat dict suitable for tabular reporting."""
+        return {
+            "queries": self.query_count,
+            "mean_error_rate": self.mean_error_rate,
+            "max_error_rate": self.max_error_rate,
+            "mean_absolute_error": self.mean_absolute_error,
+            "mean_q_error": self.mean_q_error,
+            "max_q_error": self.max_q_error,
+        }
+
+
+def summarize_errors(pairs: Sequence[tuple[float, float]]) -> ErrorSummary:
+    """Compute an :class:`ErrorSummary` over ``(estimate, truth)`` pairs.
+
+    Infinite q-errors (zero truth vs non-zero estimate or vice versa) are
+    excluded from the q-error mean but counted in ``max_q_error``.
+    """
+    if not pairs:
+        raise EstimationError("cannot summarise an empty workload")
+    rates = [abs(error_rate(estimate, truth)) for estimate, truth in pairs]
+    absolutes = [absolute_error(estimate, truth) for estimate, truth in pairs]
+    q_errors = [q_error(estimate, truth) for estimate, truth in pairs]
+    finite_q = [value for value in q_errors if math.isfinite(value)]
+    return ErrorSummary(
+        query_count=len(pairs),
+        mean_error_rate=sum(rates) / len(rates),
+        max_error_rate=max(rates),
+        mean_absolute_error=sum(absolutes) / len(absolutes),
+        mean_q_error=(sum(finite_q) / len(finite_q)) if finite_q else math.inf,
+        max_q_error=max(q_errors),
+    )

@@ -1,0 +1,112 @@
+"""Sampling-based selectivity estimation.
+
+A third point of comparison for the histogram approach: instead of a
+precomputed synopsis, estimate ``f(ℓ)`` at query time by sampling start
+edges and walking the graph.  This is the approach a system without any path
+statistics would fall back to; it needs no offline construction but its cost
+grows with the sample size and its variance with path length.
+
+:class:`SamplingEstimator` samples uniformly among the edges carrying the
+path's first label, counts how many sampled start edges can be extended to a
+full match, and scales the resulting *source-completion* rate by ``f(l1)``.
+The estimate is consistent (it converges to an upper-bound approximation of
+``f(ℓ)`` that ignores end-point deduplication) and is exact for length-1
+paths; its error against the true pair count is part of what the baseline
+ablation measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from repro.exceptions import EstimationError
+from repro.graph.digraph import LabeledDiGraph
+from repro.paths.label_path import LabelPath, as_label_path
+
+__all__ = ["SamplingEstimator"]
+
+PathLike = Union[str, LabelPath]
+
+
+class SamplingEstimator:
+    """Monte-Carlo path selectivity estimation by forward random walks.
+
+    Parameters
+    ----------
+    graph:
+        The graph to sample from (queried online — this estimator has no
+        offline synopsis at all).
+    sample_size:
+        Number of start edges sampled per estimate.
+    seed:
+        Seed of the internal RNG (estimates are deterministic per seed).
+    """
+
+    method_name = "sampling"
+
+    def __init__(
+        self, graph: LabeledDiGraph, *, sample_size: int = 200, seed: int = 0
+    ) -> None:
+        if sample_size < 1:
+            raise EstimationError("sample_size must be >= 1")
+        self._graph = graph
+        self._sample_size = sample_size
+        self._rng = random.Random(seed)
+        # Cache the per-label edge lists so repeated estimates do not rescan.
+        self._edges_by_label: dict[str, list[tuple[object, object]]] = {}
+
+    @property
+    def sample_size(self) -> int:
+        """Number of start edges sampled per estimate."""
+        return self._sample_size
+
+    def storage_entries(self) -> int:
+        """The estimator stores no synopsis (0 precomputed scalars)."""
+        return 0
+
+    def _edges_for(self, label: str) -> list[tuple[object, object]]:
+        cached = self._edges_by_label.get(label)
+        if cached is None:
+            cached = [
+                (edge.source, edge.target)
+                for edge in self._graph.edges_with_label(label)
+            ]
+            self._edges_by_label[label] = cached
+        return cached
+
+    def _walk_completes(self, start_target: object, labels: tuple[str, ...]) -> bool:
+        """Whether a random walk from ``start_target`` can spell ``labels``."""
+        current = start_target
+        for label in labels:
+            if not self._graph.has_label(label):
+                return False
+            successors = self._graph.forward_adjacency(label).get(current)
+            if not successors:
+                return False
+            # Uniform random continuation — a cheap unbiased-ish walk; taking
+            # all successors would be exact (and exponential).
+            current = self._rng.choice(sorted(successors, key=str))
+        return True
+
+    def estimate(self, path: PathLike) -> float:
+        """The sampled estimate ``e(ℓ)``."""
+        label_path = as_label_path(path)
+        first = label_path.first
+        start_edges = self._edges_for(first) if self._graph.has_label(first) else []
+        if not start_edges:
+            return 0.0
+        if label_path.length == 1:
+            return float(len(start_edges))
+        rest = label_path.labels[1:]
+        draws = min(self._sample_size, len(start_edges))
+        sample = (
+            start_edges
+            if draws == len(start_edges)
+            else self._rng.sample(start_edges, draws)
+        )
+        completions = sum(
+            1 for _, target in sample if self._walk_completes(target, rest)
+        )
+        completion_rate = completions / draws
+        return completion_rate * len(start_edges)

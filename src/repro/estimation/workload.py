@@ -1,0 +1,122 @@
+"""Query workload generation.
+
+The paper evaluates estimators with point queries drawn from the label-path
+domain.  This module builds such workloads:
+
+* :func:`full_domain_workload` — every path in ``Lk`` once (what Figure 2's
+  mean error rate is computed over);
+* :func:`sampled_workload` — a uniform sample of the domain, for quick runs
+  and the latency experiment (Table 4 averages over repeated executions);
+* :func:`positive_workload` — only paths that actually occur in the graph,
+  optionally weighted by selectivity, modelling user queries that tend to ask
+  about existing structures;
+* :func:`fixed_length_workload` — only paths of one exact length.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.exceptions import EstimationError
+from repro.ordering.base import Ordering
+from repro.paths.catalog import SelectivityCatalog
+from repro.paths.enumeration import enumerate_label_paths
+from repro.paths.label_path import LabelPath
+
+__all__ = [
+    "full_domain_workload",
+    "sampled_workload",
+    "positive_workload",
+    "fixed_length_workload",
+]
+
+
+def full_domain_workload(
+    catalog: SelectivityCatalog, *, max_length: Optional[int] = None
+) -> list[LabelPath]:
+    """Every label path of the domain, in the native enumeration order."""
+    length = max_length if max_length is not None else catalog.max_length
+    if length > catalog.max_length:
+        raise EstimationError(
+            f"workload max_length={length} exceeds catalog max_length={catalog.max_length}"
+        )
+    return list(enumerate_label_paths(catalog.labels, length))
+
+
+def sampled_workload(
+    catalog: SelectivityCatalog,
+    size: int,
+    *,
+    max_length: Optional[int] = None,
+    seed: int = 0,
+    ordering: Optional[Ordering] = None,
+) -> list[LabelPath]:
+    """A uniform random sample (with replacement) of the label-path domain.
+
+    When an ``ordering`` is supplied, sampling draws random indices and
+    unranks them (exercising the ordering's ``path``); otherwise paths are
+    built directly by sampling labels, which is cheaper.
+    """
+    if size < 1:
+        raise EstimationError("workload size must be >= 1")
+    length_limit = max_length if max_length is not None else catalog.max_length
+    if length_limit > catalog.max_length:
+        raise EstimationError(
+            f"workload max_length={length_limit} exceeds catalog max_length={catalog.max_length}"
+        )
+    rng = random.Random(seed)
+    if ordering is not None:
+        return [ordering.path(rng.randrange(ordering.size)) for _ in range(size)]
+    labels: Sequence[str] = catalog.labels
+    label_count = len(labels)
+    # Choose lengths proportionally to the number of paths of each length, so
+    # the sample matches the uniform-over-domain distribution.
+    weights = [label_count**length for length in range(1, length_limit + 1)]
+    workload: list[LabelPath] = []
+    for _ in range(size):
+        length = rng.choices(range(1, length_limit + 1), weights=weights, k=1)[0]
+        workload.append(LabelPath(rng.choice(labels) for _ in range(length)))
+    return workload
+
+
+def positive_workload(
+    catalog: SelectivityCatalog,
+    size: Optional[int] = None,
+    *,
+    weighted: bool = False,
+    seed: int = 0,
+) -> list[LabelPath]:
+    """Paths with non-zero selectivity, optionally sampled / frequency-weighted.
+
+    With ``size=None`` all non-zero paths are returned once.  With a size and
+    ``weighted=True`` paths are drawn with probability proportional to their
+    selectivity, imitating workloads that query frequent structures more often.
+    """
+    nonzero = catalog.nonzero_paths()
+    if not nonzero:
+        raise EstimationError("the catalog has no non-zero paths to build a workload from")
+    if size is None:
+        return sorted(nonzero, key=lambda path: (path.length, path.labels))
+    if size < 1:
+        raise EstimationError("workload size must be >= 1")
+    rng = random.Random(seed)
+    if weighted:
+        weights = [catalog.selectivity(path) for path in nonzero]
+        return rng.choices(nonzero, weights=weights, k=size)
+    return [rng.choice(nonzero) for _ in range(size)]
+
+
+def fixed_length_workload(
+    catalog: SelectivityCatalog, length: int
+) -> list[LabelPath]:
+    """Every label path of exactly ``length`` (for per-length error analyses)."""
+    if not 1 <= length <= catalog.max_length:
+        raise EstimationError(
+            f"length {length} outside [1, {catalog.max_length}] for this catalog"
+        )
+    return [
+        path
+        for path in enumerate_label_paths(catalog.labels, length)
+        if path.length == length
+    ]

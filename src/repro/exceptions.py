@@ -1,0 +1,117 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so downstream code can catch library failures with a
+single ``except`` clause while still distinguishing the concrete cause.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "UnknownVertexError",
+    "UnknownLabelError",
+    "GraphIOError",
+    "PathError",
+    "InvalidLabelPathError",
+    "OrderingError",
+    "IndexOutOfDomainError",
+    "UnknownOrderingError",
+    "HistogramError",
+    "InvalidBucketCountError",
+    "EstimationError",
+    "DatasetError",
+    "PlanningError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Base class for errors concerning the graph substrate."""
+
+
+class UnknownVertexError(GraphError, KeyError):
+    """A vertex identifier was not present in the graph."""
+
+    def __init__(self, vertex: object) -> None:
+        super().__init__(f"unknown vertex: {vertex!r}")
+        self.vertex = vertex
+
+
+class UnknownLabelError(GraphError, KeyError):
+    """An edge label was not present in the graph or label set."""
+
+    def __init__(self, label: object) -> None:
+        super().__init__(f"unknown edge label: {label!r}")
+        self.label = label
+
+
+class GraphIOError(GraphError):
+    """A graph could not be read from or written to an external format."""
+
+
+class PathError(ReproError):
+    """Base class for label-path related errors."""
+
+
+class InvalidLabelPathError(PathError, ValueError):
+    """A label path expression could not be parsed or is structurally invalid."""
+
+
+class OrderingError(ReproError):
+    """Base class for histogram-domain ordering errors."""
+
+
+class IndexOutOfDomainError(OrderingError, IndexError):
+    """A positional index fell outside the ordering's domain ``[0, |Lk|)``."""
+
+    def __init__(self, index: int, domain_size: int) -> None:
+        super().__init__(
+            f"index {index} outside ordering domain [0, {domain_size})"
+        )
+        self.index = index
+        self.domain_size = domain_size
+
+
+class UnknownOrderingError(OrderingError, KeyError):
+    """The requested ordering name is not registered."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        message = f"unknown ordering: {name!r}"
+        if available:
+            message += f" (available: {', '.join(sorted(available))})"
+        super().__init__(message)
+        self.name = name
+        self.available = tuple(available)
+
+
+class HistogramError(ReproError):
+    """Base class for histogram construction and lookup errors."""
+
+
+class InvalidBucketCountError(HistogramError, ValueError):
+    """The requested number of buckets is not usable for the given domain."""
+
+    def __init__(self, bucket_count: int, domain_size: int | None = None) -> None:
+        message = f"invalid bucket count: {bucket_count}"
+        if domain_size is not None:
+            message += f" for domain of size {domain_size}"
+        super().__init__(message)
+        self.bucket_count = bucket_count
+        self.domain_size = domain_size
+
+
+class EstimationError(ReproError):
+    """Base class for selectivity-estimation errors."""
+
+
+class DatasetError(ReproError):
+    """A dataset stand-in could not be generated or resolved."""
+
+
+class PlanningError(ReproError):
+    """The path-query planner could not produce a plan."""

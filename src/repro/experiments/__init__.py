@@ -1,0 +1,60 @@
+"""Experiment harnesses — one module per paper table/figure plus ablations."""
+
+from repro.experiments.ablation_baselines import (
+    BaselineAblationResult,
+    run_baseline_ablation,
+)
+from repro.experiments.ablation_histograms import (
+    HistogramAblationResult,
+    run_histogram_ablation,
+)
+from repro.experiments.ablation_vopt import (
+    VOptAblationResult,
+    run_vopt_ablation,
+    synthetic_distribution,
+)
+from repro.experiments.extension_base_l2 import (
+    ExtensionResult,
+    L2SumBasedOrdering,
+    run_extension_base_l2,
+)
+from repro.experiments.figure1 import Figure1Result, run_figure1
+from repro.experiments.figure2 import Figure2Result, run_figure2
+from repro.experiments.ordering_example import (
+    EXAMPLE_CARDINALITIES,
+    EXAMPLE_MAX_LENGTH,
+    OrderingExampleResult,
+    run_ordering_example,
+)
+from repro.experiments.reporting import format_records, format_table, pivot
+from repro.experiments.table3 import Table3Row, run_table3
+from repro.experiments.table4 import Table4Result, default_bucket_counts, run_table4
+
+__all__ = [
+    "EXAMPLE_CARDINALITIES",
+    "EXAMPLE_MAX_LENGTH",
+    "BaselineAblationResult",
+    "ExtensionResult",
+    "Figure1Result",
+    "Figure2Result",
+    "HistogramAblationResult",
+    "L2SumBasedOrdering",
+    "OrderingExampleResult",
+    "Table3Row",
+    "Table4Result",
+    "VOptAblationResult",
+    "default_bucket_counts",
+    "format_records",
+    "format_table",
+    "pivot",
+    "run_baseline_ablation",
+    "run_extension_base_l2",
+    "run_figure1",
+    "run_figure2",
+    "run_histogram_ablation",
+    "run_ordering_example",
+    "run_table3",
+    "run_table4",
+    "run_vopt_ablation",
+    "synthetic_distribution",
+]

@@ -1,0 +1,101 @@
+"""Reproduction of Figure 1 — the raw data distribution and its equi-width histogram.
+
+Figure 1 of the paper plots, for the Moreno Health dataset with ``k = 3``,
+the number of matching paths of every label path (the black distribution)
+in the native ``num-alph`` order, together with an equi-width histogram over
+that order (the red step function).  The figure motivates the whole paper:
+in the native order the distribution is wildly non-monotone, so equal-width
+buckets mix large and small frequencies and estimate poorly.
+
+The harness returns the series needed to redraw the figure (frequencies per
+index, bucket boundaries and bucket averages) plus summary numbers used in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.registry import load_dataset
+from repro.graph.digraph import LabeledDiGraph
+from repro.histogram.builder import domain_frequencies, make_histogram
+from repro.ordering.registry import make_ordering
+from repro.paths.catalog import SelectivityCatalog
+
+__all__ = ["Figure1Result", "run_figure1"]
+
+
+@dataclass
+class Figure1Result:
+    """Everything needed to redraw Figure 1."""
+
+    dataset: str
+    max_length: int
+    bucket_count: int
+    ordering: str
+    #: Label path (string form) at every domain index, in order.
+    domain_paths: list[str] = field(default_factory=list)
+    #: True selectivity at every domain index (the black curve).
+    frequencies: list[float] = field(default_factory=list)
+    #: ``(start, end, average)`` per bucket (the red step function).
+    buckets: list[tuple[int, int, float]] = field(default_factory=list)
+
+    @property
+    def domain_size(self) -> int:
+        """Number of label paths in the domain (258 for Moreno at k=3)."""
+        return len(self.frequencies)
+
+    @property
+    def max_frequency(self) -> float:
+        """The tallest spike of the distribution."""
+        return max(self.frequencies, default=0.0)
+
+    def as_series(self) -> dict[str, object]:
+        """Flat dict of the plotted series (for JSON export)."""
+        return {
+            "dataset": self.dataset,
+            "k": self.max_length,
+            "buckets": self.bucket_count,
+            "ordering": self.ordering,
+            "paths": self.domain_paths,
+            "frequencies": self.frequencies,
+            "histogram": [list(bucket) for bucket in self.buckets],
+        }
+
+
+def run_figure1(
+    *,
+    scale: float = 0.05,
+    max_length: int = 3,
+    bucket_count: int = 16,
+    ordering_name: str = "num-alph",
+    histogram_kind: str = "equi-width",
+    graph: Optional[LabeledDiGraph] = None,
+    catalog: Optional[SelectivityCatalog] = None,
+) -> Figure1Result:
+    """Recompute the Figure 1 series on the Moreno Health stand-in.
+
+    A pre-built ``graph`` or ``catalog`` can be supplied to skip generation
+    (the benchmark harness reuses one catalog across repetitions).
+    """
+    if catalog is None:
+        if graph is None:
+            graph = load_dataset("moreno-health", scale=scale)
+        catalog = SelectivityCatalog.from_graph(graph, max_length)
+    ordering = make_ordering(ordering_name, catalog=catalog)
+    frequencies = domain_frequencies(catalog, ordering)
+    histogram = make_histogram(frequencies, histogram_kind, bucket_count)
+    return Figure1Result(
+        dataset=catalog.graph_name or "moreno-health",
+        max_length=max_length,
+        bucket_count=histogram.bucket_count,
+        ordering=ordering.full_name,
+        domain_paths=[str(ordering.path(i)) for i in range(ordering.size)],
+        frequencies=[float(value) for value in np.asarray(frequencies)],
+        buckets=[
+            (bucket.start, bucket.end, bucket.average) for bucket in histogram.buckets
+        ],
+    )

@@ -1,0 +1,150 @@
+"""Reproduction of Figure 2 — mean estimation error per ordering method.
+
+Figure 2 of the paper plots, for each of the four datasets and for several
+``(k, β)`` combinations, the mean error rate (Equation 6) of a V-optimal
+histogram built under each of the five ordering methods.  The headline
+findings the reproduction must show:
+
+* the sum-based ordering achieves the lowest error, with the largest margin
+  on the synthetic datasets and at small ``β``;
+* the cardinality-ranked variants (num-card, lex-card) beat their
+  alphabetical counterparts;
+* errors shrink for every method as ``β`` grows.
+
+The harness sweeps datasets × k × β × methods and returns flat records;
+``Figure2Result.series()`` groups them the way the figure panels do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.estimation.evaluation import SweepResult, run_sweep
+from repro.experiments.reporting import format_table, pivot
+from repro.ordering.registry import PAPER_ORDERINGS
+from repro.paths.catalog import SelectivityCatalog
+
+__all__ = ["Figure2Result", "run_figure2"]
+
+
+@dataclass
+class Figure2Result:
+    """All sweep records of the Figure 2 reproduction."""
+
+    scale: float
+    max_lengths: list[int]
+    bucket_fractions: list[float]
+    results: list[SweepResult] = field(default_factory=list)
+
+    def records(self) -> list[dict[str, object]]:
+        """Flat dict records (one per dataset × k × β × method)."""
+        return [result.as_row() for result in self.results]
+
+    def series(self, dataset: str, max_length: int) -> list[dict[str, object]]:
+        """One figure panel: rows = β, columns = methods, values = mean error."""
+        selected = [
+            result.as_row()
+            for result in self.results
+            if result.dataset == dataset and result.max_length == max_length
+        ]
+        if not selected:
+            return []
+        headers, rows = pivot(
+            selected, row_key="buckets", column_key="method", value_key="mean_error_rate"
+        )
+        return [dict(zip(headers, row)) for row in rows]
+
+    def render(self, dataset: str, max_length: int) -> str:
+        """One panel as aligned text."""
+        selected = [
+            result.as_row()
+            for result in self.results
+            if result.dataset == dataset and result.max_length == max_length
+        ]
+        if not selected:
+            return "(no records)"
+        headers, rows = pivot(
+            selected, row_key="buckets", column_key="method", value_key="mean_error_rate"
+        )
+        return format_table(headers, rows, float_digits=4)
+
+    def mean_error_by_method(self, dataset: Optional[str] = None) -> dict[str, float]:
+        """Mean error rate per method, averaged over every (k, β) cell."""
+        accumulator: dict[str, list[float]] = {}
+        for result in self.results:
+            if dataset is not None and result.dataset != dataset:
+                continue
+            accumulator.setdefault(result.method, []).append(result.mean_error_rate)
+        return {
+            method: sum(values) / len(values)
+            for method, values in accumulator.items()
+            if values
+        }
+
+
+def run_figure2(
+    *,
+    datasets: Sequence[str] = (),
+    scale: float = 0.02,
+    max_lengths: Sequence[int] = (2, 3),
+    bucket_fractions: Sequence[float] = (0.02, 0.05, 0.1, 0.25),
+    methods: Sequence[str] = PAPER_ORDERINGS,
+    include_ideal: bool = False,
+    catalogs: Optional[dict[str, SelectivityCatalog]] = None,
+) -> Figure2Result:
+    """Run the accuracy sweep across datasets, path lengths and bucket counts.
+
+    Parameters
+    ----------
+    datasets:
+        Dataset names (defaults to all four of Table 3).
+    scale:
+        Dataset shrink factor; the error-rate *ordering* of methods is stable
+        across scales, which is what the reproduction asserts.
+    max_lengths:
+        The ``k`` values to sweep (the paper uses up to 6; defaults stay
+        small so the full sweep runs in seconds).
+    bucket_fractions:
+        ``β`` expressed as a fraction of the domain size ``|Lk|`` so the same
+        relative budgets are used for every ``k``.
+    include_ideal:
+        Also evaluate the ideal ordering as an upper-bound baseline.
+    catalogs:
+        Optional pre-built catalogs keyed by dataset name (must cover the
+        largest ``k``); built on demand otherwise.
+    """
+    names = tuple(datasets) if datasets else available_datasets()
+    result = Figure2Result(
+        scale=scale,
+        max_lengths=list(max_lengths),
+        bucket_fractions=list(bucket_fractions),
+    )
+    for name in names:
+        base_catalog: Optional[SelectivityCatalog] = None
+        if catalogs is not None and name in catalogs:
+            base_catalog = catalogs[name]
+        else:
+            graph = load_dataset(name, scale=scale)
+            base_catalog = SelectivityCatalog.from_graph(graph, max(max_lengths))
+        for max_length in max_lengths:
+            catalog = (
+                base_catalog
+                if base_catalog.max_length == max_length
+                else base_catalog.restrict(max_length)
+            )
+            domain = catalog.domain_size
+            bucket_counts = sorted(
+                {max(2, min(domain, int(round(domain * fraction)))) for fraction in bucket_fractions}
+            )
+            result.results.extend(
+                run_sweep(
+                    catalog,
+                    dataset_name=name,
+                    methods=methods,
+                    bucket_counts=bucket_counts,
+                    include_ideal=include_ideal,
+                )
+            )
+    return result

@@ -1,0 +1,83 @@
+"""Plain-text reporting helpers shared by the experiment harnesses.
+
+Every experiment returns structured records; these helpers render them as
+aligned text tables so the CLI and the benchmark harnesses can print output
+that looks like the paper's tables.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_records", "pivot"]
+
+
+def _format_value(value: object, float_digits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_digits: int = 4,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    rendered_rows = [
+        [_format_value(value, float_digits) for value in row] for row in rows
+    ]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [
+        "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_records(
+    records: Sequence[Mapping[str, object]], *, float_digits: int = 4
+) -> str:
+    """Render a list of uniform dict records as a table (keys become headers)."""
+    if not records:
+        return "(no records)"
+    headers = list(records[0].keys())
+    rows = [[record.get(header, "") for header in headers] for record in records]
+    return format_table(headers, rows, float_digits=float_digits)
+
+
+def pivot(
+    records: Sequence[Mapping[str, object]],
+    *,
+    row_key: str,
+    column_key: str,
+    value_key: str,
+) -> tuple[list[str], list[list[object]]]:
+    """Pivot flat records into a (headers, rows) matrix.
+
+    Used to turn sweep results into the paper's presentation shape, e.g. rows
+    = bucket counts, columns = ordering methods, values = mean error rate.
+    """
+    row_values: list[object] = []
+    column_values: list[object] = []
+    cells: dict[tuple[object, object], object] = {}
+    for record in records:
+        row_value = record[row_key]
+        column_value = record[column_key]
+        if row_value not in row_values:
+            row_values.append(row_value)
+        if column_value not in column_values:
+            column_values.append(column_value)
+        cells[(row_value, column_value)] = record[value_key]
+    headers = [row_key] + [str(value) for value in column_values]
+    rows = [
+        [row_value] + [cells.get((row_value, column_value), "") for column_value in column_values]
+        for row_value in row_values
+    ]
+    return headers, rows

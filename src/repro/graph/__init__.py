@@ -1,0 +1,39 @@
+"""Graph substrate: storage, IO, generation, matrices and statistics."""
+
+from repro.graph.digraph import Edge, LabeledDiGraph
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    correlated_label_graph,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    zipf_labeled_graph,
+)
+from repro.graph.io import (
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+from repro.graph.matrices import LabelMatrixStore
+from repro.graph.schema import GraphSchema, LabelSpec, generate_from_schema
+from repro.graph.statistics import GraphSummary, summarize_graph
+
+__all__ = [
+    "Edge",
+    "LabeledDiGraph",
+    "LabelMatrixStore",
+    "GraphSchema",
+    "LabelSpec",
+    "GraphSummary",
+    "barabasi_albert_graph",
+    "correlated_label_graph",
+    "erdos_renyi_graph",
+    "forest_fire_graph",
+    "generate_from_schema",
+    "read_edge_list",
+    "read_json_graph",
+    "summarize_graph",
+    "write_edge_list",
+    "write_json_graph",
+    "zipf_labeled_graph",
+]

@@ -1,0 +1,405 @@
+"""Edge-labeled directed multigraph storage.
+
+This module provides :class:`LabeledDiGraph`, the storage substrate on which
+the whole reproduction is built.  It models the paper's data model directly:
+a graph ``G`` is a finite set of vertices ``V``, a finite set of edge labels
+``L`` and a set of directed labeled edges ``E ⊆ V × L × V``.
+
+The structure is optimised for the access patterns of label-path evaluation:
+
+* per-label forward adjacency (``successors(v, label)``)
+* per-label backward adjacency (``predecessors(v, label)``)
+* per-label edge sets (``edges_with_label(label)``)
+
+Vertices may be arbitrary hashable objects; internally they are interned to
+dense integer identifiers so that the sparse-matrix evaluation layer
+(:mod:`repro.graph.matrices`) can build CSR matrices without re-hashing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Mapping
+from typing import Optional
+
+from repro.exceptions import GraphError, UnknownLabelError, UnknownVertexError
+
+__all__ = ["Edge", "LabeledDiGraph"]
+
+Vertex = Hashable
+Label = str
+
+
+class Edge(tuple):
+    """A directed labeled edge ``(source, label, target)``.
+
+    ``Edge`` is a lightweight tuple subclass so that edges hash and compare
+    exactly like the plain triples users construct, while still exposing
+    named accessors.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, source: Vertex, label: Label, target: Vertex) -> "Edge":
+        return super().__new__(cls, (source, label, target))
+
+    @property
+    def source(self) -> Vertex:
+        """The tail vertex of the edge."""
+        return self[0]
+
+    @property
+    def label(self) -> Label:
+        """The edge label."""
+        return self[1]
+
+    @property
+    def target(self) -> Vertex:
+        """The head vertex of the edge."""
+        return self[2]
+
+    def reversed(self) -> "Edge":
+        """Return the edge with source and target swapped (label unchanged)."""
+        return Edge(self.target, self.label, self.source)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Edge({self.source!r}, {self.label!r}, {self.target!r})"
+
+
+class LabeledDiGraph:
+    """An edge-labeled directed graph ``G = (V, L, E)``.
+
+    The graph is a *simple* labeled digraph in the sense of the paper: at most
+    one edge exists for each ``(source, label, target)`` triple, but multiple
+    edges with different labels may connect the same vertex pair, and
+    self-loops are allowed.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of ``(source, label, target)`` triples to insert.
+    name:
+        Optional human-readable name, carried through IO and dataset
+        registries for reporting.
+    """
+
+    def __init__(
+        self,
+        edges: Optional[Iterable[tuple[Vertex, Label, Vertex]]] = None,
+        *,
+        name: str = "",
+    ) -> None:
+        self.name = name
+        # Vertex interning: vertex object -> dense int id, and the reverse.
+        self._vertex_ids: dict[Vertex, int] = {}
+        self._vertices: list[Vertex] = []
+        # label -> {source -> set(targets)}
+        self._forward: dict[Label, dict[Vertex, set[Vertex]]] = {}
+        # label -> {target -> set(sources)}
+        self._backward: dict[Label, dict[Vertex, set[Vertex]]] = {}
+        # label -> number of edges carrying that label
+        self._label_edge_counts: dict[Label, int] = {}
+        self._edge_count = 0
+        if edges is not None:
+            self.add_edges_from(edges)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> int:
+        """Add ``vertex`` (idempotent) and return its dense integer id."""
+        existing = self._vertex_ids.get(vertex)
+        if existing is not None:
+            return existing
+        vertex_id = len(self._vertices)
+        self._vertex_ids[vertex] = vertex_id
+        self._vertices.append(vertex)
+        return vertex_id
+
+    def add_vertices_from(self, vertices: Iterable[Vertex]) -> None:
+        """Add every vertex in ``vertices`` (idempotent)."""
+        for vertex in vertices:
+            self.add_vertex(vertex)
+
+    def add_edge(self, source: Vertex, label: Label, target: Vertex) -> bool:
+        """Add the edge ``(source, label, target)``.
+
+        Returns ``True`` if the edge was newly inserted and ``False`` if it
+        was already present (the graph stores simple labeled edges).
+        """
+        if not isinstance(label, str):
+            raise GraphError(f"edge labels must be strings, got {type(label).__name__}")
+        self.add_vertex(source)
+        self.add_vertex(target)
+        forward = self._forward.setdefault(label, {})
+        targets = forward.setdefault(source, set())
+        if target in targets:
+            return False
+        targets.add(target)
+        backward = self._backward.setdefault(label, {})
+        backward.setdefault(target, set()).add(source)
+        self._label_edge_counts[label] = self._label_edge_counts.get(label, 0) + 1
+        self._edge_count += 1
+        return True
+
+    def add_edges_from(
+        self, edges: Iterable[tuple[Vertex, Label, Vertex]]
+    ) -> int:
+        """Add every edge in ``edges``; return the number of new edges."""
+        added = 0
+        for source, label, target in edges:
+            if self.add_edge(source, label, target):
+                added += 1
+        return added
+
+    def remove_edge(self, source: Vertex, label: Label, target: Vertex) -> bool:
+        """Remove the edge if present; return whether anything was removed."""
+        forward = self._forward.get(label)
+        if forward is None:
+            return False
+        targets = forward.get(source)
+        if targets is None or target not in targets:
+            return False
+        targets.discard(target)
+        if not targets:
+            del forward[source]
+        backward = self._backward[label]
+        sources = backward[target]
+        sources.discard(source)
+        if not sources:
+            del backward[target]
+        self._label_edge_counts[label] -= 1
+        if self._label_edge_counts[label] == 0:
+            del self._label_edge_counts[label]
+            del self._forward[label]
+            del self._backward[label]
+        self._edge_count -= 1
+        return True
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self._vertices)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of labeled edges ``|E|``."""
+        return self._edge_count
+
+    @property
+    def label_count(self) -> int:
+        """Number of distinct edge labels that appear on at least one edge."""
+        return len(self._label_edge_counts)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices in insertion (dense-id) order."""
+        return iter(self._vertices)
+
+    def labels(self) -> list[Label]:
+        """Return the sorted list of edge labels present in the graph."""
+        return sorted(self._label_edge_counts)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges as :class:`Edge` triples."""
+        for label, forward in self._forward.items():
+            for source, targets in forward.items():
+                for target in targets:
+                    yield Edge(source, label, target)
+
+    def edges_with_label(self, label: Label) -> Iterator[Edge]:
+        """Iterate over all edges carrying ``label``."""
+        forward = self._forward.get(label)
+        if forward is None:
+            return
+        for source, targets in forward.items():
+            for target in targets:
+                yield Edge(source, label, target)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return whether ``vertex`` is in the graph."""
+        return vertex in self._vertex_ids
+
+    def has_label(self, label: Label) -> bool:
+        """Return whether any edge carries ``label``."""
+        return label in self._label_edge_counts
+
+    def has_edge(self, source: Vertex, label: Label, target: Vertex) -> bool:
+        """Return whether the edge ``(source, label, target)`` exists."""
+        forward = self._forward.get(label)
+        if forward is None:
+            return False
+        targets = forward.get(source)
+        return targets is not None and target in targets
+
+    def label_edge_count(self, label: Label) -> int:
+        """Number of edges carrying ``label`` (0 if the label is unknown)."""
+        return self._label_edge_counts.get(label, 0)
+
+    def label_edge_counts(self) -> dict[Label, int]:
+        """Mapping from each label to its edge count (a fresh dict)."""
+        return dict(self._label_edge_counts)
+
+    # ------------------------------------------------------------------
+    # adjacency
+    # ------------------------------------------------------------------
+    def successors(self, vertex: Vertex, label: Label) -> frozenset[Vertex]:
+        """Vertices reachable from ``vertex`` over a single ``label`` edge."""
+        if vertex not in self._vertex_ids:
+            raise UnknownVertexError(vertex)
+        forward = self._forward.get(label)
+        if forward is None:
+            return frozenset()
+        return frozenset(forward.get(vertex, ()))
+
+    def predecessors(self, vertex: Vertex, label: Label) -> frozenset[Vertex]:
+        """Vertices with a single ``label`` edge into ``vertex``."""
+        if vertex not in self._vertex_ids:
+            raise UnknownVertexError(vertex)
+        backward = self._backward.get(label)
+        if backward is None:
+            return frozenset()
+        return frozenset(backward.get(vertex, ()))
+
+    def out_degree(self, vertex: Vertex, label: Optional[Label] = None) -> int:
+        """Out-degree of ``vertex`` (restricted to ``label`` when given)."""
+        if vertex not in self._vertex_ids:
+            raise UnknownVertexError(vertex)
+        if label is not None:
+            forward = self._forward.get(label, {})
+            return len(forward.get(vertex, ()))
+        return sum(
+            len(forward.get(vertex, ())) for forward in self._forward.values()
+        )
+
+    def in_degree(self, vertex: Vertex, label: Optional[Label] = None) -> int:
+        """In-degree of ``vertex`` (restricted to ``label`` when given)."""
+        if vertex not in self._vertex_ids:
+            raise UnknownVertexError(vertex)
+        if label is not None:
+            backward = self._backward.get(label, {})
+            return len(backward.get(vertex, ()))
+        return sum(
+            len(backward.get(vertex, ())) for backward in self._backward.values()
+        )
+
+    def forward_adjacency(self, label: Label) -> Mapping[Vertex, set[Vertex]]:
+        """The raw ``source -> targets`` map for ``label``.
+
+        The returned mapping is the live internal structure; callers must not
+        mutate it.  Raises :class:`UnknownLabelError` for unknown labels so
+        typos surface early in evaluation code.
+        """
+        forward = self._forward.get(label)
+        if forward is None:
+            raise UnknownLabelError(label)
+        return forward
+
+    def backward_adjacency(self, label: Label) -> Mapping[Vertex, set[Vertex]]:
+        """The raw ``target -> sources`` map for ``label`` (do not mutate)."""
+        backward = self._backward.get(label)
+        if backward is None:
+            raise UnknownLabelError(label)
+        return backward
+
+    # ------------------------------------------------------------------
+    # vertex interning
+    # ------------------------------------------------------------------
+    def vertex_id(self, vertex: Vertex) -> int:
+        """Dense integer id of ``vertex`` (raises for unknown vertices)."""
+        try:
+            return self._vertex_ids[vertex]
+        except KeyError:
+            raise UnknownVertexError(vertex) from None
+
+    def vertex_by_id(self, vertex_id: int) -> Vertex:
+        """The vertex object for a dense integer id."""
+        try:
+            return self._vertices[vertex_id]
+        except IndexError:
+            raise UnknownVertexError(vertex_id) from None
+
+    # ------------------------------------------------------------------
+    # selectivity of single labels
+    # ------------------------------------------------------------------
+    def label_selectivity(self, label: Label) -> int:
+        """Selectivity ``f(l)`` of a single-label path.
+
+        For a single label this is simply the number of distinct
+        ``(source, target)`` pairs connected by a ``label`` edge, which equals
+        the label's edge count because the graph stores simple labeled edges.
+        """
+        return self.label_edge_count(label)
+
+    def label_selectivities(self) -> dict[Label, int]:
+        """Selectivity of every single-label path, keyed by label."""
+        return dict(self._label_edge_counts)
+
+    # ------------------------------------------------------------------
+    # conversions & dunder protocol
+    # ------------------------------------------------------------------
+    def subgraph_with_labels(self, labels: Iterable[Label]) -> "LabeledDiGraph":
+        """Return a new graph containing only edges whose label is in ``labels``."""
+        wanted = set(labels)
+        result = LabeledDiGraph(name=self.name)
+        for vertex in self._vertices:
+            result.add_vertex(vertex)
+        for label in wanted:
+            for edge in self.edges_with_label(label):
+                result.add_edge(edge.source, edge.label, edge.target)
+        return result
+
+    def copy(self) -> "LabeledDiGraph":
+        """Return a deep structural copy of the graph."""
+        result = LabeledDiGraph(name=self.name)
+        for vertex in self._vertices:
+            result.add_vertex(vertex)
+        result.add_edges_from(self.edges())
+        return result
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.MultiDiGraph` with ``label`` edge data."""
+        import networkx as nx
+
+        nx_graph = nx.MultiDiGraph(name=self.name)
+        nx_graph.add_nodes_from(self._vertices)
+        for edge in self.edges():
+            nx_graph.add_edge(edge.source, edge.target, label=edge.label)
+        return nx_graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph, *, label_key: str = "label") -> "LabeledDiGraph":
+        """Build a :class:`LabeledDiGraph` from a networkx (multi)digraph.
+
+        Edges without a ``label_key`` attribute get the label ``"_"``.
+        """
+        graph = cls(name=str(nx_graph.name or ""))
+        graph.add_vertices_from(nx_graph.nodes())
+        for source, target, data in nx_graph.edges(data=True):
+            label = str(data.get(label_key, "_"))
+            graph.add_edge(source, label, target)
+        return graph
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, tuple) and len(item) == 3:
+            return self.has_edge(*item)
+        return self.has_vertex(item)
+
+    def __len__(self) -> int:
+        return self.vertex_count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabeledDiGraph):
+            return NotImplemented
+        return (
+            set(self._vertices) == set(other._vertices)
+            and set(self.edges()) == set(other.edges())
+        )
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<LabeledDiGraph{label} |V|={self.vertex_count} "
+            f"|E|={self.edge_count} |L|={self.label_count}>"
+        )

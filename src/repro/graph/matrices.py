@@ -1,0 +1,117 @@
+"""Per-label boolean adjacency matrices.
+
+Label-path evaluation reduces to boolean sparse matrix products: the pairs
+connected by the path ``l1/l2/.../lk`` are exactly the non-zeros of
+``M(l1) · M(l2) · ... · M(lk)`` where ``M(l)`` is the boolean adjacency matrix
+of label ``l``.  :class:`LabelMatrixStore` materialises and caches those
+per-label matrices (scipy CSR, boolean) for a fixed graph so the evaluator
+and the catalog builder can share them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.exceptions import UnknownLabelError
+from repro.graph.digraph import LabeledDiGraph
+
+__all__ = ["LabelMatrixStore"]
+
+
+class LabelMatrixStore:
+    """Boolean adjacency matrices of a :class:`LabeledDiGraph`, one per label.
+
+    The store snapshots the graph at construction time: later mutations of the
+    graph are not reflected.  Matrices are built lazily on first access and
+    cached.
+
+    Parameters
+    ----------
+    graph:
+        The graph to snapshot.
+    labels:
+        Optional restriction of the label set; defaults to all labels present
+        in the graph.
+    """
+
+    def __init__(
+        self, graph: LabeledDiGraph, labels: Optional[Iterable[str]] = None
+    ) -> None:
+        self._graph = graph
+        self._dimension = graph.vertex_count
+        self._labels = tuple(sorted(labels) if labels is not None else graph.labels())
+        self._matrices: dict[str, sparse.csr_matrix] = {}
+
+    @property
+    def dimension(self) -> int:
+        """The matrix dimension ``|V|``."""
+        return self._dimension
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The labels the store covers (sorted)."""
+        return self._labels
+
+    def matrix(self, label: str) -> sparse.csr_matrix:
+        """The boolean CSR adjacency matrix of ``label``.
+
+        Row ``i`` / column ``j`` correspond to the graph's dense vertex ids;
+        entry ``(i, j)`` is ``True`` iff an edge ``(v_i, label, v_j)`` exists.
+        """
+        if label not in self._labels:
+            raise UnknownLabelError(label)
+        cached = self._matrices.get(label)
+        if cached is not None:
+            return cached
+        rows: list[int] = []
+        cols: list[int] = []
+        for edge in self._graph.edges_with_label(label):
+            rows.append(self._graph.vertex_id(edge.source))
+            cols.append(self._graph.vertex_id(edge.target))
+        data = np.ones(len(rows), dtype=bool)
+        matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(self._dimension, self._dimension), dtype=bool
+        )
+        self._matrices[label] = matrix
+        return matrix
+
+    def path_matrix(self, labels: Iterable[str]) -> sparse.csr_matrix:
+        """Boolean product ``M(l1)·...·M(lk)`` for the label sequence ``labels``.
+
+        The result's non-zeros are exactly the vertex pairs returned by the
+        path query.  An empty label sequence yields the identity matrix
+        (every vertex is connected to itself by the empty path).
+        """
+        product: Optional[sparse.csr_matrix] = None
+        for label in labels:
+            current = self.matrix(label)
+            if product is None:
+                product = current.copy()
+            else:
+                product = (product @ current).astype(bool)
+        if product is None:
+            return sparse.identity(self._dimension, dtype=bool, format="csr")
+        return product.astype(bool)
+
+    def path_selectivity(self, labels: Iterable[str]) -> int:
+        """Number of distinct vertex pairs connected by the label sequence."""
+        return int(self.path_matrix(labels).nnz)
+
+    def extend(
+        self, prefix_matrix: sparse.csr_matrix, label: str
+    ) -> sparse.csr_matrix:
+        """Extend a prefix product by one more label (``prefix · M(label)``)."""
+        return (prefix_matrix @ self.matrix(label)).astype(bool)
+
+    def identity(self) -> sparse.csr_matrix:
+        """The ``|V|×|V|`` boolean identity matrix (empty-path product)."""
+        return sparse.identity(self._dimension, dtype=bool, format="csr")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<LabelMatrixStore dim={self._dimension} labels={len(self._labels)} "
+            f"cached={len(self._matrices)}>"
+        )

@@ -1,0 +1,104 @@
+"""Descriptive statistics over edge-labeled graphs.
+
+The main entry point, :func:`summarize_graph`, produces the per-dataset row
+used by the Table 3 reproduction (#edge labels, #vertices, #edges) together
+with richer structural statistics (degree distribution moments, label
+frequency skew) that the dataset stand-ins are validated against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.graph.digraph import LabeledDiGraph
+
+__all__ = ["GraphSummary", "summarize_graph", "label_frequency_skew", "gini_coefficient"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Summary statistics of a labeled graph.
+
+    Attributes mirror the columns of the paper's Table 3 plus a few structural
+    measures used in tests and documentation.
+    """
+
+    name: str
+    label_count: int
+    vertex_count: int
+    edge_count: int
+    label_edge_counts: dict[str, int] = field(default_factory=dict)
+    mean_out_degree: float = 0.0
+    max_out_degree: int = 0
+    mean_in_degree: float = 0.0
+    max_in_degree: int = 0
+    label_gini: float = 0.0
+
+    def as_table_row(self) -> dict[str, object]:
+        """The row shape of the paper's Table 3."""
+        return {
+            "Dataset": self.name,
+            "#Edge Labels": self.label_count,
+            "#Vertices": self.vertex_count,
+            "#Edges": self.edge_count,
+        }
+
+
+def gini_coefficient(values: list[int]) -> float:
+    """Gini coefficient of a list of non-negative counts (0 = uniform).
+
+    Used to quantify how skewed the label frequency distribution is; real
+    graph datasets typically have a high label Gini while uniformly labeled
+    synthetic graphs sit near zero.
+    """
+    if not values:
+        return 0.0
+    sorted_values = sorted(values)
+    total = sum(sorted_values)
+    if total == 0:
+        return 0.0
+    cumulative = 0.0
+    weighted = 0.0
+    for index, value in enumerate(sorted_values, start=1):
+        cumulative += value
+        weighted += index * value
+    count = len(sorted_values)
+    return (2.0 * weighted) / (count * total) - (count + 1.0) / count
+
+
+def label_frequency_skew(graph: LabeledDiGraph) -> float:
+    """Ratio of the most to the least frequent label's edge count.
+
+    Returns ``1.0`` for graphs with at most one label and ``inf`` when some
+    label has zero edges (which cannot happen for labels reported by
+    :meth:`LabeledDiGraph.labels`).
+    """
+    counts = list(graph.label_edge_counts().values())
+    if len(counts) <= 1:
+        return 1.0
+    lowest = min(counts)
+    highest = max(counts)
+    if lowest == 0:
+        return math.inf
+    return highest / lowest
+
+
+def summarize_graph(graph: LabeledDiGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``graph``."""
+    out_degrees = [graph.out_degree(v) for v in graph.vertices()]
+    in_degrees = [graph.in_degree(v) for v in graph.vertices()]
+    vertex_count = graph.vertex_count
+    label_counts = graph.label_edge_counts()
+    return GraphSummary(
+        name=graph.name or "unnamed",
+        label_count=graph.label_count,
+        vertex_count=vertex_count,
+        edge_count=graph.edge_count,
+        label_edge_counts=label_counts,
+        mean_out_degree=(sum(out_degrees) / vertex_count) if vertex_count else 0.0,
+        max_out_degree=max(out_degrees, default=0),
+        mean_in_degree=(sum(in_degrees) / vertex_count) if vertex_count else 0.0,
+        max_in_degree=max(in_degrees, default=0),
+        label_gini=gini_coefficient(list(label_counts.values())),
+    )

@@ -1,0 +1,43 @@
+"""Histograms over ordered label-path domains."""
+
+from repro.histogram.base import Histogram, frequencies_to_array
+from repro.histogram.bucket import Bucket
+from repro.histogram.builder import (
+    HISTOGRAM_KINDS,
+    LabelPathHistogram,
+    build_histogram,
+    domain_frequencies,
+    make_histogram,
+)
+from repro.histogram.endbiased import EndBiasedHistogram
+from repro.histogram.equidepth import EquiDepthHistogram
+from repro.histogram.equiwidth import EquiWidthHistogram
+from repro.histogram.maxdiff import MaxDiffHistogram
+from repro.histogram.serialization import (
+    histogram_from_dict,
+    histogram_to_dict,
+    load_histogram,
+    save_histogram,
+)
+from repro.histogram.vopt import EXACT_DOMAIN_LIMIT, VOptimalHistogram
+
+__all__ = [
+    "EXACT_DOMAIN_LIMIT",
+    "HISTOGRAM_KINDS",
+    "Bucket",
+    "EndBiasedHistogram",
+    "EquiDepthHistogram",
+    "EquiWidthHistogram",
+    "Histogram",
+    "LabelPathHistogram",
+    "MaxDiffHistogram",
+    "VOptimalHistogram",
+    "build_histogram",
+    "domain_frequencies",
+    "frequencies_to_array",
+    "histogram_from_dict",
+    "histogram_to_dict",
+    "load_histogram",
+    "make_histogram",
+    "save_histogram",
+]

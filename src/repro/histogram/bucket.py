@@ -1,0 +1,87 @@
+"""Histogram buckets.
+
+A bucket covers a half-open index interval ``[start, end)`` of the ordered
+histogram domain and stores the aggregate statistics needed both to answer
+point/range estimates and to report quality metrics (sum of squared error
+within the bucket — the quantity the V-optimal histogram minimises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import HistogramError
+
+__all__ = ["Bucket"]
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """Aggregate statistics of one histogram bucket.
+
+    Attributes
+    ----------
+    start, end:
+        Half-open index interval ``[start, end)`` of the ordered domain the
+        bucket covers.
+    total:
+        Sum of the frequencies of the positions in the bucket.
+    squared_total:
+        Sum of squared frequencies (used to compute the bucket's SSE).
+    minimum, maximum:
+        Smallest / largest frequency in the bucket (diagnostics and
+        end-biased/MaxDiff construction).
+    """
+
+    start: int
+    end: int
+    total: float
+    squared_total: float
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise HistogramError(
+                f"bucket interval [{self.start}, {self.end}) must be non-empty"
+            )
+
+    @property
+    def width(self) -> int:
+        """Number of domain positions the bucket covers."""
+        return self.end - self.start
+
+    @property
+    def average(self) -> float:
+        """Average frequency — the bucket's point estimate under uniformity."""
+        return self.total / self.width
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the frequencies inside the bucket."""
+        mean = self.average
+        return max(0.0, self.squared_total / self.width - mean * mean)
+
+    @property
+    def sse(self) -> float:
+        """Sum of squared errors of the bucket (``width * variance``)."""
+        return max(0.0, self.squared_total - self.total * self.total / self.width)
+
+    def contains(self, index: int) -> bool:
+        """Whether domain position ``index`` falls inside the bucket."""
+        return self.start <= index < self.end
+
+    @classmethod
+    def from_frequencies(cls, start: int, frequencies) -> "Bucket":
+        """Build a bucket covering ``[start, start + len(frequencies))``."""
+        values = [float(value) for value in frequencies]
+        if not values:
+            raise HistogramError("cannot build a bucket from an empty frequency slice")
+        return cls(
+            start=start,
+            end=start + len(values),
+            total=sum(values),
+            squared_total=sum(value * value for value in values),
+            minimum=min(values),
+            maximum=max(values),
+        )

@@ -1,0 +1,173 @@
+"""Building label-path histograms from a catalog and an ordering.
+
+:class:`LabelPathHistogram` is the user-facing object of the whole library:
+it couples an ordering of the label-path domain with a bucketised histogram
+of the true selectivities in that order, and answers ``estimate(path)``
+point queries — the operation the paper times in Table 4 and scores in
+Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import HistogramError
+from repro.histogram.base import Histogram
+from repro.histogram.endbiased import EndBiasedHistogram
+from repro.histogram.equidepth import EquiDepthHistogram
+from repro.histogram.equiwidth import EquiWidthHistogram
+from repro.histogram.maxdiff import MaxDiffHistogram
+from repro.histogram.vopt import VOptimalHistogram
+from repro.ordering.base import Ordering
+from repro.paths.catalog import SelectivityCatalog
+from repro.paths.label_path import LabelPath
+
+__all__ = [
+    "HISTOGRAM_KINDS",
+    "LabelPathHistogram",
+    "build_histogram",
+    "domain_frequencies",
+    "make_histogram",
+]
+
+#: Histogram kind name -> class.
+HISTOGRAM_KINDS: dict[str, type[Histogram]] = {
+    EquiWidthHistogram.kind: EquiWidthHistogram,
+    EquiDepthHistogram.kind: EquiDepthHistogram,
+    MaxDiffHistogram.kind: MaxDiffHistogram,
+    EndBiasedHistogram.kind: EndBiasedHistogram,
+    VOptimalHistogram.kind: VOptimalHistogram,
+}
+
+PathLike = Union[str, LabelPath]
+
+
+def domain_frequencies(catalog: SelectivityCatalog, ordering: Ordering) -> np.ndarray:
+    """The catalog's selectivities laid out in the ordering's index order.
+
+    Element ``i`` of the returned vector is ``f(ordering.path(i))``; this is
+    the data distribution the histogram is built over (the black curve of the
+    paper's Figure 1, in whichever order ``ordering`` prescribes).
+    """
+    if set(ordering.labels) != set(catalog.labels):
+        raise HistogramError(
+            "ordering and catalog use different label alphabets: "
+            f"{sorted(ordering.labels)} vs {sorted(catalog.labels)}"
+        )
+    if ordering.max_length > catalog.max_length:
+        raise HistogramError(
+            f"ordering max_length={ordering.max_length} exceeds catalog "
+            f"max_length={catalog.max_length}"
+        )
+    frequencies = np.zeros(ordering.size, dtype=float)
+    for path, value in catalog.items():
+        if path.length <= ordering.max_length:
+            frequencies[ordering.index(path)] = float(value)
+    return frequencies
+
+
+def make_histogram(
+    frequencies, kind: str, bucket_count: int, **kwargs
+) -> Histogram:
+    """Construct a histogram of the given ``kind`` over a frequency vector."""
+    try:
+        histogram_cls = HISTOGRAM_KINDS[kind]
+    except KeyError:
+        raise HistogramError(
+            f"unknown histogram kind {kind!r}; expected one of "
+            f"{sorted(HISTOGRAM_KINDS)}"
+        ) from None
+    return histogram_cls(frequencies, bucket_count, **kwargs)
+
+
+class LabelPathHistogram:
+    """A histogram over the label-path domain under a specific ordering.
+
+    Parameters
+    ----------
+    ordering:
+        The domain ordering (bijection ``Lk ↔ [0, |Lk|)``).
+    histogram:
+        A histogram whose domain size equals ``ordering.size``.
+    """
+
+    def __init__(self, ordering: Ordering, histogram: Histogram) -> None:
+        if histogram.domain_size != ordering.size:
+            raise HistogramError(
+                f"histogram domain ({histogram.domain_size}) does not match the "
+                f"ordering domain ({ordering.size})"
+            )
+        self._ordering = ordering
+        self._histogram = histogram
+
+    @property
+    def ordering(self) -> Ordering:
+        """The domain ordering."""
+        return self._ordering
+
+    @property
+    def histogram(self) -> Histogram:
+        """The underlying bucketised histogram."""
+        return self._histogram
+
+    @property
+    def bucket_count(self) -> int:
+        """Number of buckets ``β``."""
+        return self._histogram.bucket_count
+
+    @property
+    def method_name(self) -> str:
+        """The ordering method name (``num-alph``, ..., ``sum-based``)."""
+        return self._ordering.full_name
+
+    def estimate(self, path: PathLike) -> float:
+        """The selectivity estimate ``e(ℓ)`` for a label path."""
+        return self._histogram.estimate(self._ordering.index(path))
+
+    def estimate_index(self, index: int) -> float:
+        """The estimate for a raw domain index (bypassing the ordering)."""
+        return self._histogram.estimate(index)
+
+    def total_sse(self) -> float:
+        """Total within-bucket SSE of the underlying histogram."""
+        return self._histogram.total_sse()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<LabelPathHistogram method={self.method_name!r} "
+            f"kind={self._histogram.kind!r} buckets={self.bucket_count}>"
+        )
+
+
+def build_histogram(
+    catalog: SelectivityCatalog,
+    ordering: Ordering,
+    *,
+    kind: str = VOptimalHistogram.kind,
+    bucket_count: int,
+    frequencies: Optional[np.ndarray] = None,
+    **kwargs,
+) -> LabelPathHistogram:
+    """Build a :class:`LabelPathHistogram` from a catalog under an ordering.
+
+    Parameters
+    ----------
+    catalog / ordering:
+        The true selectivities and the domain ordering to lay them out in.
+    kind:
+        Histogram kind (default ``"v-optimal"``, the paper's choice).
+    bucket_count:
+        Number of buckets ``β``.
+    frequencies:
+        Optional pre-computed output of :func:`domain_frequencies`, so sweeps
+        that vary only ``bucket_count`` avoid recomputing the layout.
+    kwargs:
+        Extra keyword arguments passed to the histogram constructor (e.g.
+        ``strategy="greedy"`` for :class:`VOptimalHistogram`).
+    """
+    if frequencies is None:
+        frequencies = domain_frequencies(catalog, ordering)
+    histogram = make_histogram(frequencies, kind, bucket_count, **kwargs)
+    return LabelPathHistogram(ordering, histogram)

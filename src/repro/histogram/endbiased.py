@@ -1,0 +1,40 @@
+"""End-biased histogram.
+
+The ``β - 1`` highest-frequency positions are stored exactly in singleton
+buckets; everything else falls into shared buckets.  End-biased histograms
+are the classical answer to heavy-tailed frequency distributions and provide
+a useful contrast to domain reordering: they spend budget on outliers instead
+of rearranging the domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.histogram.base import Histogram
+
+__all__ = ["EndBiasedHistogram"]
+
+
+class EndBiasedHistogram(Histogram):
+    """Store the top ``β - 1`` frequencies exactly; bucket the rest by position."""
+
+    kind = "end-biased"
+
+    def _boundaries(self, frequencies: np.ndarray, bucket_count: int) -> list[int]:
+        domain = int(frequencies.size)
+        if bucket_count == 1 or domain == 1:
+            return [0]
+        # Each singleton can add up to two boundaries (its start and the start
+        # of the following remainder bucket), so cap the number of singletons
+        # at (β - 1) / 2 to stay within the requested bucket budget.
+        singleton_budget = min(max(1, (bucket_count - 1) // 2), domain - 1)
+        # Highest frequencies first; ties resolved by position (ascending).
+        order = np.lexsort((np.arange(domain), -frequencies))
+        singletons = sorted(int(position) for position in order[:singleton_budget])
+        starts: set[int] = {0}
+        for position in singletons:
+            starts.add(position)
+            if position + 1 < domain:
+                starts.add(position + 1)
+        return sorted(starts)

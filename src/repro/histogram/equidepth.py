@@ -1,0 +1,43 @@
+"""Equi-depth (equi-height) histogram.
+
+Bucket boundaries are chosen so that each bucket holds (approximately) the
+same total frequency mass.  Classic relational baseline; included for the
+histogram-type ablation study.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.histogram.base import Histogram
+
+__all__ = ["EquiDepthHistogram"]
+
+
+class EquiDepthHistogram(Histogram):
+    """Partition the domain so each bucket carries roughly equal frequency mass."""
+
+    kind = "equi-depth"
+
+    def _boundaries(self, frequencies: np.ndarray, bucket_count: int) -> list[int]:
+        domain = int(frequencies.size)
+        total = float(frequencies.sum())
+        if total <= 0.0:
+            # Degenerate all-zero distribution: fall back to equal widths.
+            base_width, remainder = divmod(domain, bucket_count)
+            starts, position = [], 0
+            for bucket_index in range(bucket_count):
+                starts.append(position)
+                position += base_width + (1 if bucket_index < remainder else 0)
+            return starts
+        cumulative = np.cumsum(frequencies)
+        starts = [0]
+        for bucket_index in range(1, bucket_count):
+            target = total * bucket_index / bucket_count
+            # First position whose cumulative mass reaches the target.
+            boundary = int(np.searchsorted(cumulative, target, side="left")) + 1
+            boundary = min(max(boundary, starts[-1] + 1), domain - (bucket_count - bucket_index))
+            if boundary <= starts[-1]:
+                boundary = starts[-1] + 1
+            starts.append(boundary)
+        return starts

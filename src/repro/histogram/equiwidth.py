@@ -1,0 +1,33 @@
+"""Equi-width histogram.
+
+Buckets cover (nearly) equal-width index ranges of the ordered domain.  This
+is the histogram drawn in red in the paper's Figure 1 and the cheapest
+possible partitioning: boundaries depend only on the domain size, never on
+the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.histogram.base import Histogram
+
+__all__ = ["EquiWidthHistogram"]
+
+
+class EquiWidthHistogram(Histogram):
+    """Partition the domain into ``β`` buckets of (nearly) equal width."""
+
+    kind = "equi-width"
+
+    def _boundaries(self, frequencies: np.ndarray, bucket_count: int) -> list[int]:
+        domain = int(frequencies.size)
+        # Distribute the remainder over the first buckets so widths differ by
+        # at most one, e.g. domain 10 / β 4 -> widths 3, 3, 2, 2.
+        base_width, remainder = divmod(domain, bucket_count)
+        starts: list[int] = []
+        position = 0
+        for bucket_index in range(bucket_count):
+            starts.append(position)
+            position += base_width + (1 if bucket_index < remainder else 0)
+        return starts

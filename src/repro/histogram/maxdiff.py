@@ -1,0 +1,34 @@
+"""MaxDiff histogram.
+
+Bucket boundaries are placed at the ``β - 1`` largest *differences* between
+adjacent frequencies, the classical MaxDiff(V, A) heuristic of Poosala et al.
+It approximates V-optimal behaviour at a fraction of the construction cost
+and serves as an additional point of comparison in the histogram-type
+ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.histogram.base import Histogram
+
+__all__ = ["MaxDiffHistogram"]
+
+
+class MaxDiffHistogram(Histogram):
+    """Split at the largest adjacent-frequency differences."""
+
+    kind = "maxdiff"
+
+    def _boundaries(self, frequencies: np.ndarray, bucket_count: int) -> list[int]:
+        domain = int(frequencies.size)
+        if bucket_count == 1 or domain == 1:
+            return [0]
+        differences = np.abs(np.diff(frequencies))
+        # A boundary after position i corresponds to a bucket start at i + 1.
+        # Pick the (β - 1) largest differences; ties resolved by position so
+        # construction is deterministic.
+        order = np.lexsort((np.arange(differences.size), -differences))
+        chosen = sorted(int(position) + 1 for position in order[: bucket_count - 1])
+        return [0] + chosen

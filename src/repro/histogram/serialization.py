@@ -1,0 +1,144 @@
+"""Persisting and reconstructing label-path histograms.
+
+A production system builds its statistics offline and loads them in the
+optimizer process, so the histogram + ordering pair must round-trip through a
+file without needing the (much larger) selectivity catalog at load time.
+This module serialises a :class:`~repro.histogram.builder.LabelPathHistogram`
+to JSON: the ordering is stored as its method name plus the label
+cardinalities its ranking was derived from (a few scalars), and the histogram
+as its bucket table.
+
+The ideal ordering and other materialised orderings are intentionally *not*
+supported — their serialised form would be the full ``|Lk|`` index table,
+which is exactly the memory cost the paper argues against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import HistogramError, OrderingError
+from repro.histogram.base import Histogram
+from repro.histogram.bucket import Bucket
+from repro.histogram.builder import LabelPathHistogram
+from repro.ordering.base import Ordering
+from repro.ordering.ranking import AlphabeticalRanking, CardinalityRanking
+from repro.ordering.registry import make_ordering
+
+__all__ = ["histogram_to_dict", "histogram_from_dict", "save_histogram", "load_histogram"]
+
+_SERIALISABLE_METHODS = {"num-alph", "num-card", "lex-alph", "lex-card", "sum-based"}
+
+
+class _RestoredHistogram(Histogram):
+    """A histogram rebuilt from stored buckets (no frequency vector needed)."""
+
+    kind = "restored"
+
+    def __init__(self, buckets: list[Bucket], domain_size: int, kind: str) -> None:
+        # Bypass the normal constructor: there is no frequency vector to
+        # re-bucket, only the stored bucket table.
+        self.kind = kind
+        self._domain_size = domain_size
+        self._requested_buckets = len(buckets)
+        self._buckets = sorted(buckets, key=lambda bucket: bucket.start)
+        self._starts = [bucket.start for bucket in self._buckets]
+        if not self._buckets or self._buckets[0].start != 0 or self._buckets[-1].end != domain_size:
+            raise HistogramError("restored buckets do not tile the stored domain")
+        for left, right in zip(self._buckets, self._buckets[1:]):
+            if left.end != right.start:
+                raise HistogramError("restored buckets overlap or leave gaps")
+
+    def _boundaries(self, frequencies, bucket_count):  # pragma: no cover - unused
+        raise HistogramError("a restored histogram cannot be re-bucketed")
+
+
+def _ordering_to_dict(ordering: Ordering) -> dict[str, object]:
+    method = ordering.full_name
+    if method not in _SERIALISABLE_METHODS:
+        raise OrderingError(
+            f"ordering {method!r} cannot be serialised (only the paper's five "
+            "closed-form orderings round-trip without materialising the domain)"
+        )
+    document: dict[str, object] = {
+        "method": method,
+        "labels": list(ordering.labels),
+        "max_length": ordering.max_length,
+    }
+    if isinstance(ordering.ranking, CardinalityRanking):
+        document["cardinalities"] = dict(ordering.ranking.cardinalities)
+    elif not isinstance(ordering.ranking, AlphabeticalRanking):
+        raise OrderingError(
+            f"ranking rule {type(ordering.ranking).__name__} cannot be serialised"
+        )
+    return document
+
+
+def _ordering_from_dict(document: dict[str, object]) -> Ordering:
+    try:
+        method = str(document["method"])
+        labels = [str(label) for label in document["labels"]]  # type: ignore[index]
+        max_length = int(document["max_length"])  # type: ignore[arg-type]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise OrderingError(f"invalid ordering document: {exc}") from exc
+    cardinalities = document.get("cardinalities")
+    return make_ordering(
+        method,
+        labels=labels,
+        max_length=max_length,
+        cardinalities=dict(cardinalities) if cardinalities is not None else None,  # type: ignore[arg-type]
+    )
+
+
+def histogram_to_dict(label_path_histogram: LabelPathHistogram) -> dict[str, object]:
+    """A JSON-serialisable description of a label-path histogram."""
+    return {
+        "ordering": _ordering_to_dict(label_path_histogram.ordering),
+        "histogram": label_path_histogram.histogram.to_dict(),
+    }
+
+
+def histogram_from_dict(document: dict[str, object]) -> LabelPathHistogram:
+    """Rebuild a :class:`LabelPathHistogram` from :func:`histogram_to_dict` output."""
+    try:
+        ordering_doc = dict(document["ordering"])  # type: ignore[arg-type]
+        histogram_doc = dict(document["histogram"])  # type: ignore[arg-type]
+        buckets_raw = list(histogram_doc["buckets"])
+        domain_size = int(histogram_doc["domain_size"])
+        kind = str(histogram_doc.get("kind", "restored"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise HistogramError(f"invalid histogram document: {exc}") from exc
+    ordering = _ordering_from_dict(ordering_doc)
+    buckets = [
+        Bucket(
+            start=int(raw["start"]),
+            end=int(raw["end"]),
+            total=float(raw["total"]),
+            squared_total=float(raw["squared_total"]),
+            minimum=float(raw["minimum"]),
+            maximum=float(raw["maximum"]),
+        )
+        for raw in buckets_raw
+    ]
+    restored = _RestoredHistogram(buckets, domain_size, kind)
+    return LabelPathHistogram(ordering, restored)
+
+
+def save_histogram(
+    label_path_histogram: LabelPathHistogram, path: Union[str, Path]
+) -> None:
+    """Write a label-path histogram to ``path`` as JSON."""
+    with open(Path(path), "w", encoding="utf-8") as handle:
+        json.dump(histogram_to_dict(label_path_histogram), handle, sort_keys=True)
+        handle.write("\n")
+
+
+def load_histogram(path: Union[str, Path]) -> LabelPathHistogram:
+    """Read a label-path histogram previously written by :func:`save_histogram`."""
+    with open(Path(path), "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise HistogramError("histogram document must be a JSON object")
+    return histogram_from_dict(document)

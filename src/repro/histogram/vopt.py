@@ -1,0 +1,234 @@
+"""V-optimal histogram.
+
+The V-optimal histogram chooses bucket boundaries that minimise the total
+within-bucket sum of squared errors (SSE) — equivalently, the frequency
+variance weighted by bucket width.  It is the histogram the paper uses for
+all of its accuracy and latency experiments, because it is the one whose
+quality depends most directly on how well the domain ordering groups
+similar frequencies together.
+
+Two construction strategies are provided:
+
+* **exact** — the classical dynamic program (Jagadish et al., VLDB 1998):
+  ``O(n² β)`` time with the inner minimisation vectorised over the split
+  position.  Exact, but still quadratic; practical up to a few thousand
+  domain positions.
+* **greedy** — recursive bisection: start from one bucket and repeatedly
+  split the bucket whose best split reduces total SSE the most, until ``β``
+  buckets exist.  Near-linear in practice and within a few percent of the
+  exact optimum on the experiment distributions (quantified by the
+  ``ablation_vopt`` experiment).
+
+The default strategy (``"auto"``) picks exact DP for small domains and the
+greedy construction above :data:`EXACT_DOMAIN_LIMIT`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import HistogramError
+from repro.histogram.base import Histogram
+
+__all__ = ["VOptimalHistogram", "EXACT_DOMAIN_LIMIT"]
+
+#: Largest domain size for which the ``"auto"`` strategy uses the exact DP.
+EXACT_DOMAIN_LIMIT = 1024
+
+_STRATEGIES = ("auto", "exact", "greedy")
+
+
+class _PrefixSums:
+    """O(1) SSE of any interval via prefix sums of values and squares."""
+
+    def __init__(self, frequencies: np.ndarray) -> None:
+        self.sums = np.concatenate(([0.0], np.cumsum(frequencies)))
+        self.squares = np.concatenate(([0.0], np.cumsum(np.square(frequencies))))
+
+    def sse(self, start: int, end: int) -> float:
+        """SSE of the half-open interval ``[start, end)``."""
+        width = end - start
+        if width <= 0:
+            return 0.0
+        total = self.sums[end] - self.sums[start]
+        squared = self.squares[end] - self.squares[start]
+        return float(max(0.0, squared - total * total / width))
+
+    def sse_suffixes(self, start: int, end: int) -> np.ndarray:
+        """Vector of ``sse(s, end)`` for every ``s`` in ``[start, end)``."""
+        starts = np.arange(start, end)
+        widths = end - starts
+        totals = self.sums[end] - self.sums[starts]
+        squares = self.squares[end] - self.squares[starts]
+        return np.maximum(0.0, squares - totals * totals / widths)
+
+    def sse_prefixes(self, start: int, end: int) -> np.ndarray:
+        """Vector of ``sse(start, e)`` for every ``e`` in ``(start, end]``."""
+        ends = np.arange(start + 1, end + 1)
+        widths = ends - start
+        totals = self.sums[ends] - self.sums[start]
+        squares = self.squares[ends] - self.squares[start]
+        return np.maximum(0.0, squares - totals * totals / widths)
+
+
+class VOptimalHistogram(Histogram):
+    """SSE-minimising histogram (exact DP or greedy-split approximation).
+
+    Parameters
+    ----------
+    frequencies:
+        The frequency vector of the ordered domain.
+    bucket_count:
+        The number of buckets ``β``.
+    strategy:
+        ``"exact"``, ``"greedy"`` or ``"auto"`` (the default — exact up to
+        :data:`EXACT_DOMAIN_LIMIT` domain positions, greedy beyond).
+    """
+
+    kind = "v-optimal"
+
+    def __init__(
+        self,
+        frequencies,
+        bucket_count: int,
+        *,
+        strategy: str = "auto",
+    ) -> None:
+        if strategy not in _STRATEGIES:
+            raise HistogramError(
+                f"unknown V-optimal strategy {strategy!r}; expected one of {_STRATEGIES}"
+            )
+        self._strategy = strategy
+        self._effective_strategy = strategy
+        super().__init__(frequencies, bucket_count)
+
+    @property
+    def strategy(self) -> str:
+        """The construction strategy that was requested."""
+        return self._strategy
+
+    @property
+    def effective_strategy(self) -> str:
+        """The strategy actually used after resolving ``"auto"``."""
+        return self._effective_strategy
+
+    def _boundaries(self, frequencies: np.ndarray, bucket_count: int) -> list[int]:
+        domain = int(frequencies.size)
+        strategy = self._strategy
+        if strategy == "auto":
+            strategy = "exact" if domain <= EXACT_DOMAIN_LIMIT else "greedy"
+        self._effective_strategy = strategy
+        if bucket_count >= domain:
+            return list(range(domain))
+        if strategy == "exact":
+            return self._exact_boundaries(frequencies, bucket_count)
+        return self._greedy_boundaries(frequencies, bucket_count)
+
+    # ------------------------------------------------------------------
+    # exact dynamic program
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _exact_boundaries(frequencies: np.ndarray, bucket_count: int) -> list[int]:
+        domain = int(frequencies.size)
+        prefix = _PrefixSums(frequencies)
+        infinity = float("inf")
+        # previous[i] = minimal SSE of covering the first ``i`` positions with
+        # (buckets_used - 1) buckets; split[b][i] = start of the last bucket in
+        # an optimal covering of the first ``i`` positions with ``b`` buckets.
+        previous = np.full(domain + 1, infinity)
+        previous[0] = 0.0
+        split = np.zeros((bucket_count + 1, domain + 1), dtype=np.int64)
+        starts_axis = np.arange(domain + 1)
+        for buckets_used in range(1, bucket_count + 1):
+            current = np.full(domain + 1, infinity)
+            for end in range(buckets_used, domain + 1):
+                # Candidate costs over every admissible start of the last
+                # bucket, computed in one vectorised sweep.
+                lo = buckets_used - 1
+                starts = starts_axis[lo:end]
+                widths = end - starts
+                totals = prefix.sums[end] - prefix.sums[starts]
+                squares = prefix.squares[end] - prefix.squares[starts]
+                last_sse = np.maximum(0.0, squares - totals * totals / widths)
+                candidates = previous[lo:end] + last_sse
+                best = int(np.argmin(candidates))
+                current[end] = candidates[best]
+                split[buckets_used][end] = lo + best
+            previous = current
+        boundaries: list[int] = []
+        end = domain
+        for buckets_used in range(bucket_count, 0, -1):
+            start = int(split[buckets_used][end])
+            boundaries.append(start)
+            end = start
+        boundaries.reverse()
+        return boundaries
+
+    # ------------------------------------------------------------------
+    # greedy split approximation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _best_split(prefix: _PrefixSums, start: int, end: int) -> tuple[float, Optional[int]]:
+        """Best single split of ``[start, end)``: (SSE reduction, split point)."""
+        whole = prefix.sse(start, end)
+        if end - start <= 1 or whole <= 0.0:
+            return 0.0, None
+        # gain(p) = sse(start, end) - sse(start, p) - sse(p, end), p in (start, end)
+        left = prefix.sse_prefixes(start, end - 1)          # sse(start, p) for p in (start, end)
+        right = prefix.sse_suffixes(start + 1, end)         # sse(p, end) for p in (start+1, end)
+        gains = whole - left - right
+        best = int(np.argmax(gains))
+        best_gain = float(gains[best])
+        if best_gain <= 0.0:
+            return 0.0, None
+        return best_gain, start + 1 + best
+
+    @classmethod
+    def _greedy_boundaries(cls, frequencies: np.ndarray, bucket_count: int) -> list[int]:
+        domain = int(frequencies.size)
+        prefix = _PrefixSums(frequencies)
+        # Max-heap of candidate splits keyed by SSE reduction; entries carry a
+        # tie-breaking counter so the heap never compares interval tuples.
+        counter = 0
+        heap: list[tuple[float, int, int, int, int]] = []
+        intact: set[tuple[int, int]] = set()
+
+        def push(start: int, end: int) -> None:
+            nonlocal counter
+            intact.add((start, end))
+            gain, point = cls._best_split(prefix, start, end)
+            if point is not None and gain > 0.0:
+                heapq.heappush(heap, (-gain, counter, start, end, point))
+                counter += 1
+
+        boundaries = {0}
+        push(0, domain)
+        while len(boundaries) < bucket_count and heap:
+            _, _, start, end, point = heapq.heappop(heap)
+            if (start, end) not in intact:
+                continue
+            intact.discard((start, end))
+            boundaries.add(point)
+            push(start, point)
+            push(point, end)
+        # If the distribution ran out of SSE to remove (e.g. long runs of equal
+        # frequencies), pad with equal-width splits of the widest buckets so
+        # the bucket count still honours the request.
+        ordered = sorted(boundaries)
+        while len(ordered) < bucket_count:
+            widths = [
+                (
+                    (ordered[i + 1] if i + 1 < len(ordered) else domain) - ordered[i],
+                    ordered[i],
+                )
+                for i in range(len(ordered))
+            ]
+            width, start = max(widths)
+            if width <= 1:
+                break
+            ordered.append(start + width // 2)
+            ordered.sort()
+        return ordered

@@ -1,0 +1,23 @@
+"""Path-query optimizer substrate built on the selectivity estimator."""
+
+from repro.optimizer.cardinality import (
+    CardinalityModel,
+    HistogramCardinalityModel,
+    TrueCardinalityModel,
+)
+from repro.optimizer.executor import ExecutionResult, PlanExecutor
+from repro.optimizer.plan import JoinNode, PlanNode, ScanNode
+from repro.optimizer.planner import PathQueryPlanner, PlannedQuery
+
+__all__ = [
+    "CardinalityModel",
+    "ExecutionResult",
+    "HistogramCardinalityModel",
+    "JoinNode",
+    "PathQueryPlanner",
+    "PlanExecutor",
+    "PlanNode",
+    "PlannedQuery",
+    "ScanNode",
+    "TrueCardinalityModel",
+]

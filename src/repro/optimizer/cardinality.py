@@ -1,0 +1,100 @@
+"""Cardinality estimation for the path-query planner.
+
+Leaves short enough to fall inside the histogram's domain (length ≤ ``k``)
+are estimated directly by the :class:`~repro.estimation.estimator.
+PathSelectivityEstimator`.  Join results are estimated with the classical
+independence assumption: joining two binary relations on the shared vertex
+column gives ``|left| · |right| / max(distinct join keys)``, where the number
+of distinct join keys is approximated by the number of graph vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Union
+
+from repro.exceptions import PlanningError
+from repro.paths.label_path import LabelPath, as_label_path
+
+__all__ = ["CardinalityModel", "HistogramCardinalityModel", "TrueCardinalityModel"]
+
+PathLike = Union[str, LabelPath]
+
+
+class _Estimator(Protocol):
+    """Anything with an ``estimate(path) -> float`` method."""
+
+    def estimate(self, path: PathLike) -> float:  # pragma: no cover - protocol
+        ...
+
+
+class CardinalityModel:
+    """Cardinality model shared by the planner and the plan cost function."""
+
+    def scan_cardinality(self, path: PathLike) -> float:
+        """Estimated result size of directly evaluating ``path``."""
+        raise NotImplementedError
+
+    def join_cardinality(self, left_cardinality: float, right_cardinality: float) -> float:
+        """Estimated result size of joining two sub-results on one vertex column."""
+        raise NotImplementedError
+
+    def max_scan_length(self) -> int:
+        """Longest sub-path the model can estimate directly."""
+        raise NotImplementedError
+
+
+class HistogramCardinalityModel(CardinalityModel):
+    """Cardinality model backed by a histogram estimator.
+
+    Parameters
+    ----------
+    estimator:
+        Any object with ``estimate(path)`` — typically a
+        :class:`~repro.estimation.estimator.PathSelectivityEstimator`.
+    max_length:
+        The histogram's ``k`` (longest directly estimable sub-path).
+    vertex_count:
+        ``|V|`` of the graph, used as the distinct-key estimate in joins.
+    """
+
+    def __init__(self, estimator: _Estimator, max_length: int, vertex_count: int) -> None:
+        if max_length < 1:
+            raise PlanningError("max_length must be >= 1")
+        if vertex_count < 1:
+            raise PlanningError("vertex_count must be >= 1")
+        self._estimator = estimator
+        self._max_length = max_length
+        self._vertex_count = vertex_count
+
+    def scan_cardinality(self, path: PathLike) -> float:
+        label_path = as_label_path(path)
+        if label_path.length > self._max_length:
+            raise PlanningError(
+                f"sub-path {label_path} longer than the estimator's k={self._max_length}"
+            )
+        return max(0.0, float(self._estimator.estimate(label_path)))
+
+    def join_cardinality(self, left_cardinality: float, right_cardinality: float) -> float:
+        return left_cardinality * right_cardinality / float(self._vertex_count)
+
+    def max_scan_length(self) -> int:
+        return self._max_length
+
+
+class TrueCardinalityModel(CardinalityModel):
+    """Oracle model that uses exact selectivities (for plan-quality baselines)."""
+
+    def __init__(self, catalog, vertex_count: int) -> None:
+        if vertex_count < 1:
+            raise PlanningError("vertex_count must be >= 1")
+        self._catalog = catalog
+        self._vertex_count = vertex_count
+
+    def scan_cardinality(self, path: PathLike) -> float:
+        return float(self._catalog.selectivity(path))
+
+    def join_cardinality(self, left_cardinality: float, right_cardinality: float) -> float:
+        return left_cardinality * right_cardinality / float(self._vertex_count)
+
+    def max_scan_length(self) -> int:
+        return self._catalog.max_length

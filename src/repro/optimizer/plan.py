@@ -1,0 +1,102 @@
+"""Query plans for label-path queries.
+
+The optimizer substrate models the paper's motivating use case: a graph
+query engine that must pick an execution plan for a long path query.  A plan
+is a binary tree whose leaves are *sub-paths short enough to be answered by
+an index or scan* (length ≤ the histogram's ``k``) and whose internal nodes
+are joins on the shared vertex between the left part's targets and the right
+part's sources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.exceptions import PlanningError
+from repro.paths.label_path import LabelPath
+
+__all__ = ["PlanNode", "ScanNode", "JoinNode"]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Common interface of plan tree nodes."""
+
+    def path(self) -> LabelPath:
+        """The label path the subtree computes."""
+        raise NotImplementedError
+
+    def leaves(self) -> Iterator["ScanNode"]:
+        """All scan leaves, left to right."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Height of the subtree (a single scan has depth 1)."""
+        raise NotImplementedError
+
+    def describe(self, indent: int = 0) -> str:
+        """A human-readable, indented rendering of the subtree."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """A leaf: evaluate a (short) label path directly.
+
+    Attributes
+    ----------
+    label_path:
+        The sub-path this leaf scans.
+    estimated_cardinality:
+        The optimizer's estimate of ``f(label_path)`` at planning time.
+    """
+
+    label_path: LabelPath
+    estimated_cardinality: float
+
+    def path(self) -> LabelPath:
+        return self.label_path
+
+    def leaves(self) -> Iterator["ScanNode"]:
+        yield self
+
+    def depth(self) -> int:
+        return 1
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return f"{pad}Scan[{self.label_path}] (est={self.estimated_cardinality:.1f})"
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """An internal node: join the left result's targets with the right's sources."""
+
+    left: PlanNode
+    right: PlanNode
+    estimated_cardinality: float
+
+    def __post_init__(self) -> None:
+        if self.left is None or self.right is None:
+            raise PlanningError("a join node needs both children")
+
+    def path(self) -> LabelPath:
+        return self.left.path().concat(self.right.path())
+
+    def leaves(self) -> Iterator[ScanNode]:
+        yield from self.left.leaves()
+        yield from self.right.leaves()
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}Join (est={self.estimated_cardinality:.1f})"]
+        lines.append(self.left.describe(indent + 1))
+        lines.append(self.right.describe(indent + 1))
+        return "\n".join(lines)
+
+
+PlanTree = Union[ScanNode, JoinNode]

@@ -1,0 +1,113 @@
+"""Dynamic-programming join-order planner for long path queries.
+
+Given a path query longer than the histogram's ``k``, the planner chooses how
+to split it into directly-evaluable sub-paths and in which order to join
+them.  It is the textbook interval dynamic program: ``best[i][j]`` holds the
+cheapest plan for the label sub-sequence ``[i, j)``, built either as a single
+scan (when ``j - i ≤ k``) or as the best join of two adjacent intervals.
+
+Cost model: the sum of estimated intermediate result cardinalities (the usual
+``C_out`` cost), so a mis-estimate of a sub-path's selectivity directly leads
+to a worse join order — which is exactly how estimation accuracy feeds into
+query performance, the paper's motivation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.exceptions import PlanningError
+from repro.optimizer.cardinality import CardinalityModel
+from repro.optimizer.plan import JoinNode, PlanNode, ScanNode
+from repro.paths.label_path import LabelPath, as_label_path
+
+__all__ = ["PlannedQuery", "PathQueryPlanner"]
+
+PathLike = Union[str, LabelPath]
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """The planner's output: the chosen plan and its estimated cost."""
+
+    query: LabelPath
+    plan: PlanNode
+    estimated_cost: float
+
+    def describe(self) -> str:
+        """Readable multi-line rendering of the plan."""
+        return (
+            f"query {self.query} (estimated cost {self.estimated_cost:.1f})\n"
+            + self.plan.describe()
+        )
+
+
+@dataclass
+class _Cell:
+    plan: PlanNode
+    cardinality: float
+    cost: float
+
+
+class PathQueryPlanner:
+    """Choose a join order for a path query using a cardinality model."""
+
+    def __init__(self, model: CardinalityModel) -> None:
+        self._model = model
+
+    @property
+    def model(self) -> CardinalityModel:
+        """The cardinality model the planner consults."""
+        return self._model
+
+    def plan(self, query: PathLike) -> PlannedQuery:
+        """Plan ``query`` and return the cheapest plan found.
+
+        Raises :class:`~repro.exceptions.PlanningError` for queries that
+        cannot be planned (empty queries are impossible by construction of
+        :class:`~repro.paths.label_path.LabelPath`).
+        """
+        label_path = as_label_path(query)
+        labels = label_path.labels
+        length = len(labels)
+        max_scan = self._model.max_scan_length()
+
+        # best[(i, j)] = cheapest cell covering labels[i:j]
+        best: dict[tuple[int, int], _Cell] = {}
+        for span in range(1, length + 1):
+            for start in range(0, length - span + 1):
+                end = start + span
+                sub_path = LabelPath(labels[start:end])
+                candidate: Optional[_Cell] = None
+                if span <= max_scan:
+                    cardinality = self._model.scan_cardinality(sub_path)
+                    candidate = _Cell(
+                        plan=ScanNode(sub_path, cardinality),
+                        cardinality=cardinality,
+                        cost=cardinality,
+                    )
+                for split in range(start + 1, end):
+                    left = best.get((start, split))
+                    right = best.get((split, end))
+                    if left is None or right is None:
+                        continue
+                    cardinality = self._model.join_cardinality(
+                        left.cardinality, right.cardinality
+                    )
+                    cost = left.cost + right.cost + cardinality
+                    if candidate is None or cost < candidate.cost:
+                        candidate = _Cell(
+                            plan=JoinNode(left.plan, right.plan, cardinality),
+                            cardinality=cardinality,
+                            cost=cost,
+                        )
+                if candidate is None:
+                    raise PlanningError(
+                        f"no plan exists for sub-path {sub_path} "
+                        f"(max scan length {max_scan})"
+                    )
+                best[(start, end)] = candidate
+
+        final = best[(0, length)]
+        return PlannedQuery(query=label_path, plan=final.plan, estimated_cost=final.cost)

@@ -1,0 +1,43 @@
+"""Histogram-domain orderings: ranking rules, ordering rules and the registry."""
+
+from repro.ordering.base import Ordering
+from repro.ordering.combinatorics import (
+    bounded_partitions,
+    compositions_count,
+    multiset_permutations_in_order,
+    permutation_count,
+    rank_permutation,
+    unrank_permutation,
+)
+from repro.ordering.ideal import IdealOrdering
+from repro.ordering.lexicographical import LexicographicalOrdering
+from repro.ordering.numerical import NumericalOrdering
+from repro.ordering.ranking import AlphabeticalRanking, CardinalityRanking, RankingRule
+from repro.ordering.registry import (
+    PAPER_ORDERINGS,
+    available_orderings,
+    make_ordering,
+    make_paper_orderings,
+)
+from repro.ordering.sum_based import SumBasedOrdering
+
+__all__ = [
+    "PAPER_ORDERINGS",
+    "AlphabeticalRanking",
+    "CardinalityRanking",
+    "IdealOrdering",
+    "LexicographicalOrdering",
+    "NumericalOrdering",
+    "Ordering",
+    "RankingRule",
+    "SumBasedOrdering",
+    "available_orderings",
+    "bounded_partitions",
+    "compositions_count",
+    "make_ordering",
+    "make_paper_orderings",
+    "multiset_permutations_in_order",
+    "permutation_count",
+    "rank_permutation",
+    "unrank_permutation",
+]

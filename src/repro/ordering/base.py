@@ -1,0 +1,145 @@
+"""Abstract interface of a histogram-domain ordering.
+
+An *ordering* of the label-path domain ``Lk`` is a bijection between ``Lk``
+and the integer interval ``[0, |Lk|)`` (Section 2 of the paper).  Every
+concrete ordering exposes the two directions of that bijection:
+
+* :meth:`Ordering.index` — ranking: label path → positional index;
+* :meth:`Ordering.path` — unranking: positional index → label path.
+
+Orderings are deterministic, stateless after construction, and cheap to call;
+the estimation layer invokes :meth:`Ordering.index` once per point query.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+from repro.exceptions import IndexOutOfDomainError, OrderingError, UnknownLabelError
+from repro.ordering.ranking import RankingRule
+from repro.paths.enumeration import domain_size
+from repro.paths.label_path import LabelPath, as_label_path
+
+__all__ = ["Ordering"]
+
+PathLike = Union[str, LabelPath]
+
+
+class Ordering:
+    """Base class of all histogram-domain orderings.
+
+    Parameters
+    ----------
+    ranking:
+        The ranking rule over the base label set (``alph`` or ``card``).
+    max_length:
+        The maximum label-path length ``k`` the ordering covers.
+    """
+
+    #: Short ordering-rule name; combined with the ranking name it produces
+    #: the full method name, e.g. ``"num-card"`` (see :attr:`full_name`).
+    name: str = "base"
+
+    def __init__(self, ranking: RankingRule, max_length: int) -> None:
+        if max_length < 1:
+            raise OrderingError("max_length must be >= 1")
+        self._ranking = ranking
+        self._max_length = max_length
+        self._size = domain_size(ranking.size, max_length)
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    @property
+    def ranking(self) -> RankingRule:
+        """The ranking rule over the base label set."""
+        return self._ranking
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The label alphabet (in rank order)."""
+        return self._ranking.labels
+
+    @property
+    def max_length(self) -> int:
+        """The maximum path length ``k``."""
+        return self._max_length
+
+    @property
+    def size(self) -> int:
+        """``|Lk|`` — the number of label paths the ordering covers."""
+        return self._size
+
+    @property
+    def full_name(self) -> str:
+        """The paper's naming convention ``<ordering rule>-<ranking rule>``."""
+        return f"{self.name}-{self._ranking.name}"
+
+    # ------------------------------------------------------------------
+    # the bijection
+    # ------------------------------------------------------------------
+    def index(self, path: PathLike) -> int:
+        """The positional index of ``path`` in ``[0, |Lk|)`` (ranking)."""
+        raise NotImplementedError
+
+    def path(self, index: int) -> LabelPath:
+        """The label path at positional ``index`` (unranking)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared helpers for subclasses
+    # ------------------------------------------------------------------
+    def _validate_path(self, path: PathLike) -> LabelPath:
+        """Parse and validate a path against the alphabet and ``max_length``."""
+        label_path = as_label_path(path)
+        if label_path.length > self._max_length:
+            raise OrderingError(
+                f"path {label_path} longer than ordering max_length={self._max_length}"
+            )
+        for label in label_path:
+            if label not in self._ranking._rank_of:
+                raise UnknownLabelError(label)
+        return label_path
+
+    def _validate_index(self, index: int) -> int:
+        """Validate a positional index against the domain size."""
+        if not isinstance(index, int):
+            raise OrderingError(f"index must be an int, got {type(index).__name__}")
+        if index < 0 or index >= self._size:
+            raise IndexOutOfDomainError(index, self._size)
+        return index
+
+    # ------------------------------------------------------------------
+    # conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def iter_paths(self) -> Iterator[LabelPath]:
+        """Iterate over all label paths in index order (0, 1, 2, ...)."""
+        for index in range(self._size):
+            yield self.path(index)
+
+    def indices(self, paths: Iterator[PathLike]) -> list[int]:
+        """Indices of a batch of paths (in input order)."""
+        return [self.index(path) for path in paths]
+
+    def is_bijective_on_sample(self, sample_size: int = 64) -> bool:
+        """Spot-check that ``path(index(·))`` round-trips on a domain sample.
+
+        Checks evenly spaced indices across the domain; used by the test-suite
+        and by :func:`repro.ordering.registry.make_ordering` in debug mode.
+        """
+        if self._size <= 0:
+            return True
+        step = max(1, self._size // max(1, sample_size))
+        for index in range(0, self._size, step):
+            if self.index(self.path(index)) != index:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<{type(self).__name__} {self.full_name!r} |L|={self._ranking.size} "
+            f"k={self._max_length} size={self._size}>"
+        )

@@ -1,0 +1,183 @@
+"""Combinatorial primitives used by the sum-based ordering (Section 3.3).
+
+The sum-based ordering maps a label path to an index through a three-stage
+partitioning of the histogram domain.  The stage boundaries are computed with
+three counting functions, all implemented here:
+
+* :func:`compositions_count` — the paper's ``dist(sr, m, |L|)`` (Equation 3):
+  how many length-``m`` rank sequences with entries in ``[1, b]`` sum to
+  ``sr`` ("indistinguishable balls over distinguishable bins of finite
+  capacity with at least one ball per bin").
+* :func:`bounded_partitions` — the paper's ``ip(v, m, b)`` (Equation 4): all
+  partitions of ``v`` into exactly ``m`` parts, each part in ``[1, b]``, in
+  the specific order induced by the recursion (fewest maximal parts first),
+  which is the order Algorithm 2 consumes.
+* :func:`permutation_count` — the paper's ``nop(C)`` (Equation 5): how many
+  distinct permutations a multiset ``C`` has.
+
+On top of these, :func:`unrank_permutation` implements the paper's
+Algorithm 1 (index → permutation of a multiset) and :func:`rank_permutation`
+its inverse (permutation → index), so the full sum-based ordering is a true
+bijection.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb, factorial
+from typing import Iterator, Optional, Sequence
+
+from repro.exceptions import OrderingError
+
+__all__ = [
+    "compositions_count",
+    "bounded_partitions",
+    "permutation_count",
+    "unrank_permutation",
+    "rank_permutation",
+    "multiset_permutations_in_order",
+]
+
+
+def compositions_count(total: int, parts: int, bound: int) -> int:
+    """Number of ordered ``parts``-tuples with entries in ``[1, bound]`` summing to ``total``.
+
+    This is the paper's ``dist(sr_m, m, |L|)`` (Equation 3), computed with the
+    inclusion–exclusion formula::
+
+        dist(s, m, b) = Σ_{j≥0} (-1)^j · C(m, j) · C(s − j·b − 1, m − 1)
+
+    Arguments outside the feasible range return 0 rather than raising, because
+    Algorithm 2 probes sums outside the feasible band while scanning.
+    """
+    if parts < 0 or bound < 1:
+        return 0
+    if parts == 0:
+        return 1 if total == 0 else 0
+    if total < parts or total > parts * bound:
+        return 0
+    result = 0
+    for j in range(parts + 1):
+        upper = total - j * bound - 1
+        if upper < parts - 1:
+            # All further terms have an even smaller upper argument; C(·)=0.
+            break
+        term = comb(parts, j) * comb(upper, parts - 1)
+        result += -term if j % 2 else term
+    return result
+
+
+@lru_cache(maxsize=None)
+def _bounded_partitions_cached(
+    total: int, parts: int, bound: int
+) -> tuple[tuple[int, ...], ...]:
+    """Memoised body of :func:`bounded_partitions` (returns tuples)."""
+    if parts == 0:
+        return ((),) if total == 0 else ()
+    if bound < 1 or total < parts or total > parts * bound:
+        return ()
+    if bound == 1:
+        return ((1,) * parts,) if total == parts else ()
+    result: list[tuple[int, ...]] = []
+    max_bound_parts = min(parts, total // bound)
+    for bound_parts in range(max_bound_parts + 1):
+        for partition in _bounded_partitions_cached(
+            total - bound_parts * bound, parts - bound_parts, bound - 1
+        ):
+            result.append(partition + (bound,) * bound_parts)
+    return tuple(result)
+
+
+def bounded_partitions(total: int, parts: int, bound: int) -> list[list[int]]:
+    """All partitions of ``total`` into exactly ``parts`` parts, each in ``[1, bound]``.
+
+    This is the paper's ``ip(v, m, b)`` (Equation 4).  The enumeration order
+    matters: partitions using fewer copies of the maximal part ``bound`` come
+    first, recursively.  For example ``ip(4, 2, 3) = [[2, 2], [1, 3]]`` which
+    is exactly the order behind the paper's Table 2 sum-based row (the path
+    with ranks ``(2, 2)`` precedes the ones with ranks ``{1, 3}``).
+
+    Each returned partition is sorted ascending.
+    """
+    return [list(partition) for partition in _bounded_partitions_cached(total, parts, bound)]
+
+
+def permutation_count(combination: Sequence[int]) -> int:
+    """Number of distinct permutations of the multiset ``combination``.
+
+    This is the paper's ``nop(C)`` (Equation 5):
+    ``|C|! / Π_i d_i!`` where ``d_i`` is the multiplicity of value ``i``.
+    """
+    if not combination:
+        return 1
+    result = factorial(len(combination))
+    multiplicities: dict[int, int] = {}
+    for value in combination:
+        multiplicities[value] = multiplicities.get(value, 0) + 1
+    for count in multiplicities.values():
+        result //= factorial(count)
+    return result
+
+
+def unrank_permutation(index: int, combination: Sequence[int]) -> Optional[list[int]]:
+    """Return the ``index``-th permutation of the multiset ``combination``.
+
+    This is the paper's Algorithm 1.  Permutations are ordered by their first
+    element (taking distinct values of the sorted combination in ascending
+    order), recursively.  Returns ``None`` when ``index`` is out of range,
+    mirroring the paper's pseudo-code.
+    """
+    items = sorted(combination)
+    if index < 0 or index >= permutation_count(items):
+        return None
+    if len(items) == 1:
+        return [items[0]]
+    position = 0
+    while position < len(items):
+        value = items[position]
+        remainder = items[:position] + items[position + 1:]
+        block = permutation_count(remainder)
+        if index >= block:
+            index -= block
+            # Skip every duplicate of ``value``: they all generate the same
+            # block of permutations.
+            position += items.count(value)
+            continue
+        suffix = unrank_permutation(index, remainder)
+        assert suffix is not None
+        return [value] + suffix
+    raise OrderingError("unrank_permutation: exhausted combination unexpectedly")
+
+
+def rank_permutation(permutation: Sequence[int]) -> int:
+    """Inverse of :func:`unrank_permutation`: the index of ``permutation``.
+
+    The permutation is interpreted as a permutation of its own multiset of
+    values; the returned index is its position in the Algorithm 1 order.
+    """
+    items = list(permutation)
+    index = 0
+    while len(items) > 1:
+        first = items[0]
+        remaining = sorted(items)
+        seen: set[int] = set()
+        for value in remaining:
+            if value >= first:
+                break
+            if value in seen:
+                continue
+            seen.add(value)
+            without_value = list(remaining)
+            without_value.remove(value)
+            index += permutation_count(without_value)
+        items = items[1:]
+    return index
+
+
+def multiset_permutations_in_order(combination: Sequence[int]) -> Iterator[list[int]]:
+    """Yield every permutation of ``combination`` in Algorithm 1 order."""
+    total = permutation_count(combination)
+    for index in range(total):
+        permutation = unrank_permutation(index, combination)
+        assert permutation is not None
+        yield permutation

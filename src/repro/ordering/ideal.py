@@ -1,0 +1,95 @@
+"""Ideal ordering (Section 3, "ideal ordering").
+
+The ideal ordering sorts the whole domain by true selectivity, producing a
+perfectly monotone frequency sequence — the best any domain reordering could
+possibly do for a variance-minimising histogram.  The paper points out that
+it is *not practical*: it requires storing an explicit index for every label
+path, which is as much memory as storing the exact selectivities themselves.
+
+It is implemented here anyway as the upper-bound baseline for the accuracy
+experiments and for the ablation benchmarks; unlike the practical orderings it
+holds two ``O(|Lk|)`` lookup tables.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.exceptions import OrderingError
+from repro.ordering.base import Ordering, PathLike
+from repro.ordering.ranking import CardinalityRanking, RankingRule
+from repro.paths.catalog import SelectivityCatalog
+from repro.paths.enumeration import enumerate_label_paths
+from repro.paths.label_path import LabelPath
+
+__all__ = ["IdealOrdering"]
+
+
+class IdealOrdering(Ordering):
+    """Sort the whole domain by true selectivity (ascending), ties by labels.
+
+    Parameters
+    ----------
+    catalog:
+        The true-selectivity catalog of the graph; every path of the domain is
+        looked up in it (absent paths count as selectivity 0).
+    ranking:
+        Optional ranking rule to report under :attr:`Ordering.ranking`; by
+        default a cardinality ranking derived from the catalog.  The ranking
+        plays no role in the order itself.
+    """
+
+    name = "ideal"
+
+    def __init__(
+        self,
+        catalog: SelectivityCatalog,
+        *,
+        ranking: Union[RankingRule, None] = None,
+    ) -> None:
+        if ranking is None:
+            ranking = CardinalityRanking.from_catalog(catalog)
+        super().__init__(ranking, catalog.max_length)
+        if set(ranking.labels) != set(catalog.labels):
+            raise OrderingError(
+                "ranking labels and catalog labels differ: "
+                f"{sorted(ranking.labels)} vs {sorted(catalog.labels)}"
+            )
+        ordered = sorted(
+            enumerate_label_paths(catalog.labels, catalog.max_length),
+            key=lambda path: (catalog.selectivity(path), path.labels),
+        )
+        self._path_at: list[LabelPath] = ordered
+        self._index_of: dict[LabelPath, int] = {
+            path: position for position, path in enumerate(ordered)
+        }
+        self._catalog = catalog
+
+    @property
+    def full_name(self) -> str:
+        """The ideal ordering has no ranking-rule component in its name."""
+        return "ideal"
+
+    @property
+    def catalog(self) -> SelectivityCatalog:
+        """The catalog the ordering was materialised from."""
+        return self._catalog
+
+    def index(self, path: PathLike) -> int:
+        label_path = self._validate_path(path)
+        try:
+            return self._index_of[label_path]
+        except KeyError:  # pragma: no cover - validation keeps this unreachable
+            raise OrderingError(f"path {label_path} missing from ideal ordering") from None
+
+    def path(self, index: int) -> LabelPath:
+        index = self._validate_index(index)
+        return self._path_at[index]
+
+    def memory_entries(self) -> int:
+        """Number of explicit index entries the ordering stores (``|Lk|``).
+
+        This is exactly the memory cost the paper argues makes the ideal
+        ordering impractical; exposed for the documentation and benchmarks.
+        """
+        return len(self._path_at)

@@ -1,0 +1,76 @@
+"""Lexicographical ordering (Section 3.2).
+
+Lexicographical ordering is "the ordering rule used in dictionaries": every
+path is compared position by position, and a path that is a proper prefix of
+another comes immediately before it (followed by the rest of its extensions),
+exactly like ``"a" < "aa" < "ab" < "b"`` in a dictionary.
+
+The paper formalises this by padding each path to length ``k`` with blank
+symbols; the worked example in Table 2 (``lex-alph``: ``1, 1/1, 1/2, 1/3, 2,
+2/1, ...``) places a path *before* its extensions, i.e. the blank symbol
+sorts before every real label.  We follow the worked example (the normative
+artefact of the paper) and note that the inequality direction in the prose
+(``rank(blank) > rank(l)``) is inconsistent with it.
+
+Equivalently, the ordering is a pre-order traversal of the label-path trie in
+rank order, which is how both directions of the bijection are computed in
+closed form below.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.ordering.base import Ordering, PathLike
+from repro.paths.label_path import LabelPath
+
+__all__ = ["LexicographicalOrdering"]
+
+
+class LexicographicalOrdering(Ordering):
+    """Dictionary (trie pre-order) ordering of label paths."""
+
+    name = "lex"
+
+    @lru_cache(maxsize=None)
+    def _subtree_size(self, remaining_depth: int) -> int:
+        """Number of paths in a trie subtree rooted at depth ``k - remaining_depth``.
+
+        The root of the subtree is itself a path (1), plus ``|L|`` children
+        each rooting a subtree one level shallower.
+        """
+        if remaining_depth <= 0:
+            return 1
+        return 1 + self._ranking.size * self._subtree_size(remaining_depth - 1)
+
+    def index(self, path: PathLike) -> int:
+        label_path = self._validate_path(path)
+        k = self._max_length
+        index = 0
+        for position, label in enumerate(label_path, start=1):
+            rank = self._ranking.rank(label)
+            # Skip the whole subtrees of the (rank - 1) earlier siblings...
+            index += (rank - 1) * self._subtree_size(k - position)
+            # ...and, except at the final position, the node itself (pre-order:
+            # the prefix path precedes all of its extensions).
+            if position < label_path.length:
+                index += 1
+        return index
+
+    def path(self, index: int) -> LabelPath:
+        index = self._validate_index(index)
+        k = self._max_length
+        labels: list[str] = []
+        remaining = index
+        depth = 1
+        while True:
+            subtree = self._subtree_size(k - depth)
+            rank = remaining // subtree + 1
+            remaining -= (rank - 1) * subtree
+            labels.append(self._ranking.label(rank))
+            if remaining == 0:
+                # The walk stops exactly at this node: the path ends here.
+                return LabelPath(labels)
+            # Step past the node itself into its children.
+            remaining -= 1
+            depth += 1

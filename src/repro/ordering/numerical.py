@@ -1,0 +1,53 @@
+"""Numerical ordering (Section 3.2).
+
+In numerical ordering each base-label rank is a digit and a label path is the
+number those digits spell in a ``|L|``-based numeral system.  Shorter paths
+always precede longer ones (rule (1) of the paper); paths of equal length are
+compared digit by digit (rule (2)).
+
+With the alphabetical ranking this is the "native" order in which a system
+would naturally enumerate label paths (and the order of the paper's
+Figure 1); with the cardinality ranking it becomes the ``num-card`` method.
+"""
+
+from __future__ import annotations
+
+from repro.ordering.base import Ordering, PathLike
+from repro.paths.label_path import LabelPath
+
+__all__ = ["NumericalOrdering"]
+
+
+class NumericalOrdering(Ordering):
+    """Length-first, then digit-wise (base-``|L|``) comparison of rank strings."""
+
+    name = "num"
+
+    def index(self, path: PathLike) -> int:
+        label_path = self._validate_path(path)
+        base = self._ranking.size
+        length = label_path.length
+        # Offset of the block containing all paths shorter than ``length``.
+        offset = sum(base**i for i in range(1, length))
+        # Within the block, the path's digits (rank - 1) form a base-``|L|``
+        # number, most significant digit first.
+        value = 0
+        for label in label_path:
+            value = value * base + (self._ranking.rank(label) - 1)
+        return offset + value
+
+    def path(self, index: int) -> LabelPath:
+        index = self._validate_index(index)
+        base = self._ranking.size
+        length = 1
+        remaining = index
+        while remaining >= base**length:
+            remaining -= base**length
+            length += 1
+        # Decode ``remaining`` as a ``length``-digit base-``|L|`` number.
+        digits = [0] * length
+        for position in range(length - 1, -1, -1):
+            digits[position] = remaining % base
+            remaining //= base
+        labels = [self._ranking.label(digit + 1) for digit in digits]
+        return LabelPath(labels)

@@ -1,0 +1,125 @@
+"""Ranking rules over the base label set (Section 3.1).
+
+A *ranking rule* is a bijection between the base label set ``B`` and the
+integer set ``[1, |B|]``.  Two rules are defined by the paper:
+
+* :class:`AlphabeticalRanking` — rank by the alphabetical order of the labels.
+* :class:`CardinalityRanking` — rank by ascending selectivity: a label with
+  lower cardinality receives a lower rank (``l1 <card l2 ⇔ f(l1) < f(l2)``),
+  ties broken alphabetically so the ranking is deterministic.
+
+Both operate on the paper's default base set ``B = L`` (plain edge labels)
+but accept arbitrary label strings, so richer base sets (e.g. serialised
+``L2`` paths) can reuse them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Union
+
+from repro.exceptions import OrderingError, UnknownLabelError
+
+__all__ = ["RankingRule", "AlphabeticalRanking", "CardinalityRanking"]
+
+
+class RankingRule:
+    """A bijection between a label set and ``[1, |L|]``.
+
+    Concrete rules only differ in how the label sequence is ordered; the
+    shared machinery (lookup tables, validation, inverse mapping) lives here.
+    """
+
+    #: Short name used by the ordering registry (e.g. ``"alph"``, ``"card"``).
+    name: str = "base"
+
+    def __init__(self, ordered_labels: Sequence[str]) -> None:
+        labels = list(ordered_labels)
+        if not labels:
+            raise OrderingError("a ranking rule needs at least one label")
+        if len(set(labels)) != len(labels):
+            raise OrderingError("duplicate labels passed to ranking rule")
+        self._labels_in_rank_order = tuple(labels)
+        self._rank_of = {label: rank for rank, label in enumerate(labels, start=1)}
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Labels in rank order (rank 1 first)."""
+        return self._labels_in_rank_order
+
+    @property
+    def size(self) -> int:
+        """``|L|`` — the number of ranked labels."""
+        return len(self._labels_in_rank_order)
+
+    def rank(self, label: str) -> int:
+        """The rank of ``label`` in ``[1, |L|]``."""
+        try:
+            return self._rank_of[label]
+        except KeyError:
+            raise UnknownLabelError(label) from None
+
+    def label(self, rank: int) -> str:
+        """The label with the given ``rank`` (the inverse of :meth:`rank`)."""
+        if not 1 <= rank <= self.size:
+            raise OrderingError(
+                f"rank {rank} outside [1, {self.size}] for ranking {self.name!r}"
+            )
+        return self._labels_in_rank_order[rank - 1]
+
+    def ranks(self, labels: Sequence[str]) -> list[int]:
+        """Ranks of a label sequence (e.g. a label path's labels)."""
+        return [self.rank(label) for label in labels]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} {self._labels_in_rank_order!r}>"
+
+
+class AlphabeticalRanking(RankingRule):
+    """Rank labels by their alphabetical (string) order."""
+
+    name = "alph"
+
+    def __init__(self, labels: Sequence[str]) -> None:
+        super().__init__(sorted(labels))
+
+
+class CardinalityRanking(RankingRule):
+    """Rank labels by ascending cardinality (selectivity), ties alphabetical.
+
+    The label with the *lowest* cardinality gets rank 1 ("in front"), exactly
+    as defined in Section 3.1 of the paper.
+    """
+
+    name = "card"
+
+    def __init__(self, cardinalities: Mapping[str, Union[int, float]]) -> None:
+        if not cardinalities:
+            raise OrderingError("cardinality ranking needs a non-empty cardinality map")
+        ordered = sorted(cardinalities, key=lambda label: (cardinalities[label], label))
+        super().__init__(ordered)
+        self._cardinalities = {label: cardinalities[label] for label in ordered}
+
+    @property
+    def cardinalities(self) -> dict[str, Union[int, float]]:
+        """The cardinality of each label, keyed by label."""
+        return dict(self._cardinalities)
+
+    def cardinality(self, label: str) -> Union[int, float]:
+        """The cardinality ``f(label)`` the ranking was built from."""
+        try:
+            return self._cardinalities[label]
+        except KeyError:
+            raise UnknownLabelError(label) from None
+
+    @classmethod
+    def from_graph(cls, graph) -> "CardinalityRanking":
+        """Build the ranking from a graph's single-label selectivities."""
+        return cls(graph.label_selectivities())
+
+    @classmethod
+    def from_catalog(cls, catalog) -> "CardinalityRanking":
+        """Build the ranking from a :class:`~repro.paths.catalog.SelectivityCatalog`."""
+        return cls(catalog.label_selectivities())

@@ -1,0 +1,143 @@
+"""Factory for the paper's named ordering methods.
+
+The paper names a complete ordering method ``<ordering rule>-<ranking rule>``
+(Section 3.1): ``num-alph``, ``num-card``, ``lex-alph``, ``lex-card`` and
+``sum-based`` (sum-based always uses the cardinality ranking).  This module
+resolves those names to configured :class:`~repro.ordering.base.Ordering`
+instances given the cardinality information they need.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import OrderingError, UnknownOrderingError
+from repro.ordering.base import Ordering
+from repro.ordering.ideal import IdealOrdering
+from repro.ordering.lexicographical import LexicographicalOrdering
+from repro.ordering.numerical import NumericalOrdering
+from repro.ordering.ranking import AlphabeticalRanking, CardinalityRanking, RankingRule
+from repro.ordering.sum_based import SumBasedOrdering
+from repro.paths.catalog import SelectivityCatalog
+
+__all__ = [
+    "PAPER_ORDERINGS",
+    "available_orderings",
+    "make_ordering",
+    "make_paper_orderings",
+]
+
+#: The five ordering methods evaluated in the paper, in presentation order.
+PAPER_ORDERINGS: tuple[str, ...] = (
+    "num-alph",
+    "num-card",
+    "lex-alph",
+    "lex-card",
+    "sum-based",
+)
+
+#: Ordering-rule name -> ordering class.
+_ORDERING_RULES: dict[str, type[Ordering]] = {
+    "num": NumericalOrdering,
+    "lex": LexicographicalOrdering,
+    "sum": SumBasedOrdering,
+}
+
+_CanonicalNames = {
+    "sum-based": ("sum", "card"),
+    "sum-card": ("sum", "card"),
+    "sum-alph": ("sum", "alph"),
+    "num-alph": ("num", "alph"),
+    "num-card": ("num", "card"),
+    "lex-alph": ("lex", "alph"),
+    "lex-card": ("lex", "card"),
+}
+
+
+def available_orderings() -> tuple[str, ...]:
+    """All ordering names :func:`make_ordering` accepts (plus ``"ideal"``)."""
+    return tuple(sorted(_CanonicalNames)) + ("ideal",)
+
+
+def _build_ranking(
+    ranking_name: str,
+    labels: Sequence[str],
+    cardinalities: Optional[Mapping[str, Union[int, float]]],
+) -> RankingRule:
+    if ranking_name == "alph":
+        return AlphabeticalRanking(labels)
+    if ranking_name == "card":
+        if cardinalities is None:
+            raise OrderingError(
+                "cardinality-ranked orderings require label cardinalities "
+                "(pass cardinalities= or a catalog)"
+            )
+        missing = [label for label in labels if label not in cardinalities]
+        if missing:
+            raise OrderingError(
+                f"cardinalities missing for labels: {', '.join(sorted(missing))}"
+            )
+        return CardinalityRanking({label: cardinalities[label] for label in labels})
+    raise OrderingError(f"unknown ranking rule: {ranking_name!r}")
+
+
+def make_ordering(
+    name: str,
+    *,
+    labels: Optional[Sequence[str]] = None,
+    max_length: Optional[int] = None,
+    cardinalities: Optional[Mapping[str, Union[int, float]]] = None,
+    catalog: Optional[SelectivityCatalog] = None,
+) -> Ordering:
+    """Create the ordering method called ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_orderings` — e.g. ``"num-alph"``,
+        ``"lex-card"``, ``"sum-based"`` or ``"ideal"``.
+    labels / max_length / cardinalities:
+        Domain description.  ``labels`` and ``max_length`` may be omitted when
+        a ``catalog`` is given (they are taken from it); ``cardinalities``
+        defaults to the catalog's single-label selectivities.
+    catalog:
+        Required for ``"ideal"``; optional source of the domain description
+        for all other orderings.
+    """
+    key = name.strip().lower()
+    if catalog is not None:
+        labels = labels if labels is not None else catalog.labels
+        max_length = max_length if max_length is not None else catalog.max_length
+        if cardinalities is None:
+            cardinalities = catalog.label_selectivities()
+    if key == "ideal":
+        if catalog is None:
+            raise OrderingError("the ideal ordering requires a selectivity catalog")
+        return IdealOrdering(catalog)
+    if key not in _CanonicalNames:
+        raise UnknownOrderingError(name, available_orderings())
+    if labels is None or max_length is None:
+        raise OrderingError(
+            "labels and max_length are required (directly or via a catalog)"
+        )
+    rule_name, ranking_name = _CanonicalNames[key]
+    ranking = _build_ranking(ranking_name, labels, cardinalities)
+    ordering_cls = _ORDERING_RULES[rule_name]
+    return ordering_cls(ranking, max_length)
+
+
+def make_paper_orderings(
+    catalog: SelectivityCatalog,
+    *,
+    include_ideal: bool = False,
+    names: Optional[Sequence[str]] = None,
+) -> dict[str, Ordering]:
+    """Instantiate the paper's five orderings (optionally plus ``ideal``).
+
+    Returns a mapping from method name to ordering, in the paper's
+    presentation order, all sharing the given catalog's domain description.
+    """
+    selected = list(names) if names is not None else list(PAPER_ORDERINGS)
+    if include_ideal and "ideal" not in selected:
+        selected.append("ideal")
+    return {name: make_ordering(name, catalog=catalog) for name in selected}

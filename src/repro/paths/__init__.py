@@ -1,0 +1,43 @@
+"""Label paths: value type, evaluation, enumeration, catalog and splitting."""
+
+from repro.paths.catalog import SelectivityCatalog
+from repro.paths.enumeration import (
+    compute_selectivities,
+    domain_size,
+    enumerate_label_paths,
+)
+from repro.paths.evaluation import (
+    BFSPathEvaluator,
+    MatrixPathEvaluator,
+    PathEvaluator,
+    evaluate_path,
+    path_selectivity,
+)
+from repro.paths.index import PathIndex
+from repro.paths.label_path import SEPARATOR, LabelPath, as_label_path
+from repro.paths.splitting import (
+    BaseLabelSet,
+    GreedySplitter,
+    edge_label_base_set,
+    length_bounded_base_set,
+)
+
+__all__ = [
+    "SEPARATOR",
+    "BaseLabelSet",
+    "BFSPathEvaluator",
+    "GreedySplitter",
+    "LabelPath",
+    "MatrixPathEvaluator",
+    "PathEvaluator",
+    "PathIndex",
+    "SelectivityCatalog",
+    "as_label_path",
+    "compute_selectivities",
+    "domain_size",
+    "edge_label_base_set",
+    "enumerate_label_paths",
+    "evaluate_path",
+    "length_bounded_base_set",
+    "path_selectivity",
+]

@@ -1,0 +1,236 @@
+"""The path-selectivity catalog.
+
+A :class:`SelectivityCatalog` stores the true selectivity ``f(ℓ)`` of every
+label path in ``Lk`` for one graph.  It is the ground-truth distribution that
+
+* orderings consult for cardinality ranking,
+* histograms are built from, and
+* the evaluation harness compares estimates against.
+
+Catalogs are expensive to build for large ``k`` (they require evaluating the
+whole domain), so they can be serialised to / from JSON and are treated as
+immutable once built.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from repro.exceptions import PathError, UnknownLabelError
+from repro.graph.digraph import LabeledDiGraph
+from repro.paths.enumeration import compute_selectivities, domain_size
+from repro.paths.label_path import LabelPath, as_label_path
+
+__all__ = ["SelectivityCatalog"]
+
+PathLike = Union[str, LabelPath]
+
+
+class SelectivityCatalog:
+    """True selectivities of every label path up to length ``k`` on one graph.
+
+    Parameters
+    ----------
+    labels:
+        The label alphabet ``L`` (sorted internally).
+    max_length:
+        The maximum path length ``k``.
+    selectivities:
+        Mapping from every path in ``Lk`` (or a subset — missing paths are
+        treated as selectivity 0) to its true selectivity.
+    graph_name:
+        Optional provenance string.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[str],
+        max_length: int,
+        selectivities: Mapping[LabelPath, int],
+        *,
+        graph_name: str = "",
+    ) -> None:
+        if max_length < 1:
+            raise PathError("max_length must be >= 1")
+        if not labels:
+            raise PathError("the label alphabet must not be empty")
+        self._labels = tuple(sorted(set(labels)))
+        self._max_length = max_length
+        self._graph_name = graph_name
+        self._selectivities: dict[LabelPath, int] = {}
+        label_set = set(self._labels)
+        for path, value in selectivities.items():
+            label_path = as_label_path(path)
+            if label_path.length > max_length:
+                raise PathError(
+                    f"path {label_path} longer than max_length={max_length}"
+                )
+            for label in label_path:
+                if label not in label_set:
+                    raise UnknownLabelError(label)
+            if value < 0:
+                raise PathError(f"negative selectivity for {label_path}: {value}")
+            self._selectivities[label_path] = int(value)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_graph(
+        cls,
+        graph: LabeledDiGraph,
+        max_length: int,
+        *,
+        labels: Optional[Sequence[str]] = None,
+        progress: Optional[Callable[[int], None]] = None,
+    ) -> "SelectivityCatalog":
+        """Build the catalog by exact evaluation of every path on ``graph``."""
+        alphabet = sorted(labels) if labels is not None else graph.labels()
+        selectivities = compute_selectivities(
+            graph, max_length, labels=alphabet, progress=progress
+        )
+        return cls(
+            alphabet, max_length, selectivities, graph_name=graph.name or "unnamed"
+        )
+
+    # ------------------------------------------------------------------
+    # core accessors
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The label alphabet ``L`` (sorted)."""
+        return self._labels
+
+    @property
+    def max_length(self) -> int:
+        """The maximum path length ``k``."""
+        return self._max_length
+
+    @property
+    def graph_name(self) -> str:
+        """Name of the graph the catalog was built from (may be empty)."""
+        return self._graph_name
+
+    @property
+    def domain_size(self) -> int:
+        """``|Lk|`` — the size of the full label-path domain."""
+        return domain_size(len(self._labels), self._max_length)
+
+    def selectivity(self, path: PathLike) -> int:
+        """The true selectivity ``f(ℓ)`` (0 for paths absent from the graph).
+
+        Raises for paths outside the domain (unknown labels or too long) so
+        that experiment code cannot silently query a mismatched catalog.
+        """
+        label_path = as_label_path(path)
+        if label_path.length > self._max_length:
+            raise PathError(
+                f"path {label_path} longer than catalog max_length={self._max_length}"
+            )
+        for label in label_path:
+            if label not in self._labels:
+                raise UnknownLabelError(label)
+        return self._selectivities.get(label_path, 0)
+
+    def label_selectivity(self, label: str) -> int:
+        """Selectivity of the length-1 path for ``label``."""
+        return self.selectivity(LabelPath.single(label))
+
+    def label_selectivities(self) -> dict[str, int]:
+        """Selectivity of every single label, keyed by label."""
+        return {label: self.label_selectivity(label) for label in self._labels}
+
+    def paths(self) -> Iterator[LabelPath]:
+        """Iterate over the paths with an explicitly stored selectivity."""
+        return iter(self._selectivities)
+
+    def items(self) -> Iterator[tuple[LabelPath, int]]:
+        """Iterate over ``(path, selectivity)`` for explicitly stored paths."""
+        return iter(self._selectivities.items())
+
+    def nonzero_paths(self) -> list[LabelPath]:
+        """All stored paths with a strictly positive selectivity."""
+        return [path for path, value in self._selectivities.items() if value > 0]
+
+    def total_selectivity(self) -> int:
+        """Sum of ``f(ℓ)`` over all stored paths."""
+        return sum(self._selectivities.values())
+
+    def max_selectivity(self) -> int:
+        """The largest stored selectivity (0 for an empty catalog)."""
+        return max(self._selectivities.values(), default=0)
+
+    def restrict(self, max_length: int) -> "SelectivityCatalog":
+        """A new catalog containing only paths of length ≤ ``max_length``."""
+        if max_length > self._max_length:
+            raise PathError(
+                f"cannot restrict to max_length={max_length} > {self._max_length}"
+            )
+        selected = {
+            path: value
+            for path, value in self._selectivities.items()
+            if path.length <= max_length
+        }
+        return SelectivityCatalog(
+            self._labels, max_length, selected, graph_name=self._graph_name
+        )
+
+    def __len__(self) -> int:
+        return len(self._selectivities)
+
+    def __contains__(self, path: object) -> bool:
+        if isinstance(path, (str, LabelPath)):
+            return as_label_path(path) in self._selectivities
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<SelectivityCatalog graph={self._graph_name!r} |L|={len(self._labels)} "
+            f"k={self._max_length} stored={len(self._selectivities)}>"
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-serialisable representation of the catalog."""
+        return {
+            "graph_name": self._graph_name,
+            "labels": list(self._labels),
+            "max_length": self._max_length,
+            "selectivities": {str(path): value for path, value in self._selectivities.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "SelectivityCatalog":
+        """Rebuild a catalog from :meth:`to_dict` output."""
+        try:
+            labels = [str(label) for label in document["labels"]]  # type: ignore[index]
+            max_length = int(document["max_length"])  # type: ignore[arg-type]
+            raw = document["selectivities"]  # type: ignore[index]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PathError(f"invalid catalog document: {exc}") from exc
+        selectivities = {
+            LabelPath.parse(path): int(value) for path, value in dict(raw).items()
+        }
+        return cls(
+            labels,
+            max_length,
+            selectivities,
+            graph_name=str(document.get("graph_name", "")),
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the catalog to ``path`` as JSON."""
+        with open(Path(path), "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SelectivityCatalog":
+        """Read a catalog previously written by :meth:`save`."""
+        with open(Path(path), "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        return cls.from_dict(document)

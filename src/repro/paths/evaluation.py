@@ -1,0 +1,150 @@
+"""Exact evaluation of label-path queries.
+
+Two evaluators are provided:
+
+* :class:`MatrixPathEvaluator` — evaluates a path by boolean sparse matrix
+  products over the per-label adjacency matrices.  This is the default and
+  is what the catalog builder uses.
+* :class:`BFSPathEvaluator` — evaluates a path by forward expansion over the
+  adjacency lists (a relational-style pipelined join).  It needs no scipy
+  structures and is used for cross-validation in the test-suite and by the
+  query-plan executor.
+
+Both return the same result: the set of distinct ``(source, target)`` vertex
+pairs connected by the path (the paper's ``ℓ(G)``), and its cardinality
+``f(ℓ)`` (the *selectivity*).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.matrices import LabelMatrixStore
+from repro.paths.label_path import LabelPath, as_label_path
+
+__all__ = [
+    "PathEvaluator",
+    "BFSPathEvaluator",
+    "MatrixPathEvaluator",
+    "evaluate_path",
+    "path_selectivity",
+]
+
+PathLike = Union[str, LabelPath]
+
+
+class PathEvaluator:
+    """Abstract interface of a label-path evaluator."""
+
+    def pairs(self, path: PathLike) -> set[tuple[object, object]]:
+        """The set ``ℓ(G)`` of distinct vertex pairs matched by ``path``."""
+        raise NotImplementedError
+
+    def selectivity(self, path: PathLike) -> int:
+        """The selectivity ``f(ℓ) = |ℓ(G)|``."""
+        return len(self.pairs(path))
+
+
+class BFSPathEvaluator(PathEvaluator):
+    """Pipelined adjacency-list evaluator.
+
+    For each start vertex that has an outgoing edge with the path's first
+    label, the evaluator expands the frontier label by label; the final
+    frontier contributes one ``(start, end)`` pair per reachable end vertex.
+    """
+
+    def __init__(self, graph: LabeledDiGraph) -> None:
+        self._graph = graph
+
+    @property
+    def graph(self) -> LabeledDiGraph:
+        """The underlying graph."""
+        return self._graph
+
+    def pairs(self, path: PathLike) -> set[tuple[object, object]]:
+        label_path = as_label_path(path)
+        graph = self._graph
+        first = label_path.first
+        if not graph.has_label(first):
+            return set()
+        result: set[tuple[object, object]] = set()
+        forward_first = graph.forward_adjacency(first)
+        for start, initial_targets in forward_first.items():
+            frontier = set(initial_targets)
+            for label in label_path.labels[1:]:
+                if not frontier:
+                    break
+                if not graph.has_label(label):
+                    frontier = set()
+                    break
+                adjacency = graph.forward_adjacency(label)
+                next_frontier: set[object] = set()
+                for vertex in frontier:
+                    next_frontier.update(adjacency.get(vertex, ()))
+                frontier = next_frontier
+            for end in frontier:
+                result.add((start, end))
+        return result
+
+    def selectivity(self, path: PathLike) -> int:
+        # ``pairs`` already deduplicates; just count.
+        return len(self.pairs(path))
+
+
+class MatrixPathEvaluator(PathEvaluator):
+    """Sparse boolean matrix-product evaluator.
+
+    Shares a :class:`LabelMatrixStore` so repeated evaluations on the same
+    graph reuse cached per-label matrices.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        *,
+        store: Optional[LabelMatrixStore] = None,
+    ) -> None:
+        self._graph = graph
+        self._store = store if store is not None else LabelMatrixStore(graph)
+
+    @property
+    def graph(self) -> LabeledDiGraph:
+        """The underlying graph."""
+        return self._graph
+
+    @property
+    def store(self) -> LabelMatrixStore:
+        """The shared per-label matrix store."""
+        return self._store
+
+    def _known_labels(self, label_path: LabelPath) -> bool:
+        return all(label in self._store.labels for label in label_path)
+
+    def pairs(self, path: PathLike) -> set[tuple[object, object]]:
+        label_path = as_label_path(path)
+        if not self._known_labels(label_path):
+            return set()
+        matrix = self._store.path_matrix(label_path.labels)
+        coo = matrix.tocoo()
+        graph = self._graph
+        return {
+            (graph.vertex_by_id(int(row)), graph.vertex_by_id(int(col)))
+            for row, col in zip(coo.row, coo.col)
+        }
+
+    def selectivity(self, path: PathLike) -> int:
+        label_path = as_label_path(path)
+        if not self._known_labels(label_path):
+            return 0
+        return self._store.path_selectivity(label_path.labels)
+
+
+def evaluate_path(graph: LabeledDiGraph, path: PathLike) -> set[tuple[object, object]]:
+    """Convenience one-shot evaluation of ``path`` on ``graph``."""
+    return MatrixPathEvaluator(graph).pairs(path)
+
+
+def path_selectivity(graph: LabeledDiGraph, path: PathLike) -> int:
+    """Convenience one-shot selectivity ``f(ℓ)`` of ``path`` on ``graph``."""
+    return MatrixPathEvaluator(graph).selectivity(path)

@@ -1,0 +1,152 @@
+"""Base label sets and splitting rules (Section 3.1 of the paper).
+
+An ordering method starts from a *base label set* ``B ⊆ L*`` such that every
+label path decomposes into pieces that are all in ``B``, together with a
+*splitting rule* describing how the decomposition is performed.  The paper's
+main experiments use ``B = L`` (single edge labels), but its future-work
+section proposes richer base sets such as ``L2`` (all paths up to length 2)
+to capture correlations between adjacent labels; this module supports both.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from repro.exceptions import PathError
+from repro.paths.label_path import LabelPath, as_label_path
+
+__all__ = [
+    "BaseLabelSet",
+    "GreedySplitter",
+    "edge_label_base_set",
+    "length_bounded_base_set",
+]
+
+PathLike = Union[str, LabelPath]
+
+
+class BaseLabelSet:
+    """A base label set ``B``: a finite set of label paths used as atoms.
+
+    The single edge labels must always be included (otherwise some label path
+    could not be decomposed at all, see the paper's footnote 2); the
+    constructor enforces this.
+    """
+
+    def __init__(self, members: Iterable[PathLike], labels: Sequence[str]) -> None:
+        self._labels = tuple(sorted(set(labels)))
+        member_paths = {as_label_path(member) for member in members}
+        missing = [
+            label
+            for label in self._labels
+            if LabelPath.single(label) not in member_paths
+        ]
+        if missing:
+            raise PathError(
+                "base label set must contain every single edge label; missing: "
+                + ", ".join(missing)
+            )
+        for member in member_paths:
+            for label in member:
+                if label not in self._labels:
+                    raise PathError(
+                        f"base path {member} uses label {label!r} outside the alphabet"
+                    )
+        self._members = frozenset(member_paths)
+        self._max_member_length = max(member.length for member in self._members)
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The underlying edge-label alphabet ``L``."""
+        return self._labels
+
+    @property
+    def members(self) -> frozenset[LabelPath]:
+        """The base paths."""
+        return self._members
+
+    @property
+    def max_member_length(self) -> int:
+        """Length of the longest base path."""
+        return self._max_member_length
+
+    def __contains__(self, path: object) -> bool:
+        if isinstance(path, (str, LabelPath)):
+            return as_label_path(path) in self._members
+        return False
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def sorted_members(self) -> list[LabelPath]:
+        """Members sorted by (length, labels) for deterministic iteration."""
+        return sorted(self._members, key=lambda p: (p.length, p.labels))
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<BaseLabelSet |B|={len(self._members)} max_len={self._max_member_length}>"
+
+
+def edge_label_base_set(labels: Sequence[str]) -> BaseLabelSet:
+    """The paper's default base set ``B = L`` (each single edge label)."""
+    return BaseLabelSet((LabelPath.single(label) for label in labels), labels)
+
+
+def length_bounded_base_set(labels: Sequence[str], max_length: int) -> BaseLabelSet:
+    """The base set ``B = L_max_length`` (all label paths up to ``max_length``).
+
+    ``max_length = 2`` gives the ``L2`` base set the paper proposes as future
+    work for capturing adjacent-label correlations.
+    """
+    from repro.paths.enumeration import enumerate_label_paths
+
+    if max_length < 1:
+        raise PathError("max_length must be >= 1")
+    return BaseLabelSet(enumerate_label_paths(labels, max_length), labels)
+
+
+class GreedySplitter:
+    """The greedy splitting rule of Section 3.1.
+
+    At each step the splitter cuts off the *longest* prefix of the remaining
+    path that is a member of the base set.  With ``B = L`` this degenerates to
+    splitting into single labels; with richer base sets it prefers long atoms,
+    e.g. ``"4/4/3/3/6"`` over ``B = L2`` splits into ``"4/4"``, ``"3/3"``,
+    ``"6"`` exactly as in the paper's example.
+    """
+
+    def __init__(self, base_set: BaseLabelSet) -> None:
+        self._base_set = base_set
+
+    @property
+    def base_set(self) -> BaseLabelSet:
+        """The base label set the splitter cuts against."""
+        return self._base_set
+
+    def split(self, path: PathLike) -> list[LabelPath]:
+        """Decompose ``path`` into base-set pieces (greedy, longest-first)."""
+        label_path = as_label_path(path)
+        pieces: list[LabelPath] = []
+        position = 0
+        labels = label_path.labels
+        total = len(labels)
+        max_piece = self._base_set.max_member_length
+        while position < total:
+            piece = None
+            # Try the longest admissible piece first (greedy rule).
+            for piece_length in range(min(max_piece, total - position), 0, -1):
+                candidate = LabelPath(labels[position:position + piece_length])
+                if candidate in self._base_set:
+                    piece = candidate
+                    break
+            if piece is None:
+                raise PathError(
+                    f"path {label_path} cannot be decomposed over the base set "
+                    f"(stuck at position {position})"
+                )
+            pieces.append(piece)
+            position += piece.length
+        return pieces
+
+    def piece_count(self, path: PathLike) -> int:
+        """Number of pieces the greedy decomposition of ``path`` produces."""
+        return len(self.split(path))

@@ -1,0 +1,80 @@
+"""Tests for the dataset stand-in registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import (
+    PAPER_DATASETS,
+    available_datasets,
+    dataset_spec,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+from repro.graph.statistics import gini_coefficient
+
+
+class TestSpecs:
+    def test_paper_table3_values(self):
+        spec = PAPER_DATASETS["moreno-health"]
+        assert (spec.label_count, spec.vertex_count, spec.edge_count) == (6, 2539, 12969)
+        spec = PAPER_DATASETS["dbpedia"]
+        assert (spec.label_count, spec.vertex_count, spec.edge_count) == (8, 37374, 209068)
+        spec = PAPER_DATASETS["snap-er"]
+        assert (spec.label_count, spec.vertex_count, spec.edge_count) == (6, 12333, 147996)
+        spec = PAPER_DATASETS["snap-ff"]
+        assert (spec.label_count, spec.vertex_count, spec.edge_count) == (8, 50000, 132673)
+
+    def test_real_world_flags(self):
+        assert PAPER_DATASETS["moreno-health"].real_world
+        assert PAPER_DATASETS["dbpedia"].real_world
+        assert not PAPER_DATASETS["snap-er"].real_world
+        assert not PAPER_DATASETS["snap-ff"].real_world
+
+    def test_available_and_lookup(self):
+        assert set(available_datasets()) == set(PAPER_DATASETS)
+        assert dataset_spec("MORENO-HEALTH").name == "moreno-health"
+        with pytest.raises(DatasetError):
+            dataset_spec("freebase")
+
+    def test_table_row_shape(self):
+        row = dataset_spec("snap-er").as_table_row()
+        assert row["Real world data"] == "no"
+        assert row["#Vertices"] == 12333
+
+
+class TestLoading:
+    @pytest.mark.parametrize("name", list(PAPER_DATASETS))
+    def test_label_count_matches_spec(self, name):
+        graph = load_dataset(name, scale=0.02)
+        assert graph.label_count == PAPER_DATASETS[name].label_count
+        assert graph.name == name
+        assert graph.edge_count > 0
+
+    @pytest.mark.parametrize("name", list(PAPER_DATASETS))
+    def test_deterministic(self, name):
+        assert load_dataset(name, scale=0.02) == load_dataset(name, scale=0.02)
+
+    def test_scale_shrinks_sizes(self):
+        small = load_dataset("moreno-health", scale=0.02)
+        larger = load_dataset("moreno-health", scale=0.05)
+        assert small.edge_count < larger.edge_count
+        assert small.vertex_count < larger.vertex_count
+
+    def test_seed_override_changes_graph(self):
+        assert load_dataset("snap-er", scale=0.02, seed=1) != load_dataset(
+            "snap-er", scale=0.02, seed=2
+        )
+
+    def test_unknown_or_invalid(self):
+        with pytest.raises(DatasetError):
+            load_dataset("unknown")
+        with pytest.raises(DatasetError):
+            load_dataset("snap-er", scale=0.0)
+
+    def test_real_stand_ins_have_skewed_labels(self):
+        real = load_dataset("moreno-health", scale=0.05)
+        synthetic = load_dataset("snap-er", scale=0.05)
+        real_gini = gini_coefficient(list(real.label_edge_counts().values()))
+        synthetic_gini = gini_coefficient(list(synthetic.label_edge_counts().values()))
+        assert real_gini > synthetic_gini

@@ -1,0 +1,129 @@
+"""Tests for the synopsis-free baseline estimators (independence, Markov, sampling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation.baselines import IndependenceEstimator, MarkovEstimator
+from repro.estimation.errors import mean_error_rate
+from repro.estimation.sampling import SamplingEstimator
+from repro.estimation.workload import full_domain_workload
+from repro.exceptions import EstimationError
+from repro.paths.catalog import SelectivityCatalog
+
+
+class TestIndependenceEstimator:
+    def test_length_one_is_exact(self, small_graph, small_catalog):
+        estimator = IndependenceEstimator.from_catalog(
+            small_catalog, small_graph.vertex_count
+        )
+        for label in small_catalog.labels:
+            assert estimator.estimate(label) == small_catalog.label_selectivity(label)
+
+    def test_formula(self):
+        estimator = IndependenceEstimator({"a": 10, "b": 20}, vertex_count=100)
+        assert estimator.estimate("a/b") == pytest.approx(10 * 20 / 100)
+        assert estimator.estimate("a/b/a") == pytest.approx(10 * (20 / 100) * (10 / 100))
+
+    def test_unknown_label_gives_zero(self):
+        estimator = IndependenceEstimator({"a": 10}, vertex_count=50)
+        assert estimator.estimate("q") == 0.0
+        assert estimator.estimate("a/q") == 0.0
+
+    def test_storage(self):
+        estimator = IndependenceEstimator({"a": 1, "b": 2, "c": 3}, vertex_count=10)
+        assert estimator.storage_entries() == 4
+
+    def test_validation(self):
+        with pytest.raises(EstimationError):
+            IndependenceEstimator({"a": 1}, vertex_count=0)
+        with pytest.raises(EstimationError):
+            IndependenceEstimator({}, vertex_count=10)
+
+
+class TestMarkovEstimator:
+    def test_lengths_one_and_two_are_exact(self, small_catalog):
+        estimator = MarkovEstimator(small_catalog)
+        labels = small_catalog.labels
+        for first in labels:
+            assert estimator.estimate(first) == small_catalog.selectivity(first)
+            for second in labels:
+                assert estimator.estimate(f"{first}/{second}") == small_catalog.selectivity(
+                    f"{first}/{second}"
+                )
+
+    def test_chained_estimate_is_nonnegative_and_zero_propagates(self, small_catalog):
+        estimator = MarkovEstimator(small_catalog)
+        for path in full_domain_workload(small_catalog):
+            assert estimator.estimate(path) >= 0.0
+
+    def test_requires_length_two_statistics(self, triangle_graph):
+        catalog = SelectivityCatalog.from_graph(triangle_graph, 1)
+        with pytest.raises(EstimationError):
+            MarkovEstimator(catalog)
+
+    def test_storage(self, small_catalog):
+        estimator = MarkovEstimator(small_catalog)
+        label_count = len(small_catalog.labels)
+        assert estimator.storage_entries() == label_count + label_count**2
+
+    def test_markov_beats_independence_on_longer_paths(self, small_graph, small_catalog):
+        """Using pair statistics should not be worse than pure independence."""
+        workload = [p for p in full_domain_workload(small_catalog) if p.length == 3]
+        markov = MarkovEstimator(small_catalog)
+        independence = IndependenceEstimator.from_catalog(
+            small_catalog, small_graph.vertex_count
+        )
+        markov_error = mean_error_rate(
+            [(markov.estimate(p), float(small_catalog.selectivity(p))) for p in workload]
+        )
+        independence_error = mean_error_rate(
+            [
+                (independence.estimate(p), float(small_catalog.selectivity(p)))
+                for p in workload
+            ]
+        )
+        assert markov_error <= independence_error + 0.05
+
+
+class TestSamplingEstimator:
+    def test_length_one_is_exact(self, small_graph, small_catalog):
+        estimator = SamplingEstimator(small_graph, sample_size=10, seed=2)
+        for label in small_catalog.labels:
+            assert estimator.estimate(label) == small_catalog.label_selectivity(label)
+
+    def test_unknown_label_is_zero(self, small_graph):
+        estimator = SamplingEstimator(small_graph, sample_size=10)
+        assert estimator.estimate("zzz") == 0.0
+        assert estimator.estimate("zzz/zzz") == 0.0
+
+    def test_deterministic_per_seed(self, small_graph):
+        labels = small_graph.labels()
+        path = f"{labels[0]}/{labels[1]}"
+        first = SamplingEstimator(small_graph, sample_size=30, seed=5).estimate(path)
+        second = SamplingEstimator(small_graph, sample_size=30, seed=5).estimate(path)
+        assert first == second
+
+    def test_estimates_bounded_by_start_edges(self, small_graph, small_catalog):
+        estimator = SamplingEstimator(small_graph, sample_size=50, seed=3)
+        for path in full_domain_workload(small_catalog):
+            estimate = estimator.estimate(path)
+            assert 0.0 <= estimate <= small_catalog.label_selectivity(path.first)
+
+    def test_zero_truth_paths_estimated_low(self, small_graph, small_catalog):
+        estimator = SamplingEstimator(small_graph, sample_size=50, seed=3)
+        zero_paths = [
+            path
+            for path in full_domain_workload(small_catalog)
+            if small_catalog.selectivity(path) == 0 and path.length >= 2
+        ]
+        if zero_paths:
+            # Walks can only fail to complete on truly empty paths whose prefix
+            # exists; a handful may overestimate, but most must return 0.
+            zeros = sum(1 for path in zero_paths if estimator.estimate(path) == 0.0)
+            assert zeros >= len(zero_paths) * 0.5
+
+    def test_validation_and_storage(self, small_graph):
+        with pytest.raises(EstimationError):
+            SamplingEstimator(small_graph, sample_size=0)
+        assert SamplingEstimator(small_graph).storage_entries() == 0

@@ -1,0 +1,97 @@
+"""Tests for the error metrics (Equation 6, q-error, summaries)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.estimation.errors import (
+    absolute_error,
+    error_rate,
+    mean_error_rate,
+    q_error,
+    summarize_errors,
+)
+from repro.exceptions import EstimationError
+
+
+class TestErrorRate:
+    def test_exact_estimate_is_zero(self):
+        assert error_rate(10.0, 10.0) == 0.0
+        assert error_rate(0.0, 0.0) == 0.0
+
+    def test_overestimate_is_positive(self):
+        assert error_rate(20.0, 10.0) == pytest.approx(0.5)
+
+    def test_underestimate_is_negative(self):
+        assert error_rate(10.0, 20.0) == pytest.approx(-0.5)
+
+    def test_bounded_in_open_unit_interval(self):
+        assert -1.0 < error_rate(1.0, 1e9) < 1.0
+        assert -1.0 < error_rate(1e9, 1.0) < 1.0
+
+    def test_zero_truth_nonzero_estimate(self):
+        assert error_rate(5.0, 0.0) == pytest.approx(1.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(EstimationError):
+            error_rate(-1.0, 2.0)
+        with pytest.raises(EstimationError):
+            error_rate(1.0, -2.0)
+
+
+class TestQError:
+    def test_perfect(self):
+        assert q_error(7.0, 7.0) == 1.0
+        assert q_error(0.0, 0.0) == 1.0
+
+    def test_symmetric(self):
+        assert q_error(10.0, 2.0) == q_error(2.0, 10.0) == 5.0
+
+    def test_zero_vs_nonzero_is_infinite(self):
+        assert math.isinf(q_error(0.0, 3.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(EstimationError):
+            q_error(-1.0, 1.0)
+
+
+class TestAbsoluteError:
+    def test_value(self):
+        assert absolute_error(3.0, 5.0) == 2.0
+
+
+class TestMeanErrorRate:
+    def test_uses_absolute_values(self):
+        pairs = [(20.0, 10.0), (10.0, 20.0)]
+        assert mean_error_rate(pairs) == pytest.approx(0.5)
+
+    def test_perfect_workload_is_zero(self):
+        assert mean_error_rate([(3.0, 3.0), (0.0, 0.0)]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            mean_error_rate([])
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        pairs = [(10.0, 10.0), (20.0, 10.0), (0.0, 5.0)]
+        summary = summarize_errors(pairs)
+        assert summary.query_count == 3
+        assert summary.mean_error_rate == pytest.approx((0.0 + 0.5 + 1.0) / 3)
+        assert summary.max_error_rate == pytest.approx(1.0)
+        assert summary.mean_absolute_error == pytest.approx((0 + 10 + 5) / 3)
+        assert math.isinf(summary.max_q_error)
+        # The infinite q-error is excluded from the mean.
+        assert summary.mean_q_error == pytest.approx((1.0 + 2.0) / 2)
+
+    def test_as_row(self):
+        row = summarize_errors([(1.0, 1.0)]).as_row()
+        assert row["queries"] == 1
+        assert row["mean_error_rate"] == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            summarize_errors([])

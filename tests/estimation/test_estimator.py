@@ -1,0 +1,132 @@
+"""Tests for the path-selectivity estimator and the exact oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation.estimator import (
+    EstimatorReport,
+    ExactOracle,
+    PathSelectivityEstimator,
+)
+from repro.estimation.workload import full_domain_workload
+from repro.exceptions import EstimationError
+from repro.ordering.registry import make_ordering
+
+
+class TestExactOracle:
+    def test_returns_truth(self, small_catalog):
+        oracle = ExactOracle(small_catalog)
+        for path in list(small_catalog.paths())[:20]:
+            assert oracle.estimate(path) == small_catalog.selectivity(path)
+
+    def test_storage_is_whole_domain(self, small_catalog):
+        assert ExactOracle(small_catalog).storage_entries() == len(small_catalog)
+
+
+class TestBuild:
+    def test_build_with_named_ordering(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog, ordering="sum-based", bucket_count=8
+        )
+        assert estimator.method_name == "sum-based"
+        assert estimator.bucket_count == 8
+        assert estimator.storage_entries() == 16
+
+    def test_build_with_ordering_instance(self, small_catalog):
+        ordering = make_ordering("lex-card", catalog=small_catalog)
+        estimator = PathSelectivityEstimator.build(
+            small_catalog, ordering=ordering, bucket_count=4
+        )
+        assert estimator.ordering is ordering
+
+    def test_build_with_other_histogram_kind(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog,
+            ordering="num-alph",
+            histogram_kind="equi-width",
+            bucket_count=6,
+        )
+        assert estimator.histogram.histogram.kind == "equi-width"
+
+    def test_estimates_are_non_negative(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog, ordering="sum-based", bucket_count=8
+        )
+        for path in full_domain_workload(small_catalog):
+            assert estimator.estimate(path) >= 0.0
+
+    def test_single_bucket_estimates_global_average(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog, ordering="num-alph", bucket_count=1
+        )
+        expected = small_catalog.total_selectivity() / small_catalog.domain_size
+        values = {estimator.estimate(p) for p in full_domain_workload(small_catalog)}
+        # Every path maps to the same single bucket, whose average is the
+        # global average frequency.
+        assert len(values) == 1
+        assert values.pop() == pytest.approx(expected)
+
+    def test_max_buckets_reproduces_truth(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog,
+            ordering="num-card",
+            bucket_count=small_catalog.domain_size,
+        )
+        for path in full_domain_workload(small_catalog):
+            assert estimator.estimate(path) == pytest.approx(
+                small_catalog.selectivity(path)
+            )
+
+    def test_estimate_many(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog, ordering="num-alph", bucket_count=4
+        )
+        workload = full_domain_workload(small_catalog)[:10]
+        batch = estimator.estimate_many(workload)
+        assert batch == [estimator.estimate(p) for p in workload]
+
+
+class TestEvaluate:
+    def test_report_fields(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog, ordering="sum-based", bucket_count=8
+        )
+        workload = full_domain_workload(small_catalog)
+        report = estimator.evaluate(small_catalog, workload, repetitions=2)
+        assert isinstance(report, EstimatorReport)
+        assert report.method_name == "sum-based"
+        assert report.bucket_count == 8
+        assert 0.0 <= report.mean_error_rate < 1.0
+        assert report.mean_estimation_seconds > 0.0
+        assert report.mean_estimation_millis == pytest.approx(
+            report.mean_estimation_seconds * 1000.0
+        )
+        assert report.errors.query_count == len(workload)
+
+    def test_as_row(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog, ordering="num-alph", bucket_count=4
+        )
+        row = estimator.evaluate(small_catalog, full_domain_workload(small_catalog)).as_row()
+        assert row["method"] == "num-alph"
+        assert row["buckets"] == 4
+        assert "mean_error_rate" in row and "mean_estimation_ms" in row
+
+    def test_perfect_estimator_has_zero_error(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog,
+            ordering="num-alph",
+            bucket_count=small_catalog.domain_size,
+        )
+        report = estimator.evaluate(small_catalog, full_domain_workload(small_catalog))
+        assert report.mean_error_rate == pytest.approx(0.0)
+
+    def test_validation(self, small_catalog):
+        estimator = PathSelectivityEstimator.build(
+            small_catalog, ordering="num-alph", bucket_count=4
+        )
+        with pytest.raises(EstimationError):
+            estimator.evaluate(small_catalog, [])
+        with pytest.raises(EstimationError):
+            estimator.evaluate(small_catalog, ["1"], repetitions=0)

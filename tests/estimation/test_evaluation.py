@@ -1,0 +1,80 @@
+"""Tests for the experiment sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation.evaluation import SweepResult, run_sweep
+from repro.exceptions import EstimationError
+from repro.ordering.registry import PAPER_ORDERINGS
+
+
+class TestRunSweep:
+    def test_grid_is_complete(self, small_catalog):
+        results = run_sweep(small_catalog, bucket_counts=[4, 16])
+        assert len(results) == len(PAPER_ORDERINGS) * 2
+        methods = {result.method for result in results}
+        assert methods == set(PAPER_ORDERINGS)
+
+    def test_include_ideal(self, small_catalog):
+        results = run_sweep(
+            small_catalog, bucket_counts=[8], include_ideal=True
+        )
+        assert {result.method for result in results} == set(PAPER_ORDERINGS) | {"ideal"}
+
+    def test_records_have_expected_fields(self, small_catalog):
+        result = run_sweep(small_catalog, bucket_counts=[8])[0]
+        assert isinstance(result, SweepResult)
+        row = result.as_row()
+        for key in ("dataset", "method", "histogram", "k", "buckets",
+                    "mean_error_rate", "mean_estimation_ms", "total_sse"):
+            assert key in row
+
+    def test_bucket_count_clamped_to_domain(self, small_catalog):
+        oversized = small_catalog.domain_size * 10
+        results = run_sweep(
+            small_catalog, methods=["num-alph"], bucket_counts=[oversized]
+        )
+        assert results[0].mean_error_rate == pytest.approx(0.0)
+
+    def test_errors_decrease_with_more_buckets(self, small_catalog):
+        results = run_sweep(
+            small_catalog,
+            methods=["sum-based"],
+            bucket_counts=[2, small_catalog.domain_size // 2],
+        )
+        by_beta = {result.bucket_count: result.mean_error_rate for result in results}
+        few, many = sorted(by_beta)
+        assert by_beta[many] <= by_beta[few] + 1e-9
+
+    def test_dataset_name_defaults_to_catalog_graph(self, small_catalog):
+        results = run_sweep(small_catalog, methods=["num-alph"], bucket_counts=[4])
+        assert results[0].dataset == small_catalog.graph_name
+
+    def test_custom_workload_and_histogram(self, small_catalog):
+        workload = ["1", "2", "1/2"]
+        workload = [p for p in workload if all(l in small_catalog.labels for l in p.split("/"))]
+        if not workload:
+            workload = [str(next(iter(small_catalog.paths())))]
+        results = run_sweep(
+            small_catalog,
+            methods=["num-alph"],
+            bucket_counts=[4],
+            histogram_kind="equi-width",
+            workload=workload,
+            repetitions=2,
+        )
+        assert results[0].histogram_kind == "equi-width"
+
+    def test_empty_bucket_counts_rejected(self, small_catalog):
+        with pytest.raises(EstimationError):
+            run_sweep(small_catalog, bucket_counts=[])
+
+    def test_vopt_strategy_override(self, small_catalog):
+        results = run_sweep(
+            small_catalog,
+            methods=["num-alph"],
+            bucket_counts=[8],
+            vopt_strategy="greedy",
+        )
+        assert results[0].mean_error_rate >= 0.0

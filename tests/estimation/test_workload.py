@@ -1,0 +1,96 @@
+"""Tests for workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimation.workload import (
+    fixed_length_workload,
+    full_domain_workload,
+    positive_workload,
+    sampled_workload,
+)
+from repro.exceptions import EstimationError
+from repro.ordering.registry import make_ordering
+
+
+class TestFullDomainWorkload:
+    def test_covers_domain_exactly_once(self, small_catalog):
+        workload = full_domain_workload(small_catalog)
+        assert len(workload) == small_catalog.domain_size
+        assert len(set(workload)) == len(workload)
+
+    def test_restricted_length(self, small_catalog):
+        workload = full_domain_workload(small_catalog, max_length=1)
+        assert len(workload) == len(small_catalog.labels)
+
+    def test_too_long_rejected(self, small_catalog):
+        with pytest.raises(EstimationError):
+            full_domain_workload(small_catalog, max_length=small_catalog.max_length + 1)
+
+
+class TestSampledWorkload:
+    def test_size_and_membership(self, small_catalog):
+        workload = sampled_workload(small_catalog, 50, seed=1)
+        assert len(workload) == 50
+        for path in workload:
+            assert path.length <= small_catalog.max_length
+            assert all(label in small_catalog.labels for label in path)
+
+    def test_deterministic_per_seed(self, small_catalog):
+        assert sampled_workload(small_catalog, 30, seed=5) == sampled_workload(
+            small_catalog, 30, seed=5
+        )
+        assert sampled_workload(small_catalog, 30, seed=5) != sampled_workload(
+            small_catalog, 30, seed=6
+        )
+
+    def test_with_ordering_unranks_indices(self, small_catalog):
+        ordering = make_ordering("sum-based", catalog=small_catalog)
+        workload = sampled_workload(small_catalog, 25, seed=2, ordering=ordering)
+        assert len(workload) == 25
+        assert all(0 <= ordering.index(path) < ordering.size for path in workload)
+
+    def test_invalid_arguments(self, small_catalog):
+        with pytest.raises(EstimationError):
+            sampled_workload(small_catalog, 0)
+        with pytest.raises(EstimationError):
+            sampled_workload(small_catalog, 5, max_length=small_catalog.max_length + 1)
+
+
+class TestPositiveWorkload:
+    def test_all_nonzero_when_unsized(self, small_catalog):
+        workload = positive_workload(small_catalog)
+        assert workload
+        assert all(small_catalog.selectivity(path) > 0 for path in workload)
+        assert len(set(workload)) == len(workload)
+
+    def test_sampled_positive(self, small_catalog):
+        workload = positive_workload(small_catalog, 40, seed=3)
+        assert len(workload) == 40
+        assert all(small_catalog.selectivity(path) > 0 for path in workload)
+
+    def test_weighted_prefers_frequent_paths(self, small_catalog):
+        weighted = positive_workload(small_catalog, 300, weighted=True, seed=4)
+        uniform = positive_workload(small_catalog, 300, weighted=False, seed=4)
+        mean_weighted = sum(small_catalog.selectivity(p) for p in weighted) / 300
+        mean_uniform = sum(small_catalog.selectivity(p) for p in uniform) / 300
+        assert mean_weighted >= mean_uniform
+
+    def test_invalid_size(self, small_catalog):
+        with pytest.raises(EstimationError):
+            positive_workload(small_catalog, 0)
+
+
+class TestFixedLengthWorkload:
+    def test_only_requested_length(self, small_catalog):
+        workload = fixed_length_workload(small_catalog, 2)
+        assert workload
+        assert all(path.length == 2 for path in workload)
+        assert len(workload) == len(small_catalog.labels) ** 2
+
+    def test_out_of_range(self, small_catalog):
+        with pytest.raises(EstimationError):
+            fixed_length_workload(small_catalog, 0)
+        with pytest.raises(EstimationError):
+            fixed_length_workload(small_catalog, small_catalog.max_length + 1)

@@ -1,0 +1,52 @@
+"""Tests for the baseline ablation (histogram vs synopsis-free estimators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_baselines import run_baseline_ablation
+
+
+class TestBaselineAblation:
+    @pytest.fixture(scope="class")
+    def result(self, moreno_tiny, moreno_tiny_catalog):
+        return run_baseline_ablation(
+            graph=moreno_tiny,
+            catalog=moreno_tiny_catalog,
+            sample_size=40,
+        )
+
+    def test_all_estimators_reported(self, result):
+        methods = {record["method"] for record in result.records}
+        assert methods == {
+            "sum-based histogram",
+            "independence",
+            "markov-1",
+            "sampling",
+            "exact oracle",
+        }
+
+    def test_oracle_is_perfect_and_most_expensive(self, result):
+        assert result.mean_error("exact oracle") == pytest.approx(0.0)
+        storages = [int(record["stored_scalars"]) for record in result.records]
+        assert result.storage("exact oracle") == max(storages)
+
+    def test_sampling_stores_nothing(self, result):
+        assert result.storage("sampling") == 0
+
+    def test_histogram_budget_matches_markov(self, result):
+        # By construction the histogram gets (|L| + |L|^2) / 2 buckets, i.e.
+        # the same number of stored scalars as the Markov baseline.
+        assert result.storage("sum-based histogram") == pytest.approx(
+            result.storage("markov-1"), abs=2
+        )
+
+    def test_all_errors_in_unit_interval(self, result):
+        for record in result.records:
+            assert 0.0 <= float(record["mean_error_rate"]) <= 1.0
+
+    def test_unknown_method_lookups(self, result):
+        import math
+
+        assert math.isnan(result.mean_error("wavelet"))
+        assert result.storage("wavelet") == -1

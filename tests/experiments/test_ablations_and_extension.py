@@ -1,0 +1,109 @@
+"""Tests for the ablation studies and the L2 base-set extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation_histograms import run_histogram_ablation
+from repro.experiments.ablation_vopt import run_vopt_ablation, synthetic_distribution
+from repro.experiments.extension_base_l2 import (
+    L2SumBasedOrdering,
+    run_extension_base_l2,
+)
+from repro.histogram.builder import HISTOGRAM_KINDS
+
+
+class TestSyntheticDistributions:
+    @pytest.mark.parametrize("kind", ["zipf", "sorted-zipf", "steps", "uniform"])
+    def test_shapes(self, kind):
+        values = synthetic_distribution(kind, 64, seed=1)
+        assert values.shape == (64,)
+        assert (values >= 0).all()
+
+    def test_sorted_zipf_is_sorted(self):
+        values = synthetic_distribution("sorted-zipf", 64, seed=1)
+        assert list(values) == sorted(values)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            synthetic_distribution("gamma", 10)
+
+
+class TestVOptAblation:
+    def test_greedy_close_to_exact(self):
+        result = run_vopt_ablation(domain_size=96, bucket_counts=(4, 12), seed=2)
+        assert result.records
+        # Exact is optimal, so every SSE ratio is >= 1; greedy should stay
+        # within 2x on these distributions (empirically it is much closer).
+        for record in result.records:
+            assert record["sse_ratio"] >= 1.0 - 1e-9
+        assert result.worst_sse_ratio() < 2.0
+
+    def test_error_ratio_reported(self):
+        result = run_vopt_ablation(domain_size=64, bucket_counts=(8,), kinds=("zipf",))
+        assert result.mean_error_ratio() == pytest.approx(
+            result.records[0]["error_ratio"]
+        )
+
+
+class TestHistogramAblation:
+    @pytest.fixture(scope="class")
+    def ablation(self, moreno_tiny_catalog):
+        return run_histogram_ablation(
+            catalog=moreno_tiny_catalog,
+            bucket_counts=(8, 32),
+            methods=("num-alph", "sum-based"),
+        )
+
+    def test_grid_complete(self, ablation):
+        assert len(ablation.records) == 2 * len(HISTOGRAM_KINDS) * 2
+
+    def test_vopt_at_least_as_good_as_equiwidth(self, ablation):
+        for method in ("num-alph", "sum-based"):
+            assert ablation.mean_error(method, "v-optimal") <= ablation.mean_error(
+                method, "equi-width"
+            ) + 1e-9
+
+    def test_best_kind_lookup(self, ablation):
+        assert ablation.best_kind("sum-based") in HISTOGRAM_KINDS
+
+    def test_mean_error_unknown_pair_is_nan(self, ablation):
+        import math
+
+        assert math.isnan(ablation.mean_error("sum-based", "wavelet"))
+
+
+class TestL2Extension:
+    @pytest.fixture(scope="class")
+    def catalog(self, moreno_tiny_catalog):
+        return moreno_tiny_catalog
+
+    def test_l2_ordering_is_bijective(self, catalog):
+        ordering = L2SumBasedOrdering(catalog)
+        assert ordering.size == catalog.domain_size
+        for index in range(0, ordering.size, 11):
+            assert ordering.index(ordering.path(index)) == index
+
+    def test_l2_ordering_groups_by_piece_count_first(self, catalog):
+        ordering = L2SumBasedOrdering(catalog)
+        assert ordering.full_name == "sum-based-L2"
+        # Single labels (length 1) occupy the first |L| positions.
+        first_block = [ordering.path(i).length for i in range(len(catalog.labels))]
+        assert all(length == 1 for length in first_block)
+
+    def test_piece_ranks(self, catalog):
+        ordering = L2SumBasedOrdering(catalog)
+        labels = catalog.labels
+        path = f"{labels[0]}/{labels[1]}/{labels[0]}"
+        ranks = ordering.piece_ranks(path)
+        assert len(ranks) == 2  # greedy split: one pair + one single
+        assert all(rank >= 1 for rank in ranks)
+
+    def test_experiment_runs_and_reports_both_methods(self, catalog):
+        result = run_extension_base_l2(
+            catalog=catalog, bucket_counts=(8, 32), dataset="moreno-health"
+        )
+        methods = {record["method"] for record in result.records}
+        assert methods == {"sum-based", "sum-based-L2"}
+        assert result.mean_error("sum-based") >= 0.0
+        assert result.mean_error("sum-based-L2") >= 0.0

@@ -1,0 +1,55 @@
+"""Exact reproduction of the paper's worked example (Section 3.4).
+
+These are the strongest tests in the suite: they pin the library's orderings
+to the numbers printed in the paper's Table 1 and Table 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ordering_example import (
+    EXAMPLE_CARDINALITIES,
+    EXAMPLE_MAX_LENGTH,
+    run_ordering_example,
+)
+
+#: Table 1 of the paper, verbatim (label path -> summed rank).
+PAPER_TABLE1 = {
+    "1": 1, "2": 3, "3": 2,
+    "1/1": 2, "1/2": 4, "1/3": 3,
+    "2/1": 4, "2/2": 6, "2/3": 5,
+    "3/1": 3, "3/2": 5, "3/3": 4,
+}
+
+#: Table 2 of the paper, verbatim (method -> label paths by index 0..11).
+PAPER_TABLE2 = {
+    "num-alph": ["1", "2", "3", "1/1", "1/2", "1/3", "2/1", "2/2", "2/3", "3/1", "3/2", "3/3"],
+    "num-card": ["1", "3", "2", "1/1", "1/3", "1/2", "3/1", "3/3", "3/2", "2/1", "2/3", "2/2"],
+    "lex-alph": ["1", "1/1", "1/2", "1/3", "2", "2/1", "2/2", "2/3", "3", "3/1", "3/2", "3/3"],
+    "lex-card": ["1", "1/1", "1/3", "1/2", "3", "3/1", "3/3", "3/2", "2", "2/1", "2/3", "2/2"],
+    "sum-based": ["1", "3", "2", "1/1", "1/3", "3/1", "3/3", "1/2", "2/1", "3/2", "2/3", "2/2"],
+}
+
+
+class TestWorkedExample:
+    def test_parameters_match_paper(self):
+        assert EXAMPLE_CARDINALITIES == {"1": 20, "2": 100, "3": 80}
+        assert EXAMPLE_MAX_LENGTH == 2
+
+    def test_table1_summed_ranks_exact(self):
+        result = run_ordering_example()
+        assert result.summed_ranks == PAPER_TABLE1
+
+    def test_table2_orderings_exact(self):
+        result = run_ordering_example()
+        assert set(result.orderings) == set(PAPER_TABLE2)
+        for method, expected in PAPER_TABLE2.items():
+            assert result.orderings[method] == expected, method
+
+    def test_row_rendering_helpers(self):
+        result = run_ordering_example()
+        table1_rows = result.table1_rows()
+        assert len(table1_rows) == 12
+        assert table1_rows[0]["Label Path"] == "1"
+        table2_rows = result.table2_rows()
+        assert {row["Method"] for row in table2_rows} == set(PAPER_TABLE2)
+        assert table2_rows[0]["0"] == "1"

@@ -1,0 +1,46 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_records, format_table, pivot
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.23456], ["long-name", 2]], float_digits=2
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text
+        assert "long-name" in text
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_empty_records(self):
+        assert format_records([]) == "(no records)"
+
+    def test_format_records_uses_first_record_keys(self):
+        text = format_records([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        assert text.splitlines()[0].split() == ["a", "b"]
+
+
+class TestPivot:
+    def test_shape(self):
+        records = [
+            {"beta": 2, "method": "x", "err": 0.5},
+            {"beta": 2, "method": "y", "err": 0.4},
+            {"beta": 4, "method": "x", "err": 0.3},
+            {"beta": 4, "method": "y", "err": 0.2},
+        ]
+        headers, rows = pivot(records, row_key="beta", column_key="method", value_key="err")
+        assert headers == ["beta", "x", "y"]
+        assert rows == [[2, 0.5, 0.4], [4, 0.3, 0.2]]
+
+    def test_missing_cells_left_blank(self):
+        records = [
+            {"beta": 2, "method": "x", "err": 0.5},
+            {"beta": 4, "method": "y", "err": 0.2},
+        ]
+        headers, rows = pivot(records, row_key="beta", column_key="method", value_key="err")
+        assert rows[0][2] == ""
+        assert rows[1][1] == ""

@@ -1,0 +1,142 @@
+"""Tests for the Table 3 / Table 4 / Figure 1 / Figure 2 harnesses.
+
+These run the harnesses at very small scale and assert the *shape* results
+the paper reports: which ordering wins, how errors move with β, and that the
+latency experiment produces sensible positive numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import default_bucket_counts, run_table4
+from repro.ordering.registry import PAPER_ORDERINGS
+
+
+class TestTable3:
+    def test_all_datasets_reported(self):
+        rows = run_table3(scale=0.02)
+        assert len(rows) == 4
+        names = {row.dataset for row in rows}
+        assert names == {"moreno-health", "dbpedia", "snap-er", "snap-ff"}
+
+    def test_paper_columns_preserved(self):
+        rows = run_table3(scale=0.02, datasets=("moreno-health",))
+        row = rows[0].as_row()
+        assert row["#Edge Labels (paper)"] == 6
+        assert row["#Vertices (paper)"] == 2539
+        assert row["#Edges (paper)"] == 12969
+        assert row["#Edge Labels (ours)"] == 6
+
+    def test_generated_sizes_scale(self):
+        small = run_table3(scale=0.02, datasets=("snap-er",))[0]
+        large = run_table3(scale=0.04, datasets=("snap-er",))[0]
+        assert small.generated_edge_count < large.generated_edge_count
+
+
+class TestTable4:
+    def test_default_bucket_counts_halve(self):
+        counts = default_bucket_counts(1000, steps=5)
+        assert counts[0] == 500
+        for before, after in zip(counts, counts[1:]):
+            assert after == max(2, before // 2)
+
+    def test_structure_and_positive_latencies(self, moreno_tiny_catalog):
+        result = run_table4(
+            catalog=moreno_tiny_catalog,
+            bucket_counts=[32, 8],
+            workload_size=60,
+            repetitions=1,
+        )
+        assert len(result.results) == len(PAPER_ORDERINGS) * 2
+        assert all(r.mean_estimation_ms > 0 for r in result.results)
+        rows = result.rows()
+        assert len(rows) == 2
+        assert set(rows[0]) == {"buckets", *PAPER_ORDERINGS}
+
+    def test_sum_based_is_slower_than_native(self, moreno_tiny_catalog):
+        result = run_table4(
+            catalog=moreno_tiny_catalog,
+            bucket_counts=[16],
+            workload_size=300,
+            repetitions=3,
+        )
+        assert result.slowdown_of("sum-based", "num-alph") > 1.0
+
+    def test_render_produces_table(self, moreno_tiny_catalog):
+        result = run_table4(
+            catalog=moreno_tiny_catalog, bucket_counts=[8], workload_size=20
+        )
+        text = result.render()
+        assert "buckets" in text
+        assert "sum-based" in text
+
+
+class TestFigure1:
+    def test_domain_and_frequencies(self, moreno_tiny_catalog):
+        result = run_figure1(catalog=moreno_tiny_catalog, bucket_count=8)
+        assert result.domain_size == moreno_tiny_catalog.domain_size
+        assert len(result.domain_paths) == result.domain_size
+        assert result.max_frequency == moreno_tiny_catalog.max_selectivity()
+        # Bucket averages integrate to the total frequency mass.
+        mass = sum((end - start) * avg for start, end, avg in result.buckets)
+        assert mass == pytest.approx(moreno_tiny_catalog.total_selectivity())
+
+    def test_native_order_is_non_monotone(self, moreno_tiny_catalog):
+        """The premise of Figure 1: the native order interleaves large and
+        small frequencies, so the sequence is far from sorted."""
+        result = run_figure1(catalog=moreno_tiny_catalog, bucket_count=8)
+        values = result.frequencies
+        inversions = sum(1 for a, b in zip(values, values[1:]) if a > b)
+        assert inversions > len(values) * 0.1
+
+    def test_as_series_shape(self, moreno_tiny_catalog):
+        series = run_figure1(catalog=moreno_tiny_catalog, bucket_count=4).as_series()
+        assert set(series) >= {"dataset", "k", "buckets", "paths", "frequencies", "histogram"}
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def figure2_result(self, moreno_tiny_catalog):
+        return run_figure2(
+            datasets=("moreno-health",),
+            max_lengths=(2, 3),
+            bucket_fractions=(0.05, 0.2),
+            catalogs={"moreno-health": moreno_tiny_catalog},
+        )
+
+    def test_grid_complete(self, figure2_result):
+        # 1 dataset x 2 k x 2 beta x 5 methods
+        assert len(figure2_result.results) == 2 * 2 * len(PAPER_ORDERINGS)
+
+    def test_series_pivot(self, figure2_result):
+        panel = figure2_result.series("moreno-health", 3)
+        assert len(panel) == 2  # two beta values
+        assert set(panel[0]) == {"buckets", *PAPER_ORDERINGS}
+
+    def test_sum_based_wins_on_average(self, figure2_result):
+        """The paper's headline finding."""
+        means = figure2_result.mean_error_by_method("moreno-health")
+        assert means["sum-based"] <= min(
+            means[m] for m in PAPER_ORDERINGS if m != "sum-based"
+        ) + 1e-9
+
+    def test_error_decreases_with_buckets(self, figure2_result):
+        for method in PAPER_ORDERINGS:
+            for k in (2, 3):
+                cells = sorted(
+                    (
+                        (r.bucket_count, r.mean_error_rate)
+                        for r in figure2_result.results
+                        if r.method == method and r.max_length == k
+                    )
+                )
+                assert cells[-1][1] <= cells[0][1] + 0.05, (method, k)
+
+    def test_render(self, figure2_result):
+        text = figure2_result.render("moreno-health", 2)
+        assert "sum-based" in text
+        assert figure2_result.render("unknown", 9) == "(no records)"

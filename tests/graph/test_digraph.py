@@ -1,0 +1,186 @@
+"""Tests for the edge-labeled digraph store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, UnknownLabelError, UnknownVertexError
+from repro.graph.digraph import Edge, LabeledDiGraph
+
+
+class TestEdge:
+    def test_fields(self):
+        edge = Edge("a", "x", "b")
+        assert edge.source == "a"
+        assert edge.label == "x"
+        assert edge.target == "b"
+
+    def test_behaves_like_tuple(self):
+        assert Edge("a", "x", "b") == ("a", "x", "b")
+        assert hash(Edge("a", "x", "b")) == hash(("a", "x", "b"))
+
+    def test_reversed(self):
+        assert Edge("a", "x", "b").reversed() == Edge("b", "x", "a")
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = LabeledDiGraph()
+        assert graph.vertex_count == 0
+        assert graph.edge_count == 0
+        assert graph.label_count == 0
+        assert graph.labels() == []
+
+    def test_add_edge_creates_vertices(self):
+        graph = LabeledDiGraph()
+        assert graph.add_edge("a", "x", "b")
+        assert graph.vertex_count == 2
+        assert graph.edge_count == 1
+        assert graph.has_edge("a", "x", "b")
+
+    def test_duplicate_edge_ignored(self):
+        graph = LabeledDiGraph()
+        assert graph.add_edge("a", "x", "b")
+        assert not graph.add_edge("a", "x", "b")
+        assert graph.edge_count == 1
+
+    def test_same_pair_different_labels_allowed(self):
+        graph = LabeledDiGraph()
+        graph.add_edge("a", "x", "b")
+        graph.add_edge("a", "y", "b")
+        assert graph.edge_count == 2
+        assert graph.label_count == 2
+
+    def test_self_loop_allowed(self):
+        graph = LabeledDiGraph()
+        graph.add_edge("a", "x", "a")
+        assert graph.has_edge("a", "x", "a")
+        assert graph.vertex_count == 1
+
+    def test_constructor_edges(self, triangle_graph):
+        assert triangle_graph.vertex_count == 4
+        assert triangle_graph.edge_count == 6
+        assert triangle_graph.labels() == ["x", "y", "z"]
+
+    def test_non_string_label_rejected(self):
+        graph = LabeledDiGraph()
+        with pytest.raises(GraphError):
+            graph.add_edge("a", 1, "b")
+
+    def test_add_vertices_from_idempotent(self):
+        graph = LabeledDiGraph()
+        graph.add_vertices_from(["a", "b", "a"])
+        assert graph.vertex_count == 2
+
+    def test_add_edges_from_returns_new_count(self):
+        graph = LabeledDiGraph()
+        added = graph.add_edges_from([("a", "x", "b"), ("a", "x", "b"), ("b", "x", "c")])
+        assert added == 2
+
+
+class TestRemoval:
+    def test_remove_edge(self, triangle_graph):
+        assert triangle_graph.remove_edge("a", "x", "b")
+        assert not triangle_graph.has_edge("a", "x", "b")
+        assert triangle_graph.edge_count == 5
+
+    def test_remove_missing_edge_returns_false(self, triangle_graph):
+        assert not triangle_graph.remove_edge("a", "z", "b")
+        assert triangle_graph.edge_count == 6
+
+    def test_removing_last_edge_of_label_removes_label(self):
+        graph = LabeledDiGraph([("a", "x", "b")])
+        graph.remove_edge("a", "x", "b")
+        assert not graph.has_label("x")
+        assert graph.label_count == 0
+
+
+class TestAdjacency:
+    def test_successors(self, triangle_graph):
+        assert triangle_graph.successors("a", "x") == {"b", "c"}
+        assert triangle_graph.successors("a", "y") == frozenset()
+
+    def test_predecessors(self, triangle_graph):
+        assert triangle_graph.predecessors("c", "y") == {"b"}
+        assert triangle_graph.predecessors("d", "x") == {"b"}
+
+    def test_unknown_vertex_raises(self, triangle_graph):
+        with pytest.raises(UnknownVertexError):
+            triangle_graph.successors("nope", "x")
+        with pytest.raises(UnknownVertexError):
+            triangle_graph.predecessors("nope", "x")
+
+    def test_degrees(self, triangle_graph):
+        assert triangle_graph.out_degree("a") == 2
+        assert triangle_graph.out_degree("a", "x") == 2
+        assert triangle_graph.out_degree("a", "y") == 0
+        assert triangle_graph.in_degree("c") == 2
+        assert triangle_graph.in_degree("d", "y") == 1
+
+    def test_forward_adjacency_unknown_label(self, triangle_graph):
+        with pytest.raises(UnknownLabelError):
+            triangle_graph.forward_adjacency("missing")
+
+    def test_backward_adjacency(self, triangle_graph):
+        backward = triangle_graph.backward_adjacency("x")
+        assert backward["b"] == {"a"}
+
+
+class TestCountsAndSelectivity:
+    def test_label_edge_counts(self, triangle_graph):
+        assert triangle_graph.label_edge_counts() == {"x": 3, "y": 2, "z": 1}
+
+    def test_label_selectivity_matches_edge_count(self, triangle_graph):
+        assert triangle_graph.label_selectivity("x") == 3
+        assert triangle_graph.label_selectivities() == {"x": 3, "y": 2, "z": 1}
+
+    def test_unknown_label_count_is_zero(self, triangle_graph):
+        assert triangle_graph.label_edge_count("missing") == 0
+
+
+class TestInterningAndConversion:
+    def test_vertex_ids_are_dense(self, triangle_graph):
+        ids = sorted(triangle_graph.vertex_id(v) for v in triangle_graph.vertices())
+        assert ids == list(range(triangle_graph.vertex_count))
+
+    def test_vertex_by_id_round_trip(self, triangle_graph):
+        for vertex in triangle_graph.vertices():
+            assert triangle_graph.vertex_by_id(triangle_graph.vertex_id(vertex)) == vertex
+
+    def test_vertex_id_unknown(self, triangle_graph):
+        with pytest.raises(UnknownVertexError):
+            triangle_graph.vertex_id("missing")
+
+    def test_copy_is_equal_but_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        assert clone == triangle_graph
+        clone.add_edge("a", "w", "d")
+        assert clone != triangle_graph
+
+    def test_subgraph_with_labels(self, triangle_graph):
+        sub = triangle_graph.subgraph_with_labels(["x"])
+        assert sub.edge_count == 3
+        assert sub.labels() == ["x"]
+        # Vertices are preserved even if they lose all incident edges.
+        assert sub.vertex_count == triangle_graph.vertex_count
+
+    def test_networkx_round_trip(self, triangle_graph):
+        nx_graph = triangle_graph.to_networkx()
+        back = LabeledDiGraph.from_networkx(nx_graph)
+        assert back == triangle_graph
+
+    def test_contains_protocol(self, triangle_graph):
+        assert "a" in triangle_graph
+        assert ("a", "x", "b") in triangle_graph
+        assert ("a", "z", "b") not in triangle_graph
+        assert "missing" not in triangle_graph
+
+    def test_len_is_vertex_count(self, triangle_graph):
+        assert len(triangle_graph) == 4
+
+    def test_edges_with_label(self, triangle_graph):
+        edges = set(triangle_graph.edges_with_label("y"))
+        assert edges == {("b", "y", "c"), ("c", "y", "d")}
+
+    def test_edges_iterates_all(self, triangle_graph):
+        assert len(list(triangle_graph.edges())) == 6

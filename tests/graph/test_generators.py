@@ -1,0 +1,124 @@
+"""Tests for the random graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    correlated_label_graph,
+    default_labels,
+    erdos_renyi_graph,
+    forest_fire_graph,
+    zipf_labeled_graph,
+)
+from repro.graph.statistics import gini_coefficient
+
+
+class TestDefaultLabels:
+    def test_labels_are_one_based_strings(self):
+        assert default_labels(3) == ["1", "2", "3"]
+
+    def test_invalid_count(self):
+        with pytest.raises(GraphError):
+            default_labels(0)
+
+
+class TestErdosRenyi:
+    def test_shape(self):
+        graph = erdos_renyi_graph(50, 200, 4, seed=1)
+        assert graph.vertex_count == 50
+        assert graph.edge_count == 200
+        assert graph.label_count <= 4
+
+    def test_deterministic_for_seed(self):
+        first = erdos_renyi_graph(30, 100, 3, seed=5)
+        second = erdos_renyi_graph(30, 100, 3, seed=5)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = erdos_renyi_graph(30, 100, 3, seed=5)
+        second = erdos_renyi_graph(30, 100, 3, seed=6)
+        assert first != second
+
+    def test_edge_count_capped_at_max_pairs(self):
+        graph = erdos_renyi_graph(3, 1000, 2, seed=0)
+        assert graph.edge_count <= 9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(0, 10, 2)
+        with pytest.raises(GraphError):
+            erdos_renyi_graph(10, -1, 2)
+
+    def test_custom_labels(self):
+        graph = erdos_renyi_graph(20, 60, 2, labels=["knows", "likes"], seed=2)
+        assert set(graph.labels()).issubset({"knows", "likes"})
+
+
+class TestForestFire:
+    def test_connected_growth(self):
+        graph = forest_fire_graph(60, 4, seed=2)
+        assert graph.vertex_count == 60
+        # Every non-initial vertex links to at least one ambassador.
+        assert graph.edge_count >= 59
+
+    def test_deterministic(self):
+        assert forest_fire_graph(40, 3, seed=9) == forest_fire_graph(40, 3, seed=9)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GraphError):
+            forest_fire_graph(10, 2, forward_probability=1.5)
+        with pytest.raises(GraphError):
+            forest_fire_graph(10, 2, backward_probability=-0.1)
+
+
+class TestBarabasiAlbert:
+    def test_shape(self):
+        graph = barabasi_albert_graph(50, 2, 3, seed=4)
+        assert graph.vertex_count == 50
+        assert graph.edge_count > 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 5, 2)
+        with pytest.raises(GraphError):
+            barabasi_albert_graph(5, 0, 2)
+
+
+class TestLabelDistributions:
+    def test_zipf_labels_are_skewed(self):
+        uniform = erdos_renyi_graph(200, 2000, 6, seed=1)
+        skewed = zipf_labeled_graph(200, 2000, 6, skew=1.2, seed=1)
+        assert gini_coefficient(list(skewed.label_edge_counts().values())) > (
+            gini_coefficient(list(uniform.label_edge_counts().values()))
+        )
+
+    def test_correlated_graph_reuses_source_labels(self):
+        graph = correlated_label_graph(100, 1000, 6, correlation=0.9, seed=3)
+        # With strong correlation a vertex's out-edges concentrate on few labels:
+        # measure the average number of distinct labels per multi-edge source.
+        distinct_per_source: list[int] = []
+        for vertex in graph.vertices():
+            labels = {
+                edge.label
+                for label in graph.labels()
+                for edge in graph.edges_with_label(label)
+                if edge.source == vertex
+            }
+            out_degree = graph.out_degree(vertex)
+            if out_degree >= 4:
+                distinct_per_source.append(len(labels))
+        assert distinct_per_source, "expected some sources with several out-edges"
+        average_distinct = sum(distinct_per_source) / len(distinct_per_source)
+        assert average_distinct < 3.0
+
+    def test_correlation_validation(self):
+        with pytest.raises(GraphError):
+            correlated_label_graph(10, 20, 3, correlation=1.5)
+
+    def test_correlated_graph_deterministic(self):
+        first = correlated_label_graph(50, 200, 5, seed=11)
+        second = correlated_label_graph(50, 200, 5, seed=11)
+        assert first == second

@@ -1,0 +1,98 @@
+"""Tests for schema-driven graph generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.schema import GraphSchema, LabelSpec, generate_from_schema
+from repro.graph.statistics import summarize_graph
+
+
+class TestLabelSpec:
+    def test_defaults(self):
+        spec = LabelSpec(label="knows", edge_count=10)
+        assert spec.out_degree_distribution == "uniform"
+        assert spec.source_fraction == 1.0
+
+    def test_negative_edge_count_rejected(self):
+        with pytest.raises(GraphError):
+            LabelSpec(label="x", edge_count=-1)
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(GraphError):
+            LabelSpec(label="x", edge_count=1, out_degree_distribution="pareto")
+
+    def test_fraction_bounds(self):
+        with pytest.raises(GraphError):
+            LabelSpec(label="x", edge_count=1, source_fraction=0.0)
+        with pytest.raises(GraphError):
+            LabelSpec(label="x", edge_count=1, target_fraction=1.5)
+
+
+class TestGraphSchema:
+    def test_total_edges_and_labels(self):
+        schema = GraphSchema(
+            vertex_count=100,
+            labels=(LabelSpec("a", 10), LabelSpec("b", 20)),
+        )
+        assert schema.total_edges == 30
+        assert schema.label_names == ("a", "b")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(GraphError):
+            GraphSchema(vertex_count=10, labels=(LabelSpec("a", 1), LabelSpec("a", 2)))
+
+    def test_vertex_count_validated(self):
+        with pytest.raises(GraphError):
+            GraphSchema(vertex_count=0)
+
+    def test_from_label_counts(self):
+        schema = GraphSchema.from_label_counts(50, {"x": 5, "y": 10})
+        assert schema.total_edges == 15
+        assert schema.vertex_count == 50
+
+
+class TestGeneration:
+    def test_edge_counts_match_schema(self):
+        schema = GraphSchema(
+            vertex_count=200,
+            labels=(
+                LabelSpec("a", 100, out_degree_distribution="zipf"),
+                LabelSpec("b", 50, out_degree_distribution="uniform"),
+                LabelSpec("c", 25, out_degree_distribution="constant"),
+            ),
+            name="test",
+        )
+        graph = generate_from_schema(schema, seed=1)
+        counts = graph.label_edge_counts()
+        assert counts == {"a": 100, "b": 50, "c": 25}
+        assert graph.vertex_count == 200
+
+    def test_deterministic(self):
+        schema = GraphSchema.from_label_counts(60, {"x": 40, "y": 20})
+        assert generate_from_schema(schema, seed=3) == generate_from_schema(schema, seed=3)
+
+    def test_zipf_concentrates_out_degree(self):
+        schema = GraphSchema(
+            vertex_count=300,
+            labels=(LabelSpec("hub", 600, out_degree_distribution="zipf", zipf_exponent=1.5),),
+        )
+        graph = generate_from_schema(schema, seed=5)
+        summary = summarize_graph(graph)
+        assert summary.max_out_degree > 5 * summary.mean_out_degree
+
+    def test_typed_endpoints_restrict_sources(self):
+        schema = GraphSchema(
+            vertex_count=100,
+            labels=(LabelSpec("typed", 80, source_fraction=0.1),),
+        )
+        graph = generate_from_schema(schema, seed=7)
+        sources = {edge.source for edge in graph.edges_with_label("typed")}
+        assert all(vertex < 10 for vertex in sources)
+
+    def test_dense_request_does_not_hang(self):
+        # Requesting close to the maximum number of distinct pairs must finish.
+        schema = GraphSchema(vertex_count=5, labels=(LabelSpec("x", 24),))
+        graph = generate_from_schema(schema, seed=2)
+        assert graph.edge_count <= 25

@@ -1,0 +1,69 @@
+"""Tests for graph summary statistics."""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.statistics import (
+    gini_coefficient,
+    label_frequency_skew,
+    summarize_graph,
+)
+
+
+class TestGini:
+    def test_empty_is_zero(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_uniform_is_zero(self):
+        assert abs(gini_coefficient([5, 5, 5, 5])) < 1e-12
+
+    def test_all_mass_on_one_label_is_high(self):
+        assert gini_coefficient([0, 0, 0, 100]) > 0.7
+
+    def test_zero_total(self):
+        assert gini_coefficient([0, 0]) == 0.0
+
+
+class TestSkew:
+    def test_single_label(self):
+        graph = LabeledDiGraph([("a", "x", "b")])
+        assert label_frequency_skew(graph) == 1.0
+
+    def test_ratio(self, triangle_graph):
+        assert label_frequency_skew(triangle_graph) == 3.0
+
+    def test_empty_graph_has_unit_skew(self):
+        assert label_frequency_skew(LabeledDiGraph()) == 1.0
+        assert not math.isinf(label_frequency_skew(LabeledDiGraph()))
+
+
+class TestSummary:
+    def test_table_row_shape(self, triangle_graph):
+        summary = summarize_graph(triangle_graph)
+        row = summary.as_table_row()
+        assert row == {
+            "Dataset": "triangle",
+            "#Edge Labels": 3,
+            "#Vertices": 4,
+            "#Edges": 6,
+        }
+
+    def test_degree_statistics(self, triangle_graph):
+        summary = summarize_graph(triangle_graph)
+        assert summary.max_out_degree == 2
+        assert summary.max_in_degree == 2
+        assert summary.mean_out_degree == 6 / 4
+        assert summary.mean_in_degree == 6 / 4
+
+    def test_empty_graph(self):
+        summary = summarize_graph(LabeledDiGraph(name="empty"))
+        assert summary.vertex_count == 0
+        assert summary.mean_out_degree == 0.0
+        assert summary.max_in_degree == 0
+
+    def test_label_counts_included(self, triangle_graph):
+        summary = summarize_graph(triangle_graph)
+        assert summary.label_edge_counts == {"x": 3, "y": 2, "z": 1}
+        assert summary.label_gini > 0.0

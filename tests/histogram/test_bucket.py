@@ -1,0 +1,49 @@
+"""Tests for histogram buckets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HistogramError
+from repro.histogram.bucket import Bucket
+
+
+class TestBucket:
+    def test_from_frequencies(self):
+        bucket = Bucket.from_frequencies(3, [1.0, 2.0, 3.0])
+        assert bucket.start == 3
+        assert bucket.end == 6
+        assert bucket.width == 3
+        assert bucket.total == 6.0
+        assert bucket.average == 2.0
+        assert bucket.minimum == 1.0
+        assert bucket.maximum == 3.0
+
+    def test_variance_and_sse(self):
+        bucket = Bucket.from_frequencies(0, [2.0, 4.0, 6.0])
+        assert bucket.variance == pytest.approx(8.0 / 3.0)
+        assert bucket.sse == pytest.approx(8.0)
+
+    def test_constant_bucket_has_zero_sse(self):
+        bucket = Bucket.from_frequencies(0, [5.0, 5.0, 5.0])
+        assert bucket.sse == 0.0
+        assert bucket.variance == 0.0
+
+    def test_contains(self):
+        bucket = Bucket.from_frequencies(2, [1.0, 1.0])
+        assert bucket.contains(2)
+        assert bucket.contains(3)
+        assert not bucket.contains(4)
+        assert not bucket.contains(1)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(HistogramError):
+            Bucket(start=3, end=3, total=0, squared_total=0, minimum=0, maximum=0)
+        with pytest.raises(HistogramError):
+            Bucket.from_frequencies(0, [])
+
+    def test_singleton_bucket(self):
+        bucket = Bucket.from_frequencies(7, [9.0])
+        assert bucket.width == 1
+        assert bucket.average == 9.0
+        assert bucket.sse == 0.0

@@ -1,0 +1,132 @@
+"""Tests for the label-path histogram builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HistogramError
+from repro.histogram.builder import (
+    HISTOGRAM_KINDS,
+    LabelPathHistogram,
+    build_histogram,
+    domain_frequencies,
+    make_histogram,
+)
+from repro.ordering.registry import make_ordering
+from repro.paths.catalog import SelectivityCatalog
+
+
+class TestDomainFrequencies:
+    def test_layout_matches_ordering(self, small_catalog):
+        ordering = make_ordering("num-alph", catalog=small_catalog)
+        frequencies = domain_frequencies(small_catalog, ordering)
+        assert frequencies.shape == (small_catalog.domain_size,)
+        for index in range(0, ordering.size, 5):
+            path = ordering.path(index)
+            assert frequencies[index] == small_catalog.selectivity(path)
+
+    def test_total_mass_preserved_across_orderings(self, small_catalog):
+        totals = set()
+        for name in ("num-alph", "lex-card", "sum-based"):
+            ordering = make_ordering(name, catalog=small_catalog)
+            totals.add(float(domain_frequencies(small_catalog, ordering).sum()))
+        assert len(totals) == 1
+        assert totals.pop() == pytest.approx(small_catalog.total_selectivity())
+
+    def test_mismatched_alphabet_rejected(self, small_catalog):
+        foreign = make_ordering("num-alph", labels=["q", "r"], max_length=2)
+        with pytest.raises(HistogramError):
+            domain_frequencies(small_catalog, foreign)
+
+    def test_ordering_longer_than_catalog_rejected(self, small_catalog):
+        too_long = make_ordering(
+            "num-alph", labels=list(small_catalog.labels), max_length=small_catalog.max_length + 1
+        )
+        with pytest.raises(HistogramError):
+            domain_frequencies(small_catalog, too_long)
+
+    def test_shorter_ordering_allowed(self, small_catalog):
+        shorter = make_ordering(
+            "num-alph", labels=list(small_catalog.labels), max_length=1
+        )
+        frequencies = domain_frequencies(small_catalog, shorter)
+        assert frequencies.shape == (len(small_catalog.labels),)
+
+
+class TestMakeHistogram:
+    def test_every_registered_kind_constructs(self):
+        data = [1.0, 5.0, 2.0, 8.0, 4.0, 4.0]
+        for kind in HISTOGRAM_KINDS:
+            histogram = make_histogram(data, kind, 3)
+            assert histogram.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HistogramError):
+            make_histogram([1.0, 2.0], "wavelet", 1)
+
+    def test_kwargs_forwarded(self):
+        histogram = make_histogram([1.0, 2.0, 3.0], "v-optimal", 2, strategy="greedy")
+        assert histogram.effective_strategy == "greedy"
+
+
+class TestLabelPathHistogram:
+    def test_estimate_routes_through_ordering(self, small_catalog):
+        ordering = make_ordering("sum-based", catalog=small_catalog)
+        label_path_histogram = build_histogram(
+            small_catalog, ordering, bucket_count=8
+        )
+        path = ordering.path(3)
+        expected = label_path_histogram.histogram.estimate(3)
+        assert label_path_histogram.estimate(path) == pytest.approx(expected)
+        assert label_path_histogram.estimate_index(3) == pytest.approx(expected)
+
+    def test_method_name_and_buckets(self, small_catalog):
+        ordering = make_ordering("lex-card", catalog=small_catalog)
+        label_path_histogram = build_histogram(small_catalog, ordering, bucket_count=4)
+        assert label_path_histogram.method_name == "lex-card"
+        assert label_path_histogram.bucket_count == 4
+        assert label_path_histogram.ordering is ordering
+
+    def test_domain_mismatch_rejected(self, small_catalog):
+        ordering = make_ordering("num-alph", catalog=small_catalog)
+        wrong_size_histogram = make_histogram(np.ones(5), "equi-width", 2)
+        with pytest.raises(HistogramError):
+            LabelPathHistogram(ordering, wrong_size_histogram)
+
+    def test_precomputed_frequencies_reused(self, small_catalog):
+        ordering = make_ordering("num-card", catalog=small_catalog)
+        frequencies = domain_frequencies(small_catalog, ordering)
+        first = build_histogram(
+            small_catalog, ordering, bucket_count=8, frequencies=frequencies
+        )
+        second = build_histogram(small_catalog, ordering, bucket_count=8)
+        paths = [ordering.path(i) for i in range(0, ordering.size, 7)]
+        assert [first.estimate(p) for p in paths] == pytest.approx(
+            [second.estimate(p) for p in paths]
+        )
+
+    def test_total_sse_exposed(self, small_catalog):
+        ordering = make_ordering("num-alph", catalog=small_catalog)
+        label_path_histogram = build_histogram(small_catalog, ordering, bucket_count=4)
+        assert label_path_histogram.total_sse() >= 0.0
+
+
+class TestOrderingImprovesHistogramQuality:
+    def test_sum_based_has_lower_sse_than_native(self, moreno_tiny_catalog):
+        """The core claim: better ordering -> lower within-bucket variance."""
+        results = {}
+        for name in ("num-alph", "sum-based"):
+            ordering = make_ordering(name, catalog=moreno_tiny_catalog)
+            histogram = build_histogram(moreno_tiny_catalog, ordering, bucket_count=16)
+            results[name] = histogram.total_sse()
+        assert results["sum-based"] <= results["num-alph"]
+
+    def test_ideal_ordering_minimises_sse(self, moreno_tiny_catalog):
+        sse = {}
+        for name in ("num-alph", "sum-based", "ideal"):
+            ordering = make_ordering(name, catalog=moreno_tiny_catalog)
+            histogram = build_histogram(moreno_tiny_catalog, ordering, bucket_count=16)
+            sse[name] = histogram.total_sse()
+        assert sse["ideal"] <= sse["sum-based"]
+        assert sse["ideal"] <= sse["num-alph"]

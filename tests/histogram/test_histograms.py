@@ -1,0 +1,224 @@
+"""Tests for the concrete histogram types and the shared base machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HistogramError, InvalidBucketCountError
+from repro.histogram.base import Histogram, frequencies_to_array
+from repro.histogram.endbiased import EndBiasedHistogram
+from repro.histogram.equidepth import EquiDepthHistogram
+from repro.histogram.equiwidth import EquiWidthHistogram
+from repro.histogram.maxdiff import MaxDiffHistogram
+from repro.histogram.vopt import VOptimalHistogram
+
+ALL_KINDS = [
+    EquiWidthHistogram,
+    EquiDepthHistogram,
+    MaxDiffHistogram,
+    EndBiasedHistogram,
+    VOptimalHistogram,
+]
+
+SAMPLE = [5.0, 5.0, 5.0, 100.0, 100.0, 1.0, 1.0, 1.0, 50.0, 50.0, 50.0, 50.0]
+
+
+class TestFrequencyValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(HistogramError):
+            frequencies_to_array([1.0, -1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(HistogramError):
+            frequencies_to_array([])
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(HistogramError):
+            frequencies_to_array(np.zeros((2, 2)))
+
+    def test_accepts_ints_and_arrays(self):
+        assert frequencies_to_array([1, 2]).dtype == float
+        assert frequencies_to_array(np.array([1.0, 2.0])).tolist() == [1.0, 2.0]
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    @pytest.mark.parametrize("bucket_count", [1, 3, 6, len(SAMPLE)])
+    def test_buckets_tile_domain(self, histogram_cls, bucket_count):
+        histogram = histogram_cls(SAMPLE, bucket_count)
+        buckets = histogram.buckets
+        assert buckets[0].start == 0
+        assert buckets[-1].end == len(SAMPLE)
+        for left, right in zip(buckets, buckets[1:]):
+            assert left.end == right.start
+        assert histogram.bucket_count <= max(bucket_count, 1) or histogram_cls is EndBiasedHistogram
+
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    def test_total_frequency_preserved(self, histogram_cls):
+        histogram = histogram_cls(SAMPLE, 4)
+        assert histogram.total_frequency() == pytest.approx(sum(SAMPLE))
+
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    def test_point_estimate_is_bucket_average(self, histogram_cls):
+        histogram = histogram_cls(SAMPLE, 4)
+        for index in range(len(SAMPLE)):
+            bucket = histogram.bucket_for(index)
+            assert histogram.estimate(index) == pytest.approx(bucket.average)
+            assert bucket.contains(index)
+
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    def test_one_bucket_per_position_is_exact(self, histogram_cls):
+        histogram = histogram_cls(SAMPLE, len(SAMPLE))
+        for index, value in enumerate(SAMPLE):
+            assert histogram.estimate(index) == pytest.approx(value)
+        assert histogram.total_sse() == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    def test_invalid_bucket_counts(self, histogram_cls):
+        with pytest.raises(InvalidBucketCountError):
+            histogram_cls(SAMPLE, 0)
+        with pytest.raises(InvalidBucketCountError):
+            histogram_cls(SAMPLE, len(SAMPLE) + 1)
+
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    def test_out_of_domain_lookup(self, histogram_cls):
+        histogram = histogram_cls(SAMPLE, 3)
+        with pytest.raises(HistogramError):
+            histogram.estimate(-1)
+        with pytest.raises(HistogramError):
+            histogram.estimate(len(SAMPLE))
+
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    def test_range_estimate_full_domain_equals_total(self, histogram_cls):
+        histogram = histogram_cls(SAMPLE, 4)
+        assert histogram.estimate_range(0, len(SAMPLE)) == pytest.approx(sum(SAMPLE))
+        assert histogram.estimate_range(5, 5) == 0.0
+
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    def test_range_estimate_validation(self, histogram_cls):
+        histogram = histogram_cls(SAMPLE, 4)
+        with pytest.raises(HistogramError):
+            histogram.estimate_range(-1, 3)
+        with pytest.raises(HistogramError):
+            histogram.estimate_range(0, len(SAMPLE) + 1)
+
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    def test_serialisation_shape(self, histogram_cls):
+        document = histogram_cls(SAMPLE, 3).to_dict()
+        assert document["kind"] == histogram_cls.kind
+        assert document["domain_size"] == len(SAMPLE)
+        assert len(document["buckets"]) >= 1
+
+    @pytest.mark.parametrize("histogram_cls", ALL_KINDS)
+    def test_storage_entries(self, histogram_cls):
+        histogram = histogram_cls(SAMPLE, 3)
+        assert histogram.storage_entries() == 2 * histogram.bucket_count
+
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Histogram(SAMPLE, 2)
+
+
+class TestEquiWidth:
+    def test_widths_differ_by_at_most_one(self):
+        histogram = EquiWidthHistogram(list(range(10)), 4)
+        widths = [bucket.width for bucket in histogram.buckets]
+        assert sorted(widths) == [2, 2, 3, 3]
+
+    def test_exact_division(self):
+        histogram = EquiWidthHistogram(list(range(12)), 4)
+        assert all(bucket.width == 3 for bucket in histogram.buckets)
+
+
+class TestEquiDepth:
+    def test_mass_roughly_balanced(self):
+        histogram = EquiDepthHistogram(SAMPLE, 4)
+        target = sum(SAMPLE) / 4
+        for bucket in histogram.buckets:
+            assert bucket.total <= 2.5 * target
+
+    def test_all_zero_falls_back_to_equal_width(self):
+        histogram = EquiDepthHistogram([0.0] * 8, 4)
+        assert histogram.bucket_count == 4
+        assert all(bucket.width == 2 for bucket in histogram.buckets)
+
+
+class TestMaxDiff:
+    def test_boundaries_at_largest_jumps(self):
+        data = [1.0, 1.0, 1.0, 50.0, 50.0, 2.0, 2.0]
+        histogram = MaxDiffHistogram(data, 3)
+        starts = [bucket.start for bucket in histogram.buckets]
+        assert 3 in starts  # jump 1 -> 50
+        assert 5 in starts  # jump 50 -> 2
+
+    def test_single_bucket(self):
+        histogram = MaxDiffHistogram(SAMPLE, 1)
+        assert histogram.bucket_count == 1
+
+
+class TestEndBiased:
+    def test_top_frequency_isolated(self):
+        data = [1.0, 1.0, 500.0, 1.0, 1.0, 1.0]
+        histogram = EndBiasedHistogram(data, 3)
+        bucket = histogram.bucket_for(2)
+        assert bucket.width == 1
+        assert histogram.estimate(2) == pytest.approx(500.0)
+
+    def test_respects_bucket_budget(self):
+        histogram = EndBiasedHistogram(SAMPLE, 5)
+        assert histogram.bucket_count <= 5
+
+
+class TestVOptimal:
+    def test_exact_finds_obvious_boundaries(self):
+        data = [10.0] * 5 + [100.0] * 5 + [1.0] * 5
+        histogram = VOptimalHistogram(data, 3, strategy="exact")
+        starts = sorted(bucket.start for bucket in histogram.buckets)
+        assert starts == [0, 5, 10]
+        assert histogram.total_sse() == pytest.approx(0.0)
+
+    def test_greedy_finds_obvious_boundaries(self):
+        data = [10.0] * 5 + [100.0] * 5 + [1.0] * 5
+        histogram = VOptimalHistogram(data, 3, strategy="greedy")
+        starts = sorted(bucket.start for bucket in histogram.buckets)
+        assert starts == [0, 5, 10]
+
+    def test_exact_never_worse_than_greedy(self):
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 200, size=60).astype(float)
+        for beta in (2, 5, 9):
+            exact = VOptimalHistogram(data, beta, strategy="exact")
+            greedy = VOptimalHistogram(data, beta, strategy="greedy")
+            assert exact.total_sse() <= greedy.total_sse() + 1e-6
+
+    def test_exact_beats_equiwidth_on_sse(self):
+        rng = np.random.default_rng(11)
+        data = np.sort(rng.integers(0, 500, size=80)).astype(float)
+        vopt = VOptimalHistogram(data, 6, strategy="exact")
+        equiwidth = EquiWidthHistogram(data, 6)
+        assert vopt.total_sse() <= equiwidth.total_sse() + 1e-9
+
+    def test_auto_strategy_selection(self):
+        small = VOptimalHistogram([1.0, 2.0, 3.0, 4.0], 2)
+        assert small.effective_strategy == "exact"
+        from repro.histogram.vopt import EXACT_DOMAIN_LIMIT
+
+        large = VOptimalHistogram(
+            np.arange(EXACT_DOMAIN_LIMIT + 1, dtype=float), 4
+        )
+        assert large.effective_strategy == "greedy"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(HistogramError):
+            VOptimalHistogram(SAMPLE, 3, strategy="magic")
+
+    def test_greedy_pads_flat_distributions(self):
+        histogram = VOptimalHistogram([7.0] * 16, 4, strategy="greedy")
+        assert histogram.bucket_count == 4
+        assert histogram.total_sse() == pytest.approx(0.0)
+
+    def test_requested_strategy_reported(self):
+        histogram = VOptimalHistogram(SAMPLE, 3, strategy="greedy")
+        assert histogram.strategy == "greedy"
+        assert histogram.effective_strategy == "greedy"

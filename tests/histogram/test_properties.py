@@ -1,0 +1,99 @@
+"""Property-based tests (hypothesis) for histograms."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.histogram.endbiased import EndBiasedHistogram
+from repro.histogram.equidepth import EquiDepthHistogram
+from repro.histogram.equiwidth import EquiWidthHistogram
+from repro.histogram.maxdiff import MaxDiffHistogram
+from repro.histogram.vopt import VOptimalHistogram
+
+HISTOGRAM_CLASSES = [
+    EquiWidthHistogram,
+    EquiDepthHistogram,
+    MaxDiffHistogram,
+    EndBiasedHistogram,
+    VOptimalHistogram,
+]
+
+frequency_vectors = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=2,
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(frequencies=frequency_vectors, data=st.data())
+def test_buckets_always_tile_the_domain(frequencies, data):
+    bucket_count = data.draw(st.integers(min_value=1, max_value=len(frequencies)))
+    for histogram_cls in HISTOGRAM_CLASSES:
+        histogram = histogram_cls(frequencies, bucket_count)
+        buckets = histogram.buckets
+        assert buckets[0].start == 0
+        assert buckets[-1].end == len(frequencies)
+        for left, right in zip(buckets, buckets[1:]):
+            assert left.end == right.start
+
+
+@settings(max_examples=60, deadline=None)
+@given(frequencies=frequency_vectors, data=st.data())
+def test_total_mass_is_preserved(frequencies, data):
+    bucket_count = data.draw(st.integers(min_value=1, max_value=len(frequencies)))
+    for histogram_cls in HISTOGRAM_CLASSES:
+        histogram = histogram_cls(frequencies, bucket_count)
+        assert histogram.total_frequency() == np.sum(np.asarray(frequencies)) or (
+            abs(histogram.total_frequency() - float(np.sum(np.asarray(frequencies))))
+            <= 1e-6 * max(1.0, float(np.sum(np.asarray(frequencies))))
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(frequencies=frequency_vectors, data=st.data())
+def test_point_estimates_bounded_by_bucket_extremes(frequencies, data):
+    bucket_count = data.draw(st.integers(min_value=1, max_value=len(frequencies)))
+    for histogram_cls in HISTOGRAM_CLASSES:
+        histogram = histogram_cls(frequencies, bucket_count)
+        for index in range(len(frequencies)):
+            bucket = histogram.bucket_for(index)
+            estimate = histogram.estimate(index)
+            assert bucket.minimum - 1e-9 <= estimate <= bucket.maximum + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    frequencies=st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+        min_size=4,
+        max_size=40,
+    ),
+    data=st.data(),
+)
+def test_exact_voptimal_is_at_least_as_good_as_any_other(frequencies, data):
+    bucket_count = data.draw(st.integers(min_value=1, max_value=len(frequencies) // 2 or 1))
+    exact = VOptimalHistogram(frequencies, bucket_count, strategy="exact")
+    for histogram_cls in (EquiWidthHistogram, EquiDepthHistogram, MaxDiffHistogram):
+        other = histogram_cls(frequencies, bucket_count)
+        # The exact V-optimal SSE is the minimum over all β-bucket partitions,
+        # so no other histogram with at most as many buckets can beat it.
+        if other.bucket_count <= exact.bucket_count:
+            assert exact.total_sse() <= other.total_sse() + 1e-6
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    frequencies=st.lists(
+        st.integers(min_value=0, max_value=1000), min_size=2, max_size=60
+    ),
+    data=st.data(),
+)
+def test_more_buckets_never_hurt_exact_voptimal(frequencies, data):
+    small_beta = data.draw(st.integers(min_value=1, max_value=len(frequencies) - 1))
+    large_beta = data.draw(st.integers(min_value=small_beta, max_value=len(frequencies)))
+    small = VOptimalHistogram(frequencies, small_beta, strategy="exact")
+    large = VOptimalHistogram(frequencies, large_beta, strategy="exact")
+    assert large.total_sse() <= small.total_sse() + 1e-6

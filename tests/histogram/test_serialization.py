@@ -1,0 +1,81 @@
+"""Tests for label-path histogram persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HistogramError, OrderingError
+from repro.histogram.builder import build_histogram
+from repro.histogram.serialization import (
+    histogram_from_dict,
+    histogram_to_dict,
+    load_histogram,
+    save_histogram,
+)
+from repro.ordering.registry import PAPER_ORDERINGS, make_ordering
+from repro.paths.enumeration import enumerate_label_paths
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("method", PAPER_ORDERINGS)
+    def test_estimates_identical_after_round_trip(self, small_catalog, method, tmp_path):
+        ordering = make_ordering(method, catalog=small_catalog)
+        original = build_histogram(small_catalog, ordering, bucket_count=8)
+        target = tmp_path / "histogram.json"
+        save_histogram(original, target)
+        restored = load_histogram(target)
+        assert restored.method_name == original.method_name
+        assert restored.bucket_count == original.bucket_count
+        for path in enumerate_label_paths(small_catalog.labels, small_catalog.max_length):
+            assert restored.estimate(path) == pytest.approx(original.estimate(path))
+
+    def test_dict_round_trip_without_files(self, small_catalog):
+        ordering = make_ordering("sum-based", catalog=small_catalog)
+        original = build_histogram(small_catalog, ordering, bucket_count=6)
+        document = histogram_to_dict(original)
+        restored = histogram_from_dict(document)
+        assert restored.histogram.domain_size == original.histogram.domain_size
+
+    def test_restored_kind_preserved(self, small_catalog, tmp_path):
+        ordering = make_ordering("num-card", catalog=small_catalog)
+        original = build_histogram(
+            small_catalog, ordering, kind="equi-width", bucket_count=4
+        )
+        target = tmp_path / "h.json"
+        save_histogram(original, target)
+        assert load_histogram(target).histogram.kind == "equi-width"
+
+
+class TestValidation:
+    def test_ideal_ordering_not_serialisable(self, small_catalog):
+        ordering = make_ordering("ideal", catalog=small_catalog)
+        histogram = build_histogram(small_catalog, ordering, bucket_count=4)
+        with pytest.raises(OrderingError):
+            histogram_to_dict(histogram)
+
+    def test_invalid_document_rejected(self):
+        with pytest.raises(HistogramError):
+            histogram_from_dict({"ordering": {}, "histogram": {}})
+
+    def test_tampered_buckets_rejected(self, small_catalog):
+        ordering = make_ordering("num-alph", catalog=small_catalog)
+        document = histogram_to_dict(
+            build_histogram(small_catalog, ordering, bucket_count=4)
+        )
+        document["histogram"]["buckets"] = document["histogram"]["buckets"][:-1]
+        with pytest.raises(HistogramError):
+            histogram_from_dict(document)
+
+    def test_restored_histogram_cannot_be_rebucketed(self, small_catalog, tmp_path):
+        ordering = make_ordering("num-alph", catalog=small_catalog)
+        target = tmp_path / "h.json"
+        save_histogram(build_histogram(small_catalog, ordering, bucket_count=4), target)
+        restored = load_histogram(target)
+        with pytest.raises(HistogramError):
+            restored.histogram._boundaries(None, 2)
+
+    def test_load_non_object_rejected(self, tmp_path):
+        target = tmp_path / "bad.json"
+        target.write_text("[1, 2, 3]\n", encoding="utf-8")
+        with pytest.raises(HistogramError):
+            load_histogram(target)

@@ -1,0 +1,158 @@
+"""Tests for the combinatorial primitives of the sum-based ordering."""
+
+from __future__ import annotations
+
+import itertools
+from math import comb
+
+import pytest
+
+from repro.ordering.combinatorics import (
+    bounded_partitions,
+    compositions_count,
+    multiset_permutations_in_order,
+    permutation_count,
+    rank_permutation,
+    unrank_permutation,
+)
+
+
+def brute_force_compositions(total: int, parts: int, bound: int) -> int:
+    """Count compositions by enumeration (reference implementation)."""
+    return sum(
+        1
+        for combo in itertools.product(range(1, bound + 1), repeat=parts)
+        if sum(combo) == total
+    )
+
+
+class TestCompositionsCount:
+    @pytest.mark.parametrize("bound", [1, 2, 3, 4])
+    @pytest.mark.parametrize("parts", [1, 2, 3, 4])
+    def test_matches_brute_force(self, parts, bound):
+        for total in range(0, parts * bound + 2):
+            assert compositions_count(total, parts, bound) == brute_force_compositions(
+                total, parts, bound
+            ), (total, parts, bound)
+
+    def test_paper_example_values(self):
+        # dist(4, 2, 3) counts (1,3), (2,2), (3,1).
+        assert compositions_count(4, 2, 3) == 3
+        assert compositions_count(2, 2, 3) == 1
+        assert compositions_count(6, 2, 3) == 1
+
+    def test_out_of_range_is_zero(self):
+        assert compositions_count(1, 2, 3) == 0
+        assert compositions_count(7, 2, 3) == 0
+        assert compositions_count(5, 0, 3) == 0
+        assert compositions_count(5, -1, 3) == 0
+        assert compositions_count(5, 2, 0) == 0
+
+    def test_zero_parts_zero_total(self):
+        assert compositions_count(0, 0, 3) == 1
+
+    def test_unbounded_equivalence(self):
+        # With bound >= total the count is the stars-and-bars C(total-1, parts-1).
+        assert compositions_count(10, 3, 10) == comb(9, 2)
+
+    def test_total_over_all_sums_is_power(self):
+        # Summing over every achievable sum must give |L|^m.
+        parts, bound = 3, 4
+        total = sum(
+            compositions_count(s, parts, bound) for s in range(parts, parts * bound + 1)
+        )
+        assert total == bound**parts
+
+
+class TestBoundedPartitions:
+    def test_paper_order_for_sum4(self):
+        assert bounded_partitions(4, 2, 3) == [[2, 2], [1, 3]]
+
+    def test_paper_order_for_sum3(self):
+        assert bounded_partitions(3, 2, 3) == [[1, 2]]
+
+    def test_all_parts_within_bound_and_sum_correct(self):
+        for total in range(3, 10):
+            for partition in bounded_partitions(total, 3, 4):
+                assert len(partition) == 3
+                assert sum(partition) == total
+                assert all(1 <= part <= 4 for part in partition)
+
+    def test_counts_match_brute_force(self):
+        for total in range(2, 13):
+            partitions = bounded_partitions(total, 3, 4)
+            brute = {
+                tuple(sorted(combo))
+                for combo in itertools.product(range(1, 5), repeat=3)
+                if sum(combo) == total
+            }
+            assert {tuple(p) for p in partitions} == brute
+            assert len(partitions) == len(brute)  # no duplicates
+
+    def test_infeasible_cases_empty(self):
+        assert bounded_partitions(10, 2, 3) == []
+        assert bounded_partitions(1, 2, 3) == []
+        assert bounded_partitions(3, 2, 0) == []
+
+    def test_zero_parts(self):
+        assert bounded_partitions(0, 0, 3) == [[]]
+        assert bounded_partitions(1, 0, 3) == []
+
+    def test_bound_one(self):
+        assert bounded_partitions(3, 3, 1) == [[1, 1, 1]]
+        assert bounded_partitions(2, 3, 1) == []
+
+    def test_partition_permutations_cover_compositions(self):
+        # Sum of nop over all partitions of (sum, m, b) equals dist(sum, m, b).
+        for total in range(2, 9):
+            count = sum(
+                permutation_count(p) for p in bounded_partitions(total, 2, 4)
+            )
+            assert count == compositions_count(total, 2, 4)
+
+
+class TestPermutationCount:
+    def test_distinct_values(self):
+        assert permutation_count([1, 2, 3]) == 6
+
+    def test_with_duplicates(self):
+        assert permutation_count([1, 1, 2]) == 3
+        assert permutation_count([2, 2, 2]) == 1
+
+    def test_empty_and_single(self):
+        assert permutation_count([]) == 1
+        assert permutation_count([5]) == 1
+
+
+class TestPermutationRanking:
+    @pytest.mark.parametrize(
+        "combination",
+        [[1, 2], [1, 1, 2], [1, 2, 3], [2, 2, 3, 3], [1, 1, 1, 2], [1, 2, 3, 4]],
+    )
+    def test_unrank_rank_round_trip(self, combination):
+        total = permutation_count(combination)
+        seen = []
+        for index in range(total):
+            permutation = unrank_permutation(index, combination)
+            assert permutation is not None
+            assert sorted(permutation) == sorted(combination)
+            assert rank_permutation(permutation) == index
+            seen.append(tuple(permutation))
+        assert len(set(seen)) == total  # all permutations distinct
+
+    def test_out_of_range_returns_none(self):
+        assert unrank_permutation(-1, [1, 2]) is None
+        assert unrank_permutation(2, [1, 2]) is None
+        assert unrank_permutation(3, [1, 1, 2]) is None
+
+    def test_first_permutation_is_sorted(self):
+        assert unrank_permutation(0, [3, 1, 2]) == [1, 2, 3]
+
+    def test_order_groups_by_first_element(self):
+        # For C = {1, 2, 3}: permutations starting with 1 first, then 2, then 3.
+        firsts = [unrank_permutation(i, [1, 2, 3])[0] for i in range(6)]
+        assert firsts == [1, 1, 2, 2, 3, 3]
+
+    def test_multiset_permutations_in_order_enumerates_all(self):
+        perms = list(multiset_permutations_in_order([1, 1, 2]))
+        assert perms == [[1, 1, 2], [1, 2, 1], [2, 1, 1]]

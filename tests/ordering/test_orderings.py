@@ -1,0 +1,206 @@
+"""Tests for the numerical, lexicographical, sum-based and ideal orderings.
+
+The paper's Section 3.4 worked example (Tables 1 and 2) is asserted exactly
+in ``tests/experiments/test_ordering_example.py``; the tests here cover the
+bijection contract, edge cases and larger domains for each ordering rule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    IndexOutOfDomainError,
+    OrderingError,
+    UnknownLabelError,
+)
+from repro.ordering.ideal import IdealOrdering
+from repro.ordering.lexicographical import LexicographicalOrdering
+from repro.ordering.numerical import NumericalOrdering
+from repro.ordering.ranking import AlphabeticalRanking, CardinalityRanking
+from repro.ordering.sum_based import SumBasedOrdering
+from repro.paths.catalog import SelectivityCatalog
+from repro.paths.enumeration import domain_size, enumerate_label_paths
+from repro.paths.label_path import LabelPath
+
+LABELS = ["1", "2", "3"]
+CARDINALITIES = {"1": 20, "2": 100, "3": 80}
+
+
+def all_ordering_instances(max_length: int = 3):
+    """One instance of every practical ordering over the example alphabet."""
+    alph = AlphabeticalRanking(LABELS)
+    card = CardinalityRanking(CARDINALITIES)
+    return {
+        "num-alph": NumericalOrdering(alph, max_length),
+        "num-card": NumericalOrdering(card, max_length),
+        "lex-alph": LexicographicalOrdering(alph, max_length),
+        "lex-card": LexicographicalOrdering(card, max_length),
+        "sum-based": SumBasedOrdering(card, max_length),
+        "sum-alph": SumBasedOrdering(alph, max_length),
+    }
+
+
+class TestBijectionContract:
+    @pytest.mark.parametrize("name", list(all_ordering_instances()))
+    def test_full_round_trip_k3(self, name):
+        ordering = all_ordering_instances(3)[name]
+        assert ordering.size == domain_size(3, 3)
+        seen_paths = set()
+        for index in range(ordering.size):
+            path = ordering.path(index)
+            assert ordering.index(path) == index
+            seen_paths.add(path)
+        assert len(seen_paths) == ordering.size
+
+    @pytest.mark.parametrize("name", list(all_ordering_instances()))
+    def test_every_domain_path_gets_unique_index(self, name):
+        ordering = all_ordering_instances(2)[name]
+        indices = [
+            ordering.index(path) for path in enumerate_label_paths(LABELS, 2)
+        ]
+        assert sorted(indices) == list(range(ordering.size))
+
+    @pytest.mark.parametrize("name", list(all_ordering_instances()))
+    def test_index_validation(self, name):
+        ordering = all_ordering_instances(2)[name]
+        with pytest.raises(IndexOutOfDomainError):
+            ordering.path(-1)
+        with pytest.raises(IndexOutOfDomainError):
+            ordering.path(ordering.size)
+        with pytest.raises(OrderingError):
+            ordering.path("3")  # type: ignore[arg-type]
+
+    @pytest.mark.parametrize("name", list(all_ordering_instances()))
+    def test_path_validation(self, name):
+        ordering = all_ordering_instances(2)[name]
+        with pytest.raises(OrderingError):
+            ordering.index("1/1/1")  # longer than k
+        with pytest.raises(UnknownLabelError):
+            ordering.index("9")
+
+    def test_is_bijective_on_sample_helper(self):
+        ordering = NumericalOrdering(AlphabeticalRanking(LABELS), 3)
+        assert ordering.is_bijective_on_sample()
+
+    def test_iter_paths_matches_path(self):
+        ordering = LexicographicalOrdering(AlphabeticalRanking(LABELS), 2)
+        assert list(ordering.iter_paths()) == [
+            ordering.path(i) for i in range(ordering.size)
+        ]
+
+    def test_invalid_max_length(self):
+        with pytest.raises(OrderingError):
+            NumericalOrdering(AlphabeticalRanking(LABELS), 0)
+
+
+class TestNumericalOrdering:
+    def test_shorter_paths_come_first(self):
+        ordering = NumericalOrdering(AlphabeticalRanking(LABELS), 3)
+        assert ordering.path(0).length == 1
+        assert ordering.path(2).length == 1
+        assert ordering.path(3).length == 2
+        assert ordering.path(12).length == 3
+
+    def test_alphabetical_is_native_enumeration_order(self):
+        ordering = NumericalOrdering(AlphabeticalRanking(LABELS), 2)
+        expected = [str(path) for path in enumerate_label_paths(LABELS, 2)]
+        actual = [str(ordering.path(i)) for i in range(ordering.size)]
+        assert actual == expected
+
+    def test_full_name(self):
+        assert NumericalOrdering(AlphabeticalRanking(LABELS), 2).full_name == "num-alph"
+        assert NumericalOrdering(CardinalityRanking(CARDINALITIES), 2).full_name == "num-card"
+
+    def test_base_digit_interpretation(self):
+        # Index within the length-2 block equals the base-|L| value of digits.
+        ordering = NumericalOrdering(AlphabeticalRanking(LABELS), 2)
+        assert ordering.index("2/3") == 3 + 1 * 3 + 2
+
+
+class TestLexicographicalOrdering:
+    def test_prefix_immediately_precedes_extensions(self):
+        ordering = LexicographicalOrdering(AlphabeticalRanking(LABELS), 3)
+        index_of_one = ordering.index("1")
+        assert ordering.index("1/1") == index_of_one + 1
+        assert ordering.index("1/1/1") == index_of_one + 2
+
+    def test_last_path_is_all_max_label(self):
+        ordering = LexicographicalOrdering(AlphabeticalRanking(LABELS), 3)
+        assert str(ordering.path(ordering.size - 1)) == "3/3/3"
+
+    def test_dictionary_order_between_siblings(self):
+        ordering = LexicographicalOrdering(AlphabeticalRanking(LABELS), 2)
+        assert ordering.index("1/3") < ordering.index("2")
+        assert ordering.index("2/3") < ordering.index("3")
+
+    def test_full_name(self):
+        assert (
+            LexicographicalOrdering(CardinalityRanking(CARDINALITIES), 2).full_name
+            == "lex-card"
+        )
+
+
+class TestSumBasedOrdering:
+    def test_summed_rank_values_match_paper_table1(self):
+        ordering = SumBasedOrdering(CardinalityRanking(CARDINALITIES), 2)
+        expected = {
+            "1": 1, "2": 3, "3": 2,
+            "1/1": 2, "1/2": 4, "1/3": 3,
+            "2/1": 4, "2/2": 6, "2/3": 5,
+            "3/1": 3, "3/2": 5, "3/3": 4,
+        }
+        for path, summed in expected.items():
+            assert ordering.summed_rank(path) == summed, path
+
+    def test_summed_rank_monotone_blocks(self):
+        # Within one length block, the summed rank never decreases with index.
+        ordering = SumBasedOrdering(CardinalityRanking(CARDINALITIES), 3)
+        previous_by_length: dict[int, int] = {}
+        for index in range(ordering.size):
+            path = ordering.path(index)
+            summed = ordering.summed_rank(path)
+            if path.length in previous_by_length:
+                assert summed >= previous_by_length[path.length]
+            previous_by_length[path.length] = summed
+
+    def test_full_name_is_sum_based(self):
+        ordering = SumBasedOrdering(CardinalityRanking(CARDINALITIES), 2)
+        assert ordering.full_name == "sum-based"
+
+    def test_large_alphabet_round_trip_sampled(self):
+        labels = [str(i) for i in range(1, 9)]
+        cardinalities = {label: (index + 1) * 7 for index, label in enumerate(labels)}
+        ordering = SumBasedOrdering(CardinalityRanking(cardinalities), 4)
+        step = max(1, ordering.size // 500)
+        for index in range(0, ordering.size, step):
+            assert ordering.index(ordering.path(index)) == index
+
+
+class TestIdealOrdering:
+    def test_frequencies_monotone_in_index(self, small_catalog):
+        ordering = IdealOrdering(small_catalog)
+        values = [
+            small_catalog.selectivity(ordering.path(i)) for i in range(ordering.size)
+        ]
+        assert values == sorted(values)
+
+    def test_bijection(self, small_catalog):
+        ordering = IdealOrdering(small_catalog)
+        for index in range(0, ordering.size, 7):
+            assert ordering.index(ordering.path(index)) == index
+
+    def test_memory_entries_equals_domain(self, small_catalog):
+        ordering = IdealOrdering(small_catalog)
+        assert ordering.memory_entries() == small_catalog.domain_size
+
+    def test_full_name(self, small_catalog):
+        assert IdealOrdering(small_catalog).full_name == "ideal"
+
+    def test_mismatched_ranking_rejected(self, small_catalog):
+        foreign_ranking = AlphabeticalRanking(["q", "r"])
+        with pytest.raises(OrderingError):
+            IdealOrdering(small_catalog, ranking=foreign_ranking)
+
+    def test_catalog_property(self, small_catalog):
+        assert IdealOrdering(small_catalog).catalog is small_catalog

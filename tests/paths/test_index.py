@@ -1,0 +1,89 @@
+"""Tests for the materialised path index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PathError
+from repro.paths.enumeration import enumerate_label_paths
+from repro.paths.evaluation import MatrixPathEvaluator, evaluate_path
+from repro.paths.index import PathIndex
+from repro.paths.label_path import LabelPath
+
+
+class TestConstruction:
+    def test_length_one_matches_edge_sets(self, triangle_graph):
+        index = PathIndex(triangle_graph, 1)
+        assert index.pairs("x") == {("a", "b"), ("a", "c"), ("b", "d")}
+        assert index.selectivity("y") == 2
+        assert index.max_length == 1
+        assert index.labels == ("x", "y", "z")
+
+    def test_matches_matrix_evaluator_for_all_indexed_paths(self, small_graph):
+        index = PathIndex(small_graph, 3)
+        evaluator = MatrixPathEvaluator(small_graph)
+        for path in enumerate_label_paths(small_graph.labels(), 3):
+            assert index.pairs(path) == frozenset(evaluator.pairs(path)), path
+            assert index.selectivity(path) == evaluator.selectivity(path)
+
+    def test_matches_catalog(self, small_graph, small_catalog):
+        index = PathIndex(small_graph, small_catalog.max_length)
+        for path, value in small_catalog.items():
+            assert index.selectivity(path) == value
+
+    def test_prune_empty_controls_storage(self, triangle_graph):
+        pruned = PathIndex(triangle_graph, 2, prune_empty=True)
+        full = PathIndex(triangle_graph, 2, prune_empty=False)
+        assert len(pruned) < len(full)
+        assert len(full) == 12
+        # Lookups of pruned paths still answer (with the empty set).
+        assert pruned.pairs("z/z") == frozenset()
+
+    def test_label_restriction(self, triangle_graph):
+        index = PathIndex(triangle_graph, 2, labels=["x", "y"])
+        assert index.labels == ("x", "y")
+        assert "z" not in [str(p) for p in index.indexed_paths()]
+
+    def test_invalid_depth(self, triangle_graph):
+        with pytest.raises(PathError):
+            PathIndex(triangle_graph, 0)
+
+    def test_contains_and_len(self, triangle_graph):
+        index = PathIndex(triangle_graph, 2)
+        assert "x/y" in index
+        assert LabelPath.parse("x") in index
+        assert 42 not in index
+        assert len(index) == len(list(index.indexed_paths()))
+
+    def test_total_stored_pairs(self, triangle_graph):
+        index = PathIndex(triangle_graph, 1)
+        assert index.total_stored_pairs() == 6
+
+
+class TestLookupsAndEvaluation:
+    def test_too_long_lookup_rejected(self, triangle_graph):
+        index = PathIndex(triangle_graph, 2)
+        with pytest.raises(PathError):
+            index.pairs("x/y/z")
+
+    def test_evaluate_within_depth_is_lookup(self, triangle_graph):
+        index = PathIndex(triangle_graph, 2)
+        assert index.evaluate("x/y") == set(index.pairs("x/y"))
+
+    @pytest.mark.parametrize("query_length", [3, 4, 5, 6])
+    def test_evaluate_longer_paths_by_joining(self, small_graph, query_length):
+        index = PathIndex(small_graph, 2)
+        labels = small_graph.labels()
+        query = LabelPath([labels[i % len(labels)] for i in range(query_length)])
+        assert index.evaluate(query) == evaluate_path(small_graph, query)
+
+    def test_evaluate_empty_prefix_short_circuits(self, triangle_graph):
+        index = PathIndex(triangle_graph, 2)
+        # z/z is empty, so any extension evaluates to the empty set quickly.
+        assert index.evaluate("z/z/x/y") == set()
+
+    def test_index_snapshot_semantics(self, triangle_graph):
+        index = PathIndex(triangle_graph, 1)
+        before = index.selectivity("x")
+        triangle_graph.add_edge("c", "x", "d")
+        assert index.selectivity("x") == before

@@ -1,0 +1,135 @@
+"""Tests for the LabelPath value type."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidLabelPathError
+from repro.paths.label_path import LabelPath, as_label_path
+
+
+class TestConstruction:
+    def test_parse(self):
+        path = LabelPath.parse("1/2/3")
+        assert path.labels == ("1", "2", "3")
+        assert path.length == 3
+
+    def test_parse_strips_whitespace(self):
+        assert LabelPath.parse("  a/b ") == LabelPath(("a", "b"))
+
+    def test_parse_existing_path_is_identity(self):
+        path = LabelPath.parse("a/b")
+        assert LabelPath.parse(path) is path
+
+    def test_single(self):
+        assert LabelPath.single("x") == LabelPath(("x",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath(())
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath.parse("")
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath.parse("   ")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath(("a", ""))
+
+    def test_non_string_label_rejected(self):
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath(("a", 3))
+
+    def test_separator_inside_label_rejected(self):
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath(("a/b",))
+
+    def test_parse_non_string_rejected(self):
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath.parse(123)
+
+    def test_as_label_path_coercions(self):
+        assert as_label_path("a/b") == LabelPath(("a", "b"))
+        assert as_label_path(["a", "b"]) == LabelPath(("a", "b"))
+        path = LabelPath(("a",))
+        assert as_label_path(path) is path
+
+
+class TestAccessors:
+    def test_first_last(self):
+        path = LabelPath.parse("a/b/c")
+        assert path.first == "a"
+        assert path.last == "c"
+
+    def test_iteration_and_len(self):
+        path = LabelPath.parse("a/b/c")
+        assert list(path) == ["a", "b", "c"]
+        assert len(path) == 3
+
+    def test_indexing_and_slicing(self):
+        path = LabelPath.parse("a/b/c")
+        assert path[0] == "a"
+        assert path[1:] == LabelPath.parse("b/c")
+
+    def test_empty_slice_rejected(self):
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath.parse("a/b")[2:]
+
+    def test_str_round_trip(self):
+        assert str(LabelPath.parse("a/b/c")) == "a/b/c"
+        assert repr(LabelPath.parse("a")) == "LabelPath('a')"
+
+
+class TestComposition:
+    def test_concat_path(self):
+        assert LabelPath.parse("a/b").concat(LabelPath.parse("c")) == LabelPath.parse("a/b/c")
+
+    def test_concat_string(self):
+        assert LabelPath.parse("a").concat("b/c") == LabelPath.parse("a/b/c")
+
+    def test_prefix_suffix(self):
+        path = LabelPath.parse("a/b/c")
+        assert path.prefix(2) == LabelPath.parse("a/b")
+        assert path.suffix(1) == LabelPath.parse("c")
+
+    def test_prefix_out_of_range(self):
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath.parse("a/b").prefix(0)
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath.parse("a/b").suffix(3)
+
+    def test_prefixes(self):
+        assert list(LabelPath.parse("a/b/c").prefixes()) == [
+            LabelPath.parse("a"),
+            LabelPath.parse("a/b"),
+            LabelPath.parse("a/b/c"),
+        ]
+
+    def test_split_at(self):
+        left, right = LabelPath.parse("a/b/c").split_at(1)
+        assert left == LabelPath.parse("a")
+        assert right == LabelPath.parse("b/c")
+
+    def test_split_at_out_of_range(self):
+        with pytest.raises(InvalidLabelPathError):
+            LabelPath.parse("a/b").split_at(2)
+
+
+class TestEqualityAndHashing:
+    def test_equality_with_tuple(self):
+        assert LabelPath.parse("a/b") == ("a", "b")
+
+    def test_hashable_and_usable_as_dict_key(self):
+        mapping = {LabelPath.parse("a/b"): 1}
+        assert mapping[LabelPath(("a", "b"))] == 1
+
+    def test_ordering_for_sorting(self):
+        paths = [LabelPath.parse("b"), LabelPath.parse("a/c"), LabelPath.parse("a")]
+        assert sorted(paths) == [
+            LabelPath.parse("a"),
+            LabelPath.parse("a/c"),
+            LabelPath.parse("b"),
+        ]
+
+    def test_not_equal_to_other_types(self):
+        assert LabelPath.parse("a") != 42

@@ -1,0 +1,76 @@
+"""Tests for base label sets and the greedy splitting rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PathError
+from repro.paths.label_path import LabelPath
+from repro.paths.splitting import (
+    BaseLabelSet,
+    GreedySplitter,
+    edge_label_base_set,
+    length_bounded_base_set,
+)
+
+
+class TestBaseLabelSet:
+    def test_edge_label_base_set(self):
+        base = edge_label_base_set(["a", "b"])
+        assert len(base) == 2
+        assert LabelPath.parse("a") in base
+        assert base.max_member_length == 1
+
+    def test_length_bounded_base_set(self):
+        base = length_bounded_base_set(["a", "b"], 2)
+        assert len(base) == 6  # a, b, aa, ab, ba, bb
+        assert LabelPath.parse("a/b") in base
+        assert base.max_member_length == 2
+
+    def test_missing_single_labels_rejected(self):
+        with pytest.raises(PathError, match="missing"):
+            BaseLabelSet([LabelPath.parse("a")], ["a", "b"])
+
+    def test_member_with_foreign_label_rejected(self):
+        with pytest.raises(PathError):
+            BaseLabelSet([LabelPath.parse("a"), LabelPath.parse("c")], ["a"])
+
+    def test_sorted_members_deterministic(self):
+        base = length_bounded_base_set(["b", "a"], 2)
+        members = base.sorted_members()
+        assert members[0] == LabelPath.parse("a")
+        assert members == sorted(members, key=lambda p: (p.length, p.labels))
+
+    def test_invalid_bound(self):
+        with pytest.raises(PathError):
+            length_bounded_base_set(["a"], 0)
+
+
+class TestGreedySplitter:
+    def test_single_label_base_splits_into_labels(self):
+        splitter = GreedySplitter(edge_label_base_set(["1", "2"]))
+        assert splitter.split("1/2/1") == [
+            LabelPath.parse("1"),
+            LabelPath.parse("2"),
+            LabelPath.parse("1"),
+        ]
+
+    def test_paper_example_over_l2(self):
+        # "4/4/3/3/6" over B = L2 splits into "4/4", "3/3", "6" (Section 3.1).
+        labels = ["3", "4", "6"]
+        splitter = GreedySplitter(length_bounded_base_set(labels, 2))
+        assert [str(piece) for piece in splitter.split("4/4/3/3/6")] == ["4/4", "3/3", "6"]
+
+    def test_greedy_prefers_longest_piece(self):
+        labels = ["a", "b"]
+        splitter = GreedySplitter(length_bounded_base_set(labels, 2))
+        assert [str(p) for p in splitter.split("a/b/a")] == ["a/b", "a"]
+
+    def test_piece_count(self):
+        splitter = GreedySplitter(length_bounded_base_set(["a", "b"], 2))
+        assert splitter.piece_count("a/b/a/b") == 2
+        assert splitter.piece_count("a") == 1
+
+    def test_base_set_property(self):
+        base = edge_label_base_set(["a"])
+        assert GreedySplitter(base).base_set is base

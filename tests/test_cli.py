@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table3"])
+        assert args.name == "table3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestCommands:
+    def test_datasets_lists_table3(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "moreno-health" in output
+        assert "209068" in output  # DBpedia edge count from the paper
+
+    def test_generate_catalog_estimate_round_trip(self, tmp_path, capsys):
+        graph_path = tmp_path / "graph.tsv"
+        catalog_path = tmp_path / "catalog.json"
+        assert main(["generate", "moreno-health", "--scale", "0.02", "-o", str(graph_path)]) == 0
+        assert graph_path.exists()
+        assert main(["catalog", str(graph_path), "-k", "2", "-o", str(catalog_path)]) == 0
+        assert catalog_path.exists()
+        assert (
+            main(
+                [
+                    "estimate",
+                    str(catalog_path),
+                    "1/2",
+                    "--ordering",
+                    "sum-based",
+                    "--buckets",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "estimate" in output and "true" in output
+
+    def test_experiment_ordering_example(self, capsys):
+        assert main(["experiment", "ordering-example"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output and "Table 2" in output
+        assert "sum-based" in output
+
+    def test_experiment_table3_json(self, capsys):
+        assert main(["experiment", "table3", "--scale", "0.02", "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 4
+
+    def test_experiment_ablation_vopt(self, capsys):
+        assert main(["experiment", "ablation-vopt"]) == 0
+        assert "sse_ratio" in capsys.readouterr().out
+
+    def test_experiment_figure1(self, capsys):
+        assert main(["experiment", "figure1", "--scale", "0.02", "-k", "2"]) == 0
+        assert "figure 1" in capsys.readouterr().out
+
+    def test_experiment_table4_small(self, capsys):
+        assert main(["experiment", "table4", "--scale", "0.02", "-k", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "sum-based" in output and "slowdown" in output
