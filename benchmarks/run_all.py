@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Run every ``bench_*.py`` and emit one machine-readable JSON.
+
+The script is the repo's benchmark-regression entry point: it executes the
+whole pytest-benchmark suite in one invocation (so the session-scoped graph
+and catalog fixtures are built once), then measures the engine's two
+headline numbers directly — batch-vs-loop speedup on a ≥ 10k-path workload
+and cold-vs-warm session build — and writes everything to a single JSON
+document whose filename convention (``BENCH_engine.json``) accumulates the
+perf trajectory over PRs.
+
+Usage::
+
+    python benchmarks/run_all.py --quick --json BENCH_engine.json
+
+``--quick`` trims pytest-benchmark to one round per benchmark; the full run
+uses the calibrated defaults.  Exit code is non-zero when the pytest run
+fails or the engine acceptance numbers regress (speedup < 10×, warm build
+rebuilding the catalog).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+# Allow running straight from a checkout without installing the package.
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Workload size for the direct batch-vs-loop measurement.
+BATCH_SIZE = 10_000
+
+#: Acceptance floor for the batch speedup (see ISSUE/ROADMAP).
+SPEEDUP_FLOOR = 10.0
+
+QUICK_FLAGS = [
+    "--benchmark-min-rounds=1",
+    "--benchmark-max-time=0.1",
+    "--benchmark-warmup=off",
+]
+
+
+def discover_bench_files() -> list[Path]:
+    """All ``bench_*.py`` files, sorted by name."""
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+def run_pytest_suite(quick: bool) -> dict[str, object]:
+    """Run the whole benchmark suite once; return wall time + per-bench stats."""
+    bench_files = discover_bench_files()
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "pytest-benchmark.json"
+        command = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *[str(path) for path in bench_files],
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            f"--benchmark-json={json_path}",
+        ]
+        if quick:
+            command.extend(QUICK_FLAGS)
+        env = dict(os.environ)
+        src = str(REPO_ROOT / "src")
+        env["PYTHONPATH"] = src + (
+            ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        started = time.perf_counter()
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+        wall_seconds = time.perf_counter() - started
+        benchmarks: list[dict[str, object]] = []
+        if json_path.exists():
+            document = json.loads(json_path.read_text(encoding="utf-8"))
+            for entry in document.get("benchmarks", []):
+                stats = entry.get("stats", {})
+                benchmarks.append(
+                    {
+                        "file": str(entry.get("fullname", "")).split("::")[0],
+                        "name": entry.get("name"),
+                        "group": entry.get("group"),
+                        "mean_seconds": stats.get("mean"),
+                        "stddev_seconds": stats.get("stddev"),
+                        "min_seconds": stats.get("min"),
+                        "rounds": stats.get("rounds"),
+                    }
+                )
+    return {
+        "exit_code": completed.returncode,
+        "wall_seconds": wall_seconds,
+        "files": [path.name for path in bench_files],
+        "benchmarks": benchmarks,
+    }
+
+
+def measure_engine(quick: bool) -> dict[str, object]:
+    """Directly measure the engine acceptance numbers.
+
+    Returns batch-vs-loop timings on a ``BATCH_SIZE``-path workload and
+    cold/warm session-build timings against a throwaway artifact cache.
+    """
+    import numpy as np
+
+    from repro.datasets.registry import load_dataset
+    from repro.engine import EngineConfig, EstimationSession
+    from repro.paths.enumeration import enumerate_label_paths
+
+    scale = 0.03 if quick else 0.05
+    graph = load_dataset("moreno-health", scale=scale, seed=11)
+    config = EngineConfig(max_length=3, ordering="sum-based", bucket_count=32)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        started = time.perf_counter()
+        cold = EstimationSession.build(graph, config, cache_dir=cache_dir, workers=4)
+        cold_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        warm = EstimationSession.build(graph, config, cache_dir=cache_dir)
+        warm_seconds = time.perf_counter() - started
+
+        domain = [
+            str(path)
+            for path in enumerate_label_paths(
+                cold.catalog.labels, config.max_length
+            )
+        ]
+        rng = np.random.default_rng(7)
+        workload = [domain[i] for i in rng.integers(0, len(domain), BATCH_SIZE)]
+
+        # Warm both paths once so neither pays one-time lazy costs in the
+        # timed region, then time each over identical inputs.
+        cold.estimate_batch(workload[:64])
+        [cold.estimate(path) for path in workload[:64]]
+
+        started = time.perf_counter()
+        batch = cold.estimate_batch(workload)
+        batch_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        loop = [cold.estimate(path) for path in workload]
+        loop_seconds = time.perf_counter() - started
+
+        parity = bool(np.allclose(batch, np.asarray(loop)))
+        speedup = loop_seconds / batch_seconds if batch_seconds > 0 else float("inf")
+
+        return {
+            "dataset": "moreno-health",
+            "scale": scale,
+            "domain_size": cold.domain_size,
+            "batch_paths": BATCH_SIZE,
+            "batch_seconds": batch_seconds,
+            "loop_seconds": loop_seconds,
+            "batch_speedup": speedup,
+            "batch_speedup_floor": SPEEDUP_FLOOR,
+            "batch_matches_loop": parity,
+            "cold_build_seconds": cold_seconds,
+            "warm_build_seconds": warm_seconds,
+            "cold_catalog_seconds": cold.stats.catalog_seconds,
+            "warm_catalog_seconds": warm.stats.catalog_seconds,
+            "warm_catalog_from_cache": warm.stats.catalog_from_cache,
+            "warm_histogram_from_cache": warm.stats.histogram_from_cache,
+            "warm_positions_from_cache": warm.stats.positions_from_cache,
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one-round benchmarks and a smaller engine graph (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--json",
+        default="BENCH_engine.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--skip-suite",
+        action="store_true",
+        help="skip the pytest-benchmark suite, emit only the engine numbers",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    suite = None if args.skip_suite else run_pytest_suite(args.quick)
+    engine = measure_engine(args.quick)
+    total_seconds = time.perf_counter() - started
+
+    document = {
+        "schema": "repro-bench/v1",
+        "quick": args.quick,
+        "python": sys.version.split()[0],
+        "generated_unix": time.time(),
+        "total_wall_seconds": total_seconds,
+        "engine": engine,
+    }
+    if suite is not None:
+        document["suite"] = suite
+
+    output = Path(args.json)
+    output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+    ok = engine["batch_matches_loop"] and engine["batch_speedup"] >= SPEEDUP_FLOOR
+    ok = ok and engine["warm_catalog_from_cache"]
+    if suite is not None:
+        ok = ok and suite["exit_code"] == 0
+    print(
+        f"wrote {output} — batch speedup {engine['batch_speedup']:.1f}x "
+        f"on {engine['batch_paths']} paths, warm catalog from cache: "
+        f"{engine['warm_catalog_from_cache']}, total {total_seconds:.1f}s"
+    )
+    if not ok:
+        print("benchmark regression: acceptance thresholds not met", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ into focused subpackages:
 * :mod:`repro.histogram` — equi-width/equi-depth/MaxDiff/end-biased/V-optimal;
 * :mod:`repro.estimation` — estimators, error metrics, workloads, sweeps;
 * :mod:`repro.optimizer` — a path-query planner consuming the estimates;
+* :mod:`repro.engine` — the batched estimation engine with artifact caching;
 * :mod:`repro.datasets` — Table 3 dataset stand-ins;
 * :mod:`repro.experiments` — the per-table/per-figure harnesses;
 * :mod:`repro.core` — the curated "paper surface" re-exports.
@@ -42,6 +43,7 @@ from repro.core import (
     q_error,
     run_sweep,
 )
+from repro.engine import ArtifactCache, EngineConfig, EstimationSession
 from repro.exceptions import ReproError
 
 __version__ = "1.0.0"
@@ -50,8 +52,11 @@ __all__ = [
     "HISTOGRAM_KINDS",
     "PAPER_ORDERINGS",
     "AlphabeticalRanking",
+    "ArtifactCache",
     "CardinalityRanking",
     "Edge",
+    "EngineConfig",
+    "EstimationSession",
     "ExactOracle",
     "LabelPath",
     "LabelPathHistogram",

@@ -10,6 +10,8 @@ tables and figures can be regenerated without writing Python::
     repro experiment table4 --scale 0.02 -k 3
     repro experiment figure2 --scale 0.01 -k 2 3
     repro estimate moreno.catalog.json "1/2/3" --ordering sum-based --buckets 32
+    repro engine build moreno.tsv -k 3 --cache-dir .repro-cache
+    repro engine estimate moreno.tsv "1/2/3" "2/2" --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.datasets.registry import available_datasets, load_dataset
+from repro.engine import EngineConfig, EstimationSession
 from repro.estimation.estimator import PathSelectivityEstimator
 from repro.experiments.ablation_histograms import run_histogram_ablation
 from repro.experiments.ablation_vopt import run_vopt_ablation
@@ -30,6 +33,7 @@ from repro.experiments.ordering_example import run_ordering_example
 from repro.experiments.reporting import format_records
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
+from repro.exceptions import ReproError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.paths.catalog import SelectivityCatalog
 
@@ -64,6 +68,51 @@ def build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--ordering", default="sum-based")
     estimate.add_argument("--buckets", type=int, default=32)
     estimate.add_argument("--histogram", default="v-optimal")
+
+    engine = subparsers.add_parser(
+        "engine", help="build / query a cached batched estimation session"
+    )
+    engine_commands = engine.add_subparsers(dest="engine_command", required=True)
+
+    def _engine_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("graph", help="edge-list file of the graph")
+        sub.add_argument("-k", "--max-length", type=int, default=3)
+        sub.add_argument("--ordering", default="sum-based")
+        sub.add_argument("--buckets", type=int, default=64)
+        sub.add_argument("--histogram", default="v-optimal")
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="artifact cache directory (warm starts skip catalog construction)",
+        )
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="threads for catalog construction on a cache miss",
+        )
+        sub.add_argument("--json", action="store_true", help="emit JSON")
+
+    engine_build = engine_commands.add_parser(
+        "build", help="build the session artifacts (catalog, histogram, positions)"
+    )
+    _engine_common(engine_build)
+
+    engine_estimate = engine_commands.add_parser(
+        "estimate", help="batch-estimate label paths through a session"
+    )
+    _engine_common(engine_estimate)
+    engine_estimate.add_argument(
+        "paths", nargs="*", help="label paths, e.g. 1/2/3 (or use --paths-file)"
+    )
+    engine_estimate.add_argument(
+        "--paths-file",
+        default=None,
+        help="file with one label path per line (blank lines ignored)",
+    )
+    engine_estimate.add_argument(
+        "--truth", action="store_true", help="also print the true selectivities"
+    )
 
     experiment = subparsers.add_parser("experiment", help="run an experiment harness")
     experiment.add_argument(
@@ -150,13 +199,86 @@ def _run_experiment(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled experiment {name!r}")  # pragma: no cover
 
 
+def _build_session(args: argparse.Namespace) -> EstimationSession:
+    graph = read_edge_list(args.graph)
+    config = EngineConfig(
+        max_length=args.max_length,
+        ordering=args.ordering,
+        histogram_kind=args.histogram,
+        bucket_count=args.buckets,
+    )
+    return EstimationSession.build(
+        graph, config, cache_dir=args.cache_dir, workers=args.workers
+    )
+
+
+def _run_engine(args: argparse.Namespace) -> int:
+    session = _build_session(args)
+    stats = session.stats
+    if args.engine_command == "build":
+        if args.json:
+            print(json.dumps(stats.as_row(), indent=2))
+        else:
+            source = "cache" if stats.catalog_from_cache else "built"
+            print(
+                f"session ready: domain={session.domain_size} "
+                f"method={session.histogram.method_name} "
+                f"β={session.histogram.bucket_count}"
+            )
+            print(
+                f"catalog {source} in {stats.catalog_seconds:.3f}s, "
+                f"histogram {'cache' if stats.histogram_from_cache else 'built'} "
+                f"in {stats.histogram_seconds:.3f}s, total {stats.total_seconds:.3f}s"
+            )
+            if args.cache_dir:
+                print(f"artifacts keyed {stats.catalog_key} / {stats.histogram_key}")
+        return 0
+    if args.engine_command == "estimate":
+        paths = list(args.paths)
+        if args.paths_file:
+            with open(args.paths_file, "r", encoding="utf-8") as handle:
+                paths.extend(line.strip() for line in handle if line.strip())
+        if not paths:
+            print("no paths given (positional arguments or --paths-file)", file=sys.stderr)
+            return 2
+        estimates = session.estimate_batch(paths)
+        if args.json:
+            records = [
+                {"path": path, "estimate": float(estimate)}
+                for path, estimate in zip(paths, estimates)
+            ]
+            if args.truth:
+                for record in records:
+                    record["true"] = session.true_selectivity(str(record["path"]))
+            print(json.dumps(records, indent=2))
+        else:
+            for path, estimate in zip(paths, estimates):
+                line = f"{path}\t{estimate:.2f}"
+                if args.truth:
+                    line += f"\t(true {session.true_selectivity(path)})"
+                print(line)
+        return 0
+    raise AssertionError(
+        f"unhandled engine command {args.engine_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "datasets":
-        rows = run_table3(scale=1.0, datasets=())
         # Only the paper columns here: generating full-scale graphs just to
         # list them would be wasteful, so show the static specs instead.
         from repro.datasets.registry import PAPER_DATASETS
@@ -192,6 +314,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         truth = catalog.selectivity(args.path)
         print(f"estimate e(ℓ) = {estimate:.2f}   true f(ℓ) = {truth}")
         return 0
+    if args.command == "engine":
+        return _run_engine(args)
     if args.command == "experiment":
         return _run_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,25 @@
+"""The batched estimation engine: build once, cache, serve in bulk.
+
+This subsystem packages the paper's offline pipeline (label matrices →
+selectivity catalog → ordering → histogram) into a reusable
+:class:`~repro.engine.session.EstimationSession` with
+
+* an on-disk :class:`~repro.engine.cache.ArtifactCache` keyed by graph and
+  config fingerprints (:mod:`repro.engine.fingerprint`), so warm starts skip
+  catalog construction entirely, and
+* a vectorised ``estimate_batch`` hot path that answers thousands of
+  selectivity estimates per call.
+"""
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.fingerprint import config_digest, graph_digest
+from repro.engine.session import EngineConfig, EstimationSession, SessionStats
+
+__all__ = [
+    "ArtifactCache",
+    "EngineConfig",
+    "EstimationSession",
+    "SessionStats",
+    "config_digest",
+    "graph_digest",
+]

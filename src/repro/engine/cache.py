@@ -1,0 +1,168 @@
+"""On-disk cache for the engine's expensive build artifacts.
+
+Three artifact kinds are cached, each in its own file under one directory:
+
+* ``catalog-<key>.json`` — the selectivity catalog (the dominant cost);
+* ``histogram-<key>.json`` — the ordering + bucket table pair;
+* ``positions-<key>.npy`` — the domain-position table used by the batched
+  hot path (the permutation mapping enumeration order to ordering order).
+
+Keys are built by the session from the graph digest and a config digest
+(:mod:`repro.engine.fingerprint`), so any change to the graph, ``k``, the
+ordering, or the histogram parameters lands on a different file and a stale
+artifact can never be served.  Writes are atomic (temp file + ``os.replace``)
+so a crashed build never leaves a truncated artifact behind.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import EngineError, ReproError
+from repro.histogram.builder import LabelPathHistogram
+from repro.histogram.serialization import load_histogram, save_histogram
+from repro.paths.catalog import SelectivityCatalog
+
+__all__ = ["ArtifactCache"]
+
+
+class ArtifactCache:
+    """Directory-backed store for catalogs, histograms and position tables.
+
+    The cache is deliberately dumb: it has no eviction and no locking beyond
+    atomic renames, because artifacts are immutable for a given key.  ``hits``
+    and ``misses`` count lookups and feed the session's build stats.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def root(self) -> Path:
+        """The cache directory."""
+        return self._root
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def catalog_path(self, key: str) -> Path:
+        """File path of the catalog artifact for ``key``."""
+        return self._root / f"catalog-{key}.json"
+
+    def histogram_path(self, key: str) -> Path:
+        """File path of the histogram artifact for ``key``."""
+        return self._root / f"histogram-{key}.json"
+
+    def positions_path(self, key: str) -> Path:
+        """File path of the position-table artifact for ``key``."""
+        return self._root / f"positions-{key}.npy"
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def load_catalog(self, key: str) -> Optional[SelectivityCatalog]:
+        """The cached catalog for ``key``, or ``None`` on a miss."""
+        path = self.catalog_path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            catalog = SelectivityCatalog.load(path)
+        except (ReproError, OSError, ValueError) as exc:
+            raise EngineError(f"corrupt cached catalog at {path}: {exc}") from exc
+        self.hits += 1
+        return catalog
+
+    def _temp_path(self, final: Path, suffix: str = ".tmp") -> Path:
+        """A unique temp path next to ``final`` (safe under concurrent writers)."""
+        return final.with_name(f".{final.name}.{os.getpid()}.{uuid.uuid4().hex}{suffix}")
+
+    def store_catalog(self, key: str, catalog: SelectivityCatalog) -> Path:
+        """Persist ``catalog`` under ``key`` (atomic); returns the file path."""
+        path = self.catalog_path(key)
+        temp = self._temp_path(path)
+        catalog.save(temp)
+        os.replace(temp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # histogram
+    # ------------------------------------------------------------------
+    def load_histogram(self, key: str) -> Optional[LabelPathHistogram]:
+        """The cached histogram for ``key``, or ``None`` on a miss."""
+        path = self.histogram_path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            histogram = load_histogram(path)
+        except (ReproError, OSError, ValueError) as exc:
+            raise EngineError(f"corrupt cached histogram at {path}: {exc}") from exc
+        self.hits += 1
+        return histogram
+
+    def store_histogram(self, key: str, histogram: LabelPathHistogram) -> Path:
+        """Persist ``histogram`` under ``key`` (atomic); returns the file path."""
+        path = self.histogram_path(key)
+        temp = self._temp_path(path)
+        save_histogram(histogram, temp)
+        os.replace(temp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # position table
+    # ------------------------------------------------------------------
+    def load_positions(self, key: str) -> Optional[np.ndarray]:
+        """The cached position table for ``key``, or ``None`` on a miss."""
+        path = self.positions_path(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            positions = np.load(path, allow_pickle=False)
+        except (OSError, ValueError) as exc:
+            raise EngineError(f"corrupt cached position table at {path}: {exc}") from exc
+        self.hits += 1
+        return positions
+
+    def store_positions(self, key: str, positions: np.ndarray) -> Path:
+        """Persist a position table under ``key`` (atomic); returns the path."""
+        path = self.positions_path(key)
+        # np.save appends ".npy" unless the name already ends with it.
+        temp = self._temp_path(path, suffix=".tmp.npy")
+        np.save(temp, positions, allow_pickle=False)
+        os.replace(temp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def artifact_files(self) -> list[Path]:
+        """All artifact files currently in the cache, sorted by name."""
+        patterns = ("catalog-*.json", "histogram-*.json", "positions-*.npy")
+        found: list[Path] = []
+        for pattern in patterns:
+            found.extend(self._root.glob(pattern))
+        return sorted(found)
+
+    def clear(self) -> int:
+        """Delete every artifact file; returns the number removed."""
+        removed = 0
+        for path in self.artifact_files():
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<ArtifactCache root={str(self._root)!r} files={len(self.artifact_files())} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,49 @@
+"""Stable content fingerprints for cache keys.
+
+The artifact cache (:mod:`repro.engine.cache`) keys every expensive artifact
+by *what produced it*: the graph's content digest plus a digest of the engine
+configuration.  Both digests are deterministic across processes and insertion
+orders, so a cache written by one run is valid for any later run over the
+same data — the property the whole warm-start story rests on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+from repro.graph.digraph import LabeledDiGraph
+
+__all__ = ["graph_digest", "config_digest"]
+
+_SEPARATOR = b"\x1f"
+
+
+def graph_digest(graph: LabeledDiGraph) -> str:
+    """A hex SHA-256 digest of the graph's edge content.
+
+    The digest covers the sorted ``(source, label, target)`` triples (vertex
+    objects via ``repr``, so non-string vertices hash stably) plus the vertex
+    count (isolated vertices change ``|V|`` and therefore matrix dimensions).
+    Edge insertion order and the graph's display name do not affect it.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(graph.vertex_count).encode("utf-8"))
+    triples = sorted(
+        (repr(edge.source), edge.label, repr(edge.target)) for edge in graph.edges()
+    )
+    for source, label, target in triples:
+        hasher.update(_SEPARATOR)
+        hasher.update(source.encode("utf-8"))
+        hasher.update(_SEPARATOR)
+        hasher.update(label.encode("utf-8"))
+        hasher.update(_SEPARATOR)
+        hasher.update(target.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def config_digest(fields: Mapping[str, object]) -> str:
+    """A short hex digest of a JSON-serialisable configuration mapping."""
+    payload = json.dumps(dict(fields), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

@@ -11,11 +11,13 @@ memory as exact answers" comparison point from Section 3).
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
+
+import numpy as np
 
 from repro.estimation.errors import ErrorSummary, summarize_errors
 from repro.exceptions import EstimationError
-from repro.histogram.builder import LabelPathHistogram, build_histogram, domain_frequencies
+from repro.histogram.builder import LabelPathHistogram, build_histogram
 from repro.histogram.vopt import VOptimalHistogram
 from repro.ordering.base import Ordering
 from repro.ordering.registry import make_ordering
@@ -176,6 +178,14 @@ class PathSelectivityEstimator:
     def estimate_many(self, paths: Sequence[PathLike]) -> list[float]:
         """Estimates for a batch of paths, in input order."""
         return [self._histogram.estimate(path) for path in paths]
+
+    def estimate_batch(self, paths: Sequence[PathLike]) -> np.ndarray:
+        """Vectorised estimates for a batch of paths, in input order.
+
+        Functionally identical to :meth:`estimate_many` but returns a float
+        array and performs the bucket lookup as one vectorised operation.
+        """
+        return self._histogram.estimate_batch(paths)
 
     # ------------------------------------------------------------------
     # evaluation

@@ -17,7 +17,6 @@ from repro.estimation.workload import full_domain_workload
 from repro.exceptions import EstimationError
 from repro.histogram.builder import domain_frequencies
 from repro.histogram.vopt import VOptimalHistogram
-from repro.ordering.base import Ordering
 from repro.ordering.registry import PAPER_ORDERINGS, make_paper_orderings
 from repro.paths.catalog import SelectivityCatalog
 from repro.paths.label_path import LabelPath

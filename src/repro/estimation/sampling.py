@@ -18,7 +18,7 @@ ablation measures.
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Union
 
 from repro.exceptions import EstimationError
 from repro.graph.digraph import LabeledDiGraph

@@ -23,6 +23,7 @@ __all__ = [
     "EstimationError",
     "DatasetError",
     "PlanningError",
+    "EngineError",
 ]
 
 
@@ -115,3 +116,7 @@ class DatasetError(ReproError):
 
 class PlanningError(ReproError):
     """The path-query planner could not produce a plan."""
+
+
+class EngineError(ReproError):
+    """The batched estimation engine could not build or serve a session."""

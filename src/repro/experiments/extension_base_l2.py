@@ -24,7 +24,7 @@ from repro.estimation.workload import full_domain_workload
 from repro.datasets.registry import load_dataset
 from repro.histogram.builder import domain_frequencies
 from repro.ordering.base import Ordering
-from repro.ordering.combinatorics import rank_permutation, permutation_count
+from repro.ordering.combinatorics import rank_permutation
 from repro.ordering.ranking import CardinalityRanking
 from repro.ordering.registry import make_ordering
 from repro.paths.catalog import SelectivityCatalog

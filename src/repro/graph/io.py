@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Optional, TextIO, Union
+from typing import Optional, TextIO, Union
 
 from repro.exceptions import GraphIOError
 from repro.graph.digraph import LabeledDiGraph

@@ -130,6 +130,23 @@ class LabelPathHistogram:
         """The estimate for a raw domain index (bypassing the ordering)."""
         return self._histogram.estimate(index)
 
+    def estimate_batch(self, paths) -> np.ndarray:
+        """Estimates for a batch of paths, in input order (vectorised lookup).
+
+        Ranking still happens per path through the ordering; the bucket
+        lookup is a single vectorised call.  The engine layer
+        (:mod:`repro.engine`) goes further and replaces the per-path ranking
+        with a precomputed position table.
+        """
+        indices = np.fromiter(
+            (self._ordering.index(path) for path in paths), dtype=np.int64
+        )
+        return self._histogram.estimate_batch(indices)
+
+    def estimate_indices(self, indices) -> np.ndarray:
+        """Vectorised estimates for raw domain positions (bypassing ranking)."""
+        return self._histogram.estimate_batch(indices)
+
     def total_sse(self) -> float:
         """Total within-bucket SSE of the underlying histogram."""
         return self._histogram.total_sse()

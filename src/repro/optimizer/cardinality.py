@@ -10,7 +10,7 @@ of distinct join keys is approximated by the number of graph vertices.
 
 from __future__ import annotations
 
-from typing import Protocol, Union
+from typing import Protocol, Sequence, Union
 
 from repro.exceptions import PlanningError
 from repro.paths.label_path import LabelPath, as_label_path
@@ -33,6 +33,15 @@ class CardinalityModel:
     def scan_cardinality(self, path: PathLike) -> float:
         """Estimated result size of directly evaluating ``path``."""
         raise NotImplementedError
+
+    def scan_cardinalities(self, paths: Sequence[PathLike]) -> list[float]:
+        """Estimated result sizes for a batch of scannable sub-paths.
+
+        The default loops over :meth:`scan_cardinality`; models backed by a
+        batch-capable estimator override this so the planner can request all
+        interval estimates in one call.
+        """
+        return [self.scan_cardinality(path) for path in paths]
 
     def join_cardinality(self, left_cardinality: float, right_cardinality: float) -> float:
         """Estimated result size of joining two sub-results on one vertex column."""
@@ -73,6 +82,21 @@ class HistogramCardinalityModel(CardinalityModel):
                 f"sub-path {label_path} longer than the estimator's k={self._max_length}"
             )
         return max(0.0, float(self._estimator.estimate(label_path)))
+
+    def scan_cardinalities(self, paths: Sequence[PathLike]) -> list[float]:
+        label_paths = [as_label_path(path) for path in paths]
+        for label_path in label_paths:
+            if label_path.length > self._max_length:
+                raise PlanningError(
+                    f"sub-path {label_path} longer than the estimator's "
+                    f"k={self._max_length}"
+                )
+        batch = getattr(self._estimator, "estimate_batch", None)
+        if batch is None:
+            return [
+                max(0.0, float(self._estimator.estimate(path))) for path in label_paths
+            ]
+        return [max(0.0, float(value)) for value in batch(label_paths)]
 
     def join_cardinality(self, left_cardinality: float, right_cardinality: float) -> float:
         return left_cardinality * right_cardinality / float(self._vertex_count)

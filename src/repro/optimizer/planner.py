@@ -73,6 +73,19 @@ class PathQueryPlanner:
         length = len(labels)
         max_scan = self._model.max_scan_length()
 
+        # Batch every scannable interval's estimate up front: one estimator
+        # round-trip instead of O(length · k) separate calls, so a session
+        # with a vectorised hot path answers the whole DP table at once.
+        scan_intervals: list[tuple[int, int]] = [
+            (start, start + span)
+            for span in range(1, min(length, max_scan) + 1)
+            for start in range(0, length - span + 1)
+        ]
+        scan_paths = [LabelPath(labels[start:end]) for start, end in scan_intervals]
+        scan_cardinalities = dict(
+            zip(scan_intervals, self._model.scan_cardinalities(scan_paths))
+        )
+
         # best[(i, j)] = cheapest cell covering labels[i:j]
         best: dict[tuple[int, int], _Cell] = {}
         for span in range(1, length + 1):
@@ -81,7 +94,7 @@ class PathQueryPlanner:
                 sub_path = LabelPath(labels[start:end])
                 candidate: Optional[_Cell] = None
                 if span <= max_scan:
-                    cardinality = self._model.scan_cardinality(sub_path)
+                    cardinality = scan_cardinalities[(start, end)]
                     candidate = _Cell(
                         plan=ScanNode(sub_path, cardinality),
                         cardinality=cardinality,

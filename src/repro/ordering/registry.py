@@ -9,7 +9,7 @@ instances given the cardinality information they need.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Optional, Sequence, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from repro.exceptions import OrderingError, UnknownOrderingError
 from repro.ordering.base import Ordering

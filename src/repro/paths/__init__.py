@@ -3,6 +3,7 @@
 from repro.paths.catalog import SelectivityCatalog
 from repro.paths.enumeration import (
     compute_selectivities,
+    compute_selectivities_parallel,
     domain_size,
     enumerate_label_paths,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "SelectivityCatalog",
     "as_label_path",
     "compute_selectivities",
+    "compute_selectivities_parallel",
     "domain_size",
     "edge_label_base_set",
     "enumerate_label_paths",

@@ -16,11 +16,15 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Callable, Iterable, Iterator, Mapping, Optional, Sequence, Union
+from typing import Callable, Iterator, Mapping, Optional, Sequence, Union
 
 from repro.exceptions import PathError, UnknownLabelError
 from repro.graph.digraph import LabeledDiGraph
-from repro.paths.enumeration import compute_selectivities, domain_size
+from repro.paths.enumeration import (
+    compute_selectivities,
+    compute_selectivities_parallel,
+    domain_size,
+)
 from repro.paths.label_path import LabelPath, as_label_path
 
 __all__ = ["SelectivityCatalog"]
@@ -85,12 +89,23 @@ class SelectivityCatalog:
         *,
         labels: Optional[Sequence[str]] = None,
         progress: Optional[Callable[[int], None]] = None,
+        workers: Optional[int] = None,
     ) -> "SelectivityCatalog":
-        """Build the catalog by exact evaluation of every path on ``graph``."""
+        """Build the catalog by exact evaluation of every path on ``graph``.
+
+        ``workers`` > 1 distributes the first-label subtrees of the DFS over
+        that many threads (see :func:`compute_selectivities_parallel`); the
+        default ``None`` keeps the serial builder.  Results are identical.
+        """
         alphabet = sorted(labels) if labels is not None else graph.labels()
-        selectivities = compute_selectivities(
-            graph, max_length, labels=alphabet, progress=progress
-        )
+        if workers is not None and workers > 1:
+            selectivities = compute_selectivities_parallel(
+                graph, max_length, labels=alphabet, workers=workers, progress=progress
+            )
+        else:
+            selectivities = compute_selectivities(
+                graph, max_length, labels=alphabet, progress=progress
+            )
         return cls(
             alphabet, max_length, selectivities, graph_name=graph.name or "unnamed"
         )

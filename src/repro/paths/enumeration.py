@@ -11,6 +11,9 @@ building the full catalog for ``k = 6`` feasible.
 from __future__ import annotations
 
 import itertools
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterator, Optional, Sequence
 
 from repro.exceptions import PathError
@@ -22,6 +25,7 @@ __all__ = [
     "domain_size",
     "enumerate_label_paths",
     "compute_selectivities",
+    "compute_selectivities_parallel",
 ]
 
 
@@ -64,6 +68,7 @@ def compute_selectivities(
     store: Optional[LabelMatrixStore] = None,
     prune_empty: bool = False,
     progress: Optional[Callable[[int], None]] = None,
+    roots: Optional[Sequence[str]] = None,
 ) -> dict[LabelPath, int]:
     """Compute ``f(ℓ)`` for every ``ℓ ∈ Lk`` on ``graph``.
 
@@ -82,12 +87,24 @@ def compute_selectivities(
     progress:
         Optional callback invoked with the running number of paths processed,
         used by the CLI to report progress on large catalogs.
+    roots:
+        Optional restriction of the *first* label: only the subtrees of the
+        label-path trie rooted at these labels are evaluated.  Extensions
+        still range over the full alphabet.  This is the unit of work that
+        :func:`compute_selectivities_parallel` distributes across workers.
     """
     if max_length < 1:
         raise PathError("max_length must be >= 1")
     alphabet = sorted(labels) if labels is not None else graph.labels()
     if not alphabet:
         raise PathError("the graph has no edge labels to enumerate")
+    if roots is None:
+        first_labels = alphabet
+    else:
+        unknown = sorted(set(roots) - set(alphabet))
+        if unknown:
+            raise PathError(f"roots outside the label alphabet: {', '.join(unknown)}")
+        first_labels = [label for label in alphabet if label in set(roots)]
     matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
 
     selectivities: dict[LabelPath, int] = {}
@@ -95,7 +112,8 @@ def compute_selectivities(
 
     def visit(prefix_labels: tuple[str, ...], prefix_matrix) -> None:
         nonlocal processed
-        for label in alphabet:
+        extensions = first_labels if not prefix_labels else alphabet
+        for label in extensions:
             labels_here = prefix_labels + (label,)
             matrix = (
                 matrix_store.matrix(label)
@@ -126,4 +144,91 @@ def compute_selectivities(
                 processed += 1
 
     visit((), None)
+    return selectivities
+
+
+def default_worker_count(label_count: int) -> int:
+    """Worker count used when a parallel build is requested without one."""
+    return max(1, min(label_count, os.cpu_count() or 1))
+
+
+def compute_selectivities_parallel(
+    graph: LabeledDiGraph,
+    max_length: int,
+    *,
+    labels: Optional[Sequence[str]] = None,
+    store: Optional[LabelMatrixStore] = None,
+    prune_empty: bool = False,
+    workers: Optional[int] = None,
+    progress: Optional[Callable[[int], None]] = None,
+) -> dict[LabelPath, int]:
+    """Parallel :func:`compute_selectivities` over first-label subtrees.
+
+    The label-path trie decomposes into ``|L|`` independent subtrees, one per
+    first label; each worker runs the prefix-sharing DFS on one subtree,
+    sharing the read-only per-label matrices.  Threads (not processes) are
+    used because the heavy lifting is scipy's sparse matmul, which releases
+    the GIL, and the graph/matrix store need not be pickled.
+
+    ``workers=None`` picks ``min(|L|, cpu_count)``; ``workers=1`` degrades to
+    the serial implementation.  Results are identical to the serial builder.
+    ``progress`` receives the *combined* running path count across workers
+    (called from worker threads; the callback must be thread-safe).
+    """
+    if workers is not None and workers < 1:
+        raise PathError("workers must be >= 1")
+    alphabet = sorted(labels) if labels is not None else graph.labels()
+    if not alphabet:
+        raise PathError("the graph has no edge labels to enumerate")
+    worker_count = workers if workers is not None else default_worker_count(len(alphabet))
+    matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
+    if worker_count <= 1 or len(alphabet) == 1:
+        return compute_selectivities(
+            graph,
+            max_length,
+            labels=alphabet,
+            store=matrix_store,
+            prune_empty=prune_empty,
+            progress=progress,
+        )
+
+    # Each worker reports its own cumulative count; per-worker adapters fold
+    # the deltas into one shared total so ``progress`` sees the combined count.
+    progress_lock = threading.Lock()
+    progress_total = [0]
+
+    def _subtree_progress() -> Optional[Callable[[int], None]]:
+        if progress is None:
+            return None
+        last = [0]
+
+        def adapter(processed: int) -> None:
+            with progress_lock:
+                progress_total[0] += processed - last[0]
+                last[0] = processed
+                combined = progress_total[0]
+            progress(combined)
+
+        return adapter
+    # Materialise every per-label matrix up front so workers only ever read
+    # the store's cache (lazy fill from multiple threads would duplicate work).
+    for label in alphabet:
+        matrix_store.matrix(label)
+    selectivities: dict[LabelPath, int] = {}
+    with ThreadPoolExecutor(max_workers=worker_count) as pool:
+        futures = [
+            pool.submit(
+                compute_selectivities,
+                graph,
+                max_length,
+                labels=alphabet,
+                store=matrix_store,
+                prune_empty=prune_empty,
+                roots=(label,),
+                progress=_subtree_progress(),
+            )
+            for label in alphabet
+        ]
+        for future in futures:
+            selectivities.update(future.result())
     return selectivities

@@ -17,7 +17,7 @@ pairs connected by the path (the paper's ``ℓ(G)``), and its cardinality
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Optional, Union
 
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.matrices import LabelMatrixStore

@@ -1,0 +1,193 @@
+"""Tests for the batch estimation API threaded through the stack.
+
+Covers the vectorised paths added outside the engine package: the histogram
+layer's ``estimate_batch``, the estimator's ``estimate_batch``, the
+cardinality model's ``scan_cardinalities`` and the planner's up-front
+batching, plus the ``repro engine`` CLI subcommands.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.estimation.estimator import PathSelectivityEstimator
+from repro.exceptions import HistogramError, PlanningError
+from repro.graph.io import write_edge_list
+from repro.histogram.equiwidth import EquiWidthHistogram
+from repro.optimizer.cardinality import (
+    HistogramCardinalityModel,
+    TrueCardinalityModel,
+)
+from repro.optimizer.planner import PathQueryPlanner
+
+
+@pytest.fixture(scope="module")
+def estimator(small_catalog) -> PathSelectivityEstimator:
+    return PathSelectivityEstimator.build(
+        small_catalog, ordering="sum-based", bucket_count=12
+    )
+
+
+class TestHistogramBatch:
+    def test_estimate_batch_matches_pointwise(self):
+        histogram = EquiWidthHistogram(np.arange(40, dtype=float), 5)
+        indices = np.array([0, 7, 8, 13, 39, 20])
+        batch = histogram.estimate_batch(indices)
+        assert np.allclose(
+            batch, [histogram.estimate(int(i)) for i in indices]
+        )
+
+    def test_estimate_batch_rejects_out_of_domain(self):
+        histogram = EquiWidthHistogram(np.arange(10, dtype=float), 2)
+        with pytest.raises(HistogramError):
+            histogram.estimate_batch([0, 10])
+        with pytest.raises(HistogramError):
+            histogram.estimate_batch([-1])
+
+    def test_estimate_batch_empty(self):
+        histogram = EquiWidthHistogram(np.arange(10, dtype=float), 2)
+        assert histogram.estimate_batch(np.empty(0, dtype=np.int64)).shape == (0,)
+
+
+class TestEstimatorBatch:
+    def test_matches_estimate_many(self, estimator, small_catalog):
+        paths = [str(path) for path in small_catalog.paths()][:200]
+        batch = estimator.estimate_batch(paths)
+        assert np.allclose(batch, np.array(estimator.estimate_many(paths)))
+
+    def test_restored_histogram_supports_batch(self, estimator, tmp_path):
+        from repro.histogram.serialization import load_histogram, save_histogram
+
+        target = tmp_path / "hist.json"
+        save_histogram(estimator.histogram, target)
+        restored = load_histogram(target)
+        paths = ["1", "2", "1/1", "2/1/2"]
+        assert np.allclose(
+            restored.estimate_batch(paths), estimator.estimate_batch(paths)
+        )
+
+
+class TestCardinalityBatch:
+    def test_histogram_model_batch_matches_scalar(self, estimator, small_catalog):
+        model = HistogramCardinalityModel(
+            estimator, max_length=small_catalog.max_length, vertex_count=40
+        )
+        paths = [str(path) for path in small_catalog.paths()][:50]
+        batch = model.scan_cardinalities(paths)
+        assert batch == [model.scan_cardinality(path) for path in paths]
+
+    def test_histogram_model_batch_rejects_long_paths(self, estimator):
+        model = HistogramCardinalityModel(estimator, max_length=3, vertex_count=40)
+        with pytest.raises(PlanningError):
+            model.scan_cardinalities(["1/1/1/1"])
+
+    def test_true_model_uses_default_loop(self, small_catalog):
+        model = TrueCardinalityModel(small_catalog, vertex_count=40)
+        paths = [str(path) for path in small_catalog.paths()][:20]
+        assert model.scan_cardinalities(paths) == [
+            model.scan_cardinality(path) for path in paths
+        ]
+
+
+class TestPlannerBatching:
+    def test_plan_unchanged_by_batching(self, estimator, small_catalog):
+        """The up-front batch must produce the same plans as per-call scans."""
+
+        class CountingModel(HistogramCardinalityModel):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.batch_calls = 0
+
+            def scan_cardinalities(self, paths):
+                self.batch_calls += 1
+                return super().scan_cardinalities(paths)
+
+        model = CountingModel(
+            estimator, max_length=small_catalog.max_length, vertex_count=40
+        )
+        planner = PathQueryPlanner(model)
+        planned = planner.plan("1/2/1/2/1")
+        assert model.batch_calls == 1
+        assert planned.estimated_cost >= 0
+
+        reference = PathQueryPlanner(
+            HistogramCardinalityModel(
+                estimator, max_length=small_catalog.max_length, vertex_count=40
+            )
+        ).plan("1/2/1/2/1")
+        assert planned.plan.describe() == reference.plan.describe()
+        assert planned.estimated_cost == pytest.approx(reference.estimated_cost)
+
+
+class TestEngineCli:
+    @pytest.fixture()
+    def graph_file(self, small_graph, tmp_path):
+        path = tmp_path / "graph.tsv"
+        write_edge_list(small_graph, path)
+        return path
+
+    def test_build_then_warm_estimate(self, graph_file, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        base = [str(graph_file), "-k", "2", "--buckets", "8", "--cache-dir", str(cache_dir)]
+        assert main(["engine", "build", *base]) == 0
+        output = capsys.readouterr().out
+        assert "catalog built" in output
+
+        assert main(["engine", "build", *base, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["catalog_from_cache"] is True
+
+        assert (
+            main(
+                [
+                    "engine",
+                    "estimate",
+                    str(graph_file),
+                    "1/2",
+                    "2/1",
+                    "-k",
+                    "2",
+                    "--buckets",
+                    "8",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--truth",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "1/2" in output and "true" in output
+
+    def test_estimate_json_and_paths_file(self, graph_file, tmp_path, capsys):
+        paths_file = tmp_path / "workload.txt"
+        paths_file.write_text("1\n2/2\n\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "engine",
+                    "estimate",
+                    str(graph_file),
+                    "-k",
+                    "2",
+                    "--buckets",
+                    "8",
+                    "--paths-file",
+                    str(paths_file),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        records = json.loads(capsys.readouterr().out)
+        assert [record["path"] for record in records] == ["1", "2/2"]
+        assert all(record["estimate"] >= 0 for record in records)
+
+    def test_estimate_without_paths_errors(self, graph_file, capsys):
+        code = main(["engine", "estimate", str(graph_file), "-k", "2"])
+        assert code == 2
+        assert "no paths" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""Tests for the artifact cache and the content fingerprints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import ArtifactCache, config_digest, graph_digest
+from repro.exceptions import EngineError
+from repro.graph.digraph import LabeledDiGraph
+
+
+def edges():
+    return [
+        ("a", "x", "b"),
+        ("b", "y", "c"),
+        ("c", "x", "a"),
+    ]
+
+
+class TestGraphDigest:
+    def test_deterministic(self):
+        assert graph_digest(LabeledDiGraph(edges())) == graph_digest(
+            LabeledDiGraph(edges())
+        )
+
+    def test_insertion_order_independent(self):
+        assert graph_digest(LabeledDiGraph(edges())) == graph_digest(
+            LabeledDiGraph(list(reversed(edges())))
+        )
+
+    def test_name_does_not_matter(self):
+        assert graph_digest(LabeledDiGraph(edges(), name="one")) == graph_digest(
+            LabeledDiGraph(edges(), name="two")
+        )
+
+    def test_edge_change_changes_digest(self):
+        changed = edges() + [("a", "y", "c")]
+        assert graph_digest(LabeledDiGraph(edges())) != graph_digest(
+            LabeledDiGraph(changed)
+        )
+
+    def test_isolated_vertex_changes_digest(self):
+        graph = LabeledDiGraph(edges())
+        isolated = LabeledDiGraph(edges())
+        isolated.add_vertex("zzz")
+        assert graph_digest(graph) != graph_digest(isolated)
+
+    def test_non_string_vertices(self):
+        graph = LabeledDiGraph([(1, "x", 2), ((3, 4), "y", 1)])
+        assert len(graph_digest(graph)) == 64
+
+
+class TestConfigDigest:
+    def test_key_order_independent(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_value_change_changes_digest(self):
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+
+class TestArtifactCache:
+    def test_roundtrip_catalog(self, small_catalog, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.load_catalog("k") is None
+        cache.store_catalog("k", small_catalog)
+        loaded = cache.load_catalog("k")
+        assert loaded is not None
+        assert dict(loaded.items()) == dict(small_catalog.items())
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_roundtrip_positions(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        table = np.arange(37, dtype=np.int64)[::-1].copy()
+        cache.store_positions("p", table)
+        loaded = cache.load_positions("p")
+        assert np.array_equal(loaded, table)
+
+    def test_corrupt_catalog_raises(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.catalog_path("bad").write_text("{not json", encoding="utf-8")
+        with pytest.raises(EngineError):
+            cache.load_catalog("bad")
+
+    def test_clear(self, small_catalog, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store_catalog("k", small_catalog)
+        cache.store_positions("p", np.zeros(3, dtype=np.int64))
+        assert len(cache.artifact_files()) == 2
+        assert cache.clear() == 2
+        assert cache.artifact_files() == []
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "deep" / "cache"
+        ArtifactCache(nested)
+        assert nested.is_dir()

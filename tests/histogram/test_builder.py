@@ -14,7 +14,6 @@ from repro.histogram.builder import (
     make_histogram,
 )
 from repro.ordering.registry import make_ordering
-from repro.paths.catalog import SelectivityCatalog
 
 
 class TestDomainFrequencies:

@@ -19,9 +19,7 @@ from repro.ordering.lexicographical import LexicographicalOrdering
 from repro.ordering.numerical import NumericalOrdering
 from repro.ordering.ranking import AlphabeticalRanking, CardinalityRanking
 from repro.ordering.sum_based import SumBasedOrdering
-from repro.paths.catalog import SelectivityCatalog
 from repro.paths.enumeration import domain_size, enumerate_label_paths
-from repro.paths.label_path import LabelPath
 
 LABELS = ["1", "2", "3"]
 CARDINALITIES = {"1": 20, "2": 100, "3": 80}
