@@ -8,12 +8,15 @@ substrate show up even when the experiment-level benchmarks still pass.
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.datasets.registry import load_dataset
+from repro.graph.generators import zipf_labeled_graph
 from repro.histogram.builder import domain_frequencies, make_histogram
 from repro.ordering.registry import make_ordering
 from repro.paths.catalog import SelectivityCatalog
+from repro.paths.enumeration import compute_selectivities, compute_selectivity_vector
 
 
 def test_catalog_build_k3(benchmark):
@@ -30,6 +33,44 @@ def test_catalog_build_k4(benchmark):
         SelectivityCatalog.from_graph, args=(graph, 4), rounds=1, iterations=1
     )
     assert catalog.domain_size == 1554
+
+
+@pytest.fixture(scope="module")
+def sparse_bench_graph():
+    """A zero-subtree-dominated graph (|L|=8, k=6 domain of ~300k paths)."""
+    return zipf_labeled_graph(400, 400, 8, skew=0.8, seed=17, name="bench-sparse")
+
+
+def test_columnar_build_sparse_k6(benchmark, sparse_bench_graph):
+    vector = benchmark.pedantic(
+        compute_selectivity_vector,
+        args=(sparse_bench_graph, 6),
+        rounds=1,
+        iterations=1,
+    )
+    assert vector.size == 299_592
+
+
+def test_dict_build_sparse_k6(benchmark, sparse_bench_graph):
+    """The legacy dict builder over the same domain (the PR 1 baseline)."""
+    selectivities = benchmark.pedantic(
+        compute_selectivities,
+        args=(sparse_bench_graph, 6),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(selectivities) == 299_592
+
+
+def test_columnar_build_process_backend(benchmark, sparse_bench_graph):
+    vector = benchmark.pedantic(
+        compute_selectivity_vector,
+        args=(sparse_bench_graph, 6),
+        kwargs={"backend": "process", "workers": 2},
+        rounds=1,
+        iterations=1,
+    )
+    assert np.array_equal(vector, compute_selectivity_vector(sparse_bench_graph, 6))
 
 
 @pytest.mark.parametrize("kind", ["equi-width", "equi-depth", "maxdiff", "end-biased", "v-optimal"])

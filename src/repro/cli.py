@@ -10,7 +10,7 @@ tables and figures can be regenerated without writing Python::
     repro experiment table4 --scale 0.02 -k 3
     repro experiment figure2 --scale 0.01 -k 2 3
     repro estimate moreno.catalog.json "1/2/3" --ordering sum-based --buckets 32
-    repro engine build moreno.tsv -k 3 --cache-dir .repro-cache
+    repro engine build moreno.tsv -k 3 --cache-dir .repro-cache --workers 4 --backend process
     repro engine estimate moreno.tsv "1/2/3" "2/2" --cache-dir .repro-cache
 """
 
@@ -60,7 +60,17 @@ def build_parser() -> argparse.ArgumentParser:
     catalog = subparsers.add_parser("catalog", help="build a selectivity catalog")
     catalog.add_argument("graph", help="edge-list file of the graph")
     catalog.add_argument("-k", "--max-length", type=int, default=3)
-    catalog.add_argument("-o", "--output", required=True, help="catalog JSON output path")
+    catalog.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="catalog output path (.npz extension writes the compressed "
+        "columnar form, anything else JSON)",
+    )
+    catalog.add_argument("--workers", type=int, default=None)
+    catalog.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None
+    )
 
     estimate = subparsers.add_parser("estimate", help="estimate one path's selectivity")
     estimate.add_argument("catalog", help="catalog JSON produced by 'repro catalog'")
@@ -89,7 +99,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers",
             type=int,
             default=None,
-            help="threads for catalog construction on a cache miss",
+            help="workers for catalog construction on a cache miss",
+        )
+        sub.add_argument(
+            "--backend",
+            choices=("serial", "thread", "process"),
+            default=None,
+            help="catalog construction backend (default: thread when "
+            "--workers > 1, serial otherwise)",
         )
         sub.add_argument("--json", action="store_true", help="emit JSON")
 
@@ -208,7 +225,11 @@ def _build_session(args: argparse.Namespace) -> EstimationSession:
         bucket_count=args.buckets,
     )
     return EstimationSession.build(
-        graph, config, cache_dir=args.cache_dir, workers=args.workers
+        graph,
+        config,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        backend=args.backend,
     )
 
 
@@ -219,7 +240,11 @@ def _run_engine(args: argparse.Namespace) -> int:
         if args.json:
             print(json.dumps(stats.as_row(), indent=2))
         else:
-            source = "cache" if stats.catalog_from_cache else "built"
+            source = (
+                "cache"
+                if stats.catalog_from_cache
+                else f"built ({stats.backend}, workers={stats.workers})"
+            )
             print(
                 f"session ready: domain={session.domain_size} "
                 f"method={session.histogram.method_name} "
@@ -295,8 +320,13 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "catalog":
         graph = read_edge_list(args.graph)
-        catalog = SelectivityCatalog.from_graph(graph, args.max_length)
-        catalog.save(args.output)
+        catalog = SelectivityCatalog.from_graph(
+            graph, args.max_length, workers=args.workers, backend=args.backend
+        )
+        if str(args.output).endswith(".npz"):
+            catalog.save_npz(args.output)
+        else:
+            catalog.save(args.output)
         print(
             f"catalog with {len(catalog)} paths (k={args.max_length}, "
             f"|L|={len(catalog.labels)}) written to {args.output}"

@@ -2,7 +2,12 @@
 
 Three artifact kinds are cached, each in its own file under one directory:
 
-* ``catalog-<key>.json`` — the selectivity catalog (the dominant cost);
+* ``catalog-<key>.npz`` — the selectivity catalog (the dominant cost), stored
+  as the columnar frequency vector in a compressed NumPy archive (see
+  :meth:`repro.paths.catalog.SelectivityCatalog.save_npz`); typically a small
+  fraction of the size of the legacy ``catalog-<key>.json`` form, which is
+  still *read* as a fallback so caches written before the columnar format
+  keep warm-starting;
 * ``histogram-<key>.json`` — the ordering + bucket table pair;
 * ``positions-<key>.npy`` — the domain-position table used by the batched
   hot path (the permutation mapping enumeration order to ordering order).
@@ -10,14 +15,21 @@ Three artifact kinds are cached, each in its own file under one directory:
 Keys are built by the session from the graph digest and a config digest
 (:mod:`repro.engine.fingerprint`), so any change to the graph, ``k``, the
 ordering, or the histogram parameters lands on a different file and a stale
-artifact can never be served.  Writes are atomic (temp file + ``os.replace``)
-so a crashed build never leaves a truncated artifact behind.
+artifact can never be served.  The config digest also carries a
+``catalog_format`` version field (see
+:meth:`repro.engine.session.EngineConfig.catalog_fields`), so a change to the
+artifact layout re-keys every catalog and a pre-columnar JSON entry is never
+half-trusted under a new-format key — the JSON fallback only ever fires for
+files that were written (and fully validated) by an older release under its
+own key.  Writes are atomic (temp file + ``os.replace``) so a crashed build
+never leaves a truncated artifact behind.
 """
 
 from __future__ import annotations
 
 import os
 import uuid
+import zipfile
 from pathlib import Path
 from typing import Optional, Union
 
@@ -54,7 +66,11 @@ class ArtifactCache:
     # paths
     # ------------------------------------------------------------------
     def catalog_path(self, key: str) -> Path:
-        """File path of the catalog artifact for ``key``."""
+        """File path of the catalog artifact for ``key`` (columnar ``.npz``)."""
+        return self._root / f"catalog-{key}.npz"
+
+    def legacy_catalog_path(self, key: str) -> Path:
+        """File path of the pre-columnar JSON catalog artifact for ``key``."""
         return self._root / f"catalog-{key}.json"
 
     def histogram_path(self, key: str) -> Path:
@@ -68,15 +84,31 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # catalog
     # ------------------------------------------------------------------
-    def load_catalog(self, key: str) -> Optional[SelectivityCatalog]:
-        """The cached catalog for ``key``, or ``None`` on a miss."""
+    def load_catalog(
+        self, key: str, *, legacy_key: Optional[str] = None
+    ) -> Optional[SelectivityCatalog]:
+        """The cached catalog for ``key``, or ``None`` on a miss.
+
+        The columnar ``.npz`` artifact is preferred.  A legacy ``.json``
+        artifact written by a pre-columnar release is read as a fallback —
+        under ``legacy_key`` when given (the old releases keyed catalogs
+        without the ``catalog_format`` field, so their keys differ), else
+        under ``key`` itself.
+        """
         path = self.catalog_path(key)
         if not path.exists():
-            self.misses += 1
-            return None
+            legacy = self.legacy_catalog_path(
+                legacy_key if legacy_key is not None else key
+            )
+            if not legacy.exists():
+                self.misses += 1
+                return None
+            path = legacy
         try:
             catalog = SelectivityCatalog.load(path)
-        except (ReproError, OSError, ValueError) as exc:
+        except (ReproError, OSError, ValueError, zipfile.BadZipFile) as exc:
+            # BadZipFile: np.load raises it for a truncated/corrupt archive
+            # that still begins with the zip magic bytes.
             raise EngineError(f"corrupt cached catalog at {path}: {exc}") from exc
         self.hits += 1
         return catalog
@@ -86,10 +118,10 @@ class ArtifactCache:
         return final.with_name(f".{final.name}.{os.getpid()}.{uuid.uuid4().hex}{suffix}")
 
     def store_catalog(self, key: str, catalog: SelectivityCatalog) -> Path:
-        """Persist ``catalog`` under ``key`` (atomic); returns the file path."""
+        """Persist ``catalog`` under ``key`` (atomic, ``.npz``); returns the path."""
         path = self.catalog_path(key)
         temp = self._temp_path(path)
-        catalog.save(temp)
+        catalog.save_npz(temp)
         os.replace(temp, path)
         return path
 
@@ -147,7 +179,12 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     def artifact_files(self) -> list[Path]:
         """All artifact files currently in the cache, sorted by name."""
-        patterns = ("catalog-*.json", "histogram-*.json", "positions-*.npy")
+        patterns = (
+            "catalog-*.npz",
+            "catalog-*.json",
+            "histogram-*.json",
+            "positions-*.npy",
+        )
         found: list[Path] = []
         for pattern in patterns:
             found.extend(self._root.glob(pattern))

@@ -28,12 +28,16 @@ from repro.engine.fingerprint import config_digest, graph_digest
 from repro.estimation.estimator import PathSelectivityEstimator
 from repro.exceptions import EngineError, OrderingError
 from repro.graph.digraph import LabeledDiGraph
-from repro.histogram.builder import LabelPathHistogram, build_histogram
+from repro.histogram.builder import (
+    LabelPathHistogram,
+    build_histogram,
+    domain_frequencies,
+)
 from repro.histogram.vopt import VOptimalHistogram
 from repro.ordering.base import Ordering
 from repro.ordering.registry import make_ordering
 from repro.paths.catalog import SelectivityCatalog
-from repro.paths.enumeration import enumerate_label_paths
+from repro.paths.enumeration import enumerate_label_paths, resolve_backend
 from repro.paths.label_path import LabelPath
 
 __all__ = ["EngineConfig", "SessionStats", "EstimationSession"]
@@ -63,13 +67,33 @@ class EngineConfig:
             raise EngineError("bucket_count must be >= 1")
 
     def catalog_fields(self) -> dict[str, object]:
-        """The config fields the catalog artifact depends on."""
+        """The config fields the catalog artifact depends on.
+
+        ``catalog_format`` versions the on-disk artifact layout: bumping it
+        re-keys every catalog, so entries written under an older format (the
+        pre-columnar JSON form) are never half-trusted — they are only read
+        through the explicit fallback under their own old key
+        (:meth:`legacy_catalog_fields`).
+        """
+        return {"max_length": self.max_length, "catalog_format": 2}
+
+    def legacy_catalog_fields(self) -> dict[str, object]:
+        """The catalog key fields of the pre-columnar format (no version tag).
+
+        Caches written before the columnar artifact keyed catalogs by these
+        fields alone; the session derives the old key from them so a legacy
+        ``catalog-<key>.json`` entry can still warm-start a build.
+        """
         return {"max_length": self.max_length}
 
     def histogram_fields(self) -> dict[str, object]:
-        """The config fields the histogram / position artifacts depend on."""
+        """The config fields the histogram / position artifacts depend on.
+
+        Includes ``catalog_fields`` (the histogram is built from the catalog,
+        and every catalog-invalidating change must invalidate it too).
+        """
         return {
-            "max_length": self.max_length,
+            **self.catalog_fields(),
             "ordering": self.ordering,
             "histogram_kind": self.histogram_kind,
             "bucket_count": self.bucket_count,
@@ -91,6 +115,7 @@ class SessionStats:
     positions_seconds: float = 0.0
     total_seconds: float = 0.0
     workers: int = 1
+    backend: str = "serial"
     domain_size: int = 0
     extra: dict[str, object] = field(default_factory=dict)
 
@@ -108,6 +133,7 @@ class SessionStats:
             "positions_seconds": self.positions_seconds,
             "total_seconds": self.total_seconds,
             "workers": self.workers,
+            "backend": self.backend,
             "domain_size": self.domain_size,
         }
 
@@ -147,6 +173,7 @@ class EstimationSession:
         *,
         cache_dir: Optional[Union[str, "ArtifactCache"]] = None,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> "EstimationSession":
         """Build (or warm-load) a session for ``graph`` under ``config``.
 
@@ -158,9 +185,15 @@ class EstimationSession:
             hit and written to it on a miss.  ``None`` builds everything in
             memory.
         workers:
-            Thread count for catalog construction on a cache miss
+            Worker count for catalog construction on a cache miss
             (``None`` = serial; ``n > 1`` splits the DFS over first-label
             subtrees).
+        backend:
+            Catalog construction backend: ``"serial"``, ``"thread"`` or
+            ``"process"`` (see
+            :func:`repro.paths.enumeration.compute_selectivity_vector`).
+            ``None`` keeps the historical default: threads when
+            ``workers > 1``, serial otherwise.
         """
         config = config if config is not None else EngineConfig()
         cache: Optional[ArtifactCache]
@@ -171,60 +204,66 @@ class EstimationSession:
         else:
             cache = ArtifactCache(cache_dir)
 
-        stats = SessionStats(workers=workers if workers else 1)
+        # Resolve the backend and worker count through the builder's own
+        # rules, so the stats record what a cold build actually uses.
+        effective_backend, effective_workers = resolve_backend(
+            backend, workers, graph.label_count or 1
+        )
+        stats = SessionStats(workers=effective_workers, backend=effective_backend)
         build_start = time.perf_counter()
 
         digest = graph_digest(graph)
         stats.graph_digest = digest
         catalog_key = f"{digest[:24]}-{config_digest(config.catalog_fields())}"
+        legacy_catalog_key = (
+            f"{digest[:24]}-{config_digest(config.legacy_catalog_fields())}"
+        )
         histogram_key = f"{digest[:24]}-{config_digest(config.histogram_fields())}"
         stats.catalog_key = catalog_key
         stats.histogram_key = histogram_key
 
-        # 1. Catalog: the expensive exact evaluation of the whole domain.
+        # 1. Catalog: the expensive exact evaluation of the whole domain,
+        #    landing directly in the columnar frequency vector.
         start = time.perf_counter()
-        catalog = cache.load_catalog(catalog_key) if cache is not None else None
+        catalog = (
+            cache.load_catalog(catalog_key, legacy_key=legacy_catalog_key)
+            if cache is not None
+            else None
+        )
         if catalog is None:
             catalog = SelectivityCatalog.from_graph(
-                graph, config.max_length, workers=workers
+                graph,
+                config.max_length,
+                workers=effective_workers,
+                backend=effective_backend,
             )
             if cache is not None:
                 cache.store_catalog(catalog_key, catalog)
         else:
             stats.catalog_from_cache = True
+            if cache is not None and not cache.catalog_path(catalog_key).exists():
+                # Warm-started from a legacy JSON artifact: upgrade it to the
+                # columnar form so later starts skip the slow reader.
+                cache.store_catalog(catalog_key, catalog)
         stats.catalog_seconds = time.perf_counter() - start
 
-        # 2. Ordering + histogram.
+        # 2. Ordering (from the cached histogram when possible).  The load is
+        #    timed into histogram_seconds below so the warm path's artifact
+        #    parse cost is not attributed to no stage.
         start = time.perf_counter()
         histogram = cache.load_histogram(histogram_key) if cache is not None else None
         ordering: Ordering
-        if histogram is None:
-            ordering = make_ordering(config.ordering, catalog=catalog)
-            # A serving engine should not refuse a tiny graph because the
-            # configured β exceeds |Lk|; clamp instead (the requested value
-            # stays in the cache key, so this cannot alias configs).
-            bucket_count = min(config.bucket_count, ordering.size)
-            histogram = build_histogram(
-                catalog,
-                ordering,
-                kind=config.histogram_kind,
-                bucket_count=bucket_count,
-            )
-            if cache is not None:
-                try:
-                    cache.store_histogram(histogram_key, histogram)
-                except OrderingError:
-                    # Materialised orderings (e.g. "ideal") cannot round-trip
-                    # through the histogram artifact; the session still works,
-                    # it just rebuilds the histogram on every start.
-                    stats.extra["histogram_not_cacheable"] = True
-        else:
+        if histogram is not None:
             ordering = histogram.ordering
             stats.histogram_from_cache = True
-        stats.histogram_seconds = time.perf_counter() - start
+        else:
+            ordering = make_ordering(config.ordering, catalog=catalog)
+        histogram_load_seconds = time.perf_counter() - start
 
         # 3. Position table: domain position of every path, in the stable
-        #    numerical-alphabetical enumeration order of Lk.
+        #    numerical-alphabetical enumeration order of Lk.  Resolved before
+        #    the histogram so a fresh histogram build can consume the
+        #    catalog's frequency vector through it without per-path lookups.
         start = time.perf_counter()
         positions = cache.load_positions(histogram_key) if cache is not None else None
         if positions is None:
@@ -254,6 +293,30 @@ class EstimationSession:
             )
         }
         stats.positions_seconds = time.perf_counter() - start
+
+        # 4. Histogram, built over the vectorised frequency layout on a miss.
+        start = time.perf_counter()
+        if histogram is None:
+            # A serving engine should not refuse a tiny graph because the
+            # configured β exceeds |Lk|; clamp instead (the requested value
+            # stays in the cache key, so this cannot alias configs).
+            bucket_count = min(config.bucket_count, ordering.size)
+            histogram = build_histogram(
+                catalog,
+                ordering,
+                kind=config.histogram_kind,
+                bucket_count=bucket_count,
+                frequencies=domain_frequencies(catalog, ordering, positions=positions),
+            )
+            if cache is not None:
+                try:
+                    cache.store_histogram(histogram_key, histogram)
+                except OrderingError:
+                    # Materialised orderings (e.g. "ideal") cannot round-trip
+                    # through the histogram artifact; the session still works,
+                    # it just rebuilds the histogram on every start.
+                    stats.extra["histogram_not_cacheable"] = True
+        stats.histogram_seconds = histogram_load_seconds + time.perf_counter() - start
 
         stats.total_seconds = time.perf_counter() - build_start
         stats.domain_size = ordering.size

@@ -21,6 +21,8 @@ from __future__ import annotations
 from collections.abc import Hashable, Iterable, Iterator, Mapping
 from typing import Optional
 
+import numpy as np
+
 from repro.exceptions import GraphError, UnknownLabelError, UnknownVertexError
 
 __all__ = ["Edge", "LabeledDiGraph"]
@@ -302,6 +304,37 @@ class LabeledDiGraph:
         if backward is None:
             raise UnknownLabelError(label)
         return backward
+
+    def edge_index_arrays(self, label: Label):
+        """The interned ``(source_ids, target_ids)`` arrays of ``label``'s edges.
+
+        Returns two aligned ``int64`` NumPy arrays — entry ``i`` of each is
+        the dense vertex id of the ``i``-th edge's endpoint — built in bulk
+        from the per-label adjacency (one ``np.repeat`` over the out-degrees
+        instead of a Python append per edge).  Unknown labels yield empty
+        arrays, matching the (label ∈ store, label ∉ graph) case of the
+        matrix layer.
+        """
+        forward = self._forward.get(label)
+        if not forward:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy()
+        ids = self._vertex_ids
+        source_ids = np.fromiter(
+            (ids[source] for source in forward), dtype=np.int64, count=len(forward)
+        )
+        degrees = np.fromiter(
+            (len(targets) for targets in forward.values()),
+            dtype=np.int64,
+            count=len(forward),
+        )
+        rows = np.repeat(source_ids, degrees)
+        cols = np.fromiter(
+            (ids[target] for targets in forward.values() for target in targets),
+            dtype=np.int64,
+            count=self._label_edge_counts[label],
+        )
+        return rows, cols
 
     # ------------------------------------------------------------------
     # vertex interning

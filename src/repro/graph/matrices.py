@@ -66,12 +66,8 @@ class LabelMatrixStore:
         cached = self._matrices.get(label)
         if cached is not None:
             return cached
-        rows: list[int] = []
-        cols: list[int] = []
-        for edge in self._graph.edges_with_label(label):
-            rows.append(self._graph.vertex_id(edge.source))
-            cols.append(self._graph.vertex_id(edge.target))
-        data = np.ones(len(rows), dtype=bool)
+        rows, cols = self._graph.edge_index_arrays(label)
+        data = np.ones(rows.size, dtype=bool)
         matrix = sparse.csr_matrix(
             (data, (rows, cols)), shape=(self._dimension, self._dimension), dtype=bool
         )

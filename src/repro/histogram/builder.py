@@ -22,6 +22,7 @@ from repro.histogram.maxdiff import MaxDiffHistogram
 from repro.histogram.vopt import VOptimalHistogram
 from repro.ordering.base import Ordering
 from repro.paths.catalog import SelectivityCatalog
+from repro.paths.enumeration import enumerate_label_paths
 from repro.paths.label_path import LabelPath
 
 __all__ = [
@@ -44,12 +45,23 @@ HISTOGRAM_KINDS: dict[str, type[Histogram]] = {
 PathLike = Union[str, LabelPath]
 
 
-def domain_frequencies(catalog: SelectivityCatalog, ordering: Ordering) -> np.ndarray:
+def domain_frequencies(
+    catalog: SelectivityCatalog,
+    ordering: Ordering,
+    *,
+    positions: Optional[np.ndarray] = None,
+) -> np.ndarray:
     """The catalog's selectivities laid out in the ordering's index order.
 
     Element ``i`` of the returned vector is ``f(ordering.path(i))``; this is
     the data distribution the histogram is built over (the black curve of the
     paper's Figure 1, in whichever order ``ordering`` prescribes).
+
+    The catalog's columnar frequency vector is permuted in one vectorised
+    scatter — no per-path dict lookups.  ``positions``, when given, is the
+    precomputed permutation (``positions[i]`` = ordering index of the ``i``-th
+    path of the canonical enumeration, as cached by the engine's artifact
+    store); otherwise it is derived by ranking each path once.
     """
     if set(ordering.labels) != set(catalog.labels):
         raise HistogramError(
@@ -61,10 +73,26 @@ def domain_frequencies(catalog: SelectivityCatalog, ordering: Ordering) -> np.nd
             f"ordering max_length={ordering.max_length} exceeds catalog "
             f"max_length={catalog.max_length}"
         )
+    if positions is None:
+        positions = np.fromiter(
+            (
+                ordering.index(path)
+                for path in enumerate_label_paths(
+                    catalog.labels, ordering.max_length
+                )
+            ),
+            dtype=np.int64,
+            count=ordering.size,
+        )
+    elif positions.shape != (ordering.size,):
+        raise HistogramError(
+            f"position table has shape {positions.shape}, "
+            f"expected ({ordering.size},)"
+        )
     frequencies = np.zeros(ordering.size, dtype=float)
-    for path, value in catalog.items():
-        if path.length <= ordering.max_length:
-            frequencies[ordering.index(path)] = float(value)
+    # The canonical order is length-major, so a shorter ordering domain is a
+    # prefix slice of the catalog's vector.
+    frequencies[positions] = catalog.frequency_vector()[: ordering.size]
     return frequencies
 
 

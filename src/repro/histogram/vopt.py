@@ -216,19 +216,29 @@ class VOptimalHistogram(Histogram):
             push(point, end)
         # If the distribution ran out of SSE to remove (e.g. long runs of equal
         # frequencies), pad with equal-width splits of the widest buckets so
-        # the bucket count still honours the request.
+        # the bucket count still honours the request.  A width heap makes the
+        # padding O(β log β) instead of re-sorting all boundaries per split;
+        # keys are (-width, -start) to preserve the historical widest-then-
+        # rightmost split order.
         ordered = sorted(boundaries)
-        while len(ordered) < bucket_count:
-            widths = [
-                (
-                    (ordered[i + 1] if i + 1 < len(ordered) else domain) - ordered[i],
-                    ordered[i],
-                )
-                for i in range(len(ordered))
+        if len(ordered) < bucket_count:
+            ends = ordered[1:] + [domain]
+            width_heap = [
+                (start - end, -start)
+                for start, end in zip(ordered, ends)
+                if end - start > 1
             ]
-            width, start = max(widths)
-            if width <= 1:
-                break
-            ordered.append(start + width // 2)
+            heapq.heapify(width_heap)
+            count = len(ordered)
+            while count < bucket_count and width_heap:
+                negative_width, negative_start = heapq.heappop(width_heap)
+                width, start = -negative_width, -negative_start
+                point = start + width // 2
+                ordered.append(point)
+                count += 1
+                if point - start > 1:
+                    heapq.heappush(width_heap, (start - point, -start))
+                if start + width - point > 1:
+                    heapq.heappush(width_heap, (point - start - width, -point))
             ordered.sort()
         return ordered

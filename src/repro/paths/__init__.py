@@ -4,6 +4,7 @@ from repro.paths.catalog import SelectivityCatalog
 from repro.paths.enumeration import (
     compute_selectivities,
     compute_selectivities_parallel,
+    compute_selectivity_vector,
     domain_size,
     enumerate_label_paths,
 )
@@ -14,7 +15,12 @@ from repro.paths.evaluation import (
     evaluate_path,
     path_selectivity,
 )
-from repro.paths.index import PathIndex
+from repro.paths.index import (
+    PathIndex,
+    domain_index_to_path,
+    path_to_domain_index,
+    paths_to_domain_indices,
+)
 from repro.paths.label_path import SEPARATOR, LabelPath, as_label_path
 from repro.paths.splitting import (
     BaseLabelSet,
@@ -36,10 +42,14 @@ __all__ = [
     "as_label_path",
     "compute_selectivities",
     "compute_selectivities_parallel",
+    "compute_selectivity_vector",
+    "domain_index_to_path",
     "domain_size",
     "edge_label_base_set",
     "enumerate_label_paths",
     "evaluate_path",
     "length_bounded_base_set",
     "path_selectivity",
+    "path_to_domain_index",
+    "paths_to_domain_indices",
 ]

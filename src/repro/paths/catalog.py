@@ -7,9 +7,19 @@ label path in ``Lk`` for one graph.  It is the ground-truth distribution that
 * histograms are built from, and
 * the evaluation harness compares estimates against.
 
+Internally the catalog is **columnar**: one index-aligned ``int64`` NumPy
+frequency vector in the canonical numerical-alphabetical domain order
+(position ``i`` holds ``f`` of the ``i``-th path of
+:func:`~repro.paths.enumeration.enumerate_label_paths`; the bijection is the
+base-``|L|`` arithmetic of :mod:`repro.paths.index`).  That is the frequency
+*vector* representation the V-optimal DP literature assumes, it eliminates
+per-path ``LabelPath``/dict overhead, and it serialises to a compressed
+``.npz`` artifact a fraction of the size of the legacy JSON form (which is
+still read and written for interoperability).
+
 Catalogs are expensive to build for large ``k`` (they require evaluating the
-whole domain), so they can be serialised to / from JSON and are treated as
-immutable once built.
+whole domain), so they can be persisted and are treated as immutable once
+built.
 """
 
 from __future__ import annotations
@@ -18,18 +28,27 @@ import json
 from pathlib import Path
 from typing import Callable, Iterator, Mapping, Optional, Sequence, Union
 
+import numpy as np
+
 from repro.exceptions import PathError, UnknownLabelError
 from repro.graph.digraph import LabeledDiGraph
 from repro.paths.enumeration import (
-    compute_selectivities,
-    compute_selectivities_parallel,
+    compute_selectivity_vector,
     domain_size,
+    enumerate_label_paths,
+)
+from repro.paths.index import (
+    domain_index_to_path,
+    paths_to_domain_indices,
 )
 from repro.paths.label_path import LabelPath, as_label_path
 
-__all__ = ["SelectivityCatalog"]
+__all__ = ["SelectivityCatalog", "CATALOG_NPZ_VERSION"]
 
 PathLike = Union[str, LabelPath]
+
+#: Version stamp written into (and required from) the ``.npz`` catalog format.
+CATALOG_NPZ_VERSION = 1
 
 
 class SelectivityCatalog:
@@ -42,8 +61,12 @@ class SelectivityCatalog:
     max_length:
         The maximum path length ``k``.
     selectivities:
-        Mapping from every path in ``Lk`` (or a subset — missing paths are
-        treated as selectivity 0) to its true selectivity.
+        Either a mapping from paths in ``Lk`` (or a subset — missing paths
+        are treated as selectivity 0) to their true selectivity, or a dense
+        ``int64`` frequency vector of ``|Lk|`` entries in canonical domain
+        order.  An array is *adopted*: the catalog takes ownership and marks
+        it read-only (use :meth:`from_frequencies`, which copies by default,
+        when the caller keeps using the array).
     graph_name:
         Optional provenance string.
     """
@@ -52,7 +75,7 @@ class SelectivityCatalog:
         self,
         labels: Sequence[str],
         max_length: int,
-        selectivities: Mapping[LabelPath, int],
+        selectivities: Union[Mapping[PathLike, int], np.ndarray],
         *,
         graph_name: str = "",
     ) -> None:
@@ -61,22 +84,55 @@ class SelectivityCatalog:
         if not labels:
             raise PathError("the label alphabet must not be empty")
         self._labels = tuple(sorted(set(labels)))
+        # Hoisted ranking state so per-query index arithmetic is one dict
+        # lookup per label, not a rebuilt rank map per call.
+        self._rank_of = {label: digit for digit, label in enumerate(self._labels)}
+        base = len(self._labels)
+        self._block_starts = [0]
+        for length in range(1, max_length):
+            self._block_starts.append(self._block_starts[-1] + base**length)
         self._max_length = max_length
         self._graph_name = graph_name
-        self._selectivities: dict[LabelPath, int] = {}
-        label_set = set(self._labels)
-        for path, value in selectivities.items():
-            label_path = as_label_path(path)
-            if label_path.length > max_length:
+        self._domain_size = domain_size(len(self._labels), max_length)
+        self._total: Optional[int] = None
+        self._max: Optional[int] = None
+        if isinstance(selectivities, np.ndarray):
+            if selectivities.shape != (self._domain_size,):
                 raise PathError(
-                    f"path {label_path} longer than max_length={max_length}"
+                    f"frequency vector has shape {selectivities.shape}, expected "
+                    f"({self._domain_size},) for |L|={len(self._labels)}, "
+                    f"k={max_length}"
                 )
-            for label in label_path:
-                if label not in label_set:
-                    raise UnknownLabelError(label)
-            if value < 0:
-                raise PathError(f"negative selectivity for {label_path}: {value}")
-            self._selectivities[label_path] = int(value)
+            frequencies = np.ascontiguousarray(selectivities, dtype=np.int64)
+            if frequencies.size and int(frequencies.min()) < 0:
+                position = int(np.argmin(frequencies))
+                raise PathError(
+                    f"negative selectivity at domain index {position}: "
+                    f"{int(frequencies[position])}"
+                )
+            self._frequencies = frequencies
+            self._explicit: Optional[np.ndarray] = None
+        else:
+            self._frequencies = np.zeros(self._domain_size, dtype=np.int64)
+            explicit = np.zeros(self._domain_size, dtype=bool)
+            paths = list(selectivities.keys())
+            values = [selectivities[path] for path in paths]
+            indices = (
+                paths_to_domain_indices(paths, self._labels, max_length=max_length)
+                if paths
+                else np.empty(0, dtype=np.int64)
+            )
+            for index, path, value in zip(indices, paths, values):
+                value = int(value)
+                if value < 0:
+                    raise PathError(
+                        f"negative selectivity for {as_label_path(path)}: {value}"
+                    )
+                self._frequencies[index] = value
+                explicit[index] = True
+            # A mapping that covers the whole domain is just a dense catalog.
+            self._explicit = None if bool(explicit.all()) else explicit
+        self._frequencies.setflags(write=False)
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -90,25 +146,52 @@ class SelectivityCatalog:
         labels: Optional[Sequence[str]] = None,
         progress: Optional[Callable[[int], None]] = None,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> "SelectivityCatalog":
         """Build the catalog by exact evaluation of every path on ``graph``.
 
-        ``workers`` > 1 distributes the first-label subtrees of the DFS over
-        that many threads (see :func:`compute_selectivities_parallel`); the
-        default ``None`` keeps the serial builder.  Results are identical.
+        Construction runs the columnar builder
+        (:func:`~repro.paths.enumeration.compute_selectivity_vector`):
+        counts land directly in the frequency vector, with no per-path
+        ``LabelPath``/dict overhead.  ``backend`` picks ``"serial"``,
+        ``"thread"`` or ``"process"``; ``None`` resolves through
+        :func:`~repro.paths.enumeration.resolve_backend` (threads when
+        ``workers > 1``, serial otherwise).  Results are identical across
+        backends.
         """
         alphabet = sorted(labels) if labels is not None else graph.labels()
-        if workers is not None and workers > 1:
-            selectivities = compute_selectivities_parallel(
-                graph, max_length, labels=alphabet, workers=workers, progress=progress
-            )
-        else:
-            selectivities = compute_selectivities(
-                graph, max_length, labels=alphabet, progress=progress
-            )
-        return cls(
-            alphabet, max_length, selectivities, graph_name=graph.name or "unnamed"
+        vector = compute_selectivity_vector(
+            graph,
+            max_length,
+            labels=alphabet,
+            progress=progress,
+            backend=backend,
+            workers=workers,
         )
+        return cls.from_frequencies(
+            alphabet, max_length, vector, graph_name=graph.name or "unnamed", copy=False
+        )
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        labels: Sequence[str],
+        max_length: int,
+        frequencies: np.ndarray,
+        *,
+        graph_name: str = "",
+        copy: bool = True,
+    ) -> "SelectivityCatalog":
+        """Build from a dense canonical-order frequency vector.
+
+        ``copy=True`` (the default) leaves the caller's array untouched;
+        ``copy=False`` adopts it zero-copy, after which the catalog marks it
+        read-only (builders that hand over a freshly allocated vector use
+        this).
+        """
+        if copy:
+            frequencies = np.array(frequencies, dtype=np.int64)
+        return cls(labels, max_length, frequencies, graph_name=graph_name)
 
     # ------------------------------------------------------------------
     # core accessors
@@ -131,7 +214,40 @@ class SelectivityCatalog:
     @property
     def domain_size(self) -> int:
         """``|Lk|`` — the size of the full label-path domain."""
-        return domain_size(len(self._labels), self._max_length)
+        return self._domain_size
+
+    def frequency_vector(self) -> np.ndarray:
+        """The read-only ``int64`` frequency vector in canonical domain order.
+
+        Position ``i`` is ``f`` of the ``i``-th path of
+        :func:`~repro.paths.enumeration.enumerate_label_paths` over the
+        catalog's alphabet; paths without an explicitly stored value read 0.
+        This is the array the histogram layer consumes directly.
+        """
+        return self._frequencies
+
+    def _domain_index(self, path: PathLike) -> int:
+        """Canonical index of ``path``, validating alphabet and length.
+
+        Same arithmetic as :func:`~repro.paths.index.path_to_domain_index`,
+        inlined over the catalog's precomputed rank map and block offsets
+        (this sits on the per-query hot path of ``selectivity``).
+        """
+        label_path = as_label_path(path)
+        length = label_path.length
+        if length > self._max_length:
+            raise PathError(
+                f"path {label_path} longer than catalog max_length={self._max_length}"
+            )
+        rank_of = self._rank_of
+        base = len(self._labels)
+        value = 0
+        for label in label_path:
+            digit = rank_of.get(label)
+            if digit is None:
+                raise UnknownLabelError(label)
+            value = value * base + digit
+        return self._block_starts[length - 1] + value
 
     def selectivity(self, path: PathLike) -> int:
         """The true selectivity ``f(ℓ)`` (0 for paths absent from the graph).
@@ -139,15 +255,7 @@ class SelectivityCatalog:
         Raises for paths outside the domain (unknown labels or too long) so
         that experiment code cannot silently query a mismatched catalog.
         """
-        label_path = as_label_path(path)
-        if label_path.length > self._max_length:
-            raise PathError(
-                f"path {label_path} longer than catalog max_length={self._max_length}"
-            )
-        for label in label_path:
-            if label not in self._labels:
-                raise UnknownLabelError(label)
-        return self._selectivities.get(label_path, 0)
+        return int(self._frequencies[self._domain_index(path)])
 
     def label_selectivity(self, label: str) -> int:
         """Selectivity of the length-1 path for ``label``."""
@@ -158,52 +266,93 @@ class SelectivityCatalog:
         return {label: self.label_selectivity(label) for label in self._labels}
 
     def paths(self) -> Iterator[LabelPath]:
-        """Iterate over the paths with an explicitly stored selectivity."""
-        return iter(self._selectivities)
+        """Iterate over the paths with an explicitly stored selectivity.
+
+        Dense catalogs (built from a graph or a frequency vector) store the
+        whole domain; sparse ones (built from a pruned mapping) yield only
+        the mapped paths.  Iteration is in canonical domain order.
+        """
+        if self._explicit is None:
+            return enumerate_label_paths(self._labels, self._max_length)
+        return (
+            domain_index_to_path(int(index), self._labels)
+            for index in np.nonzero(self._explicit)[0]
+        )
 
     def items(self) -> Iterator[tuple[LabelPath, int]]:
         """Iterate over ``(path, selectivity)`` for explicitly stored paths."""
-        return iter(self._selectivities.items())
+        frequencies = self._frequencies
+        if self._explicit is None:
+            return (
+                (path, int(frequencies[index]))
+                for index, path in enumerate(
+                    enumerate_label_paths(self._labels, self._max_length)
+                )
+            )
+        return (
+            (domain_index_to_path(int(index), self._labels), int(frequencies[index]))
+            for index in np.nonzero(self._explicit)[0]
+        )
 
     def nonzero_paths(self) -> list[LabelPath]:
         """All stored paths with a strictly positive selectivity."""
-        return [path for path, value in self._selectivities.items() if value > 0]
+        return [
+            domain_index_to_path(int(index), self._labels)
+            for index in np.nonzero(self._frequencies)[0]
+        ]
 
     def total_selectivity(self) -> int:
-        """Sum of ``f(ℓ)`` over all stored paths."""
-        return sum(self._selectivities.values())
+        """Sum of ``f(ℓ)`` over all stored paths (cached after first call)."""
+        if self._total is None:
+            self._total = int(self._frequencies.sum())
+        return self._total
 
     def max_selectivity(self) -> int:
-        """The largest stored selectivity (0 for an empty catalog)."""
-        return max(self._selectivities.values(), default=0)
+        """The largest stored selectivity (0 for an empty catalog; cached)."""
+        if self._max is None:
+            self._max = int(self._frequencies.max(initial=0))
+        return self._max
 
     def restrict(self, max_length: int) -> "SelectivityCatalog":
-        """A new catalog containing only paths of length ≤ ``max_length``."""
+        """A new catalog containing only paths of length ≤ ``max_length``.
+
+        The canonical order is length-major, so restriction is a prefix slice
+        of the frequency vector.
+        """
         if max_length > self._max_length:
             raise PathError(
                 f"cannot restrict to max_length={max_length} > {self._max_length}"
             )
-        selected = {
-            path: value
-            for path, value in self._selectivities.items()
-            if path.length <= max_length
-        }
-        return SelectivityCatalog(
-            self._labels, max_length, selected, graph_name=self._graph_name
+        size = domain_size(len(self._labels), max_length)
+        restricted = SelectivityCatalog(
+            self._labels,
+            max_length,
+            self._frequencies[:size].copy(),
+            graph_name=self._graph_name,
         )
+        if self._explicit is not None:
+            mask = self._explicit[:size].copy()
+            restricted._explicit = None if bool(mask.all()) else mask
+        return restricted
 
     def __len__(self) -> int:
-        return len(self._selectivities)
+        if self._explicit is None:
+            return self._domain_size
+        return int(self._explicit.sum())
 
     def __contains__(self, path: object) -> bool:
-        if isinstance(path, (str, LabelPath)):
-            return as_label_path(path) in self._selectivities
-        return False
+        if not isinstance(path, (str, LabelPath, tuple)):
+            return False
+        try:
+            index = self._domain_index(path)  # type: ignore[arg-type]
+        except (PathError, UnknownLabelError):
+            return False
+        return self._explicit is None or bool(self._explicit[index])
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"<SelectivityCatalog graph={self._graph_name!r} |L|={len(self._labels)} "
-            f"k={self._max_length} stored={len(self._selectivities)}>"
+            f"k={self._max_length} stored={len(self)}>"
         )
 
     # ------------------------------------------------------------------
@@ -215,7 +364,7 @@ class SelectivityCatalog:
             "graph_name": self._graph_name,
             "labels": list(self._labels),
             "max_length": self._max_length,
-            "selectivities": {str(path): value for path, value in self._selectivities.items()},
+            "selectivities": {str(path): value for path, value in self.items()},
         }
 
     @classmethod
@@ -238,14 +387,76 @@ class SelectivityCatalog:
         )
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the catalog to ``path`` as JSON."""
+        """Write the catalog to ``path`` as JSON (the interoperable form).
+
+        :meth:`save_npz` is the compact binary alternative the engine's
+        artifact cache uses.
+        """
         with open(Path(path), "w", encoding="utf-8") as handle:
             json.dump(self.to_dict(), handle, sort_keys=True)
             handle.write("\n")
 
+    def save_npz(self, path: Union[str, Path]) -> None:
+        """Write the catalog to ``path`` as a compressed ``.npz`` archive.
+
+        The archive stores the dense frequency vector plus metadata
+        (``labels``, ``max_length``, ``graph_name``, ``format_version`` =
+        :data:`CATALOG_NPZ_VERSION`, and the explicit-path mask when the
+        catalog is sparse).  Typically a small fraction of the JSON size.
+        """
+        arrays: dict[str, np.ndarray] = {
+            "format_version": np.asarray(CATALOG_NPZ_VERSION, dtype=np.int64),
+            "labels": np.asarray(self._labels, dtype=np.str_),
+            "max_length": np.asarray(self._max_length, dtype=np.int64),
+            "graph_name": np.asarray(self._graph_name, dtype=np.str_),
+            "frequencies": self._frequencies,
+        }
+        if self._explicit is not None:
+            arrays["explicit"] = self._explicit
+        with open(Path(path), "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+
+    @classmethod
+    def load_npz(cls, path: Union[str, Path]) -> "SelectivityCatalog":
+        """Read a catalog previously written by :meth:`save_npz`."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            try:
+                version = int(archive["format_version"])
+                if version != CATALOG_NPZ_VERSION:
+                    raise PathError(
+                        f"unsupported catalog npz format version {version} "
+                        f"(expected {CATALOG_NPZ_VERSION})"
+                    )
+                labels = [str(label) for label in archive["labels"]]
+                max_length = int(archive["max_length"])
+                graph_name = str(archive["graph_name"])
+                frequencies = np.asarray(archive["frequencies"], dtype=np.int64)
+                explicit = (
+                    np.asarray(archive["explicit"], dtype=bool)
+                    if "explicit" in archive.files
+                    else None
+                )
+            except KeyError as exc:
+                raise PathError(f"invalid catalog npz archive: missing {exc}") from exc
+        catalog = cls(labels, max_length, frequencies, graph_name=graph_name)
+        if explicit is not None:
+            if explicit.shape != catalog._frequencies.shape:
+                raise PathError("invalid catalog npz archive: bad explicit mask")
+            catalog._explicit = None if bool(explicit.all()) else explicit
+        return catalog
+
     @classmethod
     def load(cls, path: Union[str, Path]) -> "SelectivityCatalog":
-        """Read a catalog previously written by :meth:`save`."""
-        with open(Path(path), "r", encoding="utf-8") as handle:
+        """Read a catalog written by :meth:`save` or :meth:`save_npz`.
+
+        The format is sniffed from the file content (``.npz`` archives are
+        zip files), so old JSON catalogs keep loading transparently.
+        """
+        target = Path(path)
+        with open(target, "rb") as handle:
+            magic = handle.read(2)
+        if magic == b"PK":
+            return cls.load_npz(target)
+        with open(target, "r", encoding="utf-8") as handle:
             document = json.load(handle)
         return cls.from_dict(document)

@@ -6,6 +6,20 @@ This module enumerates ``Lk`` and — more importantly — computes the true
 selectivity ``f(ℓ)`` of *every* path in ``Lk`` in a single prefix-sharing
 depth-first traversal over boolean matrix products, which is what makes
 building the full catalog for ``k = 6`` feasible.
+
+Two builders exist:
+
+* :func:`compute_selectivity_vector` — the **columnar core**: writes counts
+  straight into an index-aligned ``int64`` NumPy vector in canonical
+  numerical-alphabetical order (see :mod:`repro.paths.index`).  No
+  :class:`LabelPath` objects, no dict inserts; subtrees rooted at an empty
+  prefix are skipped in O(1) because the vector is zero-initialised and the
+  canonical order maps every subtree to a contiguous slice.  Supports
+  ``backend="serial" | "thread" | "process"`` over the ``|L|`` independent
+  first-label subtrees of the path trie.
+* :func:`compute_selectivities` — the legacy dict builder (``LabelPath`` →
+  count), kept as the compatibility surface and as the reference baseline the
+  benchmark suite measures the columnar core against.
 """
 
 from __future__ import annotations
@@ -13,12 +27,16 @@ from __future__ import annotations
 import itertools
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterator, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterator, Mapping, Optional, Sequence
+
+import numpy as np
+from scipy import sparse
 
 from repro.exceptions import PathError
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.matrices import LabelMatrixStore
+from repro.paths.index import domain_block_starts
 from repro.paths.label_path import LabelPath
 
 __all__ = [
@@ -26,7 +44,16 @@ __all__ = [
     "enumerate_label_paths",
     "compute_selectivities",
     "compute_selectivities_parallel",
+    "compute_selectivity_vector",
+    "resolve_backend",
+    "CATALOG_BACKENDS",
 ]
+
+#: Supported catalog-construction backends for :func:`compute_selectivity_vector`.
+CATALOG_BACKENDS = ("serial", "thread", "process")
+
+#: The progress callback fires every this many processed paths.
+_PROGRESS_EVERY = 1000
 
 
 def domain_size(label_count: int, max_length: int) -> int:
@@ -47,8 +74,9 @@ def enumerate_label_paths(
 
     Paths are yielded in *numerical-alphabetical* order: shorter paths first,
     ties broken by the alphabetical order of ``labels`` position by position.
-    This is the paper's native domain order and the baseline the orderings
-    are compared against.
+    This is the paper's native domain order, the baseline the orderings are
+    compared against, and the order of the columnar catalog's frequency
+    vector (path ``i`` of this enumeration sits at vector position ``i``).
     """
     if max_length < 1:
         raise PathError("max_length must be >= 1")
@@ -60,6 +88,9 @@ def enumerate_label_paths(
             yield LabelPath(combo)
 
 
+# ----------------------------------------------------------------------
+# legacy dict builder (compatibility surface and benchmark baseline)
+# ----------------------------------------------------------------------
 def compute_selectivities(
     graph: LabeledDiGraph,
     max_length: int,
@@ -70,12 +101,15 @@ def compute_selectivities(
     progress: Optional[Callable[[int], None]] = None,
     roots: Optional[Sequence[str]] = None,
 ) -> dict[LabelPath, int]:
-    """Compute ``f(ℓ)`` for every ``ℓ ∈ Lk`` on ``graph``.
+    """Compute ``f(ℓ)`` for every ``ℓ ∈ Lk`` on ``graph`` (dict output).
 
     The computation shares prefixes: the boolean reachability matrix of a
     prefix is computed once and extended by every label, so the total number
     of sparse matrix products equals the number of internal nodes of the
     label-path trie rather than ``k`` per path.
+
+    This is the legacy path-keyed builder; :func:`compute_selectivity_vector`
+    is the columnar equivalent the engine uses.
 
     Parameters
     ----------
@@ -110,8 +144,13 @@ def compute_selectivities(
     selectivities: dict[LabelPath, int] = {}
     processed = 0
 
-    def visit(prefix_labels: tuple[str, ...], prefix_matrix) -> None:
+    def _tick() -> None:
         nonlocal processed
+        processed += 1
+        if progress is not None and processed % _PROGRESS_EVERY == 0:
+            progress(processed)
+
+    def visit(prefix_labels: tuple[str, ...], prefix_matrix) -> None:
         extensions = first_labels if not prefix_labels else alphabet
         for label in extensions:
             labels_here = prefix_labels + (label,)
@@ -124,9 +163,7 @@ def compute_selectivities(
             path = LabelPath(labels_here)
             if count > 0 or not prune_empty:
                 selectivities[path] = count
-            processed += 1
-            if progress is not None and processed % 1000 == 0:
-                progress(processed)
+            _tick()
             if len(labels_here) < max_length and (count > 0 or not prune_empty):
                 if count == 0:
                     # All extensions of an empty result are empty: record zeros
@@ -136,12 +173,14 @@ def compute_selectivities(
                     visit(labels_here, matrix)
 
     def _record_zero_subtree(prefix_labels: tuple[str, ...]) -> None:
-        nonlocal processed
         remaining = max_length - len(prefix_labels)
         for extra in range(1, remaining + 1):
             for combo in itertools.product(alphabet, repeat=extra):
                 selectivities[LabelPath(prefix_labels + combo)] = 0
-                processed += 1
+                # Keep ticking while zeros are recorded: sparse graphs spend
+                # most of their domain here, and a silent stretch used to
+                # freeze the CLI progress display.
+                _tick()
 
     visit((), None)
     return selectivities
@@ -150,6 +189,76 @@ def compute_selectivities(
 def default_worker_count(label_count: int) -> int:
     """Worker count used when a parallel build is requested without one."""
     return max(1, min(label_count, os.cpu_count() or 1))
+
+
+def resolve_backend(
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    label_count: int = 1,
+) -> tuple[str, int]:
+    """Resolve a requested ``(backend, workers)`` pair to what a build uses.
+
+    This is the single place the capping and degradation rules live:
+    ``backend=None`` keeps the historical default (threads when
+    ``workers > 1``, serial otherwise), worker counts are capped at the
+    number of first-label subtrees ``|L|``, and a resolved count of one
+    degrades any parallel backend to serial.  Both
+    :func:`compute_selectivity_vector` and the engine session resolve
+    through here, so reported stats always match the build that ran.
+    """
+    if workers is not None and workers < 1:
+        raise PathError("workers must be >= 1")
+    if backend is None:
+        backend = "thread" if workers is not None and workers > 1 else "serial"
+    if backend not in CATALOG_BACKENDS:
+        raise PathError(
+            f"unknown backend {backend!r}; expected one of {CATALOG_BACKENDS}"
+        )
+    if backend == "serial":
+        return "serial", 1
+    count = workers if workers is not None else default_worker_count(label_count)
+    count = min(count, max(1, label_count))
+    if count <= 1:
+        return "serial", 1
+    return backend, count
+
+
+class _ProgressAggregator:
+    """Folds per-subtree progress counts into one combined running total.
+
+    Each subtree traversal reports its own cumulative count; per-subtree
+    adapters convert those into deltas under a lock so the user callback sees
+    the combined count across all subtrees (thread-safe, also used by the
+    serial path where the lock is uncontended).
+    """
+
+    def __init__(self, callback: Optional[Callable[[int], None]]) -> None:
+        self._callback = callback
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def adapter(self) -> Optional[Callable[[int], None]]:
+        if self._callback is None:
+            return None
+        last = [0]
+
+        def report(processed: int) -> None:
+            with self._lock:
+                self._total += processed - last[0]
+                last[0] = processed
+                combined = self._total
+            self._callback(combined)
+
+        return report
+
+    def bump(self, count: int) -> None:
+        """Add ``count`` finished paths and fire the callback directly."""
+        if self._callback is None:
+            return
+        with self._lock:
+            self._total += count
+            combined = self._total
+        self._callback(combined)
 
 
 def compute_selectivities_parallel(
@@ -168,7 +277,9 @@ def compute_selectivities_parallel(
     first label; each worker runs the prefix-sharing DFS on one subtree,
     sharing the read-only per-label matrices.  Threads (not processes) are
     used because the heavy lifting is scipy's sparse matmul, which releases
-    the GIL, and the graph/matrix store need not be pickled.
+    the GIL, and the graph/matrix store need not be pickled.  (For a
+    process-sharded build of the columnar representation see
+    :func:`compute_selectivity_vector` with ``backend="process"``.)
 
     ``workers=None`` picks ``min(|L|, cpu_count)``; ``workers=1`` degrades to
     the serial implementation.  Results are identical to the serial builder.
@@ -192,24 +303,7 @@ def compute_selectivities_parallel(
             progress=progress,
         )
 
-    # Each worker reports its own cumulative count; per-worker adapters fold
-    # the deltas into one shared total so ``progress`` sees the combined count.
-    progress_lock = threading.Lock()
-    progress_total = [0]
-
-    def _subtree_progress() -> Optional[Callable[[int], None]]:
-        if progress is None:
-            return None
-        last = [0]
-
-        def adapter(processed: int) -> None:
-            with progress_lock:
-                progress_total[0] += processed - last[0]
-                last[0] = processed
-                combined = progress_total[0]
-            progress(combined)
-
-        return adapter
+    aggregator = _ProgressAggregator(progress)
     # Materialise every per-label matrix up front so workers only ever read
     # the store's cache (lazy fill from multiple threads would duplicate work).
     for label in alphabet:
@@ -225,10 +319,211 @@ def compute_selectivities_parallel(
                 store=matrix_store,
                 prune_empty=prune_empty,
                 roots=(label,),
-                progress=_subtree_progress(),
+                progress=aggregator.adapter(),
             )
             for label in alphabet
         ]
         for future in futures:
             selectivities.update(future.result())
     return selectivities
+
+
+# ----------------------------------------------------------------------
+# columnar builder (the engine's construction core)
+# ----------------------------------------------------------------------
+def _subtree_tail_size(base: int, remaining: int) -> int:
+    """Number of extension paths below a prefix: ``Σ_{e=1..remaining} |L|^e``."""
+    if remaining <= 0:
+        return 0
+    if base == 1:
+        return remaining
+    return (base ** (remaining + 1) - base) // (base - 1)
+
+
+def _subtree_levels(
+    matrices: Mapping[str, sparse.csr_matrix],
+    alphabet: Sequence[str],
+    first_label: str,
+    max_length: int,
+    progress: Optional[Callable[[int], None]] = None,
+) -> list[np.ndarray]:
+    """Selectivities of one first-label subtree as per-length local arrays.
+
+    ``levels[i]`` covers the paths of length ``i + 1`` that start with
+    ``first_label``; within a level, a path's local position is the
+    base-``|L|`` number spelled by the digits of its *remaining* labels, so
+    ``levels[i]`` has exactly ``|L|^i`` slots and maps onto a contiguous
+    slice of the full domain vector.  Subtrees of an empty prefix are
+    accounted in O(1): the arrays are zero-initialised, so only the progress
+    counter advances.
+    """
+    base = len(alphabet)
+    levels = [np.zeros(base**i, dtype=np.int64) for i in range(max_length)]
+    state = [0, 0]  # processed, last reported
+
+    def advance(count: int) -> None:
+        state[0] += count
+        if progress is not None and state[0] - state[1] >= _PROGRESS_EVERY:
+            state[1] = state[0]
+            progress(state[0])
+
+    root_matrix = matrices[first_label]
+    levels[0][0] = int(root_matrix.nnz)
+    advance(1)
+
+    def visit(local_value: int, length: int, prefix_matrix) -> None:
+        if length >= max_length:
+            return
+        if prefix_matrix.nnz == 0:
+            # Zero subtree: every slot below this prefix keeps its initial 0.
+            advance(_subtree_tail_size(base, max_length - length))
+            return
+        level = levels[length]
+        for digit, label in enumerate(alphabet):
+            extended = (prefix_matrix @ matrices[label]).astype(bool)
+            child = local_value * base + digit
+            level[child] = int(extended.nnz)
+            advance(1)
+            visit(child, length + 1, extended)
+
+    visit(0, 1, root_matrix)
+    if progress is not None and state[0] != state[1]:
+        progress(state[0])
+    return levels
+
+
+# Per-process state for the ``process`` backend, populated by the pool
+# initializer so the CSR matrices are shipped to each worker exactly once.
+_PROCESS_STATE: dict[str, object] = {}
+
+
+def _init_process_worker(
+    matrices: Mapping[str, sparse.csr_matrix],
+    alphabet: Sequence[str],
+    max_length: int,
+) -> None:
+    _PROCESS_STATE["matrices"] = matrices
+    _PROCESS_STATE["alphabet"] = tuple(alphabet)
+    _PROCESS_STATE["max_length"] = max_length
+
+
+def _process_subtree(first_label: str) -> tuple[str, list[np.ndarray]]:
+    levels = _subtree_levels(
+        _PROCESS_STATE["matrices"],  # type: ignore[arg-type]
+        _PROCESS_STATE["alphabet"],  # type: ignore[arg-type]
+        first_label,
+        _PROCESS_STATE["max_length"],  # type: ignore[arg-type]
+    )
+    return first_label, levels
+
+
+def _merge_subtree(
+    vector: np.ndarray,
+    starts: np.ndarray,
+    base: int,
+    first_digit: int,
+    levels: Sequence[np.ndarray],
+) -> None:
+    """Slice-assign one first-label subtree into the full domain vector."""
+    for level_index, level in enumerate(levels):
+        width = base**level_index
+        offset = int(starts[level_index]) + first_digit * width
+        vector[offset:offset + width] = level
+
+
+def compute_selectivity_vector(
+    graph: LabeledDiGraph,
+    max_length: int,
+    *,
+    labels: Optional[Sequence[str]] = None,
+    store: Optional[LabelMatrixStore] = None,
+    progress: Optional[Callable[[int], None]] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> np.ndarray:
+    """Compute ``f(ℓ)`` for every ``ℓ ∈ Lk`` as an index-aligned vector.
+
+    The returned ``int64`` array has ``|Lk|`` entries; position ``i`` holds
+    the selectivity of the ``i``-th path of the canonical
+    numerical-alphabetical enumeration (see
+    :func:`repro.paths.index.path_to_domain_index`).  This is the columnar
+    representation :class:`~repro.paths.catalog.SelectivityCatalog` stores
+    and the V-optimal DP consumes directly.
+
+    Compared with :func:`compute_selectivities` the columnar builder performs
+    zero ``LabelPath`` allocations and zero dict inserts, and subtrees of an
+    empty prefix cost O(1) instead of one tuple per descendant path — on
+    sparse graphs at large ``k`` that is almost the whole domain.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"`` (``None`` resolves via
+        :func:`resolve_backend`: threads when ``workers > 1``, serial
+        otherwise).  Both parallel backends shard the ``|L|`` first-label
+        subtrees of the path trie; threads share the CSR matrices in memory
+        (scipy's matmul releases the GIL), processes receive them once via
+        the pool initializer and return per-subtree arrays that are merged
+        by slice assignment.
+    workers:
+        Worker count for the parallel backends (default
+        ``min(|L|, cpu_count)``, capped at ``|L|``).  A resolved count of
+        one degrades to serial.
+    progress:
+        Combined running path count across subtrees.  With the ``process``
+        backend the callback fires once per completed subtree (counts cannot
+        stream across process boundaries cheaply); with ``serial`` and
+        ``thread`` it fires about every 1000 paths.
+    """
+    if max_length < 1:
+        raise PathError("max_length must be >= 1")
+    alphabet = tuple(sorted(labels) if labels is not None else graph.labels())
+    backend, worker_count = resolve_backend(backend, workers, len(alphabet) or 1)
+    if not alphabet:
+        raise PathError("the graph has no edge labels to enumerate")
+    base = len(alphabet)
+    matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
+    matrices = {label: matrix_store.matrix(label) for label in alphabet}
+    starts = domain_block_starts(base, max_length)
+    vector = np.zeros(int(starts[-1]), dtype=np.int64)
+
+    if backend == "serial":
+        aggregator = _ProgressAggregator(progress)
+        for digit, label in enumerate(alphabet):
+            levels = _subtree_levels(
+                matrices, alphabet, label, max_length, progress=aggregator.adapter()
+            )
+            _merge_subtree(vector, starts, base, digit, levels)
+        return vector
+
+    if backend == "thread":
+        aggregator = _ProgressAggregator(progress)
+        with ThreadPoolExecutor(max_workers=worker_count) as pool:
+            futures = [
+                pool.submit(
+                    _subtree_levels,
+                    matrices,
+                    alphabet,
+                    label,
+                    max_length,
+                    progress=aggregator.adapter(),
+                )
+                for label in alphabet
+            ]
+            for digit, future in enumerate(futures):
+                _merge_subtree(vector, starts, base, digit, future.result())
+        return vector
+
+    # process backend
+    aggregator = _ProgressAggregator(progress)
+    digit_of = {label: digit for digit, label in enumerate(alphabet)}
+    subtree_size = 1 + _subtree_tail_size(base, max_length - 1)
+    with ProcessPoolExecutor(
+        max_workers=worker_count,
+        initializer=_init_process_worker,
+        initargs=(matrices, alphabet, max_length),
+    ) as pool:
+        for label, levels in pool.map(_process_subtree, alphabet):
+            _merge_subtree(vector, starts, base, digit_of[label], levels)
+            aggregator.bump(subtree_size)
+    return vector

@@ -1,32 +1,187 @@
-"""A materialised path index.
+"""Path indexing: domain arithmetic and the materialised path index.
 
-The paper builds on a line of work that evaluates regular path queries with
-*path indexes* (Fletcher et al., EDBT 2016 — reference [6] of the paper): for
-every label path up to a small length ``j``, the index stores the full result
-set ``ℓ(G)`` so that longer queries can be answered by joining indexed
-sub-paths instead of traversing the graph edge by edge.
+Two kinds of "index" live here:
 
-:class:`PathIndex` implements that substrate.  It is used two ways in this
-reproduction:
+* **Domain indexing** — the canonical bijection between label paths and the
+  integer interval ``[0, |Lk|)`` in numerical-alphabetical order (shorter
+  paths first, ties broken position by position over the sorted alphabet).
+  A path is a base-``|L|`` number whose digits are label ranks, offset by the
+  sizes of the shorter-length blocks.  The columnar
+  :class:`~repro.paths.catalog.SelectivityCatalog` stores its frequency
+  vector in exactly this order, so these functions are the only translation
+  layer between :class:`LabelPath` objects and array positions.  Scalar and
+  vectorised forms are provided; the vectorised forms group paths by length
+  and resolve each group with one base-``|L|`` dot product.
 
-* as an alternative execution backend for the optimizer's scan leaves
-  (``PlanExecutor`` traverses the graph; an index lookup is O(1) per leaf);
-* as an independent cross-check of the selectivity catalog in the test-suite
-  (``index.selectivity(ℓ) == catalog.selectivity(ℓ)`` for all ``ℓ``).
+* **Materialised path indexing** — :class:`PathIndex`, the paper's substrate
+  from Fletcher et al. (EDBT 2016 — reference [6]): for every label path up
+  to a small length ``j`` the full result set ``ℓ(G)`` is stored so longer
+  queries can be answered by joining indexed sub-paths.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence, Union
 
-from repro.exceptions import PathError
+import numpy as np
+
+from repro.exceptions import PathError, UnknownLabelError
 from repro.graph.digraph import LabeledDiGraph
 from repro.paths.label_path import LabelPath, as_label_path
 
-__all__ = ["PathIndex"]
+__all__ = [
+    "PathIndex",
+    "domain_block_starts",
+    "path_to_domain_index",
+    "domain_index_to_path",
+    "paths_to_domain_indices",
+    "domain_indices_to_paths",
+]
 
 PathLike = Union[str, LabelPath]
 Pair = tuple[object, object]
+
+
+# ----------------------------------------------------------------------
+# domain arithmetic (canonical numerical-alphabetical order)
+# ----------------------------------------------------------------------
+def domain_block_starts(label_count: int, max_length: int) -> np.ndarray:
+    """Start index of every path-length block of the canonical domain order.
+
+    Returns an ``int64`` array ``starts`` of ``max_length + 1`` entries where
+    ``starts[m]`` is the domain index of the first path of length ``m + 1``
+    (so ``starts[0] == 0``) and ``starts[max_length]`` equals ``|Lk|``.
+    """
+    if label_count < 1:
+        raise PathError("label_count must be >= 1")
+    if max_length < 1:
+        raise PathError("max_length must be >= 1")
+    sizes = label_count ** np.arange(1, max_length + 1, dtype=np.int64)
+    return np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(sizes)))
+
+
+def _rank_of(alphabet: Sequence[str]) -> dict[str, int]:
+    """Label -> digit map over the *sorted* canonical alphabet."""
+    ordered = sorted(alphabet)
+    if not ordered:
+        raise PathError("the label alphabet must not be empty")
+    return {label: digit for digit, label in enumerate(ordered)}
+
+
+def path_to_domain_index(path: PathLike, alphabet: Sequence[str]) -> int:
+    """Domain index of ``path`` in the canonical numerical-alphabetical order.
+
+    The index is ``starts[len - 1] + Σ digit_j · |L|^(len - 1 - j)`` where
+    the digits are the positions of the path's labels in the sorted alphabet.
+    Raises :class:`UnknownLabelError` for labels outside the alphabet.
+    """
+    label_path = as_label_path(path)
+    rank_of = _rank_of(alphabet)
+    base = len(rank_of)
+    value = 0
+    for label in label_path:
+        digit = rank_of.get(label)
+        if digit is None:
+            raise UnknownLabelError(label)
+        value = value * base + digit
+    offset = sum(base**i for i in range(1, label_path.length))
+    return offset + value
+
+
+def domain_index_to_path(index: int, alphabet: Sequence[str]) -> LabelPath:
+    """The label path at canonical domain ``index`` (inverse of ranking)."""
+    if index < 0:
+        raise PathError(f"domain index must be >= 0, got {index}")
+    ordered = sorted(alphabet)
+    if not ordered:
+        raise PathError("the label alphabet must not be empty")
+    base = len(ordered)
+    length = 1
+    remaining = int(index)
+    while remaining >= base**length:
+        remaining -= base**length
+        length += 1
+    digits = [0] * length
+    for position in range(length - 1, -1, -1):
+        digits[position] = remaining % base
+        remaining //= base
+    return LabelPath(ordered[digit] for digit in digits)
+
+
+def paths_to_domain_indices(
+    paths: Sequence[PathLike],
+    alphabet: Sequence[str],
+    *,
+    max_length: Optional[int] = None,
+) -> np.ndarray:
+    """Canonical domain indices of a batch of paths (vectorised per length).
+
+    Paths are grouped by length; each group's digit matrix is resolved with a
+    single base-``|L|`` dot product.  ``max_length``, when given, rejects
+    longer paths with :class:`PathError` (the catalog uses this to refuse
+    out-of-domain queries).
+    """
+    rank_of = _rank_of(alphabet)
+    base = len(rank_of)
+    count = len(paths)
+    out = np.empty(count, dtype=np.int64)
+    by_length: dict[int, tuple[list[int], list[tuple[int, ...]]]] = {}
+    for position, path in enumerate(paths):
+        label_path = as_label_path(path)
+        length = label_path.length
+        if max_length is not None and length > max_length:
+            raise PathError(
+                f"path {label_path} longer than max_length={max_length}"
+            )
+        try:
+            digits = tuple(rank_of[label] for label in label_path)
+        except KeyError as exc:
+            raise UnknownLabelError(exc.args[0]) from None
+        positions, rows = by_length.setdefault(length, ([], []))
+        positions.append(position)
+        rows.append(digits)
+    starts = domain_block_starts(base, max(by_length) if by_length else 1)
+    for length, (positions, rows) in by_length.items():
+        digit_matrix = np.asarray(rows, dtype=np.int64)
+        powers = base ** np.arange(length - 1, -1, -1, dtype=np.int64)
+        out[positions] = starts[length - 1] + digit_matrix @ powers
+    return out
+
+
+def domain_indices_to_paths(
+    indices: Sequence[int], alphabet: Sequence[str], max_length: int
+) -> list[LabelPath]:
+    """Label paths at a batch of canonical domain indices (vectorised unrank).
+
+    The digits of every index are peeled off with vectorised modular
+    arithmetic, one length group at a time.  Indices outside
+    ``[0, |Lk|)`` raise :class:`PathError`.
+    """
+    ordered = sorted(alphabet)
+    if not ordered:
+        raise PathError("the label alphabet must not be empty")
+    base = len(ordered)
+    starts = domain_block_starts(base, max_length)
+    index_array = np.asarray(indices, dtype=np.int64)
+    if index_array.size == 0:
+        return []
+    if index_array.min(initial=0) < 0 or index_array.max(initial=0) >= starts[-1]:
+        raise PathError(
+            f"domain index out of range [0, {int(starts[-1])}) for "
+            f"|L|={base}, k={max_length}"
+        )
+    lengths = np.searchsorted(starts, index_array, side="right")
+    out: list[Optional[LabelPath]] = [None] * index_array.size
+    for length in np.unique(lengths):
+        member = np.nonzero(lengths == length)[0]
+        remaining = index_array[member] - starts[length - 1]
+        digits = np.empty((member.size, int(length)), dtype=np.int64)
+        for position in range(int(length) - 1, -1, -1):
+            digits[:, position] = remaining % base
+            remaining //= base
+        for row, original in enumerate(member):
+            out[original] = LabelPath(ordered[d] for d in digits[row])
+    return out  # type: ignore[return-value]
 
 
 class PathIndex:

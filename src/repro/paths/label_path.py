@@ -72,6 +72,29 @@ class LabelPath:
         """A length-1 path consisting of ``label``."""
         return cls((label,))
 
+    @classmethod
+    def from_domain_index(cls, index: int, alphabet: Sequence[str]) -> "LabelPath":
+        """The path at canonical domain ``index`` over the sorted ``alphabet``.
+
+        Inverse of :meth:`domain_index`; see
+        :func:`repro.paths.index.domain_index_to_path` for the arithmetic.
+        """
+        from repro.paths.index import domain_index_to_path
+
+        return domain_index_to_path(index, alphabet)
+
+    def domain_index(self, alphabet: Sequence[str]) -> int:
+        """This path's position in the canonical numerical-alphabetical order.
+
+        The order is the one :func:`repro.paths.enumeration.enumerate_label_paths`
+        yields and the one the columnar catalog's frequency vector is laid out
+        in: shorter paths first, ties resolved digit by digit over the sorted
+        ``alphabet`` (base-``|L|`` arithmetic).
+        """
+        from repro.paths.index import path_to_domain_index
+
+        return path_to_domain_index(self, alphabet)
+
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------

@@ -102,9 +102,11 @@ class TestCacheBehavior:
             raise AssertionError("catalog construction ran on a warm cache")
 
         import repro.paths.catalog as catalog_module
+        import repro.paths.enumeration as enumeration_module
 
-        monkeypatch.setattr(catalog_module, "compute_selectivities", explode)
-        monkeypatch.setattr(catalog_module, "compute_selectivities_parallel", explode)
+        monkeypatch.setattr(catalog_module, "compute_selectivity_vector", explode)
+        monkeypatch.setattr(enumeration_module, "compute_selectivities", explode)
+        monkeypatch.setattr(enumeration_module, "compute_selectivities_parallel", explode)
         warm = EstimationSession.build(small_graph, CONFIG, cache_dir=tmp_path)
         assert warm.stats.catalog_from_cache
 

@@ -1,0 +1,120 @@
+"""Tests for the canonical path ↔ domain-index arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PathError, UnknownLabelError
+from repro.paths.enumeration import domain_size, enumerate_label_paths
+from repro.paths.index import (
+    domain_block_starts,
+    domain_index_to_path,
+    domain_indices_to_paths,
+    path_to_domain_index,
+    paths_to_domain_indices,
+)
+from repro.paths.label_path import LabelPath
+
+ALPHABET = ("a", "b", "c")
+
+
+class TestBlockStarts:
+    def test_values(self):
+        starts = domain_block_starts(3, 4)
+        assert starts.tolist() == [0, 3, 12, 39, 120]
+        assert starts[-1] == domain_size(3, 4)
+
+    def test_single_label(self):
+        assert domain_block_starts(1, 5).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_validation(self):
+        with pytest.raises(PathError):
+            domain_block_starts(0, 2)
+        with pytest.raises(PathError):
+            domain_block_starts(2, 0)
+
+
+class TestScalarRoundTrip:
+    def test_matches_enumeration_order(self):
+        # The arithmetic must agree index-for-index with the canonical
+        # enumeration — this is the contract the columnar catalog rests on.
+        for expected, path in enumerate(enumerate_label_paths(ALPHABET, 3)):
+            assert path_to_domain_index(path, ALPHABET) == expected
+            assert domain_index_to_path(expected, ALPHABET) == path
+
+    def test_domain_boundaries(self):
+        # First/last path of every length block, and the domain edges.
+        base, k = len(ALPHABET), 4
+        starts = domain_block_starts(base, k)
+        for length in range(1, k + 1):
+            first = LabelPath(("a",) * length)
+            last = LabelPath(("c",) * length)
+            assert path_to_domain_index(first, ALPHABET) == starts[length - 1]
+            assert path_to_domain_index(last, ALPHABET) == starts[length] - 1
+            assert domain_index_to_path(int(starts[length - 1]), ALPHABET) == first
+            assert domain_index_to_path(int(starts[length]) - 1, ALPHABET) == last
+
+    def test_unsorted_alphabet_is_canonicalised(self):
+        assert path_to_domain_index("a", ("c", "b", "a")) == 0
+        assert domain_index_to_path(0, ("c", "b", "a")) == LabelPath.parse("a")
+
+    def test_string_input(self):
+        assert path_to_domain_index("a/b", ALPHABET) == 3 + 1
+
+    def test_unknown_label(self):
+        with pytest.raises(UnknownLabelError):
+            path_to_domain_index("z", ALPHABET)
+
+    def test_negative_index(self):
+        with pytest.raises(PathError):
+            domain_index_to_path(-1, ALPHABET)
+
+    def test_label_path_methods(self):
+        path = LabelPath.parse("b/c/a")
+        index = path.domain_index(ALPHABET)
+        assert LabelPath.from_domain_index(index, ALPHABET) == path
+
+
+class TestVectorised:
+    def test_batch_matches_scalar(self):
+        paths = list(enumerate_label_paths(ALPHABET, 3))
+        indices = paths_to_domain_indices(paths, ALPHABET)
+        assert indices.tolist() == list(range(domain_size(3, 3)))
+
+    def test_batch_unrank_round_trip(self):
+        size = domain_size(3, 4)
+        indices = np.arange(size)
+        paths = domain_indices_to_paths(indices, ALPHABET, 4)
+        recovered = paths_to_domain_indices(paths, ALPHABET)
+        assert np.array_equal(recovered, indices)
+
+    def test_batch_boundary_indices(self):
+        starts = domain_block_starts(3, 3)
+        boundary = [0, 2, 3, 11, 12, int(starts[-1]) - 1]
+        paths = domain_indices_to_paths(boundary, ALPHABET, 3)
+        assert [str(p) for p in paths] == ["a", "c", "a/a", "c/c", "a/a/a", "c/c/c"]
+
+    def test_batch_rejects_out_of_range(self):
+        with pytest.raises(PathError):
+            domain_indices_to_paths([domain_size(3, 2)], ALPHABET, 2)
+        with pytest.raises(PathError):
+            domain_indices_to_paths([-1], ALPHABET, 2)
+
+    def test_batch_rejects_too_long(self):
+        with pytest.raises(PathError):
+            paths_to_domain_indices(["a/a/a"], ALPHABET, max_length=2)
+
+    def test_batch_unknown_label(self):
+        with pytest.raises(UnknownLabelError):
+            paths_to_domain_indices(["a", "z"], ALPHABET)
+
+    def test_empty_batch(self):
+        assert paths_to_domain_indices([], ALPHABET).size == 0
+        assert domain_indices_to_paths([], ALPHABET, 2) == []
+
+    def test_mixed_lengths_in_input_order(self):
+        texts = ["c/c", "a", "b/a/c", "b"]
+        indices = paths_to_domain_indices(texts, ALPHABET)
+        expected = [path_to_domain_index(t, ALPHABET) for t in texts]
+        assert indices.tolist() == expected
