@@ -1,0 +1,135 @@
+"""Benchmarks: the concurrent estimation service.
+
+Tracks the serving layer's claims: (1) the micro-batching scheduler turns
+many concurrent small requests into few large ``estimate_batch`` calls and
+beats the naive per-path ``estimate`` loop by multiples at 32 concurrent
+clients (``run_all.py`` measures this directly and enforces the ≥ 5x floor);
+(2) the registry's single-flight lock makes a warm lookup essentially free;
+(3) the vectorised ``Ordering.index_array`` builds the engine's position
+table far faster than the per-path scalar loop.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig
+from repro.paths.enumeration import enumerate_label_paths
+from repro.serving import EstimateScheduler, SessionRegistry
+
+SERVING_CONFIG = EngineConfig(max_length=3, ordering="sum-based", bucket_count=32)
+
+#: Concurrent clients / paths per request for the coalescing benchmarks.
+CLIENT_COUNT = 32
+BUNDLE_SIZE = 32
+ROUNDS_PER_CLIENT = 4
+
+
+@pytest.fixture(scope="module")
+def serving_registry(bench_graphs) -> SessionRegistry:
+    """A registry over the Moreno stand-in with its session pre-built."""
+    registry = SessionRegistry(default_config=SERVING_CONFIG)
+    registry.register("moreno", graph=bench_graphs["moreno-health"])
+    registry.get("moreno")
+    return registry
+
+
+@pytest.fixture(scope="module")
+def client_workloads(serving_registry) -> list[list[list[str]]]:
+    """Per-client request bundles sampled from the full domain."""
+    session = serving_registry.get("moreno")
+    domain = [
+        str(path)
+        for path in enumerate_label_paths(
+            session.catalog.labels, SERVING_CONFIG.max_length
+        )
+    ]
+    rng = np.random.default_rng(7)
+    return [
+        [
+            [domain[i] for i in rng.integers(0, len(domain), BUNDLE_SIZE)]
+            for _ in range(ROUNDS_PER_CLIENT)
+        ]
+        for _ in range(CLIENT_COUNT)
+    ]
+
+
+def _run_clients(target, workloads) -> None:
+    threads = [
+        threading.Thread(target=target, args=(workload,)) for workload in workloads
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+def test_naive_per_path_loop_32_clients(benchmark, serving_registry, client_workloads):
+    """32 threads looping one ``estimate`` call per path (the status quo)."""
+    session = serving_registry.get("moreno")
+
+    def client(rounds):
+        estimate = session.estimate
+        for bundle in rounds:
+            for path in bundle:
+                estimate(path)
+
+    benchmark(_run_clients, client, client_workloads)
+
+
+def test_coalesced_scheduler_32_clients(benchmark, serving_registry, client_workloads):
+    """The same traffic through the micro-batching scheduler."""
+
+    def run() -> None:
+        with EstimateScheduler(serving_registry, max_batch_paths=2048) as scheduler:
+
+            def client(rounds):
+                for bundle in rounds:
+                    scheduler.submit_many("moreno", bundle).result()
+
+            _run_clients(client, client_workloads)
+
+    benchmark(run)
+
+
+def test_scheduler_results_match_direct_batch(serving_registry, client_workloads):
+    session = serving_registry.get("moreno")
+    bundle = client_workloads[0][0]
+    with EstimateScheduler(serving_registry, window_seconds=0.0) as scheduler:
+        got = scheduler.submit_many("moreno", bundle).result(timeout=30)
+    assert np.allclose(got, session.estimate_batch(bundle))
+
+
+def test_warm_registry_lookup(benchmark, serving_registry):
+    """A hot ``registry.get`` is a dict lookup + LRU bump, nothing more."""
+    benchmark(serving_registry.get, "moreno")
+
+
+def test_position_table_vectorised(benchmark, serving_registry):
+    """``index_array()`` over the whole domain (the engine's position table)."""
+    ordering = serving_registry.get("moreno").ordering
+    positions = benchmark(ordering.index_array)
+    assert positions.shape == (ordering.size,)
+
+
+def test_position_table_scalar_loop(benchmark, serving_registry):
+    """The pre-vectorisation per-path loop, kept as the comparison baseline."""
+    session = serving_registry.get("moreno")
+    ordering = session.ordering
+    labels = sorted(session.catalog.labels)
+
+    def scalar() -> np.ndarray:
+        return np.fromiter(
+            (
+                ordering.index(path)
+                for path in enumerate_label_paths(labels, ordering.max_length)
+            ),
+            dtype=np.int64,
+            count=ordering.size,
+        )
+
+    positions = benchmark(scalar)
+    assert positions.shape == (ordering.size,)

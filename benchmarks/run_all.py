@@ -3,13 +3,15 @@
 
 The script is the repo's benchmark-regression entry point: it executes the
 whole pytest-benchmark suite in one invocation (so the session-scoped graph
-and catalog fixtures are built once), then measures the engine's headline
-numbers directly — batch-vs-loop speedup on a ≥ 10k-path workload,
-cold-vs-warm session build, and the columnar catalog numbers (cold-build
-wall time, columnar-vs-dict build speedup, process-vs-serial build speedup
-at ``|L| ≥ 6, k ≥ 4``, npz-vs-JSON artifact size) — and writes everything to
-a single JSON document whose filename convention (``BENCH_engine.json``)
-accumulates the perf trajectory over PRs.
+and catalog fixtures are built once), then measures the headline numbers
+directly — batch-vs-loop speedup on a ≥ 10k-path workload, cold-vs-warm
+session build, the columnar catalog numbers (cold-build wall time,
+columnar-vs-dict build speedup, process-vs-serial build speedup at
+``|L| ≥ 6, k ≥ 4``, npz-vs-JSON artifact size), and the serving layer's
+numbers (coalesced-vs-naive throughput at 32 concurrent clients plus the
+single-flight build guarantee) — and writes everything to a single JSON
+document whose filename convention (``BENCH_engine.json``) accumulates the
+perf trajectory over PRs.
 
 Usage::
 
@@ -19,8 +21,10 @@ Usage::
 uses the calibrated defaults.  Exit code is non-zero when the pytest run
 fails or the acceptance numbers regress: batch speedup < 10×, warm build
 rebuilding the catalog, columnar build < 3× over the dict builder, npz
-artifact > 25% of the JSON size, or (on machines with ≥ 2 cores) process
-build < 1.5× over serial.
+artifact > 25% of the JSON size, (on machines with ≥ 2 cores) process
+build < 1.5× over serial, coalesced serving throughput < 5× the naive
+per-path loop at 32 concurrent clients, or more than one build under
+concurrent first access to one graph.
 """
 
 from __future__ import annotations
@@ -58,6 +62,12 @@ PROCESS_FLOOR_MIN_CPUS = 2
 
 #: Acceptance ceiling for the npz catalog artifact relative to legacy JSON.
 NPZ_SIZE_RATIO_CEILING = 0.25
+
+#: Acceptance floor for the micro-batching scheduler over the naive
+#: per-path estimate loop at SERVING_CLIENTS concurrent clients.
+SERVING_SPEEDUP_FLOOR = 5.0
+SERVING_CLIENTS = 32
+SERVING_BUNDLE = 32
 
 QUICK_FLAGS = [
     "--benchmark-min-rounds=1",
@@ -311,6 +321,142 @@ def measure_catalog(quick: bool) -> dict[str, object]:
     }
 
 
+def measure_serving(quick: bool) -> dict[str, object]:
+    """Directly measure the serving layer's acceptance numbers.
+
+    Two measurements:
+
+    * **Coalescing throughput** — ``SERVING_CLIENTS`` threads each stream
+      requests of ``SERVING_BUNDLE`` paths (the shape of a query optimizer
+      asking for all interval estimates of one plan search).  The *naive*
+      side answers each path with one ``session.estimate`` call — the
+      status-quo per-request loop; the *coalesced* side routes the same
+      traffic through the micro-batching ``EstimateScheduler``.  The floor
+      is ``SERVING_SPEEDUP_FLOOR``x on total path throughput.
+    * **Single-flight builds** — ``SERVING_CLIENTS`` threads request one
+      unbuilt graph simultaneously; the registry must run exactly one build.
+    """
+    import threading
+
+    import numpy as np
+
+    from repro.datasets.registry import load_dataset
+    from repro.engine import EngineConfig
+    from repro.paths.enumeration import enumerate_label_paths
+    from repro.serving import EstimateScheduler, SessionRegistry
+
+    scale = 0.03 if quick else 0.05
+    # Enough rounds that the 32 threads' startup cost does not dominate the
+    # coalesced side (it finishes ~7x sooner than the naive side).
+    rounds = 16 if quick else 32
+    graph = load_dataset("moreno-health", scale=scale, seed=11)
+    config = EngineConfig(max_length=3, ordering="sum-based", bucket_count=32)
+
+    registry = SessionRegistry(default_config=config)
+    registry.register("moreno", graph=graph)
+    session = registry.get("moreno")
+    domain = [
+        str(path)
+        for path in enumerate_label_paths(session.catalog.labels, config.max_length)
+    ]
+    rng = np.random.default_rng(7)
+    workloads = [
+        [
+            [domain[i] for i in rng.integers(0, len(domain), SERVING_BUNDLE)]
+            for _ in range(rounds)
+        ]
+        for _ in range(SERVING_CLIENTS)
+    ]
+    total_paths = SERVING_CLIENTS * rounds * SERVING_BUNDLE
+
+    def run_clients(client) -> float:
+        threads = [
+            threading.Thread(target=client, args=(workload,))
+            for workload in workloads
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return time.perf_counter() - started
+
+    def naive_client(rounds_for_client):
+        estimate = session.estimate
+        for bundle in rounds_for_client:
+            for path in bundle:
+                estimate(path)
+
+    def measure_coalesced() -> tuple[float, dict[str, object]]:
+        scheduler = EstimateScheduler(registry, max_batch_paths=2048)
+        try:
+
+            def client(rounds_for_client):
+                for bundle in rounds_for_client:
+                    scheduler.submit_many("moreno", bundle).result()
+
+            seconds = run_clients(client)
+            return seconds, scheduler.stats.snapshot()
+        finally:
+            scheduler.close()
+
+    # Warm both hot paths, then keep the best of three (thread scheduling
+    # noise at 32 threads is substantial).
+    session.estimate_batch(domain[:64])
+    [session.estimate(path) for path in domain[:64]]
+    naive_seconds = min(run_clients(naive_client) for _ in range(3))
+    coalesced_runs = [measure_coalesced() for _ in range(3)]
+    coalesced_seconds = min(seconds for seconds, _ in coalesced_runs)
+    scheduler_stats = min(coalesced_runs, key=lambda run: run[0])[1]
+
+    # Parity: the scheduler must answer exactly what the session answers.
+    probe = workloads[0][0]
+    with EstimateScheduler(registry, window_seconds=0.0) as scheduler:
+        served = scheduler.submit_many("moreno", probe).result(timeout=60)
+    parity = bool(np.allclose(served, session.estimate_batch(probe)))
+
+    # Single-flight: N concurrent first requests, exactly one build.
+    flight_registry = SessionRegistry(default_config=config)
+    flight_registry.register("moreno", graph=graph)
+    barrier = threading.Barrier(SERVING_CLIENTS)
+
+    def first_access():
+        barrier.wait()
+        flight_registry.get("moreno")
+
+    threads = [
+        threading.Thread(target=first_access) for _ in range(SERVING_CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    speedup = (
+        naive_seconds / coalesced_seconds if coalesced_seconds > 0 else float("inf")
+    )
+    return {
+        "dataset": "moreno-health",
+        "scale": scale,
+        "clients": SERVING_CLIENTS,
+        "bundle_paths": SERVING_BUNDLE,
+        "total_paths": total_paths,
+        "naive_seconds": naive_seconds,
+        "coalesced_seconds": coalesced_seconds,
+        "naive_paths_per_second": total_paths / naive_seconds,
+        "coalesced_paths_per_second": total_paths / coalesced_seconds,
+        "coalesced_speedup": speedup,
+        "coalesced_speedup_floor": SERVING_SPEEDUP_FLOOR,
+        "coalesced_matches_direct": parity,
+        "mean_batch_paths": scheduler_stats["mean_batch_paths"],
+        "mean_coalesced_requests": scheduler_stats["mean_coalesced_requests"],
+        "batches_total": scheduler_stats["batches_total"],
+        "single_flight_clients": SERVING_CLIENTS,
+        "single_flight_builds": flight_registry.stats.builds,
+        "single_flight_waits": flight_registry.stats.single_flight_waits,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -334,16 +480,18 @@ def main(argv: list[str] | None = None) -> int:
     suite = None if args.skip_suite else run_pytest_suite(args.quick)
     engine = measure_engine(args.quick)
     catalog = measure_catalog(args.quick)
+    serving = measure_serving(args.quick)
     total_seconds = time.perf_counter() - started
 
     document = {
-        "schema": "repro-bench/v2",
+        "schema": "repro-bench/v3",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "generated_unix": time.time(),
         "total_wall_seconds": total_seconds,
         "engine": engine,
         "catalog": catalog,
+        "serving": serving,
     }
     if suite is not None:
         document["suite"] = suite
@@ -378,6 +526,18 @@ def main(argv: list[str] | None = None) -> int:
             f"process build speedup {catalog['process_speedup']:.2f}x "
             f"< {PROCESS_SPEEDUP_FLOOR}x on {catalog['cpu_count']} cores"
         )
+    if not serving["coalesced_matches_direct"]:
+        failures.append("scheduler estimates diverge from direct estimate_batch")
+    if serving["coalesced_speedup"] < SERVING_SPEEDUP_FLOOR:
+        failures.append(
+            f"coalesced serving speedup {serving['coalesced_speedup']:.1f}x "
+            f"< {SERVING_SPEEDUP_FLOOR}x at {serving['clients']} clients"
+        )
+    if serving["single_flight_builds"] != 1:
+        failures.append(
+            f"single-flight violated: {serving['single_flight_builds']} builds "
+            f"for {serving['single_flight_clients']} concurrent first requests"
+        )
     if suite is not None and suite["exit_code"] != 0:
         failures.append("pytest-benchmark suite failed")
 
@@ -396,7 +556,10 @@ def main(argv: list[str] | None = None) -> int:
         f"{engine['warm_catalog_from_cache']}, columnar build "
         f"{catalog['columnar_speedup']:.1f}x vs dict, npz artifact "
         f"{catalog['artifact_npz_ratio']:.1%} of JSON, process build "
-        f"{process_note}, total {total_seconds:.1f}s"
+        f"{process_note}, serving coalesced {serving['coalesced_speedup']:.1f}x "
+        f"vs naive at {serving['clients']} clients "
+        f"({serving['single_flight_builds']} build under concurrent first "
+        f"access), total {total_seconds:.1f}s"
     )
     for failure in failures:
         print(f"benchmark regression: {failure}", file=sys.stderr)

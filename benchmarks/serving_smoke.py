@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of ``repro serve`` (used by the CI serving job).
+
+Starts the real CLI server as a subprocess on an ephemeral port, fires 100
+mixed requests through the stdlib client — single-path estimates, multi-path
+bundles, warm/evict management calls, plus deliberate error cases — and
+asserts the ``/stats`` counters reflect the traffic (all requests served,
+coalescing active, backpressure/error accounting sane).  Exits non-zero on
+any failed expectation, so a broken serving path fails the job even when
+the unit suite is green.
+
+Usage::
+
+    python benchmarks/serving_smoke.py [--port 18734]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Total mixed requests the smoke fires (the CI contract: 100).
+REQUEST_COUNT = 100
+
+
+def wait_for_server(client, deadline_seconds: float = 30.0) -> None:
+    from repro.exceptions import ServingError
+
+    deadline = time.perf_counter() + deadline_seconds
+    while True:
+        try:
+            client.healthz()
+            return
+        except ServingError:
+            if time.perf_counter() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--port", type=int, default=18734)
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from repro.exceptions import ServingError
+    from repro.serving import ServiceClient
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+            print(f"smoke FAILURE: {message}", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_path = Path(tmp) / "graph.tsv"
+        generate = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "generate",
+                "moreno-health",
+                "--scale",
+                "0.02",
+                "--seed",
+                "5",
+                "-o",
+                str(graph_path),
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        if generate.returncode != 0:
+            print("smoke FAILURE: could not generate the graph", file=sys.stderr)
+            return 1
+
+        server = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--graph",
+                f"moreno={graph_path}",
+                "--port",
+                str(args.port),
+                "-k",
+                "2",
+                "--buckets",
+                "16",
+                "--cache-dir",
+                str(Path(tmp) / "cache"),
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{args.port}", timeout=60.0)
+            wait_for_server(client)
+
+            build = client.warm("moreno")
+            check(build["domain_size"] > 0, "warm returned an empty domain")
+
+            rows = client.graphs()
+            check(
+                rows and rows[0]["name"] == "moreno" and rows[0]["built"],
+                f"unexpected /graphs rows: {rows}",
+            )
+
+            # 100 mixed requests: alternating single-path estimates, 8-path
+            # bundles, the occasional management call and expected errors.
+            rng = np.random.default_rng(11)
+            paths = ["1", "2", "1/2", "2/1", "2/2", "1/1"]
+            reference = {path: None for path in paths}
+            ok_estimates = 0
+            for index in range(REQUEST_COUNT):
+                kind = index % 10
+                if kind == 7:
+                    client.evict("moreno")
+                elif kind == 8:
+                    client.warm("moreno")
+                elif kind == 9:
+                    try:
+                        client.estimate("moreno", ["99/98"])
+                        check(False, "invalid path did not raise")
+                    except ServingError as exc:
+                        check("400" in str(exc), f"wrong error for bad path: {exc}")
+                elif kind % 2 == 0:
+                    path = paths[int(rng.integers(0, len(paths)))]
+                    value = client.estimate("moreno", [path])[0]
+                    if reference[path] is None:
+                        reference[path] = value
+                    check(
+                        value == reference[path],
+                        f"estimate for {path} changed across requests",
+                    )
+                    ok_estimates += 1
+                else:
+                    bundle = [
+                        paths[int(i)] for i in rng.integers(0, len(paths), 8)
+                    ]
+                    values = client.estimate("moreno", bundle)
+                    check(len(values) == 8, "bundle answer has wrong arity")
+                    ok_estimates += 1
+            # 7 of every 10 requests are estimates (4 singles + 3 bundles).
+            check(ok_estimates >= 70, f"only {ok_estimates} estimates succeeded")
+
+            try:
+                client.estimate("missing", ["1"])
+                check(False, "unknown graph did not raise")
+            except ServingError as exc:
+                check("404" in str(exc), f"wrong error for unknown graph: {exc}")
+
+            stats = client.stats()
+            scheduler = stats["scheduler"]
+            registry = stats["registry"]
+            check(
+                scheduler["requests_total"] >= ok_estimates,
+                f"stats lost requests: {scheduler['requests_total']} < {ok_estimates}",
+            )
+            check(
+                scheduler["batch_paths_total"] >= ok_estimates,
+                "stats lost paths",
+            )
+            check(scheduler["batches_total"] >= 1, "no batches recorded")
+            check(
+                scheduler["errors_total"] >= 1, "error accounting never fired"
+            )
+            check(registry["builds"] >= 1, "registry recorded no builds")
+            check(registry["evictions"] >= 1, "registry recorded no evictions")
+            check(
+                registry["sessions_resident"] >= 1, "no resident session after traffic"
+            )
+            if not failures:
+                print(
+                    f"smoke ok: {scheduler['requests_total']} requests in "
+                    f"{scheduler['batches_total']} batches, "
+                    f"{registry['builds']} builds, "
+                    f"{registry['evictions']} evictions"
+                )
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+                server.kill()
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,8 @@ into focused subpackages:
 * :mod:`repro.estimation` — estimators, error metrics, workloads, sweeps;
 * :mod:`repro.optimizer` — a path-query planner consuming the estimates;
 * :mod:`repro.engine` — the batched estimation engine with artifact caching;
+* :mod:`repro.serving` — the concurrent estimation service (session
+  registry, micro-batching scheduler, asyncio + HTTP front-ends);
 * :mod:`repro.datasets` — Table 3 dataset stand-ins;
 * :mod:`repro.experiments` — the per-table/per-figure harnesses;
 * :mod:`repro.core` — the curated "paper surface" re-exports.
@@ -45,6 +47,7 @@ from repro.core import (
 )
 from repro.engine import ArtifactCache, EngineConfig, EstimationSession
 from repro.exceptions import ReproError
+from repro.serving import EstimationService, ServiceClient, SessionRegistry
 
 __version__ = "1.0.0"
 

@@ -12,6 +12,9 @@ tables and figures can be regenerated without writing Python::
     repro estimate moreno.catalog.json "1/2/3" --ordering sum-based --buckets 32
     repro engine build moreno.tsv -k 3 --cache-dir .repro-cache --workers 4 --backend process
     repro engine estimate moreno.tsv "1/2/3" "2/2" --cache-dir .repro-cache
+    repro engine cache prune --cache-dir .repro-cache --max-bytes 100000000
+    repro serve --graph moreno=moreno.tsv --port 8080 --cache-dir .repro-cache
+    repro client estimate --graph moreno "1/2/3" "2/2" --url http://127.0.0.1:8080
 """
 
 from __future__ import annotations
@@ -131,6 +134,95 @@ def build_parser() -> argparse.ArgumentParser:
         "--truth", action="store_true", help="also print the true selectivities"
     )
 
+    engine_cache = engine_commands.add_parser(
+        "cache", help="inspect / prune a shared artifact cache directory"
+    )
+    engine_cache.add_argument(
+        "cache_command", choices=("list", "prune", "clear"), help="maintenance action"
+    )
+    engine_cache.add_argument("--cache-dir", required=True)
+    engine_cache.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="byte budget for 'prune' (least-recently-used artifacts go first)",
+    )
+    engine_cache.add_argument("--json", action="store_true", help="emit JSON")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the concurrent estimation service (JSON over HTTP)"
+    )
+    serve.add_argument(
+        "--graph",
+        action="append",
+        default=[],
+        metavar="NAME=EDGE_LIST",
+        help="register a graph under NAME (repeatable); built lazily on first use",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("-k", "--max-length", type=int, default=3)
+    serve.add_argument("--ordering", default="sum-based")
+    serve.add_argument("--buckets", type=int, default=64)
+    serve.add_argument("--histogram", default="v-optimal")
+    serve.add_argument("--cache-dir", default=None, help="shared artifact cache")
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--backend", choices=("serial", "thread", "process"), default=None
+    )
+    serve.add_argument(
+        "--mmap", action="store_true", help="memory-map cached catalogs when possible"
+    )
+    serve.add_argument(
+        "--window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batching coalescing window (milliseconds)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=512, help="path budget per coalesced batch"
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=4096,
+        help="bounded-queue depth; beyond it requests get HTTP 503",
+    )
+    serve.add_argument(
+        "--max-sessions", type=int, default=None, help="LRU session-count budget"
+    )
+    serve.add_argument(
+        "--max-bytes", type=int, default=None, help="LRU session byte budget"
+    )
+    serve.add_argument(
+        "--prune-cache-bytes",
+        type=int,
+        default=None,
+        help="prune the artifact cache to this many bytes after each build",
+    )
+    serve.add_argument(
+        "--warm", action="store_true", help="build every registered graph before serving"
+    )
+    serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+
+    client = subparsers.add_parser(
+        "client", help="query a running 'repro serve' endpoint"
+    )
+    client.add_argument(
+        "client_command",
+        choices=("estimate", "warm", "evict", "stats", "graphs", "healthz"),
+    )
+    client.add_argument("paths", nargs="*", help="label paths for 'estimate'")
+    client.add_argument("--url", default="http://127.0.0.1:8080")
+    client.add_argument("--graph", default=None, help="graph name on the server")
+    client.add_argument(
+        "--paths-file",
+        default=None,
+        help="file with one label path per line (blank lines ignored)",
+    )
+    client.add_argument("--timeout", type=float, default=30.0)
+    client.add_argument("--json", action="store_true", help="emit JSON")
+
     experiment = subparsers.add_parser("experiment", help="run an experiment harness")
     experiment.add_argument(
         "name",
@@ -233,7 +325,179 @@ def _build_session(args: argparse.Namespace) -> EstimationSession:
     )
 
 
+def _run_engine_cache(args: argparse.Namespace) -> int:
+    from repro.engine.cache import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.cache_command == "list":
+        rows = []
+        for path in cache.artifact_files():
+            stat = path.stat()
+            rows.append({"file": path.name, "bytes": stat.st_size, "mtime": stat.st_mtime})
+        if args.json:
+            print(json.dumps({"files": rows, "total_bytes": cache.total_bytes()}, indent=2))
+        else:
+            for row in rows:
+                print(f"{row['bytes']:>12}  {row['file']}")
+            print(f"{cache.total_bytes():>12}  total ({len(rows)} files)")
+        return 0
+    if args.cache_command == "prune":
+        if args.max_bytes is None:
+            print("error: prune requires --max-bytes", file=sys.stderr)
+            return 2
+        before = cache.total_bytes()
+        removed = cache.prune(args.max_bytes)
+        after = cache.total_bytes()
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "removed": [path.name for path in removed],
+                        "bytes_before": before,
+                        "bytes_after": after,
+                        "max_bytes": args.max_bytes,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"pruned {len(removed)} artifact(s): {before} -> {after} bytes "
+                f"(budget {args.max_bytes})"
+            )
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(json.dumps({"removed": removed}) if args.json else f"removed {removed} artifact(s)")
+        return 0
+    raise AssertionError(
+        f"unhandled cache command {args.cache_command!r}"
+    )  # pragma: no cover
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.engine import EngineConfig
+    from repro.serving import SessionRegistry, make_server
+
+    if not args.graph:
+        print("error: register at least one --graph NAME=EDGE_LIST", file=sys.stderr)
+        return 2
+    config = EngineConfig(
+        max_length=args.max_length,
+        ordering=args.ordering,
+        histogram_kind=args.histogram,
+        bucket_count=args.buckets,
+    )
+    registry = SessionRegistry(
+        cache_dir=args.cache_dir,
+        max_sessions=args.max_sessions,
+        max_bytes=args.max_bytes,
+        workers=args.workers,
+        backend=args.backend,
+        mmap=args.mmap,
+        prune_cache_bytes=args.prune_cache_bytes,
+        default_config=config,
+    )
+    for spec in args.graph:
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            print(f"error: --graph expects NAME=EDGE_LIST, got {spec!r}", file=sys.stderr)
+            return 2
+        registry.register(name, path=path)
+    if args.warm:
+        for name in registry.names():
+            session = registry.get(name)
+            print(f"warmed {name}: domain={session.domain_size}", file=sys.stderr)
+    server = make_server(
+        registry,
+        host=args.host,
+        port=args.port,
+        window_seconds=args.window_ms / 1000.0,
+        max_batch_paths=args.max_batch,
+        max_pending=args.max_pending,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(
+        f"serving {', '.join(registry.names())} on http://{host}:{port} "
+        f"(window {args.window_ms}ms, max batch {args.max_batch})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    from repro.serving import ServiceClient
+
+    client = ServiceClient(args.url, timeout=args.timeout)
+    command = args.client_command
+    if command == "estimate":
+        if not args.graph:
+            print("error: estimate requires --graph", file=sys.stderr)
+            return 2
+        paths = list(args.paths)
+        if args.paths_file:
+            with open(args.paths_file, "r", encoding="utf-8") as handle:
+                paths.extend(line.strip() for line in handle if line.strip())
+        if not paths:
+            print("no paths given (positional arguments or --paths-file)", file=sys.stderr)
+            return 2
+        estimates = client.estimate(args.graph, paths)
+        if args.json:
+            print(
+                json.dumps(
+                    [
+                        {"path": path, "estimate": estimate}
+                        for path, estimate in zip(paths, estimates)
+                    ],
+                    indent=2,
+                )
+            )
+        else:
+            for path, estimate in zip(paths, estimates):
+                print(f"{path}\t{estimate:.2f}")
+        return 0
+    if command == "warm":
+        if not args.graph:
+            print("error: warm requires --graph", file=sys.stderr)
+            return 2
+        stats = client.warm(args.graph)
+        if args.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            print(
+                f"warmed {args.graph}: domain={stats.get('domain_size')} "
+                f"catalog_from_cache={stats.get('catalog_from_cache')}"
+            )
+        return 0
+    if command == "evict":
+        if not args.graph:
+            print("error: evict requires --graph", file=sys.stderr)
+            return 2
+        evicted = client.evict(args.graph)
+        print(json.dumps({"evicted": evicted}) if args.json else f"evicted: {evicted}")
+        return 0
+    if command == "stats":
+        print(json.dumps(client.stats(), indent=2))
+        return 0
+    if command == "graphs":
+        print(json.dumps(client.graphs(), indent=2))
+        return 0
+    if command == "healthz":
+        print(json.dumps(client.healthz(), indent=2))
+        return 0
+    raise AssertionError(f"unhandled client command {command!r}")  # pragma: no cover
+
+
 def _run_engine(args: argparse.Namespace) -> int:
+    if args.engine_command == "cache":
+        return _run_engine_cache(args)
     session = _build_session(args)
     stats = session.stats
     if args.engine_command == "build":
@@ -346,6 +610,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "engine":
         return _run_engine(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "client":
+        return _run_client(args)
     if args.command == "experiment":
         return _run_experiment(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -12,6 +12,18 @@ Three artifact kinds are cached, each in its own file under one directory:
 * ``positions-<key>.npy`` — the domain-position table used by the batched
   hot path (the permutation mapping enumeration order to ordering order).
 
+Large catalogs additionally get an *uncompressed* ``catalog-<key>.npy``
+sibling holding just the frequency vector, so domains past ``|L|^6`` can be
+served through ``np.load(mmap_mode="r")`` without materialising the whole
+vector in memory (``load_catalog(..., mmap=True)``; metadata still comes from
+the ``.npz``, whose members are decompressed lazily per array).
+
+The cache supports maintenance now that many graphs can share one directory:
+:meth:`ArtifactCache.evict` drops every artifact of one key and
+:meth:`ArtifactCache.prune` enforces a byte budget by deleting
+least-recently-used artifact files first (successful loads touch the file
+mtime, so recency tracks reads, not just writes).
+
 Keys are built by the session from the graph digest and a config digest
 (:mod:`repro.engine.fingerprint`), so any change to the graph, ``k``, the
 ordering, or the histogram parameters lands on a different file and a stale
@@ -41,6 +53,9 @@ from repro.histogram.serialization import load_histogram, save_histogram
 from repro.paths.catalog import SelectivityCatalog
 
 __all__ = ["ArtifactCache"]
+
+#: Domains at or past ``|L|^6`` get the uncompressed mmap sidecar by default.
+_MMAP_SIDECAR_POWER = 6
 
 
 class ArtifactCache:
@@ -73,6 +88,10 @@ class ArtifactCache:
         """File path of the pre-columnar JSON catalog artifact for ``key``."""
         return self._root / f"catalog-{key}.json"
 
+    def mmap_catalog_path(self, key: str) -> Path:
+        """File path of the uncompressed frequency-vector sidecar for ``key``."""
+        return self._root / f"catalog-{key}.npy"
+
     def histogram_path(self, key: str) -> Path:
         """File path of the histogram artifact for ``key``."""
         return self._root / f"histogram-{key}.json"
@@ -85,7 +104,7 @@ class ArtifactCache:
     # catalog
     # ------------------------------------------------------------------
     def load_catalog(
-        self, key: str, *, legacy_key: Optional[str] = None
+        self, key: str, *, legacy_key: Optional[str] = None, mmap: bool = False
     ) -> Optional[SelectivityCatalog]:
         """The cached catalog for ``key``, or ``None`` on a miss.
 
@@ -94,6 +113,13 @@ class ArtifactCache:
         under ``legacy_key`` when given (the old releases keyed catalogs
         without the ``catalog_format`` field, so their keys differ), else
         under ``key`` itself.
+
+        ``mmap=True`` asks for a memory-mapped catalog: when the uncompressed
+        ``.npy`` sidecar exists, the frequency vector is opened with
+        ``np.load(mmap_mode="r")`` (read-only pages faulted in on demand) and
+        only the small metadata members of the ``.npz`` are decompressed.
+        Without a sidecar the request silently falls back to the regular
+        in-memory load, so callers can always pass their preference.
         """
         path = self.catalog_path(key)
         if not path.exists():
@@ -105,24 +131,86 @@ class ArtifactCache:
                 return None
             path = legacy
         try:
-            catalog = SelectivityCatalog.load(path)
+            sidecar = self.mmap_catalog_path(key)
+            if mmap and path == self.catalog_path(key) and sidecar.exists():
+                catalog = self._load_catalog_mmap(path, sidecar)
+                self._touch(sidecar)
+            else:
+                catalog = SelectivityCatalog.load(path)
         except (ReproError, OSError, ValueError, zipfile.BadZipFile) as exc:
             # BadZipFile: np.load raises it for a truncated/corrupt archive
             # that still begins with the zip magic bytes.
             raise EngineError(f"corrupt cached catalog at {path}: {exc}") from exc
         self.hits += 1
+        self._touch(path)
         return catalog
+
+    @staticmethod
+    def _load_catalog_mmap(npz_path: Path, sidecar: Path) -> SelectivityCatalog:
+        """Catalog with metadata from ``npz_path`` and a mmap'd vector."""
+        with np.load(npz_path, allow_pickle=False) as archive:
+            if "explicit" in archive.files:
+                # Sparse catalogs carry a mask the mmap path does not model;
+                # they are small by construction, so load them normally.
+                return SelectivityCatalog.load(npz_path)
+            labels = [str(label) for label in archive["labels"]]
+            max_length = int(archive["max_length"])
+            graph_name = str(archive["graph_name"])
+        frequencies = np.load(sidecar, mmap_mode="r", allow_pickle=False)
+        return SelectivityCatalog.from_frequencies(
+            labels, max_length, frequencies, graph_name=graph_name, copy=False
+        )
 
     def _temp_path(self, final: Path, suffix: str = ".tmp") -> Path:
         """A unique temp path next to ``final`` (safe under concurrent writers)."""
         return final.with_name(f".{final.name}.{os.getpid()}.{uuid.uuid4().hex}{suffix}")
 
-    def store_catalog(self, key: str, catalog: SelectivityCatalog) -> Path:
-        """Persist ``catalog`` under ``key`` (atomic, ``.npz``); returns the path."""
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh ``path``'s timestamps so LRU pruning tracks reads.
+
+        Filesystems mounted ``noatime`` never update access times on their
+        own, so recency is recorded explicitly; failure is ignored (a
+        read-only cache directory must not break loading).
+        """
+        try:
+            os.utime(path, None)
+        except OSError:  # pragma: no cover - depends on filesystem permissions
+            pass
+
+    def store_catalog(
+        self,
+        key: str,
+        catalog: SelectivityCatalog,
+        *,
+        mmap_sidecar: Optional[bool] = None,
+    ) -> Path:
+        """Persist ``catalog`` under ``key`` (atomic, ``.npz``); returns the path.
+
+        ``mmap_sidecar`` controls the uncompressed ``.npy`` frequency-vector
+        sibling that :meth:`load_catalog` needs for ``mmap=True``: ``True``
+        forces it, ``False`` suppresses it, and ``None`` (default) writes it
+        automatically for domains at or past ``|L|^6`` — the scale where
+        holding the decompressed vector in every process stops being free.
+        """
         path = self.catalog_path(key)
         temp = self._temp_path(path)
         catalog.save_npz(temp)
         os.replace(temp, path)
+        if mmap_sidecar is None:
+            mmap_sidecar = (
+                catalog.domain_size >= len(catalog.labels) ** _MMAP_SIDECAR_POWER
+            )
+        if mmap_sidecar and not catalog.is_dense:
+            # _load_catalog_mmap cannot model the explicit-path mask and
+            # always falls back for sparse catalogs, so a sidecar would be
+            # dead weight on disk.
+            mmap_sidecar = False
+        if mmap_sidecar:
+            sidecar = self.mmap_catalog_path(key)
+            temp = self._temp_path(sidecar, suffix=".tmp.npy")
+            np.save(temp, catalog.frequency_vector(), allow_pickle=False)
+            os.replace(temp, sidecar)
         return path
 
     # ------------------------------------------------------------------
@@ -139,6 +227,7 @@ class ArtifactCache:
         except (ReproError, OSError, ValueError) as exc:
             raise EngineError(f"corrupt cached histogram at {path}: {exc}") from exc
         self.hits += 1
+        self._touch(path)
         return histogram
 
     def store_histogram(self, key: str, histogram: LabelPathHistogram) -> Path:
@@ -163,6 +252,7 @@ class ArtifactCache:
         except (OSError, ValueError) as exc:
             raise EngineError(f"corrupt cached position table at {path}: {exc}") from exc
         self.hits += 1
+        self._touch(path)
         return positions
 
     def store_positions(self, key: str, positions: np.ndarray) -> Path:
@@ -181,6 +271,7 @@ class ArtifactCache:
         """All artifact files currently in the cache, sorted by name."""
         patterns = (
             "catalog-*.npz",
+            "catalog-*.npy",
             "catalog-*.json",
             "histogram-*.json",
             "positions-*.npy",
@@ -189,6 +280,65 @@ class ArtifactCache:
         for pattern in patterns:
             found.extend(self._root.glob(pattern))
         return sorted(found)
+
+    def total_bytes(self) -> int:
+        """Total size of every artifact file currently in the cache."""
+        total = 0
+        for path in self.artifact_files():
+            try:
+                total += path.stat().st_size
+            except OSError:  # racing deleter; the file no longer counts
+                continue
+        return total
+
+    def evict(self, key: str) -> int:
+        """Delete every artifact stored under ``key``; returns files removed."""
+        removed = 0
+        for path in (
+            self.catalog_path(key),
+            self.mmap_catalog_path(key),
+            self.legacy_catalog_path(key),
+            self.histogram_path(key),
+            self.positions_path(key),
+        ):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                continue
+        return removed
+
+    def prune(self, max_bytes: int) -> list[Path]:
+        """Delete least-recently-used artifacts until the cache fits ``max_bytes``.
+
+        Recency is the file's latest timestamp (``max(mtime, atime)`` —
+        loads refresh mtime explicitly, so a warm artifact survives a colder,
+        larger neighbour).  Returns the deleted paths, oldest first.  A
+        negative budget is rejected; ``0`` clears everything.
+        """
+        if max_bytes < 0:
+            raise EngineError(f"prune budget must be >= 0, got {max_bytes}")
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self.artifact_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((max(stat.st_mtime, stat.st_atime), stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda entry: (entry[0], entry[2].name))
+        removed: list[Path] = []
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            total -= size
+            removed.append(path)
+        return removed
 
     def clear(self) -> int:
         """Delete every artifact file; returns the number removed."""

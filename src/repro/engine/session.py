@@ -44,6 +44,9 @@ __all__ = ["EngineConfig", "SessionStats", "EstimationSession"]
 
 PathLike = Union[str, LabelPath]
 
+#: Estimated bytes per position-table entry (dict slot + key string + int).
+_POSITION_TABLE_BYTES_PER_PATH = 120
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -117,6 +120,7 @@ class SessionStats:
     workers: int = 1
     backend: str = "serial"
     domain_size: int = 0
+    memory_bytes: int = 0
     extra: dict[str, object] = field(default_factory=dict)
 
     def as_row(self) -> dict[str, object]:
@@ -135,6 +139,7 @@ class SessionStats:
             "workers": self.workers,
             "backend": self.backend,
             "domain_size": self.domain_size,
+            "memory_bytes": self.memory_bytes,
         }
 
 
@@ -174,6 +179,7 @@ class EstimationSession:
         cache_dir: Optional[Union[str, "ArtifactCache"]] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        mmap: bool = False,
     ) -> "EstimationSession":
         """Build (or warm-load) a session for ``graph`` under ``config``.
 
@@ -194,6 +200,10 @@ class EstimationSession:
             :func:`repro.paths.enumeration.compute_selectivity_vector`).
             ``None`` keeps the historical default: threads when
             ``workers > 1``, serial otherwise.
+        mmap:
+            Prefer a memory-mapped catalog on a cache hit (see
+            :meth:`ArtifactCache.load_catalog`).  Only changes how the
+            frequency vector is backed; estimates are unaffected.
         """
         config = config if config is not None else EngineConfig()
         cache: Optional[ArtifactCache]
@@ -226,7 +236,7 @@ class EstimationSession:
         #    landing directly in the columnar frequency vector.
         start = time.perf_counter()
         catalog = (
-            cache.load_catalog(catalog_key, legacy_key=legacy_catalog_key)
+            cache.load_catalog(catalog_key, legacy_key=legacy_catalog_key, mmap=mmap)
             if cache is not None
             else None
         )
@@ -267,16 +277,9 @@ class EstimationSession:
         start = time.perf_counter()
         positions = cache.load_positions(histogram_key) if cache is not None else None
         if positions is None:
-            positions = np.fromiter(
-                (
-                    ordering.index(path)
-                    for path in enumerate_label_paths(
-                        catalog.labels, config.max_length
-                    )
-                ),
-                dtype=np.int64,
-                count=ordering.size,
-            )
+            # Vectorised ranking of the whole canonical enumeration; the
+            # closed-form orderings compute this without a per-path loop.
+            positions = ordering.index_array()
             if cache is not None:
                 cache.store_positions(histogram_key, positions)
         else:
@@ -320,13 +323,17 @@ class EstimationSession:
 
         stats.total_seconds = time.perf_counter() - build_start
         stats.domain_size = ordering.size
-        return cls(
+        if isinstance(catalog.frequency_vector(), np.memmap):
+            stats.extra["catalog_mmap"] = True
+        session = cls(
             catalog,
             histogram,
             position_of=position_of,
             config=config,
             stats=stats,
         )
+        stats.memory_bytes = session.memory_bytes()
+        return session
 
     # ------------------------------------------------------------------
     # accessors
@@ -365,6 +372,21 @@ class EstimationSession:
     def domain_size(self) -> int:
         """``|Lk|`` — the number of paths the session can estimate."""
         return self._histogram.ordering.size
+
+    def memory_bytes(self) -> int:
+        """Rough resident footprint of the session, in bytes.
+
+        The serving registry's byte-budget eviction charges each session by
+        this number: the catalog's frequency vector (zero when it is
+        memory-mapped — those pages are reclaimable file cache), the
+        position table (a dict of path string → int, estimated per entry),
+        and the histogram bucket arrays.  An estimate, not an audit.
+        """
+        vector = self._catalog.frequency_vector()
+        total = 0 if isinstance(vector, np.memmap) else int(vector.nbytes)
+        total += _POSITION_TABLE_BYTES_PER_PATH * len(self._position_of)
+        total += 32 * self._histogram.bucket_count
+        return total
 
     # ------------------------------------------------------------------
     # estimation

@@ -24,6 +24,10 @@ __all__ = [
     "DatasetError",
     "PlanningError",
     "EngineError",
+    "ServingError",
+    "UnknownGraphError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
 ]
 
 
@@ -120,3 +124,31 @@ class PlanningError(ReproError):
 
 class EngineError(ReproError):
     """The batched estimation engine could not build or serve a session."""
+
+
+class ServingError(ReproError):
+    """Base class for errors raised by the concurrent estimation service."""
+
+
+class UnknownGraphError(ServingError, KeyError):
+    """The requested graph name is not registered with the service."""
+
+    # KeyError.__str__ reprs the first argument, which would wrap every
+    # message in stray quotes in HTTP bodies and CLI output.
+    __str__ = Exception.__str__
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()) -> None:
+        message = f"unknown graph: {name!r}"
+        if available:
+            message += f" (registered: {', '.join(sorted(available))})"
+        super().__init__(message)
+        self.name = name
+        self.available = tuple(available)
+
+
+class ServiceOverloadedError(ServingError):
+    """The scheduler's bounded request queue is full (backpressure signal)."""
+
+
+class ServiceClosedError(ServingError):
+    """A request was submitted after the service shut down."""

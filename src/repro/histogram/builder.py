@@ -22,7 +22,6 @@ from repro.histogram.maxdiff import MaxDiffHistogram
 from repro.histogram.vopt import VOptimalHistogram
 from repro.ordering.base import Ordering
 from repro.paths.catalog import SelectivityCatalog
-from repro.paths.enumeration import enumerate_label_paths
 from repro.paths.label_path import LabelPath
 
 __all__ = [
@@ -74,16 +73,7 @@ def domain_frequencies(
             f"max_length={catalog.max_length}"
         )
     if positions is None:
-        positions = np.fromiter(
-            (
-                ordering.index(path)
-                for path in enumerate_label_paths(
-                    catalog.labels, ordering.max_length
-                )
-            ),
-            dtype=np.int64,
-            count=ordering.size,
-        )
+        positions = ordering.index_array()
     elif positions.shape != (ordering.size,):
         raise HistogramError(
             f"position table has shape {positions.shape}, "

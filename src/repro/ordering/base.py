@@ -13,11 +13,14 @@ the estimation layer invokes :meth:`Ordering.index` once per point query.
 
 from __future__ import annotations
 
-from typing import Iterator, Union
+from typing import Iterator, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.exceptions import IndexOutOfDomainError, OrderingError, UnknownLabelError
 from repro.ordering.ranking import RankingRule
-from repro.paths.enumeration import domain_size
+from repro.paths.enumeration import domain_size, enumerate_label_paths
+from repro.paths.index import canonical_digit_blocks, paths_to_domain_indices
 from repro.paths.label_path import LabelPath, as_label_path
 
 __all__ = ["Ordering"]
@@ -123,6 +126,83 @@ class Ordering:
     def indices(self, paths: Iterator[PathLike]) -> list[int]:
         """Indices of a batch of paths (in input order)."""
         return [self.index(path) for path in paths]
+
+    # ------------------------------------------------------------------
+    # vectorised ranking
+    # ------------------------------------------------------------------
+    def index_array(self, paths: Optional[Sequence[PathLike]] = None) -> np.ndarray:
+        """Ordering indices of a batch of paths as one ``int64`` array.
+
+        ``paths=None`` ranks the *entire domain* in canonical
+        numerical-alphabetical enumeration order (the order of
+        :func:`~repro.paths.enumeration.enumerate_label_paths` over the sorted
+        alphabet) — exactly the position table the estimation engine caches.
+        The base implementation loops over :meth:`index`; the closed-form
+        orderings override :meth:`_rank_block` so the whole table is computed
+        with per-length vectorised arithmetic instead of a per-path Python
+        loop.  Both routes agree element-wise by construction (and by test).
+        """
+        blocks = self._canonical_rank_blocks(paths)
+        if blocks is None:
+            if paths is None:
+                iterator: Iterator[PathLike] = enumerate_label_paths(
+                    sorted(self.labels), self._max_length
+                )
+                count = self._size
+            else:
+                iterator = iter(paths)
+                count = len(paths)
+            return np.fromiter(
+                (self.index(path) for path in iterator), dtype=np.int64, count=count
+            )
+        if paths is None:
+            out = np.empty(self._size, dtype=np.int64)
+        else:
+            out = np.empty(len(paths), dtype=np.int64)
+        for length, positions, ranks in blocks:
+            out[positions] = self._rank_block(length, ranks)
+        return out
+
+    def _rank_block(self, length: int, ranks: np.ndarray) -> np.ndarray:
+        """Vectorised ranking of one length group (``ranks`` is 1-based).
+
+        ``ranks`` has shape ``(n, length)``; row ``i`` holds the ranking-rule
+        ranks of one path's labels.  Orderings with a closed-form index rule
+        override this; the base class signals "no vectorised form" by raising,
+        which makes :meth:`index_array` fall back to the scalar loop.
+        """
+        raise NotImplementedError
+
+    def _canonical_rank_blocks(
+        self, paths: Optional[Sequence[PathLike]]
+    ) -> Optional[list[tuple[int, np.ndarray, np.ndarray]]]:
+        """Per-length ``(length, positions, 1-based rank matrix)`` groups.
+
+        Returns ``None`` when the ordering has no vectorised
+        :meth:`_rank_block`, so :meth:`index_array` can fall back.  Input paths
+        are validated through the same canonical-domain arithmetic the scalar
+        path uses (unknown labels and over-length paths raise).
+        """
+        if type(self)._rank_block is Ordering._rank_block:
+            return None
+        sorted_labels = sorted(self.labels)
+        # digit (position in the sorted alphabet) -> ranking-rule rank.
+        rank_of_digit = np.array(
+            [self._ranking.rank(label) for label in sorted_labels], dtype=np.int64
+        )
+        indices: Optional[np.ndarray]
+        if paths is None:
+            indices = None
+        else:
+            indices = paths_to_domain_indices(
+                paths, sorted_labels, max_length=self._max_length
+            )
+        return [
+            (length, positions, rank_of_digit[digits])
+            for length, positions, digits in canonical_digit_blocks(
+                self._ranking.size, self._max_length, indices
+            )
+        ]
 
     def is_bijective_on_sample(self, sample_size: int = 64) -> bool:
         """Spot-check that ``path(index(·))`` round-trips on a domain sample.

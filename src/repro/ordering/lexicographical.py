@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+import numpy as np
+
 from repro.ordering.base import Ordering, PathLike
 from repro.paths.label_path import LabelPath
 
@@ -56,6 +58,18 @@ class LexicographicalOrdering(Ordering):
             if position < label_path.length:
                 index += 1
         return index
+
+    def _rank_block(self, length: int, ranks: np.ndarray) -> np.ndarray:
+        k = self._max_length
+        # Same pre-order walk as ``index``, with the per-position sibling
+        # subtrees summed as one matrix product: position p contributes
+        # (rank - 1) subtrees of depth k - p, plus the node step (+1) at every
+        # non-final position.
+        subtree_sizes = np.array(
+            [self._subtree_size(k - position) for position in range(1, length + 1)],
+            dtype=np.int64,
+        )
+        return (ranks - 1) @ subtree_sizes + (length - 1)
 
     def path(self, index: int) -> LabelPath:
         index = self._validate_index(index)

@@ -12,6 +12,8 @@ Figure 1); with the cardinality ranking it becomes the ``num-card`` method.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.ordering.base import Ordering, PathLike
 from repro.paths.label_path import LabelPath
 
@@ -35,6 +37,12 @@ class NumericalOrdering(Ordering):
         for label in label_path:
             value = value * base + (self._ranking.rank(label) - 1)
         return offset + value
+
+    def _rank_block(self, length: int, ranks: np.ndarray) -> np.ndarray:
+        base = self._ranking.size
+        offset = sum(base**i for i in range(1, length))
+        powers = base ** np.arange(length - 1, -1, -1, dtype=np.int64)
+        return offset + (ranks - 1) @ powers
 
     def path(self, index: int) -> LabelPath:
         index = self._validate_index(index)

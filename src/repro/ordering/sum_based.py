@@ -25,6 +25,10 @@ Algorithm 2 (unranking), :meth:`SumBasedOrdering.index` its inverse.
 
 from __future__ import annotations
 
+from math import factorial
+
+import numpy as np
+
 from repro.exceptions import OrderingError
 from repro.ordering.base import Ordering, PathLike
 from repro.ordering.combinatorics import (
@@ -130,6 +134,37 @@ class SumBasedOrdering(Ordering):
             + rank_permutation(ranks)
         )
 
+    def _rank_block(self, length: int, ranks: np.ndarray) -> np.ndarray:
+        base = self._ranking.size
+        summed = ranks.sum(axis=1)
+        out = np.full(ranks.shape[0], self._length_offset(length), dtype=np.int64)
+        # Stage two: one offset per feasible summed rank (the band
+        # [length, length·|L|]), looked up for all rows at once.
+        sum_offsets = np.array(
+            [
+                self._sum_offset(length, candidate)
+                for candidate in range(length, length * base + 1)
+            ],
+            dtype=np.int64,
+        )
+        out += sum_offsets[summed - length]
+        # Stage three: rows sharing a rank multiset share their combination
+        # offset, so only the unique sorted rows go through the memoised
+        # per-combination table (their count is tiny next to the block size).
+        combinations = np.sort(ranks, axis=1)
+        unique, inverse = np.unique(combinations, axis=0, return_inverse=True)
+        unique_offsets = np.array(
+            [
+                self._combination_offsets(length, int(row.sum()))[
+                    tuple(int(value) for value in row)
+                ]
+                for row in unique
+            ],
+            dtype=np.int64,
+        )
+        out += unique_offsets[inverse]
+        return out + _permutation_ranks(ranks, base)
+
     # ------------------------------------------------------------------
     # unranking: index -> path (the paper's Algorithm 2)
     # ------------------------------------------------------------------
@@ -173,3 +208,43 @@ class SumBasedOrdering(Ordering):
         """The summed rank ``sr(ℓ)`` of a path (the paper's Table 1 values)."""
         label_path = self._validate_path(path)
         return sum(self._ranking.ranks(label_path.labels))
+
+
+def _permutation_ranks(ranks: np.ndarray, base: int) -> np.ndarray:
+    """Vectorised :func:`~repro.ordering.combinatorics.rank_permutation`.
+
+    Algorithm 1 orders a multiset's permutations ascending-lexicographically,
+    so the rank of each row is accumulated position by position: fixing
+    position ``j`` skips, for every unused smaller value ``d``, the
+    ``perms · count(d) / remaining`` permutations that start with ``d``.  The
+    sweep is ``O(length · |L|)`` vectorised operations over all rows — no
+    per-path Python — and every division is exact (the quantities are
+    permutation counts).
+    """
+    rows, length = ranks.shape
+    counts = (
+        ranks[:, :, None] == np.arange(1, base + 1, dtype=np.int64)[None, None, :]
+    ).sum(axis=1)
+    factorials = np.array(
+        [factorial(value) for value in range(length + 1)], dtype=np.int64
+    )
+    perms = factorials[length] // factorials[counts].prod(axis=1)
+    out = np.zeros(rows, dtype=np.int64)
+    for position in range(length - 1):
+        remaining = length - position
+        current = ranks[:, position]
+        cumulative = counts.cumsum(axis=1)
+        below = np.where(
+            current > 1,
+            np.take_along_axis(
+                cumulative, np.maximum(current - 2, 0)[:, None], axis=1
+            )[:, 0],
+            0,
+        )
+        out += perms * below // remaining
+        current_count = np.take_along_axis(counts, (current - 1)[:, None], axis=1)[:, 0]
+        perms = perms * current_count // remaining
+        np.put_along_axis(
+            counts, (current - 1)[:, None], (current_count - 1)[:, None], axis=1
+        )
+    return out

@@ -103,13 +103,24 @@ class SelectivityCatalog:
                     f"({self._domain_size},) for |L|={len(self._labels)}, "
                     f"k={max_length}"
                 )
-            frequencies = np.ascontiguousarray(selectivities, dtype=np.int64)
-            if frequencies.size and int(frequencies.min()) < 0:
-                position = int(np.argmin(frequencies))
-                raise PathError(
-                    f"negative selectivity at domain index {position}: "
-                    f"{int(frequencies[position])}"
-                )
+            if (
+                isinstance(selectivities, np.memmap)
+                and selectivities.dtype == np.int64
+                and selectivities.flags["C_CONTIGUOUS"]
+            ):
+                # A memory-mapped vector is adopted as-is: converting would
+                # materialise it (or silently drop the memmap type), and the
+                # negative-value scan would fault in every page of an
+                # artifact this library wrote and validated itself.
+                frequencies = selectivities
+            else:
+                frequencies = np.ascontiguousarray(selectivities, dtype=np.int64)
+                if frequencies.size and int(frequencies.min()) < 0:
+                    position = int(np.argmin(frequencies))
+                    raise PathError(
+                        f"negative selectivity at domain index {position}: "
+                        f"{int(frequencies[position])}"
+                    )
             self._frequencies = frequencies
             self._explicit: Optional[np.ndarray] = None
         else:
@@ -215,6 +226,15 @@ class SelectivityCatalog:
     def domain_size(self) -> int:
         """``|Lk|`` — the size of the full label-path domain."""
         return self._domain_size
+
+    @property
+    def is_dense(self) -> bool:
+        """Whether every domain path has an explicitly stored selectivity.
+
+        Sparse catalogs (built from a pruned mapping) carry an explicit-path
+        mask; dense ones store the whole domain and serialise without it.
+        """
+        return self._explicit is None
 
     def frequency_vector(self) -> np.ndarray:
         """The read-only ``int64`` frequency vector in canonical domain order.

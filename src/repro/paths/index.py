@@ -36,6 +36,7 @@ __all__ = [
     "domain_index_to_path",
     "paths_to_domain_indices",
     "domain_indices_to_paths",
+    "canonical_digit_blocks",
 ]
 
 PathLike = Union[str, LabelPath]
@@ -182,6 +183,53 @@ def domain_indices_to_paths(
         for row, original in enumerate(member):
             out[original] = LabelPath(ordered[d] for d in digits[row])
     return out  # type: ignore[return-value]
+
+
+def canonical_digit_blocks(
+    label_count: int,
+    max_length: int,
+    indices: Optional[np.ndarray] = None,
+) -> Iterator[tuple[int, np.ndarray, np.ndarray]]:
+    """Decompose canonical domain indices into per-length digit matrices.
+
+    Yields ``(length, positions, digits)`` groups: ``positions`` are the
+    positions of the group's members in the input (for ``indices=None`` — the
+    full domain in canonical order — they are the contiguous block indices
+    themselves), and ``digits`` is the ``(len(positions), length)`` ``int64``
+    matrix of base-``|L|`` digits over the *sorted* alphabet, most significant
+    digit first.  This is the shared substrate of the orderings' vectorised
+    ``index_array`` implementations: every ordering rule is a closed-form
+    function of these digits.
+    """
+    starts = domain_block_starts(label_count, max_length)
+    if indices is None:
+        for length in range(1, max_length + 1):
+            block = label_count**length
+            positions = np.arange(starts[length - 1], starts[length], dtype=np.int64)
+            remaining = np.arange(block, dtype=np.int64)
+            digits = np.empty((block, length), dtype=np.int64)
+            for position in range(length - 1, -1, -1):
+                digits[:, position] = remaining % label_count
+                remaining //= label_count
+            yield length, positions, digits
+        return
+    index_array = np.asarray(indices, dtype=np.int64)
+    if index_array.size == 0:
+        return
+    if index_array.min(initial=0) < 0 or index_array.max(initial=0) >= starts[-1]:
+        raise PathError(
+            f"domain index out of range [0, {int(starts[-1])}) for "
+            f"|L|={label_count}, k={max_length}"
+        )
+    lengths = np.searchsorted(starts, index_array, side="right")
+    for length in np.unique(lengths):
+        member = np.nonzero(lengths == length)[0]
+        remaining = index_array[member] - starts[length - 1]
+        digits = np.empty((member.size, int(length)), dtype=np.int64)
+        for position in range(int(length) - 1, -1, -1):
+            digits[:, position] = remaining % label_count
+            remaining //= label_count
+        yield int(length), member, digits
 
 
 class PathIndex:

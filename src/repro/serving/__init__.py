@@ -1,0 +1,37 @@
+"""The concurrent estimation service.
+
+This subsystem turns the single-graph :class:`~repro.engine.session.EstimationSession`
+into a multi-graph, multi-client serving layer:
+
+* :class:`~repro.serving.registry.SessionRegistry` owns many named sessions
+  keyed by graph digest + config hash, builds each lazily on first use behind
+  a single-flight lock, and evicts by LRU under a session-count and/or byte
+  budget;
+* :class:`~repro.serving.scheduler.EstimateScheduler` coalesces individual
+  estimate requests arriving within a short window into one
+  ``estimate_batch`` call per session, with backpressure via a bounded queue
+  and latency/throughput counters on a
+  :class:`~repro.serving.scheduler.ServiceStats`;
+* :class:`~repro.serving.service.EstimationService` is the asyncio front-end
+  (``await estimate / estimate_many / warm / evict``);
+* :mod:`repro.serving.http` / :mod:`repro.serving.client` are a stdlib JSON
+  HTTP endpoint and client, drivable end-to-end via ``repro serve`` and
+  ``repro client`` with no dependencies beyond the standard library.
+"""
+
+from repro.serving.client import ServiceClient
+from repro.serving.http import EstimationHTTPServer, make_server
+from repro.serving.registry import RegistryStats, SessionRegistry
+from repro.serving.scheduler import EstimateScheduler, ServiceStats
+from repro.serving.service import EstimationService
+
+__all__ = [
+    "EstimateScheduler",
+    "EstimationHTTPServer",
+    "EstimationService",
+    "RegistryStats",
+    "ServiceClient",
+    "ServiceStats",
+    "SessionRegistry",
+    "make_server",
+]

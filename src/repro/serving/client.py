@@ -1,0 +1,86 @@
+"""Tiny stdlib client for the serving endpoint.
+
+Wraps :mod:`urllib.request` so the CLI (``repro client``), the CI smoke
+test and the benchmarks can drive a running ``repro serve`` without any
+HTTP dependency.  Every method returns the decoded JSON document; HTTP
+errors become :class:`~repro.exceptions.ServingError` (with the server's
+``error`` message when it sent one).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional, Sequence
+
+from repro.exceptions import ServingError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """A blocking JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout
+
+    @property
+    def base_url(self) -> str:
+        """The service base URL (no trailing slash)."""
+        return self._base_url
+
+    def _request(self, route: str, payload: Optional[dict] = None) -> dict:
+        url = f"{self._base_url}{route}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                document = json.loads(exc.read().decode("utf-8"))
+                message = str(document.get("error", exc))
+            except (ValueError, UnicodeDecodeError):
+                message = str(exc)
+            raise ServingError(f"{route} -> HTTP {exc.code}: {message}") from None
+        except urllib.error.URLError as exc:
+            raise ServingError(f"cannot reach {url}: {exc.reason}") from None
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise ServingError(f"invalid JSON from {url}: {exc}") from None
+
+    # ------------------------------------------------------------------
+    # the endpoint surface
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        """Liveness document (``status`` + registered graph names)."""
+        return self._request("/healthz")
+
+    def stats(self) -> dict:
+        """Scheduler + registry counters."""
+        return self._request("/stats")
+
+    def graphs(self) -> list[dict]:
+        """One row per registered graph."""
+        return self._request("/graphs")["graphs"]
+
+    def estimate(self, graph: str, paths: Sequence[str]) -> list[float]:
+        """Estimates for ``paths`` on ``graph`` (one request, one batch)."""
+        document = self._request("/estimate", {"graph": graph, "paths": list(paths)})
+        return [float(value) for value in document["estimates"]]
+
+    def warm(self, graph: str) -> dict:
+        """Build ``graph``'s session now; returns the build stats row."""
+        return self._request("/warm", {"graph": graph})["stats"]
+
+    def evict(self, graph: str) -> bool:
+        """Drop ``graph``'s built session; returns whether one was resident."""
+        return bool(self._request("/evict", {"graph": graph})["evicted"])
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<ServiceClient {self._base_url!r}>"

@@ -1,0 +1,261 @@
+"""Stdlib JSON HTTP endpoint over the registry + scheduler.
+
+No framework, no dependencies: a :class:`http.server.ThreadingHTTPServer`
+whose handler threads submit into the shared micro-batching scheduler and
+block on their futures.  Because coalescing happens in the scheduler, N
+concurrent HTTP clients asking for one path each still produce one
+``estimate_batch`` call per window — the server is just another front-end
+over the same core as the asyncio :class:`~repro.serving.service.EstimationService`.
+
+Routes
+------
+``GET  /healthz``   liveness + registered graph names
+``GET  /stats``     scheduler + registry counters (JSON)
+``GET  /graphs``    one row per registered graph (built?, domain, config)
+``POST /estimate``  ``{"graph": g, "paths": [...]}`` (or ``"path": "1/2"``)
+``POST /warm``      ``{"graph": g}`` — build now, return build stats
+``POST /evict``     ``{"graph": g}`` — drop the built session from memory
+
+Error mapping: unknown graph → 404, bad request/path → 400, queue full
+(backpressure) → 503, batch timeout → 504.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Optional
+
+from repro.exceptions import (
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+    UnknownGraphError,
+)
+from repro.serving.registry import SessionRegistry
+from repro.serving.scheduler import EstimateScheduler, ServiceStats
+
+__all__ = ["EstimationHTTPServer", "make_server"]
+
+
+class EstimationHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server owning the scheduler it serves through."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        registry: SessionRegistry,
+        scheduler: EstimateScheduler,
+        *,
+        request_timeout: float = 30.0,
+        verbose: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.scheduler = scheduler
+        self.request_timeout = request_timeout
+        self.verbose = verbose
+        super().__init__(address, _Handler)
+
+    def close(self) -> None:
+        """Stop listening and drain the scheduler."""
+        self.server_close()
+        self.scheduler.close()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: EstimationHTTPServer  # narrowed for attribute access
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        if self.server.verbose:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, document: object) -> None:
+        body = json.dumps(document).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_json(self) -> Optional[dict[str, object]]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            self._send_error_json(400, "missing or invalid Content-Length")
+            return None
+        raw = self.rfile.read(length) if length else b""
+        try:
+            document = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._send_error_json(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(document, dict):
+            self._send_error_json(400, "JSON body must be an object")
+            return None
+        return document
+
+    def _graph_name(self, document: dict[str, object]) -> Optional[str]:
+        name = document.get("graph")
+        if not isinstance(name, str) or not name:
+            self._send_error_json(400, 'missing "graph" (string) field')
+            return None
+        return name
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            self._send_json(
+                200, {"status": "ok", "graphs": list(self.server.registry.names())}
+            )
+        elif self.path == "/stats":
+            self._send_json(
+                200,
+                {
+                    "scheduler": self.server.scheduler.stats.snapshot(),
+                    "registry": self.server.registry.as_row(),
+                },
+            )
+        elif self.path == "/graphs":
+            self._send_json(200, {"graphs": self.server.registry.describe()})
+        else:
+            self._send_error_json(404, f"no such route: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        document = self._read_json()
+        if document is None:
+            return
+        if self.path == "/estimate":
+            self._handle_estimate(document)
+        elif self.path == "/warm":
+            self._handle_warm(document)
+        elif self.path == "/evict":
+            self._handle_evict(document)
+        else:
+            self._send_error_json(404, f"no such route: {self.path}")
+
+    def _handle_estimate(self, document: dict[str, object]) -> None:
+        graph = self._graph_name(document)
+        if graph is None:
+            return
+        paths = document.get("paths")
+        if paths is None and "path" in document:
+            paths = [document["path"]]
+        if (
+            not isinstance(paths, list)
+            or not paths
+            or not all(isinstance(path, str) and path for path in paths)
+        ):
+            self._send_error_json(
+                400, 'need "paths" (non-empty list of strings) or "path"'
+            )
+            return
+        try:
+            future = self.server.scheduler.submit_many(graph, paths)
+            estimates = future.result(timeout=self.server.request_timeout)
+        except (ServiceOverloadedError, ServiceClosedError) as exc:
+            # Both are transient server-side conditions: tell the client to
+            # retry elsewhere/later, don't blame the request.
+            self._send_error_json(503, str(exc))
+            return
+        except UnknownGraphError as exc:
+            self._send_error_json(404, str(exc))
+            return
+        except FutureTimeoutError:
+            self._send_error_json(
+                504, f"estimate timed out after {self.server.request_timeout}s"
+            )
+            return
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        except KeyError as exc:
+            # Unknown labels surface as KeyError subclasses from the engine.
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(
+            200,
+            {"graph": graph, "count": len(estimates), "estimates": estimates},
+        )
+
+    def _handle_warm(self, document: dict[str, object]) -> None:
+        graph = self._graph_name(document)
+        if graph is None:
+            return
+        try:
+            session = self.server.registry.get(graph)
+        except UnknownGraphError as exc:
+            self._send_error_json(404, str(exc))
+            return
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(200, {"graph": graph, "stats": session.stats.as_row()})
+
+    def _handle_evict(self, document: dict[str, object]) -> None:
+        graph = self._graph_name(document)
+        if graph is None:
+            return
+        try:
+            evicted = self.server.registry.evict(graph)
+        except UnknownGraphError as exc:
+            self._send_error_json(404, str(exc))
+            return
+        self._send_json(200, {"graph": graph, "evicted": evicted})
+
+
+def make_server(
+    registry: SessionRegistry,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    window_seconds: float = 0.002,
+    max_batch_paths: int = 512,
+    min_coalesce_paths: int = 64,
+    max_pending: int = 4096,
+    request_timeout: float = 30.0,
+    stats: Optional[ServiceStats] = None,
+    verbose: bool = False,
+) -> EstimationHTTPServer:
+    """Build a ready-to-run server (call ``serve_forever`` / ``close``).
+
+    The scheduler is created here so the CLI and tests share one
+    construction path; pass ``port=0`` to bind an ephemeral port (read it
+    back from ``server.server_address``).
+    """
+    if request_timeout <= 0:
+        raise ServingError("request_timeout must be > 0")
+    scheduler = EstimateScheduler(
+        registry,
+        window_seconds=window_seconds,
+        max_batch_paths=max_batch_paths,
+        min_coalesce_paths=min_coalesce_paths,
+        max_pending=max_pending,
+        stats=stats,
+    )
+    try:
+        return EstimationHTTPServer(
+            (host, port),
+            registry,
+            scheduler,
+            request_timeout=request_timeout,
+            verbose=verbose,
+        )
+    except OSError:
+        scheduler.close()
+        raise

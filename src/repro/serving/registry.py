@@ -1,0 +1,359 @@
+"""Multi-graph session registry with single-flight builds and LRU eviction.
+
+A :class:`SessionRegistry` owns every :class:`~repro.engine.session.EstimationSession`
+a service process serves.  Graphs are *registered* under a name (either an
+in-memory :class:`~repro.graph.digraph.LabeledDiGraph` or an edge-list path
+loaded lazily) and *built* on first use: the first request for a name loads
+the graph, fingerprints it, and runs ``EstimationSession.build`` — every
+concurrent request for the same name blocks on a per-source lock and then
+finds the finished session, so exactly one build runs per (graph, config)
+no matter how many clients ask at once.
+
+Sessions are stored under their ``graph digest + config hash`` key, so two
+names registered over byte-identical graphs with equal configs share one
+session.  The registry evicts least-recently-used sessions beyond
+``max_sessions`` and/or ``max_bytes`` (each session charged by
+:meth:`~repro.engine.session.EstimationSession.memory_bytes`), and can keep
+the shared on-disk :class:`~repro.engine.cache.ArtifactCache` inside a byte
+budget too (``prune_cache_bytes``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.engine.cache import ArtifactCache
+from repro.engine.fingerprint import config_digest, graph_digest
+from repro.engine.session import EngineConfig, EstimationSession
+from repro.exceptions import ServingError, UnknownGraphError
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.io import read_edge_list
+
+__all__ = ["RegistryStats", "SessionRegistry"]
+
+
+@dataclass
+class RegistryStats:
+    """Counters describing the registry's build/hit/eviction behaviour."""
+
+    builds: int = 0
+    build_seconds_total: float = 0.0
+    hits: int = 0
+    single_flight_waits: int = 0
+    evictions: int = 0
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict for JSON emission (merged into the service stats)."""
+        return {
+            "builds": self.builds,
+            "build_seconds_total": self.build_seconds_total,
+            "hits": self.hits,
+            "single_flight_waits": self.single_flight_waits,
+            "evictions": self.evictions,
+        }
+
+
+class _Source:
+    """One registered graph: how to load it, its config, its build lock."""
+
+    __slots__ = ("name", "loader", "config", "graph", "session_key", "lock")
+
+    def __init__(
+        self,
+        name: str,
+        loader: Callable[[], LabeledDiGraph],
+        config: EngineConfig,
+        graph: Optional[LabeledDiGraph],
+    ) -> None:
+        self.name = name
+        self.loader = loader
+        self.config = config
+        # In-memory graphs are pinned; file-backed ones are loaded per build
+        # (rebuilds after eviction are rare and warm-start from the cache).
+        self.graph = graph
+        self.session_key: Optional[str] = None
+        self.lock = threading.Lock()
+
+    def load_graph(self) -> LabeledDiGraph:
+        return self.graph if self.graph is not None else self.loader()
+
+
+class SessionRegistry:
+    """Named estimation sessions: lazy single-flight builds, LRU eviction.
+
+    Parameters
+    ----------
+    cache_dir:
+        Shared artifact cache (path or :class:`ArtifactCache`) consulted by
+        every build; ``None`` builds in memory only.
+    max_sessions / max_bytes:
+        LRU budgets.  ``max_bytes`` charges each session its
+        :meth:`~repro.engine.session.EstimationSession.memory_bytes`.  The
+        most recently used session is never evicted, so a single oversized
+        session still serves.
+    workers / backend / mmap:
+        Forwarded to :meth:`EstimationSession.build`.
+    prune_cache_bytes:
+        When set, :meth:`ArtifactCache.prune` runs after every build so the
+        shared cache directory stays inside this byte budget.
+    default_config:
+        Config used by :meth:`register` calls that do not pass their own.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: Optional[Union[str, Path, ArtifactCache]] = None,
+        max_sessions: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        mmap: bool = False,
+        prune_cache_bytes: Optional[int] = None,
+        default_config: Optional[EngineConfig] = None,
+    ) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise ServingError("max_sessions must be >= 1")
+        if max_bytes is not None and max_bytes < 0:
+            raise ServingError("max_bytes must be >= 0")
+        if cache_dir is None or isinstance(cache_dir, ArtifactCache):
+            self._cache = cache_dir
+        else:
+            self._cache = ArtifactCache(cache_dir)
+        self._max_sessions = max_sessions
+        self._max_bytes = max_bytes
+        self._workers = workers
+        self._backend = backend
+        self._mmap = mmap
+        self._prune_cache_bytes = prune_cache_bytes
+        self._default_config = (
+            default_config if default_config is not None else EngineConfig()
+        )
+        self._gate = threading.Lock()
+        self._sources: dict[str, _Source] = {}
+        self._sessions: "OrderedDict[str, EstimationSession]" = OrderedDict()
+        self.stats = RegistryStats()
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        *,
+        graph: Optional[LabeledDiGraph] = None,
+        path: Optional[Union[str, Path]] = None,
+        loader: Optional[Callable[[], LabeledDiGraph]] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        """Register a graph under ``name`` (exactly one source kind).
+
+        Nothing is built yet; the first :meth:`get` (or :meth:`warm`) does.
+        Re-registering a name replaces its source but leaves any built
+        session of the old source in the LRU until evicted.
+        """
+        sources = [graph is not None, path is not None, loader is not None]
+        if sum(sources) != 1:
+            raise ServingError(
+                "register() needs exactly one of graph=, path= or loader="
+            )
+        if not name:
+            raise ServingError("graph name must be non-empty")
+        if path is not None:
+            target = Path(path)
+            loader = lambda: read_edge_list(target)  # noqa: E731
+        elif graph is None and loader is None:  # pragma: no cover - guarded above
+            raise ServingError("unreachable")
+        source = _Source(
+            name,
+            loader if loader is not None else (lambda: graph),
+            config if config is not None else self._default_config,
+            graph,
+        )
+        with self._gate:
+            self._sources[name] = source
+
+    def names(self) -> tuple[str, ...]:
+        """The registered graph names, sorted."""
+        with self._gate:
+            return tuple(sorted(self._sources))
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> EstimationSession:
+        """The session for ``name``, building it on first use (single-flight).
+
+        Concurrent callers for an unbuilt name all block on one per-source
+        lock; the winner builds, the rest find the session in the LRU when
+        the lock frees.  Raises :class:`UnknownGraphError` for unregistered
+        names.
+        """
+        try:
+            with self._gate:
+                source = self._sources[name]
+        except KeyError:
+            raise UnknownGraphError(name, self.names()) from None
+        session = self._lookup(source)
+        if session is not None:
+            return session
+        if not source.lock.acquire(blocking=False):
+            with self._gate:
+                self.stats.single_flight_waits += 1
+            source.lock.acquire()
+        try:
+            session = self._lookup(source)
+            if session is not None:
+                return session
+            return self._build(source)
+        finally:
+            source.lock.release()
+
+    def _lookup(self, source: _Source) -> Optional[EstimationSession]:
+        """The already-built session for ``source``, refreshing LRU recency."""
+        with self._gate:
+            key = source.session_key
+            if key is None:
+                return None
+            session = self._sessions.get(key)
+            if session is None:
+                return None
+            self._sessions.move_to_end(key)
+            self.stats.hits += 1
+            return session
+
+    def _build(self, source: _Source) -> EstimationSession:
+        """Build (or warm-load) the session for ``source``; caller holds its lock."""
+        graph = source.load_graph()
+        key = (
+            f"{graph_digest(graph)[:24]}-"
+            f"{config_digest(source.config.histogram_fields())}"
+        )
+        with self._gate:
+            source.session_key = key
+            session = self._sessions.get(key)
+            if session is not None:
+                # Another name over the same graph + config built it first.
+                self._sessions.move_to_end(key)
+                self.stats.hits += 1
+                return session
+        started = time.perf_counter()
+        session = EstimationSession.build(
+            graph,
+            source.config,
+            cache_dir=self._cache,
+            workers=self._workers,
+            backend=self._backend,
+            mmap=self._mmap,
+        )
+        build_seconds = time.perf_counter() - started
+        with self._gate:
+            self.stats.builds += 1
+            self.stats.build_seconds_total += build_seconds
+            self._sessions[key] = session
+            self._sessions.move_to_end(key)
+            self._evict_over_budget()
+        if self._prune_cache_bytes is not None and self._cache is not None:
+            self._cache.prune(self._prune_cache_bytes)
+        return session
+
+    def _evict_over_budget(self) -> None:
+        """Drop LRU sessions beyond the budgets; caller holds the gate."""
+        while len(self._sessions) > 1 and (
+            (self._max_sessions is not None and len(self._sessions) > self._max_sessions)
+            or (
+                self._max_bytes is not None
+                and self._total_bytes() > self._max_bytes
+            )
+        ):
+            self._sessions.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _total_bytes(self) -> int:
+        return sum(session.memory_bytes() for session in self._sessions.values())
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+    def warm(self, *names: str) -> dict[str, EstimationSession]:
+        """Build (or touch) the given names — all of them when none given."""
+        targets = names if names else self.names()
+        return {name: self.get(name) for name in targets}
+
+    def evict(self, name: str) -> bool:
+        """Drop ``name``'s built session from memory (disk artifacts stay).
+
+        Returns whether a session was actually dropped.  The next
+        :meth:`get` rebuilds — warm-starting from the artifact cache when
+        one is configured.
+        """
+        try:
+            with self._gate:
+                source = self._sources[name]
+                key = source.session_key
+                if key is None:
+                    return False
+                removed = self._sessions.pop(key, None) is not None
+                if removed:
+                    self.stats.evictions += 1
+                return removed
+        except KeyError:
+            raise UnknownGraphError(name, self.names()) from None
+
+    @property
+    def cache(self) -> Optional[ArtifactCache]:
+        """The shared artifact cache (``None`` when building in memory)."""
+        return self._cache
+
+    def session_count(self) -> int:
+        """Number of currently built (resident) sessions."""
+        with self._gate:
+            return len(self._sessions)
+
+    def memory_bytes(self) -> int:
+        """Estimated resident bytes across every built session."""
+        with self._gate:
+            return self._total_bytes()
+
+    def describe(self) -> list[dict[str, object]]:
+        """One row per registered name (for the ``/graphs`` endpoint)."""
+        with self._gate:
+            rows = []
+            for name in sorted(self._sources):
+                source = self._sources[name]
+                key = source.session_key
+                session = self._sessions.get(key) if key is not None else None
+                row: dict[str, object] = {
+                    "name": name,
+                    "built": session is not None,
+                    "max_length": source.config.max_length,
+                    "ordering": source.config.ordering,
+                    "bucket_count": source.config.bucket_count,
+                }
+                if session is not None:
+                    row["domain_size"] = session.domain_size
+                    row["memory_bytes"] = session.memory_bytes()
+                rows.append(row)
+            return rows
+
+    def as_row(self) -> dict[str, object]:
+        """Registry state + counters, for the service stats document."""
+        with self._gate:
+            row: dict[str, object] = {
+                "graphs_registered": len(self._sources),
+                "sessions_resident": len(self._sessions),
+                "sessions_bytes": self._total_bytes(),
+            }
+        row.update(self.stats.as_row())
+        return row
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<SessionRegistry graphs={len(self._sources)} "
+            f"resident={self.session_count()} builds={self.stats.builds}>"
+        )

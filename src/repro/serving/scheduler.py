@@ -1,0 +1,403 @@
+"""Micro-batching scheduler: coalesce point estimates into batched calls.
+
+Individual ``estimate(path)`` requests forfeit the engine's ~40x batch
+advantage: the vectorised hot path only pays off when many paths go through
+one ``estimate_batch`` call.  :class:`EstimateScheduler` restores that
+advantage for concurrent clients: requests land in a bounded queue, a single
+worker thread drains them, waits up to a *coalescing window* (default 2 ms)
+for more to arrive, groups everything by session, and issues **one**
+``estimate_batch`` per session per batch.  Callers get a
+:class:`concurrent.futures.Future` resolving to their own slice of the
+results.
+
+Backpressure is the bounded queue: when ``max_pending`` requests are already
+waiting, ``submit`` raises
+:class:`~repro.exceptions.ServiceOverloadedError` instead of queueing more
+work than the service can absorb (the HTTP layer maps this to 503).
+
+Every batch feeds :class:`ServiceStats` — request/path/batch counters,
+coalesced batch sizes, queue-wait and batch-execution latency — so the
+service's throughput story is observable from ``/stats`` and asserted by the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Optional, Sequence, Union
+
+from repro.exceptions import (
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ServingError,
+)
+from repro.paths.label_path import LabelPath
+from repro.serving.registry import SessionRegistry
+
+__all__ = ["ServiceStats", "EstimateScheduler"]
+
+PathLike = Union[str, LabelPath]
+
+#: Queue sentinel that tells the worker to exit after draining earlier work.
+_SHUTDOWN = object()
+
+
+class ServiceStats:
+    """Thread-safe latency/throughput counters for the serving layer.
+
+    All mutation happens under one lock; :meth:`snapshot` returns a plain
+    dict with the derived rates, so readers never observe torn counters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started_monotonic = time.perf_counter()
+        self.started_unix = time.time()
+        self.requests_total = 0
+        self.paths_total = 0
+        self.rejected_total = 0
+        self.errors_total = 0
+        self.batches_total = 0
+        self.batch_requests_total = 0
+        self.batch_paths_total = 0
+        self.batch_paths_max = 0
+        self.batch_sessions_max = 0
+        self.batch_seconds_total = 0.0
+        self.batch_seconds_max = 0.0
+        self.wait_seconds_total = 0.0
+        self.wait_seconds_max = 0.0
+
+    def observe_rejected(self) -> None:
+        with self._lock:
+            self.rejected_total += 1
+
+    def observe_error(self, count: int = 1) -> None:
+        with self._lock:
+            self.errors_total += count
+
+    def observe_batch(
+        self,
+        *,
+        requests: int,
+        paths: int,
+        sessions: int,
+        batch_seconds: float,
+        wait_seconds_total: float,
+        wait_seconds_max: float,
+    ) -> None:
+        with self._lock:
+            # Submission counters are updated here too (not on the submit
+            # path) so 32 submitting threads never contend on this lock.
+            self.requests_total += requests
+            self.paths_total += paths
+            self.batches_total += 1
+            self.batch_requests_total += requests
+            self.batch_paths_total += paths
+            self.batch_paths_max = max(self.batch_paths_max, paths)
+            self.batch_sessions_max = max(self.batch_sessions_max, sessions)
+            self.batch_seconds_total += batch_seconds
+            self.batch_seconds_max = max(self.batch_seconds_max, batch_seconds)
+            self.wait_seconds_total += wait_seconds_total
+            self.wait_seconds_max = max(self.wait_seconds_max, wait_seconds_max)
+
+    def snapshot(self) -> dict[str, object]:
+        """Counters + derived rates as one JSON-ready dict."""
+        with self._lock:
+            uptime = time.perf_counter() - self._started_monotonic
+            batches = self.batches_total
+            requests = self.batch_requests_total
+            return {
+                "uptime_seconds": uptime,
+                "requests_total": self.requests_total,
+                "paths_total": self.paths_total,
+                "rejected_total": self.rejected_total,
+                "errors_total": self.errors_total,
+                "batches_total": batches,
+                "batch_requests_total": requests,
+                "batch_paths_total": self.batch_paths_total,
+                "batch_paths_max": self.batch_paths_max,
+                "batch_sessions_max": self.batch_sessions_max,
+                "mean_batch_paths": (self.batch_paths_total / batches) if batches else 0.0,
+                "mean_coalesced_requests": (requests / batches) if batches else 0.0,
+                "batch_seconds_total": self.batch_seconds_total,
+                "batch_seconds_max": self.batch_seconds_max,
+                "mean_batch_seconds": (self.batch_seconds_total / batches) if batches else 0.0,
+                "wait_seconds_max": self.wait_seconds_max,
+                "mean_wait_seconds": (self.wait_seconds_total / requests) if requests else 0.0,
+                "paths_per_second": (self.batch_paths_total / uptime) if uptime > 0 else 0.0,
+            }
+
+
+class _Request:
+    """One queued estimate: a path batch bound to a graph and a future."""
+
+    __slots__ = ("graph", "paths", "scalar", "future", "enqueued")
+
+    def __init__(self, graph: str, paths: list[PathLike], scalar: bool) -> None:
+        self.graph = graph
+        self.paths = paths
+        self.scalar = scalar
+        self.future: "Future[object]" = Future()
+        self.enqueued = time.perf_counter()
+
+
+class EstimateScheduler:
+    """Coalesce point estimates into per-session ``estimate_batch`` calls.
+
+    Parameters
+    ----------
+    registry:
+        The session source; unknown graph names fail the affected requests
+        only, never the batch.
+    window_seconds:
+        How long the worker keeps collecting after the first request of a
+        batch arrives (the micro-batching window).  ``0`` still coalesces
+        whatever is already queued, it just never *waits* for more.
+    max_batch_paths:
+        Path budget per batch; the worker stops collecting once reached
+        (requests are never split across batches, so a batch can overshoot
+        by the last request's size).
+    min_coalesce_paths:
+        Once a *drained* queue has already yielded this many paths, the
+        batch executes immediately instead of waiting out the window.  The
+        window therefore only delays genuinely sparse traffic (where waiting
+        is what buys coalescing), never a flood that has already coalesced.
+    max_pending:
+        Bound of the request queue — the backpressure limit.
+    stats:
+        Optional shared :class:`ServiceStats` (the HTTP layer passes one so
+        every front-end feeds the same counters).
+    """
+
+    def __init__(
+        self,
+        registry: SessionRegistry,
+        *,
+        window_seconds: float = 0.002,
+        max_batch_paths: int = 512,
+        min_coalesce_paths: int = 64,
+        max_pending: int = 4096,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        if window_seconds < 0:
+            raise ServingError("window_seconds must be >= 0")
+        if max_batch_paths < 1:
+            raise ServingError("max_batch_paths must be >= 1")
+        if min_coalesce_paths < 1:
+            raise ServingError("min_coalesce_paths must be >= 1")
+        if max_pending < 1:
+            raise ServingError("max_pending must be >= 1")
+        self._registry = registry
+        self._window = window_seconds
+        self._max_batch_paths = max_batch_paths
+        self._min_coalesce_paths = min_coalesce_paths
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_pending)
+        self._closed = threading.Event()
+        self.stats = stats if stats is not None else ServiceStats()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-estimate-scheduler", daemon=True
+        )
+        self._worker.start()
+
+    @property
+    def registry(self) -> SessionRegistry:
+        """The session registry the scheduler serves from."""
+        return self._registry
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, graph: str, path: PathLike) -> "Future[object]":
+        """Queue one point estimate; the future resolves to a ``float``."""
+        return self._enqueue(_Request(graph, [path], scalar=True))
+
+    def submit_many(
+        self, graph: str, paths: Sequence[PathLike]
+    ) -> "Future[object]":
+        """Queue a path batch; the future resolves to a ``list[float]``.
+
+        The batch stays one request: it is never split, and its paths all
+        resolve against the same session in the same ``estimate_batch`` call.
+        """
+        return self._enqueue(_Request(graph, list(paths), scalar=False))
+
+    def _enqueue(self, request: _Request) -> "Future[object]":
+        if self._closed.is_set():
+            raise ServiceClosedError("scheduler is closed")
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            self.stats.observe_rejected()
+            raise ServiceOverloadedError(
+                f"request queue full ({self._queue.maxsize} pending)"
+            ) from None
+        return request.future
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting work, drain what was queued, join the worker."""
+        if not self._closed.is_set():
+            self._closed.set()
+            # The sentinel lands behind every accepted request, so the
+            # worker finishes real work before exiting.  put() may block
+            # briefly if the queue is at capacity.
+            self._queue.put(_SHUTDOWN)
+        self._worker.join(timeout=timeout)
+        # A submit racing close() can slip its request in *behind* the
+        # sentinel; the worker never sees it, so fail it here rather than
+        # leave its future (and any awaiting coroutine) hanging forever.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is _SHUTDOWN:
+                continue
+            if leftover.future.set_running_or_notify_cancel():
+                leftover.future.set_exception(
+                    ServiceClosedError("scheduler closed before the request ran")
+                )
+
+    def __enter__(self) -> "EstimateScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # the worker
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            total_paths = len(item.paths)
+            deadline = time.perf_counter() + self._window
+            shutdown = False
+            while total_paths < self._max_batch_paths:
+                try:
+                    # Drain whatever is already queued without waiting...
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    # ...and only wait out the window for stragglers while
+                    # the batch is still small.  Closed-loop clients (whose
+                    # next request only comes after this batch answers)
+                    # would otherwise pay the full window on every round
+                    # with nothing to show for it.
+                    if total_paths >= self._min_coalesce_paths:
+                        break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    try:
+                        extra = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
+                if extra is _SHUTDOWN:
+                    shutdown = True
+                    break
+                batch.append(extra)
+                total_paths += len(extra.paths)
+            self._execute(batch)
+            if shutdown:
+                return
+
+    def _execute(self, batch: list[_Request]) -> None:
+        """Group, estimate, observe, deliver — in that order.
+
+        Futures are resolved only *after* the stats are updated, so a client
+        that reads ``/stats`` immediately after receiving its result always
+        sees its own request counted.
+        """
+        started = time.perf_counter()
+        by_graph: dict[str, list[_Request]] = {}
+        live_requests = 0
+        live_paths = 0
+        wait_total = 0.0
+        wait_max = 0.0
+        for request in batch:
+            if not request.future.set_running_or_notify_cancel():
+                continue  # the caller gave up while the request was queued
+            waited = started - request.enqueued
+            wait_total += waited
+            wait_max = max(wait_max, waited)
+            live_requests += 1
+            live_paths += len(request.paths)
+            by_graph.setdefault(request.graph, []).append(request)
+        deliveries: list[tuple[_Request, bool, object]] = []
+        for graph, requests in by_graph.items():
+            deliveries.extend(self._prepare_group(graph, requests))
+        if live_requests:
+            self.stats.observe_batch(
+                requests=live_requests,
+                paths=live_paths,
+                sessions=len(by_graph),
+                batch_seconds=time.perf_counter() - started,
+                wait_seconds_total=wait_total,
+                wait_seconds_max=wait_max,
+            )
+        for request, succeeded, payload in deliveries:
+            if succeeded:
+                request.future.set_result(payload)
+            else:
+                request.future.set_exception(payload)  # type: ignore[arg-type]
+
+    def _prepare_group(
+        self, graph: str, requests: list[_Request]
+    ) -> list[tuple[_Request, bool, object]]:
+        """One session, one ``estimate_batch`` call, results split per request."""
+        try:
+            session = self._registry.get(graph)
+        except Exception as exc:  # noqa: BLE001 - every failure maps to futures
+            self.stats.observe_error(len(requests))
+            return [(request, False, exc) for request in requests]
+        paths: list[PathLike] = []
+        for request in requests:
+            paths.extend(request.paths)
+        try:
+            estimates = session.estimate_batch(paths)
+        except Exception:
+            # One bad path must not fail its batch neighbours: retry each
+            # request on its own so only the offender sees the error.
+            return self._prepare_individually(session, requests)
+        values = estimates.tolist()  # one C-level conversion for the whole batch
+        deliveries: list[tuple[_Request, bool, object]] = []
+        offset = 0
+        for request in requests:
+            count = len(request.paths)
+            if request.scalar:
+                deliveries.append((request, True, values[offset]))
+            else:
+                deliveries.append((request, True, values[offset : offset + count]))
+            offset += count
+        return deliveries
+
+    def _prepare_individually(
+        self, session, requests: list[_Request]
+    ) -> list[tuple[_Request, bool, object]]:
+        deliveries: list[tuple[_Request, bool, object]] = []
+        for request in requests:
+            try:
+                estimates = session.estimate_batch(request.paths)
+            except Exception as exc:  # noqa: BLE001
+                self.stats.observe_error()
+                deliveries.append((request, False, exc))
+                continue
+            if request.scalar:
+                deliveries.append((request, True, float(estimates[0])))
+            else:
+                deliveries.append((request, True, estimates.tolist()))
+        return deliveries
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<EstimateScheduler window={self._window * 1000:.1f}ms "
+            f"max_batch={self._max_batch_paths} pending={self._queue.qsize()}>"
+        )

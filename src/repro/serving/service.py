@@ -1,0 +1,141 @@
+"""Asyncio front-end over the registry + scheduler pair.
+
+:class:`EstimationService` is the embedding-friendly face of the serving
+subsystem: an event-loop application (or the HTTP layer's tests) awaits
+``estimate`` / ``estimate_many`` and the requests flow through the same
+micro-batching scheduler as every other client — coroutines awaiting
+concurrently within one window are coalesced into a single
+``estimate_batch`` exactly like concurrent threads are.
+
+The service owns its scheduler: use it as an async context manager (or call
+:meth:`close`) so the worker thread is joined deterministically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.engine.session import EngineConfig, EstimationSession, SessionStats
+from repro.graph.digraph import LabeledDiGraph
+from repro.paths.label_path import LabelPath
+from repro.serving.registry import SessionRegistry
+from repro.serving.scheduler import EstimateScheduler, ServiceStats
+
+__all__ = ["EstimationService"]
+
+PathLike = Union[str, LabelPath]
+
+
+class EstimationService:
+    """Async estimate/warm/evict API over a :class:`SessionRegistry`.
+
+    Parameters mirror :class:`~repro.serving.scheduler.EstimateScheduler`;
+    ``registry`` defaults to a fresh in-memory one so the service can be
+    stood up in two lines::
+
+        service = EstimationService()
+        service.registry.register("g", graph=graph)
+        estimate = await service.estimate("g", "1/2/3")
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SessionRegistry] = None,
+        *,
+        window_seconds: float = 0.002,
+        max_batch_paths: int = 512,
+        min_coalesce_paths: int = 64,
+        max_pending: int = 4096,
+        stats: Optional[ServiceStats] = None,
+    ) -> None:
+        self._registry = registry if registry is not None else SessionRegistry()
+        self._scheduler = EstimateScheduler(
+            self._registry,
+            window_seconds=window_seconds,
+            max_batch_paths=max_batch_paths,
+            min_coalesce_paths=min_coalesce_paths,
+            max_pending=max_pending,
+            stats=stats,
+        )
+
+    @property
+    def registry(self) -> SessionRegistry:
+        """The session registry (register graphs here)."""
+        return self._registry
+
+    @property
+    def scheduler(self) -> EstimateScheduler:
+        """The micro-batching scheduler behind the async API."""
+        return self._scheduler
+
+    # ------------------------------------------------------------------
+    # the async API
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        *,
+        graph: Optional[LabeledDiGraph] = None,
+        path: Optional[Union[str, Path]] = None,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        """Convenience passthrough to :meth:`SessionRegistry.register`."""
+        self._registry.register(name, graph=graph, path=path, config=config)
+
+    async def estimate(self, graph: str, path: PathLike) -> float:
+        """One point estimate, coalesced with concurrent callers."""
+        future = self._scheduler.submit(graph, path)
+        return await asyncio.wrap_future(future)  # type: ignore[return-value]
+
+    async def estimate_many(
+        self, graph: str, paths: Sequence[PathLike]
+    ) -> list[float]:
+        """A path batch as one request (never split across batches)."""
+        future = self._scheduler.submit_many(graph, paths)
+        return await asyncio.wrap_future(future)  # type: ignore[return-value]
+
+    async def warm(self, graph: str) -> SessionStats:
+        """Build (or touch) a session off-loop; returns its build stats.
+
+        Cold builds can take seconds, so they run in the default executor
+        rather than on the scheduler thread (where they would stall every
+        in-flight batch) or the event loop (where they would stall
+        everything else).
+        """
+        loop = asyncio.get_running_loop()
+        session: EstimationSession = await loop.run_in_executor(
+            None, self._registry.get, graph
+        )
+        return session.stats
+
+    async def evict(self, graph: str) -> bool:
+        """Drop a built session from memory; cheap, so it runs inline."""
+        return self._registry.evict(graph)
+
+    # ------------------------------------------------------------------
+    # observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """Scheduler counters + registry state as one JSON-ready document."""
+        return {
+            "scheduler": self._scheduler.stats.snapshot(),
+            "registry": self._registry.as_row(),
+        }
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop the scheduler (drains queued work, joins the worker)."""
+        self._scheduler.close(timeout=timeout)
+
+    async def __aenter__(self) -> "EstimationService":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        # Draining is quick (the queue is bounded) but still blocking, so it
+        # runs off-loop.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self.close)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<EstimationService registry={self._registry!r}>"

@@ -1,0 +1,145 @@
+"""Round-trip tests for the stdlib HTTP endpoint and client."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig
+from repro.exceptions import ServingError
+from repro.graph.generators import zipf_labeled_graph
+from repro.serving import ServiceClient, SessionRegistry, make_server
+
+CONFIG = EngineConfig(max_length=2, bucket_count=8)
+
+
+@pytest.fixture()
+def server():
+    registry = SessionRegistry(default_config=CONFIG)
+    registry.register(
+        "g", graph=zipf_labeled_graph(30, 100, 3, skew=1.0, seed=7, name="g")
+    )
+    server = make_server(registry, port=0, window_seconds=0.005)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture()
+def client(server):
+    host, port = server.server_address[:2]
+    return ServiceClient(f"http://{host}:{port}", timeout=30.0)
+
+
+class TestRoundTrip:
+    def test_healthz_lists_graphs(self, client):
+        document = client.healthz()
+        assert document["status"] == "ok"
+        assert document["graphs"] == ["g"]
+
+    def test_estimate_matches_direct_session(self, server, client):
+        paths = ["1/2", "2", "3/3"]
+        estimates = client.estimate("g", paths)
+        expected = server.registry.get("g").estimate_batch(paths)
+        assert np.allclose(estimates, expected)
+
+    def test_single_path_field_accepted(self, server, client):
+        document = client._request("/estimate", {"graph": "g", "path": "1/2"})
+        expected = server.registry.get("g").estimate("1/2")
+        assert document["count"] == 1
+        assert document["estimates"][0] == pytest.approx(expected)
+
+    def test_warm_then_stats_reflect_traffic(self, client):
+        build = client.warm("g")
+        assert build["domain_size"] > 0
+        client.estimate("g", ["1/2", "2"])
+        stats = client.stats()
+        assert stats["scheduler"]["requests_total"] >= 1
+        assert stats["scheduler"]["batch_paths_total"] >= 2
+        assert stats["registry"]["sessions_resident"] == 1
+
+    def test_graphs_and_evict(self, client):
+        client.warm("g")
+        rows = client.graphs()
+        assert rows[0]["name"] == "g" and rows[0]["built"] is True
+        assert client.evict("g") is True
+        assert client.evict("g") is False
+        rows = client.graphs()
+        assert rows[0]["built"] is False
+
+    def test_concurrent_http_clients_agree_with_direct_batch(self, server, client):
+        session = server.registry.get("g")
+        paths = ["1/2", "2", "3/3", "1", "2/1", "3"] * 3
+        results: dict[int, float] = {}
+        errors = []
+
+        def fire(position, path):
+            try:
+                results[position] = client.estimate("g", [path])[0]
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fire, args=(position, path))
+            for position, path in enumerate(paths)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        expected = session.estimate_batch(paths)
+        got = [results[position] for position in range(len(paths))]
+        assert np.allclose(got, expected)
+
+
+class TestErrors:
+    def test_unknown_graph_is_404(self, client):
+        with pytest.raises(ServingError, match="404"):
+            client.estimate("missing", ["1/2"])
+        with pytest.raises(ServingError, match="404"):
+            client.warm("missing")
+        with pytest.raises(ServingError, match="404"):
+            client.evict("missing")
+
+    def test_invalid_path_is_400(self, client):
+        with pytest.raises(ServingError, match="400"):
+            client.estimate("g", ["99/88"])
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServingError, match="404"):
+            client._request("/nope")
+
+    def test_malformed_body_is_400(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/estimate",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read().decode("utf-8"))
+
+    def test_missing_paths_is_400(self, client):
+        with pytest.raises(ServingError, match="400"):
+            client._request("/estimate", {"graph": "g"})
+        with pytest.raises(ServingError, match="400"):
+            client._request("/estimate", {"graph": "g", "paths": []})
+
+    def test_closed_scheduler_is_503(self, server, client):
+        client.warm("g")
+        server.scheduler.close()
+        with pytest.raises(ServingError, match="503"):
+            client.estimate("g", ["1/2"])

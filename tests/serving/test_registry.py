@@ -1,0 +1,192 @@
+"""Tests for the multi-graph session registry (single-flight + eviction)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine import ArtifactCache, EngineConfig
+from repro.exceptions import ServingError, UnknownGraphError
+from repro.graph.generators import zipf_labeled_graph
+from repro.serving import SessionRegistry
+
+CONFIG = EngineConfig(max_length=2, bucket_count=8)
+
+
+def _graph(seed: int, labels: int = 3):
+    return zipf_labeled_graph(30, 100, labels, skew=1.0, seed=seed, name=f"g{seed}")
+
+
+class TestRegistration:
+    def test_register_requires_exactly_one_source(self):
+        registry = SessionRegistry(default_config=CONFIG)
+        with pytest.raises(ServingError):
+            registry.register("g")
+        with pytest.raises(ServingError):
+            registry.register("g", graph=_graph(1), path="also.tsv")
+        with pytest.raises(ServingError):
+            registry.register("", graph=_graph(1))
+
+    def test_unknown_graph_raises_with_available_names(self):
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("known", graph=_graph(1))
+        with pytest.raises(UnknownGraphError) as excinfo:
+            registry.get("missing")
+        assert "known" in str(excinfo.value)
+
+    def test_register_from_edge_list_path(self, tmp_path):
+        from repro.graph.io import write_edge_list
+
+        graph = _graph(4)
+        target = tmp_path / "graph.tsv"
+        write_edge_list(graph, target)
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("file", path=target)
+        session = registry.get("file")
+        assert session.domain_size == registry.get("file").domain_size
+        assert registry.stats.builds == 1
+
+    def test_describe_reports_built_state(self):
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("a", graph=_graph(1))
+        rows = registry.describe()
+        assert rows[0]["name"] == "a" and rows[0]["built"] is False
+        registry.get("a")
+        rows = registry.describe()
+        assert rows[0]["built"] is True and rows[0]["domain_size"] > 0
+
+
+class TestSingleFlight:
+    def test_concurrent_first_access_builds_exactly_once(self):
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("g", graph=_graph(7))
+        thread_count = 12
+        barrier = threading.Barrier(thread_count)
+        sessions = []
+        errors = []
+
+        def request():
+            try:
+                barrier.wait()
+                sessions.append(registry.get("g"))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=request) for _ in range(thread_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert registry.stats.builds == 1
+        assert len(sessions) == thread_count
+        assert all(session is sessions[0] for session in sessions)
+
+    def test_same_graph_under_two_names_shares_one_session(self):
+        graph = _graph(9)
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("first", graph=graph)
+        registry.register("second", graph=graph)
+        assert registry.get("first") is registry.get("second")
+        assert registry.stats.builds == 1
+        assert registry.session_count() == 1
+
+
+class TestEviction:
+    def test_lru_by_session_count(self):
+        registry = SessionRegistry(default_config=CONFIG, max_sessions=1)
+        registry.register("a", graph=_graph(1))
+        registry.register("b", graph=_graph(2))
+        first = registry.get("a")
+        registry.get("b")
+        assert registry.session_count() == 1
+        assert registry.stats.evictions == 1
+        # "a" still serves — it just rebuilds.
+        rebuilt = registry.get("a")
+        assert rebuilt is not first
+        assert registry.stats.builds == 3
+
+    def test_byte_budget_eviction_keeps_most_recent(self):
+        registry = SessionRegistry(default_config=CONFIG, max_bytes=1)
+        registry.register("a", graph=_graph(1))
+        registry.register("b", graph=_graph(2))
+        registry.get("a")
+        session_b = registry.get("b")
+        # Both sessions exceed one byte, but the newest always survives.
+        assert registry.session_count() == 1
+        assert registry.get("b") is session_b
+        assert registry.stats.evictions == 1
+
+    def test_eviction_under_load_serves_correct_results(self):
+        registry = SessionRegistry(default_config=CONFIG, max_sessions=1)
+        graph_a, graph_b = _graph(1), _graph(2)
+        registry.register("a", graph=graph_a)
+        registry.register("b", graph=graph_b)
+        expected_a = registry.get("a").estimate_batch(["1/2", "2"])
+        expected_b = registry.get("b").estimate_batch(["1/2", "2"])
+        errors = []
+
+        def hammer(name, expected):
+            try:
+                for _ in range(10):
+                    got = registry.get(name).estimate_batch(["1/2", "2"])
+                    assert list(got) == list(expected)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(name, expected))
+            for name, expected in (("a", expected_a), ("b", expected_b)) * 3
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert registry.stats.evictions > 0
+
+    def test_explicit_evict_and_rebuild_warm_starts_from_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        registry = SessionRegistry(default_config=CONFIG, cache_dir=cache)
+        registry.register("g", graph=_graph(3))
+        built = registry.get("g")
+        assert registry.evict("g") is True
+        assert registry.evict("g") is False
+        assert registry.session_count() == 0
+        rebuilt = registry.get("g")
+        assert rebuilt is not built
+        assert rebuilt.stats.catalog_from_cache is True
+        with pytest.raises(UnknownGraphError):
+            registry.evict("missing")
+
+    def test_prune_cache_bytes_keeps_cache_dir_bounded(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        registry = SessionRegistry(
+            default_config=CONFIG, cache_dir=cache, prune_cache_bytes=0
+        )
+        registry.register("g", graph=_graph(3))
+        registry.get("g")
+        # Budget 0 prunes everything right after the build wrote it.
+        assert cache.total_bytes() == 0
+
+
+class TestStats:
+    def test_as_row_merges_counters_and_state(self):
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("a", graph=_graph(1))
+        registry.get("a")
+        registry.get("a")
+        row = registry.as_row()
+        assert row["graphs_registered"] == 1
+        assert row["sessions_resident"] == 1
+        assert row["builds"] == 1
+        assert row["hits"] >= 1
+        assert row["sessions_bytes"] > 0
+
+
+def test_unknown_graph_error_message_has_no_stray_quotes():
+    from repro.exceptions import UnknownGraphError
+
+    message = str(UnknownGraphError("g", ("a", "b")))
+    assert message == "unknown graph: 'g' (registered: a, b)"

@@ -1,0 +1,83 @@
+"""Tests for the asyncio front-end."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig
+from repro.exceptions import UnknownGraphError
+from repro.graph.generators import zipf_labeled_graph
+from repro.serving import EstimationService, SessionRegistry
+
+CONFIG = EngineConfig(max_length=2, bucket_count=8)
+
+
+def _registry():
+    registry = SessionRegistry(default_config=CONFIG)
+    registry.register(
+        "g", graph=zipf_labeled_graph(30, 100, 3, skew=1.0, seed=7, name="g")
+    )
+    return registry
+
+
+def test_concurrent_estimates_coalesce_and_agree():
+    registry = _registry()
+    session = registry.get("g")
+    paths = ["1/2", "2", "3/3", "1", "2/1", "3"]
+
+    async def main():
+        async with EstimationService(registry, window_seconds=0.05) as service:
+            results = await asyncio.gather(
+                *[service.estimate("g", path) for path in paths]
+            )
+            return results, service.stats()
+
+    results, stats = asyncio.run(main())
+    assert np.allclose(results, session.estimate_batch(paths))
+    assert stats["scheduler"]["batch_requests_total"] == len(paths)
+    assert stats["scheduler"]["batches_total"] < len(paths)
+    assert stats["registry"]["sessions_resident"] == 1
+
+
+def test_estimate_many_and_warm_and_evict():
+    registry = _registry()
+
+    async def main():
+        async with EstimationService(registry, window_seconds=0.0) as service:
+            build_stats = await service.warm("g")
+            assert build_stats.domain_size > 0
+            estimates = await service.estimate_many("g", ["1/2", "2"])
+            assert len(estimates) == 2
+            assert await service.evict("g") is True
+            assert await service.evict("g") is False
+            # Eviction only drops the resident session: estimates still work.
+            again = await service.estimate("g", "1/2")
+            assert again == pytest.approx(estimates[0])
+
+    asyncio.run(main())
+
+
+def test_unknown_graph_propagates_to_awaiter():
+    registry = _registry()
+
+    async def main():
+        async with EstimationService(registry, window_seconds=0.0) as service:
+            with pytest.raises(UnknownGraphError):
+                await service.estimate("missing", "1/2")
+
+    asyncio.run(main())
+
+
+def test_default_registry_and_register_passthrough():
+    graph = zipf_labeled_graph(30, 100, 3, skew=1.0, seed=7, name="g")
+
+    async def main():
+        async with EstimationService(window_seconds=0.0) as service:
+            service.register("g", graph=graph, config=CONFIG)
+            value = await service.estimate("g", "1/2")
+            assert value >= 0.0
+
+    asyncio.run(main())

@@ -75,3 +75,126 @@ class TestCommands:
         assert main(["experiment", "table4", "--scale", "0.02", "-k", "2"]) == 0
         output = capsys.readouterr().out
         assert "sum-based" in output and "slowdown" in output
+
+
+class TestEngineCacheCommands:
+    def _populate_cache(self, tmp_path):
+        from repro.engine import ArtifactCache, EngineConfig, EstimationSession
+        from repro.graph.generators import zipf_labeled_graph
+
+        cache_dir = tmp_path / "cache"
+        graph = zipf_labeled_graph(30, 100, 3, skew=1.0, seed=7)
+        EstimationSession.build(
+            graph,
+            EngineConfig(max_length=2, bucket_count=8),
+            cache_dir=ArtifactCache(cache_dir),
+        )
+        return cache_dir
+
+    def test_cache_list(self, tmp_path, capsys):
+        cache_dir = self._populate_cache(tmp_path)
+        assert main(["engine", "cache", "list", "--cache-dir", str(cache_dir)]) == 0
+        output = capsys.readouterr().out
+        assert "catalog-" in output and "total" in output
+
+    def test_cache_list_json(self, tmp_path, capsys):
+        cache_dir = self._populate_cache(tmp_path)
+        assert (
+            main(["engine", "cache", "list", "--cache-dir", str(cache_dir), "--json"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["total_bytes"] > 0
+        assert len(document["files"]) >= 3
+
+    def test_cache_prune_requires_max_bytes(self, tmp_path):
+        cache_dir = self._populate_cache(tmp_path)
+        assert main(["engine", "cache", "prune", "--cache-dir", str(cache_dir)]) == 2
+
+    def test_cache_prune_to_zero(self, tmp_path, capsys):
+        cache_dir = self._populate_cache(tmp_path)
+        assert (
+            main(
+                [
+                    "engine",
+                    "cache",
+                    "prune",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--max-bytes",
+                    "0",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["bytes_after"] == 0
+        assert len(document["removed"]) >= 3
+
+    def test_cache_clear(self, tmp_path, capsys):
+        cache_dir = self._populate_cache(tmp_path)
+        assert main(["engine", "cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed" in capsys.readouterr().out
+
+
+class TestServeClientParsing:
+    def test_serve_requires_a_graph(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--graph" in capsys.readouterr().err
+
+    def test_serve_rejects_malformed_graph_spec(self, capsys):
+        assert main(["serve", "--graph", "no-equals-sign"]) == 2
+        assert "NAME=EDGE_LIST" in capsys.readouterr().err
+
+    def test_client_estimate_requires_graph(self, capsys):
+        assert main(["client", "estimate", "1/2"]) == 2
+        assert "--graph" in capsys.readouterr().err
+
+    def test_client_estimate_requires_paths(self, capsys):
+        assert (
+            main(["client", "estimate", "--graph", "g", "--url", "http://127.0.0.1:1"])
+            == 2
+        )
+        assert "no paths" in capsys.readouterr().err
+
+    def test_client_unreachable_server_is_a_clean_error(self, capsys):
+        assert main(["client", "healthz", "--url", "http://127.0.0.1:9"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeEndToEnd:
+    def test_serve_and_client_round_trip(self, tmp_path, capsys):
+        import threading
+
+        from repro.engine import EngineConfig
+        from repro.graph.generators import zipf_labeled_graph
+        from repro.serving import SessionRegistry, make_server
+
+        registry = SessionRegistry(
+            default_config=EngineConfig(max_length=2, bucket_count=8)
+        )
+        registry.register(
+            "g", graph=zipf_labeled_graph(30, 100, 3, skew=1.0, seed=7)
+        )
+        server = make_server(registry, port=0, window_seconds=0.005)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = server.server_address[:2]
+            url = f"http://{host}:{port}"
+            assert main(["client", "healthz", "--url", url]) == 0
+            assert main(["client", "warm", "--graph", "g", "--url", url]) == 0
+            assert (
+                main(["client", "estimate", "1/2", "2", "--graph", "g", "--url", url])
+                == 0
+            )
+            output = capsys.readouterr().out
+            assert "1/2" in output
+            assert main(["client", "stats", "--url", url]) == 0
+            stats = json.loads(capsys.readouterr().out)
+            assert stats["scheduler"]["requests_total"] >= 1
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=10)
