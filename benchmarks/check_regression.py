@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Gate a fresh benchmark run against the committed ``BENCH_engine.json``.
+
+The CI ``bench-regression`` job reruns ``run_all.py --quick`` and then calls
+this script with the *committed* document as the baseline and the fresh one
+as the current run.  Two things are checked:
+
+* every floor **recorded in the baseline** (batch ≥ 10×, columnar ≥ 3×,
+  npz ≤ 25%, coalesced ≥ 5×, delta ≥ 5×, ...) still holds for the current
+  numbers — so a PR cannot silently relax a shipped floor by shrinking the
+  constant in ``run_all.py``;
+* the correctness invariants (batch == loop, patched == cold, warm start
+  from cache, single-flight) still hold.
+
+Raw wall-clock numbers are *not* compared across documents — the baseline
+was measured on a different machine, so only the recorded floors and the
+current run's own ratios are meaningful.  A drift table is printed for
+humans.  Exit code 1 on any violated floor, with one readable line per
+failure printed first.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline BENCH_engine.json --current BENCH_fresh.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from run_all import collect_floor_failures  # noqa: E402
+
+#: (section, metric, floor_key, direction) — the recorded floors carried by
+#: both documents.  ``direction`` is ">=" (floor) or "<=" (ceiling).
+FLOORS: tuple[tuple[str, str, str, str], ...] = (
+    ("engine", "batch_speedup", "batch_speedup_floor", ">="),
+    ("catalog", "columnar_speedup", "columnar_speedup_floor", ">="),
+    ("catalog", "artifact_npz_ratio", "artifact_npz_ratio_ceiling", "<="),
+    ("catalog", "process_speedup", "process_speedup_floor", ">="),
+    ("serving", "coalesced_speedup", "coalesced_speedup_floor", ">="),
+    ("delta", "incremental_speedup", "incremental_speedup_floor", ">="),
+)
+
+
+def load_document(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"regression check: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+
+
+def merge_baseline_floors(baseline: dict, current: dict) -> dict:
+    """The current document with the *baseline's* recorded floors grafted in.
+
+    ``collect_floor_failures`` reads each floor from the document it checks;
+    substituting the committed values means a PR that lowers a floor
+    constant still gets gated against the floor it shipped with.
+    """
+    merged = json.loads(json.dumps(current))  # deep copy, JSON-shaped
+    for section, _, floor_key, _ in FLOORS:
+        base_section = baseline.get(section) or {}
+        if floor_key in base_section and section in merged:
+            merged[section][floor_key] = base_section[floor_key]
+    return merged
+
+
+def drift_table(baseline: dict, current: dict) -> list[str]:
+    """Human-readable baseline-vs-current rows (informational only)."""
+    rows = []
+    for section, metric, floor_key, direction in FLOORS:
+        base_value = (baseline.get(section) or {}).get(metric)
+        new_value = (current.get(section) or {}).get(metric)
+        floor = (baseline.get(section) or {}).get(
+            floor_key, (current.get(section) or {}).get(floor_key)
+        )
+        if new_value is None:
+            # e.g. process_speedup on a single-core runner: measured as null,
+            # floor not enforced.
+            rows.append(f"{section}.{metric}: skipped on this machine")
+            continue
+
+        def fmt(value: object) -> str:
+            return f"{value:.2f}" if isinstance(value, (int, float)) else str(value)
+
+        rows.append(
+            f"{section}.{metric}: {fmt(new_value)} "
+            f"(baseline {fmt(base_value)}, {direction} {fmt(floor)})"
+        )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_engine.json",
+        help="committed benchmark document (floor source)",
+    )
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="freshly measured benchmark document to gate",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_document(Path(args.baseline))
+    current = load_document(Path(args.current))
+
+    for name, document in (("baseline", baseline), ("current", current)):
+        if "delta" not in document:
+            print(
+                f"regression check: {name} document predates the delta floor "
+                f"(schema {document.get('schema')}); regenerate it with "
+                "benchmarks/run_all.py",
+                file=sys.stderr,
+            )
+            return 2
+
+    failures = collect_floor_failures(merge_baseline_floors(baseline, current))
+    for failure in failures:
+        print(f"floor regression: {failure}", file=sys.stderr)
+    for row in drift_table(baseline, current):
+        print(row)
+    if failures:
+        print(f"{len(failures)} floor(s) regressed", file=sys.stderr)
+        return 1
+    print("all recorded floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

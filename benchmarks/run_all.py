@@ -7,11 +7,12 @@ and catalog fixtures are built once), then measures the headline numbers
 directly — batch-vs-loop speedup on a ≥ 10k-path workload, cold-vs-warm
 session build, the columnar catalog numbers (cold-build wall time,
 columnar-vs-dict build speedup, process-vs-serial build speedup at
-``|L| ≥ 6, k ≥ 4``, npz-vs-JSON artifact size), and the serving layer's
+``|L| ≥ 6, k ≥ 4``, npz-vs-JSON artifact size), the serving layer's
 numbers (coalesced-vs-naive throughput at 32 concurrent clients plus the
-single-flight build guarantee) — and writes everything to a single JSON
-document whose filename convention (``BENCH_engine.json``) accumulates the
-perf trajectory over PRs.
+single-flight build guarantee), and the incremental-update numbers
+(delta-patched rebuild vs cold rebuild on a schema-structured graph) — and
+writes everything to a single JSON document whose filename convention
+(``BENCH_engine.json``) accumulates the perf trajectory over PRs.
 
 Usage::
 
@@ -23,8 +24,11 @@ fails or the acceptance numbers regress: batch speedup < 10×, warm build
 rebuilding the catalog, columnar build < 3× over the dict builder, npz
 artifact > 25% of the JSON size, (on machines with ≥ 2 cores) process
 build < 1.5× over serial, coalesced serving throughput < 5× the naive
-per-path loop at 32 concurrent clients, or more than one build under
-concurrent first access to one graph.
+per-path loop at 32 concurrent clients, more than one build under
+concurrent first access to one graph, or an incremental delta rebuild
+< 5× the cold rebuild when ≤ 10% of first-label subtrees are touched.
+Floor failures are printed *first*, one readable line each, and never as
+tracebacks — CI logs lead with the failing floor.
 """
 
 from __future__ import annotations
@@ -68,6 +72,18 @@ NPZ_SIZE_RATIO_CEILING = 0.25
 SERVING_SPEEDUP_FLOOR = 5.0
 SERVING_CLIENTS = 32
 SERVING_BUNDLE = 32
+
+#: Acceptance floor for an incremental delta rebuild over a cold rebuild
+#: when the delta touches at most DELTA_SUBTREE_FRACTION of the first-label
+#: subtrees (the ISSUE's ≤ 10% regime).
+DELTA_SPEEDUP_FLOOR = 5.0
+DELTA_SUBTREE_FRACTION = 0.10
+DELTA_EDGES = 100
+
+
+class FloorFailure(AssertionError):
+    """A benchmark invariant failed; rendered as one readable line, not a
+    traceback, so CI logs lead with the failing floor."""
 
 QUICK_FLAGS = [
     "--benchmark-min-rounds=1",
@@ -249,7 +265,7 @@ def measure_catalog(quick: bool) -> dict[str, object]:
 
     vector = catalog.frequency_vector()
     if not np.array_equal(vector, dict_catalog.frequency_vector()):
-        raise AssertionError("columnar and dict builders disagree")
+        raise FloorFailure("columnar and dict builders disagree")
     columnar_speedup = dict_seconds / columnar_seconds if columnar_seconds > 0 else float("inf")
 
     # --- npz vs JSON artifact size ---------------------------------------
@@ -283,7 +299,7 @@ def measure_catalog(quick: bool) -> dict[str, object]:
         )
         process_seconds = time.perf_counter() - started
         if not np.array_equal(serial_vector, process_vector):
-            raise AssertionError("process and serial builds disagree")
+            raise FloorFailure("process and serial builds disagree")
         process_speedup = (
             serial_seconds / process_seconds if process_seconds > 0 else float("inf")
         )
@@ -457,6 +473,112 @@ def measure_serving(quick: bool) -> dict[str, object]:
     }
 
 
+def measure_delta(quick: bool) -> dict[str, object]:
+    """Directly measure the incremental-update acceptance numbers.
+
+    The workload is a schema-structured ring graph (label ``i`` connects
+    layer ``i`` to layer ``i + 1``, so labels compose only along the
+    schema): a ``DELTA_EDGES``-edge delta on one label can affect at most
+    ``k`` of the ``|L|`` first-label subtrees — the ISSUE's ≤ 10% regime.
+    Both sides are measured to the same finished product (a full frequency
+    vector for the post-delta graph): *cold* runs
+    ``compute_selectivity_vector`` from scratch, *incremental* runs
+    ``update_selectivity_vector`` against the pre-delta vector.  The floor
+    is ``DELTA_SPEEDUP_FLOOR``× with byte-identical results.
+    """
+    import random
+
+    import numpy as np
+
+    from repro.graph.delta import GraphDelta, affected_first_labels
+    from repro.graph.generators import ring_labeled_graph
+    from repro.paths.enumeration import (
+        compute_selectivity_vector,
+        update_selectivity_vector,
+    )
+
+    # 40 labels, k=3: a one-label delta affects at most 3/40 = 7.5% of the
+    # first-label subtrees, comfortably inside the ≤ 10% regime, and the
+    # measured speedup (~8x) sits well clear of the 5x floor.
+    label_count = 40
+    layer_size = 200 if quick else 300
+    edges_per_label = 1500 if quick else 3000
+    max_length = 3
+    rounds = 3
+
+    graph = ring_labeled_graph(
+        label_count, layer_size, edges_per_label, seed=17, name="bench-delta-ring"
+    )
+    old_vector = compute_selectivity_vector(graph, max_length)
+
+    # A scripted delta on one mid-ring label: half removals of existing
+    # edges, half additions between the label's layers.
+    rng = random.Random(23)
+    label = sorted(graph.labels())[label_count // 2]
+    removals = rng.sample(list(graph.edges_with_label(label)), DELTA_EDGES // 2)
+    layer = [str(i) for i in range(1, label_count + 1)].index(label)
+    additions: set[tuple[int, str, int]] = set()
+    while len(additions) < DELTA_EDGES - len(removals):
+        source = layer * layer_size + rng.randrange(layer_size)
+        target = ((layer + 1) % label_count) * layer_size + rng.randrange(layer_size)
+        if not graph.has_edge(source, label, target):
+            additions.add((source, label, target))
+    delta = GraphDelta(additions=sorted(additions), removals=removals)
+    updated = graph.copy()
+    delta.apply(updated)
+
+    affected = affected_first_labels(updated, delta, max_length)
+    subtree_fraction = len(affected) / label_count
+    if subtree_fraction > DELTA_SUBTREE_FRACTION:
+        raise FloorFailure(
+            f"delta workload touches {subtree_fraction:.0%} of first-label "
+            f"subtrees (> {DELTA_SUBTREE_FRACTION:.0%}); the benchmark graph "
+            "no longer localises deltas"
+        )
+
+    cold_seconds = float("inf")
+    cold_vector = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        cold_vector = compute_selectivity_vector(updated, max_length)
+        cold_seconds = min(cold_seconds, time.perf_counter() - started)
+
+    incremental_seconds = float("inf")
+    patched = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        patched = update_selectivity_vector(updated, max_length, old_vector, delta)
+        incremental_seconds = min(
+            incremental_seconds, time.perf_counter() - started
+        )
+
+    matches = bool(np.array_equal(cold_vector, patched))
+    speedup = (
+        cold_seconds / incremental_seconds
+        if incremental_seconds > 0
+        else float("inf")
+    )
+    return {
+        "graph": {
+            "labels": label_count,
+            "layer_size": layer_size,
+            "edges": updated.edge_count,
+            "max_length": max_length,
+            "domain_size": int(old_vector.size),
+        },
+        "delta_edges": len(delta),
+        "affected_subtrees": len(affected),
+        "subtrees_total": label_count,
+        "subtree_fraction": subtree_fraction,
+        "subtree_fraction_ceiling": DELTA_SUBTREE_FRACTION,
+        "cold_rebuild_seconds": cold_seconds,
+        "incremental_seconds": incremental_seconds,
+        "incremental_speedup": speedup,
+        "incremental_speedup_floor": DELTA_SPEEDUP_FLOOR,
+        "patched_matches_cold": matches,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -477,14 +599,21 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     started = time.perf_counter()
-    suite = None if args.skip_suite else run_pytest_suite(args.quick)
-    engine = measure_engine(args.quick)
-    catalog = measure_catalog(args.quick)
-    serving = measure_serving(args.quick)
+    try:
+        suite = None if args.skip_suite else run_pytest_suite(args.quick)
+        engine = measure_engine(args.quick)
+        catalog = measure_catalog(args.quick)
+        serving = measure_serving(args.quick)
+        delta = measure_delta(args.quick)
+    except FloorFailure as exc:
+        # A broken invariant (builders disagreeing, a degenerate workload)
+        # is a floor failure, not a crash: one readable line, exit 1.
+        print(f"benchmark regression: {exc}", file=sys.stderr)
+        return 1
     total_seconds = time.perf_counter() - started
 
     document = {
-        "schema": "repro-bench/v3",
+        "schema": "repro-bench/v4",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "generated_unix": time.time(),
@@ -492,6 +621,7 @@ def main(argv: list[str] | None = None) -> int:
         "engine": engine,
         "catalog": catalog,
         "serving": serving,
+        "delta": delta,
     }
     if suite is not None:
         document["suite"] = suite
@@ -499,47 +629,12 @@ def main(argv: list[str] | None = None) -> int:
     output = Path(args.json)
     output.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
 
-    failures: list[str] = []
-    if not engine["batch_matches_loop"]:
-        failures.append("batch estimates diverge from the per-path loop")
-    if engine["batch_speedup"] < SPEEDUP_FLOOR:
-        failures.append(
-            f"batch speedup {engine['batch_speedup']:.1f}x < {SPEEDUP_FLOOR}x"
-        )
-    if not engine["warm_catalog_from_cache"]:
-        failures.append("warm build rebuilt the catalog")
-    if catalog["columnar_speedup"] < COLUMNAR_SPEEDUP_FLOOR:
-        failures.append(
-            f"columnar build speedup {catalog['columnar_speedup']:.1f}x "
-            f"< {COLUMNAR_SPEEDUP_FLOOR}x over the dict builder"
-        )
-    if catalog["artifact_npz_ratio"] > NPZ_SIZE_RATIO_CEILING:
-        failures.append(
-            f"npz artifact is {catalog['artifact_npz_ratio']:.0%} of the JSON "
-            f"size (ceiling {NPZ_SIZE_RATIO_CEILING:.0%})"
-        )
-    if (
-        catalog["process_floor_enforced"]
-        and catalog["process_speedup"] < PROCESS_SPEEDUP_FLOOR
-    ):
-        failures.append(
-            f"process build speedup {catalog['process_speedup']:.2f}x "
-            f"< {PROCESS_SPEEDUP_FLOOR}x on {catalog['cpu_count']} cores"
-        )
-    if not serving["coalesced_matches_direct"]:
-        failures.append("scheduler estimates diverge from direct estimate_batch")
-    if serving["coalesced_speedup"] < SERVING_SPEEDUP_FLOOR:
-        failures.append(
-            f"coalesced serving speedup {serving['coalesced_speedup']:.1f}x "
-            f"< {SERVING_SPEEDUP_FLOOR}x at {serving['clients']} clients"
-        )
-    if serving["single_flight_builds"] != 1:
-        failures.append(
-            f"single-flight violated: {serving['single_flight_builds']} builds "
-            f"for {serving['single_flight_clients']} concurrent first requests"
-        )
-    if suite is not None and suite["exit_code"] != 0:
-        failures.append("pytest-benchmark suite failed")
+    failures = collect_floor_failures(document)
+
+    # Failures lead the output — CI logs show the failing floor before the
+    # summary prose.
+    for failure in failures:
+        print(f"benchmark regression: {failure}", file=sys.stderr)
 
     if catalog["process_speedup"] is None:
         process_note = f"skipped ({catalog['cpu_count']} cpu)"
@@ -559,11 +654,82 @@ def main(argv: list[str] | None = None) -> int:
         f"{process_note}, serving coalesced {serving['coalesced_speedup']:.1f}x "
         f"vs naive at {serving['clients']} clients "
         f"({serving['single_flight_builds']} build under concurrent first "
-        f"access), total {total_seconds:.1f}s"
+        f"access), delta rebuild {delta['incremental_speedup']:.1f}x vs cold "
+        f"({delta['affected_subtrees']}/{delta['subtrees_total']} subtrees), "
+        f"total {total_seconds:.1f}s"
     )
-    for failure in failures:
-        print(f"benchmark regression: {failure}", file=sys.stderr)
     return 0 if not failures else 1
+
+
+def collect_floor_failures(document: dict) -> list[str]:
+    """Every floor the measured document violates, one readable line each.
+
+    Shared with ``benchmarks/check_regression.py``, which re-evaluates a
+    freshly measured document against the floors recorded in the committed
+    baseline.
+    """
+    engine = document["engine"]
+    catalog = document["catalog"]
+    serving = document["serving"]
+    delta = document["delta"]
+    suite = document.get("suite")
+
+    failures: list[str] = []
+    if not engine["batch_matches_loop"]:
+        failures.append("batch estimates diverge from the per-path loop")
+    if engine["batch_speedup"] < engine.get("batch_speedup_floor", SPEEDUP_FLOOR):
+        failures.append(
+            f"batch speedup {engine['batch_speedup']:.1f}x "
+            f"< {engine.get('batch_speedup_floor', SPEEDUP_FLOOR)}x"
+        )
+    if not engine["warm_catalog_from_cache"]:
+        failures.append("warm build rebuilt the catalog")
+    columnar_floor = catalog.get("columnar_speedup_floor", COLUMNAR_SPEEDUP_FLOOR)
+    if catalog["columnar_speedup"] < columnar_floor:
+        failures.append(
+            f"columnar build speedup {catalog['columnar_speedup']:.1f}x "
+            f"< {columnar_floor}x over the dict builder"
+        )
+    npz_ceiling = catalog.get("artifact_npz_ratio_ceiling", NPZ_SIZE_RATIO_CEILING)
+    if catalog["artifact_npz_ratio"] > npz_ceiling:
+        failures.append(
+            f"npz artifact is {catalog['artifact_npz_ratio']:.0%} of the JSON "
+            f"size (ceiling {npz_ceiling:.0%})"
+        )
+    process_floor = catalog.get("process_speedup_floor", PROCESS_SPEEDUP_FLOOR)
+    if (
+        catalog["process_floor_enforced"]
+        and catalog["process_speedup"] < process_floor
+    ):
+        failures.append(
+            f"process build speedup {catalog['process_speedup']:.2f}x "
+            f"< {process_floor}x on {catalog['cpu_count']} cores"
+        )
+    if not serving["coalesced_matches_direct"]:
+        failures.append("scheduler estimates diverge from direct estimate_batch")
+    serving_floor = serving.get("coalesced_speedup_floor", SERVING_SPEEDUP_FLOOR)
+    if serving["coalesced_speedup"] < serving_floor:
+        failures.append(
+            f"coalesced serving speedup {serving['coalesced_speedup']:.1f}x "
+            f"< {serving_floor}x at {serving['clients']} clients"
+        )
+    if serving["single_flight_builds"] != 1:
+        failures.append(
+            f"single-flight violated: {serving['single_flight_builds']} builds "
+            f"for {serving['single_flight_clients']} concurrent first requests"
+        )
+    if not delta["patched_matches_cold"]:
+        failures.append("delta-patched vector diverges from the cold rebuild")
+    delta_floor = delta.get("incremental_speedup_floor", DELTA_SPEEDUP_FLOOR)
+    if delta["incremental_speedup"] < delta_floor:
+        failures.append(
+            f"incremental delta rebuild {delta['incremental_speedup']:.1f}x "
+            f"< {delta_floor}x vs cold ({delta['affected_subtrees']}/"
+            f"{delta['subtrees_total']} subtrees touched)"
+        )
+    if suite is not None and suite["exit_code"] != 0:
+        failures.append("pytest-benchmark suite failed")
+    return failures
 
 
 if __name__ == "__main__":

@@ -48,10 +48,24 @@ def wait_for_server(client, deadline_seconds: float = 30.0) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """Entry point: readable one-line failures, never a traceback.
+
+    Floor/expectation failures print as ``smoke FAILURE: ...`` the moment
+    they happen; unexpected errors (server died, connection refused, ...)
+    are caught in :func:`_run` and reported the same way, so the CI log
+    always leads with *what* failed rather than a stack trace.
+    """
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--port", type=int, default=18734)
     args = parser.parse_args(argv)
+    try:
+        return _run(args)
+    except Exception as exc:  # noqa: BLE001 - smoke harness boundary
+        print(f"smoke FAILURE: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
+
+def _run(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.exceptions import ServingError
@@ -169,6 +183,19 @@ def main(argv: list[str] | None = None) -> int:
             except ServingError as exc:
                 check("404" in str(exc), f"wrong error for unknown graph: {exc}")
 
+            # Incremental update: push a small edge delta through /update and
+            # make sure the swapped session keeps serving.
+            update_row = client.update(
+                "moreno", add=[["smoke-u", "1", "smoke-v"], ["smoke-v", "2", "smoke-u"]]
+            )
+            check(update_row["built"] is True, f"update did not swap: {update_row}")
+            check(
+                update_row.get("additions") == 2,
+                f"update miscounted additions: {update_row}",
+            )
+            after = client.estimate("moreno", ["1", "2"])
+            check(len(after) == 2, "estimates unavailable after /update")
+
             stats = client.stats()
             scheduler = stats["scheduler"]
             registry = stats["registry"]
@@ -186,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
             )
             check(registry["builds"] >= 1, "registry recorded no builds")
             check(registry["evictions"] >= 1, "registry recorded no evictions")
+            check(registry["updates"] >= 1, "registry recorded no updates")
             check(
                 registry["sessions_resident"] >= 1, "no resident session after traffic"
             )

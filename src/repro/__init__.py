@@ -47,6 +47,7 @@ from repro.core import (
 )
 from repro.engine import ArtifactCache, EngineConfig, EstimationSession
 from repro.exceptions import ReproError
+from repro.graph.delta import GraphDelta
 from repro.serving import EstimationService, ServiceClient, SessionRegistry
 
 __version__ = "1.0.0"
@@ -61,6 +62,7 @@ __all__ = [
     "EngineConfig",
     "EstimationSession",
     "ExactOracle",
+    "GraphDelta",
     "LabelPath",
     "LabelPathHistogram",
     "LabeledDiGraph",

@@ -12,6 +12,7 @@ tables and figures can be regenerated without writing Python::
     repro estimate moreno.catalog.json "1/2/3" --ordering sum-based --buckets 32
     repro engine build moreno.tsv -k 3 --cache-dir .repro-cache --workers 4 --backend process
     repro engine estimate moreno.tsv "1/2/3" "2/2" --cache-dir .repro-cache
+    repro engine update moreno.tsv --delta churn.delta --cache-dir .repro-cache
     repro engine cache prune --cache-dir .repro-cache --max-bytes 100000000
     repro serve --graph moreno=moreno.tsv --port 8080 --cache-dir .repro-cache
     repro client estimate --graph moreno "1/2/3" "2/2" --url http://127.0.0.1:8080
@@ -118,6 +119,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _engine_common(engine_build)
 
+    engine_update = engine_commands.add_parser(
+        "update",
+        help="apply an edge delta and rebuild only the affected catalog slices",
+    )
+    _engine_common(engine_update)
+    engine_update.add_argument(
+        "--delta",
+        required=True,
+        help="delta file: one '+|- source label target' line per edge change",
+    )
+    engine_update.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="optionally write the post-delta graph back out as an edge list",
+    )
+
     engine_estimate = engine_commands.add_parser(
         "estimate", help="batch-estimate label paths through a session"
     )
@@ -210,11 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client.add_argument(
         "client_command",
-        choices=("estimate", "warm", "evict", "stats", "graphs", "healthz"),
+        choices=("estimate", "warm", "evict", "update", "stats", "graphs", "healthz"),
     )
     client.add_argument("paths", nargs="*", help="label paths for 'estimate'")
     client.add_argument("--url", default="http://127.0.0.1:8080")
     client.add_argument("--graph", default=None, help="graph name on the server")
+    client.add_argument(
+        "--delta",
+        default=None,
+        help="delta file for 'update' ('+|- source label target' lines)",
+    )
     client.add_argument(
         "--paths-file",
         default=None,
@@ -483,6 +506,30 @@ def _run_client(args: argparse.Namespace) -> int:
         evicted = client.evict(args.graph)
         print(json.dumps({"evicted": evicted}) if args.json else f"evicted: {evicted}")
         return 0
+    if command == "update":
+        from repro.graph.delta import read_delta
+
+        if not args.graph or not args.delta:
+            print("error: update requires --graph and --delta", file=sys.stderr)
+            return 2
+        delta = read_delta(args.delta)
+        document = delta.to_dict()
+        row = client.update(args.graph, add=document["add"], remove=document["remove"])
+        if args.json:
+            print(json.dumps(row, indent=2))
+        elif row.get("built"):
+            print(
+                f"updated {args.graph}: +{row.get('additions')} "
+                f"-{row.get('removals')} edges, affected subtrees "
+                f"{row.get('affected_subtrees')}/{row.get('subtrees_total')}"
+            )
+        else:
+            print(
+                f"updated {args.graph}: +{row.get('additions')} "
+                f"-{row.get('removals')} edges applied to the source graph "
+                "(session not built yet; the next build sees the delta)"
+            )
+        return 0
     if command == "stats":
         print(json.dumps(client.stats(), indent=2))
         return 0
@@ -495,9 +542,44 @@ def _run_client(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled client command {command!r}")  # pragma: no cover
 
 
+def _run_engine_update(args: argparse.Namespace) -> int:
+    from repro.graph.delta import read_delta
+    from repro.graph.io import write_edge_list
+
+    delta = read_delta(args.delta)
+    session = _build_session(args)
+    updated = session.update(delta)
+    stats = updated.stats
+    if args.output:
+        write_edge_list(updated.graph, args.output)
+    if args.json:
+        print(json.dumps(stats.as_row(), indent=2))
+    else:
+        extra = stats.extra
+        print(
+            f"delta applied: +{extra.get('delta_additions', 0)} "
+            f"-{extra.get('delta_removals', 0)} edges, "
+            f"{extra.get('delta_affected_subtrees', 0)}/"
+            f"{extra.get('delta_subtrees_total', 0)} first-label subtrees "
+            f"{'rebuilt (full rebuild)' if extra.get('delta_full_rebuild') else 'recomputed'}"
+        )
+        print(
+            f"catalog patched in {stats.catalog_seconds:.3f}s, "
+            f"histogram rebuilt in {stats.histogram_seconds:.3f}s, "
+            f"total {stats.total_seconds:.3f}s"
+        )
+        if args.cache_dir:
+            print(f"artifacts keyed {stats.catalog_key} / {stats.histogram_key}")
+        if args.output:
+            print(f"post-delta graph written to {args.output}")
+    return 0
+
+
 def _run_engine(args: argparse.Namespace) -> int:
     if args.engine_command == "cache":
         return _run_engine_cache(args)
+    if args.engine_command == "update":
+        return _run_engine_update(args)
     session = _build_session(args)
     stats = session.stats
     if args.engine_command == "build":

@@ -27,6 +27,7 @@ from repro.engine.cache import ArtifactCache
 from repro.engine.fingerprint import config_digest, graph_digest
 from repro.estimation.estimator import PathSelectivityEstimator
 from repro.exceptions import EngineError, OrderingError
+from repro.graph.delta import GraphDelta, affected_first_labels
 from repro.graph.digraph import LabeledDiGraph
 from repro.histogram.builder import (
     LabelPathHistogram,
@@ -121,6 +122,7 @@ class SessionStats:
     backend: str = "serial"
     domain_size: int = 0
     memory_bytes: int = 0
+    updated_from_delta: bool = False
     extra: dict[str, object] = field(default_factory=dict)
 
     def as_row(self) -> dict[str, object]:
@@ -140,6 +142,8 @@ class SessionStats:
             "backend": self.backend,
             "domain_size": self.domain_size,
             "memory_bytes": self.memory_bytes,
+            "updated_from_delta": self.updated_from_delta,
+            **self.extra,
         }
 
 
@@ -159,6 +163,8 @@ class EstimationSession:
         position_of: Mapping[str, int],
         config: EngineConfig,
         stats: Optional[SessionStats] = None,
+        graph: Optional[LabeledDiGraph] = None,
+        cache: Optional[ArtifactCache] = None,
     ) -> None:
         self._catalog = catalog
         self._histogram = histogram
@@ -166,6 +172,11 @@ class EstimationSession:
         self._config = config
         self._stats = stats if stats is not None else SessionStats()
         self._estimator = PathSelectivityEstimator(histogram)
+        # The source graph and artifact cache are retained (not copied) so
+        # :meth:`update` can apply deltas and patch artifacts; sessions
+        # constructed without them simply cannot be updated in place.
+        self._graph = graph
+        self._cache = cache
 
     # ------------------------------------------------------------------
     # construction
@@ -206,13 +217,7 @@ class EstimationSession:
             frequency vector is backed; estimates are unaffected.
         """
         config = config if config is not None else EngineConfig()
-        cache: Optional[ArtifactCache]
-        if cache_dir is None:
-            cache = None
-        elif isinstance(cache_dir, ArtifactCache):
-            cache = cache_dir
-        else:
-            cache = ArtifactCache(cache_dir)
+        cache = cls._resolve_cache(cache_dir)
 
         # Resolve the backend and worker count through the builder's own
         # rules, so the stats record what a cold build actually uses.
@@ -224,11 +229,9 @@ class EstimationSession:
 
         digest = graph_digest(graph)
         stats.graph_digest = digest
-        catalog_key = f"{digest[:24]}-{config_digest(config.catalog_fields())}"
-        legacy_catalog_key = (
-            f"{digest[:24]}-{config_digest(config.legacy_catalog_fields())}"
+        catalog_key, legacy_catalog_key, histogram_key = cls._artifact_keys(
+            digest, config
         )
-        histogram_key = f"{digest[:24]}-{config_digest(config.histogram_fields())}"
         stats.catalog_key = catalog_key
         stats.histogram_key = histogram_key
 
@@ -257,6 +260,53 @@ class EstimationSession:
                 cache.store_catalog(catalog_key, catalog)
         stats.catalog_seconds = time.perf_counter() - start
 
+        return cls._assemble(
+            graph=graph,
+            catalog=catalog,
+            config=config,
+            cache=cache,
+            stats=stats,
+            histogram_key=histogram_key,
+            build_start=build_start,
+        )
+
+    @staticmethod
+    def _resolve_cache(
+        cache_dir: Optional[Union[str, "ArtifactCache"]],
+    ) -> Optional[ArtifactCache]:
+        if cache_dir is None or isinstance(cache_dir, ArtifactCache):
+            return cache_dir
+        return ArtifactCache(cache_dir)
+
+    @staticmethod
+    def _artifact_keys(digest: str, config: EngineConfig) -> tuple[str, str, str]:
+        """The (catalog, legacy catalog, histogram) cache keys for one build."""
+        prefix = digest[:24]
+        return (
+            f"{prefix}-{config_digest(config.catalog_fields())}",
+            f"{prefix}-{config_digest(config.legacy_catalog_fields())}",
+            f"{prefix}-{config_digest(config.histogram_fields())}",
+        )
+
+    @classmethod
+    def _assemble(
+        cls,
+        *,
+        graph: LabeledDiGraph,
+        catalog: SelectivityCatalog,
+        config: EngineConfig,
+        cache: Optional[ArtifactCache],
+        stats: SessionStats,
+        histogram_key: str,
+        build_start: float,
+    ) -> "EstimationSession":
+        """Stages 2-4 of a build: ordering, position table, histogram, session.
+
+        Shared by :meth:`build` (after loading or constructing the catalog)
+        and :meth:`update` (after patching it): everything derived from the
+        catalog is resolved against the cache under ``histogram_key`` and
+        rebuilt on a miss.
+        """
         # 2. Ordering (from the cached histogram when possible).  The load is
         #    timed into histogram_seconds below so the warm path's artifact
         #    parse cost is not attributed to no stage.
@@ -331,9 +381,128 @@ class EstimationSession:
             position_of=position_of,
             config=config,
             stats=stats,
+            graph=graph,
+            cache=cache,
         )
         stats.memory_bytes = session.memory_bytes()
         return session
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        delta: GraphDelta,
+        *,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        graph: Optional[LabeledDiGraph] = None,
+    ) -> "EstimationSession":
+        """A new session reflecting ``delta``, rebuilt incrementally.
+
+        The delta is applied to the session's retained graph **in place**
+        (the graph object is shared, not copied — copying a large graph
+        would defeat the point of an incremental update), the graph is
+        re-fingerprinted, and the catalog is patched through
+        :meth:`SelectivityCatalog.apply_delta` — only the affected
+        first-label subtree slices are re-evaluated.  The patched catalog is
+        written to the artifact cache under its new content-addressed key,
+        and the derived histogram and position table are invalidated: they
+        are rebuilt from the patched catalog (the ordering may rank paths
+        differently under the new frequencies) and cached under the new
+        histogram key.
+
+        The existing session is untouched and keeps answering estimates
+        against the pre-delta catalog — callers (the serving registry) swap
+        to the returned session when ready, so in-flight work drains against
+        a consistent snapshot.  Because the patched catalog is only correct
+        relative to the graph this session's catalog was built from, the
+        retained graph is re-fingerprinted *before* the delta applies:
+        updating a superseded session (one whose graph was already mutated
+        by a later update) raises :class:`EngineError` instead of silently
+        poisoning the artifact cache — chain updates through the session
+        each ``update`` returns.
+
+        ``graph``, when given, is used instead of the retained graph and
+        must be content-identical to it (same digest).  Callers whose graph
+        object is shared with parties that must not observe the mutation
+        (the serving registry, when two names share one session) pass a
+        ``copy()`` here.
+        """
+        if self._graph is None and graph is None:
+            raise EngineError(
+                "this session retains no graph reference; build it with "
+                "EstimationSession.build(graph, ...) to enable update()"
+            )
+        graph = graph if graph is not None else self._graph
+        config = self._config
+        expected_digest = self._stats.graph_digest
+        if expected_digest and graph_digest(graph) != expected_digest:
+            raise EngineError(
+                "stale session: its graph no longer matches the catalog "
+                "(it was mutated after this session was built — apply "
+                "deltas to the session returned by the previous update)"
+            )
+        effective_backend, effective_workers = resolve_backend(
+            backend, workers, graph.label_count or 1
+        )
+        stats = SessionStats(
+            workers=effective_workers,
+            backend=effective_backend,
+            updated_from_delta=True,
+        )
+        build_start = time.perf_counter()
+
+        delta_added, delta_removed = delta.apply(graph)
+        digest = graph_digest(graph)
+        stats.graph_digest = digest
+        catalog_key, _, histogram_key = self._artifact_keys(digest, config)
+        stats.catalog_key = catalog_key
+        stats.histogram_key = histogram_key
+
+        old_labels = self._catalog.labels
+        full_rebuild = self._catalog.delta_requires_full_rebuild(graph)
+        affected = (
+            old_labels
+            if full_rebuild
+            else affected_first_labels(
+                graph, delta, config.max_length, labels=old_labels
+            )
+        )
+        stats.extra.update(
+            {
+                "delta_additions": delta_added,
+                "delta_removals": delta_removed,
+                "delta_affected_subtrees": len(affected),
+                "delta_subtrees_total": len(old_labels),
+                "delta_full_rebuild": full_rebuild,
+            }
+        )
+
+        # 1'. Catalog: patch only the affected subtree slices, then persist
+        #     the result under the new graph digest ("patching" the cached
+        #     artifact — the old key keeps serving the pre-delta graph).
+        start = time.perf_counter()
+        catalog = self._catalog.apply_delta(
+            graph,
+            delta,
+            workers=effective_workers,
+            backend=effective_backend,
+            affected=None if full_rebuild else affected,
+        )
+        if self._cache is not None:
+            self._cache.store_catalog(catalog_key, catalog)
+        stats.catalog_seconds = time.perf_counter() - start
+
+        return self._assemble(
+            graph=graph,
+            catalog=catalog,
+            config=config,
+            cache=self._cache,
+            stats=stats,
+            histogram_key=histogram_key,
+            build_start=build_start,
+        )
 
     # ------------------------------------------------------------------
     # accessors
@@ -342,6 +511,16 @@ class EstimationSession:
     def catalog(self) -> SelectivityCatalog:
         """The selectivity catalog the session was built from."""
         return self._catalog
+
+    @property
+    def graph(self) -> Optional[LabeledDiGraph]:
+        """The retained source graph (``None`` when constructed without one)."""
+        return self._graph
+
+    @property
+    def cache(self) -> Optional[ArtifactCache]:
+        """The artifact cache the session builds against (may be ``None``)."""
+        return self._cache
 
     @property
     def histogram(self) -> LabelPathHistogram:

@@ -34,6 +34,7 @@ __all__ = [
     "erdos_renyi_graph",
     "forest_fire_graph",
     "barabasi_albert_graph",
+    "ring_labeled_graph",
     "zipf_labeled_graph",
     "correlated_label_graph",
 ]
@@ -231,6 +232,55 @@ def zipf_labeled_graph(
         seed=seed,
         name=name,
     )
+
+
+def ring_labeled_graph(
+    label_count: int,
+    layer_size: int,
+    edges_per_label: int,
+    *,
+    labels: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    name: str = "ring-labeled",
+) -> LabeledDiGraph:
+    """A layered ring graph where labels compose only along the schema.
+
+    Vertices form ``label_count`` layers of ``layer_size`` each; the ``i``-th
+    label of the alphabet connects layer ``i`` to layer ``(i + 1) mod
+    label_count`` with ``edges_per_label`` random edges.  Label ``x`` can
+    therefore be followed only by the next label of the ring — the shape of
+    schema-constrained data (typed edges that compose only along the schema,
+    as in RDF / property graphs), and the workload where the incremental
+    update's affected-subtree analysis shines: an edge change on one label
+    can affect at most ``k`` of the ``label_count`` first-label subtrees.
+    """
+    if label_count < 2:
+        raise GraphError("label_count must be >= 2")
+    if layer_size < 1:
+        raise GraphError("layer_size must be >= 1")
+    if edges_per_label < 0:
+        raise GraphError("edges_per_label must be >= 0")
+    rng = random.Random(seed)
+    label_alphabet = list(labels) if labels is not None else default_labels(label_count)
+    if len(label_alphabet) != label_count:
+        raise GraphError(
+            f"expected {label_count} labels, got {len(label_alphabet)}"
+        )
+    graph = LabeledDiGraph(name=name)
+    graph.add_vertices_from(range(label_count * layer_size))
+    max_pairs = layer_size * layer_size
+    for layer, label in enumerate(label_alphabet):
+        source_base = layer * layer_size
+        target_base = ((layer + 1) % label_count) * layer_size
+        pairs: set[tuple[int, int]] = set()
+        target_count = min(edges_per_label, max_pairs)
+        while len(pairs) < target_count:
+            pairs.add((rng.randrange(layer_size), rng.randrange(layer_size)))
+        graph.add_edges_from(
+            (source_base + source, label, target_base + target)
+            for source, target in sorted(pairs)
+        )
+    return graph
 
 
 def correlated_label_graph(

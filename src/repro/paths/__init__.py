@@ -7,6 +7,7 @@ from repro.paths.enumeration import (
     compute_selectivity_vector,
     domain_size,
     enumerate_label_paths,
+    update_selectivity_vector,
 )
 from repro.paths.evaluation import (
     BFSPathEvaluator,
@@ -52,4 +53,5 @@ __all__ = [
     "path_selectivity",
     "path_to_domain_index",
     "paths_to_domain_indices",
+    "update_selectivity_vector",
 ]

@@ -31,11 +31,13 @@ from typing import Callable, Iterator, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.exceptions import PathError, UnknownLabelError
+from repro.graph.delta import GraphDelta
 from repro.graph.digraph import LabeledDiGraph
 from repro.paths.enumeration import (
     compute_selectivity_vector,
     domain_size,
     enumerate_label_paths,
+    update_selectivity_vector,
 )
 from repro.paths.index import (
     domain_index_to_path,
@@ -181,6 +183,73 @@ class SelectivityCatalog:
         )
         return cls.from_frequencies(
             alphabet, max_length, vector, graph_name=graph.name or "unnamed", copy=False
+        )
+
+    def delta_requires_full_rebuild(self, graph: LabeledDiGraph) -> bool:
+        """Whether :meth:`apply_delta` must fall back to a full cold rebuild.
+
+        True when the post-delta ``graph``'s label alphabet no longer
+        matches this catalog's (the canonical index space itself moved) or
+        the catalog is sparse (the explicit-path mask cannot be patched).
+        The engine consults the same predicate for its stats, so what is
+        reported always matches what ran.
+        """
+        return tuple(sorted(graph.labels())) != self._labels or not self.is_dense
+
+    def apply_delta(
+        self,
+        graph: LabeledDiGraph,
+        delta: GraphDelta,
+        *,
+        progress: Optional[Callable[[int], None]] = None,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        affected: Optional[Sequence[str]] = None,
+    ) -> "SelectivityCatalog":
+        """A new catalog reflecting ``delta``, rebuilt incrementally.
+
+        ``graph`` must be the **post-delta** graph (apply the delta with
+        :meth:`GraphDelta.apply` first); ``delta`` is used only to decide
+        which first-label subtrees to re-evaluate.  The catalog itself is
+        immutable — a new instance is returned, byte-identical to
+        :meth:`from_graph` on the post-delta graph.
+
+        The incremental path (only affected subtree slices recomputed, via
+        :func:`~repro.paths.enumeration.update_selectivity_vector`) requires
+        a dense catalog over an unchanged label alphabet.  When the delta
+        moves the alphabet (a label appeared or lost its last edge — the
+        canonical index space itself changes) or the catalog is sparse
+        (pruned mappings carry an explicit-path mask a patch cannot
+        maintain), this falls back to a full cold rebuild.  ``affected``
+        optionally forwards a precomputed
+        :func:`~repro.graph.delta.affected_first_labels` result (see
+        :func:`~repro.paths.enumeration.update_selectivity_vector`).
+        """
+        if self.delta_requires_full_rebuild(graph):
+            return SelectivityCatalog.from_graph(
+                graph,
+                self._max_length,
+                progress=progress,
+                workers=workers,
+                backend=backend,
+            )
+        vector = update_selectivity_vector(
+            graph,
+            self._max_length,
+            self._frequencies,
+            delta,
+            labels=self._labels,
+            progress=progress,
+            workers=workers,
+            backend=backend,
+            affected=affected,
+        )
+        return SelectivityCatalog.from_frequencies(
+            self._labels,
+            self._max_length,
+            vector,
+            graph_name=graph.name or self._graph_name,
+            copy=False,
         )
 
     @classmethod

@@ -34,6 +34,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.exceptions import PathError
+from repro.graph.delta import GraphDelta, affected_first_labels
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.matrices import LabelMatrixStore
 from repro.paths.index import domain_block_starts
@@ -45,6 +46,7 @@ __all__ = [
     "compute_selectivities",
     "compute_selectivities_parallel",
     "compute_selectivity_vector",
+    "update_selectivity_vector",
     "resolve_backend",
     "CATALOG_BACKENDS",
 ]
@@ -481,20 +483,52 @@ def compute_selectivity_vector(
     backend, worker_count = resolve_backend(backend, workers, len(alphabet) or 1)
     if not alphabet:
         raise PathError("the graph has no edge labels to enumerate")
-    base = len(alphabet)
     matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
     matrices = {label: matrix_store.matrix(label) for label in alphabet}
-    starts = domain_block_starts(base, max_length)
+    starts = domain_block_starts(len(alphabet), max_length)
     vector = np.zeros(int(starts[-1]), dtype=np.int64)
+    _build_subtrees_into(
+        vector,
+        matrices,
+        alphabet,
+        alphabet,
+        max_length,
+        starts,
+        backend,
+        worker_count,
+        progress,
+    )
+    return vector
+
+
+def _build_subtrees_into(
+    vector: np.ndarray,
+    matrices: Mapping[str, sparse.csr_matrix],
+    alphabet: Sequence[str],
+    roots: Sequence[str],
+    max_length: int,
+    starts: np.ndarray,
+    backend: str,
+    worker_count: int,
+    progress: Optional[Callable[[int], None]],
+) -> None:
+    """Evaluate the subtrees rooted at ``roots`` and slice-assign into ``vector``.
+
+    Shared core of :func:`compute_selectivity_vector` (``roots = alphabet``)
+    and :func:`update_selectivity_vector` (``roots`` = the affected first
+    labels); extensions always range over the full ``alphabet``.
+    """
+    base = len(alphabet)
+    digit_of = {label: digit for digit, label in enumerate(alphabet)}
 
     if backend == "serial":
         aggregator = _ProgressAggregator(progress)
-        for digit, label in enumerate(alphabet):
+        for label in roots:
             levels = _subtree_levels(
                 matrices, alphabet, label, max_length, progress=aggregator.adapter()
             )
-            _merge_subtree(vector, starts, base, digit, levels)
-        return vector
+            _merge_subtree(vector, starts, base, digit_of[label], levels)
+        return
 
     if backend == "thread":
         aggregator = _ProgressAggregator(progress)
@@ -508,22 +542,95 @@ def compute_selectivity_vector(
                     max_length,
                     progress=aggregator.adapter(),
                 )
-                for label in alphabet
+                for label in roots
             ]
-            for digit, future in enumerate(futures):
-                _merge_subtree(vector, starts, base, digit, future.result())
-        return vector
+            for label, future in zip(roots, futures):
+                _merge_subtree(vector, starts, base, digit_of[label], future.result())
+        return
 
     # process backend
     aggregator = _ProgressAggregator(progress)
-    digit_of = {label: digit for digit, label in enumerate(alphabet)}
     subtree_size = 1 + _subtree_tail_size(base, max_length - 1)
     with ProcessPoolExecutor(
         max_workers=worker_count,
         initializer=_init_process_worker,
-        initargs=(matrices, alphabet, max_length),
+        initargs=(matrices, tuple(alphabet), max_length),
     ) as pool:
-        for label, levels in pool.map(_process_subtree, alphabet):
+        for label, levels in pool.map(_process_subtree, roots):
             _merge_subtree(vector, starts, base, digit_of[label], levels)
             aggregator.bump(subtree_size)
+
+
+def update_selectivity_vector(
+    graph: LabeledDiGraph,
+    max_length: int,
+    old_vector: np.ndarray,
+    delta: GraphDelta,
+    *,
+    labels: Optional[Sequence[str]] = None,
+    store: Optional[LabelMatrixStore] = None,
+    progress: Optional[Callable[[int], None]] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    affected: Optional[Sequence[str]] = None,
+) -> np.ndarray:
+    """Patch a frequency vector after ``delta`` without a full cold rebuild.
+
+    ``graph`` must be the **post-delta** graph and ``old_vector`` the output
+    of :func:`compute_selectivity_vector` for the pre-delta graph over the
+    same ``labels`` alphabet and ``max_length``.  Only the first-label
+    subtree slices that :func:`~repro.graph.delta.affected_first_labels`
+    flags are re-evaluated (exactly, on the new graph, through the same
+    serial/thread/process backends as a cold build); every other slice is
+    copied from ``old_vector``.  The result is byte-identical to a cold
+    :func:`compute_selectivity_vector` on the post-delta graph.
+
+    The caller is responsible for keeping the domain stable: when the delta
+    changes the label *alphabet* (a new label appears, or ``labels`` no
+    longer matches the graph), the canonical index space itself moves and
+    the right answer is a cold rebuild —
+    :meth:`~repro.paths.catalog.SelectivityCatalog.apply_delta` handles that
+    fallback.  A delta label outside ``labels`` raises
+    :class:`~repro.exceptions.GraphError`.
+
+    Parameters are as in :func:`compute_selectivity_vector`; ``workers`` is
+    additionally capped at the number of *affected* subtrees.  ``progress``
+    reports processed paths of the recomputed subtrees only.  ``affected``,
+    when given, is a precomputed :func:`affected_first_labels` result for
+    this exact (graph, delta, alphabet) — callers that already ran the
+    analysis (the engine does, for its stats) pass it through so it is not
+    recomputed; soundness is theirs to guarantee.
+    """
+    if max_length < 1:
+        raise PathError("max_length must be >= 1")
+    alphabet = tuple(sorted(labels) if labels is not None else graph.labels())
+    if not alphabet:
+        raise PathError("the graph has no edge labels to enumerate")
+    expected = domain_size(len(alphabet), max_length)
+    old_vector = np.asarray(old_vector)
+    if old_vector.shape != (expected,):
+        raise PathError(
+            f"old vector has shape {old_vector.shape}, expected ({expected},) "
+            f"for |L|={len(alphabet)}, k={max_length}"
+        )
+    if affected is None:
+        affected = affected_first_labels(graph, delta, max_length, labels=alphabet)
+    vector = np.array(old_vector, dtype=np.int64)
+    if not affected:
+        return vector
+    backend, worker_count = resolve_backend(backend, workers, len(affected))
+    matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
+    matrices = {label: matrix_store.matrix(label) for label in alphabet}
+    starts = domain_block_starts(len(alphabet), max_length)
+    _build_subtrees_into(
+        vector,
+        matrices,
+        alphabet,
+        affected,
+        max_length,
+        starts,
+        backend,
+        worker_count,
+        progress,
+    )
     return vector

@@ -82,5 +82,22 @@ class ServiceClient:
         """Drop ``graph``'s built session; returns whether one was resident."""
         return bool(self._request("/evict", {"graph": graph})["evicted"])
 
+    def update(
+        self,
+        graph: str,
+        *,
+        add: Sequence[Sequence[object]] = (),
+        remove: Sequence[Sequence[object]] = (),
+    ) -> dict:
+        """Apply an edge delta to ``graph`` (incremental catalog rebuild).
+
+        ``add`` / ``remove`` are ``(source, label, target)`` triples; returns
+        the server's update row (affected subtree counts, new digest, ...).
+        """
+        return self._request(
+            "/update",
+            {"graph": graph, "add": [list(t) for t in add], "remove": [list(t) for t in remove]},
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"<ServiceClient {self._base_url!r}>"

@@ -15,8 +15,10 @@ Routes
 ``POST /estimate``  ``{"graph": g, "paths": [...]}`` (or ``"path": "1/2"``)
 ``POST /warm``      ``{"graph": g}`` — build now, return build stats
 ``POST /evict``     ``{"graph": g}`` — drop the built session from memory
+``POST /update``    ``{"graph": g, "add": [[s,l,t],...], "remove": [...]}`` —
+                    apply an edge delta and swap the session incrementally
 
-Error mapping: unknown graph → 404, bad request/path → 400, queue full
+Error mapping: unknown graph → 404, bad request/path/delta → 400, queue full
 (backpressure) → 503, batch timeout → 504.
 """
 
@@ -34,6 +36,7 @@ from repro.exceptions import (
     ServingError,
     UnknownGraphError,
 )
+from repro.graph.delta import GraphDelta
 from repro.serving.registry import SessionRegistry
 from repro.serving.scheduler import EstimateScheduler, ServiceStats
 
@@ -146,6 +149,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._handle_warm(document)
         elif self.path == "/evict":
             self._handle_evict(document)
+        elif self.path == "/update":
+            self._handle_update(document)
         else:
             self._send_error_json(404, f"no such route: {self.path}")
 
@@ -206,6 +211,28 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(400, str(exc))
             return
         self._send_json(200, {"graph": graph, "stats": session.stats.as_row()})
+
+    def _handle_update(self, document: dict[str, object]) -> None:
+        graph = self._graph_name(document)
+        if graph is None:
+            return
+        try:
+            delta = GraphDelta.from_dict(document)
+        except ReproError as exc:
+            self._send_error_json(400, f"invalid delta: {exc}")
+            return
+        if not delta:
+            self._send_error_json(400, 'delta needs "add" and/or "remove" triples')
+            return
+        try:
+            row = self.server.registry.update_graph(graph, delta)
+        except UnknownGraphError as exc:
+            self._send_error_json(404, str(exc))
+            return
+        except ReproError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(200, row)
 
     def _handle_evict(self, document: dict[str, object]) -> None:
         graph = self._graph_name(document)

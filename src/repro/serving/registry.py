@@ -31,6 +31,7 @@ from repro.engine.cache import ArtifactCache
 from repro.engine.fingerprint import config_digest, graph_digest
 from repro.engine.session import EngineConfig, EstimationSession
 from repro.exceptions import ServingError, UnknownGraphError
+from repro.graph.delta import GraphDelta
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.io import read_edge_list
 
@@ -46,6 +47,8 @@ class RegistryStats:
     hits: int = 0
     single_flight_waits: int = 0
     evictions: int = 0
+    updates: int = 0
+    update_seconds_total: float = 0.0
 
     def as_row(self) -> dict[str, object]:
         """Flat dict for JSON emission (merged into the service stats)."""
@@ -55,6 +58,8 @@ class RegistryStats:
             "hits": self.hits,
             "single_flight_waits": self.single_flight_waits,
             "evictions": self.evictions,
+            "updates": self.updates,
+            "update_seconds_total": self.update_seconds_total,
         }
 
 
@@ -227,13 +232,15 @@ class SessionRegistry:
             self.stats.hits += 1
             return session
 
+    @staticmethod
+    def _session_key(digest: str, config: EngineConfig) -> str:
+        """The LRU key of a session: graph digest prefix + config hash."""
+        return f"{digest[:24]}-{config_digest(config.histogram_fields())}"
+
     def _build(self, source: _Source) -> EstimationSession:
         """Build (or warm-load) the session for ``source``; caller holds its lock."""
         graph = source.load_graph()
-        key = (
-            f"{graph_digest(graph)[:24]}-"
-            f"{config_digest(source.config.histogram_fields())}"
-        )
+        key = self._session_key(graph_digest(graph), source.config)
         with self._gate:
             source.session_key = key
             session = self._sessions.get(key)
@@ -276,6 +283,108 @@ class SessionRegistry:
 
     def _total_bytes(self) -> int:
         return sum(session.memory_bytes() for session in self._sessions.values())
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def update_graph(self, name: str, delta: GraphDelta) -> dict[str, object]:
+        """Apply ``delta`` to ``name``'s graph and swap its session in place.
+
+        The update runs under the source's single-flight lock, so it
+        serialises with builds and other updates of the same name.  The swap
+        itself is atomic under the registry gate and happens only once the
+        new session is fully built: every concurrent :meth:`get` during the
+        (possibly long) incremental rebuild keeps returning the *old*
+        session, so in-flight estimates drain against the pre-delta catalog
+        and no request ever observes a half-updated state.
+
+        For a name without a built session the delta is applied to the
+        source graph only (loaded — and from then on pinned in memory, so a
+        file-backed source does not lose the delta on its next build) and
+        the build stays lazy.  Returns a JSON-ready row describing what
+        happened.
+        """
+        try:
+            with self._gate:
+                source = self._sources[name]
+        except KeyError:
+            raise UnknownGraphError(name, self.names()) from None
+        with source.lock:
+            with self._gate:
+                old_key = source.session_key
+                session = (
+                    self._sessions.get(old_key) if old_key is not None else None
+                )
+            started = time.perf_counter()
+            if session is None:
+                graph = source.load_graph()
+                added, removed = delta.apply(graph)
+                source.graph = graph
+                source.session_key = None
+                update_seconds = time.perf_counter() - started
+                with self._gate:
+                    self.stats.updates += 1
+                    self.stats.update_seconds_total += update_seconds
+                return {
+                    "graph": name,
+                    "built": False,
+                    "additions": added,
+                    "removals": removed,
+                    "seconds": update_seconds,
+                }
+            # If the session's retained graph object is also registered under
+            # a sibling name (or is another name's pinned graph), mutate a
+            # private copy instead: the sibling's object — possibly owned by
+            # the operator — must not change under an update it never asked
+            # for.
+            with self._gate:
+                graph_is_shared = any(
+                    other is not source and other.graph is session.graph
+                    for other in self._sources.values()
+                )
+            new_session = session.update(
+                delta,
+                workers=self._workers,
+                backend=self._backend,
+                graph=session.graph.copy() if graph_is_shared else None,
+            )
+            update_seconds = time.perf_counter() - started
+            stats = new_session.stats
+            new_key = self._session_key(stats.graph_digest, source.config)
+            with self._gate:
+                # Swap: publish the new session and retire the old entry —
+                # unless a sibling name still points at it (two names over
+                # byte-identical graphs share one session); the sibling keeps
+                # serving its consistent pre-delta snapshot until it is
+                # updated or evicted itself.  Readers that grabbed the old
+                # session keep using it either way.
+                shared = any(
+                    other is not source and other.session_key == old_key
+                    for other in self._sources.values()
+                )
+                if old_key is not None and not shared:
+                    self._sessions.pop(old_key, None)
+                source.graph = new_session.graph
+                source.session_key = new_key
+                self._sessions[new_key] = new_session
+                self._sessions.move_to_end(new_key)
+                self.stats.updates += 1
+                self.stats.update_seconds_total += update_seconds
+                self._evict_over_budget()
+            if self._prune_cache_bytes is not None and self._cache is not None:
+                self._cache.prune(self._prune_cache_bytes)
+            return {
+                "graph": name,
+                "built": True,
+                "graph_digest": stats.graph_digest,
+                "catalog_key": stats.catalog_key,
+                "additions": stats.extra.get("delta_additions"),
+                "removals": stats.extra.get("delta_removals"),
+                "affected_subtrees": stats.extra.get("delta_affected_subtrees"),
+                "subtrees_total": stats.extra.get("delta_subtrees_total"),
+                "full_rebuild": stats.extra.get("delta_full_rebuild"),
+                "seconds": update_seconds,
+            }
 
     # ------------------------------------------------------------------
     # management

@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Optional, Sequence, Union
 
 from repro.engine.session import EngineConfig, EstimationSession, SessionStats
+from repro.graph.delta import GraphDelta
 from repro.graph.digraph import LabeledDiGraph
 from repro.paths.label_path import LabelPath
 from repro.serving.registry import SessionRegistry
@@ -113,6 +114,19 @@ class EstimationService:
     async def evict(self, graph: str) -> bool:
         """Drop a built session from memory; cheap, so it runs inline."""
         return self._registry.evict(graph)
+
+    async def update(self, graph: str, delta: GraphDelta) -> dict[str, object]:
+        """Apply an edge delta off-loop; returns the registry's update row.
+
+        Like :meth:`warm`, the (sub-second to seconds) incremental rebuild
+        runs in the default executor so it never stalls the event loop or
+        the scheduler thread; concurrent estimates keep draining against the
+        pre-delta session until the swap.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._registry.update_graph, graph, delta
+        )
 
     # ------------------------------------------------------------------
     # observability / lifecycle

@@ -1,0 +1,223 @@
+"""Tests for :mod:`repro.graph.delta` — deltas and the affected-label analysis."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import GraphError, GraphIOError
+from repro.graph.delta import (
+    GraphDelta,
+    affected_first_labels,
+    read_delta,
+    write_delta,
+)
+from repro.graph.digraph import Edge, LabeledDiGraph
+from repro.graph.generators import ring_labeled_graph
+
+
+def chain_graph() -> LabeledDiGraph:
+    """a: 0->1, b: 1->2, c: 2->3 — labels compose only along the chain."""
+    return LabeledDiGraph(
+        [(0, "a", 1), (1, "b", 2), (2, "c", 3)], name="chain"
+    )
+
+
+class TestGraphDelta:
+    def test_normalises_and_dedupes(self):
+        delta = GraphDelta(
+            additions=[(0, "a", 1), (0, "a", 1), Edge(2, "b", 3)],
+            removals=[(4, "c", 5)],
+        )
+        assert delta.additions == (Edge(0, "a", 1), Edge(2, "b", 3))
+        assert delta.removals == (Edge(4, "c", 5),)
+        assert len(delta) == 3
+        assert bool(delta)
+        assert delta.labels() == frozenset({"a", "b", "c"})
+
+    def test_empty_delta_is_falsy(self):
+        assert not GraphDelta()
+        assert len(GraphDelta()) == 0
+
+    def test_rejects_bad_triples(self):
+        with pytest.raises(GraphError, match="triples"):
+            GraphDelta(additions=[(0, "a")])
+        with pytest.raises(GraphError, match="labels must be strings"):
+            GraphDelta(additions=[(0, 1, 2)])
+        # Untrusted input (HTTP bodies): non-sequences and 3-character
+        # strings must fail with GraphError, never TypeError.
+        with pytest.raises(GraphError, match="triples"):
+            GraphDelta(additions=[42])
+        with pytest.raises(GraphError, match="triples"):
+            GraphDelta(additions=["abc"])
+        with pytest.raises(GraphError, match="unhashable"):
+            GraphDelta(additions=[[["nested"], "a", "v"]])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(GraphError, match="adds and removes the same edge"):
+            GraphDelta(additions=[(0, "a", 1)], removals=[(0, "a", 1)])
+
+    def test_apply_and_reverse_round_trip(self):
+        graph = chain_graph()
+        before = graph.copy()
+        delta = GraphDelta(additions=[(3, "a", 0)], removals=[(1, "b", 2)])
+        added, removed = delta.apply(graph)
+        assert (added, removed) == (1, 1)
+        assert graph.has_edge(3, "a", 0)
+        assert not graph.has_edge(1, "b", 2)
+        delta.reversed().apply(graph)
+        assert graph == before
+
+    def test_apply_is_idempotent_by_default(self):
+        graph = chain_graph()
+        delta = GraphDelta(additions=[(0, "a", 1)], removals=[(9, "z", 9)])
+        assert delta.apply(graph) == (0, 0)
+
+    def test_strict_apply_raises_on_noops(self):
+        delta = GraphDelta(additions=[(0, "a", 1)])
+        with pytest.raises(GraphError, match="existing edge"):
+            delta.apply(chain_graph(), strict=True)
+        delta = GraphDelta(removals=[(9, "z", 9)])
+        with pytest.raises(GraphError, match="missing edge"):
+            delta.apply(chain_graph(), strict=True)
+
+    def test_dict_round_trip(self):
+        delta = GraphDelta(additions=[("u", "a", "v")], removals=[("v", "b", "w")])
+        rebuilt = GraphDelta.from_dict(delta.to_dict())
+        assert rebuilt == delta
+        assert hash(rebuilt) == hash(delta)
+
+    def test_from_dict_rejects_non_lists(self):
+        with pytest.raises(GraphError, match="must be a list"):
+            GraphDelta.from_dict({"add": "nope"})
+
+    def test_equality(self):
+        left = GraphDelta(additions=[(0, "a", 1)])
+        right = GraphDelta(additions=[Edge(0, "a", 1)])
+        assert left == right
+        assert left != GraphDelta(removals=[(0, "a", 1)])
+        assert left.__eq__(42) is NotImplemented
+
+
+class TestDeltaFiles:
+    def test_round_trip(self, tmp_path):
+        delta = GraphDelta(
+            additions=[("0", "a", "1"), ("1", "b", "2")],
+            removals=[("2", "c", "3")],
+        )
+        path = tmp_path / "churn.delta"
+        write_delta(delta, path)
+        assert read_delta(path) == delta
+
+    def test_reads_comments_and_blanks(self):
+        text = "# a comment\n\n+ 0 a 1\n- 1 b 2\n"
+        delta = read_delta(io.StringIO(text))
+        assert delta.additions == (Edge("0", "a", "1"),)
+        assert delta.removals == (Edge("1", "b", "2"),)
+
+    def test_rejects_malformed_lines(self):
+        with pytest.raises(GraphIOError, match="line 1"):
+            read_delta(io.StringIO("0 a 1\n"))
+        with pytest.raises(GraphIOError, match="line 2"):
+            read_delta(io.StringIO("+ 0 a 1\n* 1 b 2\n"))
+
+    def test_rejects_overlapping_file(self):
+        with pytest.raises(GraphIOError, match="invalid delta file"):
+            read_delta(io.StringIO("+ 0 a 1\n- 0 a 1\n"))
+
+
+class TestAffectedFirstLabels:
+    def test_direct_change_affects_own_subtree(self):
+        graph = chain_graph()
+        delta = GraphDelta(additions=[(0, "c", 2)])
+        graph2 = graph.copy()
+        delta.apply(graph2)
+        affected = affected_first_labels(graph2, delta, 1)
+        assert affected == ("c",)
+
+    def test_upstream_labels_affected_within_k(self):
+        graph = chain_graph()
+        # Change "c": with k=3 every label that reaches "c" within 2 hops is
+        # affected — "a" (a/b/c), "b" (b/c) and "c" itself.
+        delta = GraphDelta(removals=[(2, "c", 3)])
+        graph2 = graph.copy()
+        delta.apply(graph2)
+        # The removed edge was "c"'s last, so the alphabet must be pinned
+        # (as the catalog pins it); the removed edge's source must still
+        # count for old-graph composability.
+        alphabet = ("a", "b", "c")
+        assert affected_first_labels(graph2, delta, 3, labels=alphabet) == (
+            "a",
+            "b",
+            "c",
+        )
+        # With k=2 only "b" and "c" can reach the change.
+        assert affected_first_labels(graph2, delta, 2, labels=alphabet) == ("b", "c")
+
+    def test_downstream_labels_unaffected(self):
+        graph = chain_graph()
+        delta = GraphDelta(additions=[(0, "a", 2)])
+        graph2 = graph.copy()
+        delta.apply(graph2)
+        # No path starting with "b" or "c" can contain "a" (nothing composes
+        # into "a"), so only the "a" subtree is affected at any k.
+        assert affected_first_labels(graph2, delta, 4) == ("a",)
+
+    def test_ring_graph_footprint_is_k_subtrees(self):
+        graph = ring_labeled_graph(10, 20, 60, seed=3)
+        label = "5"
+        edge = next(iter(graph.edges_with_label(label)))
+        delta = GraphDelta(removals=[tuple(edge)])
+        graph2 = graph.copy()
+        delta.apply(graph2)
+        affected = affected_first_labels(graph2, delta, 3)
+        # On the ring only the k labels ending at the changed one compose
+        # into it: "3" -> "4" -> "5".
+        assert affected == ("3", "4", "5")
+
+    def test_empty_delta_affects_nothing(self):
+        graph = chain_graph()
+        assert affected_first_labels(graph, GraphDelta(), 3) == ()
+
+    def test_unknown_label_present_in_graph_raises(self):
+        graph = chain_graph()
+        graph.add_edge(0, "zz", 1)
+        delta = GraphDelta(additions=[(0, "zz", 1)])
+        with pytest.raises(GraphError, match="outside the alphabet"):
+            affected_first_labels(graph, delta, 3, labels=("a", "b", "c"))
+
+    def test_noop_removal_of_absent_label_is_ignored(self):
+        # A removal referencing a label that neither the alphabet nor the
+        # graph knows is a no-op: it must not raise (the engine applies the
+        # delta before the analysis runs, so raising here would leave a
+        # half-mutated graph behind).
+        graph = chain_graph()
+        assert (
+            affected_first_labels(
+                graph, GraphDelta(removals=[(0, "zz", 1)]), 3, labels=("a", "b", "c")
+            )
+            == ()
+        )
+        # Mixed with a real change, the no-op is dropped and the real change
+        # analysed as usual: the new a-edge 3->0 makes "a" composable after
+        # "c" (and so after "b" within k-1 hops).
+        delta = GraphDelta(removals=[(0, "zz", 1)], additions=[(3, "a", 0)])
+        graph2 = graph.copy()
+        delta.apply(graph2)
+        affected = affected_first_labels(graph2, delta, 3, labels=("a", "b", "c"))
+        assert affected == ("a", "b", "c")
+
+    def test_explicit_alphabet_with_emptied_label(self):
+        # Removing a label's last edge keeps the subtree computable when the
+        # caller pins the alphabet (the catalog's contract).
+        graph = chain_graph()
+        delta = GraphDelta(removals=[(1, "b", 2)])
+        graph2 = graph.copy()
+        delta.apply(graph2)
+        affected = affected_first_labels(graph2, delta, 2, labels=("a", "b", "c"))
+        assert "b" in affected and "a" in affected
+
+    def test_invalid_max_length(self):
+        with pytest.raises(GraphError, match="max_length"):
+            affected_first_labels(chain_graph(), GraphDelta(), 0)

@@ -11,6 +11,7 @@ from repro.graph.generators import (
     default_labels,
     erdos_renyi_graph,
     forest_fire_graph,
+    ring_labeled_graph,
     zipf_labeled_graph,
 )
 from repro.graph.statistics import gini_coefficient
@@ -122,3 +123,35 @@ class TestLabelDistributions:
         first = correlated_label_graph(50, 200, 5, seed=11)
         second = correlated_label_graph(50, 200, 5, seed=11)
         assert first == second
+
+
+class TestRingLabeledGraph:
+    def test_labels_connect_consecutive_layers_only(self):
+        label_count, layer_size = 5, 10
+        graph = ring_labeled_graph(label_count, layer_size, 30, seed=3)
+        assert graph.vertex_count == label_count * layer_size
+        for layer, label in enumerate(default_labels(label_count)):
+            next_layer = (layer + 1) % label_count
+            for edge in graph.edges_with_label(label):
+                assert edge.source // layer_size == layer
+                assert edge.target // layer_size == next_layer
+
+    def test_edge_counts_and_determinism(self):
+        first = ring_labeled_graph(4, 8, 20, seed=9)
+        second = ring_labeled_graph(4, 8, 20, seed=9)
+        assert first == second
+        assert all(count == 20 for count in first.label_edge_counts().values())
+
+    def test_edges_per_label_capped_at_layer_pairs(self):
+        graph = ring_labeled_graph(3, 2, 100, seed=1)
+        assert all(count == 4 for count in graph.label_edge_counts().values())
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            ring_labeled_graph(1, 10, 5)
+        with pytest.raises(GraphError):
+            ring_labeled_graph(3, 0, 5)
+        with pytest.raises(GraphError):
+            ring_labeled_graph(3, 10, -1)
+        with pytest.raises(GraphError):
+            ring_labeled_graph(3, 10, 5, labels=["a", "b"])

@@ -10,7 +10,7 @@ import urllib.request
 import numpy as np
 import pytest
 
-from repro.engine import EngineConfig
+from repro.engine import EngineConfig, EstimationSession
 from repro.exceptions import ServingError
 from repro.graph.generators import zipf_labeled_graph
 from repro.serving import ServiceClient, SessionRegistry, make_server
@@ -103,6 +103,45 @@ class TestRoundTrip:
         assert np.allclose(got, expected)
 
 
+class TestUpdateRoute:
+    def test_update_swaps_and_keeps_serving(self, server, client):
+        old_session = server.registry.get("g")
+        edge = next(iter(old_session.graph.edges()))
+        row = client.update("g", remove=[list(edge)])
+        assert row["built"] is True
+        assert row["removals"] == 1
+        assert row["graph"] == "g"
+        new_session = server.registry.get("g")
+        assert new_session is not old_session
+        cold = EstimationSession.build(new_session.graph.copy(), CONFIG)
+        paths = ["1/2", "2", "3/3"]
+        assert np.allclose(client.estimate("g", paths), cold.estimate_batch(paths))
+
+    def test_update_unbuilt_graph_stays_lazy(self, server, client):
+        row = client.update("g", add=[["extra-u", "1", "extra-v"]])
+        assert row["built"] is False
+        assert row["additions"] == 1
+        assert client.graphs()[0]["built"] is False
+
+    def test_update_unknown_graph_is_404(self, client):
+        with pytest.raises(ServingError, match="404"):
+            client.update("missing", add=[["u", "1", "v"]])
+
+    def test_update_empty_delta_is_400(self, client):
+        with pytest.raises(ServingError, match="400"):
+            client._request("/update", {"graph": "g"})
+
+    def test_update_malformed_delta_is_400(self, client):
+        with pytest.raises(ServingError, match="400"):
+            client._request("/update", {"graph": "g", "add": "not-a-list"})
+        with pytest.raises(ServingError, match="400"):
+            client._request("/update", {"graph": "g", "add": [["u", "1"]]})
+        with pytest.raises(ServingError, match="400"):
+            client._request("/update", {"graph": "g", "add": [42]})
+        with pytest.raises(ServingError, match="400"):
+            client._request("/update", {"graph": "g", "add": [[["x"], "1", "y"]]})
+
+
 class TestErrors:
     def test_unknown_graph_is_404(self, client):
         with pytest.raises(ServingError, match="404"):
@@ -138,8 +177,94 @@ class TestErrors:
         with pytest.raises(ServingError, match="400"):
             client._request("/estimate", {"graph": "g", "paths": []})
 
+    def test_non_object_body_is_400(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/estimate",
+            data=b"[1, 2, 3]",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "must be an object" in body["error"]
+
+    def test_invalid_content_length_is_400(self, server):
+        host, port = server.server_address[:2]
+        request = urllib.request.Request(
+            f"http://{host}:{port}/estimate",
+            data=b"{}",
+            headers={"Content-Type": "application/json"},
+        )
+        request.add_unredirected_header("Content-Length", "not-a-number")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert "Content-Length" in body["error"]
+
     def test_closed_scheduler_is_503(self, server, client):
         client.warm("g")
         server.scheduler.close()
         with pytest.raises(ServingError, match="503"):
             client.estimate("g", ["1/2"])
+
+    def test_backpressure_queue_full_is_503(self):
+        """A full scheduler queue maps to HTTP 503 for the overflowing client.
+
+        The worker is pinned inside a build whose loader blocks on an event;
+        requests then pile up to ``max_pending`` and the next one overflows.
+        """
+        release = threading.Event()
+        started = threading.Event()
+
+        def slow_loader():
+            started.set()
+            release.wait(timeout=30)
+            return zipf_labeled_graph(30, 100, 3, skew=1.0, seed=7, name="slow")
+
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("slow", loader=slow_loader)
+        server = make_server(
+            registry, port=0, window_seconds=0.0, max_pending=2
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        client = ServiceClient(f"http://{host}:{port}", timeout=60.0)
+        fire_results: list[object] = []
+
+        def fire():
+            try:
+                fire_results.append(client.estimate("slow", ["1"]))
+            except ServingError as exc:  # pragma: no cover - depends on timing
+                fire_results.append(exc)
+
+        try:
+            # First request: the worker picks it up and blocks in the build.
+            blocked = threading.Thread(target=fire, daemon=True)
+            blocked.start()
+            assert started.wait(timeout=30)
+            # Fill the queue to max_pending while the worker is pinned.
+            queued = [threading.Thread(target=fire, daemon=True) for _ in range(2)]
+            for t in queued:
+                t.start()
+            deadline = 30.0
+            while server.scheduler._queue.qsize() < 2 and deadline > 0:
+                threading.Event().wait(0.01)
+                deadline -= 0.01
+            assert server.scheduler._queue.qsize() == 2
+            # The next request overflows the bounded queue -> 503.
+            with pytest.raises(ServingError, match="503"):
+                client.estimate("slow", ["1"])
+            stats = server.scheduler.stats.snapshot()
+            assert stats["rejected_total"] >= 1
+        finally:
+            release.set()
+            blocked.join(timeout=30)
+            for t in queued:
+                t.join(timeout=30)
+            server.shutdown()
+            server.close()
+            thread.join(timeout=10)

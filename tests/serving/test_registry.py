@@ -171,6 +171,170 @@ class TestEviction:
         assert cache.total_bytes() == 0
 
 
+class TestUpdateGraph:
+    def test_update_swaps_session_in_place(self):
+        import numpy as np
+
+        from repro.engine import EstimationSession
+        from repro.graph.delta import GraphDelta
+
+        graph = _graph(31)
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("g", graph=graph.copy())
+        old_session = registry.get("g")
+        edge = next(iter(old_session.graph.edges()))
+        row = registry.update_graph("g", GraphDelta(removals=[tuple(edge)]))
+        assert row["built"] is True
+        assert row["removals"] == 1
+        assert row["graph_digest"] != old_session.stats.graph_digest
+        new_session = registry.get("g")
+        assert new_session is not old_session
+        cold = EstimationSession.build(new_session.graph.copy(), CONFIG)
+        assert np.array_equal(
+            new_session.catalog.frequency_vector(),
+            cold.catalog.frequency_vector(),
+        )
+        assert registry.stats.updates == 1
+        assert registry.session_count() == 1  # old entry retired
+
+    def test_old_session_usable_while_update_swaps(self):
+        from repro.graph.delta import GraphDelta
+
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("g", graph=_graph(32))
+        old_session = registry.get("g")
+        before = old_session.catalog.frequency_vector().copy()
+        edge = next(iter(old_session.graph.edges()))
+        registry.update_graph("g", GraphDelta(removals=[tuple(edge)]))
+        # References handed out before the swap keep answering against the
+        # pre-delta snapshot.
+        import numpy as np
+
+        assert np.array_equal(old_session.catalog.frequency_vector(), before)
+        assert old_session.estimate_batch(["1", "2"]).shape == (2,)
+
+    def test_update_unbuilt_name_pins_mutated_graph(self):
+        from repro.graph.delta import GraphDelta
+
+        graph = _graph(33)
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("g", graph=graph.copy())
+        edge = next(iter(graph.edges()))
+        row = registry.update_graph("g", GraphDelta(removals=[tuple(edge)]))
+        assert row["built"] is False
+        assert row["removals"] == 1
+        # Lazy build afterwards sees the post-delta graph.
+        session = registry.get("g")
+        assert registry.stats.builds == 1
+        assert (
+            session.true_selectivity(edge.label)
+            == graph.label_edge_count(edge.label) - 1
+        )
+
+    def test_update_file_backed_source_survives_rebuild(self, tmp_path):
+        from repro.graph.delta import GraphDelta
+        from repro.graph.io import write_edge_list
+
+        graph = _graph(34)
+        target = tmp_path / "graph.tsv"
+        write_edge_list(graph, target)
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("file", path=target)
+        built = registry.get("file")
+        edge = next(iter(built.graph.edges()))
+        delta = GraphDelta(removals=[(str(edge.source), edge.label, str(edge.target))])
+        registry.update_graph("file", delta)
+        updated = registry.get("file")
+        # Evict and rebuild: the pinned in-memory graph (not the stale file)
+        # must be the source, so the delta survives.
+        registry.evict("file")
+        rebuilt = registry.get("file")
+        import numpy as np
+
+        assert np.array_equal(
+            rebuilt.catalog.frequency_vector(),
+            updated.catalog.frequency_vector(),
+        )
+
+    def test_update_keeps_shared_session_for_sibling_names(self):
+        import numpy as np
+
+        from repro.graph.delta import GraphDelta
+
+        graph = _graph(36)
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("a", graph=graph)
+        registry.register("b", graph=graph)
+        shared = registry.get("a")
+        assert registry.get("b") is shared  # one session for both names
+        snapshot = shared.catalog.frequency_vector().copy()
+        edge_count = graph.edge_count
+        edge = next(iter(shared.graph.edges()))
+        registry.update_graph("a", GraphDelta(removals=[tuple(edge)]))
+        # "b" was never updated: it must keep its consistent pre-delta
+        # session, and the shared (operator-owned) graph object must not be
+        # mutated under it — the update worked on a private copy.
+        assert registry.get("b") is shared
+        assert np.array_equal(shared.catalog.frequency_vector(), snapshot)
+        assert graph.edge_count == edge_count
+        updated = registry.get("a")
+        assert updated is not shared
+        assert updated.graph.edge_count == edge_count - 1
+        assert registry.session_count() == 2
+
+    def test_update_sibling_registered_object_not_mutated(self):
+        from repro.graph.delta import GraphDelta
+
+        ga = _graph(38)
+        gb = _graph(38)  # byte-identical, distinct object
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("a", graph=ga)
+        registry.register("b", graph=gb)
+        shared = registry.get("a")  # retains ga
+        assert registry.get("b") is shared
+        edge = next(iter(shared.graph.edges()))
+        registry.update_graph("b", GraphDelta(removals=[tuple(edge)]))
+        # Neither operator-owned object changed: "b"'s update ran on a copy
+        # because the session's retained graph is "a"'s registered object.
+        assert ga.edge_count == gb.edge_count == _graph(38).edge_count
+        assert registry.get("b").graph.edge_count == ga.edge_count - 1
+
+    def test_update_noop_removal_with_unknown_label_is_clean(self):
+        from repro.graph.delta import GraphDelta
+
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("g", graph=_graph(37))
+        session = registry.get("g")
+        edge = next(iter(session.graph.edges()))
+        delta = GraphDelta(
+            additions=[(edge.source, edge.label, "brand-new-vertex")],
+            removals=[("u", "no-such-label", "v")],
+        )
+        row = registry.update_graph("g", delta)
+        assert row["built"] is True
+        assert row["removals"] == 0
+        assert registry.get("g").estimate_batch(["1", "2"]).shape == (2,)
+
+    def test_update_unknown_name_raises(self):
+        from repro.graph.delta import GraphDelta
+
+        registry = SessionRegistry(default_config=CONFIG)
+        with pytest.raises(UnknownGraphError):
+            registry.update_graph("missing", GraphDelta())
+
+    def test_update_counters_in_as_row(self):
+        from repro.graph.delta import GraphDelta
+
+        registry = SessionRegistry(default_config=CONFIG)
+        registry.register("g", graph=_graph(35))
+        session = registry.get("g")
+        edge = next(iter(session.graph.edges()))
+        registry.update_graph("g", GraphDelta(removals=[tuple(edge)]))
+        row = registry.as_row()
+        assert row["updates"] == 1
+        assert row["update_seconds_total"] > 0
+
+
 class TestStats:
     def test_as_row_merges_counters_and_state(self):
         registry = SessionRegistry(default_config=CONFIG)

@@ -81,3 +81,25 @@ def test_default_registry_and_register_passthrough():
             assert value >= 0.0
 
     asyncio.run(main())
+
+
+def test_async_update_swaps_session_off_loop():
+    from repro.graph.delta import GraphDelta
+
+    registry = _registry()
+    session = registry.get("g")
+    edge = next(iter(session.graph.edges()))
+    delta = GraphDelta(removals=[tuple(edge)])
+
+    async def main():
+        async with EstimationService(registry, window_seconds=0.0) as service:
+            row = await service.update("g", delta)
+            assert row["built"] is True
+            assert row["removals"] == 1
+            # Estimates keep flowing against the swapped session.
+            value = await service.estimate("g", "1/2")
+            assert value >= 0.0
+            return service.stats()
+
+    stats = asyncio.run(main())
+    assert stats["registry"]["updates"] == 1

@@ -138,6 +138,87 @@ class TestEngineCacheCommands:
         assert "removed" in capsys.readouterr().out
 
 
+class TestEngineUpdateCommand:
+    def _write_inputs(self, tmp_path):
+        from repro.graph.delta import GraphDelta, write_delta
+        from repro.graph.generators import ring_labeled_graph
+        from repro.graph.io import write_edge_list
+
+        graph = ring_labeled_graph(6, 15, 60, seed=3, name="cli-ring")
+        graph_path = tmp_path / "graph.tsv"
+        write_edge_list(graph, graph_path)
+        edges = list(graph.edges_with_label("3"))
+        delta = GraphDelta(
+            removals=[(str(e.source), e.label, str(e.target)) for e in edges[:5]]
+        )
+        delta_path = tmp_path / "churn.delta"
+        write_delta(delta, delta_path)
+        return graph_path, delta_path
+
+    def test_update_patches_cache_and_reports(self, tmp_path, capsys):
+        graph_path, delta_path = self._write_inputs(tmp_path)
+        cache_dir = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "engine", "build", str(graph_path),
+                    "-k", "2", "--cache-dir", str(cache_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "engine", "update", str(graph_path),
+                    "--delta", str(delta_path),
+                    "-k", "2", "--cache-dir", str(cache_dir), "--json",
+                ]
+            )
+            == 0
+        )
+        row = json.loads(capsys.readouterr().out)
+        assert row["updated_from_delta"] is True
+        assert row["delta_removals"] == 5
+        assert 0 < row["delta_affected_subtrees"] <= row["delta_subtrees_total"]
+        assert (cache_dir / f"catalog-{row['catalog_key']}.npz").exists()
+
+    def test_update_writes_post_delta_graph(self, tmp_path, capsys):
+        from repro.graph.io import read_edge_list
+
+        graph_path, delta_path = self._write_inputs(tmp_path)
+        output_path = tmp_path / "updated.tsv"
+        assert (
+            main(
+                [
+                    "engine", "update", str(graph_path),
+                    "--delta", str(delta_path),
+                    "-k", "2", "-o", str(output_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "delta applied" in output
+        updated = read_edge_list(output_path)
+        original = read_edge_list(graph_path)
+        assert updated.edge_count == original.edge_count - 5
+
+    def test_update_missing_delta_file_is_clean_error(self, tmp_path, capsys):
+        graph_path, _ = self._write_inputs(tmp_path)
+        assert (
+            main(
+                [
+                    "engine", "update", str(graph_path),
+                    "--delta", str(tmp_path / "nope.delta"), "-k", "2",
+                ]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+
 class TestServeClientParsing:
     def test_serve_requires_a_graph(self, capsys):
         assert main(["serve"]) == 2
