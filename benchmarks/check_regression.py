@@ -6,11 +6,13 @@ this script with the *committed* document as the baseline and the fresh one
 as the current run.  Two things are checked:
 
 * every floor **recorded in the baseline** (batch ≥ 10×, columnar ≥ 3×,
-  npz ≤ 25%, coalesced ≥ 5×, delta ≥ 5×, ...) still holds for the current
+  npz ≤ 25%, coalesced ≥ 5×, delta ≥ 5×, sparse build ≥ 2×, sparse
+  artifact ≤ 5%, sparse serve RSS < 1 GiB, ...) still holds for the current
   numbers — so a PR cannot silently relax a shipped floor by shrinking the
   constant in ``run_all.py``;
 * the correctness invariants (batch == loop, patched == cold, warm start
-  from cache, single-flight) still hold.
+  from cache, single-flight, byte-identical sparse histogram boundaries)
+  still hold.
 
 Raw wall-clock numbers are *not* compared across documents — the baseline
 was measured on a different machine, so only the recorded floors and the
@@ -47,6 +49,9 @@ FLOORS: tuple[tuple[str, str, str, str], ...] = (
     ("catalog", "process_speedup", "process_speedup_floor", ">="),
     ("serving", "coalesced_speedup", "coalesced_speedup_floor", ">="),
     ("delta", "incremental_speedup", "incremental_speedup_floor", ">="),
+    ("sparse", "build_speedup", "build_speedup_floor", ">="),
+    ("sparse", "artifact_ratio", "artifact_ratio_ceiling", "<="),
+    ("sparse", "serve_max_rss_bytes", "serve_rss_ceiling_bytes", "<="),
 )
 
 
@@ -116,14 +121,15 @@ def main(argv: list[str] | None = None) -> int:
     current = load_document(Path(args.current))
 
     for name, document in (("baseline", baseline), ("current", current)):
-        if "delta" not in document:
-            print(
-                f"regression check: {name} document predates the delta floor "
-                f"(schema {document.get('schema')}); regenerate it with "
-                "benchmarks/run_all.py",
-                file=sys.stderr,
-            )
-            return 2
+        for section, floor_name in (("delta", "delta"), ("sparse", "sparse-catalog")):
+            if section not in document:
+                print(
+                    f"regression check: {name} document predates the "
+                    f"{floor_name} floors (schema {document.get('schema')}); "
+                    "regenerate it with benchmarks/run_all.py",
+                    file=sys.stderr,
+                )
+                return 2
 
     failures = collect_floor_failures(merge_baseline_floors(baseline, current))
     for failure in failures:

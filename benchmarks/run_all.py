@@ -25,10 +25,14 @@ rebuilding the catalog, columnar build < 3× over the dict builder, npz
 artifact > 25% of the JSON size, (on machines with ≥ 2 cores) process
 build < 1.5× over serial, coalesced serving throughput < 5× the naive
 per-path loop at 32 concurrent clients, more than one build under
-concurrent first access to one graph, or an incremental delta rebuild
-< 5× the cold rebuild when ≤ 10% of first-label subtrees are touched.
-Floor failures are printed *first*, one readable line each, and never as
-tracebacks — CI logs lead with the failing floor.
+concurrent first access to one graph, an incremental delta rebuild
+< 5× the cold rebuild when ≤ 10% of first-label subtrees are touched,
+or any sparse-catalog floor: sparse build < 2× the dense build on the
+|L|=20, k=6 graph (67M-entry dense domain), sparse npz artifact > 5% of
+the dense npz at ≤ 1% density, sparse histogram boundaries diverging from
+the dense build, or ``repro serve`` exceeding 1 GiB peak RSS on that
+domain.  Floor failures are printed *first*, one readable line each, and
+never as tracebacks — CI logs lead with the failing floor.
 """
 
 from __future__ import annotations
@@ -48,6 +52,13 @@ REPO_ROOT = BENCH_DIR.parent
 # Allow running straight from a checkout without installing the package.
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+# The serve-RSS measurement shares its workload spec and ceiling with the
+# smoke script, so the recorded build/artifact numbers and the measured RSS
+# always describe the same graph.
+import sparse_smoke  # noqa: E402
 
 #: Workload size for the direct batch-vs-loop measurement.
 BATCH_SIZE = 10_000
@@ -79,6 +90,28 @@ SERVING_BUNDLE = 32
 DELTA_SPEEDUP_FLOOR = 5.0
 DELTA_SUBTREE_FRACTION = 0.10
 DELTA_EDGES = 100
+
+#: Acceptance floor for the sparse catalog build over the dense columnar
+#: build on the |L|=20, k=6 graph (67M-entry dense domain, ~1e-6 density).
+SPARSE_BUILD_SPEEDUP_FLOOR = 2.0
+
+#: Acceptance ceiling for the sparse npz artifact relative to the dense npz
+#: of the same catalog.  Only meaningful at low density (deflate compresses
+#: zero runs extremely well), so the workload is additionally asserted to
+#: sit at or below this nonzero density.  (Distinct from the *storage
+#: heuristic* ceiling ``repro.paths.catalog.SPARSE_DENSITY_CEILING``.)
+SPARSE_ARTIFACT_RATIO_CEILING = 0.05
+SPARSE_ARTIFACT_DENSITY_CEILING = 0.01
+
+#: Peak-RSS ceiling for serving the 67M-domain graph through ``repro
+#: serve`` — shared with benchmarks/sparse_smoke.py, which measures it in a
+#: subprocess and enforces the same bound itself.
+SPARSE_SERVE_RSS_CEILING_BYTES = sparse_smoke.RSS_CEILING_BYTES
+
+#: Inner timeout for the sparse_smoke subprocess.  Deliberately below the
+#: CI step wrappers so a wedged smoke still surfaces as a one-line floor
+#: failure from run_all rather than an opaque outer SIGTERM.
+SPARSE_SMOKE_TIMEOUT_SECONDS = 240
 
 
 class FloorFailure(AssertionError):
@@ -579,6 +612,175 @@ def measure_delta(quick: bool) -> dict[str, object]:
     }
 
 
+def measure_sparse(quick: bool) -> dict[str, object]:
+    """Directly measure the sparse-catalog acceptance numbers.
+
+    The workload is the ISSUE's dense-infeasible scenario: ``|L|=20, k=6``
+    (a 67,368,420-entry dense domain) on a 400-edge graph whose nonzero
+    path set is tiny.  Four things are measured:
+
+    * **Build** — ``storage="sparse"`` (O(nnz) collection) vs
+      ``storage="dense"`` (the columnar vector build) to a finished
+      catalog, identical nonzeros required; floor
+      ``SPARSE_BUILD_SPEEDUP_FLOOR``x.
+    * **Artifact** — the sparse npz vs the dense npz of the same catalog;
+      ceiling ``SPARSE_ARTIFACT_RATIO_CEILING`` at ≤
+      ``SPARSE_DENSITY_CEILING`` density (deflate compresses zero runs
+      well, so the ratio is only meaningful when zeros dominate).
+    * **Histograms** — every histogram kind built from the sparse nonzero
+      stream must place byte-identical bucket boundaries to the dense
+      build.  Checked on the committed |L|=10, k=6 benchmark graph
+      (1,111,110-entry domain) where the dense build is still cheap.
+    * **Serving RSS** — ``benchmarks/sparse_smoke.py`` serves the 67M
+      domain through the real ``repro serve`` CLI in a subprocess; its
+      peak RSS must stay under ``SPARSE_SERVE_RSS_CEILING_BYTES``.
+
+    ``quick`` deliberately does not shrink this workload: the floors are
+    only meaningful at the dense-infeasible scale, and the whole
+    measurement (dense build included) costs a few seconds.
+    """
+    del quick  # the ISSUE-scale workload *is* the measurement
+
+    import numpy as np
+
+    from repro.graph.generators import zipf_labeled_graph
+    from repro.histogram import HISTOGRAM_KINDS, domain_frequencies
+    from repro.ordering.registry import make_ordering
+    from repro.paths.catalog import SelectivityCatalog
+
+    # --- sparse vs dense cold build (|L|=20, k=6: 67M dense entries) ------
+    spec = sparse_smoke.GRAPH_SPEC
+    graph = zipf_labeled_graph(
+        spec["vertices"],
+        spec["edges"],
+        spec["labels"],
+        skew=spec["skew"],
+        seed=spec["seed"],
+        name="bench-sparse-20",
+    )
+    k = sparse_smoke.MAX_LENGTH
+    started = time.perf_counter()
+    sparse_catalog = SelectivityCatalog.from_graph(graph, k, storage="sparse")
+    sparse_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    dense_catalog = SelectivityCatalog.from_graph(graph, k, storage="dense")
+    dense_seconds = time.perf_counter() - started
+
+    sparse_indices, sparse_counts = sparse_catalog.nonzero_arrays()
+    dense_indices, dense_counts = dense_catalog.nonzero_arrays()
+    if not (
+        np.array_equal(sparse_indices, dense_indices)
+        and np.array_equal(sparse_counts, dense_counts)
+    ):
+        raise FloorFailure("sparse and dense catalog builds disagree")
+    density = sparse_catalog.density
+    if density > SPARSE_ARTIFACT_DENSITY_CEILING:
+        raise FloorFailure(
+            f"sparse benchmark graph has density {density:.2e} "
+            f"(> {SPARSE_ARTIFACT_DENSITY_CEILING:.0%}); the artifact ratio "
+            "floor is only meaningful when zeros dominate"
+        )
+    build_speedup = dense_seconds / sparse_seconds if sparse_seconds > 0 else float("inf")
+
+    # --- artifact sizes ----------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        sparse_path = Path(tmp) / "sparse.npz"
+        dense_path = Path(tmp) / "dense.npz"
+        sparse_catalog.save_npz(sparse_path)
+        dense_catalog.save_npz(dense_path)
+        sparse_bytes = sparse_path.stat().st_size
+        dense_bytes = dense_path.stat().st_size
+    artifact_ratio = sparse_bytes / dense_bytes if dense_bytes else float("inf")
+
+    # Free the 512 MB dense vector before the histogram stage.
+    dense_memory_bytes = dense_catalog.memory_bytes()
+    del dense_catalog
+
+    # --- byte-identical histogram boundaries (1.1M-entry domain) ----------
+    histogram_graph = zipf_labeled_graph(500, 500, 10, skew=0.8, seed=17, name="bench-sparse")
+    histogram_k = 6
+    dense_small = SelectivityCatalog.from_graph(histogram_graph, histogram_k, storage="dense")
+    sparse_small = SelectivityCatalog.from_graph(histogram_graph, histogram_k, storage="sparse")
+    ordering = make_ordering("sum-based", catalog=dense_small)
+    dense_layout = domain_frequencies(dense_small, ordering)
+    sparse_layout = domain_frequencies(sparse_small, ordering)
+    buckets = 64
+    boundary_kinds: dict[str, bool] = {}
+    for kind, histogram_cls in sorted(HISTOGRAM_KINDS.items()):
+        dense_histogram = histogram_cls(dense_layout, buckets)
+        sparse_histogram = histogram_cls(sparse_layout, buckets)
+        boundary_kinds[kind] = [
+            (bucket.start, bucket.end) for bucket in dense_histogram.buckets
+        ] == [(bucket.start, bucket.end) for bucket in sparse_histogram.buckets]
+    boundaries_identical = all(boundary_kinds.values())
+
+    # --- serve the 67M domain in < 1 GiB RSS (subprocess) -----------------
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    try:
+        smoke = subprocess.run(
+            [sys.executable, str(BENCH_DIR / "sparse_smoke.py"), "--json"],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=SPARSE_SMOKE_TIMEOUT_SECONDS,
+        )
+    except subprocess.TimeoutExpired as exc:
+        raise FloorFailure(
+            f"sparse_smoke.py wedged (> {SPARSE_SMOKE_TIMEOUT_SECONDS}s)"
+        ) from exc
+    serve: dict[str, object] = {}
+    if smoke.returncode == 0:
+        for line in reversed(smoke.stdout.strip().splitlines()):
+            line = line.strip()
+            if line.startswith("{"):
+                serve = json.loads(line)
+                break
+    if not serve:
+        raise FloorFailure(
+            "sparse_smoke.py failed: "
+            + (smoke.stderr.strip().splitlines() or ["no output"])[-1]
+        )
+
+    return {
+        "graph": {
+            "labels": graph.label_count,
+            "max_length": k,
+            "vertices": graph.vertex_count,
+            "edges": graph.edge_count,
+            "domain_size": sparse_catalog.domain_size,
+            "nnz": sparse_catalog.nnz,
+            "density": density,
+            "density_ceiling": SPARSE_ARTIFACT_DENSITY_CEILING,
+        },
+        "sparse_build_seconds": sparse_seconds,
+        "dense_build_seconds": dense_seconds,
+        "build_speedup": build_speedup,
+        "build_speedup_floor": SPARSE_BUILD_SPEEDUP_FLOOR,
+        "sparse_artifact_bytes": sparse_bytes,
+        "dense_artifact_bytes": dense_bytes,
+        "artifact_ratio": artifact_ratio,
+        "artifact_ratio_ceiling": SPARSE_ARTIFACT_RATIO_CEILING,
+        "sparse_memory_bytes": sparse_catalog.memory_bytes(),
+        "dense_memory_bytes": dense_memory_bytes,
+        "histogram_domain_size": dense_small.domain_size,
+        "histogram_nnz": dense_small.nnz,
+        "histogram_bucket_count": buckets,
+        "histogram_boundaries_identical": boundaries_identical,
+        "histogram_boundary_kinds": boundary_kinds,
+        "serve_max_rss_bytes": serve.get("max_rss_bytes"),
+        "serve_rss_ceiling_bytes": SPARSE_SERVE_RSS_CEILING_BYTES,
+        "serve_build_seconds": serve.get("build_seconds"),
+        "serve_session_memory_bytes": serve.get("session_memory_bytes"),
+        "serve_ok": serve.get("ok", False),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -605,6 +807,7 @@ def main(argv: list[str] | None = None) -> int:
         catalog = measure_catalog(args.quick)
         serving = measure_serving(args.quick)
         delta = measure_delta(args.quick)
+        sparse = measure_sparse(args.quick)
     except FloorFailure as exc:
         # A broken invariant (builders disagreeing, a degenerate workload)
         # is a floor failure, not a crash: one readable line, exit 1.
@@ -613,7 +816,7 @@ def main(argv: list[str] | None = None) -> int:
     total_seconds = time.perf_counter() - started
 
     document = {
-        "schema": "repro-bench/v4",
+        "schema": "repro-bench/v5",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "generated_unix": time.time(),
@@ -622,6 +825,7 @@ def main(argv: list[str] | None = None) -> int:
         "catalog": catalog,
         "serving": serving,
         "delta": delta,
+        "sparse": sparse,
     }
     if suite is not None:
         document["suite"] = suite
@@ -656,9 +860,19 @@ def main(argv: list[str] | None = None) -> int:
         f"({serving['single_flight_builds']} build under concurrent first "
         f"access), delta rebuild {delta['incremental_speedup']:.1f}x vs cold "
         f"({delta['affected_subtrees']}/{delta['subtrees_total']} subtrees), "
+        f"sparse build {sparse['build_speedup']:.1f}x vs dense at "
+        f"{sparse['graph']['domain_size'] / 1e6:.0f}M domain (artifact "
+        f"{sparse['artifact_ratio']:.1%} of dense, serve RSS "
+        f"{_format_rss(sparse['serve_max_rss_bytes'])}), "
         f"total {total_seconds:.1f}s"
     )
     return 0 if not failures else 1
+
+
+def _format_rss(rss_bytes: object) -> str:
+    if not isinstance(rss_bytes, (int, float)):
+        return "n/a"
+    return f"{rss_bytes / 2**20:.0f}MiB"
 
 
 def collect_floor_failures(document: dict) -> list[str]:
@@ -672,6 +886,7 @@ def collect_floor_failures(document: dict) -> list[str]:
     catalog = document["catalog"]
     serving = document["serving"]
     delta = document["delta"]
+    sparse = document["sparse"]
     suite = document.get("suite")
 
     failures: list[str] = []
@@ -726,6 +941,48 @@ def collect_floor_failures(document: dict) -> list[str]:
             f"incremental delta rebuild {delta['incremental_speedup']:.1f}x "
             f"< {delta_floor}x vs cold ({delta['affected_subtrees']}/"
             f"{delta['subtrees_total']} subtrees touched)"
+        )
+    sparse_build_floor = sparse.get("build_speedup_floor", SPARSE_BUILD_SPEEDUP_FLOOR)
+    if sparse["build_speedup"] < sparse_build_floor:
+        failures.append(
+            f"sparse catalog build {sparse['build_speedup']:.1f}x "
+            f"< {sparse_build_floor}x over the dense build at "
+            f"{sparse['graph']['domain_size']:,} domain entries"
+        )
+    sparse_artifact_ceiling = sparse.get(
+        "artifact_ratio_ceiling", SPARSE_ARTIFACT_RATIO_CEILING
+    )
+    if sparse["artifact_ratio"] > sparse_artifact_ceiling:
+        failures.append(
+            f"sparse artifact is {sparse['artifact_ratio']:.1%} of the dense "
+            f"npz (ceiling {sparse_artifact_ceiling:.0%} at "
+            f"{sparse['graph']['density']:.2e} density)"
+        )
+    if not sparse["histogram_boundaries_identical"]:
+        broken = sorted(
+            kind
+            for kind, identical in sparse.get("histogram_boundary_kinds", {}).items()
+            if not identical
+        )
+        failures.append(
+            "sparse histogram boundaries diverge from the dense build"
+            + (f" ({', '.join(broken)})" if broken else "")
+        )
+    # A locally measured document always has serve_ok=true (measure_sparse
+    # raises before writing one otherwise); these branches exist for
+    # check_regression.py, which re-evaluates documents measured elsewhere
+    # (possibly merged with the committed baseline's floors).
+    if not sparse.get("serve_ok", False):
+        failures.append("sparse serve smoke failed")
+    rss = sparse.get("serve_max_rss_bytes")
+    rss_ceiling = sparse.get(
+        "serve_rss_ceiling_bytes", SPARSE_SERVE_RSS_CEILING_BYTES
+    )
+    if isinstance(rss, (int, float)) and rss >= rss_ceiling:
+        failures.append(
+            f"sparse serve peak RSS {_format_rss(rss)} >= "
+            f"{_format_rss(rss_ceiling)} for the "
+            f"{sparse['graph']['domain_size']:,}-entry domain"
         )
     if suite is not None and suite["exit_code"] != 0:
         failures.append("pytest-benchmark suite failed")

@@ -75,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     catalog.add_argument(
         "--backend", choices=("serial", "thread", "process"), default=None
     )
+    catalog.add_argument(
+        "--storage",
+        choices=("auto", "dense", "sparse"),
+        default="auto",
+        help="catalog representation: sparse stores only nonzero paths "
+        "(O(nnz) memory); auto picks by density",
+    )
 
     estimate = subparsers.add_parser("estimate", help="estimate one path's selectivity")
     estimate.add_argument("catalog", help="catalog JSON produced by 'repro catalog'")
@@ -111,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="catalog construction backend (default: thread when "
             "--workers > 1, serial otherwise)",
+        )
+        sub.add_argument(
+            "--storage",
+            choices=("auto", "dense", "sparse"),
+            default="auto",
+            help="catalog storage mode (sparse = O(nnz) memory; auto picks "
+            "by density)",
         )
         sub.add_argument("--json", action="store_true", help="emit JSON")
 
@@ -187,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument(
         "--backend", choices=("serial", "thread", "process"), default=None
+    )
+    serve.add_argument(
+        "--storage",
+        choices=("auto", "dense", "sparse"),
+        default="auto",
+        help="catalog storage mode for served sessions (sparse = O(nnz) "
+        "memory per graph)",
     )
     serve.add_argument(
         "--mmap", action="store_true", help="memory-map cached catalogs when possible"
@@ -338,6 +359,7 @@ def _build_session(args: argparse.Namespace) -> EstimationSession:
         ordering=args.ordering,
         histogram_kind=args.histogram,
         bucket_count=args.buckets,
+        storage=args.storage,
     )
     return EstimationSession.build(
         graph,
@@ -410,6 +432,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         ordering=args.ordering,
         histogram_kind=args.histogram,
         bucket_count=args.buckets,
+        storage=args.storage,
     )
     registry = SessionRegistry(
         cache_dir=args.cache_dir,
@@ -667,7 +690,11 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "catalog":
         graph = read_edge_list(args.graph)
         catalog = SelectivityCatalog.from_graph(
-            graph, args.max_length, workers=args.workers, backend=args.backend
+            graph,
+            args.max_length,
+            workers=args.workers,
+            backend=args.backend,
+            storage=args.storage,
         )
         if str(args.output).endswith(".npz"):
             catalog.save_npz(args.output)
@@ -675,7 +702,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             catalog.save(args.output)
         print(
             f"catalog with {len(catalog)} paths (k={args.max_length}, "
-            f"|L|={len(catalog.labels)}) written to {args.output}"
+            f"|L|={len(catalog.labels)}, storage={catalog.storage}, "
+            f"nnz={catalog.nnz}) written to {args.output}"
         )
         return 0
     if args.command == "estimate":

@@ -3,11 +3,13 @@
 Three artifact kinds are cached, each in its own file under one directory:
 
 * ``catalog-<key>.npz`` — the selectivity catalog (the dominant cost), stored
-  as the columnar frequency vector in a compressed NumPy archive (see
-  :meth:`repro.paths.catalog.SelectivityCatalog.save_npz`); typically a small
-  fraction of the size of the legacy ``catalog-<key>.json`` form, which is
-  still *read* as a fallback so caches written before the columnar format
-  keep warm-starting;
+  as a compressed NumPy archive (see
+  :meth:`repro.paths.catalog.SelectivityCatalog.save_npz`): the columnar
+  frequency vector for dense-storage catalogs, the O(nnz)
+  ``nz_indices``/``nz_values`` pair for sparse-storage ones; typically a
+  small fraction of the size of the legacy ``catalog-<key>.json`` form,
+  which is still *read* as a fallback so caches written before the columnar
+  format keep warm-starting;
 * ``histogram-<key>.json`` — the ordering + bucket table pair;
 * ``positions-<key>.npy`` — the domain-position table used by the batched
   hot path (the permutation mapping enumeration order to ordering order).
@@ -149,9 +151,10 @@ class ArtifactCache:
     def _load_catalog_mmap(npz_path: Path, sidecar: Path) -> SelectivityCatalog:
         """Catalog with metadata from ``npz_path`` and a mmap'd vector."""
         with np.load(npz_path, allow_pickle=False) as archive:
-            if "explicit" in archive.files:
-                # Sparse catalogs carry a mask the mmap path does not model;
-                # they are small by construction, so load them normally.
+            if "explicit" in archive.files or "nz_indices" in archive.files:
+                # Pruned-mapping masks and sparse-storage archives are not
+                # modelled by the mmap path; both are small by construction
+                # (O(stored paths) on disk), so load them normally.
                 return SelectivityCatalog.load(npz_path)
             labels = [str(label) for label in archive["labels"]]
             max_length = int(archive["max_length"])
@@ -201,9 +204,11 @@ class ArtifactCache:
             mmap_sidecar = (
                 catalog.domain_size >= len(catalog.labels) ** _MMAP_SIDECAR_POWER
             )
-        if mmap_sidecar and not catalog.is_dense:
-            # _load_catalog_mmap cannot model the explicit-path mask and
-            # always falls back for sparse catalogs, so a sidecar would be
+        if mmap_sidecar and (not catalog.is_dense or catalog.storage != "dense"):
+            # _load_catalog_mmap cannot model the explicit-path mask, and a
+            # sparse-storage catalog is already O(nnz) resident — writing
+            # (and faulting in) a dense O(|Lk|) sidecar for it would defeat
+            # the representation; both fall back, so a sidecar would be
             # dead weight on disk.
             mmap_sidecar = False
         if mmap_sidecar:

@@ -37,7 +37,7 @@ from repro.histogram.builder import (
 from repro.histogram.vopt import VOptimalHistogram
 from repro.ordering.base import Ordering
 from repro.ordering.registry import make_ordering
-from repro.paths.catalog import SelectivityCatalog
+from repro.paths.catalog import CATALOG_STORAGE_MODES, SelectivityCatalog
 from repro.paths.enumeration import enumerate_label_paths, resolve_backend
 from repro.paths.label_path import LabelPath
 
@@ -55,20 +55,27 @@ class EngineConfig:
 
     Two sessions with equal configs over byte-identical graphs share every
     cache artifact; changing any field invalidates exactly the artifacts it
-    feeds into (``max_length`` invalidates all three, ``ordering`` and the
-    histogram fields only the histogram and position table).
+    feeds into (``max_length`` and ``storage`` invalidate all three,
+    ``ordering`` and the histogram fields only the histogram and position
+    table).
     """
 
     max_length: int = 3
     ordering: str = "sum-based"
     histogram_kind: str = VOptimalHistogram.kind
     bucket_count: int = 64
+    storage: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_length < 1:
             raise EngineError("max_length must be >= 1")
         if self.bucket_count < 1:
             raise EngineError("bucket_count must be >= 1")
+        if self.storage not in CATALOG_STORAGE_MODES:
+            raise EngineError(
+                f"unknown storage mode {self.storage!r}; expected one of "
+                f"{CATALOG_STORAGE_MODES}"
+            )
 
     def catalog_fields(self) -> dict[str, object]:
         """The config fields the catalog artifact depends on.
@@ -77,9 +84,16 @@ class EngineConfig:
         re-keys every catalog, so entries written under an older format (the
         pre-columnar JSON form) are never half-trusted — they are only read
         through the explicit fallback under their own old key
-        (:meth:`legacy_catalog_fields`).
+        (:meth:`legacy_catalog_fields`).  Format 3 added the sparse storage
+        modes; ``storage`` is the *requested* mode (``"auto"`` included), so
+        sessions asking for different representations never alias one
+        artifact.
         """
-        return {"max_length": self.max_length, "catalog_format": 2}
+        return {
+            "max_length": self.max_length,
+            "catalog_format": 3,
+            "storage": self.storage,
+        }
 
     def legacy_catalog_fields(self) -> dict[str, object]:
         """The catalog key fields of the pre-columnar format (no version tag).
@@ -169,6 +183,10 @@ class EstimationSession:
         self._catalog = catalog
         self._histogram = histogram
         self._position_of = dict(position_of)
+        # Sparse sessions carry no precomputed position table (it would be
+        # O(|Lk|) memory); batches are ranked on demand through the
+        # ordering's vectorised closed forms instead.
+        self._lazy_positions = not self._position_of and catalog.storage == "sparse"
         self._config = config
         self._stats = stats if stats is not None else SessionStats()
         self._estimator = PathSelectivityEstimator(histogram)
@@ -249,6 +267,7 @@ class EstimationSession:
                 config.max_length,
                 workers=effective_workers,
                 backend=effective_backend,
+                storage=config.storage,
             )
             if cache is not None:
                 cache.store_catalog(catalog_key, catalog)
@@ -324,27 +343,37 @@ class EstimationSession:
         #    numerical-alphabetical enumeration order of Lk.  Resolved before
         #    the histogram so a fresh histogram build can consume the
         #    catalog's frequency vector through it without per-path lookups.
+        #    Sparse catalogs skip the table entirely — materialising O(|Lk|)
+        #    positions (and a dict entry per path) would defeat the O(nnz)
+        #    memory model — and rank queries on demand instead.
         start = time.perf_counter()
-        positions = cache.load_positions(histogram_key) if cache is not None else None
-        if positions is None:
-            # Vectorised ranking of the whole canonical enumeration; the
-            # closed-form orderings compute this without a per-path loop.
-            positions = ordering.index_array()
-            if cache is not None:
-                cache.store_positions(histogram_key, positions)
+        positions: Optional[np.ndarray] = None
+        position_of: dict[str, int] = {}
+        if catalog.storage == "sparse":
+            stats.extra["lazy_positions"] = True
         else:
-            stats.positions_from_cache = True
-            if positions.shape != (ordering.size,):
-                raise EngineError(
-                    f"cached position table has shape {positions.shape}, "
-                    f"expected ({ordering.size},)"
-                )
-        position_of = {
-            str(path): int(position)
-            for path, position in zip(
-                enumerate_label_paths(catalog.labels, config.max_length), positions
+            positions = (
+                cache.load_positions(histogram_key) if cache is not None else None
             )
-        }
+            if positions is None:
+                # Vectorised ranking of the whole canonical enumeration; the
+                # closed-form orderings compute this without a per-path loop.
+                positions = ordering.index_array()
+                if cache is not None:
+                    cache.store_positions(histogram_key, positions)
+            else:
+                stats.positions_from_cache = True
+                if positions.shape != (ordering.size,):
+                    raise EngineError(
+                        f"cached position table has shape {positions.shape}, "
+                        f"expected ({ordering.size},)"
+                    )
+            position_of = {
+                str(path): int(position)
+                for path, position in zip(
+                    enumerate_label_paths(catalog.labels, config.max_length), positions
+                )
+            }
         stats.positions_seconds = time.perf_counter() - start
 
         # 4. Histogram, built over the vectorised frequency layout on a miss.
@@ -373,7 +402,11 @@ class EstimationSession:
 
         stats.total_seconds = time.perf_counter() - build_start
         stats.domain_size = ordering.size
-        if isinstance(catalog.frequency_vector(), np.memmap):
+        stats.extra["catalog_storage"] = catalog.storage
+        stats.extra["catalog_nnz"] = catalog.nnz
+        if catalog.storage == "dense" and isinstance(
+            catalog.frequency_vector(), np.memmap
+        ):
             stats.extra["catalog_mmap"] = True
         session = cls(
             catalog,
@@ -556,13 +589,14 @@ class EstimationSession:
         """Rough resident footprint of the session, in bytes.
 
         The serving registry's byte-budget eviction charges each session by
-        this number: the catalog's frequency vector (zero when it is
-        memory-mapped — those pages are reclaimable file cache), the
-        position table (a dict of path string → int, estimated per entry),
-        and the histogram bucket arrays.  An estimate, not an audit.
+        this number: the catalog's stored representation — O(nnz) for
+        sparse storage, the frequency vector for dense (zero when it is
+        memory-mapped: those pages are reclaimable file cache) — plus the
+        position table (a dict of path string → int, estimated per entry;
+        empty for sparse sessions) and the histogram bucket arrays.  An
+        estimate, not an audit.
         """
-        vector = self._catalog.frequency_vector()
-        total = 0 if isinstance(vector, np.memmap) else int(vector.nbytes)
+        total = self._catalog.memory_bytes()
         total += _POSITION_TABLE_BYTES_PER_PATH * len(self._position_of)
         total += 32 * self._histogram.bucket_count
         return total
@@ -576,6 +610,8 @@ class EstimationSession:
 
     def position(self, path: PathLike) -> int:
         """The domain position of ``path`` under the session's ordering."""
+        if self._lazy_positions:
+            return self._histogram.ordering.index(path)
         key = path if isinstance(path, str) else str(path)
         try:
             return self._position_of[key]
@@ -587,6 +623,8 @@ class EstimationSession:
 
     def positions(self, paths: Sequence[PathLike]) -> np.ndarray:
         """Domain positions for a batch of paths, in input order."""
+        if self._lazy_positions:
+            return self._histogram.ordering.index_array(list(paths))
         table = self._position_of
         out = np.empty(len(paths), dtype=np.int64)
         for i, path in enumerate(paths):
@@ -598,14 +636,18 @@ class EstimationSession:
     def estimate_batch(self, paths: Sequence[PathLike]) -> np.ndarray:
         """Vectorised estimates for a batch of paths, in input order.
 
-        Paths are resolved to domain positions through the precomputed
-        table (one dict lookup each — no parsing, validation or ranking
-        arithmetic on the hot path) and the histogram answers all of them
-        with a single vectorised bucket lookup.  Agrees element-wise with a
-        per-path :meth:`estimate` loop.
+        Dense sessions resolve paths through the precomputed table (one
+        dict lookup each — no parsing, validation or ranking arithmetic on
+        the hot path); sparse sessions rank the whole batch through the
+        ordering's vectorised closed form.  Either way the histogram
+        answers all of them with a single vectorised bucket lookup, and the
+        result agrees element-wise with a per-path :meth:`estimate` loop.
         """
         if len(paths) == 0:
             return np.empty(0, dtype=float)
+        if self._lazy_positions:
+            positions = self._histogram.ordering.index_array(list(paths))
+            return self._histogram.estimate_indices(positions)
         table = self._position_of
         try:
             positions = np.fromiter(

@@ -13,6 +13,7 @@ from repro.histogram.endbiased import EndBiasedHistogram
 from repro.histogram.equidepth import EquiDepthHistogram
 from repro.histogram.equiwidth import EquiWidthHistogram
 from repro.histogram.maxdiff import MaxDiffHistogram
+from repro.histogram.sparse import SparseFrequencies
 from repro.histogram.serialization import (
     histogram_from_dict,
     histogram_to_dict,
@@ -31,6 +32,7 @@ __all__ = [
     "Histogram",
     "LabelPathHistogram",
     "MaxDiffHistogram",
+    "SparseFrequencies",
     "VOptimalHistogram",
     "build_histogram",
     "domain_frequencies",

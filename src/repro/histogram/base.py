@@ -10,14 +10,17 @@ lookup, serialisation and quality metrics are shared here.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import HistogramError, InvalidBucketCountError
 from repro.histogram.bucket import Bucket
+from repro.histogram.sparse import SparseFrequencies
 
 __all__ = ["Histogram", "frequencies_to_array"]
+
+Frequencies = Union[Iterable[float], SparseFrequencies]
 
 
 def frequencies_to_array(frequencies: Iterable[float]) -> np.ndarray:
@@ -38,20 +41,36 @@ class Histogram:
     Subclasses implement :meth:`_boundaries`, returning the sorted list of
     bucket start positions (the first is always 0); everything else is
     inherited.
+
+    ``frequencies`` may also be a
+    :class:`~repro.histogram.sparse.SparseFrequencies` view, in which case
+    boundary placement goes through :meth:`_boundaries_sparse` — overridden
+    by every built-in kind with an O(nnz)-memory algorithm whose boundaries
+    are byte-identical to the dense path — and the bucket statistics are
+    computed from the nonzero stream.
     """
 
     #: Registry name of the histogram kind (e.g. ``"equi-width"``).
     kind: str = "base"
 
-    def __init__(self, frequencies: Iterable[float], bucket_count: int) -> None:
-        array = frequencies_to_array(frequencies)
-        domain = int(array.size)
-        if bucket_count < 1 or bucket_count > domain:
-            raise InvalidBucketCountError(bucket_count, domain)
-        self._domain_size = domain
-        self._requested_buckets = bucket_count
-        starts = self._boundaries(array, bucket_count)
-        self._buckets = self._materialise(array, starts)
+    def __init__(self, frequencies: Frequencies, bucket_count: int) -> None:
+        if isinstance(frequencies, SparseFrequencies):
+            domain = frequencies.size
+            if bucket_count < 1 or bucket_count > domain:
+                raise InvalidBucketCountError(bucket_count, domain)
+            self._domain_size = domain
+            self._requested_buckets = bucket_count
+            starts = self._boundaries_sparse(frequencies, bucket_count)
+            self._buckets = self._materialise_sparse(frequencies, starts)
+        else:
+            array = frequencies_to_array(frequencies)
+            domain = int(array.size)
+            if bucket_count < 1 or bucket_count > domain:
+                raise InvalidBucketCountError(bucket_count, domain)
+            self._domain_size = domain
+            self._requested_buckets = bucket_count
+            starts = self._boundaries(array, bucket_count)
+            self._buckets = self._materialise(array, starts)
         self._starts = [bucket.start for bucket in self._buckets]
 
     # ------------------------------------------------------------------
@@ -61,17 +80,36 @@ class Histogram:
         """Return the sorted bucket start positions (must begin with 0)."""
         raise NotImplementedError
 
+    def _boundaries_sparse(
+        self, frequencies: SparseFrequencies, bucket_count: int
+    ) -> list[int]:
+        """Sparse-input counterpart of :meth:`_boundaries`.
+
+        The base implementation densifies and delegates — correct for any
+        subclass, but O(n) memory; the built-in kinds all override it with
+        an implicit-zero-run algorithm that never materialises the domain.
+        """
+        return self._boundaries(frequencies.toarray(), bucket_count)
+
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _materialise(frequencies: np.ndarray, starts: Sequence[int]) -> list[Bucket]:
+    def _normalise_starts(starts: Sequence[int], domain: int) -> list[int]:
+        """Validate and de-duplicate bucket start positions."""
         if not starts or starts[0] != 0:
             raise HistogramError("bucket boundaries must start at 0")
         unique_starts = sorted(set(int(s) for s in starts))
-        domain = int(frequencies.size)
         if unique_starts[-1] >= domain and domain > 0 and len(unique_starts) > 1:
             raise HistogramError("a bucket start lies outside the domain")
+        return unique_starts
+
+    @classmethod
+    def _materialise(
+        cls, frequencies: np.ndarray, starts: Sequence[int]
+    ) -> list[Bucket]:
+        domain = int(frequencies.size)
+        unique_starts = cls._normalise_starts(starts, domain)
         buckets: list[Bucket] = []
         for position, start in enumerate(unique_starts):
             end = unique_starts[position + 1] if position + 1 < len(unique_starts) else domain
@@ -84,6 +122,51 @@ class Histogram:
                     squared_total=float(np.square(chunk).sum()),
                     minimum=float(chunk.min()),
                     maximum=float(chunk.max()),
+                )
+            )
+        return buckets
+
+    @classmethod
+    def _materialise_sparse(
+        cls, frequencies: SparseFrequencies, starts: Sequence[int]
+    ) -> list[Bucket]:
+        """Bucket statistics straight from the nonzero stream.
+
+        Each bucket's totals come from the values inside its position range;
+        a bucket whose width exceeds its nonzero count contains an implicit
+        zero, which caps its minimum.  For the integer-valued frequencies a
+        catalog produces these sums are exact, so they match the dense
+        chunk sums bitwise.
+        """
+        domain = frequencies.size
+        unique_starts = cls._normalise_starts(starts, domain)
+        positions = frequencies.positions
+        values = frequencies.values
+        edges = np.asarray(list(unique_starts) + [domain], dtype=np.int64)
+        cuts = np.searchsorted(positions, edges)
+        buckets: list[Bucket] = []
+        for position in range(len(unique_starts)):
+            start = int(edges[position])
+            end = int(edges[position + 1])
+            first, last = int(cuts[position]), int(cuts[position + 1])
+            chunk = values[first:last]
+            stored = last - first
+            width = end - start
+            if stored:
+                total = float(chunk.sum())
+                squared = float(np.square(chunk).sum())
+                maximum = float(chunk.max())
+                minimum = float(chunk.min()) if stored == width else 0.0
+            else:
+                total = squared = maximum = minimum = 0.0
+            buckets.append(
+                Bucket(
+                    start=start,
+                    end=end,
+                    total=total,
+                    squared_total=squared,
+                    minimum=minimum,
+                    maximum=maximum,
                 )
             )
         return buckets

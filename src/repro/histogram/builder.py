@@ -19,6 +19,7 @@ from repro.histogram.endbiased import EndBiasedHistogram
 from repro.histogram.equidepth import EquiDepthHistogram
 from repro.histogram.equiwidth import EquiWidthHistogram
 from repro.histogram.maxdiff import MaxDiffHistogram
+from repro.histogram.sparse import SparseFrequencies
 from repro.histogram.vopt import VOptimalHistogram
 from repro.ordering.base import Ordering
 from repro.paths.catalog import SelectivityCatalog
@@ -49,18 +50,25 @@ def domain_frequencies(
     ordering: Ordering,
     *,
     positions: Optional[np.ndarray] = None,
-) -> np.ndarray:
+) -> Union[np.ndarray, SparseFrequencies]:
     """The catalog's selectivities laid out in the ordering's index order.
 
-    Element ``i`` of the returned vector is ``f(ordering.path(i))``; this is
-    the data distribution the histogram is built over (the black curve of the
-    paper's Figure 1, in whichever order ``ordering`` prescribes).
+    Element ``i`` of the result is ``f(ordering.path(i))``; this is the data
+    distribution the histogram is built over (the black curve of the paper's
+    Figure 1, in whichever order ``ordering`` prescribes).
 
-    The catalog's columnar frequency vector is permuted in one vectorised
-    scatter — no per-path dict lookups.  ``positions``, when given, is the
-    precomputed permutation (``positions[i]`` = ordering index of the ``i``-th
-    path of the canonical enumeration, as cached by the engine's artifact
-    store); otherwise it is derived by ranking each path once.
+    For dense-storage catalogs the columnar frequency vector is permuted in
+    one vectorised scatter — no per-path dict lookups — and a dense float
+    array is returned.  For sparse-storage catalogs only the nonzero paths
+    are ranked (through :meth:`Ordering.rank_domain_indices`) and the layout
+    comes back as a :class:`~repro.histogram.sparse.SparseFrequencies` view,
+    O(nnz) end to end; the histogram constructors accept either form and
+    produce byte-identical bucket boundaries.
+
+    ``positions``, when given, is the precomputed full permutation
+    (``positions[i]`` = ordering index of the ``i``-th path of the canonical
+    enumeration, as cached by the engine's artifact store); otherwise the
+    required ranks are derived on the fly.
     """
     if set(ordering.labels) != set(catalog.labels):
         raise HistogramError(
@@ -72,13 +80,29 @@ def domain_frequencies(
             f"ordering max_length={ordering.max_length} exceeds catalog "
             f"max_length={catalog.max_length}"
         )
-    if positions is None:
-        positions = ordering.index_array()
-    elif positions.shape != (ordering.size,):
+    if positions is not None and positions.shape != (ordering.size,):
         raise HistogramError(
             f"position table has shape {positions.shape}, "
             f"expected ({ordering.size},)"
         )
+    if catalog.storage == "sparse":
+        nz_indices, nz_values = catalog.nonzero_arrays()
+        # The canonical order is length-major, so a shorter ordering domain
+        # is a prefix of the canonical index space.
+        cut = int(np.searchsorted(nz_indices, ordering.size))
+        nz_indices = nz_indices[:cut]
+        nz_values = nz_values[:cut]
+        mapped = (
+            positions[nz_indices]
+            if positions is not None
+            else ordering.rank_domain_indices(nz_indices)
+        )
+        order = np.argsort(mapped, kind="stable")
+        return SparseFrequencies(
+            mapped[order], nz_values[order].astype(float), ordering.size
+        )
+    if positions is None:
+        positions = ordering.index_array()
     frequencies = np.zeros(ordering.size, dtype=float)
     # The canonical order is length-major, so a shorter ordering domain is a
     # prefix slice of the catalog's vector.
@@ -182,7 +206,7 @@ def build_histogram(
     *,
     kind: str = VOptimalHistogram.kind,
     bucket_count: int,
-    frequencies: Optional[np.ndarray] = None,
+    frequencies: Optional[Union[np.ndarray, SparseFrequencies]] = None,
     **kwargs,
 ) -> LabelPathHistogram:
     """Build a :class:`LabelPathHistogram` from a catalog under an ordering.
@@ -196,8 +220,9 @@ def build_histogram(
     bucket_count:
         Number of buckets ``β``.
     frequencies:
-        Optional pre-computed output of :func:`domain_frequencies`, so sweeps
-        that vary only ``bucket_count`` avoid recomputing the layout.
+        Optional pre-computed output of :func:`domain_frequencies` (dense
+        array or sparse view), so sweeps that vary only ``bucket_count``
+        avoid recomputing the layout.
     kwargs:
         Extra keyword arguments passed to the histogram constructor (e.g.
         ``strategy="greedy"`` for :class:`VOptimalHistogram`).

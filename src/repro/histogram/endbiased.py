@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.histogram.base import Histogram
+from repro.histogram.sparse import SparseFrequencies, absent_positions
 
 __all__ = ["EndBiasedHistogram"]
 
@@ -32,6 +33,29 @@ class EndBiasedHistogram(Histogram):
         # Highest frequencies first; ties resolved by position (ascending).
         order = np.lexsort((np.arange(domain), -frequencies))
         singletons = sorted(int(position) for position in order[:singleton_budget])
+        return self._starts_for_singletons(singletons, domain)
+
+    def _boundaries_sparse(
+        self, frequencies: SparseFrequencies, bucket_count: int
+    ) -> list[int]:
+        # Every nonzero outranks every implicit zero, so the dense ranking —
+        # descending frequency, ties by ascending position — is the nonzeros
+        # in that order followed by the zero positions ascending; only a
+        # budget larger than nnz ever reaches the zeros.
+        domain = frequencies.size
+        if bucket_count == 1 or domain == 1:
+            return [0]
+        singleton_budget = min(max(1, (bucket_count - 1) // 2), domain - 1)
+        positions = frequencies.positions
+        order = np.lexsort((positions, -frequencies.values))
+        top = [int(position) for position in positions[order][:singleton_budget]]
+        needed = singleton_budget - len(top)
+        if needed > 0:
+            top.extend(absent_positions(positions, domain, needed))
+        return self._starts_for_singletons(sorted(top), domain)
+
+    @staticmethod
+    def _starts_for_singletons(singletons: list[int], domain: int) -> list[int]:
         starts: set[int] = {0}
         for position in singletons:
             starts.add(position)

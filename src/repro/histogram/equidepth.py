@@ -10,6 +10,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.histogram.base import Histogram
+from repro.histogram.equiwidth import equal_width_starts
+from repro.histogram.sparse import SparseFrequencies
 
 __all__ = ["EquiDepthHistogram"]
 
@@ -24,18 +26,41 @@ class EquiDepthHistogram(Histogram):
         total = float(frequencies.sum())
         if total <= 0.0:
             # Degenerate all-zero distribution: fall back to equal widths.
-            base_width, remainder = divmod(domain, bucket_count)
-            starts, position = [], 0
-            for bucket_index in range(bucket_count):
-                starts.append(position)
-                position += base_width + (1 if bucket_index < remainder else 0)
-            return starts
+            return equal_width_starts(domain, bucket_count)
         cumulative = np.cumsum(frequencies)
         starts = [0]
         for bucket_index in range(1, bucket_count):
             target = total * bucket_index / bucket_count
             # First position whose cumulative mass reaches the target.
             boundary = int(np.searchsorted(cumulative, target, side="left")) + 1
+            boundary = min(max(boundary, starts[-1] + 1), domain - (bucket_count - bucket_index))
+            if boundary <= starts[-1]:
+                boundary = starts[-1] + 1
+            starts.append(boundary)
+        return starts
+
+    def _boundaries_sparse(
+        self, frequencies: SparseFrequencies, bucket_count: int
+    ) -> list[int]:
+        # The dense cumulative-mass curve is a step function that only jumps
+        # at nonzero positions, so "first position whose cumulative mass
+        # reaches the target" is the position of the first nonzero whose
+        # running sum does — one searchsorted over O(nnz) running sums, with
+        # the same float targets and the same clamping as the dense path.
+        domain = frequencies.size
+        values = frequencies.values
+        total = float(values.sum())
+        if total <= 0.0:
+            return equal_width_starts(domain, bucket_count)
+        positions = frequencies.positions
+        cumulative = np.cumsum(values)
+        starts = [0]
+        for bucket_index in range(1, bucket_count):
+            target = total * bucket_index / bucket_count
+            found = int(np.searchsorted(cumulative, target, side="left"))
+            boundary = (
+                int(positions[found]) + 1 if found < positions.size else domain + 1
+            )
             boundary = min(max(boundary, starts[-1] + 1), domain - (bucket_count - bucket_index))
             if boundary <= starts[-1]:
                 boundary = starts[-1] + 1

@@ -11,8 +11,25 @@ from __future__ import annotations
 import numpy as np
 
 from repro.histogram.base import Histogram
+from repro.histogram.sparse import SparseFrequencies
 
-__all__ = ["EquiWidthHistogram"]
+__all__ = ["EquiWidthHistogram", "equal_width_starts"]
+
+
+def equal_width_starts(domain: int, bucket_count: int) -> list[int]:
+    """``β`` bucket starts of (nearly) equal width over ``[0, domain)``.
+
+    The remainder is distributed over the first buckets so widths differ by
+    at most one, e.g. domain 10 / β 4 -> widths 3, 3, 2, 2.  Shared by the
+    equi-width histogram and the all-zero fallback of the equi-depth one.
+    """
+    base_width, remainder = divmod(domain, bucket_count)
+    starts: list[int] = []
+    position = 0
+    for bucket_index in range(bucket_count):
+        starts.append(position)
+        position += base_width + (1 if bucket_index < remainder else 0)
+    return starts
 
 
 class EquiWidthHistogram(Histogram):
@@ -21,13 +38,10 @@ class EquiWidthHistogram(Histogram):
     kind = "equi-width"
 
     def _boundaries(self, frequencies: np.ndarray, bucket_count: int) -> list[int]:
-        domain = int(frequencies.size)
-        # Distribute the remainder over the first buckets so widths differ by
-        # at most one, e.g. domain 10 / β 4 -> widths 3, 3, 2, 2.
-        base_width, remainder = divmod(domain, bucket_count)
-        starts: list[int] = []
-        position = 0
-        for bucket_index in range(bucket_count):
-            starts.append(position)
-            position += base_width + (1 if bucket_index < remainder else 0)
-        return starts
+        return equal_width_starts(int(frequencies.size), bucket_count)
+
+    def _boundaries_sparse(
+        self, frequencies: SparseFrequencies, bucket_count: int
+    ) -> list[int]:
+        # Boundaries depend only on the domain size, never on the data.
+        return equal_width_starts(frequencies.size, bucket_count)

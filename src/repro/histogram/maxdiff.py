@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.histogram.base import Histogram
+from repro.histogram.sparse import SparseFrequencies, absent_positions
 
 __all__ = ["MaxDiffHistogram"]
 
@@ -32,3 +33,43 @@ class MaxDiffHistogram(Histogram):
         order = np.lexsort((np.arange(differences.size), -differences))
         chosen = sorted(int(position) + 1 for position in order[: bucket_count - 1])
         return [0] + chosen
+
+    def _boundaries_sparse(
+        self, frequencies: SparseFrequencies, bucket_count: int
+    ) -> list[int]:
+        # An adjacent difference can only be nonzero next to a nonzero
+        # entry, so the candidate set is the ≤ 2·nnz positions touching one;
+        # everything else has difference exactly 0.  The dense tie order —
+        # descending difference, then ascending position — is reproduced by
+        # ranking the positive candidates and filling any shortfall with the
+        # smallest zero-difference positions (an implicit-zero-run walk).
+        domain = frequencies.size
+        if bucket_count == 1 or domain == 1:
+            return [0]
+        positions = frequencies.positions
+        difference_count = domain - 1
+        left = positions - 1
+        right = positions
+        candidates = np.unique(
+            np.concatenate((left[left >= 0], right[right < difference_count]))
+        )
+        if candidates.size:
+            diffs = np.abs(
+                frequencies.value_at(candidates + 1)
+                - frequencies.value_at(candidates)
+            )
+            positive = diffs > 0
+            positive_indices = candidates[positive]
+            order = np.lexsort((positive_indices, -diffs[positive]))
+            chosen = [int(i) for i in positive_indices[order][: bucket_count - 1]]
+        else:
+            positive_indices = np.empty(0, dtype=np.int64)
+            chosen = []
+        needed = (bucket_count - 1) - len(chosen)
+        if needed > 0:
+            chosen.extend(
+                absent_positions(
+                    np.sort(positive_indices), difference_count, needed
+                )
+            )
+        return [0] + sorted(position + 1 for position in chosen)

@@ -20,7 +20,11 @@ import numpy as np
 from repro.exceptions import IndexOutOfDomainError, OrderingError, UnknownLabelError
 from repro.ordering.ranking import RankingRule
 from repro.paths.enumeration import domain_size, enumerate_label_paths
-from repro.paths.index import canonical_digit_blocks, paths_to_domain_indices
+from repro.paths.index import (
+    canonical_digit_blocks,
+    domain_indices_to_paths,
+    paths_to_domain_indices,
+)
 from repro.paths.label_path import LabelPath, as_label_path
 
 __all__ = ["Ordering"]
@@ -203,6 +207,73 @@ class Ordering:
                 self._ranking.size, self._max_length, indices
             )
         ]
+
+    def rank_domain_indices(self, indices) -> np.ndarray:
+        """Ordering indices for a batch of *canonical* domain indices.
+
+        Equivalent to ranking the paths those indices denote
+        (``index_array(domain_indices_to_paths(indices, ...))``) without
+        materialising any :class:`LabelPath` objects when the ordering has a
+        closed-form :meth:`_rank_block`: the canonical indices decompose
+        straight into digit matrices.  This is the translation the
+        sparse-catalog pipeline uses to lay nonzero selectivities out in
+        ordering order.
+        """
+        index_array = np.ascontiguousarray(np.asarray(indices, dtype=np.int64))
+        if index_array.ndim != 1:
+            raise OrderingError("domain indices must be one-dimensional")
+        sorted_labels = sorted(self.labels)
+        if type(self)._rank_block is Ordering._rank_block:
+            paths = domain_indices_to_paths(
+                index_array, sorted_labels, self._max_length
+            )
+            return np.fromiter(
+                (self.index(path) for path in paths),
+                dtype=np.int64,
+                count=len(paths),
+            )
+        rank_of_digit = np.array(
+            [self._ranking.rank(label) for label in sorted_labels], dtype=np.int64
+        )
+        out = np.empty(index_array.size, dtype=np.int64)
+        for length, positions, digits in canonical_digit_blocks(
+            self._ranking.size, self._max_length, index_array
+        ):
+            out[positions] = self._rank_block(length, rank_of_digit[digits])
+        return out
+
+    # ------------------------------------------------------------------
+    # vectorised unranking
+    # ------------------------------------------------------------------
+    def _validate_index_array(self, indices: Optional[Sequence[int]]) -> np.ndarray:
+        """Validate a batch of ordering indices (``None`` = the full domain)."""
+        if indices is None:
+            return np.arange(self._size, dtype=np.int64)
+        index_array = np.ascontiguousarray(np.asarray(indices, dtype=np.int64))
+        if index_array.ndim != 1:
+            raise OrderingError("ordering indices must be one-dimensional")
+        if index_array.size:
+            low = int(index_array.min())
+            high = int(index_array.max())
+            if low < 0:
+                raise IndexOutOfDomainError(low, self._size)
+            if high >= self._size:
+                raise IndexOutOfDomainError(high, self._size)
+        return index_array
+
+    def path_array(self, indices: Optional[Sequence[int]] = None) -> list[LabelPath]:
+        """Label paths at a batch of ordering indices (vectorised unranking).
+
+        The inverse of :meth:`index_array`: ``indices=None`` unranks the
+        *entire domain* in ordering order (element ``i`` is ``path(i)``).
+        The base implementation loops over :meth:`path`; the closed-form
+        orderings override this with per-length vectorised arithmetic, which
+        is what makes unranking-heavy sweeps (``domain_indices_to_paths``
+        over catalogs, experiment reports) cheap.  Both routes agree
+        element-wise by construction (and by test).
+        """
+        index_array = self._validate_index_array(indices)
+        return [self.path(int(index)) for index in index_array]
 
     def is_bijective_on_sample(self, sample_size: int = 64) -> bool:
         """Spot-check that ``path(index(·))`` round-trips on a domain sample.

@@ -20,6 +20,7 @@ closed form below.
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -88,3 +89,34 @@ class LexicographicalOrdering(Ordering):
             # Step past the node itself into its children.
             remaining -= 1
             depth += 1
+
+    def path_array(self, indices: Optional[Sequence[int]] = None) -> list[LabelPath]:
+        index_array = self._validate_index_array(indices)
+        k = self._max_length
+        count = index_array.size
+        if count == 0:
+            return []
+        # The same pre-order walk as ``path``, run over all rows at once: at
+        # each depth the still-active rows peel one rank off, rows that hit
+        # remaining == 0 terminate there.  O(k) vectorised passes.
+        remaining = index_array.copy()
+        ranks = np.zeros((count, k), dtype=np.int64)
+        lengths = np.zeros(count, dtype=np.int64)
+        active = np.arange(count, dtype=np.int64)
+        for depth in range(1, k + 1):
+            subtree = self._subtree_size(k - depth)
+            chunk = remaining[active]
+            rank = chunk // subtree + 1
+            chunk -= (rank - 1) * subtree
+            ranks[active, depth - 1] = rank
+            done = chunk == 0
+            lengths[active[done]] = depth
+            remaining[active] = chunk
+            active = active[~done]
+            remaining[active] -= 1
+        label_array = np.asarray(self._ranking.labels, dtype=object)
+        rows = label_array[np.maximum(ranks - 1, 0)]
+        return [
+            LabelPath._from_validated(tuple(row[:length]))
+            for row, length in zip(rows, lengths.tolist())
+        ]

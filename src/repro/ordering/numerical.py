@@ -12,9 +12,12 @@ Figure 1); with the cardinality ranking it becomes the ``num-card`` method.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
 import numpy as np
 
 from repro.ordering.base import Ordering, PathLike
+from repro.paths.index import canonical_digit_blocks
 from repro.paths.label_path import LabelPath
 
 __all__ = ["NumericalOrdering"]
@@ -59,3 +62,18 @@ class NumericalOrdering(Ordering):
             remaining //= base
         labels = [self._ranking.label(digit + 1) for digit in digits]
         return LabelPath(labels)
+
+    def path_array(self, indices: Optional[Sequence[int]] = None) -> list[LabelPath]:
+        index_array = self._validate_index_array(indices)
+        # A numerical ordering index is the canonical domain index over the
+        # *rank* order, so one digit-block decomposition unranks everything;
+        # digit ``d`` maps to the label with rank ``d + 1``.
+        label_array = np.asarray(self._ranking.labels, dtype=object)
+        out: list[Optional[LabelPath]] = [None] * index_array.size
+        for _, positions, digits in canonical_digit_blocks(
+            self._ranking.size, self._max_length, index_array
+        ):
+            rows = label_array[digits]
+            for position, row in zip(positions.tolist(), rows):
+                out[position] = LabelPath._from_validated(tuple(row))
+        return out  # type: ignore[return-value]

@@ -26,6 +26,7 @@ Algorithm 2 (unranking), :meth:`SumBasedOrdering.index` its inverse.
 from __future__ import annotations
 
 from math import factorial
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -38,6 +39,7 @@ from repro.ordering.combinatorics import (
     rank_permutation,
     unrank_permutation,
 )
+from repro.paths.index import domain_block_starts
 from repro.paths.label_path import LabelPath
 
 __all__ = ["SumBasedOrdering"]
@@ -200,6 +202,56 @@ class SumBasedOrdering(Ordering):
         raise OrderingError(  # pragma: no cover - defensive
             f"index walk exhausted lengths for index={index}"
         )
+
+    def path_array(self, indices: Optional[Sequence[int]] = None) -> list[LabelPath]:
+        index_array = self._validate_index_array(indices)
+        count = index_array.size
+        if count == 0:
+            return []
+        base = self._ranking.size
+        label_of = self._ranking.labels
+        out: list[Optional[LabelPath]] = [None] * count
+        # Stages one and two of Algorithm 2 vectorised: the length block is a
+        # searchsorted over the canonical block starts, the summed-rank group
+        # a searchsorted over the memoised cumulative group sizes.  Only the
+        # final multiset-permutation unranking runs per path.
+        starts = domain_block_starts(base, self._max_length)
+        lengths = np.searchsorted(starts, index_array, side="right")
+        for length in np.unique(lengths):
+            length = int(length)
+            members = np.nonzero(lengths == length)[0]
+            remaining = index_array[members] - starts[length - 1]
+            sum_offsets = np.array(
+                [
+                    self._sum_offset(length, candidate)
+                    for candidate in range(length, length * base + 1)
+                ],
+                dtype=np.int64,
+            )
+            group = np.searchsorted(sum_offsets, remaining, side="right") - 1
+            remaining = remaining - sum_offsets[group]
+            summed_values = group + length
+            for summed in np.unique(summed_values):
+                summed = int(summed)
+                in_group = summed_values == summed
+                rows = members[in_group]
+                rests = remaining[in_group]
+                offsets_of = self._combination_offsets(length, summed)
+                combinations = list(offsets_of.keys())
+                offsets = np.fromiter(
+                    offsets_of.values(), dtype=np.int64, count=len(combinations)
+                )
+                chosen = np.searchsorted(offsets, rests, side="right") - 1
+                rests = rests - offsets[chosen]
+                for row, combo_index, rest in zip(
+                    rows.tolist(), chosen.tolist(), rests.tolist()
+                ):
+                    ranks = unrank_permutation(rest, combinations[combo_index])
+                    assert ranks is not None
+                    out[row] = LabelPath._from_validated(
+                        tuple(label_of[rank - 1] for rank in ranks)
+                    )
+        return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # diagnostics

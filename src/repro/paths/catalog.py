@@ -7,15 +7,27 @@ label path in ``Lk`` for one graph.  It is the ground-truth distribution that
 * histograms are built from, and
 * the evaluation harness compares estimates against.
 
-Internally the catalog is **columnar**: one index-aligned ``int64`` NumPy
-frequency vector in the canonical numerical-alphabetical domain order
-(position ``i`` holds ``f`` of the ``i``-th path of
-:func:`~repro.paths.enumeration.enumerate_label_paths`; the bijection is the
-base-``|L|`` arithmetic of :mod:`repro.paths.index`).  That is the frequency
-*vector* representation the V-optimal DP literature assumes, it eliminates
-per-path ``LabelPath``/dict overhead, and it serialises to a compressed
-``.npz`` artifact a fraction of the size of the legacy JSON form (which is
-still read and written for interoperability).
+Internally the catalog supports two **storage modes** over the same logical
+content (every path of ``Lk`` has a selectivity; most are zero on real
+graphs):
+
+* ``dense`` — one index-aligned ``int64`` NumPy frequency vector in the
+  canonical numerical-alphabetical domain order (position ``i`` holds ``f``
+  of the ``i``-th path of
+  :func:`~repro.paths.enumeration.enumerate_label_paths`; the bijection is
+  the base-``|L|`` arithmetic of :mod:`repro.paths.index`).  O(|Lk|) memory.
+* ``sparse`` — a CSR-style pair of sorted ``int64`` nonzero domain indices
+  and aligned counts.  O(nnz) memory; point lookups are one
+  ``searchsorted``.  This is what lets large-alphabet/length scenarios
+  (``|L|=20, k=6`` has a 64M-entry dense domain) build and serve at all.
+
+``storage="auto"`` (the default of :meth:`SelectivityCatalog.from_graph`)
+picks sparse when the domain is large and mostly zero
+(:data:`SPARSE_AUTO_MIN_DOMAIN` / :data:`SPARSE_DENSITY_CEILING`), dense
+otherwise.  Both modes answer every query identically — storage is an
+implementation detail the rest of the library never has to branch on, except
+where it *wants* the nonzero stream (the histogram builders, the artifact
+cache's memory accounting).
 
 Catalogs are expensive to build for large ``k`` (they require evaluating the
 whole domain), so they can be persisted and are treated as immutable once
@@ -34,23 +46,50 @@ from repro.exceptions import PathError, UnknownLabelError
 from repro.graph.delta import GraphDelta
 from repro.graph.digraph import LabeledDiGraph
 from repro.paths.enumeration import (
+    compute_selectivity_nonzeros,
     compute_selectivity_vector,
     domain_size,
     enumerate_label_paths,
+    update_selectivity_nonzeros,
     update_selectivity_vector,
 )
 from repro.paths.index import (
-    domain_index_to_path,
+    domain_indices_to_paths,
     paths_to_domain_indices,
 )
 from repro.paths.label_path import LabelPath, as_label_path
 
-__all__ = ["SelectivityCatalog", "CATALOG_NPZ_VERSION"]
+__all__ = [
+    "SelectivityCatalog",
+    "CATALOG_NPZ_VERSION",
+    "CATALOG_STORAGE_MODES",
+    "SPARSE_DENSITY_CEILING",
+    "SPARSE_AUTO_MIN_DOMAIN",
+]
 
 PathLike = Union[str, LabelPath]
 
-#: Version stamp written into (and required from) the ``.npz`` catalog format.
-CATALOG_NPZ_VERSION = 1
+#: Version stamp written into the ``.npz`` catalog format.  Version 2 added
+#: the sparse (``nz_indices`` / ``nz_values``) layout; version-1 archives
+#: (always dense) are still read.
+CATALOG_NPZ_VERSION = 2
+
+#: The storage modes a catalog can be asked for.
+CATALOG_STORAGE_MODES = ("auto", "dense", "sparse")
+
+#: ``storage="auto"`` picks sparse at or below this nonzero density ...
+SPARSE_DENSITY_CEILING = 0.25
+
+#: ... but only for domains at least this large (below it a dense vector is
+#: a few KB and the searchsorted indirection buys nothing).
+SPARSE_AUTO_MIN_DOMAIN = 4096
+
+
+def _resolve_auto_storage(domain: int, nnz: int) -> str:
+    """The storage mode ``"auto"`` resolves to for a known nonzero count."""
+    if domain >= SPARSE_AUTO_MIN_DOMAIN and nnz <= domain * SPARSE_DENSITY_CEILING:
+        return "sparse"
+    return "dense"
 
 
 class SelectivityCatalog:
@@ -63,28 +102,47 @@ class SelectivityCatalog:
     max_length:
         The maximum path length ``k``.
     selectivities:
-        Either a mapping from paths in ``Lk`` (or a subset — missing paths
-        are treated as selectivity 0) to their true selectivity, or a dense
-        ``int64`` frequency vector of ``|Lk|`` entries in canonical domain
-        order.  An array is *adopted*: the catalog takes ownership and marks
-        it read-only (use :meth:`from_frequencies`, which copies by default,
-        when the caller keeps using the array).
+        One of three forms:
+
+        * a mapping from paths in ``Lk`` (or a subset — missing paths are
+          treated as selectivity 0) to their true selectivity;
+        * a dense ``int64`` frequency vector of ``|Lk|`` entries in canonical
+          domain order (*adopted*: the catalog takes ownership and marks it
+          read-only — use :meth:`from_frequencies`, which copies by default,
+          when the caller keeps using the array);
+        * an ``(indices, values)`` pair of aligned 1-D arrays — sorted
+          canonical domain indices of the nonzero paths and their counts, as
+          :func:`~repro.paths.enumeration.compute_selectivity_nonzeros`
+          emits them.
     graph_name:
         Optional provenance string.
+    storage:
+        ``"dense"``, ``"sparse"`` or ``"auto"``.  ``"auto"`` resolves by the
+        density heuristic for array and ``(indices, values)`` input; mapping
+        input always resolves dense (the explicit-path bookkeeping of pruned
+        mappings only exists in dense form).
     """
 
     def __init__(
         self,
         labels: Sequence[str],
         max_length: int,
-        selectivities: Union[Mapping[PathLike, int], np.ndarray],
+        selectivities: Union[
+            Mapping[PathLike, int], np.ndarray, tuple[np.ndarray, np.ndarray]
+        ],
         *,
         graph_name: str = "",
+        storage: str = "auto",
     ) -> None:
         if max_length < 1:
             raise PathError("max_length must be >= 1")
         if not labels:
             raise PathError("the label alphabet must not be empty")
+        if storage not in CATALOG_STORAGE_MODES:
+            raise PathError(
+                f"unknown storage mode {storage!r}; expected one of "
+                f"{CATALOG_STORAGE_MODES}"
+            )
         self._labels = tuple(sorted(set(labels)))
         # Hoisted ranking state so per-query index arithmetic is one dict
         # lookup per label, not a rebuilt rank map per call.
@@ -98,54 +156,164 @@ class SelectivityCatalog:
         self._domain_size = domain_size(len(self._labels), max_length)
         self._total: Optional[int] = None
         self._max: Optional[int] = None
-        if isinstance(selectivities, np.ndarray):
-            if selectivities.shape != (self._domain_size,):
-                raise PathError(
-                    f"frequency vector has shape {selectivities.shape}, expected "
-                    f"({self._domain_size},) for |L|={len(self._labels)}, "
-                    f"k={max_length}"
-                )
-            if (
-                isinstance(selectivities, np.memmap)
-                and selectivities.dtype == np.int64
-                and selectivities.flags["C_CONTIGUOUS"]
-            ):
-                # A memory-mapped vector is adopted as-is: converting would
-                # materialise it (or silently drop the memmap type), and the
-                # negative-value scan would fault in every page of an
-                # artifact this library wrote and validated itself.
-                frequencies = selectivities
-            else:
-                frequencies = np.ascontiguousarray(selectivities, dtype=np.int64)
-                if frequencies.size and int(frequencies.min()) < 0:
-                    position = int(np.argmin(frequencies))
-                    raise PathError(
-                        f"negative selectivity at domain index {position}: "
-                        f"{int(frequencies[position])}"
-                    )
-            self._frequencies = frequencies
-            self._explicit: Optional[np.ndarray] = None
+        self._frequencies: Optional[np.ndarray] = None
+        self._nz_indices: Optional[np.ndarray] = None
+        self._nz_values: Optional[np.ndarray] = None
+        self._explicit: Optional[np.ndarray] = None
+        if isinstance(selectivities, tuple):
+            self._init_from_nonzeros(*selectivities, storage=storage)
+        elif isinstance(selectivities, np.ndarray):
+            self._init_from_vector(selectivities, storage=storage)
         else:
-            self._frequencies = np.zeros(self._domain_size, dtype=np.int64)
-            explicit = np.zeros(self._domain_size, dtype=bool)
-            paths = list(selectivities.keys())
-            values = [selectivities[path] for path in paths]
-            indices = (
-                paths_to_domain_indices(paths, self._labels, max_length=max_length)
-                if paths
-                else np.empty(0, dtype=np.int64)
+            self._init_from_mapping(selectivities, storage=storage)
+
+    # ------------------------------------------------------------------
+    # construction branches
+    # ------------------------------------------------------------------
+    def _init_from_vector(self, frequencies: np.ndarray, *, storage: str) -> None:
+        if frequencies.shape != (self._domain_size,):
+            raise PathError(
+                f"frequency vector has shape {frequencies.shape}, expected "
+                f"({self._domain_size},) for |L|={len(self._labels)}, "
+                f"k={self._max_length}"
             )
-            for index, path, value in zip(indices, paths, values):
-                value = int(value)
-                if value < 0:
-                    raise PathError(
-                        f"negative selectivity for {as_label_path(path)}: {value}"
-                    )
-                self._frequencies[index] = value
-                explicit[index] = True
+        if (
+            isinstance(frequencies, np.memmap)
+            and frequencies.dtype == np.int64
+            and frequencies.flags["C_CONTIGUOUS"]
+        ):
+            # A memory-mapped vector is adopted as-is: converting would
+            # materialise it (or silently drop the memmap type), and the
+            # negative-value scan would fault in every page of an
+            # artifact this library wrote and validated itself.  It also
+            # stays dense regardless of ``storage`` — mmap *is* the
+            # at-scale story for dense vectors, and its pages are already
+            # reclaimable file cache.
+            self._frequencies = frequencies
+            self._frequencies.setflags(write=False)
+            self._storage = "dense"
+            return
+        frequencies = np.ascontiguousarray(frequencies, dtype=np.int64)
+        if frequencies.size and int(frequencies.min()) < 0:
+            position = int(np.argmin(frequencies))
+            raise PathError(
+                f"negative selectivity at domain index {position}: "
+                f"{int(frequencies[position])}"
+            )
+        if storage == "auto":
+            storage = _resolve_auto_storage(
+                self._domain_size, int(np.count_nonzero(frequencies))
+            )
+        if storage == "sparse":
+            indices = np.nonzero(frequencies)[0]
+            self._adopt_nonzeros(indices, frequencies[indices])
+            return
+        self._frequencies = frequencies
+        self._frequencies.setflags(write=False)
+        self._storage = "dense"
+
+    def _init_from_nonzeros(
+        self, indices: np.ndarray, values: np.ndarray, *, storage: str
+    ) -> None:
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        values = np.ascontiguousarray(values, dtype=np.int64)
+        if indices.ndim != 1 or indices.shape != values.shape:
+            raise PathError(
+                "sparse selectivities must be aligned one-dimensional "
+                "(indices, values) arrays"
+            )
+        if values.size and int(values.min()) < 0:
+            position = int(np.argmin(values))
+            raise PathError(
+                f"negative selectivity at domain index "
+                f"{int(indices[position])}: {int(values[position])}"
+            )
+        if values.size and int(values.min()) == 0:
+            # Explicit zeros carry no information in either storage mode;
+            # dropping them here keeps the sparse invariants simple.
+            mask = values > 0
+            indices, values = indices[mask], values[mask]
+        if indices.size:
+            if int(indices.min()) < 0 or int(indices.max()) >= self._domain_size:
+                raise PathError(
+                    f"sparse index out of range [0, {self._domain_size}) for "
+                    f"|L|={len(self._labels)}, k={self._max_length}"
+                )
+            if not bool(np.all(np.diff(indices) > 0)):
+                raise PathError(
+                    "sparse indices must be strictly increasing (sorted, "
+                    "no duplicates)"
+                )
+        if storage == "auto":
+            storage = _resolve_auto_storage(self._domain_size, int(indices.size))
+        if storage == "dense":
+            frequencies = np.zeros(self._domain_size, dtype=np.int64)
+            frequencies[indices] = values
+            self._frequencies = frequencies
+            self._frequencies.setflags(write=False)
+            self._storage = "dense"
+            return
+        self._adopt_nonzeros(indices, values)
+
+    def _adopt_nonzeros(self, indices: np.ndarray, values: np.ndarray) -> None:
+        self._nz_indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self._nz_values = np.ascontiguousarray(values, dtype=np.int64)
+        self._nz_indices.setflags(write=False)
+        self._nz_values.setflags(write=False)
+        self._storage = "sparse"
+
+    def _init_from_mapping(
+        self, selectivities: Mapping[PathLike, int], *, storage: str
+    ) -> None:
+        paths = list(selectivities.keys())
+        values = (
+            np.fromiter(
+                (int(selectivities[path]) for path in paths),
+                dtype=np.int64,
+                count=len(paths),
+            )
+            if paths
+            else np.empty(0, dtype=np.int64)
+        )
+        indices = (
+            paths_to_domain_indices(paths, self._labels, max_length=self._max_length)
+            if paths
+            else np.empty(0, dtype=np.int64)
+        )
+        if values.size and int(values.min()) < 0:
+            position = int(np.argmin(values))
+            raise PathError(
+                f"negative selectivity for {as_label_path(paths[position])}: "
+                f"{int(values[position])}"
+            )
+        # One sort finds duplicate domain indices (a str key and a LabelPath
+        # key can spell the same path); detecting them beats the old
+        # last-write-wins scatter, which silently kept an arbitrary value.
+        order = np.argsort(indices, kind="stable")
+        sorted_indices = indices[order]
+        duplicate = np.nonzero(np.diff(sorted_indices) == 0)[0]
+        if duplicate.size:
+            position = int(order[int(duplicate[0]) + 1])
+            raise PathError(
+                f"duplicate path in catalog mapping: "
+                f"{as_label_path(paths[position])}"
+            )
+        if storage in ("auto", "dense"):
+            # Mappings keep the legacy dense layout: a partial mapping
+            # carries an explicit-path mask, which only exists densely.
+            frequencies = np.zeros(self._domain_size, dtype=np.int64)
+            frequencies[indices] = values
+            explicit = np.zeros(self._domain_size, dtype=bool)
+            explicit[indices] = True
+            self._frequencies = frequencies
+            self._frequencies.setflags(write=False)
             # A mapping that covers the whole domain is just a dense catalog.
             self._explicit = None if bool(explicit.all()) else explicit
-        self._frequencies.setflags(write=False)
+            self._storage = "dense"
+            return
+        sorted_values = values[order]
+        mask = sorted_values > 0
+        self._adopt_nonzeros(sorted_indices[mask], sorted_values[mask])
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -160,20 +328,41 @@ class SelectivityCatalog:
         progress: Optional[Callable[[int], None]] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        storage: str = "auto",
     ) -> "SelectivityCatalog":
         """Build the catalog by exact evaluation of every path on ``graph``.
 
-        Construction runs the columnar builder
+        ``storage="dense"`` runs the columnar builder
         (:func:`~repro.paths.enumeration.compute_selectivity_vector`):
-        counts land directly in the frequency vector, with no per-path
-        ``LabelPath``/dict overhead.  ``backend`` picks ``"serial"``,
-        ``"thread"`` or ``"process"``; ``None`` resolves through
-        :func:`~repro.paths.enumeration.resolve_backend` (threads when
-        ``workers > 1``, serial otherwise).  Results are identical across
-        backends.
+        counts land directly in the O(|Lk|) frequency vector.  ``"sparse"``
+        and ``"auto"`` run the sparse builder
+        (:func:`~repro.paths.enumeration.compute_selectivity_nonzeros`),
+        which touches O(nnz) memory and never materialises zero subtrees;
+        ``"auto"`` then keeps the sparse form when the domain is large and
+        mostly zero, and scatters into a dense vector otherwise.  Results
+        are identical across storage modes and across the ``"serial"`` /
+        ``"thread"`` / ``"process"`` backends.
         """
+        if storage not in CATALOG_STORAGE_MODES:
+            raise PathError(
+                f"unknown storage mode {storage!r}; expected one of "
+                f"{CATALOG_STORAGE_MODES}"
+            )
         alphabet = sorted(labels) if labels is not None else graph.labels()
-        vector = compute_selectivity_vector(
+        name = graph.name or "unnamed"
+        if storage == "dense":
+            vector = compute_selectivity_vector(
+                graph,
+                max_length,
+                labels=alphabet,
+                progress=progress,
+                backend=backend,
+                workers=workers,
+            )
+            return cls.from_frequencies(
+                alphabet, max_length, vector, graph_name=name, copy=False
+            )
+        indices, counts = compute_selectivity_nonzeros(
             graph,
             max_length,
             labels=alphabet,
@@ -181,8 +370,12 @@ class SelectivityCatalog:
             backend=backend,
             workers=workers,
         )
-        return cls.from_frequencies(
-            alphabet, max_length, vector, graph_name=graph.name or "unnamed", copy=False
+        return cls(
+            alphabet,
+            max_length,
+            (indices, counts),
+            graph_name=name,
+            storage=storage,
         )
 
     def delta_requires_full_rebuild(self, graph: LabeledDiGraph) -> bool:
@@ -190,11 +383,16 @@ class SelectivityCatalog:
 
         True when the post-delta ``graph``'s label alphabet no longer
         matches this catalog's (the canonical index space itself moved) or
-        the catalog is sparse (the explicit-path mask cannot be patched).
+        the catalog was built from a *pruned mapping* (its explicit-path
+        mask cannot be patched).  Sparse-storage catalogs patch fine — only
+        the affected subtree index ranges are recomputed, in sparse form.
         The engine consults the same predicate for its stats, so what is
         reported always matches what ran.
         """
-        return tuple(sorted(graph.labels())) != self._labels or not self.is_dense
+        return (
+            tuple(sorted(graph.labels())) != self._labels
+            or self._explicit is not None
+        )
 
     def apply_delta(
         self,
@@ -211,19 +409,18 @@ class SelectivityCatalog:
         ``graph`` must be the **post-delta** graph (apply the delta with
         :meth:`GraphDelta.apply` first); ``delta`` is used only to decide
         which first-label subtrees to re-evaluate.  The catalog itself is
-        immutable — a new instance is returned, byte-identical to
-        :meth:`from_graph` on the post-delta graph.
+        immutable — a new instance is returned, equal to :meth:`from_graph`
+        on the post-delta graph, in the same storage mode as this catalog
+        (dense catalogs patch the frequency vector through
+        :func:`~repro.paths.enumeration.update_selectivity_vector`, sparse
+        ones splice the affected subtree index ranges through
+        :func:`~repro.paths.enumeration.update_selectivity_nonzeros`).
 
-        The incremental path (only affected subtree slices recomputed, via
-        :func:`~repro.paths.enumeration.update_selectivity_vector`) requires
-        a dense catalog over an unchanged label alphabet.  When the delta
-        moves the alphabet (a label appeared or lost its last edge — the
-        canonical index space itself changes) or the catalog is sparse
-        (pruned mappings carry an explicit-path mask a patch cannot
-        maintain), this falls back to a full cold rebuild.  ``affected``
+        The incremental path requires an unchanged label alphabet and no
+        explicit-path mask; otherwise this falls back to a full cold
+        rebuild (see :meth:`delta_requires_full_rebuild`).  ``affected``
         optionally forwards a precomputed
-        :func:`~repro.graph.delta.affected_first_labels` result (see
-        :func:`~repro.paths.enumeration.update_selectivity_vector`).
+        :func:`~repro.graph.delta.affected_first_labels` result.
         """
         if self.delta_requires_full_rebuild(graph):
             return SelectivityCatalog.from_graph(
@@ -232,6 +429,28 @@ class SelectivityCatalog:
                 progress=progress,
                 workers=workers,
                 backend=backend,
+                storage=self._storage,
+            )
+        name = graph.name or self._graph_name
+        if self._storage == "sparse":
+            indices, values = update_selectivity_nonzeros(
+                graph,
+                self._max_length,
+                self._nz_indices,
+                self._nz_values,
+                delta,
+                labels=self._labels,
+                progress=progress,
+                workers=workers,
+                backend=backend,
+                affected=affected,
+            )
+            return SelectivityCatalog(
+                self._labels,
+                self._max_length,
+                (indices, values),
+                graph_name=name,
+                storage="sparse",
             )
         vector = update_selectivity_vector(
             graph,
@@ -248,7 +467,7 @@ class SelectivityCatalog:
             self._labels,
             self._max_length,
             vector,
-            graph_name=graph.name or self._graph_name,
+            graph_name=name,
             copy=False,
         )
 
@@ -261,17 +480,87 @@ class SelectivityCatalog:
         *,
         graph_name: str = "",
         copy: bool = True,
+        storage: str = "dense",
     ) -> "SelectivityCatalog":
         """Build from a dense canonical-order frequency vector.
 
         ``copy=True`` (the default) leaves the caller's array untouched;
         ``copy=False`` adopts it zero-copy, after which the catalog marks it
         read-only (builders that hand over a freshly allocated vector use
-        this).
+        this).  ``storage`` defaults to ``"dense"`` — the input is already
+        the dense representation — but ``"sparse"``/``"auto"`` convert.
         """
         if copy:
             frequencies = np.array(frequencies, dtype=np.int64)
-        return cls(labels, max_length, frequencies, graph_name=graph_name)
+        return cls(
+            labels, max_length, frequencies, graph_name=graph_name, storage=storage
+        )
+
+    @classmethod
+    def from_nonzeros(
+        cls,
+        labels: Sequence[str],
+        max_length: int,
+        indices: np.ndarray,
+        values: np.ndarray,
+        *,
+        graph_name: str = "",
+        copy: bool = True,
+        storage: str = "sparse",
+    ) -> "SelectivityCatalog":
+        """Build from aligned sorted (canonical index, count) nonzero arrays.
+
+        The sparse counterpart of :meth:`from_frequencies`.  ``copy=False``
+        adopts the arrays zero-copy (they are marked read-only).
+        """
+        if copy:
+            indices = np.array(indices, dtype=np.int64)
+            values = np.array(values, dtype=np.int64)
+        return cls(
+            labels,
+            max_length,
+            (indices, values),
+            graph_name=graph_name,
+            storage=storage,
+        )
+
+    def to_dense(self) -> "SelectivityCatalog":
+        """This catalog in dense storage (``self`` when already dense)."""
+        if self._storage == "dense":
+            return self
+        return SelectivityCatalog.from_nonzeros(
+            self._labels,
+            self._max_length,
+            self._nz_indices,
+            self._nz_values,
+            graph_name=self._graph_name,
+            copy=False,
+            storage="dense",
+        )
+
+    def to_sparse(self) -> "SelectivityCatalog":
+        """This catalog in sparse storage (``self`` when already sparse).
+
+        Catalogs built from a pruned mapping refuse the conversion: their
+        explicit-path mask has no sparse representation.
+        """
+        if self._storage == "sparse":
+            return self
+        if self._explicit is not None:
+            raise PathError(
+                "a pruned-mapping catalog (explicit-path mask) cannot be "
+                "converted to sparse storage"
+            )
+        indices = np.nonzero(self._frequencies)[0]
+        return SelectivityCatalog.from_nonzeros(
+            self._labels,
+            self._max_length,
+            indices,
+            self._frequencies[indices],
+            graph_name=self._graph_name,
+            copy=False,
+            storage="sparse",
+        )
 
     # ------------------------------------------------------------------
     # core accessors
@@ -297,23 +586,78 @@ class SelectivityCatalog:
         return self._domain_size
 
     @property
-    def is_dense(self) -> bool:
-        """Whether every domain path has an explicitly stored selectivity.
+    def storage(self) -> str:
+        """The storage mode actually in use: ``"dense"`` or ``"sparse"``."""
+        return self._storage
 
-        Sparse catalogs (built from a pruned mapping) carry an explicit-path
-        mask; dense ones store the whole domain and serialise without it.
+    @property
+    def is_dense(self) -> bool:
+        """Whether every domain path has a stored (possibly implicit) value.
+
+        ``True`` for dense-storage catalogs without an explicit-path mask
+        *and* for sparse-storage catalogs (their implicit entries are real
+        zeros, not unknowns); ``False`` only for catalogs built from a
+        pruned mapping.  See :attr:`storage` for the representation.
         """
         return self._explicit is None
 
+    @property
+    def nnz(self) -> int:
+        """Number of paths with a strictly positive selectivity."""
+        if self._storage == "sparse":
+            return int(self._nz_indices.size)
+        return int(np.count_nonzero(self._frequencies))
+
+    @property
+    def density(self) -> float:
+        """``nnz / |Lk|`` — the fraction of the domain that is nonzero."""
+        return self.nnz / self._domain_size
+
+    def memory_bytes(self) -> int:
+        """Resident bytes of the stored representation.
+
+        O(nnz) for sparse storage (indices + counts), O(|Lk|) for dense —
+        except memory-mapped vectors, which charge 0 (their pages are
+        reclaimable file cache).  This is the number the serving layer's
+        byte-budget eviction charges per catalog.
+        """
+        if self._storage == "sparse":
+            return int(self._nz_indices.nbytes + self._nz_values.nbytes)
+        if isinstance(self._frequencies, np.memmap):
+            return 0
+        total = int(self._frequencies.nbytes)
+        if self._explicit is not None:
+            total += int(self._explicit.nbytes)
+        return total
+
     def frequency_vector(self) -> np.ndarray:
-        """The read-only ``int64`` frequency vector in canonical domain order.
+        """The ``int64`` frequency vector in canonical domain order.
 
         Position ``i`` is ``f`` of the ``i``-th path of
         :func:`~repro.paths.enumeration.enumerate_label_paths` over the
-        catalog's alphabet; paths without an explicitly stored value read 0.
-        This is the array the histogram layer consumes directly.
+        catalog's alphabet; paths without a stored value read 0.  Dense
+        catalogs return their (read-only) backing array; **sparse catalogs
+        materialise a fresh O(|Lk|) array on every call** — hot paths should
+        use :meth:`nonzero_arrays` instead.
         """
+        if self._storage == "sparse":
+            vector = np.zeros(self._domain_size, dtype=np.int64)
+            vector[self._nz_indices] = self._nz_values
+            return vector
         return self._frequencies
+
+    def nonzero_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Aligned ``(indices, values)`` arrays of the nonzero paths.
+
+        Sorted canonical domain indices and strictly positive counts —
+        O(nnz), read-only views for sparse catalogs, computed on the fly for
+        dense ones.  This is the stream the sparse-aware histogram builders
+        consume.
+        """
+        if self._storage == "sparse":
+            return self._nz_indices, self._nz_values
+        indices = np.nonzero(self._frequencies)[0]
+        return indices, self._frequencies[indices]
 
     def _domain_index(self, path: PathLike) -> int:
         """Canonical index of ``path``, validating alphabet and length.
@@ -338,13 +682,51 @@ class SelectivityCatalog:
             value = value * base + digit
         return self._block_starts[length - 1] + value
 
+    def _value_at(self, index: int) -> int:
+        """The stored selectivity at a canonical domain index."""
+        if self._storage == "sparse":
+            position = int(np.searchsorted(self._nz_indices, index))
+            if (
+                position < self._nz_indices.size
+                and int(self._nz_indices[position]) == index
+            ):
+                return int(self._nz_values[position])
+            return 0
+        return int(self._frequencies[index])
+
     def selectivity(self, path: PathLike) -> int:
         """The true selectivity ``f(ℓ)`` (0 for paths absent from the graph).
 
         Raises for paths outside the domain (unknown labels or too long) so
         that experiment code cannot silently query a mismatched catalog.
         """
-        return int(self._frequencies[self._domain_index(path)])
+        return self._value_at(self._domain_index(path))
+
+    def selectivities_at(self, indices) -> np.ndarray:
+        """Vectorised selectivities for a batch of canonical domain indices.
+
+        One fancy-index for dense storage, one ``searchsorted`` for sparse.
+        Out-of-range indices raise :class:`PathError`.
+        """
+        positions = np.ascontiguousarray(indices, dtype=np.int64)
+        if positions.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if int(positions.min()) < 0 or int(positions.max()) >= self._domain_size:
+            raise PathError(
+                f"domain index out of range [0, {self._domain_size}) for "
+                f"|L|={len(self._labels)}, k={self._max_length}"
+            )
+        if self._storage == "dense":
+            return self._frequencies[positions]
+        if self._nz_indices.size == 0:
+            return np.zeros(positions.size, dtype=np.int64)
+        found = np.minimum(
+            np.searchsorted(self._nz_indices, positions), self._nz_indices.size - 1
+        )
+        hit = self._nz_indices[found] == positions
+        out = np.zeros(positions.size, dtype=np.int64)
+        out[hit] = self._nz_values[found[hit]]
+        return out
 
     def label_selectivity(self, label: str) -> int:
         """Selectivity of the length-1 path for ``label``."""
@@ -357,67 +739,113 @@ class SelectivityCatalog:
     def paths(self) -> Iterator[LabelPath]:
         """Iterate over the paths with an explicitly stored selectivity.
 
-        Dense catalogs (built from a graph or a frequency vector) store the
-        whole domain; sparse ones (built from a pruned mapping) yield only
-        the mapped paths.  Iteration is in canonical domain order.
+        Catalogs covering the whole domain (from a graph or a frequency
+        vector, in either storage mode) yield all of ``Lk``; pruned-mapping
+        catalogs yield only the mapped paths.  Iteration is in canonical
+        domain order.
         """
         if self._explicit is None:
             return enumerate_label_paths(self._labels, self._max_length)
-        return (
-            domain_index_to_path(int(index), self._labels)
-            for index in np.nonzero(self._explicit)[0]
+        return iter(
+            domain_indices_to_paths(
+                np.nonzero(self._explicit)[0], self._labels, self._max_length
+            )
         )
 
     def items(self) -> Iterator[tuple[LabelPath, int]]:
         """Iterate over ``(path, selectivity)`` for explicitly stored paths."""
-        frequencies = self._frequencies
-        if self._explicit is None:
+        if self._explicit is not None:
+            indices = np.nonzero(self._explicit)[0]
+            frequencies = self._frequencies
+            return (
+                (path, int(frequencies[index]))
+                for path, index in zip(
+                    domain_indices_to_paths(
+                        indices, self._labels, self._max_length
+                    ),
+                    indices,
+                )
+            )
+        if self._storage == "dense":
+            frequencies = self._frequencies
             return (
                 (path, int(frequencies[index]))
                 for index, path in enumerate(
                     enumerate_label_paths(self._labels, self._max_length)
                 )
             )
-        return (
-            (domain_index_to_path(int(index), self._labels), int(frequencies[index]))
-            for index in np.nonzero(self._explicit)[0]
-        )
+        return self._sparse_items()
+
+    def _sparse_items(self) -> Iterator[tuple[LabelPath, int]]:
+        """Full-domain ``(path, value)`` walk merged against the nonzeros."""
+        nz_indices = self._nz_indices
+        nz_values = self._nz_values
+        pointer = 0
+        for index, path in enumerate(
+            enumerate_label_paths(self._labels, self._max_length)
+        ):
+            if pointer < nz_indices.size and int(nz_indices[pointer]) == index:
+                yield path, int(nz_values[pointer])
+                pointer += 1
+            else:
+                yield path, 0
 
     def nonzero_paths(self) -> list[LabelPath]:
-        """All stored paths with a strictly positive selectivity."""
-        return [
-            domain_index_to_path(int(index), self._labels)
-            for index in np.nonzero(self._frequencies)[0]
-        ]
+        """All stored paths with a strictly positive selectivity.
+
+        Unranking is batched through
+        :func:`~repro.paths.index.domain_indices_to_paths` (vectorised digit
+        peeling) instead of one scalar conversion per path.
+        """
+        indices, _ = self.nonzero_arrays()
+        return domain_indices_to_paths(indices, self._labels, self._max_length)
 
     def total_selectivity(self) -> int:
         """Sum of ``f(ℓ)`` over all stored paths (cached after first call)."""
         if self._total is None:
-            self._total = int(self._frequencies.sum())
+            if self._storage == "sparse":
+                self._total = int(self._nz_values.sum())
+            else:
+                self._total = int(self._frequencies.sum())
         return self._total
 
     def max_selectivity(self) -> int:
         """The largest stored selectivity (0 for an empty catalog; cached)."""
         if self._max is None:
-            self._max = int(self._frequencies.max(initial=0))
+            if self._storage == "sparse":
+                self._max = int(self._nz_values.max(initial=0))
+            else:
+                self._max = int(self._frequencies.max(initial=0))
         return self._max
 
     def restrict(self, max_length: int) -> "SelectivityCatalog":
         """A new catalog containing only paths of length ≤ ``max_length``.
 
-        The canonical order is length-major, so restriction is a prefix slice
-        of the frequency vector.
+        The canonical order is length-major, so restriction is a prefix
+        slice of the frequency vector (dense) or a ``searchsorted`` cut of
+        the nonzero arrays (sparse).  The storage mode is preserved.
         """
         if max_length > self._max_length:
             raise PathError(
                 f"cannot restrict to max_length={max_length} > {self._max_length}"
             )
         size = domain_size(len(self._labels), max_length)
+        if self._storage == "sparse":
+            cut = int(np.searchsorted(self._nz_indices, size))
+            return SelectivityCatalog.from_nonzeros(
+                self._labels,
+                max_length,
+                self._nz_indices[:cut],
+                self._nz_values[:cut],
+                graph_name=self._graph_name,
+                storage="sparse",
+            )
         restricted = SelectivityCatalog(
             self._labels,
             max_length,
             self._frequencies[:size].copy(),
             graph_name=self._graph_name,
+            storage="dense",
         )
         if self._explicit is not None:
             mask = self._explicit[:size].copy()
@@ -441,7 +869,7 @@ class SelectivityCatalog:
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return (
             f"<SelectivityCatalog graph={self._graph_name!r} |L|={len(self._labels)} "
-            f"k={self._max_length} stored={len(self)}>"
+            f"k={self._max_length} stored={len(self)} storage={self._storage!r}>"
         )
 
     # ------------------------------------------------------------------
@@ -488,37 +916,58 @@ class SelectivityCatalog:
     def save_npz(self, path: Union[str, Path]) -> None:
         """Write the catalog to ``path`` as a compressed ``.npz`` archive.
 
-        The archive stores the dense frequency vector plus metadata
-        (``labels``, ``max_length``, ``graph_name``, ``format_version`` =
-        :data:`CATALOG_NPZ_VERSION`, and the explicit-path mask when the
-        catalog is sparse).  Typically a small fraction of the JSON size.
+        The archive stores metadata (``labels``, ``max_length``,
+        ``graph_name``, ``format_version`` = :data:`CATALOG_NPZ_VERSION`)
+        plus the representation: the dense ``frequencies`` vector (and the
+        explicit-path mask when one exists) for dense storage, the aligned
+        ``nz_indices`` / ``nz_values`` pair — O(nnz) on disk too — for
+        sparse storage.
         """
         arrays: dict[str, np.ndarray] = {
             "format_version": np.asarray(CATALOG_NPZ_VERSION, dtype=np.int64),
             "labels": np.asarray(self._labels, dtype=np.str_),
             "max_length": np.asarray(self._max_length, dtype=np.int64),
             "graph_name": np.asarray(self._graph_name, dtype=np.str_),
-            "frequencies": self._frequencies,
         }
-        if self._explicit is not None:
-            arrays["explicit"] = self._explicit
+        if self._storage == "sparse":
+            arrays["nz_indices"] = self._nz_indices
+            arrays["nz_values"] = self._nz_values
+        else:
+            arrays["frequencies"] = self._frequencies
+            if self._explicit is not None:
+                arrays["explicit"] = self._explicit
         with open(Path(path), "wb") as handle:
             np.savez_compressed(handle, **arrays)
 
     @classmethod
     def load_npz(cls, path: Union[str, Path]) -> "SelectivityCatalog":
-        """Read a catalog previously written by :meth:`save_npz`."""
+        """Read a catalog previously written by :meth:`save_npz`.
+
+        Both layouts of format version 2 (dense and sparse) and the legacy
+        dense-only version 1 load transparently; the storage mode is
+        whatever the archive carries.
+        """
         with np.load(Path(path), allow_pickle=False) as archive:
             try:
                 version = int(archive["format_version"])
-                if version != CATALOG_NPZ_VERSION:
+                if version not in (1, CATALOG_NPZ_VERSION):
                     raise PathError(
                         f"unsupported catalog npz format version {version} "
-                        f"(expected {CATALOG_NPZ_VERSION})"
+                        f"(expected <= {CATALOG_NPZ_VERSION})"
                     )
                 labels = [str(label) for label in archive["labels"]]
                 max_length = int(archive["max_length"])
                 graph_name = str(archive["graph_name"])
+                if "nz_indices" in archive.files:
+                    indices = np.asarray(archive["nz_indices"], dtype=np.int64)
+                    values = np.asarray(archive["nz_values"], dtype=np.int64)
+                    return cls(
+                        labels,
+                        max_length,
+                        (indices, values),
+                        graph_name=graph_name,
+                        storage="sparse",
+                    )
                 frequencies = np.asarray(archive["frequencies"], dtype=np.int64)
                 explicit = (
                     np.asarray(archive["explicit"], dtype=bool)
@@ -527,7 +976,9 @@ class SelectivityCatalog:
                 )
             except KeyError as exc:
                 raise PathError(f"invalid catalog npz archive: missing {exc}") from exc
-        catalog = cls(labels, max_length, frequencies, graph_name=graph_name)
+        catalog = cls(
+            labels, max_length, frequencies, graph_name=graph_name, storage="dense"
+        )
         if explicit is not None:
             if explicit.shape != catalog._frequencies.shape:
                 raise PathError("invalid catalog npz archive: bad explicit mask")

@@ -7,19 +7,30 @@ selectivity ``f(ℓ)`` of *every* path in ``Lk`` in a single prefix-sharing
 depth-first traversal over boolean matrix products, which is what makes
 building the full catalog for ``k = 6`` feasible.
 
-Two builders exist:
+Three builders exist:
 
+* :func:`compute_selectivity_nonzeros` — the **sparse core**: emits the
+  strictly-positive selectivities as aligned ``(domain indices, counts)``
+  ``int64`` arrays in canonical numerical-alphabetical order, touching
+  O(nnz) memory.  Zero subtrees are never materialised — only a progress
+  counter advances past them — which is what lets alphabet/length scenarios
+  whose dense domain would not fit in memory (``|L|=20, k=6`` is 64M
+  entries) build at all.
 * :func:`compute_selectivity_vector` — the **columnar core**: writes counts
   straight into an index-aligned ``int64`` NumPy vector in canonical
   numerical-alphabetical order (see :mod:`repro.paths.index`).  No
   :class:`LabelPath` objects, no dict inserts; subtrees rooted at an empty
   prefix are skipped in O(1) because the vector is zero-initialised and the
-  canonical order maps every subtree to a contiguous slice.  Supports
-  ``backend="serial" | "thread" | "process"`` over the ``|L|`` independent
-  first-label subtrees of the path trie.
+  canonical order maps every subtree to a contiguous slice.
 * :func:`compute_selectivities` — the legacy dict builder (``LabelPath`` →
   count), kept as the compatibility surface and as the reference baseline the
   benchmark suite measures the columnar core against.
+
+All three share the prefix-sharing DFS over boolean matrix products and
+support ``backend="serial" | "thread" | "process"`` over the ``|L|``
+independent first-label subtrees of the path trie (the dict builder via
+:func:`compute_selectivities_parallel`); the sparse and columnar cores agree
+exactly — the sparse arrays are the nonzero scatter of the columnar vector.
 """
 
 from __future__ import annotations
@@ -46,7 +57,10 @@ __all__ = [
     "compute_selectivities",
     "compute_selectivities_parallel",
     "compute_selectivity_vector",
+    "compute_selectivity_nonzeros",
     "update_selectivity_vector",
+    "update_selectivity_nonzeros",
+    "subtree_level_ranges",
     "resolve_backend",
     "CATALOG_BACKENDS",
 ]
@@ -394,6 +408,74 @@ def _subtree_levels(
     return levels
 
 
+def _subtree_nonzeros(
+    matrices: Mapping[str, sparse.csr_matrix],
+    alphabet: Sequence[str],
+    first_label: str,
+    max_length: int,
+    progress: Optional[Callable[[int], None]] = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Nonzero selectivities of one first-label subtree, as per-length arrays.
+
+    The sparse counterpart of :func:`_subtree_levels`: entry ``i`` of the
+    returned list is an ``(int64 local positions, int64 counts)`` pair
+    covering the *nonzero* paths of length ``i + 1`` that start with
+    ``first_label``; a path's local position is the base-``|L|`` number
+    spelled by its remaining labels, so the pair maps onto the same
+    contiguous domain slice :func:`_merge_subtree` fills — without ever
+    allocating the ``|L|^i`` slots the zeros would occupy.  The DFS visits
+    extensions in digit order, so each level's positions come out sorted and
+    no post-hoc sort is needed.  Zero subtrees advance only the progress
+    counter.
+    """
+    base = len(alphabet)
+    local_lists: list[list[int]] = [[] for _ in range(max_length)]
+    count_lists: list[list[int]] = [[] for _ in range(max_length)]
+    state = [0, 0]  # processed, last reported
+
+    def advance(count: int) -> None:
+        state[0] += count
+        if progress is not None and state[0] - state[1] >= _PROGRESS_EVERY:
+            state[1] = state[0]
+            progress(state[0])
+
+    root_matrix = matrices[first_label]
+    root_count = int(root_matrix.nnz)
+    if root_count:
+        local_lists[0].append(0)
+        count_lists[0].append(root_count)
+    advance(1)
+
+    def visit(local_value: int, length: int, prefix_matrix) -> None:
+        if length >= max_length:
+            return
+        if prefix_matrix.nnz == 0:
+            advance(_subtree_tail_size(base, max_length - length))
+            return
+        locals_here = local_lists[length]
+        counts_here = count_lists[length]
+        for digit, label in enumerate(alphabet):
+            extended = (prefix_matrix @ matrices[label]).astype(bool)
+            child = local_value * base + digit
+            count = int(extended.nnz)
+            if count:
+                locals_here.append(child)
+                counts_here.append(count)
+            advance(1)
+            visit(child, length + 1, extended)
+
+    visit(0, 1, root_matrix)
+    if progress is not None and state[0] != state[1]:
+        progress(state[0])
+    return [
+        (
+            np.asarray(locals_, dtype=np.int64),
+            np.asarray(counts_, dtype=np.int64),
+        )
+        for locals_, counts_ in zip(local_lists, count_lists)
+    ]
+
+
 # Per-process state for the ``process`` backend, populated by the pool
 # initializer so the CSR matrices are shipped to each worker exactly once.
 _PROCESS_STATE: dict[str, object] = {}
@@ -411,6 +493,18 @@ def _init_process_worker(
 
 def _process_subtree(first_label: str) -> tuple[str, list[np.ndarray]]:
     levels = _subtree_levels(
+        _PROCESS_STATE["matrices"],  # type: ignore[arg-type]
+        _PROCESS_STATE["alphabet"],  # type: ignore[arg-type]
+        first_label,
+        _PROCESS_STATE["max_length"],  # type: ignore[arg-type]
+    )
+    return first_label, levels
+
+
+def _process_subtree_nonzeros(
+    first_label: str,
+) -> tuple[str, list[tuple[np.ndarray, np.ndarray]]]:
+    levels = _subtree_nonzeros(
         _PROCESS_STATE["matrices"],  # type: ignore[arg-type]
         _PROCESS_STATE["alphabet"],  # type: ignore[arg-type]
         first_label,
@@ -559,6 +653,227 @@ def _build_subtrees_into(
         for label, levels in pool.map(_process_subtree, roots):
             _merge_subtree(vector, starts, base, digit_of[label], levels)
             aggregator.bump(subtree_size)
+
+
+def _collect_subtrees_nonzeros(
+    matrices: Mapping[str, sparse.csr_matrix],
+    alphabet: Sequence[str],
+    roots: Sequence[str],
+    max_length: int,
+    backend: str,
+    worker_count: int,
+    progress: Optional[Callable[[int], None]],
+) -> dict[str, list[tuple[np.ndarray, np.ndarray]]]:
+    """Per-root :func:`_subtree_nonzeros` results, through the chosen backend.
+
+    The sparse sibling of :func:`_build_subtrees_into`; results are keyed by
+    first label so callers can assemble (or splice) them in digit order.
+    """
+    base = len(alphabet)
+    results: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+    if backend == "serial":
+        aggregator = _ProgressAggregator(progress)
+        for label in roots:
+            results[label] = _subtree_nonzeros(
+                matrices, alphabet, label, max_length, progress=aggregator.adapter()
+            )
+        return results
+
+    if backend == "thread":
+        aggregator = _ProgressAggregator(progress)
+        with ThreadPoolExecutor(max_workers=worker_count) as pool:
+            futures = [
+                pool.submit(
+                    _subtree_nonzeros,
+                    matrices,
+                    alphabet,
+                    label,
+                    max_length,
+                    progress=aggregator.adapter(),
+                )
+                for label in roots
+            ]
+            for label, future in zip(roots, futures):
+                results[label] = future.result()
+        return results
+
+    # process backend
+    aggregator = _ProgressAggregator(progress)
+    subtree_size = 1 + _subtree_tail_size(base, max_length - 1)
+    with ProcessPoolExecutor(
+        max_workers=worker_count,
+        initializer=_init_process_worker,
+        initargs=(matrices, tuple(alphabet), max_length),
+    ) as pool:
+        for label, levels in pool.map(_process_subtree_nonzeros, roots):
+            results[label] = levels
+            aggregator.bump(subtree_size)
+    return results
+
+
+def _assemble_nonzeros(
+    results: Mapping[str, list[tuple[np.ndarray, np.ndarray]]],
+    alphabet: Sequence[str],
+    roots: Sequence[str],
+    starts: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-subtree nonzero levels into sorted global arrays.
+
+    The canonical order is length-major and, within a length, first-digit
+    major; concatenating levels in length order and subtrees in digit order
+    therefore yields globally sorted domain indices without a sort.
+    """
+    base = len(alphabet)
+    digit_of = {label: digit for digit, label in enumerate(alphabet)}
+    ordered_roots = sorted(roots, key=lambda label: digit_of[label])
+    max_length = len(starts) - 1
+    index_chunks: list[np.ndarray] = []
+    count_chunks: list[np.ndarray] = []
+    for level_index in range(max_length):
+        width = base**level_index
+        for label in ordered_roots:
+            locals_, counts = results[label][level_index]
+            if locals_.size:
+                offset = int(starts[level_index]) + digit_of[label] * width
+                index_chunks.append(offset + locals_)
+                count_chunks.append(counts)
+    if not index_chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy()
+    return np.concatenate(index_chunks), np.concatenate(count_chunks)
+
+
+def compute_selectivity_nonzeros(
+    graph: LabeledDiGraph,
+    max_length: int,
+    *,
+    labels: Optional[Sequence[str]] = None,
+    store: Optional[LabelMatrixStore] = None,
+    progress: Optional[Callable[[int], None]] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute the nonzero part of ``f`` over ``Lk`` as aligned sparse arrays.
+
+    Returns ``(indices, counts)``: sorted ``int64`` canonical domain indices
+    of every path with ``f(ℓ) > 0`` and their selectivities, i.e. exactly
+    ``np.nonzero(v)[0]`` and ``v[np.nonzero(v)[0]]`` of the
+    :func:`compute_selectivity_vector` output — computed in O(nnz) memory.
+    The full ``|Lk|`` domain is never allocated: zero subtrees advance only
+    the progress counter, so scenarios whose dense vector would not fit
+    (``|L|=20, k=6`` is 64M entries) build in the space of their signal.
+
+    Parameters are as in :func:`compute_selectivity_vector`; the traversal,
+    backends and progress semantics are shared.
+    """
+    if max_length < 1:
+        raise PathError("max_length must be >= 1")
+    alphabet = tuple(sorted(labels) if labels is not None else graph.labels())
+    backend, worker_count = resolve_backend(backend, workers, len(alphabet) or 1)
+    if not alphabet:
+        raise PathError("the graph has no edge labels to enumerate")
+    matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
+    matrices = {label: matrix_store.matrix(label) for label in alphabet}
+    starts = domain_block_starts(len(alphabet), max_length)
+    results = _collect_subtrees_nonzeros(
+        matrices, alphabet, alphabet, max_length, backend, worker_count, progress
+    )
+    return _assemble_nonzeros(results, alphabet, alphabet, starts)
+
+
+def subtree_level_ranges(
+    label_count: int, max_length: int, first_digit: int
+) -> list[tuple[int, int]]:
+    """The half-open canonical index ranges one first-label subtree covers.
+
+    One ``(low, high)`` range per path length: the length-``m + 1`` slice of
+    the subtree rooted at the label with digit ``first_digit`` is
+    ``[starts[m] + d·|L|^m, starts[m] + (d + 1)·|L|^m)``.  These are the
+    exact ranges the sparse delta patch replaces.
+    """
+    starts = domain_block_starts(label_count, max_length)
+    ranges: list[tuple[int, int]] = []
+    for level_index in range(max_length):
+        width = label_count**level_index
+        low = int(starts[level_index]) + first_digit * width
+        ranges.append((low, low + width))
+    return ranges
+
+
+def update_selectivity_nonzeros(
+    graph: LabeledDiGraph,
+    max_length: int,
+    old_indices: np.ndarray,
+    old_counts: np.ndarray,
+    delta: GraphDelta,
+    *,
+    labels: Optional[Sequence[str]] = None,
+    store: Optional[LabelMatrixStore] = None,
+    progress: Optional[Callable[[int], None]] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    affected: Optional[Sequence[str]] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Patch sparse ``(indices, counts)`` arrays after ``delta``.
+
+    The sparse counterpart of :func:`update_selectivity_vector`: only the
+    first-label subtrees :func:`~repro.graph.delta.affected_first_labels`
+    flags are re-evaluated (sparsely, on the post-delta ``graph``); every
+    old entry outside the affected subtrees' index ranges is kept as is.
+    The result equals a cold :func:`compute_selectivity_nonzeros` on the
+    post-delta graph.  Caller contract (post-delta graph, stable alphabet,
+    optional precomputed ``affected``) is as in
+    :func:`update_selectivity_vector`.
+    """
+    if max_length < 1:
+        raise PathError("max_length must be >= 1")
+    alphabet = tuple(sorted(labels) if labels is not None else graph.labels())
+    if not alphabet:
+        raise PathError("the graph has no edge labels to enumerate")
+    old_indices = np.ascontiguousarray(old_indices, dtype=np.int64)
+    old_counts = np.ascontiguousarray(old_counts, dtype=np.int64)
+    if old_indices.shape != old_counts.shape or old_indices.ndim != 1:
+        raise PathError(
+            "old indices and counts must be aligned one-dimensional arrays"
+        )
+    if affected is None:
+        affected = affected_first_labels(graph, delta, max_length, labels=alphabet)
+    if not affected:
+        return old_indices.copy(), old_counts.copy()
+    backend, worker_count = resolve_backend(backend, workers, len(affected))
+    matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
+    matrices = {label: matrix_store.matrix(label) for label in alphabet}
+    starts = domain_block_starts(len(alphabet), max_length)
+    digit_of = {label: digit for digit, label in enumerate(alphabet)}
+    unknown = sorted(set(affected) - set(alphabet))
+    if unknown:
+        raise PathError(
+            f"affected labels outside the alphabet: {', '.join(unknown)}"
+        )
+
+    results = _collect_subtrees_nonzeros(
+        matrices, alphabet, tuple(affected), max_length, backend, worker_count, progress
+    )
+    fresh_indices, fresh_counts = _assemble_nonzeros(
+        results, alphabet, tuple(affected), starts
+    )
+
+    # Drop every retained entry that falls inside an affected subtree's
+    # ranges, then merge the (disjoint) fresh entries back in sorted order.
+    keep = np.ones(old_indices.size, dtype=bool)
+    for label in affected:
+        for low, high in subtree_level_ranges(
+            len(alphabet), max_length, digit_of[label]
+        ):
+            first, last = np.searchsorted(old_indices, [low, high])
+            keep[first:last] = False
+    kept_indices = old_indices[keep]
+    kept_counts = old_counts[keep]
+    merged_indices = np.concatenate((kept_indices, fresh_indices))
+    merged_counts = np.concatenate((kept_counts, fresh_counts))
+    order = np.argsort(merged_indices, kind="stable")
+    return merged_indices[order], merged_counts[order]
 
 
 def update_selectivity_vector(

@@ -155,33 +155,25 @@ def domain_indices_to_paths(
     """Label paths at a batch of canonical domain indices (vectorised unrank).
 
     The digits of every index are peeled off with vectorised modular
-    arithmetic, one length group at a time.  Indices outside
-    ``[0, |Lk|)`` raise :class:`PathError`.
+    arithmetic through :func:`canonical_digit_blocks`, one length group at a
+    time, and the paths are assembled through the unchecked
+    ``LabelPath`` fast path (the labels come from the validated alphabet).
+    Indices outside ``[0, |Lk|)`` raise :class:`PathError`.
     """
     ordered = sorted(alphabet)
     if not ordered:
         raise PathError("the label alphabet must not be empty")
-    base = len(ordered)
-    starts = domain_block_starts(base, max_length)
     index_array = np.asarray(indices, dtype=np.int64)
     if index_array.size == 0:
         return []
-    if index_array.min(initial=0) < 0 or index_array.max(initial=0) >= starts[-1]:
-        raise PathError(
-            f"domain index out of range [0, {int(starts[-1])}) for "
-            f"|L|={base}, k={max_length}"
-        )
-    lengths = np.searchsorted(starts, index_array, side="right")
+    label_array = np.asarray(ordered, dtype=object)
     out: list[Optional[LabelPath]] = [None] * index_array.size
-    for length in np.unique(lengths):
-        member = np.nonzero(lengths == length)[0]
-        remaining = index_array[member] - starts[length - 1]
-        digits = np.empty((member.size, int(length)), dtype=np.int64)
-        for position in range(int(length) - 1, -1, -1):
-            digits[:, position] = remaining % base
-            remaining //= base
-        for row, original in enumerate(member):
-            out[original] = LabelPath(ordered[d] for d in digits[row])
+    for _, positions, digits in canonical_digit_blocks(
+        len(ordered), max_length, index_array
+    ):
+        rows = label_array[digits]
+        for position, row in zip(positions.tolist(), rows):
+            out[position] = LabelPath._from_validated(tuple(row))
     return out  # type: ignore[return-value]
 
 

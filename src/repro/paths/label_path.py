@@ -73,6 +73,18 @@ class LabelPath:
         return cls((label,))
 
     @classmethod
+    def _from_validated(cls, labels: tuple[str, ...]) -> "LabelPath":
+        """Wrap an already-validated non-empty label tuple without re-checking.
+
+        Internal fast path for the batch unranking routines, which emit
+        thousands of paths whose labels all come from a validated alphabet;
+        everything else should use the checked constructor.
+        """
+        path = cls.__new__(cls)
+        path._labels = labels
+        return path
+
+    @classmethod
     def from_domain_index(cls, index: int, alphabet: Sequence[str]) -> "LabelPath":
         """The path at canonical domain ``index`` over the sorted ``alphabet``.
 

@@ -183,9 +183,15 @@ class TestSessionUsesColumnarArtifact:
 
     def test_catalog_format_version_in_cache_key(self):
         # The config digest must cover the artifact format so a layout change
-        # re-keys the artifact instead of half-trusting a stale entry.
+        # re-keys the artifact instead of half-trusting a stale entry, and
+        # the requested storage mode so dense and sparse sessions never
+        # alias one artifact.
         fields = EngineConfig(max_length=3).catalog_fields()
-        assert fields.get("catalog_format") == 2
+        assert fields.get("catalog_format") == 3
+        assert fields.get("storage") == "auto"
+        sparse_fields = EngineConfig(max_length=3, storage="sparse").catalog_fields()
+        assert sparse_fields.get("storage") == "sparse"
+        assert fields != sparse_fields
 
     def test_json_artifact_content_is_legacy_schema(self, small_catalog, tmp_path):
         # Guards the fallback contract: ``save`` still writes the exact

@@ -1,0 +1,168 @@
+"""Sparse-storage estimation sessions: lazy ranking, O(nnz) accounting,
+artifact round trips and incremental updates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import ArtifactCache, EngineConfig, EstimationSession
+from repro.exceptions import EngineError
+from repro.graph.delta import GraphDelta
+from repro.graph.generators import zipf_labeled_graph
+from repro.serving import SessionRegistry
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return zipf_labeled_graph(150, 220, 10, skew=0.8, seed=13, name="sparse-eng")
+
+
+@pytest.fixture(scope="module")
+def configs():
+    shared = dict(max_length=4, ordering="sum-based", bucket_count=32)
+    return (
+        EngineConfig(storage="dense", **shared),
+        EngineConfig(storage="sparse", **shared),
+    )
+
+
+@pytest.fixture(scope="module")
+def sessions(graph, configs):
+    dense_config, sparse_config = configs
+    return (
+        EstimationSession.build(graph, dense_config),
+        EstimationSession.build(graph, sparse_config),
+    )
+
+
+class TestSparseSession:
+    def test_storage_and_stats(self, sessions):
+        dense, sparse = sessions
+        assert dense.catalog.storage == "dense"
+        assert sparse.catalog.storage == "sparse"
+        assert sparse.stats.extra.get("lazy_positions") is True
+        assert sparse.stats.extra.get("catalog_storage") == "sparse"
+        assert sparse.stats.extra.get("catalog_nnz") == sparse.catalog.nnz
+
+    def test_estimates_agree_with_dense_session(self, sessions):
+        dense, sparse = sessions
+        workload = [str(path) for path in dense.catalog.paths()][::7]
+        assert np.allclose(
+            dense.estimate_batch(workload), sparse.estimate_batch(workload)
+        )
+
+    def test_batch_agrees_with_scalar_loop(self, sessions):
+        _, sparse = sessions
+        workload = [str(path) for path in sparse.catalog.nonzero_paths()[:40]]
+        batch = sparse.estimate_batch(workload)
+        assert np.allclose(batch, [sparse.estimate(path) for path in workload])
+
+    def test_positions_agree_with_ordering(self, sessions):
+        _, sparse = sessions
+        workload = ["1", "2/3", "4/5/6"]
+        expected = [sparse.ordering.index(path) for path in workload]
+        assert sparse.positions(workload).tolist() == expected
+        assert sparse.position("2/3") == sparse.ordering.index("2/3")
+
+    def test_memory_accounting_is_o_nnz(self, sessions):
+        dense, sparse = sessions
+        assert sparse.memory_bytes() < dense.memory_bytes() / 10
+        assert sparse.memory_bytes() >= sparse.catalog.memory_bytes()
+
+    def test_true_selectivity_served_from_sparse_catalog(self, sessions):
+        dense, sparse = sessions
+        for path in list(dense.catalog.nonzero_paths())[:10]:
+            assert sparse.true_selectivity(path) == dense.true_selectivity(path)
+
+
+class TestSparseArtifacts:
+    def test_warm_start_round_trips_sparse_catalog(self, graph, configs, tmp_path):
+        _, sparse_config = configs
+        cache = ArtifactCache(tmp_path)
+        cold = EstimationSession.build(graph, sparse_config, cache_dir=cache)
+        assert not cold.stats.catalog_from_cache
+        warm = EstimationSession.build(graph, sparse_config, cache_dir=cache)
+        assert warm.stats.catalog_from_cache
+        assert warm.catalog.storage == "sparse"
+        assert np.array_equal(
+            warm.catalog.nonzero_arrays()[0], cold.catalog.nonzero_arrays()[0]
+        )
+        workload = [str(path) for path in cold.catalog.nonzero_paths()[:25]]
+        assert np.allclose(
+            warm.estimate_batch(workload), cold.estimate_batch(workload)
+        )
+
+    def test_no_position_artifact_for_sparse_sessions(self, graph, configs, tmp_path):
+        dense_config, sparse_config = configs
+        cache = ArtifactCache(tmp_path)
+        EstimationSession.build(graph, sparse_config, cache_dir=cache)
+        assert not any(tmp_path.glob("positions-*.npy"))
+        EstimationSession.build(graph, dense_config, cache_dir=cache)
+        assert any(tmp_path.glob("positions-*.npy"))
+
+    def test_no_mmap_sidecar_for_sparse_catalogs(self, graph, configs, tmp_path):
+        _, sparse_config = configs
+        cache = ArtifactCache(tmp_path)
+        session = EstimationSession.build(graph, sparse_config, cache_dir=cache)
+        cache.store_catalog("forced", session.catalog, mmap_sidecar=True)
+        assert not cache.mmap_catalog_path("forced").exists()
+        loaded = cache.load_catalog("forced", mmap=True)
+        assert loaded.storage == "sparse"
+
+    def test_storage_modes_do_not_alias_artifacts(self, graph, configs, tmp_path):
+        dense_config, sparse_config = configs
+        cache = ArtifactCache(tmp_path)
+        dense = EstimationSession.build(graph, dense_config, cache_dir=cache)
+        sparse = EstimationSession.build(graph, sparse_config, cache_dir=cache)
+        assert dense.stats.catalog_key != sparse.stats.catalog_key
+        assert not sparse.stats.catalog_from_cache
+
+
+class TestSparseUpdate:
+    def test_update_matches_cold_rebuild(self, graph, configs, tmp_path):
+        _, sparse_config = configs
+        session = EstimationSession.build(
+            graph.copy(), sparse_config, cache_dir=ArtifactCache(tmp_path)
+        )
+        label = sorted(graph.labels())[2]
+        removals = list(graph.edges_with_label(label))[:3]
+        delta = GraphDelta(removals=removals)
+        updated = session.update(delta)
+        assert updated.catalog.storage == "sparse"
+        assert updated.stats.extra.get("delta_full_rebuild") is False
+        cold_graph = graph.copy()
+        delta.apply(cold_graph)
+        cold = EstimationSession.build(cold_graph, sparse_config)
+        assert np.array_equal(
+            updated.catalog.nonzero_arrays()[0], cold.catalog.nonzero_arrays()[0]
+        )
+        assert np.array_equal(
+            updated.catalog.nonzero_arrays()[1], cold.catalog.nonzero_arrays()[1]
+        )
+        workload = [str(path) for path in cold.catalog.nonzero_paths()[:20]]
+        assert np.allclose(
+            updated.estimate_batch(workload), cold.estimate_batch(workload)
+        )
+
+    def test_stale_update_still_guarded(self, graph, configs):
+        _, sparse_config = configs
+        session = EstimationSession.build(graph.copy(), sparse_config)
+        delta = GraphDelta(removals=[tuple(next(iter(session.graph.edges())))])
+        session.update(delta)  # mutates the retained graph
+        with pytest.raises(EngineError, match="stale session"):
+            session.update(delta)
+
+
+class TestSparseServing:
+    def test_registry_serves_sparse_sessions(self, graph, configs):
+        _, sparse_config = configs
+        registry = SessionRegistry(default_config=sparse_config)
+        registry.register("sparse-graph", graph=graph)
+        session = registry.get("sparse-graph")
+        assert session.catalog.storage == "sparse"
+        row = registry.describe()[0]
+        assert row["storage"] == "sparse"
+        assert row["catalog_storage"] == "sparse"
+        assert row["memory_bytes"] == session.memory_bytes()
+        assert registry.memory_bytes() == session.memory_bytes()

@@ -1,0 +1,163 @@
+"""Sparse-input histogram construction: byte-identical to the dense path.
+
+The contract under test is strict: for every built-in histogram kind, a
+:class:`SparseFrequencies` view of an integer-valued vector must produce the
+same bucket boundaries, the same bucket statistics and the same estimates as
+the dense vector itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import HistogramError, InvalidBucketCountError
+from repro.histogram import HISTOGRAM_KINDS
+from repro.histogram.base import Histogram
+from repro.histogram.sparse import SparseFrequencies, absent_positions
+from repro.histogram.vopt import VOptimalHistogram
+
+
+def sparse_of(dense: np.ndarray) -> SparseFrequencies:
+    positions = np.nonzero(dense)[0]
+    return SparseFrequencies(positions, dense[positions].astype(float), dense.size)
+
+
+def integer_vector(size: int, nnz: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    dense = np.zeros(size)
+    if nnz:
+        positions = rng.choice(size, size=min(nnz, size), replace=False)
+        dense[positions] = rng.integers(1, 10**6, size=positions.size).astype(float)
+    return dense
+
+
+VECTORS = [
+    integer_vector(50, 5, 1),
+    integer_vector(400, 30, 2),
+    integer_vector(2048, 64, 3),
+    integer_vector(2048, 1500, 4),  # denser than typical, still must agree
+    integer_vector(64, 64, 5),  # fully dense
+    integer_vector(256, 1, 6),  # single nonzero
+    integer_vector(256, 0, 7),  # all zero
+]
+# Plateaus and adjacent nonzeros: exercises maxdiff tie-breaking and the
+# V-optimal equal-width padding.
+_plateau = np.zeros(900)
+_plateau[100:110] = 7.0
+_plateau[500:520] = 7.0
+_plateau[899] = 3.0
+VECTORS.append(_plateau)
+
+
+class TestSparseFrequencies:
+    def test_validation(self):
+        with pytest.raises(HistogramError):
+            SparseFrequencies([3, 1], [1.0, 1.0], 10)  # unsorted
+        with pytest.raises(HistogramError):
+            SparseFrequencies([1, 1], [1.0, 1.0], 10)  # duplicate
+        with pytest.raises(HistogramError):
+            SparseFrequencies([10], [1.0], 10)  # out of range
+        with pytest.raises(HistogramError):
+            SparseFrequencies([1], [0.0], 10)  # explicit zero
+        with pytest.raises(HistogramError):
+            SparseFrequencies([1], [-2.0], 10)  # negative
+        with pytest.raises(HistogramError):
+            SparseFrequencies([], [], 0)  # empty domain
+
+    def test_value_at_and_toarray(self):
+        sparse = SparseFrequencies([2, 5], [3.0, 9.0], 8)
+        assert sparse.value_at([0, 2, 5, 7]).tolist() == [0.0, 3.0, 9.0, 0.0]
+        dense = sparse.toarray()
+        assert dense.tolist() == [0, 0, 3, 0, 0, 9, 0, 0]
+        assert sparse.nnz == 2
+        assert sparse.density == pytest.approx(0.25)
+
+    def test_absent_positions_walk(self):
+        present = np.array([0, 1, 4])
+        assert list(absent_positions(present, 8, 3)) == [2, 3, 5]
+        assert list(absent_positions(present, 3, 5)) == [2]
+        assert list(absent_positions(np.array([]), 4, 2)) == [0, 1]
+
+
+@pytest.mark.parametrize("kind", sorted(HISTOGRAM_KINDS))
+class TestSparseDenseEquivalence:
+    @pytest.mark.parametrize("bucket_count", [1, 2, 7, 32])
+    def test_boundaries_statistics_estimates(self, kind, bucket_count):
+        histogram_cls = HISTOGRAM_KINDS[kind]
+        for dense in VECTORS:
+            if bucket_count > dense.size:
+                continue
+            built_dense = histogram_cls(dense, bucket_count)
+            built_sparse = histogram_cls(sparse_of(dense), bucket_count)
+            assert [
+                (bucket.start, bucket.end) for bucket in built_dense.buckets
+            ] == [(bucket.start, bucket.end) for bucket in built_sparse.buckets]
+            assert [
+                (bucket.total, bucket.squared_total, bucket.minimum, bucket.maximum)
+                for bucket in built_dense.buckets
+            ] == [
+                (bucket.total, bucket.squared_total, bucket.minimum, bucket.maximum)
+                for bucket in built_sparse.buckets
+            ]
+            probes = np.arange(dense.size, dtype=np.int64)
+            assert np.array_equal(
+                built_dense.estimate_batch(probes),
+                built_sparse.estimate_batch(probes),
+            )
+
+    def test_bucket_count_validation(self, kind):
+        histogram_cls = HISTOGRAM_KINDS[kind]
+        sparse = SparseFrequencies([1], [2.0], 4)
+        with pytest.raises(InvalidBucketCountError):
+            histogram_cls(sparse, 0)
+        with pytest.raises(InvalidBucketCountError):
+            histogram_cls(sparse, 5)
+
+
+class TestVOptimalSparse:
+    def test_greedy_strategy_matches(self):
+        dense = integer_vector(3000, 80, 11)
+        built_dense = VOptimalHistogram(dense, 24, strategy="greedy")
+        built_sparse = VOptimalHistogram(sparse_of(dense), 24, strategy="greedy")
+        assert built_dense.effective_strategy == "greedy"
+        assert built_sparse.effective_strategy == "greedy"
+        assert [bucket.start for bucket in built_dense.buckets] == [
+            bucket.start for bucket in built_sparse.buckets
+        ]
+        assert built_dense.total_sse() == built_sparse.total_sse()
+
+    def test_auto_picks_exact_below_limit_and_matches(self):
+        dense = integer_vector(512, 30, 12)
+        built_dense = VOptimalHistogram(dense, 16)
+        built_sparse = VOptimalHistogram(sparse_of(dense), 16)
+        assert built_sparse.effective_strategy == "exact"
+        assert [bucket.start for bucket in built_dense.buckets] == [
+            bucket.start for bucket in built_sparse.buckets
+        ]
+
+    def test_explicit_exact_densifies(self):
+        dense = integer_vector(2000, 40, 13)
+        built_dense = VOptimalHistogram(dense, 8, strategy="exact")
+        built_sparse = VOptimalHistogram(sparse_of(dense), 8, strategy="exact")
+        assert built_sparse.effective_strategy == "exact"
+        assert [bucket.start for bucket in built_dense.buckets] == [
+            bucket.start for bucket in built_sparse.buckets
+        ]
+
+
+class TestBaseFallback:
+    def test_custom_kind_densifies_through_base(self):
+        class FirstHalfHistogram(Histogram):
+            kind = "first-half"
+
+            def _boundaries(self, frequencies, bucket_count):
+                return [0, int(frequencies.size) // 2]
+
+        dense = integer_vector(100, 9, 21)
+        built_dense = FirstHalfHistogram(dense, 2)
+        built_sparse = FirstHalfHistogram(sparse_of(dense), 2)
+        assert [(bucket.start, bucket.end) for bucket in built_dense.buckets] == [
+            (bucket.start, bucket.end) for bucket in built_sparse.buckets
+        ]
+        assert built_dense.total_frequency() == built_sparse.total_frequency()

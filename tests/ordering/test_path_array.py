@@ -1,0 +1,94 @@
+"""Vectorised unranking: ``Ordering.path_array`` against the scalar forms.
+
+The inverse of PR 3's ``index_array``: every closed-form ordering unranks a
+batch (or the whole domain) with per-length vectorised arithmetic, and must
+agree element-wise with the scalar ``path`` walk.  ``rank_domain_indices``
+— ranking canonical domain indices without materialising paths — is covered
+here too, since it shares the digit-block machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IndexOutOfDomainError, OrderingError
+from repro.ordering.registry import make_ordering
+from repro.paths.index import domain_indices_to_paths
+
+LABELS = ["a", "b", "c", "d"]
+CARDINALITIES = {"a": 40, "b": 3, "c": 11, "d": 7}
+METHODS = ["num-alph", "num-card", "lex-alph", "lex-card", "sum-based"]
+
+
+def build(method: str, max_length: int):
+    return make_ordering(
+        method,
+        labels=LABELS,
+        max_length=max_length,
+        cardinalities=CARDINALITIES,
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("max_length", [1, 2, 3])
+class TestPathArray:
+    def test_full_domain_matches_scalar(self, method, max_length):
+        ordering = build(method, max_length)
+        unranked = ordering.path_array()
+        assert len(unranked) == ordering.size
+        for index in range(ordering.size):
+            assert unranked[index] == ordering.path(index)
+
+    def test_subset_scrambled_with_duplicates(self, method, max_length):
+        ordering = build(method, max_length)
+        rng = np.random.default_rng(7)
+        indices = rng.integers(0, ordering.size, 41)
+        indices[0] = indices[1]  # a duplicate must be fine
+        unranked = ordering.path_array(indices)
+        assert unranked == [ordering.path(int(index)) for index in indices]
+
+    def test_inverse_of_index_array(self, method, max_length):
+        ordering = build(method, max_length)
+        unranked = ordering.path_array()
+        assert ordering.index_array(unranked).tolist() == list(range(ordering.size))
+
+    def test_empty_batch(self, method, max_length):
+        ordering = build(method, max_length)
+        assert ordering.path_array(np.empty(0, dtype=np.int64)) == []
+
+    def test_out_of_range_raises(self, method, max_length):
+        ordering = build(method, max_length)
+        with pytest.raises(IndexOutOfDomainError):
+            ordering.path_array([ordering.size])
+        with pytest.raises(IndexOutOfDomainError):
+            ordering.path_array([-1])
+
+    def test_rank_domain_indices_matches_index(self, method, max_length):
+        ordering = build(method, max_length)
+        rng = np.random.default_rng(11)
+        indices = rng.integers(0, ordering.size, 37)
+        ranked = ordering.rank_domain_indices(indices)
+        paths = domain_indices_to_paths(indices, sorted(LABELS), max_length)
+        assert ranked.tolist() == [ordering.index(path) for path in paths]
+
+
+class TestFallbacks:
+    def test_ideal_ordering_uses_scalar_fallback(self, small_catalog):
+        ordering = make_ordering("ideal", catalog=small_catalog)
+        indices = [0, 5, 3, 5]
+        assert ordering.path_array(indices) == [
+            ordering.path(index) for index in indices
+        ]
+        ranked = ordering.rank_domain_indices(np.array([0, 1, 2]))
+        paths = domain_indices_to_paths(
+            [0, 1, 2], sorted(small_catalog.labels), small_catalog.max_length
+        )
+        assert ranked.tolist() == [ordering.index(path) for path in paths]
+
+    def test_two_dimensional_input_rejected(self):
+        ordering = build("num-alph", 2)
+        with pytest.raises(OrderingError):
+            ordering.path_array(np.zeros((2, 2), dtype=np.int64))
+        with pytest.raises(OrderingError):
+            ordering.rank_domain_indices(np.zeros((2, 2), dtype=np.int64))
