@@ -6,10 +6,11 @@ this script with the *committed* document as the baseline and the fresh one
 as the current run.  Two things are checked:
 
 * every floor **recorded in the baseline** (batch ≥ 10×, columnar ≥ 3×,
-  npz ≤ 25%, coalesced ≥ 5×, delta ≥ 5×, sparse build ≥ 2×, sparse
-  artifact ≤ 5%, sparse serve RSS < 1 GiB, ...) still holds for the current
-  numbers — so a PR cannot silently relax a shipped floor by shrinking the
-  constant in ``run_all.py``;
+  npz ≤ 25%, coalesced ≥ 5×, delta ≥ 5×, sparse build ≥ 2×, matrix-chain
+  build ≥ 2× the sparse DFS, sparse artifact ≤ 5%, sparse serve RSS
+  < 1 GiB, ...) still holds for the current numbers — so a PR cannot
+  silently relax a shipped floor by shrinking the constant in
+  ``run_all.py``;
 * the correctness invariants (batch == loop, patched == cold, warm start
   from cache, single-flight, byte-identical sparse histogram boundaries)
   still hold.
@@ -50,6 +51,7 @@ FLOORS: tuple[tuple[str, str, str, str], ...] = (
     ("serving", "coalesced_speedup", "coalesced_speedup_floor", ">="),
     ("delta", "incremental_speedup", "incremental_speedup_floor", ">="),
     ("sparse", "build_speedup", "build_speedup_floor", ">="),
+    ("sparse", "matrix_speedup", "matrix_speedup_floor", ">="),
     ("sparse", "artifact_ratio", "artifact_ratio_ceiling", "<="),
     ("sparse", "serve_max_rss_bytes", "serve_rss_ceiling_bytes", "<="),
 )

@@ -28,11 +28,13 @@ per-path loop at 32 concurrent clients, more than one build under
 concurrent first access to one graph, an incremental delta rebuild
 < 5× the cold rebuild when ≤ 10% of first-label subtrees are touched,
 or any sparse-catalog floor: sparse build < 2× the dense build on the
-|L|=20, k=6 graph (67M-entry dense domain), sparse npz artifact > 5% of
-the dense npz at ≤ 1% density, sparse histogram boundaries diverging from
-the dense build, or ``repro serve`` exceeding 1 GiB peak RSS on that
-domain.  Floor failures are printed *first*, one readable line each, and
-never as tracebacks — CI logs lead with the failing floor.
+|L|=20, k=6 graph (67M-entry dense domain), the ``backend="matrix"``
+build < 2× the sparse DFS build (or its nonzero streams not byte-identical
+to it), sparse npz artifact > 5% of the dense npz at ≤ 1% density, sparse
+histogram boundaries diverging from the dense build, or ``repro serve``
+exceeding 1 GiB peak RSS on that domain.  Floor failures are printed
+*first*, one readable line each, and never as tracebacks — CI logs lead
+with the failing floor.
 """
 
 from __future__ import annotations
@@ -94,6 +96,13 @@ DELTA_EDGES = 100
 #: Acceptance floor for the sparse catalog build over the dense columnar
 #: build on the |L|=20, k=6 graph (67M-entry dense domain, ~1e-6 density).
 SPARSE_BUILD_SPEEDUP_FLOOR = 2.0
+
+#: Acceptance floor for the matrix-chain backend (``backend="matrix"``)
+#: over the sparse DFS build on the same |L|=20, k=6 graph.  The kernel
+#: batches all live prefixes of a level into one stacked CSR product
+#: (k·|L| scipy calls instead of one per trie node), so it measures well
+#: clear of this floor (~8-11x locally); 2x is the enforced minimum.
+MATRIX_BUILD_SPEEDUP_FLOOR = 2.0
 
 #: Acceptance ceiling for the sparse npz artifact relative to the dense npz
 #: of the same catalog.  Only meaningful at low density (deflate compresses
@@ -617,12 +626,16 @@ def measure_sparse(quick: bool) -> dict[str, object]:
 
     The workload is the ISSUE's dense-infeasible scenario: ``|L|=20, k=6``
     (a 67,368,420-entry dense domain) on a 400-edge graph whose nonzero
-    path set is tiny.  Four things are measured:
+    path set is tiny.  Five things are measured:
 
     * **Build** — ``storage="sparse"`` (O(nnz) collection) vs
       ``storage="dense"`` (the columnar vector build) to a finished
       catalog, identical nonzeros required; floor
       ``SPARSE_BUILD_SPEEDUP_FLOOR``x.
+    * **Matrix-chain build** — the same sparse catalog through
+      ``backend="matrix"`` (stacked level-synchronous matrix products) vs
+      the sparse DFS build, byte-identical nonzero streams required; floor
+      ``MATRIX_BUILD_SPEEDUP_FLOOR``x.
     * **Artifact** — the sparse npz vs the dense npz of the same catalog;
       ceiling ``SPARSE_ARTIFACT_RATIO_CEILING`` at ≤
       ``SPARSE_DENSITY_CEILING`` density (deflate compresses zero runs
@@ -664,6 +677,12 @@ def measure_sparse(quick: bool) -> dict[str, object]:
     sparse_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
+    matrix_catalog = SelectivityCatalog.from_graph(
+        graph, k, storage="sparse", backend="matrix"
+    )
+    matrix_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
     dense_catalog = SelectivityCatalog.from_graph(graph, k, storage="dense")
     dense_seconds = time.perf_counter() - started
 
@@ -674,6 +693,16 @@ def measure_sparse(quick: bool) -> dict[str, object]:
         and np.array_equal(sparse_counts, dense_counts)
     ):
         raise FloorFailure("sparse and dense catalog builds disagree")
+    matrix_indices, matrix_counts = matrix_catalog.nonzero_arrays()
+    if not (
+        sparse_indices.tobytes() == matrix_indices.tobytes()
+        and sparse_counts.tobytes() == matrix_counts.tobytes()
+    ):
+        raise FloorFailure(
+            "matrix-chain backend nonzero streams are not byte-identical to "
+            "the sparse DFS build"
+        )
+    del matrix_catalog
     density = sparse_catalog.density
     if density > SPARSE_ARTIFACT_DENSITY_CEILING:
         raise FloorFailure(
@@ -682,6 +711,7 @@ def measure_sparse(quick: bool) -> dict[str, object]:
             "floor is only meaningful when zeros dominate"
         )
     build_speedup = dense_seconds / sparse_seconds if sparse_seconds > 0 else float("inf")
+    matrix_speedup = sparse_seconds / matrix_seconds if matrix_seconds > 0 else float("inf")
 
     # --- artifact sizes ----------------------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
@@ -762,6 +792,10 @@ def measure_sparse(quick: bool) -> dict[str, object]:
         "dense_build_seconds": dense_seconds,
         "build_speedup": build_speedup,
         "build_speedup_floor": SPARSE_BUILD_SPEEDUP_FLOOR,
+        "matrix_build_seconds": matrix_seconds,
+        "matrix_speedup": matrix_speedup,
+        "matrix_speedup_floor": MATRIX_BUILD_SPEEDUP_FLOOR,
+        "matrix_streams_identical": True,
         "sparse_artifact_bytes": sparse_bytes,
         "dense_artifact_bytes": dense_bytes,
         "artifact_ratio": artifact_ratio,
@@ -816,7 +850,7 @@ def main(argv: list[str] | None = None) -> int:
     total_seconds = time.perf_counter() - started
 
     document = {
-        "schema": "repro-bench/v5",
+        "schema": "repro-bench/v6",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "generated_unix": time.time(),
@@ -861,7 +895,8 @@ def main(argv: list[str] | None = None) -> int:
         f"access), delta rebuild {delta['incremental_speedup']:.1f}x vs cold "
         f"({delta['affected_subtrees']}/{delta['subtrees_total']} subtrees), "
         f"sparse build {sparse['build_speedup']:.1f}x vs dense at "
-        f"{sparse['graph']['domain_size'] / 1e6:.0f}M domain (artifact "
+        f"{sparse['graph']['domain_size'] / 1e6:.0f}M domain (matrix backend "
+        f"{sparse['matrix_speedup']:.1f}x vs DFS, artifact "
         f"{sparse['artifact_ratio']:.1%} of dense, serve RSS "
         f"{_format_rss(sparse['serve_max_rss_bytes'])}), "
         f"total {total_seconds:.1f}s"
@@ -947,6 +982,19 @@ def collect_floor_failures(document: dict) -> list[str]:
         failures.append(
             f"sparse catalog build {sparse['build_speedup']:.1f}x "
             f"< {sparse_build_floor}x over the dense build at "
+            f"{sparse['graph']['domain_size']:,} domain entries"
+        )
+    if not sparse.get("matrix_streams_identical", True):
+        failures.append(
+            "matrix-chain backend nonzero streams diverge from the sparse "
+            "DFS build"
+        )
+    matrix_speedup = sparse.get("matrix_speedup")
+    matrix_floor = sparse.get("matrix_speedup_floor", MATRIX_BUILD_SPEEDUP_FLOOR)
+    if matrix_speedup is not None and matrix_speedup < matrix_floor:
+        failures.append(
+            f"matrix-chain build {matrix_speedup:.1f}x < {matrix_floor}x "
+            f"over the sparse DFS build at "
             f"{sparse['graph']['domain_size']:,} domain entries"
         )
     sparse_artifact_ceiling = sparse.get(

@@ -40,6 +40,7 @@ from repro.experiments.table4 import run_table4
 from repro.exceptions import ReproError
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.paths.catalog import SelectivityCatalog
+from repro.paths.enumeration import CATALOG_BACKENDS
 
 __all__ = ["main", "build_parser"]
 
@@ -72,9 +73,7 @@ def build_parser() -> argparse.ArgumentParser:
         "columnar form, anything else JSON)",
     )
     catalog.add_argument("--workers", type=int, default=None)
-    catalog.add_argument(
-        "--backend", choices=("serial", "thread", "process"), default=None
-    )
+    catalog.add_argument("--backend", choices=CATALOG_BACKENDS, default=None)
     catalog.add_argument(
         "--storage",
         choices=("auto", "dense", "sparse"),
@@ -114,10 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--backend",
-            choices=("serial", "thread", "process"),
+            choices=CATALOG_BACKENDS,
             default=None,
             help="catalog construction backend (default: thread when "
-            "--workers > 1, serial otherwise)",
+            "--workers > 1, serial otherwise; matrix = stacked "
+            "matrix-chain kernel)",
         )
         sub.add_argument(
             "--storage",
@@ -199,9 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--histogram", default="v-optimal")
     serve.add_argument("--cache-dir", default=None, help="shared artifact cache")
     serve.add_argument("--workers", type=int, default=None)
-    serve.add_argument(
-        "--backend", choices=("serial", "thread", "process"), default=None
-    )
+    serve.add_argument("--backend", choices=CATALOG_BACKENDS, default=None)
     serve.add_argument(
         "--storage",
         choices=("auto", "dense", "sparse"),

@@ -224,11 +224,13 @@ class EstimationSession:
             (``None`` = serial; ``n > 1`` splits the DFS over first-label
             subtrees).
         backend:
-            Catalog construction backend: ``"serial"``, ``"thread"`` or
-            ``"process"`` (see
+            Catalog construction backend: ``"serial"``, ``"thread"``,
+            ``"process"`` or ``"matrix"`` (see
             :func:`repro.paths.enumeration.compute_selectivity_vector`).
             ``None`` keeps the historical default: threads when
-            ``workers > 1``, serial otherwise.
+            ``workers > 1``, serial otherwise.  ``"matrix"`` builds whole
+            levels as stacked sparse matrix-chain products — the fastest
+            cold build for large sparse domains.
         mmap:
             Prefer a memory-mapped catalog on a cache hit (see
             :meth:`ArtifactCache.load_catalog`).  Only changes how the

@@ -62,6 +62,7 @@ class L2SumBasedOrdering(Ordering):
         from repro.paths.enumeration import enumerate_label_paths
 
         def sort_key(path: LabelPath) -> tuple:
+            """Sum-based key over the path's base-piece ranks."""
             pieces = self._splitter.split(path)
             ranks = [self._base_rank[piece] for piece in pieces]
             return (
@@ -80,13 +81,16 @@ class L2SumBasedOrdering(Ordering):
 
     @property
     def full_name(self) -> str:
+        """Human-readable ordering name used in reports and figures."""
         return "sum-based-L2"
 
     def index(self, path) -> int:
+        """Position of ``path`` in the L2 sum-based domain order."""
         label_path = self._validate_path(path)
         return self._index_of[label_path]
 
     def path(self, index: int) -> LabelPath:
+        """The path at ``index`` of the L2 sum-based domain order."""
         index = self._validate_index(index)
         return self._path_at[index]
 

@@ -248,11 +248,13 @@ def affected_first_labels(
         return ()
 
     def sources_of(label: str) -> frozenset[object]:
+        """Source vertices of ``label`` edges on the new graph."""
         if not graph.has_label(label):
             return frozenset()
         return frozenset(graph.forward_adjacency(label))
 
     def targets_of(label: str) -> frozenset[object]:
+        """Target vertices of ``label`` edges on the new graph."""
         if not graph.has_label(label):
             return frozenset()
         return frozenset(graph.backward_adjacency(label))

@@ -18,7 +18,40 @@ from scipy import sparse
 from repro.exceptions import UnknownLabelError
 from repro.graph.digraph import LabeledDiGraph
 
-__all__ = ["LabelMatrixStore"]
+__all__ = ["LabelMatrixStore", "drop_zero_rows", "block_nonzero_counts"]
+
+
+def drop_zero_rows(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Return ``matrix`` restricted to its rows with at least one stored entry.
+
+    A zero row of a boolean reachability block stays zero under any further
+    right-multiplication, and the path counts the matrix-chain builder emits
+    are row-position independent (each count is a block's total nnz), so
+    dropping empty rows between levels is loss-free.  It is also the main
+    reason stacked frontiers stay small: dead source vertices stop paying
+    for ``indptr`` space in every later product.  Returns ``matrix`` itself
+    (no copy) when every row is nonzero.
+    """
+    row_counts = np.diff(matrix.indptr)
+    keep = np.nonzero(row_counts)[0]
+    if keep.size == matrix.shape[0]:
+        return matrix
+    return matrix[keep]
+
+
+def block_nonzero_counts(
+    matrix: sparse.csr_matrix, block_ptr: np.ndarray
+) -> np.ndarray:
+    """Per-block stored-entry counts of a vertically stacked CSR matrix.
+
+    ``block_ptr`` delimits the stacked blocks as row offsets
+    (``block_ptr[b]:block_ptr[b + 1]`` is block ``b``); the count of block
+    ``b`` is then a difference of two ``indptr`` entries, so the whole
+    reduction is one fancy-index plus one :func:`numpy.diff` — no per-block
+    Python loop.  For boolean products this count *is* the path selectivity
+    of the prefix the block represents.
+    """
+    return np.diff(matrix.indptr[block_ptr]).astype(np.int64)
 
 
 class LabelMatrixStore:
@@ -73,6 +106,18 @@ class LabelMatrixStore:
         )
         self._matrices[label] = matrix
         return matrix
+
+    def as_dict(
+        self, labels: Optional[Iterable[str]] = None
+    ) -> dict[str, sparse.csr_matrix]:
+        """Materialise the matrices for ``labels`` (default: all) as a dict.
+
+        The catalog builders take a plain ``label -> matrix`` mapping so the
+        hot loops never touch the store's cache logic; this is the one-call
+        way to produce it with every matrix built exactly once.
+        """
+        selected = self._labels if labels is None else tuple(labels)
+        return {label: self.matrix(label) for label in selected}
 
     def path_matrix(self, labels: Iterable[str]) -> sparse.csr_matrix:
         """Boolean product ``M(l1)·...·M(lk)`` for the label sequence ``labels``.

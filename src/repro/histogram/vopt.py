@@ -189,6 +189,7 @@ class VOptimalHistogram(Histogram):
         positions = frequencies.positions
 
         def best_split(start: int, end: int) -> tuple[float, Optional[int]]:
+            """Best SSE-reducing split of ``[start, end)`` (sparse sums)."""
             return self._best_split_sparse(prefix, positions, start, end)
 
         return self._greedy_loop(domain, bucket_count, best_split)
@@ -305,6 +306,7 @@ class VOptimalHistogram(Histogram):
         prefix = _PrefixSums(frequencies)
 
         def best_split(start: int, end: int) -> tuple[float, Optional[int]]:
+            """Best SSE-reducing split of ``[start, end)`` (dense sums)."""
             return cls._best_split(prefix, start, end)
 
         return cls._greedy_loop(domain, bucket_count, best_split)
@@ -323,6 +325,7 @@ class VOptimalHistogram(Histogram):
         intact: set[tuple[int, int]] = set()
 
         def push(start: int, end: int) -> None:
+            """Queue the interval's best split (if it reduces SSE)."""
             nonlocal counter
             intact.add((start, end))
             gain, point = best_split(start, end)

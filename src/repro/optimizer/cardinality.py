@@ -24,6 +24,7 @@ class _Estimator(Protocol):
     """Anything with an ``estimate(path) -> float`` method."""
 
     def estimate(self, path: PathLike) -> float:  # pragma: no cover - protocol
+        """Estimated cardinality of ``path``."""
         ...
 
 
@@ -76,6 +77,7 @@ class HistogramCardinalityModel(CardinalityModel):
         self._vertex_count = vertex_count
 
     def scan_cardinality(self, path: PathLike) -> float:
+        """Estimated result cardinality of scanning ``path`` directly."""
         label_path = as_label_path(path)
         if label_path.length > self._max_length:
             raise PlanningError(
@@ -84,6 +86,7 @@ class HistogramCardinalityModel(CardinalityModel):
         return max(0.0, float(self._estimator.estimate(label_path)))
 
     def scan_cardinalities(self, paths: Sequence[PathLike]) -> list[float]:
+        """Batch :meth:`scan_cardinality`, using the estimator's batch API."""
         label_paths = [as_label_path(path) for path in paths]
         for label_path in label_paths:
             if label_path.length > self._max_length:
@@ -99,9 +102,11 @@ class HistogramCardinalityModel(CardinalityModel):
         return [max(0.0, float(value)) for value in batch(label_paths)]
 
     def join_cardinality(self, left_cardinality: float, right_cardinality: float) -> float:
+        """Joined cardinality under the uniform ``|V|`` distinct-key model."""
         return left_cardinality * right_cardinality / float(self._vertex_count)
 
     def max_scan_length(self) -> int:
+        """Longest sub-path the backing histogram can estimate directly."""
         return self._max_length
 
 
@@ -115,10 +120,13 @@ class TrueCardinalityModel(CardinalityModel):
         self._vertex_count = vertex_count
 
     def scan_cardinality(self, path: PathLike) -> float:
+        """Exact result cardinality of ``path`` from the catalog."""
         return float(self._catalog.selectivity(path))
 
     def join_cardinality(self, left_cardinality: float, right_cardinality: float) -> float:
+        """Joined cardinality under the uniform ``|V|`` distinct-key model."""
         return left_cardinality * right_cardinality / float(self._vertex_count)
 
     def max_scan_length(self) -> int:
+        """The catalog's ``k`` (every path up to it has an exact count)."""
         return self._catalog.max_length

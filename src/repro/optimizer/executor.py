@@ -52,6 +52,7 @@ class PlanExecutor:
         intermediates: list[int] = []
 
         def run(node: PlanNode) -> set[tuple[object, object]]:
+            """Evaluate ``node`` bottom-up, recording intermediate sizes."""
             if isinstance(node, ScanNode):
                 pairs = self._evaluator.pairs(node.label_path)
                 intermediates.append(len(pairs))

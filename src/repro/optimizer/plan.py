@@ -56,15 +56,19 @@ class ScanNode(PlanNode):
     estimated_cardinality: float
 
     def path(self) -> LabelPath:
+        """The label path this leaf evaluates."""
         return self.label_path
 
     def leaves(self) -> Iterator["ScanNode"]:
+        """This leaf itself (the recursion's base case)."""
         yield self
 
     def depth(self) -> int:
+        """Tree depth of a leaf: always 1."""
         return 1
 
     def describe(self, indent: int = 0) -> str:
+        """One indented text line describing this scan."""
         pad = "  " * indent
         return f"{pad}Scan[{self.label_path}] (est={self.estimated_cardinality:.1f})"
 
@@ -82,16 +86,20 @@ class JoinNode(PlanNode):
             raise PlanningError("a join node needs both children")
 
     def path(self) -> LabelPath:
+        """The concatenated label path the whole subtree produces."""
         return self.left.path().concat(self.right.path())
 
     def leaves(self) -> Iterator[ScanNode]:
+        """All scan leaves of the subtree, left to right."""
         yield from self.left.leaves()
         yield from self.right.leaves()
 
     def depth(self) -> int:
+        """Height of the subtree rooted at this join."""
         return 1 + max(self.left.depth(), self.right.depth())
 
     def describe(self, indent: int = 0) -> str:
+        """Indented multi-line rendering of the subtree."""
         pad = "  " * indent
         lines = [f"{pad}Join (est={self.estimated_cardinality:.1f})"]
         lines.append(self.left.describe(indent + 1))

@@ -76,6 +76,7 @@ class IdealOrdering(Ordering):
         return self._catalog
 
     def index(self, path: PathLike) -> int:
+        """Position of ``path`` in the frequency-sorted ideal order."""
         label_path = self._validate_path(path)
         try:
             return self._index_of[label_path]
@@ -83,6 +84,7 @@ class IdealOrdering(Ordering):
             raise OrderingError(f"path {label_path} missing from ideal ordering") from None
 
     def path(self, index: int) -> LabelPath:
+        """The path at ``index`` of the frequency-sorted ideal order."""
         index = self._validate_index(index)
         return self._path_at[index]
 

@@ -47,6 +47,7 @@ class LexicographicalOrdering(Ordering):
         return 1 + self._ranking.size * self._subtree_size(remaining_depth - 1)
 
     def index(self, path: PathLike) -> int:
+        """Pre-order trie position of ``path`` (closed form, no table)."""
         label_path = self._validate_path(path)
         k = self._max_length
         index = 0
@@ -73,6 +74,7 @@ class LexicographicalOrdering(Ordering):
         return (ranks - 1) @ subtree_sizes + (length - 1)
 
     def path(self, index: int) -> LabelPath:
+        """Invert :meth:`index`: the path at pre-order position ``index``."""
         index = self._validate_index(index)
         k = self._max_length
         labels: list[str] = []
@@ -91,6 +93,7 @@ class LexicographicalOrdering(Ordering):
             depth += 1
 
     def path_array(self, indices: Optional[Sequence[int]] = None) -> list[LabelPath]:
+        """Vectorised :meth:`path` over many indices (default: whole domain)."""
         index_array = self._validate_index_array(indices)
         k = self._max_length
         count = index_array.size

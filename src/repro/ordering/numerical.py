@@ -29,6 +29,7 @@ class NumericalOrdering(Ordering):
     name = "num"
 
     def index(self, path: PathLike) -> int:
+        """Position of ``path``: length block plus its base-``|L|`` value."""
         label_path = self._validate_path(path)
         base = self._ranking.size
         length = label_path.length
@@ -48,6 +49,7 @@ class NumericalOrdering(Ordering):
         return offset + (ranks - 1) @ powers
 
     def path(self, index: int) -> LabelPath:
+        """Invert :meth:`index`: decode the base-``|L|`` digits back to labels."""
         index = self._validate_index(index)
         base = self._ranking.size
         length = 1
@@ -64,6 +66,7 @@ class NumericalOrdering(Ordering):
         return LabelPath(labels)
 
     def path_array(self, indices: Optional[Sequence[int]] = None) -> list[LabelPath]:
+        """Vectorised :meth:`path` over many indices (default: whole domain)."""
         index_array = self._validate_index_array(indices)
         # A numerical ordering index is the canonical domain index over the
         # *rank* order, so one digit-block decomposition unranks everything;

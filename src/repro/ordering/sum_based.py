@@ -117,6 +117,7 @@ class SumBasedOrdering(Ordering):
     # ranking: path -> index
     # ------------------------------------------------------------------
     def index(self, path: PathLike) -> int:
+        """Rank ``path`` by (length, rank sum, combination, permutation)."""
         label_path = self._validate_path(path)
         ranks = self._ranking.ranks(label_path.labels)
         length = len(ranks)
@@ -171,6 +172,7 @@ class SumBasedOrdering(Ordering):
     # unranking: index -> path (the paper's Algorithm 2)
     # ------------------------------------------------------------------
     def path(self, index: int) -> LabelPath:
+        """Unrank ``index`` back to its path (the paper's Algorithm 2)."""
         index = self._validate_index(index)
         base = self._ranking.size
         remaining = index
@@ -204,6 +206,7 @@ class SumBasedOrdering(Ordering):
         )
 
     def path_array(self, indices: Optional[Sequence[int]] = None) -> list[LabelPath]:
+        """Vectorised :meth:`path` over many indices (default: whole domain)."""
         index_array = self._validate_index_array(indices)
         count = index_array.size
         if count == 0:

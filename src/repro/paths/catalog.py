@@ -341,7 +341,9 @@ class SelectivityCatalog:
         ``"auto"`` then keeps the sparse form when the domain is large and
         mostly zero, and scatters into a dense vector otherwise.  Results
         are identical across storage modes and across the ``"serial"`` /
-        ``"thread"`` / ``"process"`` backends.
+        ``"thread"`` / ``"process"`` / ``"matrix"`` backends; ``"matrix"``
+        builds whole levels as stacked sparse matrix-chain products and is
+        the fastest way to construct large sparse catalogs.
         """
         if storage not in CATALOG_STORAGE_MODES:
             raise PathError(

@@ -31,6 +31,15 @@ support ``backend="serial" | "thread" | "process"`` over the ``|L|``
 independent first-label subtrees of the path trie (the dict builder via
 :func:`compute_selectivities_parallel`); the sparse and columnar cores agree
 exactly — the sparse arrays are the nonzero scatter of the columnar vector.
+
+The sparse and columnar cores additionally support ``backend="matrix"``, a
+level-synchronous matrix-chain kernel (:func:`_matrix_subtrees_nonzeros`)
+that replaces the per-trie-node Python recursion with ``k·|L|`` products of
+one *stacked* frontier matrix: all live prefix products of a level are
+vertically stacked into a single CSR matrix, extended by each label in one
+scipy call, and reduced to per-prefix counts with ``indptr`` arithmetic.
+Its output is byte-identical to the DFS builders; on the ``|L|=20, k=6``
+benchmark domain it builds the sparse catalog several times faster.
 """
 
 from __future__ import annotations
@@ -47,7 +56,7 @@ from scipy import sparse
 from repro.exceptions import PathError
 from repro.graph.delta import GraphDelta, affected_first_labels
 from repro.graph.digraph import LabeledDiGraph
-from repro.graph.matrices import LabelMatrixStore
+from repro.graph.matrices import LabelMatrixStore, block_nonzero_counts, drop_zero_rows
 from repro.paths.index import domain_block_starts
 from repro.paths.label_path import LabelPath
 
@@ -66,7 +75,7 @@ __all__ = [
 ]
 
 #: Supported catalog-construction backends for :func:`compute_selectivity_vector`.
-CATALOG_BACKENDS = ("serial", "thread", "process")
+CATALOG_BACKENDS = ("serial", "thread", "process", "matrix")
 
 #: The progress callback fires every this many processed paths.
 _PROGRESS_EVERY = 1000
@@ -167,6 +176,7 @@ def compute_selectivities(
             progress(processed)
 
     def visit(prefix_labels: tuple[str, ...], prefix_matrix) -> None:
+        """DFS one trie level deeper, recording each extension's nnz."""
         extensions = first_labels if not prefix_labels else alphabet
         for label in extensions:
             labels_here = prefix_labels + (label,)
@@ -221,6 +231,10 @@ def resolve_backend(
     degrades any parallel backend to serial.  Both
     :func:`compute_selectivity_vector` and the engine session resolve
     through here, so reported stats always match the build that ran.
+
+    The ``matrix`` backend is level-synchronous rather than sharded: it
+    batches every requested subtree through one stacked frontier, so it
+    always resolves to a single worker and never degrades to serial.
     """
     if workers is not None and workers < 1:
         raise PathError("workers must be >= 1")
@@ -230,8 +244,8 @@ def resolve_backend(
         raise PathError(
             f"unknown backend {backend!r}; expected one of {CATALOG_BACKENDS}"
         )
-    if backend == "serial":
-        return "serial", 1
+    if backend == "serial" or backend == "matrix":
+        return backend, 1
     count = workers if workers is not None else default_worker_count(label_count)
     count = min(count, max(1, label_count))
     if count <= 1:
@@ -254,11 +268,13 @@ class _ProgressAggregator:
         self._total = 0
 
     def adapter(self) -> Optional[Callable[[int], None]]:
+        """A per-worker progress callback feeding the shared total."""
         if self._callback is None:
             return None
         last = [0]
 
         def report(processed: int) -> None:
+            """Fold this worker's cumulative count into the shared total."""
             with self._lock:
                 self._total += processed - last[0]
                 last[0] = processed
@@ -378,6 +394,7 @@ def _subtree_levels(
     state = [0, 0]  # processed, last reported
 
     def advance(count: int) -> None:
+        """Bump the processed counter, reporting progress in batches."""
         state[0] += count
         if progress is not None and state[0] - state[1] >= _PROGRESS_EVERY:
             state[1] = state[0]
@@ -388,6 +405,7 @@ def _subtree_levels(
     advance(1)
 
     def visit(local_value: int, length: int, prefix_matrix) -> None:
+        """DFS below one prefix, writing counts into the level arrays."""
         if length >= max_length:
             return
         if prefix_matrix.nnz == 0:
@@ -434,6 +452,7 @@ def _subtree_nonzeros(
     state = [0, 0]  # processed, last reported
 
     def advance(count: int) -> None:
+        """Bump the processed counter, reporting progress in batches."""
         state[0] += count
         if progress is not None and state[0] - state[1] >= _PROGRESS_EVERY:
             state[1] = state[0]
@@ -447,6 +466,7 @@ def _subtree_nonzeros(
     advance(1)
 
     def visit(local_value: int, length: int, prefix_matrix) -> None:
+        """DFS below one prefix, appending nonzero (local, count) pairs."""
         if length >= max_length:
             return
         if prefix_matrix.nnz == 0:
@@ -474,6 +494,154 @@ def _subtree_nonzeros(
         )
         for locals_, counts_ in zip(local_lists, count_lists)
     ]
+
+
+def _matrix_subtrees_nonzeros(
+    matrices: Mapping[str, sparse.csr_matrix],
+    alphabet: Sequence[str],
+    roots: Sequence[str],
+    max_length: int,
+    progress: Optional[Callable[[int], None]] = None,
+) -> dict[str, list[tuple[np.ndarray, np.ndarray]]]:
+    """Nonzero selectivities of the ``roots`` subtrees via stacked matrix chains.
+
+    The level-synchronous counterpart of :func:`_subtree_nonzeros` with
+    identical per-root output.  Instead of recursing per trie node, every
+    live prefix product of level ``m`` — across *all* requested subtrees —
+    is kept as a block of one vertically stacked boolean CSR ``frontier``;
+    extending the whole level by a label is then a single
+    ``frontier @ M(label)`` product, and the per-prefix path counts fall out
+    of ``indptr`` differences at the block boundaries
+    (:func:`~repro.graph.matrices.block_nonzero_counts`).  That turns
+    ``O(trie nodes)`` scipy calls into ``k · |L|`` and moves the inner build
+    loop entirely into compiled code.
+
+    Memory stays proportional to the live frontier: blocks whose product is
+    empty are dropped (zero-subtree pruning, exactly mirroring the DFS), and
+    all-zero *rows* are compressed away between levels
+    (:func:`~repro.graph.matrices.drop_zero_rows`) — loss-free because the
+    emitted counts are row-position independent.  Blocks are kept sorted by
+    ``(first digit, local value)``, so each level's emitted positions come
+    out sorted per root after one :func:`numpy.lexsort` over the level.
+
+    ``progress`` receives the cumulative processed-path count once per
+    completed level (the level's full ``|roots| · |L|^m`` slot count,
+    pruned or not), so totals match the DFS builders exactly even though
+    the cadence is coarser.
+    """
+    base = len(alphabet)
+    digit_of = {label: digit for digit, label in enumerate(alphabet)}
+    ordered_roots = sorted(roots, key=lambda label: digit_of[label])
+    empty = np.empty(0, dtype=np.int64)
+    results: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {
+        root: [] for root in ordered_roots
+    }
+    processed = 0
+
+    def advance(count: int) -> None:
+        """Report progress after each completed frontier level."""
+        nonlocal processed
+        processed += count
+        if progress is not None:
+            progress(processed)
+
+    # Level 0: the root matrices themselves seed the frontier, one block per
+    # root whose adjacency matrix has any edge at all.
+    parts: list[sparse.csr_matrix] = []
+    part_roots: list[int] = []
+    part_values: list[int] = []
+    part_heights: list[int] = []
+    for root in ordered_roots:
+        matrix = matrices[root]
+        count = int(matrix.nnz)
+        if count:
+            results[root].append(
+                (np.zeros(1, dtype=np.int64), np.array([count], dtype=np.int64))
+            )
+            kept = drop_zero_rows(matrix)
+            parts.append(kept)
+            part_roots.append(digit_of[root])
+            part_values.append(0)
+            part_heights.append(kept.shape[0])
+        else:
+            results[root].append((empty, empty.copy()))
+    advance(len(ordered_roots))
+
+    frontier: Optional[sparse.csr_matrix] = None
+    if parts:
+        frontier = sparse.vstack(parts, format="csr")
+        block_root = np.asarray(part_roots, dtype=np.int64)
+        block_value = np.asarray(part_values, dtype=np.int64)
+        block_ptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(part_heights, dtype=np.int64))
+        )
+
+    for length in range(1, max_length):
+        level_paths = len(ordered_roots) * base**length
+        if frontier is None:
+            for root in ordered_roots:
+                results[root].append((empty, empty.copy()))
+            advance(level_paths)
+            continue
+        last = length + 1 == max_length
+        child_roots: list[np.ndarray] = []
+        child_values: list[np.ndarray] = []
+        child_counts: list[np.ndarray] = []
+        parts = []
+        next_roots: list[np.ndarray] = []
+        next_values: list[np.ndarray] = []
+        next_heights: list[np.ndarray] = []
+        for digit, label in enumerate(alphabet):
+            product = frontier @ matrices[label]
+            counts = block_nonzero_counts(product, block_ptr)
+            alive = np.nonzero(counts)[0]
+            if alive.size == 0:
+                continue
+            children = block_value * base + digit
+            child_roots.append(block_root[alive])
+            child_values.append(children[alive])
+            child_counts.append(counts[alive])
+            if last:
+                continue
+            rows = np.nonzero(np.diff(product.indptr))[0]
+            parts.append(product[rows])
+            next_roots.append(block_root[alive])
+            next_values.append(children[alive])
+            next_heights.append(np.diff(np.searchsorted(rows, block_ptr))[alive])
+        if child_values:
+            roots_cat = np.concatenate(child_roots)
+            values_cat = np.concatenate(child_values)
+            counts_cat = np.concatenate(child_counts)
+            order = np.lexsort((values_cat, roots_cat))
+            roots_cat = roots_cat[order]
+            values_cat = values_cat[order]
+            counts_cat = counts_cat[order]
+            for root in ordered_roots:
+                digit = digit_of[root]
+                low, high = np.searchsorted(roots_cat, [digit, digit + 1])
+                if high > low:
+                    results[root].append(
+                        (values_cat[low:high].copy(), counts_cat[low:high].copy())
+                    )
+                else:
+                    results[root].append((empty, empty.copy()))
+        else:
+            for root in ordered_roots:
+                results[root].append((empty, empty.copy()))
+        advance(level_paths)
+        if last or not parts:
+            frontier = None
+            continue
+        frontier = sparse.vstack(parts, format="csr")
+        block_root = np.concatenate(next_roots)
+        block_value = np.concatenate(next_values)
+        block_ptr = np.concatenate(
+            (
+                np.zeros(1, dtype=np.int64),
+                np.cumsum(np.concatenate(next_heights), dtype=np.int64),
+            )
+        )
+    return results
 
 
 # Per-process state for the ``process`` backend, populated by the pool
@@ -527,6 +695,27 @@ def _merge_subtree(
         vector[offset:offset + width] = level
 
 
+def _merge_subtree_nonzeros(
+    vector: np.ndarray,
+    starts: np.ndarray,
+    base: int,
+    first_digit: int,
+    levels: Sequence[tuple[np.ndarray, np.ndarray]],
+) -> None:
+    """Scatter one subtree's nonzero levels into the full domain vector.
+
+    The sparse counterpart of :func:`_merge_subtree`: each level's slice is
+    zeroed first (the vector may hold stale pre-delta values on the update
+    path) and the nonzero counts are scattered at their local positions.
+    """
+    for level_index, (locals_, counts) in enumerate(levels):
+        width = base**level_index
+        offset = int(starts[level_index]) + first_digit * width
+        vector[offset:offset + width] = 0
+        if locals_.size:
+            vector[offset + locals_] = counts
+
+
 def compute_selectivity_vector(
     graph: LabeledDiGraph,
     max_length: int,
@@ -554,13 +743,16 @@ def compute_selectivity_vector(
     Parameters
     ----------
     backend:
-        ``"serial"``, ``"thread"`` or ``"process"`` (``None`` resolves via
-        :func:`resolve_backend`: threads when ``workers > 1``, serial
-        otherwise).  Both parallel backends shard the ``|L|`` first-label
-        subtrees of the path trie; threads share the CSR matrices in memory
-        (scipy's matmul releases the GIL), processes receive them once via
-        the pool initializer and return per-subtree arrays that are merged
-        by slice assignment.
+        ``"serial"``, ``"thread"``, ``"process"`` or ``"matrix"`` (``None``
+        resolves via :func:`resolve_backend`: threads when ``workers > 1``,
+        serial otherwise).  Both parallel backends shard the ``|L|``
+        first-label subtrees of the path trie; threads share the CSR
+        matrices in memory (scipy's matmul releases the GIL), processes
+        receive them once via the pool initializer and return per-subtree
+        arrays that are merged by slice assignment.  ``"matrix"`` runs the
+        level-synchronous stacked matrix-chain kernel
+        (:func:`_matrix_subtrees_nonzeros`) in a single worker; its output
+        is byte-identical to the DFS backends.
     workers:
         Worker count for the parallel backends (default
         ``min(|L|, cpu_count)``, capped at ``|L|``).  A resolved count of
@@ -578,7 +770,7 @@ def compute_selectivity_vector(
     if not alphabet:
         raise PathError("the graph has no edge labels to enumerate")
     matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
-    matrices = {label: matrix_store.matrix(label) for label in alphabet}
+    matrices = matrix_store.as_dict(alphabet)
     starts = domain_block_starts(len(alphabet), max_length)
     vector = np.zeros(int(starts[-1]), dtype=np.int64)
     _build_subtrees_into(
@@ -614,6 +806,17 @@ def _build_subtrees_into(
     """
     base = len(alphabet)
     digit_of = {label: digit for digit, label in enumerate(alphabet)}
+
+    if backend == "matrix":
+        aggregator = _ProgressAggregator(progress)
+        results = _matrix_subtrees_nonzeros(
+            matrices, alphabet, roots, max_length, progress=aggregator.adapter()
+        )
+        for label in roots:
+            _merge_subtree_nonzeros(
+                vector, starts, base, digit_of[label], results[label]
+            )
+        return
 
     if backend == "serial":
         aggregator = _ProgressAggregator(progress)
@@ -671,6 +874,12 @@ def _collect_subtrees_nonzeros(
     """
     base = len(alphabet)
     results: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+
+    if backend == "matrix":
+        aggregator = _ProgressAggregator(progress)
+        return _matrix_subtrees_nonzeros(
+            matrices, alphabet, roots, max_length, progress=aggregator.adapter()
+        )
 
     if backend == "serial":
         aggregator = _ProgressAggregator(progress)
@@ -774,7 +983,7 @@ def compute_selectivity_nonzeros(
     if not alphabet:
         raise PathError("the graph has no edge labels to enumerate")
     matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
-    matrices = {label: matrix_store.matrix(label) for label in alphabet}
+    matrices = matrix_store.as_dict(alphabet)
     starts = domain_block_starts(len(alphabet), max_length)
     results = _collect_subtrees_nonzeros(
         matrices, alphabet, alphabet, max_length, backend, worker_count, progress
@@ -843,7 +1052,7 @@ def update_selectivity_nonzeros(
         return old_indices.copy(), old_counts.copy()
     backend, worker_count = resolve_backend(backend, workers, len(affected))
     matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
-    matrices = {label: matrix_store.matrix(label) for label in alphabet}
+    matrices = matrix_store.as_dict(alphabet)
     starts = domain_block_starts(len(alphabet), max_length)
     digit_of = {label: digit for digit, label in enumerate(alphabet)}
     unknown = sorted(set(affected) - set(alphabet))
@@ -896,7 +1105,8 @@ def update_selectivity_vector(
     same ``labels`` alphabet and ``max_length``.  Only the first-label
     subtree slices that :func:`~repro.graph.delta.affected_first_labels`
     flags are re-evaluated (exactly, on the new graph, through the same
-    serial/thread/process backends as a cold build); every other slice is
+    serial/thread/process/matrix backends as a cold build — the matrix
+    kernel simply stacks only the affected subtrees); every other slice is
     copied from ``old_vector``.  The result is byte-identical to a cold
     :func:`compute_selectivity_vector` on the post-delta graph.
 
@@ -935,7 +1145,7 @@ def update_selectivity_vector(
         return vector
     backend, worker_count = resolve_backend(backend, workers, len(affected))
     matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
-    matrices = {label: matrix_store.matrix(label) for label in alphabet}
+    matrices = matrix_store.as_dict(alphabet)
     starts = domain_block_starts(len(alphabet), max_length)
     _build_subtrees_into(
         vector,

@@ -63,6 +63,7 @@ class BFSPathEvaluator(PathEvaluator):
         return self._graph
 
     def pairs(self, path: PathLike) -> set[tuple[object, object]]:
+        """All ``(start, end)`` vertex pairs connected by ``path`` (BFS)."""
         label_path = as_label_path(path)
         graph = self._graph
         first = label_path.first
@@ -88,6 +89,7 @@ class BFSPathEvaluator(PathEvaluator):
         return result
 
     def selectivity(self, path: PathLike) -> int:
+        """``f(path)``: the number of distinct connected vertex pairs."""
         # ``pairs`` already deduplicates; just count.
         return len(self.pairs(path))
 
@@ -122,6 +124,7 @@ class MatrixPathEvaluator(PathEvaluator):
         return all(label in self._store.labels for label in label_path)
 
     def pairs(self, path: PathLike) -> set[tuple[object, object]]:
+        """Connected vertex pairs of ``path``: nonzeros of the chain product."""
         label_path = as_label_path(path)
         if not self._known_labels(label_path):
             return set()
@@ -134,6 +137,7 @@ class MatrixPathEvaluator(PathEvaluator):
         }
 
     def selectivity(self, path: PathLike) -> int:
+        """``f(path)`` as the nnz of the boolean matrix-chain product."""
         label_path = as_label_path(path)
         if not self._known_labels(label_path):
             return 0

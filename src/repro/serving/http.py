@@ -78,6 +78,7 @@ class _Handler(BaseHTTPRequestHandler):
     # plumbing
     # ------------------------------------------------------------------
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Suppress per-request logging unless the server runs verbose."""
         if self.server.verbose:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
@@ -122,6 +123,7 @@ class _Handler(BaseHTTPRequestHandler):
     # routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Route GET requests: ``/healthz``, ``/stats``, ``/graphs``."""
         if self.path == "/healthz":
             self._send_json(
                 200, {"status": "ok", "graphs": list(self.server.registry.names())}
@@ -140,6 +142,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error_json(404, f"no such route: {self.path}")
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        """Route POST requests: ``/estimate``, ``/warm``, ``/evict``, ...."""
         document = self._read_json()
         if document is None:
             return

@@ -85,6 +85,7 @@ class _Source:
         self.lock = threading.Lock()
 
     def load_graph(self) -> LabeledDiGraph:
+        """The pinned graph if kept, otherwise a fresh load via the loader."""
         return self.graph if self.graph is not None else self.loader()
 
 

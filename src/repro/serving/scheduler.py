@@ -71,10 +71,12 @@ class ServiceStats:
         self.wait_seconds_max = 0.0
 
     def observe_rejected(self) -> None:
+        """Count one request rejected at submission (queue full / closed)."""
         with self._lock:
             self.rejected_total += 1
 
     def observe_error(self, count: int = 1) -> None:
+        """Count ``count`` requests that failed while being served."""
         with self._lock:
             self.errors_total += count
 
@@ -88,6 +90,7 @@ class ServiceStats:
         wait_seconds_total: float,
         wait_seconds_max: float,
     ) -> None:
+        """Record one drained batch (sizes, wait times, session fan-out)."""
         with self._lock:
             # Submission counters are updated here too (not on the submit
             # path) so 32 submitting threads never contend on this lock.

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Check that every internal Markdown link in the docs resolves.
+
+Scans ``README.md`` and ``docs/**/*.md`` for inline Markdown links
+(``[text](target)``) and verifies, using only the standard library:
+
+* relative file targets exist (resolved against the linking file);
+* anchor targets (``#heading`` or ``file.md#heading``) match a heading in
+  the target file under GitHub's slug rules (lowercase, spaces to dashes,
+  punctuation dropped, duplicate slugs suffixed ``-1``, ``-2``, ...);
+* no relative link escapes the repository root.
+
+External links (``http://``, ``https://``, ``mailto:``) are ignored — CI
+must not fail on somebody else's outage. Exit code 1 with one readable
+line per broken link.
+
+Usage::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline Markdown links; deliberately simple — image links share the
+#: ``](...)`` shape and are checked the same way.
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> list[Path]:
+    """README plus every Markdown file under ``docs/``."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def github_slug(heading: str, seen: dict[str, int]) -> str:
+    """GitHub's anchor slug for ``heading``, deduplicated against ``seen``."""
+    # Strip inline code/emphasis markers and links, keep their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("_", " ").strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def heading_slugs(path: Path) -> set[str]:
+    """Every GitHub heading anchor defined by ``path``."""
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_PATTERN.match(line)
+        if match:
+            slugs.add(github_slug(match.group(2), seen))
+    return slugs
+
+
+def extract_links(path: Path) -> list[tuple[int, str]]:
+    """All inline-link targets in ``path`` as ``(line_number, target)``."""
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_PATTERN.finditer(line):
+            links.append((number, match.group(1)))
+    return links
+
+
+def check_link(source: Path, target: str, slug_cache: dict[Path, set[str]]) -> str:
+    """An error message for a broken ``target`` in ``source``, or ``""``."""
+    if target.startswith(EXTERNAL_PREFIXES):
+        return ""
+    base, _, fragment = target.partition("#")
+    if base:
+        resolved = (source.parent / base).resolve()
+        try:
+            resolved.relative_to(REPO_ROOT)
+        except ValueError:
+            return f"link escapes the repository: {target}"
+        if not resolved.exists():
+            return f"missing target: {target}"
+    else:
+        resolved = source.resolve()
+    if fragment:
+        if resolved.suffix.lower() != ".md":
+            return ""  # anchors into non-Markdown files are not checkable
+        if resolved not in slug_cache:
+            slug_cache[resolved] = heading_slugs(resolved)
+        if fragment.lower() not in slug_cache[resolved]:
+            return f"missing anchor: {target}"
+    return ""
+
+
+def main() -> int:
+    slug_cache: dict[Path, set[str]] = {}
+    errors: list[str] = []
+    checked = 0
+    for path in doc_files():
+        for line_number, target in extract_links(path):
+            checked += 1
+            message = check_link(path, target, slug_cache)
+            if message:
+                rel = path.relative_to(REPO_ROOT)
+                errors.append(f"{rel}:{line_number}: {message}")
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} broken link(s) out of {checked}", file=sys.stderr)
+        return 1
+    print(f"all {checked} internal links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

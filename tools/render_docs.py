@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""Render the Markdown docs to standalone HTML for the CI docs artifact.
+
+Writes one ``.html`` file per input into ``--out`` (default
+``rendered-docs/``), covering ``README.md`` and ``docs/**/*.md``. Uses the
+third-party ``markdown`` package when available; otherwise falls back to a
+small stdlib renderer (headings, fenced code blocks, inline code, links,
+lists, paragraphs, tables passed through as preformatted text) so the
+artifact is still readable on a bare runner. ``.md`` links are rewritten
+to ``.html`` so the rendered tree is navigable.
+
+Usage::
+
+    python tools/render_docs.py [--out rendered-docs]
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+body {{ max-width: 52rem; margin: 2rem auto; padding: 0 1rem;
+       font-family: system-ui, sans-serif; line-height: 1.55; }}
+pre {{ background: #f6f8fa; padding: .8rem; overflow-x: auto; }}
+code {{ background: #f6f8fa; padding: .1rem .25rem; }}
+pre code {{ padding: 0; }}
+table {{ border-collapse: collapse; }}
+td, th {{ border: 1px solid #d0d7de; padding: .3rem .6rem; }}
+</style>
+</head>
+<body>
+{body}
+</body>
+</html>
+"""
+
+
+def rewrite_md_links(text: str) -> str:
+    """Point ``*.md`` targets at their rendered ``*.html`` twins."""
+    return re.sub(
+        r"\]\(([^)\s]+?)\.md(#[^)\s]*)?\)",
+        lambda m: f"]({m.group(1)}.html{m.group(2) or ''})",
+        text,
+    )
+
+
+def render_markdown(text: str) -> str:
+    """``text`` as an HTML fragment, best renderer available."""
+    try:
+        import markdown  # type: ignore[import-not-found]
+    except ImportError:
+        return _render_fallback(text)
+    return markdown.markdown(text, extensions=["tables", "fenced_code"])
+
+
+def _inline(text: str) -> str:
+    """Inline spans on escaped text: code, links, bold, italics."""
+    out = html.escape(text, quote=False)
+    out = re.sub(r"`([^`]+)`", r"<code>\1</code>", out)
+    out = re.sub(r"\[([^\]]+)\]\(([^)\s]+)\)", r'<a href="\2">\1</a>', out)
+    out = re.sub(r"\*\*([^*]+)\*\*", r"<strong>\1</strong>", out)
+    out = re.sub(r"(?<!\*)\*([^*\s][^*]*)\*(?!\*)", r"<em>\1</em>", out)
+    return out
+
+
+def _render_fallback(text: str) -> str:
+    """A minimal stdlib Markdown-to-HTML conversion, fidelity over polish."""
+    parts: list[str] = []
+    lines = text.splitlines()
+    index = 0
+    paragraph: list[str] = []
+    list_open = False
+
+    def flush_paragraph() -> None:
+        if paragraph:
+            parts.append(f"<p>{_inline(' '.join(paragraph))}</p>")
+            paragraph.clear()
+
+    def close_list() -> None:
+        nonlocal list_open
+        if list_open:
+            parts.append("</ul>")
+            list_open = False
+
+    while index < len(lines):
+        line = lines[index]
+        if line.startswith("```") or line.startswith("~~~"):
+            flush_paragraph()
+            close_list()
+            fence = line[:3]
+            block: list[str] = []
+            index += 1
+            while index < len(lines) and not lines[index].startswith(fence):
+                block.append(lines[index])
+                index += 1
+            parts.append(f"<pre><code>{html.escape(chr(10).join(block))}</code></pre>")
+            index += 1
+            continue
+        heading = re.match(r"^(#{1,6})\s+(.*?)\s*#*\s*$", line)
+        if heading:
+            flush_paragraph()
+            close_list()
+            depth = len(heading.group(1))
+            parts.append(f"<h{depth}>{_inline(heading.group(2))}</h{depth}>")
+        elif line.startswith("|"):
+            flush_paragraph()
+            close_list()
+            table: list[str] = []
+            while index < len(lines) and lines[index].startswith("|"):
+                table.append(lines[index])
+                index += 1
+            parts.append(f"<pre>{html.escape(chr(10).join(table))}</pre>")
+            continue
+        elif re.match(r"^\s*[-*]\s+", line):
+            flush_paragraph()
+            if not list_open:
+                parts.append("<ul>")
+                list_open = True
+            item = re.sub(r"^\s*[-*]\s+", "", line)
+            parts.append(f"<li>{_inline(item)}</li>")
+        elif not line.strip():
+            flush_paragraph()
+            close_list()
+        else:
+            paragraph.append(line.strip())
+        index += 1
+    flush_paragraph()
+    close_list()
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="rendered-docs", help="output directory for the HTML tree"
+    )
+    args = parser.parse_args(argv)
+    out_root = Path(args.out)
+
+    sources = [REPO_ROOT / "README.md"]
+    sources.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    rendered = 0
+    for source in sources:
+        if not source.is_file():
+            continue
+        relative = source.relative_to(REPO_ROOT).with_suffix(".html")
+        destination = out_root / relative
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        text = rewrite_md_links(source.read_text(encoding="utf-8"))
+        body = render_markdown(text)
+        destination.write_text(
+            PAGE.format(title=html.escape(source.stem), body=body), encoding="utf-8"
+        )
+        rendered += 1
+    print(f"rendered {rendered} page(s) into {out_root}/")
+    return 0 if rendered else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
