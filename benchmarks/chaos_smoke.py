@@ -1,0 +1,314 @@
+#!/usr/bin/env python
+"""Chaos smoke: availability of the serving stack under injected faults.
+
+Runs one in-process ``make_server`` endpoint through five fault phases
+driven by :mod:`repro.testing.faults`:
+
+1. **baseline** — plain traffic through a retrying client;
+2. **worker crash** — the scheduler's drain loop is killed mid-batch; the
+   supervisor must fail the in-flight futures, restart the worker, and the
+   client's retry must land;
+3. **corrupt artifact** — the cached catalog ``.npz`` is deterministically
+   damaged on disk; the next build must quarantine it and rebuild with no
+   client-visible error;
+4. **circuit breaker** — a doomed graph (every build fails after a 250 ms
+   stall) trips its circuit; once open, requests must fast-fail in under
+   :data:`FAST_FAIL_CEILING_SECONDS` instead of queueing behind the stall;
+5. **backpressure burst** — more concurrent clients than the 8-deep queue
+   admits; retries with jitter + ``Retry-After`` must absorb the burst.
+
+Every request is classified: ``ok`` (answered), ``clean_unavailable``
+(429/503 carrying a retry hint, or 504), ``clean_rejected`` (4xx client
+fault), or ``bad`` (anything else — including a 503 *without* a retry
+hint).  Availability = non-``bad`` / total and must clear
+:data:`AVAILABILITY_FLOOR`; a thread that never returns counts as a hang
+and any hang fails the run.
+
+Run directly (CI chaos job) or with ``--json`` (consumed by ``run_all.py``,
+which records the numbers in ``BENCH_engine.json`` and enforces the
+floors).
+
+Usage::
+
+    python benchmarks/chaos_smoke.py [--json chaos-report.json] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Fraction of chaos-phase requests that must get a clean answer.
+AVAILABILITY_FLOOR = 0.99
+
+#: Ceiling for answering a request against an open circuit.
+FAST_FAIL_CEILING_SECONDS = 0.010
+
+#: Open-circuit probes measured for the fast-fail bound (min is reported).
+FAST_FAIL_PROBES = 5
+
+
+class _Outcomes:
+    """Thread-safe request classification counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.ok = 0
+        self.clean_unavailable = 0
+        self.clean_rejected = 0
+        self.bad = 0
+
+    def record(self, call) -> object:
+        """Run ``call``, classify its outcome, and return its result (or None)."""
+        from repro.exceptions import ServiceRequestError
+
+        try:
+            result = call()
+        except ServiceRequestError as exc:
+            with self._lock:
+                if exc.status in (429, 503) and exc.retry_after is not None:
+                    self.clean_unavailable += 1
+                elif exc.status == 504:
+                    self.clean_unavailable += 1
+                elif exc.status is not None and 400 <= exc.status < 500:
+                    self.clean_rejected += 1
+                else:
+                    self.bad += 1
+            return None
+        except Exception:  # noqa: BLE001 - anything else is a dirty failure
+            with self._lock:
+                self.bad += 1
+            return None
+        with self._lock:
+            self.ok += 1
+        return result
+
+    @property
+    def total(self) -> int:
+        with self._lock:
+            return self.ok + self.clean_unavailable + self.clean_rejected + self.bad
+
+    def availability(self) -> float:
+        """Fraction of requests that got a clean (non-``bad``) answer."""
+        total = self.total
+        if total == 0:
+            return 1.0
+        with self._lock:
+            return 1.0 - self.bad / total
+
+
+def run_scenario(quick: bool = False) -> dict[str, object]:
+    """Run every chaos phase in-process; returns the JSON-ready report."""
+    from repro.engine import EngineConfig
+    from repro.exceptions import EngineError, ServiceRequestError
+    from repro.graph.generators import zipf_labeled_graph
+    from repro.serving import ServiceClient, SessionRegistry, make_server
+    from repro.testing import corrupt_file, injector
+
+    baseline_requests = 20 if quick else 40
+    burst_threads = 24 if quick else 60
+
+    injector.reset()
+    outcomes = _Outcomes()
+    report: dict[str, object] = {
+        "quick": quick,
+        "availability_floor": AVAILABILITY_FLOOR,
+        "fast_fail_ceiling_seconds": FAST_FAIL_CEILING_SECONDS,
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as cache_dir:
+        registry = SessionRegistry(
+            cache_dir=cache_dir,
+            default_config=EngineConfig(max_length=2, bucket_count=8),
+            breaker_threshold=2,
+            breaker_reset_seconds=60.0,
+        )
+        registry.register(
+            "g", graph=zipf_labeled_graph(40, 160, 3, skew=1.0, seed=13, name="g")
+        )
+        registry.register(
+            "doomed",
+            graph=zipf_labeled_graph(20, 50, 3, skew=1.0, seed=17, name="doomed"),
+        )
+        injector.arm(
+            "registry.build",
+            error=lambda: EngineError("chaos: doomed build"),
+            delay=0.25,
+            times=-1,
+            match=lambda ctx: ctx.get("graph") == "doomed",
+        )
+        server = make_server(
+            registry, port=0, window_seconds=0.001, max_pending=8
+        )
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(
+                url, timeout=10, max_retries=6, backoff_seconds=0.02
+            )
+            paths = ["1/2", "2", "3/3", "2/1"]
+
+            # Phase 1: baseline traffic.
+            reference = outcomes.record(lambda: client.estimate("g", paths))
+            assert reference is not None, "baseline estimate failed"
+            for _ in range(baseline_requests - 1):
+                outcomes.record(lambda: client.estimate("g", paths))
+
+            # Phase 2: worker crash mid-batch; the retry must recover.
+            injector.arm("scheduler.worker", error=RuntimeError("chaos"), times=1)
+            crashed_answer = outcomes.record(lambda: client.estimate("g", paths))
+            stats = client.stats()["scheduler"]
+            report["worker_restarts"] = stats["worker_restarts"]
+            report["crashed_requests_total"] = stats["crashed_requests_total"]
+            report["recovered_after_crash"] = (
+                crashed_answer == reference and stats["worker_restarts"] >= 1
+            )
+
+            # Phase 3: corrupt the cached catalog; rebuild must be invisible.
+            key = registry.get("g").stats.catalog_key
+            registry.evict("g")
+            corrupt_file(registry.cache.catalog_path(key), mode="bitflip")
+            healed_answer = outcomes.record(lambda: client.estimate("g", paths))
+            report["quarantined"] = registry.cache.quarantined
+            report["quarantine_rebuilt"] = (
+                healed_answer == reference and registry.cache.quarantined >= 1
+            )
+
+            # Phase 4: trip the doomed graph's circuit, then time fast-fails.
+            no_retry = ServiceClient(url, timeout=10, max_retries=0)
+            for _ in range(2):  # breaker_threshold slow failures (400s)
+                outcomes.record(lambda: no_retry.warm("doomed"))
+            fast_fail_seconds = []
+            for _ in range(FAST_FAIL_PROBES):
+                started = time.perf_counter()
+                try:
+                    no_retry.warm("doomed")
+                    raise AssertionError("open circuit answered a warm")
+                except ServiceRequestError as exc:
+                    elapsed = time.perf_counter() - started
+                    with outcomes._lock:
+                        if exc.status == 503 and exc.retry_after is not None:
+                            outcomes.clean_unavailable += 1
+                        else:
+                            outcomes.bad += 1
+                fast_fail_seconds.append(elapsed)
+            report["circuit_fast_fail_seconds"] = min(fast_fail_seconds)
+            report["circuits_opened"] = registry.stats.circuits_opened
+
+            # Phase 5: backpressure burst against the 8-deep queue.
+            injector.arm("scheduler.worker", delay=0.15, times=1)
+            burst_clients = [
+                ServiceClient(
+                    url,
+                    timeout=10,
+                    max_retries=8,
+                    backoff_seconds=0.02,
+                    backoff_max_seconds=0.5,
+                )
+                for _ in range(burst_threads)
+            ]
+            threads = [
+                threading.Thread(
+                    target=lambda c=c: outcomes.record(
+                        lambda: c.estimate("g", paths)
+                    ),
+                    daemon=True,
+                )
+                for c in burst_clients
+            ]
+            for worker in threads:
+                worker.start()
+            for worker in threads:
+                worker.join(timeout=60)
+            report["hangs"] = sum(worker.is_alive() for worker in threads)
+        finally:
+            injector.reset()
+            server.shutdown()
+            server.close()
+            thread.join(timeout=15)
+
+    report.update(
+        {
+            "requests_total": outcomes.total,
+            "ok": outcomes.ok,
+            "clean_unavailable": outcomes.clean_unavailable,
+            "clean_rejected": outcomes.clean_rejected,
+            "bad": outcomes.bad,
+            "availability": outcomes.availability(),
+        }
+    )
+    return report
+
+
+def collect_failures(report: dict[str, object]) -> list[str]:
+    """Every chaos floor the report violates, one readable line each."""
+    failures: list[str] = []
+    floor = report.get("availability_floor", AVAILABILITY_FLOOR)
+    if report["availability"] < floor:
+        failures.append(
+            f"chaos availability {report['availability']:.4f} < {floor} "
+            f"({report['bad']} dirty failures of {report['requests_total']})"
+        )
+    if report.get("hangs", 0):
+        failures.append(f"{report['hangs']} request thread(s) never returned")
+    if not report.get("recovered_after_crash", False):
+        failures.append("client retry did not recover across the worker crash")
+    if not report.get("quarantine_rebuilt", False):
+        failures.append("corrupt catalog was not quarantined + rebuilt cleanly")
+    ceiling = report.get("fast_fail_ceiling_seconds", FAST_FAIL_CEILING_SECONDS)
+    if report["circuit_fast_fail_seconds"] >= ceiling:
+        failures.append(
+            f"open circuit answered in {report['circuit_fast_fail_seconds'] * 1000:.1f}ms "
+            f">= {ceiling * 1000:.0f}ms ceiling"
+        )
+    if report.get("circuits_opened", 0) < 1:
+        failures.append("the doomed graph never tripped its circuit")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run the scenario, report floors, exit non-zero on breach."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, help="write the report to this path")
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller burst (CI smoke mode)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = run_scenario(quick=args.quick)
+    except Exception as exc:  # noqa: BLE001 - smoke harness boundary
+        print(f"chaos FAILURE: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    failures = collect_failures(report)
+    for failure in failures:
+        print(f"chaos FAILURE: {failure}", file=sys.stderr)
+    print(
+        f"chaos: availability {report['availability']:.4f} over "
+        f"{report['requests_total']} requests "
+        f"(ok {report['ok']}, unavailable {report['clean_unavailable']}, "
+        f"rejected {report['clean_rejected']}, bad {report['bad']}, "
+        f"hangs {report['hangs']}), worker restarts {report['worker_restarts']}, "
+        f"quarantined {report['quarantined']}, circuit fast-fail "
+        f"{report['circuit_fast_fail_seconds'] * 1000:.2f}ms"
+    )
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

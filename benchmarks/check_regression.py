@@ -8,9 +8,9 @@ as the current run.  Two things are checked:
 * every floor **recorded in the baseline** (batch ≥ 10×, columnar ≥ 3×,
   npz ≤ 25%, coalesced ≥ 5×, delta ≥ 5×, sparse build ≥ 2×, matrix-chain
   build ≥ 2× the sparse DFS, sparse artifact ≤ 5%, sparse serve RSS
-  < 1 GiB, ...) still holds for the current numbers — so a PR cannot
-  silently relax a shipped floor by shrinking the constant in
-  ``run_all.py``;
+  < 1 GiB, chaos availability ≥ 99%, open-circuit fast-fail < 10 ms, ...)
+  still holds for the current numbers — so a PR cannot silently relax a
+  shipped floor by shrinking the constant in ``run_all.py``;
 * the correctness invariants (batch == loop, patched == cold, warm start
   from cache, single-flight, byte-identical sparse histogram boundaries)
   still hold.
@@ -54,6 +54,8 @@ FLOORS: tuple[tuple[str, str, str, str], ...] = (
     ("sparse", "matrix_speedup", "matrix_speedup_floor", ">="),
     ("sparse", "artifact_ratio", "artifact_ratio_ceiling", "<="),
     ("sparse", "serve_max_rss_bytes", "serve_rss_ceiling_bytes", "<="),
+    ("chaos", "availability", "availability_floor", ">="),
+    ("chaos", "circuit_fast_fail_seconds", "fast_fail_ceiling_seconds", "<="),
 )
 
 
@@ -123,7 +125,11 @@ def main(argv: list[str] | None = None) -> int:
     current = load_document(Path(args.current))
 
     for name, document in (("baseline", baseline), ("current", current)):
-        for section, floor_name in (("delta", "delta"), ("sparse", "sparse-catalog")):
+        for section, floor_name in (
+            ("delta", "delta"),
+            ("sparse", "sparse-catalog"),
+            ("chaos", "chaos-smoke"),
+        ):
             if section not in document:
                 print(
                     f"regression check: {name} document predates the "

@@ -31,8 +31,11 @@ or any sparse-catalog floor: sparse build < 2× the dense build on the
 |L|=20, k=6 graph (67M-entry dense domain), the ``backend="matrix"``
 build < 2× the sparse DFS build (or its nonzero streams not byte-identical
 to it), sparse npz artifact > 5% of the dense npz at ≤ 1% density, sparse
-histogram boundaries diverging from the dense build, or ``repro serve``
-exceeding 1 GiB peak RSS on that domain.  Floor failures are printed
+histogram boundaries diverging from the dense build, ``repro serve``
+exceeding 1 GiB peak RSS on that domain, or any chaos floor: availability
+under fault injection < 99%, a hung request thread, a worker crash or
+corrupt artifact that is not transparently healed, or an open circuit
+answering in ≥ 10 ms.  Floor failures are printed
 *first*, one readable line each, and never as tracebacks — CI logs lead
 with the failing floor.
 """
@@ -61,6 +64,10 @@ if str(BENCH_DIR) not in sys.path:
 # smoke script, so the recorded build/artifact numbers and the measured RSS
 # always describe the same graph.
 import sparse_smoke  # noqa: E402
+
+# The chaos section runs the fault-injection scenario in-process and shares
+# its availability/fast-fail floors with the standalone CI chaos job.
+import chaos_smoke  # noqa: E402
 
 #: Workload size for the direct batch-vs-loop measurement.
 BATCH_SIZE = 10_000
@@ -121,6 +128,12 @@ SPARSE_SERVE_RSS_CEILING_BYTES = sparse_smoke.RSS_CEILING_BYTES
 #: CI step wrappers so a wedged smoke still surfaces as a one-line floor
 #: failure from run_all rather than an opaque outer SIGTERM.
 SPARSE_SMOKE_TIMEOUT_SECONDS = 240
+
+#: Availability floor for the chaos scenario (fraction of requests that get
+#: a clean answer while faults are being injected) and the ceiling for
+#: answering a request against an open circuit — shared with the smoke.
+CHAOS_AVAILABILITY_FLOOR = chaos_smoke.AVAILABILITY_FLOOR
+CHAOS_FAST_FAIL_CEILING_SECONDS = chaos_smoke.FAST_FAIL_CEILING_SECONDS
 
 
 class FloorFailure(AssertionError):
@@ -815,6 +828,21 @@ def measure_sparse(quick: bool) -> dict[str, object]:
     }
 
 
+def measure_chaos(quick: bool) -> dict[str, object]:
+    """The fault-injection scenario (see ``benchmarks/chaos_smoke.py``).
+
+    Runs in-process: injected worker crashes, on-disk artifact corruption,
+    a doomed graph tripping its circuit breaker, and a backpressure burst
+    against an 8-deep queue.  The recorded availability (clean answers /
+    total requests under chaos) is floor-gated, as are the recovery
+    booleans and the open-circuit fast-fail latency.
+    """
+    report = chaos_smoke.run_scenario(quick=quick)
+    for failure in chaos_smoke.collect_failures(report):
+        raise FloorFailure(failure)
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -842,6 +870,7 @@ def main(argv: list[str] | None = None) -> int:
         serving = measure_serving(args.quick)
         delta = measure_delta(args.quick)
         sparse = measure_sparse(args.quick)
+        chaos = measure_chaos(args.quick)
     except FloorFailure as exc:
         # A broken invariant (builders disagreeing, a degenerate workload)
         # is a floor failure, not a crash: one readable line, exit 1.
@@ -850,7 +879,7 @@ def main(argv: list[str] | None = None) -> int:
     total_seconds = time.perf_counter() - started
 
     document = {
-        "schema": "repro-bench/v6",
+        "schema": "repro-bench/v7",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "generated_unix": time.time(),
@@ -860,6 +889,7 @@ def main(argv: list[str] | None = None) -> int:
         "serving": serving,
         "delta": delta,
         "sparse": sparse,
+        "chaos": chaos,
     }
     if suite is not None:
         document["suite"] = suite
@@ -898,7 +928,9 @@ def main(argv: list[str] | None = None) -> int:
         f"{sparse['graph']['domain_size'] / 1e6:.0f}M domain (matrix backend "
         f"{sparse['matrix_speedup']:.1f}x vs DFS, artifact "
         f"{sparse['artifact_ratio']:.1%} of dense, serve RSS "
-        f"{_format_rss(sparse['serve_max_rss_bytes'])}), "
+        f"{_format_rss(sparse['serve_max_rss_bytes'])}), chaos availability "
+        f"{chaos['availability']:.4f} over {chaos['requests_total']} requests "
+        f"(circuit fast-fail {chaos['circuit_fast_fail_seconds'] * 1000:.2f}ms), "
         f"total {total_seconds:.1f}s"
     )
     return 0 if not failures else 1
@@ -1032,6 +1064,11 @@ def collect_floor_failures(document: dict) -> list[str]:
             f"{_format_rss(rss_ceiling)} for the "
             f"{sparse['graph']['domain_size']:,}-entry domain"
         )
+    chaos = document.get("chaos")
+    if chaos is None:
+        failures.append("chaos section missing from the benchmark document")
+    else:
+        failures.extend(chaos_smoke.collect_failures(chaos))
     if suite is not None and suite["exit_code"] != 0:
         failures.append("pytest-benchmark suite failed")
     return failures

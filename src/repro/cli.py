@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
+import threading
 from typing import Optional, Sequence
 
 from repro.datasets.registry import available_datasets, load_dataset
@@ -226,6 +228,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded-queue depth; beyond it requests get HTTP 503",
     )
     serve.add_argument(
+        "--max-pending-per-graph",
+        type=int,
+        default=None,
+        help="per-graph admission budget; beyond it requests get HTTP 429",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=8 * 2**20,
+        help="request-body size cap; larger bodies get HTTP 413",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="consecutive build failures that open a graph's circuit "
+        "(0 disables the breaker)",
+    )
+    serve.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=5.0,
+        help="seconds an open circuit fast-fails before a half-open probe",
+    )
+    serve.add_argument(
         "--max-sessions", type=int, default=None, help="LRU session-count budget"
     )
     serve.add_argument(
@@ -263,6 +290,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="file with one label path per line (blank lines ignored)",
     )
     client.add_argument("--timeout", type=float, default=30.0)
+    client.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="retry budget for 429/503/504 and connection errors",
+    )
+    client.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="total seconds for the call, retries and pauses included",
+    )
     client.add_argument("--json", action="store_true", help="emit JSON")
 
     experiment = subparsers.add_parser("experiment", help="run an experiment harness")
@@ -441,6 +480,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         mmap=args.mmap,
         prune_cache_bytes=args.prune_cache_bytes,
         default_config=config,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_seconds=args.breaker_reset,
     )
     for spec in args.graph:
         name, separator, path = spec.partition("=")
@@ -459,6 +500,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         window_seconds=args.window_ms / 1000.0,
         max_batch_paths=args.max_batch,
         max_pending=args.max_pending,
+        max_pending_per_graph=args.max_pending_per_graph,
+        max_body_bytes=args.max_body_bytes,
         verbose=args.verbose,
     )
     host, port = server.server_address[:2]
@@ -467,19 +510,39 @@ def _run_serve(args: argparse.Namespace) -> int:
         f"(window {args.window_ms}ms, max batch {args.max_batch})",
         flush=True,
     )
+
+    # Graceful drain on SIGTERM/SIGINT: stop the accept loop from a side
+    # thread (shutdown() called inline here would deadlock — this thread is
+    # the one blocked inside serve_forever) and let the finally-close drain
+    # the scheduler and in-flight responses before the process exits.
+    def _drain(signum: int, frame: object) -> None:
+        print(f"signal {signum}: draining before shutdown", file=sys.stderr, flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _drain)
+        except ValueError:  # pragma: no cover - non-main thread (embedding)
+            pass
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C without handler
         pass
     finally:
         server.close()
+    print("drained; bye", file=sys.stderr, flush=True)
     return 0
 
 
 def _run_client(args: argparse.Namespace) -> int:
     from repro.serving import ServiceClient
 
-    client = ServiceClient(args.url, timeout=args.timeout)
+    client = ServiceClient(
+        args.url,
+        timeout=args.timeout,
+        max_retries=args.retries,
+        deadline_seconds=args.deadline,
+    )
     command = args.client_command
     if command == "estimate":
         if not args.graph:

@@ -20,6 +20,12 @@ served through ``np.load(mmap_mode="r")`` without materialising the whole
 vector in memory (``load_catalog(..., mmap=True)``; metadata still comes from
 the ``.npz``, whose members are decompressed lazily per array).
 
+Artifacts that fail to load (truncated archive, flipped bits, wrong shape)
+surface as :class:`~repro.exceptions.EngineError`; the session reacts by
+:meth:`ArtifactCache.quarantine`-ing the damaged file — an atomic rename to a
+``*.corrupt`` sibling, preserved for inspection but invisible to every glob —
+and rebuilding cold, so one corrupt artifact can never poison a key forever.
+
 The cache supports maintenance now that many graphs can share one directory:
 :meth:`ArtifactCache.evict` drops every artifact of one key and
 :meth:`ArtifactCache.prune` enforces a byte budget by deleting
@@ -44,12 +50,14 @@ from __future__ import annotations
 import os
 import uuid
 import zipfile
+import zlib
 from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.exceptions import EngineError, ReproError
+from repro.testing import faults
 from repro.histogram.builder import LabelPathHistogram
 from repro.histogram.serialization import load_histogram, save_histogram
 from repro.paths.catalog import SelectivityCatalog
@@ -73,6 +81,7 @@ class ArtifactCache:
         self._root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     @property
     def root(self) -> Path:
@@ -123,6 +132,7 @@ class ArtifactCache:
         Without a sidecar the request silently falls back to the regular
         in-memory load, so callers can always pass their preference.
         """
+        faults.fire("cache.load_catalog", key=key)
         path = self.catalog_path(key)
         if not path.exists():
             legacy = self.legacy_catalog_path(
@@ -139,13 +149,33 @@ class ArtifactCache:
                 self._touch(sidecar)
             else:
                 catalog = SelectivityCatalog.load(path)
-        except (ReproError, OSError, ValueError, zipfile.BadZipFile) as exc:
+        except (
+            ReproError,
+            OSError,
+            ValueError,
+            zipfile.BadZipFile,
+            zlib.error,
+        ) as exc:
             # BadZipFile: np.load raises it for a truncated/corrupt archive
-            # that still begins with the zip magic bytes.
-            raise EngineError(f"corrupt cached catalog at {path}: {exc}") from exc
+            # that still begins with the zip magic bytes.  zlib.error: a
+            # bit-flip inside a deflated member corrupts the stream itself,
+            # which surfaces before the CRC is ever checked.
+            raise self._corrupt_error("catalog", path, exc) from exc
         self.hits += 1
         self._touch(path)
         return catalog
+
+    @staticmethod
+    def _corrupt_error(kind: str, path: Path, cause: Exception) -> EngineError:
+        """An :class:`EngineError` for a damaged artifact, carrying its path.
+
+        ``artifact_path`` lets the session quarantine exactly the file that
+        failed to parse (the legacy-JSON fallback lives under a *different*
+        key than the one being loaded, so the key alone cannot name it).
+        """
+        error = EngineError(f"corrupt cached {kind} at {path}: {cause}")
+        error.artifact_path = path
+        return error
 
     @staticmethod
     def _load_catalog_mmap(npz_path: Path, sidecar: Path) -> SelectivityCatalog:
@@ -230,7 +260,7 @@ class ArtifactCache:
         try:
             histogram = load_histogram(path)
         except (ReproError, OSError, ValueError) as exc:
-            raise EngineError(f"corrupt cached histogram at {path}: {exc}") from exc
+            raise self._corrupt_error("histogram", path, exc) from exc
         self.hits += 1
         self._touch(path)
         return histogram
@@ -255,7 +285,7 @@ class ArtifactCache:
         try:
             positions = np.load(path, allow_pickle=False)
         except (OSError, ValueError) as exc:
-            raise EngineError(f"corrupt cached position table at {path}: {exc}") from exc
+            raise self._corrupt_error("position table", path, exc) from exc
         self.hits += 1
         self._touch(path)
         return positions
@@ -268,6 +298,60 @@ class ArtifactCache:
         np.save(temp, positions, allow_pickle=False)
         os.replace(temp, path)
         return path
+
+    # ------------------------------------------------------------------
+    # quarantine
+    # ------------------------------------------------------------------
+    def quarantine(self, key: str, kind: str = "catalog") -> list[Path]:
+        """Rename ``kind``'s artifacts for ``key`` to ``*.corrupt`` siblings.
+
+        Called by the session when a cached artifact fails to load: the
+        damaged file is moved aside (never deleted — an operator can inspect
+        it) so the next load is a clean miss and the build proceeds cold.
+        Quarantined files no longer match the artifact globs, so
+        :meth:`artifact_files`, :meth:`total_bytes` and :meth:`prune` all
+        skip them.  Returns the new paths; increments :attr:`quarantined`
+        per file moved.
+        """
+        if kind == "catalog":
+            candidates = (
+                self.catalog_path(key),
+                self.mmap_catalog_path(key),
+                self.legacy_catalog_path(key),
+            )
+        elif kind == "histogram":
+            candidates = (self.histogram_path(key),)
+        elif kind == "positions":
+            candidates = (self.positions_path(key),)
+        else:
+            raise EngineError(f"unknown artifact kind to quarantine: {kind!r}")
+        moved: list[Path] = []
+        for path in candidates:
+            target = self.quarantine_path(path)
+            if target is not None:
+                moved.append(target)
+        return moved
+
+    def quarantine_path(self, path: Union[str, Path]) -> Optional[Path]:
+        """Rename one artifact file to its ``.corrupt`` sibling (atomic).
+
+        Returns the new path, or ``None`` when the file does not exist (or
+        cannot be renamed).  Increments :attr:`quarantined` on success.
+        """
+        path = Path(path)
+        if not path.exists():
+            return None
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - depends on fs permissions
+            return None
+        self.quarantined += 1
+        return target
+
+    def quarantined_files(self) -> list[Path]:
+        """Every ``*.corrupt`` file currently parked in the cache directory."""
+        return sorted(self._root.glob("*.corrupt"))
 
     # ------------------------------------------------------------------
     # maintenance

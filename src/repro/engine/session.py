@@ -256,13 +256,27 @@ class EstimationSession:
         stats.histogram_key = histogram_key
 
         # 1. Catalog: the expensive exact evaluation of the whole domain,
-        #    landing directly in the columnar frequency vector.
+        #    landing directly in the columnar frequency vector.  A corrupt
+        #    cached artifact is quarantined (renamed aside) and rebuilt cold
+        #    instead of failing the request — and failing it again on every
+        #    subsequent build of the same key.
         start = time.perf_counter()
-        catalog = (
-            cache.load_catalog(catalog_key, legacy_key=legacy_catalog_key, mmap=mmap)
-            if cache is not None
-            else None
-        )
+        catalog = None
+        if cache is not None:
+            try:
+                catalog = cache.load_catalog(
+                    catalog_key, legacy_key=legacy_catalog_key, mmap=mmap
+                )
+            except EngineError as exc:
+                quarantined = cache.quarantine(catalog_key, kind="catalog")
+                # The legacy-JSON fallback lives under a different key; the
+                # error names the exact file that failed to parse.
+                bad_path = getattr(exc, "artifact_path", None)
+                if bad_path is not None:
+                    extra = cache.quarantine_path(bad_path)
+                    if extra is not None:
+                        quarantined.append(extra)
+                stats.extra["catalog_quarantined"] = len(quarantined)
         if catalog is None:
             catalog = SelectivityCatalog.from_graph(
                 graph,
@@ -330,9 +344,16 @@ class EstimationSession:
         """
         # 2. Ordering (from the cached histogram when possible).  The load is
         #    timed into histogram_seconds below so the warm path's artifact
-        #    parse cost is not attributed to no stage.
+        #    parse cost is not attributed to no stage.  A corrupt cached
+        #    histogram is quarantined and rebuilt, like every artifact kind.
         start = time.perf_counter()
-        histogram = cache.load_histogram(histogram_key) if cache is not None else None
+        histogram = None
+        if cache is not None:
+            try:
+                histogram = cache.load_histogram(histogram_key)
+            except EngineError:
+                quarantined = cache.quarantine(histogram_key, kind="histogram")
+                stats.extra["histogram_quarantined"] = len(quarantined)
         ordering: Ordering
         if histogram is not None:
             ordering = histogram.ordering
@@ -354,9 +375,21 @@ class EstimationSession:
         if catalog.storage == "sparse":
             stats.extra["lazy_positions"] = True
         else:
-            positions = (
-                cache.load_positions(histogram_key) if cache is not None else None
-            )
+            positions = None
+            if cache is not None:
+                try:
+                    positions = cache.load_positions(histogram_key)
+                except EngineError:
+                    positions = None
+                    quarantined = cache.quarantine(histogram_key, kind="positions")
+                    stats.extra["positions_quarantined"] = len(quarantined)
+                if positions is not None and positions.shape != (ordering.size,):
+                    # Parses fine but cannot belong to this domain: damaged
+                    # or mis-written — quarantine and recompute, same as a
+                    # parse failure.
+                    quarantined = cache.quarantine(histogram_key, kind="positions")
+                    stats.extra["positions_quarantined"] = len(quarantined)
+                    positions = None
             if positions is None:
                 # Vectorised ranking of the whole canonical enumeration; the
                 # closed-form orderings compute this without a per-path loop.
@@ -365,11 +398,6 @@ class EstimationSession:
                     cache.store_positions(histogram_key, positions)
             else:
                 stats.positions_from_cache = True
-                if positions.shape != (ordering.size,):
-                    raise EngineError(
-                        f"cached position table has shape {positions.shape}, "
-                        f"expected ({ordering.size},)"
-                    )
             position_of = {
                 str(path): int(position)
                 for path, position in zip(

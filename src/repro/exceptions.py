@@ -27,7 +27,11 @@ __all__ = [
     "ServingError",
     "UnknownGraphError",
     "ServiceOverloadedError",
+    "GraphOverloadedError",
     "ServiceClosedError",
+    "SchedulerCrashError",
+    "CircuitOpenError",
+    "ServiceRequestError",
 ]
 
 
@@ -147,8 +151,98 @@ class UnknownGraphError(ServingError, KeyError):
 
 
 class ServiceOverloadedError(ServingError):
-    """The scheduler's bounded request queue is full (backpressure signal)."""
+    """The scheduler's bounded request queue is full (backpressure signal).
+
+    Maps to HTTP 503 with a ``Retry-After`` hint: the *whole service* is
+    saturated, so the client should back off (or try another replica) and
+    retry — the rejection says nothing about the request itself.
+    """
+
+
+class GraphOverloadedError(ServingError):
+    """One graph exceeded its per-graph admission budget (rate limiting).
+
+    Maps to HTTP 429 (with ``Retry-After``), distinct from the global-queue
+    503: the service has capacity, but *this graph's* pending-request budget
+    (``max_pending_per_graph``) is exhausted — the client should slow down
+    traffic for this graph specifically, not the whole endpoint.
+    """
+
+    def __init__(self, graph: str, pending: int, budget: int) -> None:
+        super().__init__(
+            f"graph {graph!r} has {pending} requests pending "
+            f"(per-graph budget {budget})"
+        )
+        self.graph = graph
+        self.pending = pending
+        self.budget = budget
 
 
 class ServiceClosedError(ServingError):
     """A request was submitted after the service shut down."""
+
+
+class SchedulerCrashError(ServingError):
+    """The scheduler worker crashed while this request was in flight.
+
+    The supervisor fails the crashed batch with this error and restarts the
+    worker, so the condition is transient: the HTTP layer maps it to 503
+    with a ``Retry-After`` hint and a retrying client recovers on the
+    restarted worker.
+    """
+
+
+class CircuitOpenError(ServingError):
+    """A graph's circuit breaker is open: builds are failing, fast-fail now.
+
+    Raised by the registry instead of re-running a build that has already
+    failed ``threshold`` consecutive times.  Carries the seconds until the
+    next half-open probe (``retry_after``) and the cached failure message,
+    so clients get an actionable 503 in microseconds instead of paying the
+    doomed multi-second build on every request.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        retry_after: float,
+        failures: int,
+        last_error: str = "",
+    ) -> None:
+        message = (
+            f"circuit open for graph {name!r} after {failures} consecutive "
+            f"build failures; retry in {retry_after:.1f}s"
+        )
+        if last_error:
+            message += f" (last error: {last_error})"
+        super().__init__(message)
+        self.name = name
+        self.retry_after = retry_after
+        self.failures = failures
+        self.last_error = last_error
+
+
+class ServiceRequestError(ServingError):
+    """A client request failed after exhausting its retry/deadline budget.
+
+    Raised by :class:`~repro.serving.client.ServiceClient` with enough
+    structure for callers to react programmatically: ``status`` is the HTTP
+    status code (``None`` for connection errors and client-side deadline
+    exhaustion), ``retry_after`` the server's parsed ``Retry-After`` hint in
+    seconds when one was sent (429/503 responses), and ``attempts`` how many
+    attempts were made before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int | None = None,
+        retry_after: float | None = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+        self.attempts = attempts

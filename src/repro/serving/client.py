@@ -1,58 +1,187 @@
-"""Tiny stdlib client for the serving endpoint.
+"""Tiny stdlib client for the serving endpoint, with bounded retries.
 
 Wraps :mod:`urllib.request` so the CLI (``repro client``), the CI smoke
 test and the benchmarks can drive a running ``repro serve`` without any
-HTTP dependency.  Every method returns the decoded JSON document; HTTP
-errors become :class:`~repro.exceptions.ServingError` (with the server's
-``error`` message when it sent one).
+HTTP dependency.  Every method returns the decoded JSON document.
+
+Transient failures — 429 (per-graph admission), 503 (backpressure, open
+circuit, closing), 504 (batch deadline) and connection errors — are retried
+with exponential backoff and *full jitter*; when the server sent a
+``Retry-After`` header (it does on every backpressure rejection) the pause
+honours it as a lower bound.  An optional per-call deadline caps the whole
+attempt sequence: per-attempt timeouts shrink to the remaining budget and
+the client gives up early rather than schedule a pause it cannot afford.
+Exhausted retries and non-retryable statuses raise
+:class:`~repro.exceptions.ServiceRequestError` carrying the final status,
+the server's retry hint and the attempt count.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Optional, Sequence
 
-from repro.exceptions import ServingError
+from repro.exceptions import ServiceRequestError
 
 __all__ = ["ServiceClient"]
 
+#: HTTP statuses worth retrying: admission/backpressure rejections and
+#: batch timeouts.  Everything else (400, 404, 413...) is the caller's bug.
+RETRYABLE_STATUSES = frozenset({429, 503, 504})
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    """The ``Retry-After`` header as non-negative seconds, if parseable."""
+    if not value:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return max(0.0, seconds)
+
 
 class ServiceClient:
-    """A blocking JSON client bound to one service base URL."""
+    """A blocking JSON client bound to one service base URL.
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+    Parameters
+    ----------
+    base_url:
+        The service root, e.g. ``"http://127.0.0.1:8080"``.
+    timeout:
+        Per-attempt socket timeout in seconds.
+    max_retries:
+        How many *re*-tries follow the first attempt (``0`` disables
+        retrying entirely).
+    backoff_seconds / backoff_max_seconds:
+        Exponential backoff base and cap; the actual pause is drawn
+        uniformly from ``[0, min(cap, base * 2**attempt))`` (full jitter)
+        and then raised to any server ``Retry-After`` hint.
+    deadline_seconds:
+        Default budget for one logical call including every retry and
+        pause; ``None`` means attempts alone bound the call.  Individual
+        calls may override via their ``deadline_seconds`` argument.
+    rng:
+        Jitter source (a :class:`random.Random`); injectable for
+        deterministic tests.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        max_retries: int = 3,
+        backoff_seconds: float = 0.05,
+        backoff_max_seconds: float = 2.0,
+        deadline_seconds: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ServiceRequestError("timeout must be > 0")
+        if max_retries < 0:
+            raise ServiceRequestError("max_retries must be >= 0")
+        if backoff_seconds < 0 or backoff_max_seconds < 0:
+            raise ServiceRequestError("backoff seconds must be >= 0")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ServiceRequestError("deadline_seconds must be > 0")
         self._base_url = base_url.rstrip("/")
         self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff = backoff_seconds
+        self._backoff_max = backoff_max_seconds
+        self._deadline = deadline_seconds
+        self._rng = rng if rng is not None else random.Random()
 
     @property
     def base_url(self) -> str:
         """The service base URL (no trailing slash)."""
         return self._base_url
 
-    def _request(self, route: str, payload: Optional[dict] = None) -> dict:
+    def _request(
+        self,
+        route: str,
+        payload: Optional[dict] = None,
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> dict:
         url = f"{self._base_url}{route}"
         data = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
-        try:
-            with urllib.request.urlopen(request, timeout=self._timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
+        deadline = deadline_seconds if deadline_seconds is not None else self._deadline
+        cutoff = time.monotonic() + deadline if deadline is not None else None
+        attempt = 0
+        while True:
+            attempt += 1
+            timeout = self._timeout
+            if cutoff is not None:
+                remaining = cutoff - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceRequestError(
+                        f"{route}: deadline of {deadline:.3f}s exhausted "
+                        f"after {attempt - 1} attempt(s)",
+                        attempts=attempt - 1,
+                    )
+                timeout = min(timeout, remaining)
+            request = urllib.request.Request(url, data=data, headers=headers)
+            retry_after: Optional[float] = None
             try:
-                document = json.loads(exc.read().decode("utf-8"))
-                message = str(document.get("error", exc))
-            except (ValueError, UnicodeDecodeError):
-                message = str(exc)
-            raise ServingError(f"{route} -> HTTP {exc.code}: {message}") from None
-        except urllib.error.URLError as exc:
-            raise ServingError(f"cannot reach {url}: {exc.reason}") from None
-        except (ValueError, json.JSONDecodeError) as exc:
-            raise ServingError(f"invalid JSON from {url}: {exc}") from None
+                with urllib.request.urlopen(request, timeout=timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
+                try:
+                    document = json.loads(exc.read().decode("utf-8"))
+                    message = str(document.get("error", exc))
+                except (ValueError, UnicodeDecodeError):
+                    message = str(exc)
+                error = ServiceRequestError(
+                    f"{route} -> HTTP {exc.code}: {message}",
+                    status=exc.code,
+                    retry_after=retry_after,
+                    attempts=attempt,
+                )
+                if exc.code not in RETRYABLE_STATUSES:
+                    raise error from None
+            except (
+                urllib.error.URLError,
+                TimeoutError,
+                ConnectionError,
+                http.client.HTTPException,
+            ) as exc:
+                # URLError wraps connect-time failures only; a reset or
+                # truncated response *mid-read* surfaces as a raw
+                # ConnectionError / HTTPException (RemoteDisconnected,
+                # IncompleteRead...) and is just as retryable.
+                reason = getattr(exc, "reason", exc)
+                error = ServiceRequestError(
+                    f"cannot reach {url}: {reason}", attempts=attempt
+                )
+            except (ValueError, json.JSONDecodeError) as exc:
+                raise ServiceRequestError(
+                    f"invalid JSON from {url}: {exc}", attempts=attempt
+                ) from None
+            if attempt > self._max_retries:
+                raise error from None
+            pause = self._rng.uniform(
+                0.0, min(self._backoff_max, self._backoff * (2 ** (attempt - 1)))
+            )
+            if retry_after is not None:
+                pause = max(pause, retry_after)
+            if cutoff is not None and time.monotonic() + pause >= cutoff:
+                # The pause alone would blow the budget: surface the last
+                # failure now instead of sleeping into a guaranteed timeout.
+                raise error from None
+            if pause > 0:
+                time.sleep(pause)
 
     # ------------------------------------------------------------------
     # the endpoint surface
@@ -69,9 +198,23 @@ class ServiceClient:
         """One row per registered graph."""
         return self._request("/graphs")["graphs"]
 
-    def estimate(self, graph: str, paths: Sequence[str]) -> list[float]:
-        """Estimates for ``paths`` on ``graph`` (one request, one batch)."""
-        document = self._request("/estimate", {"graph": graph, "paths": list(paths)})
+    def estimate(
+        self,
+        graph: str,
+        paths: Sequence[str],
+        *,
+        deadline_seconds: Optional[float] = None,
+    ) -> list[float]:
+        """Estimates for ``paths`` on ``graph`` (one request, one batch).
+
+        ``deadline_seconds`` caps the whole call — every retry and backoff
+        pause included — overriding the client-wide default.
+        """
+        document = self._request(
+            "/estimate",
+            {"graph": graph, "paths": list(paths)},
+            deadline_seconds=deadline_seconds,
+        )
         return [float(value) for value in document["estimates"]]
 
     def warm(self, graph: str) -> dict:
@@ -88,16 +231,19 @@ class ServiceClient:
         *,
         add: Sequence[Sequence[object]] = (),
         remove: Sequence[Sequence[object]] = (),
+        deadline_seconds: Optional[float] = None,
     ) -> dict:
         """Apply an edge delta to ``graph`` (incremental catalog rebuild).
 
         ``add`` / ``remove`` are ``(source, label, target)`` triples; returns
         the server's update row (affected subtree counts, new digest, ...).
+        ``deadline_seconds`` caps the call like in :meth:`estimate`.
         """
         return self._request(
             "/update",
             {"graph": graph, "add": [list(t) for t in add], "remove": [list(t) for t in remove]},
+            deadline_seconds=deadline_seconds,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        return f"<ServiceClient {self._base_url!r}>"
+        return f"<ServiceClient {self._base_url!r} retries={self._max_retries}>"

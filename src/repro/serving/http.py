@@ -18,19 +18,50 @@ Routes
 ``POST /update``    ``{"graph": g, "add": [[s,l,t],...], "remove": [...]}`` —
                     apply an edge delta and swap the session incrementally
 
-Error mapping: unknown graph → 404, bad request/path/delta → 400, queue full
-(backpressure) → 503, batch timeout → 504.
+Error mapping
+-------------
+==========================================  ==============================
+condition                                   response
+==========================================  ==============================
+unknown graph                               404
+bad request / path / delta                  400
+body over ``max_body_bytes``                413
+per-graph admission budget hit              429 + ``Retry-After``
+global queue full (backpressure)            503 + ``Retry-After``
+circuit open for the graph                  503 + ``Retry-After`` (circuit)
+scheduler crashed mid-flight / closing      503 + ``Retry-After``
+batch timeout                               504
+==========================================  ==============================
+
+429 means *this graph* is over its admission budget — other graphs are
+still being served, retry against the same server after the hint.  503
+means the *whole service* cannot take the request right now (shared queue
+full, graph circuit open, shutting down) — retry later or elsewhere.  The
+``Retry-After`` header carries decimal seconds (an internal convention;
+standard HTTP allows only whole seconds or a date) and
+:class:`~repro.serving.client.ServiceClient` honours it as a lower bound
+on its backoff pause.
+
+On SIGTERM/SIGINT the CLI calls :meth:`EstimationHTTPServer.close`, which
+drains gracefully: stop accepting connections, finish the scheduler's
+queue, give in-flight handlers a bounded window to answer, then close.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.exceptions import (
+    CircuitOpenError,
+    GraphOverloadedError,
     ReproError,
+    SchedulerCrashError,
     ServiceClosedError,
     ServiceOverloadedError,
     ServingError,
@@ -47,6 +78,11 @@ class EstimationHTTPServer(ThreadingHTTPServer):
     """A threading HTTP server owning the scheduler it serves through."""
 
     daemon_threads = True
+    # Default accept backlog is 5: a burst of concurrent clients gets
+    # connection resets before the handler can even answer 503.  Queue the
+    # connections instead — backpressure belongs to the scheduler, which
+    # answers with a retryable status rather than a dropped socket.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -55,18 +91,65 @@ class EstimationHTTPServer(ThreadingHTTPServer):
         scheduler: EstimateScheduler,
         *,
         request_timeout: float = 30.0,
+        max_body_bytes: int = 8 * 2**20,
+        retry_after_seconds: float = 0.05,
         verbose: bool = False,
     ) -> None:
         self.registry = registry
         self.scheduler = scheduler
         self.request_timeout = request_timeout
+        self.max_body_bytes = max_body_bytes
+        self.retry_after_seconds = retry_after_seconds
         self.verbose = verbose
+        self._serving = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
         super().__init__(address, _Handler)
 
-    def close(self) -> None:
-        """Stop listening and drain the scheduler."""
-        self.server_close()
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Serve until :meth:`shutdown`, tracking that the loop is live.
+
+        The flag lets :meth:`close` know whether calling ``shutdown()`` is
+        safe: ``BaseServer.shutdown`` blocks forever when ``serve_forever``
+        never ran (its completion event starts unset).
+        """
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval=poll_interval)
+        finally:
+            self._serving = False
+
+    @contextmanager
+    def track_request(self) -> Iterator[None]:
+        """Count one in-flight handler for the graceful-drain window."""
+        with self._inflight_lock:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+
+    def close(self, drain_seconds: float = 5.0) -> None:
+        """Graceful shutdown: stop accepts, drain work, answer, then close.
+
+        Ordering matters: stop the accept loop first (no new requests),
+        drain the scheduler's queue (every accepted estimate resolves its
+        future), wait up to ``drain_seconds`` for in-flight handler threads
+        to write their responses (``daemon_threads`` means ``server_close``
+        would otherwise abandon them mid-write), and only then release the
+        socket.
+        """
+        if self._serving:
+            self.shutdown()
         self.scheduler.close()
+        deadline = time.monotonic() + drain_seconds
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if self._inflight == 0:
+                    break
+            time.sleep(0.01)
+        self.server_close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -90,8 +173,23 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_json(
+        self, status: int, message: str, *, retry_after: Optional[float] = None
+    ) -> None:
+        body = json.dumps(
+            {"error": message}
+            if retry_after is None
+            else {"error": message, "retry_after": retry_after}
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Decimal seconds: an internal convention the ServiceClient
+            # parses; sub-second hints matter at micro-batching timescales.
+            self.send_header("Retry-After", f"{retry_after:.3f}")
+        self.end_headers()
+        self.wfile.write(body)
 
     def _read_json(self) -> Optional[dict[str, object]]:
         try:
@@ -100,6 +198,15 @@ class _Handler(BaseHTTPRequestHandler):
             length = -1
         if length < 0:
             self._send_error_json(400, "missing or invalid Content-Length")
+            return None
+        limit = self.server.max_body_bytes
+        if length > limit:
+            # Refuse without reading: the unread body desyncs the
+            # keep-alive stream, so drop the connection after answering.
+            self.close_connection = True
+            self._send_error_json(
+                413, f"request body of {length} bytes exceeds limit of {limit} bytes"
+            )
             return None
         raw = self.rfile.read(length) if length else b""
         try:
@@ -124,6 +231,10 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         """Route GET requests: ``/healthz``, ``/stats``, ``/graphs``."""
+        with self.server.track_request():
+            self._route_get()
+
+    def _route_get(self) -> None:
         if self.path == "/healthz":
             self._send_json(
                 200, {"status": "ok", "graphs": list(self.server.registry.names())}
@@ -143,6 +254,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         """Route POST requests: ``/estimate``, ``/warm``, ``/evict``, ...."""
+        with self.server.track_request():
+            self._route_post()
+
+    def _route_post(self) -> None:
         document = self._read_json()
         if document is None:
             return
@@ -176,10 +291,22 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             future = self.server.scheduler.submit_many(graph, paths)
             estimates = future.result(timeout=self.server.request_timeout)
-        except (ServiceOverloadedError, ServiceClosedError) as exc:
-            # Both are transient server-side conditions: tell the client to
+        except GraphOverloadedError as exc:
+            # This graph is over its own admission budget while the rest of
+            # the service still has room: 429, not 503.
+            self._send_error_json(
+                429, str(exc), retry_after=self.server.retry_after_seconds
+            )
+            return
+        except CircuitOpenError as exc:
+            self._send_error_json(503, str(exc), retry_after=exc.retry_after)
+            return
+        except (ServiceOverloadedError, ServiceClosedError, SchedulerCrashError) as exc:
+            # All transient server-side conditions: tell the client to
             # retry elsewhere/later, don't blame the request.
-            self._send_error_json(503, str(exc))
+            self._send_error_json(
+                503, str(exc), retry_after=self.server.retry_after_seconds
+            )
             return
         except UnknownGraphError as exc:
             self._send_error_json(404, str(exc))
@@ -196,6 +323,12 @@ class _Handler(BaseHTTPRequestHandler):
             # Unknown labels surface as KeyError subclasses from the engine.
             self._send_error_json(400, str(exc))
             return
+        except Exception as exc:  # noqa: BLE001 - last-resort fault barrier
+            # Anything unexpected must still produce a response: a dropped
+            # connection looks like a network fault to the client and gives
+            # the operator nothing to debug with.
+            self._send_error_json(500, f"internal error: {exc!r}")
+            return
         self._send_json(
             200,
             {"graph": graph, "count": len(estimates), "estimates": estimates},
@@ -209,6 +342,9 @@ class _Handler(BaseHTTPRequestHandler):
             session = self.server.registry.get(graph)
         except UnknownGraphError as exc:
             self._send_error_json(404, str(exc))
+            return
+        except CircuitOpenError as exc:
+            self._send_error_json(503, str(exc), retry_after=exc.retry_after)
             return
         except ReproError as exc:
             self._send_error_json(400, str(exc))
@@ -258,7 +394,10 @@ def make_server(
     max_batch_paths: int = 512,
     min_coalesce_paths: int = 64,
     max_pending: int = 4096,
+    max_pending_per_graph: Optional[int] = None,
     request_timeout: float = 30.0,
+    max_body_bytes: int = 8 * 2**20,
+    retry_after_seconds: float = 0.05,
     stats: Optional[ServiceStats] = None,
     verbose: bool = False,
 ) -> EstimationHTTPServer:
@@ -270,12 +409,17 @@ def make_server(
     """
     if request_timeout <= 0:
         raise ServingError("request_timeout must be > 0")
+    if max_body_bytes < 1:
+        raise ServingError("max_body_bytes must be >= 1")
+    if retry_after_seconds < 0:
+        raise ServingError("retry_after_seconds must be >= 0")
     scheduler = EstimateScheduler(
         registry,
         window_seconds=window_seconds,
         max_batch_paths=max_batch_paths,
         min_coalesce_paths=min_coalesce_paths,
         max_pending=max_pending,
+        max_pending_per_graph=max_pending_per_graph,
         stats=stats,
     )
     try:
@@ -284,6 +428,8 @@ def make_server(
             registry,
             scheduler,
             request_timeout=request_timeout,
+            max_body_bytes=max_body_bytes,
+            retry_after_seconds=retry_after_seconds,
             verbose=verbose,
         )
     except OSError:

@@ -16,6 +16,14 @@ session.  The registry evicts least-recently-used sessions beyond
 :meth:`~repro.engine.session.EstimationSession.memory_bytes`), and can keep
 the shared on-disk :class:`~repro.engine.cache.ArtifactCache` inside a byte
 budget too (``prune_cache_bytes``).
+
+Builds are guarded by a **per-graph circuit breaker**: after
+``breaker_threshold`` consecutive failures for one name, further requests
+fast-fail with :class:`~repro.exceptions.CircuitOpenError` (mapped to a 503
+with a ``Retry-After`` hint) instead of re-running a doomed — possibly
+slow — build on every request.  After ``breaker_reset_seconds`` the circuit
+goes *half-open*: exactly one request probes a real build; success closes
+the circuit, failure re-opens it for another full reset window.
 """
 
 from __future__ import annotations
@@ -30,10 +38,11 @@ from typing import Callable, Optional, Union
 from repro.engine.cache import ArtifactCache
 from repro.engine.fingerprint import config_digest, graph_digest
 from repro.engine.session import EngineConfig, EstimationSession
-from repro.exceptions import ServingError, UnknownGraphError
+from repro.exceptions import CircuitOpenError, ServingError, UnknownGraphError
 from repro.graph.delta import GraphDelta
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.io import read_edge_list
+from repro.testing import faults
 
 __all__ = ["RegistryStats", "SessionRegistry"]
 
@@ -49,6 +58,9 @@ class RegistryStats:
     evictions: int = 0
     updates: int = 0
     update_seconds_total: float = 0.0
+    build_failures: int = 0
+    circuits_opened: int = 0
+    circuit_fast_failures: int = 0
 
     def as_row(self) -> dict[str, object]:
         """Flat dict for JSON emission (merged into the service stats)."""
@@ -60,13 +72,28 @@ class RegistryStats:
             "evictions": self.evictions,
             "updates": self.updates,
             "update_seconds_total": self.update_seconds_total,
+            "build_failures": self.build_failures,
+            "circuits_opened": self.circuits_opened,
+            "circuit_fast_failures": self.circuit_fast_failures,
         }
+
+
+class _Breaker:
+    """Per-graph circuit-breaker state; mutated only under the registry gate."""
+
+    __slots__ = ("failures", "opened_at", "probing", "last_error")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.probing = False
+        self.last_error = ""
 
 
 class _Source:
     """One registered graph: how to load it, its config, its build lock."""
 
-    __slots__ = ("name", "loader", "config", "graph", "session_key", "lock")
+    __slots__ = ("name", "loader", "config", "graph", "session_key", "lock", "breaker")
 
     def __init__(
         self,
@@ -83,6 +110,7 @@ class _Source:
         self.graph = graph
         self.session_key: Optional[str] = None
         self.lock = threading.Lock()
+        self.breaker = _Breaker()
 
     def load_graph(self) -> LabeledDiGraph:
         """The pinned graph if kept, otherwise a fresh load via the loader."""
@@ -109,6 +137,12 @@ class SessionRegistry:
         shared cache directory stays inside this byte budget.
     default_config:
         Config used by :meth:`register` calls that do not pass their own.
+    breaker_threshold:
+        Consecutive build failures for one graph that trip its circuit open
+        (``None`` or ``0`` disables the breaker entirely).
+    breaker_reset_seconds:
+        How long an open circuit fast-fails before allowing one half-open
+        probe build.
     """
 
     def __init__(
@@ -122,11 +156,17 @@ class SessionRegistry:
         mmap: bool = False,
         prune_cache_bytes: Optional[int] = None,
         default_config: Optional[EngineConfig] = None,
+        breaker_threshold: Optional[int] = 3,
+        breaker_reset_seconds: float = 5.0,
     ) -> None:
         if max_sessions is not None and max_sessions < 1:
             raise ServingError("max_sessions must be >= 1")
         if max_bytes is not None and max_bytes < 0:
             raise ServingError("max_bytes must be >= 0")
+        if breaker_threshold is not None and breaker_threshold < 0:
+            raise ServingError("breaker_threshold must be >= 0 (0 disables)")
+        if breaker_reset_seconds <= 0:
+            raise ServingError("breaker_reset_seconds must be > 0")
         if cache_dir is None or isinstance(cache_dir, ArtifactCache):
             self._cache = cache_dir
         else:
@@ -137,6 +177,8 @@ class SessionRegistry:
         self._backend = backend
         self._mmap = mmap
         self._prune_cache_bytes = prune_cache_bytes
+        self._breaker_threshold = breaker_threshold or 0
+        self._breaker_reset = breaker_reset_seconds
         self._default_config = (
             default_config if default_config is not None else EngineConfig()
         )
@@ -198,7 +240,7 @@ class SessionRegistry:
         Concurrent callers for an unbuilt name all block on one per-source
         lock; the winner builds, the rest find the session in the LRU when
         the lock frees.  Raises :class:`UnknownGraphError` for unregistered
-        names.
+        names, :class:`CircuitOpenError` while the name's circuit is open.
         """
         try:
             with self._gate:
@@ -208,6 +250,10 @@ class SessionRegistry:
         session = self._lookup(source)
         if session is not None:
             return session
+        # Fast-fail an open circuit *before* queueing on the build lock:
+        # callers must not line up behind a probe (or a doomed slow build)
+        # just to be told the graph is unavailable.
+        self._breaker_check(source)
         if not source.lock.acquire(blocking=False):
             with self._gate:
                 self.stats.single_flight_waits += 1
@@ -216,9 +262,93 @@ class SessionRegistry:
             session = self._lookup(source)
             if session is not None:
                 return session
-            return self._build(source)
+            self._breaker_enter_build(source)
+            try:
+                session = self._build(source)
+            except CircuitOpenError:
+                raise
+            except Exception as exc:
+                self._breaker_record_failure(source, exc)
+                raise
+            self._breaker_record_success(source)
+            return session
         finally:
             source.lock.release()
+
+    # ------------------------------------------------------------------
+    # circuit breaker
+    # ------------------------------------------------------------------
+    def _breaker_remaining(self, breaker: _Breaker) -> float:
+        """Seconds until an open circuit allows a probe; caller holds the gate."""
+        if breaker.opened_at is None:
+            return 0.0
+        return breaker.opened_at + self._breaker_reset - time.perf_counter()
+
+    def _breaker_check(self, source: _Source) -> None:
+        """Fast-fail when ``source``'s circuit is open and not yet expired."""
+        if not self._breaker_threshold:
+            return
+        with self._gate:
+            breaker = source.breaker
+            remaining = self._breaker_remaining(breaker)
+            if breaker.opened_at is None or remaining <= 0:
+                return
+            self.stats.circuit_fast_failures += 1
+            raise CircuitOpenError(
+                source.name,
+                retry_after=remaining,
+                failures=breaker.failures,
+                last_error=breaker.last_error,
+            )
+
+    def _breaker_enter_build(self, source: _Source) -> None:
+        """Gate a build attempt: fast-fail if still open, else mark the probe."""
+        if not self._breaker_threshold:
+            return
+        with self._gate:
+            breaker = source.breaker
+            if breaker.opened_at is None:
+                return
+            remaining = self._breaker_remaining(breaker)
+            if remaining > 0:
+                # Re-check under the build lock: the circuit may have
+                # (re-)opened while this caller waited behind a failed probe.
+                self.stats.circuit_fast_failures += 1
+                raise CircuitOpenError(
+                    source.name,
+                    retry_after=remaining,
+                    failures=breaker.failures,
+                    last_error=breaker.last_error,
+                )
+            breaker.probing = True
+
+    def _breaker_record_failure(self, source: _Source, exc: Exception) -> None:
+        """Count a build failure; trip (or re-trip) the circuit when due."""
+        with self._gate:
+            self.stats.build_failures += 1
+            if not self._breaker_threshold:
+                return
+            breaker = source.breaker
+            breaker.failures += 1
+            breaker.last_error = str(exc)
+            if breaker.probing or breaker.failures >= self._breaker_threshold:
+                # A failed half-open probe re-opens immediately, whatever
+                # the consecutive count says: the graph just proved it is
+                # still broken.
+                breaker.opened_at = time.perf_counter()
+                breaker.probing = False
+                self.stats.circuits_opened += 1
+
+    def _breaker_record_success(self, source: _Source) -> None:
+        """A successful build closes the circuit and clears its history."""
+        if not self._breaker_threshold:
+            return
+        with self._gate:
+            breaker = source.breaker
+            breaker.failures = 0
+            breaker.opened_at = None
+            breaker.probing = False
+            breaker.last_error = ""
 
     def _lookup(self, source: _Source) -> Optional[EstimationSession]:
         """The already-built session for ``source``, refreshing LRU recency."""
@@ -251,6 +381,7 @@ class SessionRegistry:
                 self.stats.hits += 1
                 return session
         started = time.perf_counter()
+        faults.fire("registry.build", graph=source.name)
         session = EstimationSession.build(
             graph,
             source.config,
@@ -450,6 +581,19 @@ class SessionRegistry:
                     row["domain_size"] = session.domain_size
                     row["memory_bytes"] = session.memory_bytes()
                     row["catalog_storage"] = session.catalog.storage
+                if self._breaker_threshold:
+                    breaker = source.breaker
+                    remaining = self._breaker_remaining(breaker)
+                    if breaker.opened_at is None:
+                        state = "closed"
+                    elif remaining > 0:
+                        state = "open"
+                    else:
+                        state = "half-open"
+                    row["circuit"] = state
+                    row["consecutive_build_failures"] = breaker.failures
+                    if state == "open":
+                        row["retry_after_seconds"] = remaining
                 rows.append(row)
             return rows
 
@@ -461,6 +605,8 @@ class SessionRegistry:
                 "sessions_resident": len(self._sessions),
                 "sessions_bytes": self._total_bytes(),
             }
+        if self._cache is not None:
+            row["cache_quarantined"] = self._cache.quarantined
         row.update(self.stats.as_row())
         return row
 

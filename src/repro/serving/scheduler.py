@@ -13,7 +13,17 @@ results.
 Backpressure is the bounded queue: when ``max_pending`` requests are already
 waiting, ``submit`` raises
 :class:`~repro.exceptions.ServiceOverloadedError` instead of queueing more
-work than the service can absorb (the HTTP layer maps this to 503).
+work than the service can absorb (the HTTP layer maps this to 503 with a
+``Retry-After`` hint).  An optional per-graph admission budget
+(``max_pending_per_graph``) additionally rejects a single hot graph with
+:class:`~repro.exceptions.GraphOverloadedError` (HTTP 429) before it can
+monopolise the shared queue.
+
+The worker runs under a supervisor: if the drain loop ever crashes (a bug,
+an injected fault, ``MemoryError``), the in-flight batch's futures are
+failed with :class:`~repro.exceptions.SchedulerCrashError` — no caller is
+ever stranded on an unresolved future — the restart is counted in
+:class:`ServiceStats`, and a fresh loop resumes from the intact queue.
 
 Every batch feeds :class:`ServiceStats` — request/path/batch counters,
 coalesced batch sizes, queue-wait and batch-execution latency — so the
@@ -30,12 +40,15 @@ from concurrent.futures import Future
 from typing import Optional, Sequence, Union
 
 from repro.exceptions import (
+    GraphOverloadedError,
+    SchedulerCrashError,
     ServiceClosedError,
     ServiceOverloadedError,
     ServingError,
 )
 from repro.paths.label_path import LabelPath
 from repro.serving.registry import SessionRegistry
+from repro.testing import faults
 
 __all__ = ["ServiceStats", "EstimateScheduler"]
 
@@ -59,7 +72,10 @@ class ServiceStats:
         self.requests_total = 0
         self.paths_total = 0
         self.rejected_total = 0
+        self.rejected_graph_total = 0
         self.errors_total = 0
+        self.worker_restarts = 0
+        self.crashed_requests_total = 0
         self.batches_total = 0
         self.batch_requests_total = 0
         self.batch_paths_total = 0
@@ -74,6 +90,17 @@ class ServiceStats:
         """Count one request rejected at submission (queue full / closed)."""
         with self._lock:
             self.rejected_total += 1
+
+    def observe_graph_rejected(self) -> None:
+        """Count one request rejected by a per-graph admission budget (429)."""
+        with self._lock:
+            self.rejected_graph_total += 1
+
+    def observe_worker_restart(self, crashed_requests: int) -> None:
+        """Count one supervisor-driven worker restart and its failed batch."""
+        with self._lock:
+            self.worker_restarts += 1
+            self.crashed_requests_total += crashed_requests
 
     def observe_error(self, count: int = 1) -> None:
         """Count ``count`` requests that failed while being served."""
@@ -117,7 +144,10 @@ class ServiceStats:
                 "requests_total": self.requests_total,
                 "paths_total": self.paths_total,
                 "rejected_total": self.rejected_total,
+                "rejected_graph_total": self.rejected_graph_total,
                 "errors_total": self.errors_total,
+                "worker_restarts": self.worker_restarts,
+                "crashed_requests_total": self.crashed_requests_total,
                 "batches_total": batches,
                 "batch_requests_total": requests,
                 "batch_paths_total": self.batch_paths_total,
@@ -137,7 +167,7 @@ class ServiceStats:
 class _Request:
     """One queued estimate: a path batch bound to a graph and a future."""
 
-    __slots__ = ("graph", "paths", "scalar", "future", "enqueued")
+    __slots__ = ("graph", "paths", "scalar", "future", "enqueued", "released")
 
     def __init__(self, graph: str, paths: list[PathLike], scalar: bool) -> None:
         self.graph = graph
@@ -145,6 +175,10 @@ class _Request:
         self.scalar = scalar
         self.future: "Future[object]" = Future()
         self.enqueued = time.perf_counter()
+        # Whether the per-graph admission counter has been released for this
+        # request (idempotence guard: crash cleanup and normal delivery can
+        # both try).
+        self.released = False
 
 
 class EstimateScheduler:
@@ -169,7 +203,15 @@ class EstimateScheduler:
         window therefore only delays genuinely sparse traffic (where waiting
         is what buys coalescing), never a flood that has already coalesced.
     max_pending:
-        Bound of the request queue — the backpressure limit.
+        Bound of the request queue — the backpressure limit (maps to a 503
+        with ``Retry-After`` at the HTTP layer: the whole service is full).
+    max_pending_per_graph:
+        Optional per-graph admission budget.  When set, a graph whose
+        pending request count reaches it gets
+        :class:`~repro.exceptions.GraphOverloadedError` (HTTP 429) even
+        while the global queue has room, so one hot graph cannot starve
+        every other session's slice of the queue.  ``None`` disables the
+        check.
     stats:
         Optional shared :class:`ServiceStats` (the HTTP layer passes one so
         every front-end feeds the same counters).
@@ -183,6 +225,7 @@ class EstimateScheduler:
         max_batch_paths: int = 512,
         min_coalesce_paths: int = 64,
         max_pending: int = 4096,
+        max_pending_per_graph: Optional[int] = None,
         stats: Optional[ServiceStats] = None,
     ) -> None:
         if window_seconds < 0:
@@ -193,15 +236,24 @@ class EstimateScheduler:
             raise ServingError("min_coalesce_paths must be >= 1")
         if max_pending < 1:
             raise ServingError("max_pending must be >= 1")
+        if max_pending_per_graph is not None and max_pending_per_graph < 1:
+            raise ServingError("max_pending_per_graph must be >= 1")
         self._registry = registry
         self._window = window_seconds
         self._max_batch_paths = max_batch_paths
         self._min_coalesce_paths = min_coalesce_paths
         self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_pending)
         self._closed = threading.Event()
+        self._max_pending_per_graph = max_pending_per_graph
+        self._pending_lock = threading.Lock()
+        self._pending_per_graph: dict[str, int] = {}
+        # The batch the worker is currently draining; the supervisor fails
+        # its unresolved futures when the worker crashes.  Only the worker
+        # thread reads or writes it, so no lock is needed.
+        self._active_batch: Optional[list[_Request]] = None
         self.stats = stats if stats is not None else ServiceStats()
         self._worker = threading.Thread(
-            target=self._run, name="repro-estimate-scheduler", daemon=True
+            target=self._supervise, name="repro-estimate-scheduler", daemon=True
         )
         self._worker.start()
 
@@ -230,14 +282,35 @@ class EstimateScheduler:
     def _enqueue(self, request: _Request) -> "Future[object]":
         if self._closed.is_set():
             raise ServiceClosedError("scheduler is closed")
+        budget = self._max_pending_per_graph
+        if budget is not None:
+            with self._pending_lock:
+                pending = self._pending_per_graph.get(request.graph, 0)
+                if pending >= budget:
+                    self.stats.observe_graph_rejected()
+                    raise GraphOverloadedError(request.graph, pending, budget)
+                self._pending_per_graph[request.graph] = pending + 1
         try:
             self._queue.put_nowait(request)
         except queue.Full:
+            self._release(request)
             self.stats.observe_rejected()
             raise ServiceOverloadedError(
                 f"request queue full ({self._queue.maxsize} pending)"
             ) from None
         return request.future
+
+    def _release(self, request: _Request) -> None:
+        """Return the request's per-graph admission slot (idempotent)."""
+        if self._max_pending_per_graph is None or request.released:
+            return
+        request.released = True
+        with self._pending_lock:
+            pending = self._pending_per_graph.get(request.graph, 0)
+            if pending <= 1:
+                self._pending_per_graph.pop(request.graph, None)
+            else:
+                self._pending_per_graph[request.graph] = pending - 1
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -261,6 +334,7 @@ class EstimateScheduler:
                 break
             if leftover is _SHUTDOWN:
                 continue
+            self._release(leftover)
             if leftover.future.set_running_or_notify_cancel():
                 leftover.future.set_exception(
                     ServiceClosedError("scheduler closed before the request ran")
@@ -275,12 +349,50 @@ class EstimateScheduler:
     # ------------------------------------------------------------------
     # the worker
     # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        """Run the worker loop, failing + restarting on a crash.
+
+        Estimation errors are already mapped onto futures inside
+        :meth:`_execute`; anything that escapes :meth:`_run` is a genuine
+        worker crash (a bug, an injected fault, ``MemoryError``...).  The
+        supervisor fails every unresolved future of the in-flight batch with
+        :class:`~repro.exceptions.SchedulerCrashError` — so no caller is left
+        awaiting forever — records the restart, and re-enters the loop with
+        the queue intact.
+        """
+        while True:
+            try:
+                self._run()
+                return
+            except BaseException as exc:  # noqa: BLE001 - supervisor boundary
+                batch = self._active_batch or []
+                self._active_batch = None
+                crashed = 0
+                for request in batch:
+                    self._release(request)
+                    future = request.future
+                    if future.done():
+                        continue
+                    try:
+                        future.set_exception(
+                            SchedulerCrashError(
+                                f"scheduler worker crashed: {exc!r}; restarting"
+                            )
+                        )
+                        crashed += 1
+                    except Exception:  # noqa: BLE001 - racing resolution
+                        pass
+                self.stats.observe_worker_restart(crashed)
+                if self._closed.is_set():
+                    return
+
     def _run(self) -> None:
         while True:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 return
             batch = [item]
+            self._active_batch = batch
             total_paths = len(item.paths)
             deadline = time.perf_counter() + self._window
             shutdown = False
@@ -308,7 +420,9 @@ class EstimateScheduler:
                     break
                 batch.append(extra)
                 total_paths += len(extra.paths)
+            faults.fire("scheduler.worker", requests=len(batch))
             self._execute(batch)
+            self._active_batch = None
             if shutdown:
                 return
 
@@ -326,6 +440,7 @@ class EstimateScheduler:
         wait_total = 0.0
         wait_max = 0.0
         for request in batch:
+            self._release(request)
             if not request.future.set_running_or_notify_cancel():
                 continue  # the caller gave up while the request was queued
             waited = started - request.enqueued

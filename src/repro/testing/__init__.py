@@ -1,0 +1,13 @@
+"""Testing utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+used by the resilience test suite and ``benchmarks/chaos_smoke.py``: named
+hook points inside the serving stack (registry builds, the scheduler drain
+loop, artifact-cache loads) consult a process-global injector that tests arm
+with exceptions, delays and trigger counts.  In production nothing is armed
+and every hook is a single dict check.
+"""
+
+from repro.testing.faults import FaultInjector, FaultSpec, corrupt_file, fire, injector
+
+__all__ = ["FaultInjector", "FaultSpec", "corrupt_file", "fire", "injector"]

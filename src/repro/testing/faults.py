@@ -1,0 +1,252 @@
+"""Deterministic fault injection for the serving stack.
+
+The resilience layer (client retries, scheduler supervision, circuit
+breakers, self-healing cache) is only trustworthy if its failure paths are
+*exercised*, not just written.  This module provides the hooks to do that
+deterministically — no monkeypatching, no random kill loops:
+
+* production code calls :func:`fire` at a named **fault point** (e.g.
+  ``"registry.build"`` just before a session build, ``"scheduler.worker"``
+  inside the drain loop).  With nothing armed this is one dict check — the
+  hooks are safe to leave in the hot path permanently;
+* tests and the chaos benchmark :meth:`~FaultInjector.arm` a fault at a
+  point: an exception to raise, an optional delay to sleep first (slow
+  builds), a trigger budget (``times``: fail the first N firings, ``-1`` =
+  every firing), and an optional context ``match`` predicate (e.g. only for
+  one graph name);
+* :func:`corrupt_file` deterministically damages an on-disk artifact
+  (truncation or a seeded bit-flip) to drive the cache-quarantine path with
+  *real* corruption rather than a simulated error.
+
+Fault points currently wired into the stack:
+
+========================  ====================================================
+``registry.build``        fires in :meth:`SessionRegistry._build` before the
+                          session build; context: ``graph`` (registered name)
+``scheduler.worker``      fires in the scheduler drain loop before a batch
+                          executes; an armed error crashes the worker thread
+``cache.load_catalog``    fires at the top of :meth:`ArtifactCache.load_catalog`;
+                          context: ``key``
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
+
+__all__ = [
+    "FaultSpec",
+    "FaultInjector",
+    "injector",
+    "fire",
+    "corrupt_file",
+]
+
+#: Context predicate: receives the hook's keyword context, returns whether
+#: the armed fault applies to this firing.
+MatchFn = Callable[[dict[str, object]], bool]
+
+
+class FaultSpec:
+    """One armed fault: what to do when its point fires, and how often."""
+
+    __slots__ = ("point", "error", "delay", "times", "match", "trips")
+
+    def __init__(
+        self,
+        point: str,
+        *,
+        error: Optional[Union[BaseException, Callable[[], BaseException]]] = None,
+        delay: float = 0.0,
+        times: int = 1,
+        match: Optional[MatchFn] = None,
+    ) -> None:
+        if times == 0 or times < -1:
+            raise ValueError("times must be a positive count or -1 (unlimited)")
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        self.point = point
+        self.error = error
+        self.delay = delay
+        self.times = times
+        self.match = match
+        self.trips = 0
+
+    def exhausted(self) -> bool:
+        """Whether the fault has fired its full trigger budget."""
+        return self.times != -1 and self.trips >= self.times
+
+    def make_error(self) -> Optional[BaseException]:
+        """A fresh exception instance for one firing (``None`` = delay only)."""
+        if self.error is None:
+            return None
+        if callable(self.error) and not isinstance(self.error, BaseException):
+            return self.error()
+        return self.error
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"<FaultSpec {self.point!r} times={self.times} "
+            f"trips={self.trips} delay={self.delay}>"
+        )
+
+
+class FaultInjector:
+    """Thread-safe registry of armed faults, consulted by the hook points.
+
+    One process-global instance (:data:`injector`) backs the module-level
+    :func:`fire`; tests may also build private injectors for unit-testing
+    the mechanism itself.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._specs: dict[str, list[FaultSpec]] = {}
+        self._fired: dict[str, int] = {}
+
+    def arm(
+        self,
+        point: str,
+        *,
+        error: Optional[Union[BaseException, Callable[[], BaseException]]] = None,
+        delay: float = 0.0,
+        times: int = 1,
+        match: Optional[MatchFn] = None,
+    ) -> FaultSpec:
+        """Arm a fault at ``point``; returns the spec (its ``trips`` counts).
+
+        ``error`` may be an exception instance (re-raised on every trigger)
+        or a zero-argument factory; ``delay`` sleeps before raising (or on
+        its own, for slow-path faults); ``times`` bounds how many firings
+        trigger (``-1`` = unlimited); ``match`` filters by hook context.
+        """
+        spec = FaultSpec(point, error=error, delay=delay, times=times, match=match)
+        with self._lock:
+            self._specs.setdefault(point, []).append(spec)
+        return spec
+
+    def disarm(self, spec: FaultSpec) -> None:
+        """Remove one armed fault (no-op if already removed)."""
+        with self._lock:
+            specs = self._specs.get(spec.point)
+            if specs and spec in specs:
+                specs.remove(spec)
+                if not specs:
+                    del self._specs[spec.point]
+
+    def reset(self) -> None:
+        """Disarm everything and clear the firing counters."""
+        with self._lock:
+            self._specs.clear()
+            self._fired.clear()
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault is currently armed."""
+        return bool(self._specs)
+
+    def fired(self, point: str) -> int:
+        """How many times ``point`` has fired (armed or not counts only armed)."""
+        with self._lock:
+            return self._fired.get(point, 0)
+
+    @contextmanager
+    def armed(
+        self,
+        point: str,
+        *,
+        error: Optional[Union[BaseException, Callable[[], BaseException]]] = None,
+        delay: float = 0.0,
+        times: int = 1,
+        match: Optional[MatchFn] = None,
+    ) -> Iterator[FaultSpec]:
+        """Context manager form of :meth:`arm` (disarms on exit)."""
+        spec = self.arm(point, error=error, delay=delay, times=times, match=match)
+        try:
+            yield spec
+        finally:
+            self.disarm(spec)
+
+    def fire(self, point: str, **context: object) -> None:
+        """Hook entry: trigger any armed fault matching ``point``/context.
+
+        Raises the armed exception (after sleeping ``delay``) when a
+        matching, non-exhausted spec exists; otherwise returns immediately.
+        The no-fault path is a single dict membership check, so production
+        code can call this unconditionally.
+        """
+        if point not in self._specs:  # fast path: nothing armed anywhere near
+            return
+        with self._lock:
+            specs = self._specs.get(point, ())
+            chosen: Optional[FaultSpec] = None
+            for spec in specs:
+                if spec.exhausted():
+                    continue
+                if spec.match is not None and not spec.match(dict(context)):
+                    continue
+                chosen = spec
+                break
+            if chosen is None:
+                return
+            chosen.trips += 1
+            self._fired[point] = self._fired.get(point, 0) + 1
+            delay = chosen.delay
+            error = chosen.make_error()
+        # Sleep and raise outside the lock: a slow-build fault must not
+        # serialise unrelated hook points behind it.
+        if delay > 0:
+            time.sleep(delay)
+        if error is not None:
+            raise error
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<FaultInjector points={sorted(self._specs)}>"
+
+
+#: The process-global injector every production hook point consults.
+injector = FaultInjector()
+
+#: Module-level hook entry (bound method of :data:`injector`).
+fire = injector.fire
+
+
+def corrupt_file(
+    path: Union[str, Path],
+    *,
+    mode: str = "truncate",
+    seed: int = 0,
+) -> Path:
+    """Deterministically corrupt an artifact file on disk.
+
+    ``mode="truncate"`` keeps only the first half of the file (at least one
+    byte, so zip/npy magic may survive and exercise the deep parsers);
+    ``mode="bitflip"`` XOR-flips one byte at a seed-derived offset past any
+    format magic.  Returns ``path``.  The damage is deterministic for a
+    given (file size, mode, seed), so corruption tests are reproducible.
+    """
+    target = Path(path)
+    data = target.read_bytes()
+    if not data:
+        raise ValueError(f"cannot corrupt empty file: {target}")
+    if mode == "truncate":
+        target.write_bytes(data[: max(1, len(data) // 2)])
+    elif mode == "bitflip":
+        # Aim at the middle of the file: past any leading magic (so the
+        # format is still recognised) and past container headers whose
+        # fields readers may ignore (zip readers trust the central
+        # directory, not the local header) — the flip must land in member
+        # *data*, where checksums catch it.
+        lower = min(max(16, len(data) // 2), len(data) - 1)
+        offset = lower + (seed * 2654435761) % max(1, len(data) - lower)
+        offset = min(offset, len(data) - 1)
+        mutated = bytearray(data)
+        mutated[offset] ^= 0xFF
+        target.write_bytes(bytes(mutated))
+    else:
+        raise ValueError(f"unknown corruption mode: {mode!r}")
+    return target

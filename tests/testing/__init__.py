@@ -1,0 +1,1 @@
+"""Tests for the shipped testing utilities (fault injection)."""

@@ -1,0 +1,137 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.testing import FaultInjector, corrupt_file
+
+
+class TestArmAndFire:
+    def test_unarmed_fire_is_a_noop(self):
+        injector = FaultInjector()
+        injector.fire("anything", graph="g")
+        assert not injector.active
+        assert injector.fired("anything") == 0
+
+    def test_armed_error_raises_and_counts(self):
+        injector = FaultInjector()
+        injector.arm("p", error=RuntimeError("boom"), times=1)
+        with pytest.raises(RuntimeError, match="boom"):
+            injector.fire("p")
+        assert injector.fired("p") == 1
+        injector.fire("p")  # budget of 1 is spent: no longer raises
+        assert injector.fired("p") == 1
+
+    def test_unlimited_times_keeps_raising(self):
+        injector = FaultInjector()
+        injector.arm("p", error=RuntimeError("boom"), times=-1)
+        for _ in range(5):
+            with pytest.raises(RuntimeError):
+                injector.fire("p")
+        assert injector.fired("p") == 5
+
+    def test_error_factory_builds_fresh_instances(self):
+        injector = FaultInjector()
+        injector.arm("p", error=lambda: ValueError("fresh"), times=2)
+        with pytest.raises(ValueError) as first:
+            injector.fire("p")
+        with pytest.raises(ValueError) as second:
+            injector.fire("p")
+        assert first.value is not second.value
+
+    def test_match_filters_by_context(self):
+        injector = FaultInjector()
+        injector.arm(
+            "p",
+            error=RuntimeError("only-g"),
+            times=-1,
+            match=lambda ctx: ctx.get("graph") == "g",
+        )
+        injector.fire("p", graph="other")  # no match, no raise
+        with pytest.raises(RuntimeError):
+            injector.fire("p", graph="g")
+        assert injector.fired("p") == 1
+
+    def test_delay_only_fault_sleeps_without_raising(self):
+        injector = FaultInjector()
+        injector.arm("p", delay=0.05, times=1)
+        started = time.perf_counter()
+        injector.fire("p")
+        assert time.perf_counter() - started >= 0.04
+
+    def test_invalid_specs_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError):
+            injector.arm("p", times=0)
+        with pytest.raises(ValueError):
+            injector.arm("p", times=-2)
+        with pytest.raises(ValueError):
+            injector.arm("p", delay=-1.0)
+
+
+class TestLifecycle:
+    def test_disarm_removes_the_spec(self):
+        injector = FaultInjector()
+        spec = injector.arm("p", error=RuntimeError("x"), times=-1)
+        injector.disarm(spec)
+        injector.fire("p")
+        assert not injector.active
+        injector.disarm(spec)  # idempotent
+
+    def test_reset_clears_specs_and_counters(self):
+        injector = FaultInjector()
+        injector.arm("p", error=RuntimeError("x"))
+        with pytest.raises(RuntimeError):
+            injector.fire("p")
+        injector.reset()
+        assert not injector.active
+        assert injector.fired("p") == 0
+
+    def test_armed_context_manager_disarms_on_exit(self):
+        injector = FaultInjector()
+        with injector.armed("p", error=RuntimeError("x"), times=-1):
+            with pytest.raises(RuntimeError):
+                injector.fire("p")
+        injector.fire("p")  # disarmed now
+
+    def test_two_specs_first_match_wins(self):
+        injector = FaultInjector()
+        injector.arm("p", error=RuntimeError("first"), times=1)
+        injector.arm("p", error=ValueError("second"), times=1)
+        with pytest.raises(RuntimeError):
+            injector.fire("p")
+        with pytest.raises(ValueError):
+            injector.fire("p")
+
+
+class TestCorruptFile:
+    def test_truncate_halves_the_file(self, tmp_path):
+        target = tmp_path / "artifact.bin"
+        target.write_bytes(bytes(range(100)))
+        corrupt_file(target, mode="truncate")
+        assert target.read_bytes() == bytes(range(50))
+
+    def test_bitflip_is_deterministic_and_changes_one_byte(self, tmp_path):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        payload = bytes(range(200))
+        a.write_bytes(payload)
+        b.write_bytes(payload)
+        corrupt_file(a, mode="bitflip", seed=3)
+        corrupt_file(b, mode="bitflip", seed=3)
+        assert a.read_bytes() == b.read_bytes()
+        diff = [i for i, (x, y) in enumerate(zip(a.read_bytes(), payload)) if x != y]
+        assert len(diff) == 1
+        assert diff[0] >= 16  # magic bytes left intact
+
+    def test_empty_file_and_bad_mode_rejected(self, tmp_path):
+        target = tmp_path / "empty.bin"
+        target.write_bytes(b"")
+        with pytest.raises(ValueError):
+            corrupt_file(target)
+        target.write_bytes(b"x")
+        with pytest.raises(ValueError):
+            corrupt_file(target, mode="nonsense")
