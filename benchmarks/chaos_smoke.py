@@ -24,6 +24,11 @@ hint).  Availability = non-``bad`` / total and must clear
 :data:`AVAILABILITY_FLOOR`; a thread that never returns counts as a hang
 and any hang fails the run.
 
+A final phase scrapes ``GET /metrics`` and asserts the exported series
+*tell the truth about the faults just injected*: the breaker-open
+transition, the quarantine counter and the worker-restart counter must
+all be visible to an external scraper, not just to in-process state.
+
 Run directly (CI chaos job) or with ``--json`` (consumed by ``run_all.py``,
 which records the numbers in ``BENCH_engine.json`` and enforces the
 floors).
@@ -41,6 +46,7 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -105,6 +111,21 @@ class _Outcomes:
             return 1.0
         with self._lock:
             return 1.0 - self.bad / total
+
+
+def scrape_metric(text: str, name: str, **labels: str) -> float:
+    """Sum every ``name`` sample in a Prometheus text document matching ``labels``."""
+    total = 0.0
+    for line in text.splitlines():
+        if line.startswith("#") or not line.startswith(name):
+            continue
+        series, _, value = line.rpartition(" ")
+        if series != name and not series.startswith(name + "{"):
+            continue
+        if any(f'{key}="{val}"' not in series for key, val in labels.items()):
+            continue
+        total += float(value)
+    return total
 
 
 def run_scenario(quick: bool = False) -> dict[str, object]:
@@ -233,6 +254,22 @@ def run_scenario(quick: bool = False) -> dict[str, object]:
             for worker in threads:
                 worker.join(timeout=60)
             report["hangs"] = sum(worker.is_alive() for worker in threads)
+
+            # Phase 6: the metrics must tell the truth about the faults.
+            with urllib.request.urlopen(f"{url}/metrics", timeout=10) as response:
+                exposition = response.read().decode("utf-8")
+            report["metrics_breaker_open_transitions"] = scrape_metric(
+                exposition,
+                "repro_registry_circuit_transitions_total",
+                graph="doomed",
+                state="open",
+            )
+            report["metrics_quarantined_total"] = scrape_metric(
+                exposition, "repro_cache_quarantined_total"
+            )
+            report["metrics_worker_restarts_total"] = scrape_metric(
+                exposition, "repro_scheduler_worker_restarts_total"
+            )
         finally:
             injector.reset()
             server.shutdown()
@@ -275,6 +312,13 @@ def collect_failures(report: dict[str, object]) -> list[str]:
         )
     if report.get("circuits_opened", 0) < 1:
         failures.append("the doomed graph never tripped its circuit")
+    for key, label in (
+        ("metrics_breaker_open_transitions", "breaker-open transition"),
+        ("metrics_quarantined_total", "artifact quarantine"),
+        ("metrics_worker_restarts_total", "worker restart"),
+    ):
+        if report.get(key, 0) < 1:
+            failures.append(f"/metrics did not expose the {label} counter (>= 1)")
     return failures
 
 

@@ -56,6 +56,7 @@ FLOORS: tuple[tuple[str, str, str, str], ...] = (
     ("sparse", "serve_max_rss_bytes", "serve_rss_ceiling_bytes", "<="),
     ("chaos", "availability", "availability_floor", ">="),
     ("chaos", "circuit_fast_fail_seconds", "fast_fail_ceiling_seconds", "<="),
+    ("obs", "overhead_ratio", "overhead_ratio_floor", ">="),
 )
 
 
@@ -129,6 +130,7 @@ def main(argv: list[str] | None = None) -> int:
             ("delta", "delta"),
             ("sparse", "sparse-catalog"),
             ("chaos", "chaos-smoke"),
+            ("obs", "observability"),
         ):
             if section not in document:
                 print(

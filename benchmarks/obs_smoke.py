@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""Observability smoke: /metrics, /traces and readiness under real traffic.
+
+Boots an in-process ``make_server`` endpoint (cold artifact cache, one
+graph), drives mixed traffic through the retrying client — estimates,
+a warm, a deliberate 404 — then verifies the observability surface from
+the *outside*, the way a scraper would:
+
+* ``GET /metrics`` is valid Prometheus text (``# HELP``/``# TYPE`` pairs,
+  content type 0.0.4) and the series named in :data:`REQUIRED_SERIES`
+  all moved: HTTP layer, scheduler, registry build timings, per-stage
+  session builds, catalog core and artifact cache — one counter per
+  instrumented layer, so a layer silently losing its instruments fails
+  the smoke even when the unit suite is green;
+* ``GET /traces`` retains the client's last ``X-Request-Id`` with the
+  spans that crossed the scheduler thread boundary;
+* readiness tells the truth during a drain: ``/readyz`` answers 200
+  before ``begin_drain()`` and 503 after, while ``/healthz`` (liveness)
+  stays 200 and flips its body to ``draining``.
+
+Run directly (CI obs job) or with ``--json`` (consumed by ``run_all.py``,
+which adds the instrumentation-overhead floor on top).
+
+Usage::
+
+    python benchmarks/obs_smoke.py [--json obs-report.json] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+from chaos_smoke import scrape_metric  # noqa: E402
+
+#: Series that must have moved after the traffic phase — one per layer the
+#: tentpole instruments.  ``(metric name, labels, minimum value)``.
+REQUIRED_SERIES: tuple[tuple[str, dict[str, str], float], ...] = (
+    ("repro_http_requests_total", {}, 1),
+    ("repro_http_request_seconds_count", {"route": "/estimate"}, 1),
+    ("repro_scheduler_requests_total", {}, 1),
+    ("repro_scheduler_batch_seconds_count", {}, 1),
+    ("repro_registry_build_seconds_count", {"graph": "g"}, 1),
+    ("repro_registry_hits_total", {}, 1),
+    ("repro_build_stage_seconds_count", {"stage": "histogram"}, 1),
+    ("repro_build_stage_seconds_count", {"stage": "catalog"}, 1),
+    ("repro_catalog_build_seconds_count", {}, 1),
+    ("repro_cache_misses_total", {"kind": "catalog"}, 1),
+)
+
+
+def _get(url: str) -> tuple[int, str, str]:
+    """``(status, body, content type)`` for a GET, keeping error bodies."""
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return (
+                response.status,
+                response.read().decode("utf-8"),
+                response.headers.get("Content-Type", ""),
+            )
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8"), exc.headers.get("Content-Type", "")
+
+
+def run_scenario(quick: bool = False) -> dict[str, object]:
+    """Boot, drive, scrape, drain; returns the JSON-ready report."""
+    from repro.engine import EngineConfig
+    from repro.exceptions import ServiceRequestError
+    from repro.graph.generators import zipf_labeled_graph
+    from repro.serving import ServiceClient, SessionRegistry, make_server
+
+    estimate_requests = 10 if quick else 30
+    report: dict[str, object] = {"quick": quick}
+
+    with tempfile.TemporaryDirectory(prefix="repro-obs-") as cache_dir:
+        registry = SessionRegistry(
+            cache_dir=cache_dir,
+            default_config=EngineConfig(max_length=2, bucket_count=8),
+        )
+        registry.register(
+            "g", graph=zipf_labeled_graph(40, 160, 3, skew=1.0, seed=13, name="g")
+        )
+        server = make_server(registry, port=0, window_seconds=0.001)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(base, timeout=10, max_retries=3)
+            paths = ["1/2", "2", "3/3", "2/1"]
+
+            # Pre-drain readiness, before any build.
+            status, body, _ = _get(f"{base}/readyz")
+            report["readyz_ready"] = status == 200 and json.loads(body)["status"] == "ready"
+
+            # Traffic: estimates (cold build on the first), a warm, a 404.
+            for _ in range(estimate_requests):
+                client.estimate("g", paths)
+            traced_request_id = client.last_request_id
+            client.warm("g")
+            try:
+                client.estimate("nope", paths)
+                report["unknown_graph_rejected"] = False
+            except ServiceRequestError as exc:
+                report["unknown_graph_rejected"] = exc.status == 404
+
+            # The scrape: valid exposition, every required series moved.
+            status, exposition, content_type = _get(f"{base}/metrics")
+            report["metrics_status"] = status
+            report["metrics_content_type_ok"] = content_type.startswith(
+                "text/plain"
+            ) and "version=0.0.4" in content_type
+            lines = exposition.splitlines()
+            helps = sum(line.startswith("# HELP ") for line in lines)
+            types = sum(line.startswith("# TYPE ") for line in lines)
+            report["metrics_help_type_pairs"] = helps == types and helps > 0
+            missing = [
+                f"{name}{labels or ''} = {scrape_metric(exposition, name, **labels)}"
+                f" (need >= {minimum})"
+                for name, labels, minimum in REQUIRED_SERIES
+                if scrape_metric(exposition, name, **labels) < minimum
+            ]
+            report["metrics_missing_series"] = missing
+            report["http_requests_total"] = scrape_metric(
+                exposition, "repro_http_requests_total"
+            )
+            report["scheduler_requests_total"] = scrape_metric(
+                exposition, "repro_scheduler_requests_total"
+            )
+            report["estimate_404_counted"] = (
+                scrape_metric(
+                    exposition,
+                    "repro_http_requests_total",
+                    route="/estimate",
+                    status="404",
+                )
+                >= 1
+            )
+            report["sessions_resident_gauge"] = scrape_metric(
+                exposition, "repro_registry_sessions_resident"
+            )
+
+            # The trace store retains the client's request id with spans
+            # from across the scheduler thread boundary.
+            status, body, _ = _get(f"{base}/traces")
+            rows = json.loads(body)["recent"] + json.loads(body)["slowest"]
+            row = next(
+                (r for r in rows if r["request_id"] == traced_request_id), None
+            )
+            report["trace_found"] = row is not None
+            span_names = {span["name"] for span in row["spans"]} if row else set()
+            report["trace_crosses_scheduler"] = "scheduler.estimate_batch" in span_names
+
+            # The drain window: readiness flips, liveness does not.
+            server.begin_drain()
+            status, body, _ = _get(f"{base}/healthz")
+            document = json.loads(body)
+            report["healthz_draining"] = (
+                status == 200 and document["status"] == "draining"
+            )
+            status, body, _ = _get(f"{base}/readyz")
+            report["readyz_unready_after_drain"] = (
+                status == 503 and json.loads(body)["status"] == "unready"
+            )
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=15)
+    return report
+
+
+def collect_failures(report: dict[str, object]) -> list[str]:
+    """Every observability expectation the report violates, one line each."""
+    failures: list[str] = []
+    expectations = (
+        ("readyz_ready", "/readyz did not answer ready before the drain"),
+        ("unknown_graph_rejected", "an unknown graph was not rejected with 404"),
+        ("metrics_content_type_ok", "/metrics content type is not text 0.0.4"),
+        ("metrics_help_type_pairs", "/metrics HELP/TYPE headers are unpaired"),
+        ("estimate_404_counted", "the 404 was not counted by route/status"),
+        ("trace_found", "the client's X-Request-Id is not in /traces"),
+        (
+            "trace_crosses_scheduler",
+            "the retained trace has no scheduler-side spans",
+        ),
+        ("healthz_draining", "/healthz did not report the drain (or went down)"),
+        ("readyz_unready_after_drain", "/readyz stayed ready during the drain"),
+    )
+    for key, message in expectations:
+        if not report.get(key, False):
+            failures.append(message)
+    if report.get("metrics_status") != 200:
+        failures.append(f"/metrics answered {report.get('metrics_status')}")
+    for line in report.get("metrics_missing_series", []):
+        failures.append(f"/metrics series did not move: {line}")
+    if report.get("sessions_resident_gauge", 0) < 1:
+        failures.append("the resident-sessions gauge reads 0 with a built session")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run the scenario, report expectations, exit non-zero on breach."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", default=None, help="write the report to this path")
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer requests (CI smoke mode)"
+    )
+    args = parser.parse_args(argv)
+    try:
+        report = run_scenario(quick=args.quick)
+    except Exception as exc:  # noqa: BLE001 - smoke harness boundary
+        print(f"obs FAILURE: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+    failures = collect_failures(report)
+    for failure in failures:
+        print(f"obs FAILURE: {failure}", file=sys.stderr)
+    print(
+        f"obs: {report['http_requests_total']:.0f} HTTP requests scraped, "
+        f"{report['scheduler_requests_total']:.0f} through the scheduler, "
+        f"trace retained: {report['trace_found']}, readiness flipped on "
+        f"drain: {report['readyz_unready_after_drain']}"
+    )
+    return 0 if not failures else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

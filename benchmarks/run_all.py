@@ -69,6 +69,10 @@ import sparse_smoke  # noqa: E402
 # its availability/fast-fail floors with the standalone CI chaos job.
 import chaos_smoke  # noqa: E402
 
+# The obs section runs the observability scenario in-process (metrics,
+# traces, readiness) and adds the instrumentation-overhead floor on top.
+import obs_smoke  # noqa: E402
+
 #: Workload size for the direct batch-vs-loop measurement.
 BATCH_SIZE = 10_000
 
@@ -134,6 +138,11 @@ SPARSE_SMOKE_TIMEOUT_SECONDS = 240
 #: answering a request against an open circuit — shared with the smoke.
 CHAOS_AVAILABILITY_FLOOR = chaos_smoke.AVAILABILITY_FLOOR
 CHAOS_FAST_FAIL_CEILING_SECONDS = chaos_smoke.FAST_FAIL_CEILING_SECONDS
+
+#: Acceptance floor for serving throughput with the full observability
+#: stack on (metrics + per-request traces) relative to the kill-switched
+#: baseline: instrumentation may cost at most 5% of throughput.
+OBS_OVERHEAD_RATIO_FLOOR = 0.95
 
 
 class FloorFailure(AssertionError):
@@ -843,6 +852,118 @@ def measure_chaos(quick: bool) -> dict[str, object]:
     return report
 
 
+def measure_obs(quick: bool) -> dict[str, object]:
+    """The observability scenario plus the instrumentation-overhead floor.
+
+    First runs ``benchmarks/obs_smoke.py`` in-process (Prometheus scrape
+    coverage, trace retention, readiness transitions — every expectation is
+    a hard gate).  Then measures what the instrumentation *costs* where it
+    is actually paid: ``/estimate`` requests through the HTTP server, timed
+    with the full stack on (metrics enabled, one trace per request, traces
+    recorded and logged) and with both kill switches thrown
+    (``metrics.set_enabled(False)`` + ``set_tracing_enabled(False)`` — the
+    pre-instrumentation serving stack).  The switches alternate on every
+    request so both sides sample the same short-term CPU state, and each
+    side's cost is its *minimum* per-request latency — scheduling noise
+    and CPU drift only ever add time, so the minima converge on the true
+    fast-path costs while means and medians wander by more than the
+    overhead being measured.  ``overhead_ratio`` is instrumented
+    throughput over baseline throughput (``baseline_seconds /
+    instrumented_seconds``) and must stay at or above
+    :data:`OBS_OVERHEAD_RATIO_FLOOR`.
+    """
+    import threading
+
+    import numpy as np
+
+    from repro.datasets.registry import load_dataset
+    from repro.engine import EngineConfig
+    from repro.obs.metrics import set_enabled
+    from repro.obs.tracing import set_tracing_enabled
+    from repro.paths.enumeration import enumerate_label_paths
+    from repro.serving import ServiceClient, SessionRegistry, make_server
+
+    report = obs_smoke.run_scenario(quick=quick)
+    for failure in obs_smoke.collect_failures(report):
+        raise FloorFailure(failure)
+
+    iterations = 6 if quick else 10
+    requests_per_run = 64
+    bundle = 512
+    graph = load_dataset("moreno-health", scale=0.03, seed=11)
+    config = EngineConfig(max_length=3, ordering="sum-based", bucket_count=32)
+    registry = SessionRegistry(default_config=config)
+    registry.register("moreno", graph=graph)
+    session = registry.get("moreno")
+    domain = [
+        str(path)
+        for path in enumerate_label_paths(session.catalog.labels, config.max_length)
+    ]
+    rng = np.random.default_rng(7)
+    bundles = [
+        [domain[i] for i in rng.integers(0, len(domain), bundle)]
+        for _ in range(requests_per_run)
+    ]
+
+    server = make_server(registry, port=0, window_seconds=0.001, max_batch_paths=2048)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    client = ServiceClient(base, timeout=60, max_retries=2)
+
+    instrumented_latencies: list[float] = []
+    baseline_latencies: list[float] = []
+    try:
+        # Warm: build the session, then two full untimed passes — loopback
+        # serving drifts for the first few hundred requests (thread and
+        # allocator warmup), and the ratio needs both sides past it.
+        client.estimate("moreno", bundles[0])
+        for _ in range(2):
+            for bundle_paths in bundles:
+                client.estimate("moreno", bundle_paths)
+        try:
+            for repetition in range(iterations):
+                for index, bundle_paths in enumerate(bundles):
+                    instrumented = (index + repetition) % 2 == 0
+                    set_enabled(instrumented)
+                    set_tracing_enabled(instrumented)
+                    started = time.perf_counter()
+                    client.estimate("moreno", bundle_paths)
+                    elapsed = time.perf_counter() - started
+                    if instrumented:
+                        instrumented_latencies.append(elapsed)
+                    else:
+                        baseline_latencies.append(elapsed)
+        finally:
+            set_enabled(True)
+            set_tracing_enabled(True)
+    finally:
+        server.shutdown()
+        server.close()
+        server_thread.join(timeout=15)
+    instrumented_seconds = min(instrumented_latencies)
+    baseline_seconds = min(baseline_latencies)
+    overhead_ratio = (
+        baseline_seconds / instrumented_seconds
+        if instrumented_seconds > 0
+        else float("inf")
+    )
+    report.update(
+        {
+            "overhead_requests_per_side": len(instrumented_latencies),
+            "overhead_bundle_paths": bundle,
+            "instrumented_seconds": instrumented_seconds,
+            "baseline_seconds": baseline_seconds,
+            "instrumented_paths_per_second": bundle / instrumented_seconds,
+            "baseline_paths_per_second": bundle / baseline_seconds,
+            "overhead_ratio": overhead_ratio,
+            "overhead_ratio_floor": OBS_OVERHEAD_RATIO_FLOOR,
+        }
+    )
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -871,6 +992,7 @@ def main(argv: list[str] | None = None) -> int:
         delta = measure_delta(args.quick)
         sparse = measure_sparse(args.quick)
         chaos = measure_chaos(args.quick)
+        obs = measure_obs(args.quick)
     except FloorFailure as exc:
         # A broken invariant (builders disagreeing, a degenerate workload)
         # is a floor failure, not a crash: one readable line, exit 1.
@@ -879,7 +1001,7 @@ def main(argv: list[str] | None = None) -> int:
     total_seconds = time.perf_counter() - started
 
     document = {
-        "schema": "repro-bench/v7",
+        "schema": "repro-bench/v8",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "generated_unix": time.time(),
@@ -890,6 +1012,7 @@ def main(argv: list[str] | None = None) -> int:
         "delta": delta,
         "sparse": sparse,
         "chaos": chaos,
+        "obs": obs,
     }
     if suite is not None:
         document["suite"] = suite
@@ -931,6 +1054,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{_format_rss(sparse['serve_max_rss_bytes'])}), chaos availability "
         f"{chaos['availability']:.4f} over {chaos['requests_total']} requests "
         f"(circuit fast-fail {chaos['circuit_fast_fail_seconds'] * 1000:.2f}ms), "
+        f"obs overhead ratio {obs['overhead_ratio']:.3f} "
+        f"(floor {obs['overhead_ratio_floor']}), "
         f"total {total_seconds:.1f}s"
     )
     return 0 if not failures else 1
@@ -1069,6 +1194,19 @@ def collect_floor_failures(document: dict) -> list[str]:
         failures.append("chaos section missing from the benchmark document")
     else:
         failures.extend(chaos_smoke.collect_failures(chaos))
+    obs = document.get("obs")
+    if obs is None:
+        failures.append("obs section missing from the benchmark document")
+    else:
+        failures.extend(obs_smoke.collect_failures(obs))
+        ratio = obs.get("overhead_ratio")
+        ratio_floor = obs.get("overhead_ratio_floor", OBS_OVERHEAD_RATIO_FLOOR)
+        if ratio is not None and ratio < ratio_floor:
+            failures.append(
+                f"observability overhead: instrumented serving runs at "
+                f"{ratio:.1%} of the kill-switched baseline "
+                f"(floor {ratio_floor:.0%})"
+            )
     if suite is not None and suite["exit_code"] != 0:
         failures.append("pytest-benchmark suite failed")
     return failures

@@ -268,6 +268,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--warm", action="store_true", help="build every registered graph before serving"
     )
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines (one object per line) on stderr",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="log level for the 'repro' logger (default: info)",
+    )
 
     client = subparsers.add_parser(
         "client", help="query a running 'repro serve' endpoint"
@@ -303,6 +314,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="total seconds for the call, retries and pauses included",
     )
     client.add_argument("--json", action="store_true", help="emit JSON")
+    client.add_argument(
+        "--verbose",
+        action="store_true",
+        help="narrate each attempt (request id, status, latency) on stderr",
+    )
 
     experiment = subparsers.add_parser("experiment", help="run an experiment harness")
     experiment.add_argument(
@@ -459,8 +475,10 @@ def _run_engine_cache(args: argparse.Namespace) -> int:
 
 def _run_serve(args: argparse.Namespace) -> int:
     from repro.engine import EngineConfig
+    from repro.obs import configure_logging
     from repro.serving import SessionRegistry, make_server
 
+    configure_logging(json_lines=args.log_json, level=args.log_level)
     if not args.graph:
         print("error: register at least one --graph NAME=EDGE_LIST", file=sys.stderr)
         return 2
@@ -517,6 +535,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     # the scheduler and in-flight responses before the process exits.
     def _drain(signum: int, frame: object) -> None:
         print(f"signal {signum}: draining before shutdown", file=sys.stderr, flush=True)
+        server.begin_drain()  # /readyz flips to 503 before accepts stop
         threading.Thread(target=server.shutdown, daemon=True).start()
 
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -535,6 +554,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 
 def _run_client(args: argparse.Namespace) -> int:
+    from repro.exceptions import ServiceRequestError
     from repro.serving import ServiceClient
 
     client = ServiceClient(
@@ -542,7 +562,24 @@ def _run_client(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         max_retries=args.retries,
         deadline_seconds=args.deadline,
+        verbose=args.verbose,
     )
+    try:
+        return _run_client_command(args, client)
+    except ServiceRequestError as exc:
+        status = exc.status if exc.status is not None else "none"
+        print(
+            f"error: {exc}\n"
+            f"  request_id={exc.request_id} attempts={exc.attempts} status={status}",
+            file=sys.stderr,
+        )
+        if args.verbose and client.last_attempt_seconds:
+            latencies = " ".join(f"{s:.4f}" for s in client.last_attempt_seconds)
+            print(f"  attempt_seconds: {latencies}", file=sys.stderr)
+        return 1
+
+
+def _run_client_command(args: argparse.Namespace, client) -> int:
     command = args.client_command
     if command == "estimate":
         if not args.graph:

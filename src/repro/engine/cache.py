@@ -57,6 +57,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.exceptions import EngineError, ReproError
+from repro.obs.metrics import Counter
 from repro.testing import faults
 from repro.histogram.builder import LabelPathHistogram
 from repro.histogram.serialization import load_histogram, save_histogram
@@ -66,6 +67,24 @@ __all__ = ["ArtifactCache"]
 
 #: Domains at or past ``|L|^6`` get the uncompressed mmap sidecar by default.
 _MMAP_SIDECAR_POWER = 6
+
+#: Process-wide artifact-cache telemetry: every :class:`ArtifactCache`
+#: instance feeds the same series (the per-instance ``hits``/``misses``
+#: attributes remain for the session's build stats).
+_CACHE_HITS = Counter(
+    "repro_cache_hits_total",
+    "Artifact-cache loads answered from disk, by artifact kind.",
+    labelnames=("kind",),
+)
+_CACHE_MISSES = Counter(
+    "repro_cache_misses_total",
+    "Artifact-cache lookups that found no artifact, by artifact kind.",
+    labelnames=("kind",),
+)
+_CACHE_QUARANTINED = Counter(
+    "repro_cache_quarantined_total",
+    "Corrupt artifact files renamed aside for cold rebuild.",
+)
 
 
 class ArtifactCache:
@@ -140,6 +159,7 @@ class ArtifactCache:
             )
             if not legacy.exists():
                 self.misses += 1
+                _CACHE_MISSES.inc(kind="catalog")
                 return None
             path = legacy
         try:
@@ -162,6 +182,7 @@ class ArtifactCache:
             # which surfaces before the CRC is ever checked.
             raise self._corrupt_error("catalog", path, exc) from exc
         self.hits += 1
+        _CACHE_HITS.inc(kind="catalog")
         self._touch(path)
         return catalog
 
@@ -256,12 +277,14 @@ class ArtifactCache:
         path = self.histogram_path(key)
         if not path.exists():
             self.misses += 1
+            _CACHE_MISSES.inc(kind="histogram")
             return None
         try:
             histogram = load_histogram(path)
         except (ReproError, OSError, ValueError) as exc:
             raise self._corrupt_error("histogram", path, exc) from exc
         self.hits += 1
+        _CACHE_HITS.inc(kind="histogram")
         self._touch(path)
         return histogram
 
@@ -281,12 +304,14 @@ class ArtifactCache:
         path = self.positions_path(key)
         if not path.exists():
             self.misses += 1
+            _CACHE_MISSES.inc(kind="positions")
             return None
         try:
             positions = np.load(path, allow_pickle=False)
         except (OSError, ValueError) as exc:
             raise self._corrupt_error("position table", path, exc) from exc
         self.hits += 1
+        _CACHE_HITS.inc(kind="positions")
         self._touch(path)
         return positions
 
@@ -347,6 +372,7 @@ class ArtifactCache:
         except OSError:  # pragma: no cover - depends on fs permissions
             return None
         self.quarantined += 1
+        _CACHE_QUARANTINED.inc()
         return target
 
     def quarantined_files(self) -> list[Path]:

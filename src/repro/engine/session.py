@@ -35,6 +35,8 @@ from repro.histogram.builder import (
     domain_frequencies,
 )
 from repro.histogram.vopt import VOptimalHistogram
+from repro.obs import tracing
+from repro.obs.metrics import BUILD_BUCKETS, Histogram
 from repro.ordering.base import Ordering
 from repro.ordering.registry import make_ordering
 from repro.paths.catalog import CATALOG_STORAGE_MODES, SelectivityCatalog
@@ -47,6 +49,15 @@ PathLike = Union[str, LabelPath]
 
 #: Estimated bytes per position-table entry (dict slot + key string + int).
 _POSITION_TABLE_BYTES_PER_PATH = 120
+
+#: Per-stage build latency, shared by every session in the process: cold
+#: vs. warm vs. delta costs are decomposable per stage from one series.
+_STAGE_SECONDS = Histogram(
+    "repro_build_stage_seconds",
+    "Session build stage latency in seconds, by stage.",
+    buckets=BUILD_BUCKETS,
+    labelnames=("stage",),
+)
 
 
 @dataclass(frozen=True)
@@ -247,7 +258,11 @@ class EstimationSession:
         stats = SessionStats(workers=effective_workers, backend=effective_backend)
         build_start = time.perf_counter()
 
-        digest = graph_digest(graph)
+        with tracing.span("session.fingerprint"):
+            digest = graph_digest(graph)
+        fingerprint_seconds = time.perf_counter() - build_start
+        stats.extra["fingerprint_seconds"] = fingerprint_seconds
+        _STAGE_SECONDS.observe(fingerprint_seconds, stage="fingerprint")
         stats.graph_digest = digest
         catalog_key, legacy_catalog_key, histogram_key = cls._artifact_keys(
             digest, config
@@ -264,9 +279,10 @@ class EstimationSession:
         catalog = None
         if cache is not None:
             try:
-                catalog = cache.load_catalog(
-                    catalog_key, legacy_key=legacy_catalog_key, mmap=mmap
-                )
+                with tracing.span("session.catalog_load", key=catalog_key):
+                    catalog = cache.load_catalog(
+                        catalog_key, legacy_key=legacy_catalog_key, mmap=mmap
+                    )
             except EngineError as exc:
                 quarantined = cache.quarantine(catalog_key, kind="catalog")
                 # The legacy-JSON fallback lives under a different key; the
@@ -278,13 +294,14 @@ class EstimationSession:
                         quarantined.append(extra)
                 stats.extra["catalog_quarantined"] = len(quarantined)
         if catalog is None:
-            catalog = SelectivityCatalog.from_graph(
-                graph,
-                config.max_length,
-                workers=effective_workers,
-                backend=effective_backend,
-                storage=config.storage,
-            )
+            with tracing.span("session.catalog_build", backend=effective_backend):
+                catalog = SelectivityCatalog.from_graph(
+                    graph,
+                    config.max_length,
+                    workers=effective_workers,
+                    backend=effective_backend,
+                    storage=config.storage,
+                )
             if cache is not None:
                 cache.store_catalog(catalog_key, catalog)
         else:
@@ -294,6 +311,7 @@ class EstimationSession:
                 # columnar form so later starts skip the slow reader.
                 cache.store_catalog(catalog_key, catalog)
         stats.catalog_seconds = time.perf_counter() - start
+        _STAGE_SECONDS.observe(stats.catalog_seconds, stage="catalog")
 
         return cls._assemble(
             graph=graph,
@@ -350,7 +368,8 @@ class EstimationSession:
         histogram = None
         if cache is not None:
             try:
-                histogram = cache.load_histogram(histogram_key)
+                with tracing.span("session.histogram_load", key=histogram_key):
+                    histogram = cache.load_histogram(histogram_key)
             except EngineError:
                 quarantined = cache.quarantine(histogram_key, kind="histogram")
                 stats.extra["histogram_quarantined"] = len(quarantined)
@@ -359,7 +378,8 @@ class EstimationSession:
             ordering = histogram.ordering
             stats.histogram_from_cache = True
         else:
-            ordering = make_ordering(config.ordering, catalog=catalog)
+            with tracing.span("session.ordering", ordering=config.ordering):
+                ordering = make_ordering(config.ordering, catalog=catalog)
         histogram_load_seconds = time.perf_counter() - start
 
         # 3. Position table: domain position of every path, in the stable
@@ -405,6 +425,10 @@ class EstimationSession:
                 )
             }
         stats.positions_seconds = time.perf_counter() - start
+        _STAGE_SECONDS.observe(stats.positions_seconds, stage="positions")
+        trace = tracing.current_trace()
+        if trace is not None:
+            trace.add_span("session.positions", stats.positions_seconds)
 
         # 4. Histogram, built over the vectorised frequency layout on a miss.
         start = time.perf_counter()
@@ -413,13 +437,16 @@ class EstimationSession:
             # configured β exceeds |Lk|; clamp instead (the requested value
             # stays in the cache key, so this cannot alias configs).
             bucket_count = min(config.bucket_count, ordering.size)
-            histogram = build_histogram(
-                catalog,
-                ordering,
-                kind=config.histogram_kind,
-                bucket_count=bucket_count,
-                frequencies=domain_frequencies(catalog, ordering, positions=positions),
-            )
+            with tracing.span("session.histogram", kind=config.histogram_kind):
+                histogram = build_histogram(
+                    catalog,
+                    ordering,
+                    kind=config.histogram_kind,
+                    bucket_count=bucket_count,
+                    frequencies=domain_frequencies(
+                        catalog, ordering, positions=positions
+                    ),
+                )
             if cache is not None:
                 try:
                     cache.store_histogram(histogram_key, histogram)
@@ -429,8 +456,10 @@ class EstimationSession:
                     # it just rebuilds the histogram on every start.
                     stats.extra["histogram_not_cacheable"] = True
         stats.histogram_seconds = histogram_load_seconds + time.perf_counter() - start
+        _STAGE_SECONDS.observe(stats.histogram_seconds, stage="histogram")
 
         stats.total_seconds = time.perf_counter() - build_start
+        _STAGE_SECONDS.observe(stats.total_seconds, stage="total")
         stats.domain_size = ordering.size
         stats.extra["catalog_storage"] = catalog.storage
         stats.extra["catalog_nnz"] = catalog.nnz
@@ -546,16 +575,18 @@ class EstimationSession:
         #     the result under the new graph digest ("patching" the cached
         #     artifact — the old key keeps serving the pre-delta graph).
         start = time.perf_counter()
-        catalog = self._catalog.apply_delta(
-            graph,
-            delta,
-            workers=effective_workers,
-            backend=effective_backend,
-            affected=None if full_rebuild else affected,
-        )
+        with tracing.span("session.delta_catalog", subtrees=len(affected)):
+            catalog = self._catalog.apply_delta(
+                graph,
+                delta,
+                workers=effective_workers,
+                backend=effective_backend,
+                affected=None if full_rebuild else affected,
+            )
         if self._cache is not None:
             self._cache.store_catalog(catalog_key, catalog)
         stats.catalog_seconds = time.perf_counter() - start
+        _STAGE_SECONDS.observe(stats.catalog_seconds, stage="delta_catalog")
 
         return self._assemble(
             graph=graph,

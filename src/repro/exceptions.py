@@ -230,8 +230,10 @@ class ServiceRequestError(ServingError):
     structure for callers to react programmatically: ``status`` is the HTTP
     status code (``None`` for connection errors and client-side deadline
     exhaustion), ``retry_after`` the server's parsed ``Retry-After`` hint in
-    seconds when one was sent (429/503 responses), and ``attempts`` how many
-    attempts were made before giving up.
+    seconds when one was sent (429/503 responses), ``attempts`` how many
+    attempts were made before giving up, and ``request_id`` the
+    ``X-Request-Id`` the client sent, for correlation with server-side
+    traces and logs.
     """
 
     def __init__(
@@ -241,8 +243,10 @@ class ServiceRequestError(ServingError):
         status: int | None = None,
         retry_after: float | None = None,
         attempts: int = 1,
+        request_id: str | None = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
         self.attempts = attempts
+        self.request_id = request_id

@@ -1,0 +1,66 @@
+"""Dependency-free observability: metrics, request tracing, health checks.
+
+The :mod:`repro.obs` package is the serving layer's single source of
+telemetry truth.  It contains three small, stdlib-only modules:
+
+``metrics``
+    Thread-safe :class:`~repro.obs.metrics.Counter`,
+    :class:`~repro.obs.metrics.Gauge` and fixed-bucket
+    :class:`~repro.obs.metrics.Histogram` primitives with label sets,
+    collected into a :class:`~repro.obs.metrics.MetricsRegistry` that
+    renders the Prometheus text exposition format for ``GET /metrics``.
+
+``tracing``
+    A lightweight per-request span API: a :class:`~repro.obs.tracing.Trace`
+    is created at the HTTP layer (honouring ``X-Request-Id``), propagated
+    through the scheduler into the session registry via a context variable,
+    emitted as structured JSON log lines, and retained by a
+    :class:`~repro.obs.tracing.TraceStore` for ``GET /traces``.
+
+``health``
+    :class:`~repro.obs.health.HealthState` — named readiness checks plus a
+    drain latch backing ``GET /healthz`` / ``GET /readyz``.
+
+Everything here is import-cheap and safe to call from hot paths: when
+metrics are disabled (:func:`~repro.obs.metrics.set_enabled`) every
+mutation is a no-op, and a span with no active trace costs one context
+variable read.
+"""
+
+from repro.obs.health import HealthState
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    metrics_enabled,
+    set_enabled,
+)
+from repro.obs.tracing import (
+    Trace,
+    TraceStore,
+    activate,
+    configure_logging,
+    current_trace,
+    new_request_id,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "HealthState",
+    "Histogram",
+    "MetricsRegistry",
+    "Trace",
+    "TraceStore",
+    "activate",
+    "configure_logging",
+    "current_trace",
+    "default_registry",
+    "metrics_enabled",
+    "new_request_id",
+    "set_enabled",
+    "span",
+]

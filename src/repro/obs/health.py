@@ -1,0 +1,73 @@
+"""Liveness and readiness state backing ``/healthz`` and ``/readyz``.
+
+Liveness ("is the process up?") is trivially true whenever the server can
+answer at all; what :class:`HealthState` adds is *readiness* — whether the
+process should receive new traffic — computed from named boolean checks
+registered by the serving layer (scheduler worker alive, scheduler still
+accepting, drain not started).  The drain latch flips readiness to false
+the moment a graceful shutdown begins, before the accept loop stops, so a
+load balancer scraping ``/readyz`` drains traffic away instead of hitting
+connection resets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["HealthState"]
+
+
+class HealthState:
+    """Named readiness checks plus a one-way drain latch."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._checks: dict[str, Callable[[], bool]] = {}
+        self._draining = threading.Event()
+        self._drain_started_unix: float = 0.0
+
+    def add_check(self, name: str, check: Callable[[], bool]) -> None:
+        """Register (or replace) a readiness check under ``name``.
+
+        A check that raises counts as failed — readiness must never take a
+        server down by throwing from a scrape.
+        """
+        with self._lock:
+            self._checks[name] = check
+
+    def begin_drain(self) -> None:
+        """Latch the drain flag (idempotent); readiness is false from now on."""
+        if not self._draining.is_set():
+            self._drain_started_unix = time.time()
+            self._draining.set()
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful shutdown has begun."""
+        return self._draining.is_set()
+
+    def readiness(self) -> tuple[bool, dict[str, bool]]:
+        """Evaluate every check; ready iff all pass and drain has not begun."""
+        with self._lock:
+            checks = list(self._checks.items())
+        results: dict[str, bool] = {}
+        for name, check in checks:
+            try:
+                results[name] = bool(check())
+            except Exception:  # noqa: BLE001 - a raising check is a failing check
+                results[name] = False
+        results["not_draining"] = not self._draining.is_set()
+        return all(results.values()), results
+
+    def as_row(self) -> dict[str, object]:
+        """JSON-ready readiness document (``/readyz`` body)."""
+        ready, checks = self.readiness()
+        row: dict[str, object] = {
+            "status": "ready" if ready else "unready",
+            "checks": checks,
+        }
+        if self._draining.is_set():
+            row["drain_started_unix"] = self._drain_started_unix
+        return row

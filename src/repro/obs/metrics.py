@@ -1,0 +1,501 @@
+"""Thread-safe metric primitives and a Prometheus text-format registry.
+
+Three instrument kinds, mirroring the Prometheus data model without the
+dependency:
+
+* :class:`Counter` — monotonically increasing totals (requests, errors);
+* :class:`Gauge` — a point-in-time value that can go up and down (queue
+  depth, resident sessions), optionally read from a callable at scrape
+  time so the gauge is always current without a write on every change;
+* :class:`Histogram` — fixed cumulative buckets plus ``sum``/``count``
+  (and ``min``/``max``, which Prometheus does not expose but ``/stats``
+  does).
+
+Instruments carry **label names** declared up front; each observed label
+*value* combination becomes one child series.  Children are capped at
+:data:`MAX_LABEL_SETS` per instrument — the first overflowing combination
+is collapsed into a reserved ``other`` child so an unbounded label (say, a
+client-controlled graph name) can never grow the registry without bound.
+
+A :class:`MetricsRegistry` maps instrument names to instruments and
+renders them all in the Prometheus text exposition format (version
+0.0.4).  Registration is **replace-on-register**: creating an instrument
+under an existing name atomically takes over that name's exposition slot.
+Components such as the scheduler's :class:`~repro.serving.scheduler.ServiceStats`
+therefore own fresh instrument objects per instance (tests see exact
+per-instance counts) while ``GET /metrics`` always shows the most
+recently constructed — i.e. the live server's — instruments.
+
+The module-level kill switch :func:`set_enabled` turns every mutation
+into a no-op; the benchmark suite uses it to measure the instrumentation
+overhead floor against a genuinely uninstrumented baseline.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "BUILD_BUCKETS",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "MAX_LABEL_SETS",
+    "default_registry",
+    "metrics_enabled",
+    "set_enabled",
+]
+
+#: Default bucket upper bounds (seconds) for latency histograms: half a
+#: millisecond — the micro-batching window's order of magnitude — up to
+#: ten seconds, roughly 2.5x apart.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Default bucket upper bounds for size histograms (batch paths, coalesced
+#: requests): powers of two up to the scheduler's default path budget.
+SIZE_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Bucket bounds (seconds) for build/update latency: catalog construction
+#: runs orders of magnitude longer than estimates, so the latency scale is
+#: extended up to two minutes.
+BUILD_BUCKETS: tuple[float, ...] = LATENCY_BUCKETS + (30.0, 60.0, 120.0)
+
+#: Cap on distinct label-value combinations per instrument; overflow
+#: collapses into one reserved child (see :data:`OVERFLOW_LABEL_VALUE`).
+MAX_LABEL_SETS = 64
+
+#: The label value every overflowing combination is collapsed into.
+OVERFLOW_LABEL_VALUE = "other"
+
+_enabled = True
+
+
+def set_enabled(enabled: bool) -> None:
+    """Globally enable/disable metric mutation (scrapes still work).
+
+    Disabling makes :meth:`Counter.inc`, :meth:`Gauge.set` and
+    :meth:`Histogram.observe` return immediately; existing values are kept
+    as-is.  This is the benchmark suite's uninstrumented baseline switch —
+    production code never calls it.
+    """
+    global _enabled
+    _enabled = bool(enabled)
+
+
+def metrics_enabled() -> bool:
+    """Whether metric mutation is currently enabled."""
+    return _enabled
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format rules."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_series(name: str, labels: tuple[tuple[str, str], ...], value: float) -> str:
+    """One exposition line: ``name{k="v",...} value``."""
+    if labels:
+        inner = ",".join(f'{key}="{_escape_label_value(val)}"' for key, val in labels)
+        return f"{name}{{{inner}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+class _Instrument:
+    """Shared plumbing: name/help/label validation, child-series management."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - mirrors the exposition keyword
+        *,
+        labelnames: Sequence[str] = (),
+        registry: Optional["MetricsRegistry"] = None,
+        max_label_sets: int = MAX_LABEL_SETS,
+    ) -> None:
+        if not name or not name.replace("_", "a").replace(":", "a").isalnum():
+            raise ValueError(f"invalid metric name: {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._max_label_sets = max(1, int(max_label_sets))
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        target = registry if registry is not None else default_registry()
+        target.register(self)
+
+    # -- child management ------------------------------------------------
+    def _labelvalues(self, labels: dict[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _child(self, values: tuple[str, ...]) -> object:
+        child = self._children.get(values)
+        if child is not None:
+            return child
+        with self._lock:
+            child = self._children.get(values)
+            if child is None:
+                if len(self._children) >= self._max_label_sets:
+                    # Cardinality cap: collapse the overflow into one
+                    # reserved child instead of growing without bound.
+                    values = tuple(OVERFLOW_LABEL_VALUE for _ in values)
+                    child = self._children.get(values)
+                    if child is not None:
+                        return child
+                child = self._new_child()
+                self._children[values] = child
+        return child
+
+    def _new_child(self) -> object:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _sorted_children(self) -> list[tuple[tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    def label_set_count(self) -> int:
+        """Number of live child series (after any overflow collapse)."""
+        with self._lock:
+            return len(self._children)
+
+    # -- exposition ------------------------------------------------------
+    def render(self) -> Iterable[str]:  # pragma: no cover - overridden
+        """Yield this instrument's exposition lines (``# HELP`` first)."""
+        raise NotImplementedError
+
+    def _header(self) -> list[str]:
+        return [f"# HELP {self.name} {self.help}", f"# TYPE {self.name} {self.kind}"]
+
+
+class _CounterChild:
+    __slots__ = ("value", "lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.lock = threading.Lock()
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total, optionally split by labels."""
+
+    kind = "counter"
+
+    def _new_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (default 1) to the child named by ``labels``."""
+        if not _enabled:
+            return
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters cannot decrease")
+        child = self._child(self._labelvalues(labels))
+        with child.lock:
+            child.value += amount
+
+    def value(self, **labels: object) -> float:
+        """Current total — summed over every child when ``labels`` is empty."""
+        if labels or not self.labelnames:
+            child = self._child(self._labelvalues(labels))
+            with child.lock:
+                return child.value
+        return sum(child.value for _, child in self._sorted_children())
+
+    def render(self) -> Iterable[str]:
+        """Exposition lines: one sample per child series."""
+        lines = self._header()
+        children = self._sorted_children()
+        if not children and not self.labelnames:
+            children = [((), self._child(()))]
+        for values, child in children:
+            labels = tuple(zip(self.labelnames, values))
+            with child.lock:
+                lines.append(_format_series(self.name, labels, child.value))
+        return lines
+
+
+class _GaugeChild:
+    __slots__ = ("value", "fn", "lock")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.fn: Optional[Callable[[], float]] = None
+        self.lock = threading.Lock()
+
+
+class Gauge(_Instrument):
+    """A point-in-time value; set directly or read from a callable at scrape."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float, **labels: object) -> None:
+        """Set the child named by ``labels`` to ``value``."""
+        if not _enabled:
+            return
+        child = self._child(self._labelvalues(labels))
+        with child.lock:
+            child.value = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        """Add ``amount`` (may be negative) to the child named by ``labels``."""
+        if not _enabled:
+            return
+        child = self._child(self._labelvalues(labels))
+        with child.lock:
+            child.value += amount
+
+    def set_function(self, fn: Callable[[], float], **labels: object) -> None:
+        """Read this child from ``fn()`` at scrape time (live values, no writes).
+
+        A raising/stale callable degrades to the last directly-set value
+        rather than failing the whole scrape.
+        """
+        child = self._child(self._labelvalues(labels))
+        with child.lock:
+            child.fn = fn
+
+    def value(self, **labels: object) -> float:
+        """The child's current value (calling its scrape function if set)."""
+        child = self._child(self._labelvalues(labels))
+        with child.lock:
+            if child.fn is not None:
+                try:
+                    return float(child.fn())
+                except Exception:  # noqa: BLE001 - scrape must not fail
+                    pass
+            return child.value
+
+    def render(self) -> Iterable[str]:
+        """Exposition lines: one sample per child series."""
+        lines = self._header()
+        children = self._sorted_children()
+        if not children and not self.labelnames:
+            children = [((), self._child(()))]
+        for values, child in children:
+            labels = tuple(zip(self.labelnames, values))
+            with child.lock:
+                value = child.value
+                fn = child.fn
+            if fn is not None:
+                try:
+                    value = float(fn())
+                except Exception:  # noqa: BLE001 - scrape must not fail
+                    pass
+            lines.append(_format_series(self.name, labels, value))
+        return lines
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "sum", "count", "min", "max", "lock")
+
+    def __init__(self, bucket_count: int) -> None:
+        self.counts = [0] * bucket_count
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.lock = threading.Lock()
+
+
+class Histogram(_Instrument):
+    """Fixed cumulative buckets + sum/count (+ min/max for ``/stats``)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,  # noqa: A002 - mirrors the exposition keyword
+        *,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        labelnames: Sequence[str] = (),
+        registry: Optional["MetricsRegistry"] = None,
+        max_label_sets: int = MAX_LABEL_SETS,
+    ) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"{name}: buckets must be a sorted non-empty sequence")
+        self.buckets = bounds
+        super().__init__(
+            name,
+            help,
+            labelnames=labelnames,
+            registry=registry,
+            max_label_sets=max_label_sets,
+        )
+
+    def _new_child(self) -> _HistogramChild:
+        return _HistogramChild(len(self.buckets))
+
+    def observe(self, value: float, **labels: object) -> None:
+        """Record one observation into the child named by ``labels``."""
+        if not _enabled:
+            return
+        value = float(value)
+        child = self._child(self._labelvalues(labels))
+        with child.lock:
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    child.counts[index] += 1
+                    break
+            child.sum += value
+            child.count += 1
+            if value < child.min:
+                child.min = value
+            if value > child.max:
+                child.max = value
+
+    # -- readers (back the /stats snapshot keys) -------------------------
+    def _reduce(self, field: str, zero: float, combine: Callable) -> float:
+        children = self._sorted_children()
+        if not children:
+            return zero
+        result = zero
+        for _, child in children:
+            with child.lock:
+                result = combine(result, getattr(child, field))
+        return result
+
+    def total(self, **labels: object) -> float:
+        """Sum of observed values (one child, or all children when unlabelled)."""
+        if labels or not self.labelnames:
+            child = self._child(self._labelvalues(labels))
+            with child.lock:
+                return child.sum
+        return self._reduce("sum", 0.0, lambda a, b: a + b)
+
+    def count(self, **labels: object) -> int:
+        """Number of observations (all children when ``labels`` is empty)."""
+        if labels or not self.labelnames:
+            child = self._child(self._labelvalues(labels))
+            with child.lock:
+                return child.count
+        return int(self._reduce("count", 0, lambda a, b: a + b))
+
+    def minimum(self) -> float:
+        """Smallest observed value across every child, ``0.0`` when empty."""
+        value = self._reduce("min", float("inf"), min)
+        return 0.0 if value == float("inf") else value
+
+    def maximum(self) -> float:
+        """Largest observed value across every child, ``0.0`` when empty."""
+        value = self._reduce("max", float("-inf"), max)
+        return 0.0 if value == float("-inf") else value
+
+    def mean(self) -> float:
+        """Mean observed value across every child, ``0.0`` when empty."""
+        count = self.count()
+        return (self.total() / count) if count else 0.0
+
+    def render(self) -> Iterable[str]:
+        """Exposition lines: cumulative ``_bucket`` series plus sum/count."""
+        lines = self._header()
+        children = self._sorted_children()
+        if not children and not self.labelnames:
+            children = [((), self._child(()))]
+        for values, child in children:
+            labels = tuple(zip(self.labelnames, values))
+            with child.lock:
+                counts = list(child.counts)
+                total = child.sum
+                count = child.count
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets, counts):
+                cumulative += bucket_count
+                bucket_labels = labels + (("le", _format_value(bound)),)
+                lines.append(
+                    _format_series(f"{self.name}_bucket", bucket_labels, cumulative)
+                )
+            lines.append(
+                _format_series(f"{self.name}_bucket", labels + (("le", "+Inf"),), count)
+            )
+            lines.append(_format_series(f"{self.name}_sum", labels, total))
+            lines.append(_format_series(f"{self.name}_count", labels, count))
+        return lines
+
+
+class MetricsRegistry:
+    """Named instruments, rendered together as one Prometheus text document.
+
+    Registration is replace-on-register (see the module docstring); the
+    registry never creates instruments itself — instrument constructors
+    register into it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, _Instrument] = {}
+
+    def register(self, instrument: _Instrument) -> None:
+        """Attach ``instrument`` under its name, replacing any previous owner."""
+        with self._lock:
+            self._instruments[instrument.name] = instrument
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        """The instrument currently registered under ``name``, if any."""
+        with self._lock:
+            return self._instruments.get(name)
+
+    def names(self) -> tuple[str, ...]:
+        """Registered instrument names, sorted."""
+        with self._lock:
+            return tuple(sorted(self._instruments))
+
+    def render(self) -> str:
+        """The full Prometheus text exposition document (version 0.0.4)."""
+        with self._lock:
+            instruments = [self._instruments[name] for name in sorted(self._instruments)]
+        lines: list[str] = []
+        for instrument in instruments:
+            lines.extend(instrument.render())
+        return "\n".join(lines) + "\n"
+
+
+_default_registry: Optional[MetricsRegistry] = None
+_default_lock = threading.Lock()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry every instrument joins unless told otherwise."""
+    global _default_registry
+    if _default_registry is None:
+        with _default_lock:
+            if _default_registry is None:
+                _default_registry = MetricsRegistry()
+    return _default_registry

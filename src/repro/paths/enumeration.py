@@ -47,6 +47,7 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterator, Mapping, Optional, Sequence
 
@@ -57,8 +58,17 @@ from repro.exceptions import PathError
 from repro.graph.delta import GraphDelta, affected_first_labels
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.matrices import LabelMatrixStore, block_nonzero_counts, drop_zero_rows
+from repro.obs import tracing
+from repro.obs.metrics import BUILD_BUCKETS, Histogram
 from repro.paths.index import domain_block_starts
 from repro.paths.label_path import LabelPath
+
+_CATALOG_BUILD_SECONDS = Histogram(
+    "repro_catalog_build_seconds",
+    "Wall-clock seconds spent in a catalog core build, by resolved backend.",
+    buckets=BUILD_BUCKETS,
+    labelnames=("backend",),
+)
 
 __all__ = [
     "domain_size",
@@ -773,6 +783,7 @@ def compute_selectivity_vector(
     matrices = matrix_store.as_dict(alphabet)
     starts = domain_block_starts(len(alphabet), max_length)
     vector = np.zeros(int(starts[-1]), dtype=np.int64)
+    started = time.perf_counter()
     _build_subtrees_into(
         vector,
         matrices,
@@ -784,6 +795,11 @@ def compute_selectivity_vector(
         worker_count,
         progress,
     )
+    elapsed = time.perf_counter() - started
+    _CATALOG_BUILD_SECONDS.observe(elapsed, backend=backend)
+    trace = tracing.current_trace()
+    if trace is not None:
+        trace.add_span("catalog.vector", elapsed, backend=backend, labels=len(alphabet))
     return vector
 
 
@@ -985,10 +1001,17 @@ def compute_selectivity_nonzeros(
     matrix_store = store if store is not None else LabelMatrixStore(graph, labels=alphabet)
     matrices = matrix_store.as_dict(alphabet)
     starts = domain_block_starts(len(alphabet), max_length)
+    started = time.perf_counter()
     results = _collect_subtrees_nonzeros(
         matrices, alphabet, alphabet, max_length, backend, worker_count, progress
     )
-    return _assemble_nonzeros(results, alphabet, alphabet, starts)
+    assembled = _assemble_nonzeros(results, alphabet, alphabet, starts)
+    elapsed = time.perf_counter() - started
+    _CATALOG_BUILD_SECONDS.observe(elapsed, backend=backend)
+    trace = tracing.current_trace()
+    if trace is not None:
+        trace.add_span("catalog.nonzeros", elapsed, backend=backend, labels=len(alphabet))
+    return assembled
 
 
 def subtree_level_ranges(

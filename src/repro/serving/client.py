@@ -13,7 +13,13 @@ attempt sequence: per-attempt timeouts shrink to the remaining budget and
 the client gives up early rather than schedule a pause it cannot afford.
 Exhausted retries and non-retryable statuses raise
 :class:`~repro.exceptions.ServiceRequestError` carrying the final status,
-the server's retry hint and the attempt count.
+the server's retry hint, the attempt count and the request id.
+
+Every logical call carries a fresh ``X-Request-Id`` (a uuid4 hex) that the
+server echoes into its spans, JSON logs and ``/traces`` buffer, so one
+client-side id correlates the whole server-side path of a request.  With
+``verbose=True`` the client narrates each attempt — request id, status,
+per-attempt latency, backoff pauses — to ``sys.stderr``.
 """
 
 from __future__ import annotations
@@ -21,12 +27,14 @@ from __future__ import annotations
 import http.client
 import json
 import random
+import sys
 import time
 import urllib.error
 import urllib.request
 from typing import Optional, Sequence
 
 from repro.exceptions import ServiceRequestError
+from repro.obs.tracing import new_request_id
 
 __all__ = ["ServiceClient"]
 
@@ -69,6 +77,9 @@ class ServiceClient:
     rng:
         Jitter source (a :class:`random.Random`); injectable for
         deterministic tests.
+    verbose:
+        When true, narrate every attempt (request id, status, per-attempt
+        latency, pauses) to ``sys.stderr``.
     """
 
     def __init__(
@@ -81,6 +92,7 @@ class ServiceClient:
         backoff_max_seconds: float = 2.0,
         deadline_seconds: Optional[float] = None,
         rng: Optional[random.Random] = None,
+        verbose: bool = False,
     ) -> None:
         if timeout <= 0:
             raise ServiceRequestError("timeout must be > 0")
@@ -97,6 +109,15 @@ class ServiceClient:
         self._backoff_max = backoff_max_seconds
         self._deadline = deadline_seconds
         self._rng = rng if rng is not None else random.Random()
+        self._verbose = verbose
+        self.last_request_id: Optional[str] = None
+        self.last_attempts: int = 0
+        self.last_attempt_seconds: list[float] = []
+
+    def _narrate(self, message: str) -> None:
+        """Print one verbose progress line to stderr (no-op otherwise)."""
+        if self._verbose:
+            print(f"[client] {message}", file=sys.stderr)
 
     @property
     def base_url(self) -> str:
@@ -112,31 +133,47 @@ class ServiceClient:
     ) -> dict:
         url = f"{self._base_url}{route}"
         data = None
-        headers = {"Accept": "application/json"}
+        request_id = new_request_id()
+        headers = {"Accept": "application/json", "X-Request-Id": request_id}
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         deadline = deadline_seconds if deadline_seconds is not None else self._deadline
         cutoff = time.monotonic() + deadline if deadline is not None else None
+        self.last_request_id = request_id
+        self.last_attempts = 0
+        self.last_attempt_seconds = []
         attempt = 0
         while True:
             attempt += 1
+            self.last_attempts = attempt
             timeout = self._timeout
             if cutoff is not None:
                 remaining = cutoff - time.monotonic()
                 if remaining <= 0:
+                    self.last_attempts = attempt - 1
                     raise ServiceRequestError(
                         f"{route}: deadline of {deadline:.3f}s exhausted "
                         f"after {attempt - 1} attempt(s)",
                         attempts=attempt - 1,
+                        request_id=request_id,
                     )
                 timeout = min(timeout, remaining)
             request = urllib.request.Request(url, data=data, headers=headers)
             retry_after: Optional[float] = None
+            attempt_started = time.perf_counter()
             try:
                 with urllib.request.urlopen(request, timeout=timeout) as response:
-                    return json.loads(response.read().decode("utf-8"))
+                    document = json.loads(response.read().decode("utf-8"))
+                elapsed = time.perf_counter() - attempt_started
+                self.last_attempt_seconds.append(elapsed)
+                self._narrate(
+                    f"{route} ok request_id={request_id} attempt={attempt} "
+                    f"seconds={elapsed:.4f}"
+                )
+                return document
             except urllib.error.HTTPError as exc:
+                self.last_attempt_seconds.append(time.perf_counter() - attempt_started)
                 retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
                 try:
                     document = json.loads(exc.read().decode("utf-8"))
@@ -148,6 +185,11 @@ class ServiceClient:
                     status=exc.code,
                     retry_after=retry_after,
                     attempts=attempt,
+                    request_id=request_id,
+                )
+                self._narrate(
+                    f"{route} HTTP {exc.code} request_id={request_id} "
+                    f"attempt={attempt} seconds={self.last_attempt_seconds[-1]:.4f}"
                 )
                 if exc.code not in RETRYABLE_STATUSES:
                     raise error from None
@@ -161,13 +203,23 @@ class ServiceClient:
                 # truncated response *mid-read* surfaces as a raw
                 # ConnectionError / HTTPException (RemoteDisconnected,
                 # IncompleteRead...) and is just as retryable.
+                self.last_attempt_seconds.append(time.perf_counter() - attempt_started)
                 reason = getattr(exc, "reason", exc)
                 error = ServiceRequestError(
-                    f"cannot reach {url}: {reason}", attempts=attempt
+                    f"cannot reach {url}: {reason}",
+                    attempts=attempt,
+                    request_id=request_id,
+                )
+                self._narrate(
+                    f"{route} unreachable ({reason}) request_id={request_id} "
+                    f"attempt={attempt}"
                 )
             except (ValueError, json.JSONDecodeError) as exc:
+                self.last_attempt_seconds.append(time.perf_counter() - attempt_started)
                 raise ServiceRequestError(
-                    f"invalid JSON from {url}: {exc}", attempts=attempt
+                    f"invalid JSON from {url}: {exc}",
+                    attempts=attempt,
+                    request_id=request_id,
                 ) from None
             if attempt > self._max_retries:
                 raise error from None
@@ -180,6 +232,7 @@ class ServiceClient:
                 # The pause alone would blow the budget: surface the last
                 # failure now instead of sleeping into a guaranteed timeout.
                 raise error from None
+            self._narrate(f"{route} retrying in {pause:.3f}s (attempt {attempt + 1})")
             if pause > 0:
                 time.sleep(pause)
 

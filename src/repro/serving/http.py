@@ -9,7 +9,10 @@ over the same core as the asyncio :class:`~repro.serving.service.EstimationServi
 
 Routes
 ------
-``GET  /healthz``   liveness + registered graph names
+``GET  /healthz``   liveness + registered graph names (+ drain flag)
+``GET  /readyz``    readiness checks — 503 once draining or worker dead
+``GET  /metrics``   Prometheus text exposition of the metrics registry
+``GET  /traces``    slowest + most recent finished request traces
 ``GET  /stats``     scheduler + registry counters (JSON)
 ``GET  /graphs``    one row per registered graph (built?, domain, config)
 ``POST /estimate``  ``{"graph": g, "paths": [...]}`` (or ``"path": "1/2"``)
@@ -17,6 +20,16 @@ Routes
 ``POST /evict``     ``{"graph": g}`` — drop the built session from memory
 ``POST /update``    ``{"graph": g, "add": [[s,l,t],...], "remove": [...]}`` —
                     apply an edge delta and swap the session incrementally
+
+Observability
+-------------
+Every request runs under a :class:`~repro.obs.tracing.Trace`: the id is
+taken from the client's ``X-Request-Id`` header when present (minted
+otherwise), echoed back on the response, propagated through the scheduler
+into the registry/session spans, logged as one structured line when
+``repro serve --log-json`` is on, and retained for ``GET /traces``.
+Request counts and latency feed ``repro_http_requests_total`` /
+``repro_http_request_seconds`` in the shared metrics registry.
 
 Error mapping
 -------------
@@ -55,7 +68,7 @@ import time
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.exceptions import (
     CircuitOpenError,
@@ -68,10 +81,43 @@ from repro.exceptions import (
     UnknownGraphError,
 )
 from repro.graph.delta import GraphDelta
+from repro.obs import tracing
+from repro.obs.health import HealthState
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.tracing import Trace, TraceStore
 from repro.serving.registry import SessionRegistry
 from repro.serving.scheduler import EstimateScheduler, ServiceStats
 
 __all__ = ["EstimationHTTPServer", "make_server"]
+
+#: Routes whose names may appear as a metric label; anything else is
+#: collapsed into ``other`` so a URL-scanning client cannot explode the
+#: label cardinality.
+_KNOWN_ROUTES = frozenset(
+    {
+        "/healthz",
+        "/readyz",
+        "/metrics",
+        "/traces",
+        "/stats",
+        "/graphs",
+        "/estimate",
+        "/warm",
+        "/evict",
+        "/update",
+    }
+)
+
+#: Observability endpoints are not themselves recorded as traces — a
+#: scraper polling ``/metrics`` every second would crowd real requests
+#: out of the recent-traces window.
+_UNTRACED_ROUTES = frozenset({"/healthz", "/readyz", "/metrics", "/traces"})
 
 
 class EstimationHTTPServer(ThreadingHTTPServer):
@@ -94,6 +140,9 @@ class EstimationHTTPServer(ThreadingHTTPServer):
         max_body_bytes: int = 8 * 2**20,
         retry_after_seconds: float = 0.05,
         verbose: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
+        traces: Optional[TraceStore] = None,
+        health: Optional[HealthState] = None,
     ) -> None:
         self.registry = registry
         self.scheduler = scheduler
@@ -104,7 +153,40 @@ class EstimationHTTPServer(ThreadingHTTPServer):
         self._serving = False
         self._inflight = 0
         self._inflight_lock = threading.Lock()
+        self.metrics = metrics if metrics is not None else default_registry()
+        self.traces = traces if traces is not None else TraceStore()
+        self.health = health if health is not None else HealthState()
+        self.health.add_check("scheduler_worker_alive", scheduler.worker_alive)
+        self.health.add_check("scheduler_accepting", lambda: not scheduler.is_closed)
+        self._http_requests = Counter(
+            "repro_http_requests_total",
+            "HTTP requests answered, by route, method and status.",
+            labelnames=("route", "method", "status"),
+            registry=self.metrics,
+        )
+        self._http_seconds = Histogram(
+            "repro_http_request_seconds",
+            "Wall-clock request latency at the HTTP layer, by route.",
+            buckets=LATENCY_BUCKETS,
+            labelnames=("route",),
+            registry=self.metrics,
+        )
         super().__init__(address, _Handler)
+
+    def observe_http(self, *, route: str, method: str, status: int, seconds: float) -> None:
+        """Feed one answered request into the HTTP metrics."""
+        self._http_requests.inc(route=route, method=method, status=status)
+        self._http_seconds.observe(seconds, route=route)
+
+    def begin_drain(self) -> None:
+        """Flip readiness to *unready* ahead of a graceful shutdown.
+
+        Called by the CLI's signal handler (and by :meth:`close` itself)
+        *before* the accept loop stops, so a load balancer scraping
+        ``/readyz`` sees the drain and steers traffic away while requests
+        are still being answered.
+        """
+        self.health.begin_drain()
 
     def serve_forever(self, poll_interval: float = 0.5) -> None:
         """Serve until :meth:`shutdown`, tracking that the loop is live.
@@ -140,6 +222,7 @@ class EstimationHTTPServer(ThreadingHTTPServer):
         would otherwise abandon them mid-write), and only then release the
         socket.
         """
+        self.begin_drain()
         if self._serving:
             self.shutdown()
         self.scheduler.close()
@@ -157,6 +240,11 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
 
+    #: Filled per request by :meth:`_observe`; defaults keep the error
+    #: paths that bypass it (malformed request lines) safe.
+    _request_id = ""
+    _status = 0
+
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
@@ -167,9 +255,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, document: object) -> None:
         body = json.dumps(document).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self._status = status
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -181,15 +283,51 @@ class _Handler(BaseHTTPRequestHandler):
             if retry_after is None
             else {"error": message, "retry_after": retry_after}
         ).encode("utf-8")
+        self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self._request_id:
+            self.send_header("X-Request-Id", self._request_id)
         if retry_after is not None:
             # Decimal seconds: an internal convention the ServiceClient
             # parses; sub-second hints matter at micro-batching timescales.
             self.send_header("Retry-After", f"{retry_after:.3f}")
         self.end_headers()
         self.wfile.write(body)
+
+    def _observe(self, method: str, route_fn: "Callable[[], None]") -> None:
+        """Run one routed request under a trace, then feed the HTTP metrics.
+
+        The request id comes from the client's ``X-Request-Id`` header when
+        present (so client and server logs correlate) and is echoed on the
+        response either way.  The trace is active for the whole handler, so
+        the scheduler submit path captures it into the queued request and
+        the worker's spans land here.
+        """
+        rid = (self.headers.get("X-Request-Id") or "").strip()
+        self._request_id = rid if rid else tracing.new_request_id()
+        self._status = 0
+        route = self.path if self.path in _KNOWN_ROUTES else "other"
+        traced = tracing.tracing_enabled()
+        trace = Trace(self._request_id, route=f"{method} {self.path}") if traced else None
+        started = time.perf_counter()
+        try:
+            if trace is None:
+                route_fn()
+            else:
+                with tracing.activate(trace):
+                    route_fn()
+        finally:
+            elapsed = time.perf_counter() - started
+            self.server.observe_http(
+                route=route, method=method, status=self._status, seconds=elapsed
+            )
+            if trace is not None:
+                trace.finish(self._status if self._status else None)
+                if self.path not in _UNTRACED_ROUTES:
+                    self.server.traces.record(trace)
+                    tracing.emit_trace(trace)
 
     def _read_json(self) -> Optional[dict[str, object]]:
         try:
@@ -230,15 +368,32 @@ class _Handler(BaseHTTPRequestHandler):
     # routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
-        """Route GET requests: ``/healthz``, ``/stats``, ``/graphs``."""
+        """Route GET requests: health/readiness, metrics, traces, stats."""
         with self.server.track_request():
-            self._route_get()
+            self._observe("GET", self._route_get)
 
     def _route_get(self) -> None:
         if self.path == "/healthz":
+            draining = self.server.health.draining
             self._send_json(
-                200, {"status": "ok", "graphs": list(self.server.registry.names())}
+                200,
+                {
+                    "status": "draining" if draining else "ok",
+                    "draining": draining,
+                    "graphs": list(self.server.registry.names()),
+                },
             )
+        elif self.path == "/readyz":
+            ready, _ = self.server.health.readiness()
+            self._send_json(200 if ready else 503, self.server.health.as_row())
+        elif self.path == "/metrics":
+            self._send_text(
+                200,
+                self.server.metrics.render(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif self.path == "/traces":
+            self._send_json(200, self.server.traces.snapshot())
         elif self.path == "/stats":
             self._send_json(
                 200,
@@ -255,7 +410,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         """Route POST requests: ``/estimate``, ``/warm``, ``/evict``, ...."""
         with self.server.track_request():
-            self._route_post()
+            self._observe("POST", self._route_post)
 
     def _route_post(self) -> None:
         document = self._read_json()
@@ -400,6 +555,9 @@ def make_server(
     retry_after_seconds: float = 0.05,
     stats: Optional[ServiceStats] = None,
     verbose: bool = False,
+    metrics: Optional[MetricsRegistry] = None,
+    traces: Optional[TraceStore] = None,
+    health: Optional[HealthState] = None,
 ) -> EstimationHTTPServer:
     """Build a ready-to-run server (call ``serve_forever`` / ``close``).
 
@@ -431,6 +589,9 @@ def make_server(
             max_body_bytes=max_body_bytes,
             retry_after_seconds=retry_after_seconds,
             verbose=verbose,
+            metrics=metrics,
+            traces=traces,
+            health=health,
         )
     except OSError:
         scheduler.close()

@@ -31,7 +31,6 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Union
 
@@ -42,25 +41,180 @@ from repro.exceptions import CircuitOpenError, ServingError, UnknownGraphError
 from repro.graph.delta import GraphDelta
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.io import read_edge_list
+from repro.obs import tracing
+from repro.obs.metrics import (
+    BUILD_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
 from repro.testing import faults
 
 __all__ = ["RegistryStats", "SessionRegistry"]
 
 
-@dataclass
 class RegistryStats:
-    """Counters describing the registry's build/hit/eviction behaviour."""
+    """Counters describing the registry's build/hit/eviction behaviour.
 
-    builds: int = 0
-    build_seconds_total: float = 0.0
-    hits: int = 0
-    single_flight_waits: int = 0
-    evictions: int = 0
-    updates: int = 0
-    update_seconds_total: float = 0.0
-    build_failures: int = 0
-    circuits_opened: int = 0
-    circuit_fast_failures: int = 0
+    Metric-backed: every counter lives in a :mod:`repro.obs.metrics`
+    instrument — the same series ``GET /metrics`` renders — and the
+    historical attribute names (``stats.builds``, ``stats.evictions``...)
+    are read-only properties over those instruments, so existing callers
+    and tests keep working unchanged.  Mutation happens through the
+    ``observe_*`` methods.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        reg = registry if registry is not None else default_registry()
+        self._build_seconds = Histogram(
+            "repro_registry_build_seconds",
+            "Session build latency in seconds, by graph.",
+            buckets=BUILD_BUCKETS,
+            labelnames=("graph",),
+            registry=reg,
+        )
+        self._update_seconds = Histogram(
+            "repro_registry_update_seconds",
+            "Incremental graph-update latency in seconds.",
+            buckets=BUILD_BUCKETS,
+            registry=reg,
+        )
+        self._hits = Counter(
+            "repro_registry_hits_total",
+            "Session lookups answered from the resident LRU.",
+            registry=reg,
+        )
+        self._single_flight_waits = Counter(
+            "repro_registry_single_flight_waits_total",
+            "Callers that blocked behind another caller's in-flight build.",
+            registry=reg,
+        )
+        self._evictions = Counter(
+            "repro_registry_evictions_total",
+            "Sessions dropped from the resident LRU.",
+            registry=reg,
+        )
+        self._evicted_bytes = Counter(
+            "repro_registry_evicted_bytes_total",
+            "Estimated resident bytes freed by session evictions.",
+            registry=reg,
+        )
+        self._build_failures = Counter(
+            "repro_registry_build_failures_total",
+            "Session builds that raised.",
+            registry=reg,
+        )
+        self._circuits_opened = Counter(
+            "repro_registry_circuits_opened_total",
+            "Circuit-breaker trips (closed/half-open to open).",
+            registry=reg,
+        )
+        self._circuit_transitions = Counter(
+            "repro_registry_circuit_transitions_total",
+            "Circuit-breaker state transitions, by graph and new state.",
+            labelnames=("graph", "state"),
+            registry=reg,
+        )
+        self._circuit_fast_failures = Counter(
+            "repro_registry_circuit_fast_failures_total",
+            "Requests fast-failed by an open circuit.",
+            registry=reg,
+        )
+
+    # -- mutation --------------------------------------------------------
+    def observe_build(self, graph: str, seconds: float) -> None:
+        """Record one successful session build and its latency."""
+        self._build_seconds.observe(seconds, graph=graph)
+
+    def observe_update(self, seconds: float) -> None:
+        """Record one applied graph delta and its latency."""
+        self._update_seconds.observe(seconds)
+
+    def observe_hit(self) -> None:
+        """Record one lookup answered from the resident LRU."""
+        self._hits.inc()
+
+    def observe_single_flight_wait(self) -> None:
+        """Record one caller blocking behind an in-flight build."""
+        self._single_flight_waits.inc()
+
+    def observe_eviction(self, bytes_freed: int = 0) -> None:
+        """Record one session eviction and the bytes it freed."""
+        self._evictions.inc()
+        if bytes_freed > 0:
+            self._evicted_bytes.inc(bytes_freed)
+
+    def observe_build_failure(self) -> None:
+        """Record one session build that raised."""
+        self._build_failures.inc()
+
+    def observe_circuit_transition(self, graph: str, state: str) -> None:
+        """Record a breaker transition; ``state`` is the state entered."""
+        self._circuit_transitions.inc(graph=graph, state=state)
+        if state == "open":
+            self._circuits_opened.inc()
+
+    def observe_circuit_fast_failure(self) -> None:
+        """Record one request fast-failed by an open circuit."""
+        self._circuit_fast_failures.inc()
+
+    # -- the historical read surface ------------------------------------
+    @property
+    def builds(self) -> int:
+        """Successful session builds."""
+        return self._build_seconds.count()
+
+    @property
+    def build_seconds_total(self) -> float:
+        """Total seconds spent in successful builds."""
+        return self._build_seconds.total()
+
+    @property
+    def hits(self) -> int:
+        """Lookups answered from the resident LRU."""
+        return int(self._hits.value())
+
+    @property
+    def single_flight_waits(self) -> int:
+        """Callers that blocked behind another caller's build."""
+        return int(self._single_flight_waits.value())
+
+    @property
+    def evictions(self) -> int:
+        """Sessions dropped from the resident LRU."""
+        return int(self._evictions.value())
+
+    @property
+    def evicted_bytes(self) -> int:
+        """Estimated resident bytes freed by evictions."""
+        return int(self._evicted_bytes.value())
+
+    @property
+    def updates(self) -> int:
+        """Applied graph deltas."""
+        return self._update_seconds.count()
+
+    @property
+    def update_seconds_total(self) -> float:
+        """Total seconds spent applying graph deltas."""
+        return self._update_seconds.total()
+
+    @property
+    def build_failures(self) -> int:
+        """Session builds that raised."""
+        return int(self._build_failures.value())
+
+    @property
+    def circuits_opened(self) -> int:
+        """Circuit-breaker trips."""
+        return int(self._circuits_opened.value())
+
+    @property
+    def circuit_fast_failures(self) -> int:
+        """Requests fast-failed by an open circuit."""
+        return int(self._circuit_fast_failures.value())
 
     def as_row(self) -> dict[str, object]:
         """Flat dict for JSON emission (merged into the service stats)."""
@@ -70,6 +224,7 @@ class RegistryStats:
             "hits": self.hits,
             "single_flight_waits": self.single_flight_waits,
             "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
             "updates": self.updates,
             "update_seconds_total": self.update_seconds_total,
             "build_failures": self.build_failures,
@@ -186,6 +341,23 @@ class SessionRegistry:
         self._sources: dict[str, _Source] = {}
         self._sessions: "OrderedDict[str, EstimationSession]" = OrderedDict()
         self.stats = RegistryStats()
+        # Scrape-time gauges: residency is read live at render instead of
+        # being written on every build/evict.
+        resident_gauge = Gauge(
+            "repro_registry_sessions_resident",
+            "Built sessions currently resident in memory.",
+        )
+        resident_gauge.set_function(self.session_count)
+        bytes_gauge = Gauge(
+            "repro_registry_sessions_bytes",
+            "Estimated resident bytes across built sessions.",
+        )
+        bytes_gauge.set_function(self.memory_bytes)
+        graphs_gauge = Gauge(
+            "repro_registry_graphs_registered",
+            "Graph names registered with the session registry.",
+        )
+        graphs_gauge.set_function(lambda: len(self._sources))
 
     # ------------------------------------------------------------------
     # registration
@@ -255,8 +427,7 @@ class SessionRegistry:
         # just to be told the graph is unavailable.
         self._breaker_check(source)
         if not source.lock.acquire(blocking=False):
-            with self._gate:
-                self.stats.single_flight_waits += 1
+            self.stats.observe_single_flight_wait()
             source.lock.acquire()
         try:
             session = self._lookup(source)
@@ -293,7 +464,7 @@ class SessionRegistry:
             remaining = self._breaker_remaining(breaker)
             if breaker.opened_at is None or remaining <= 0:
                 return
-            self.stats.circuit_fast_failures += 1
+            self.stats.observe_circuit_fast_failure()
             raise CircuitOpenError(
                 source.name,
                 retry_after=remaining,
@@ -313,7 +484,7 @@ class SessionRegistry:
             if remaining > 0:
                 # Re-check under the build lock: the circuit may have
                 # (re-)opened while this caller waited behind a failed probe.
-                self.stats.circuit_fast_failures += 1
+                self.stats.observe_circuit_fast_failure()
                 raise CircuitOpenError(
                     source.name,
                     retry_after=remaining,
@@ -321,11 +492,13 @@ class SessionRegistry:
                     last_error=breaker.last_error,
                 )
             breaker.probing = True
+        self.stats.observe_circuit_transition(source.name, "half-open")
 
     def _breaker_record_failure(self, source: _Source, exc: Exception) -> None:
         """Count a build failure; trip (or re-trip) the circuit when due."""
+        opened = False
         with self._gate:
-            self.stats.build_failures += 1
+            self.stats.observe_build_failure()
             if not self._breaker_threshold:
                 return
             breaker = source.breaker
@@ -337,18 +510,25 @@ class SessionRegistry:
                 # still broken.
                 breaker.opened_at = time.perf_counter()
                 breaker.probing = False
-                self.stats.circuits_opened += 1
+                opened = True
+        if opened:
+            self.stats.observe_circuit_transition(source.name, "open")
 
     def _breaker_record_success(self, source: _Source) -> None:
         """A successful build closes the circuit and clears its history."""
         if not self._breaker_threshold:
             return
+        closed = False
         with self._gate:
             breaker = source.breaker
+            if breaker.opened_at is not None or breaker.probing or breaker.failures:
+                closed = True
             breaker.failures = 0
             breaker.opened_at = None
             breaker.probing = False
             breaker.last_error = ""
+        if closed:
+            self.stats.observe_circuit_transition(source.name, "closed")
 
     def _lookup(self, source: _Source) -> Optional[EstimationSession]:
         """The already-built session for ``source``, refreshing LRU recency."""
@@ -360,7 +540,7 @@ class SessionRegistry:
             if session is None:
                 return None
             self._sessions.move_to_end(key)
-            self.stats.hits += 1
+            self.stats.observe_hit()
             return session
 
     @staticmethod
@@ -378,22 +558,22 @@ class SessionRegistry:
             if session is not None:
                 # Another name over the same graph + config built it first.
                 self._sessions.move_to_end(key)
-                self.stats.hits += 1
+                self.stats.observe_hit()
                 return session
         started = time.perf_counter()
-        faults.fire("registry.build", graph=source.name)
-        session = EstimationSession.build(
-            graph,
-            source.config,
-            cache_dir=self._cache,
-            workers=self._workers,
-            backend=self._backend,
-            mmap=self._mmap,
-        )
+        with tracing.span("registry.build", graph=source.name):
+            faults.fire("registry.build", graph=source.name)
+            session = EstimationSession.build(
+                graph,
+                source.config,
+                cache_dir=self._cache,
+                workers=self._workers,
+                backend=self._backend,
+                mmap=self._mmap,
+            )
         build_seconds = time.perf_counter() - started
+        self.stats.observe_build(source.name, build_seconds)
         with self._gate:
-            self.stats.builds += 1
-            self.stats.build_seconds_total += build_seconds
             self._sessions[key] = session
             self._sessions.move_to_end(key)
             self._evict_over_budget()
@@ -410,8 +590,8 @@ class SessionRegistry:
                 and self._total_bytes() > self._max_bytes
             )
         ):
-            self._sessions.popitem(last=False)
-            self.stats.evictions += 1
+            _, evicted = self._sessions.popitem(last=False)
+            self.stats.observe_eviction(evicted.memory_bytes())
 
     def _total_bytes(self) -> int:
         return sum(session.memory_bytes() for session in self._sessions.values())
@@ -454,9 +634,7 @@ class SessionRegistry:
                 source.graph = graph
                 source.session_key = None
                 update_seconds = time.perf_counter() - started
-                with self._gate:
-                    self.stats.updates += 1
-                    self.stats.update_seconds_total += update_seconds
+                self.stats.observe_update(update_seconds)
                 return {
                     "graph": name,
                     "built": False,
@@ -474,12 +652,13 @@ class SessionRegistry:
                     other is not source and other.graph is session.graph
                     for other in self._sources.values()
                 )
-            new_session = session.update(
-                delta,
-                workers=self._workers,
-                backend=self._backend,
-                graph=session.graph.copy() if graph_is_shared else None,
-            )
+            with tracing.span("registry.update", graph=name):
+                new_session = session.update(
+                    delta,
+                    workers=self._workers,
+                    backend=self._backend,
+                    graph=session.graph.copy() if graph_is_shared else None,
+                )
             update_seconds = time.perf_counter() - started
             stats = new_session.stats
             new_key = self._session_key(stats.graph_digest, source.config)
@@ -500,8 +679,7 @@ class SessionRegistry:
                 source.session_key = new_key
                 self._sessions[new_key] = new_session
                 self._sessions.move_to_end(new_key)
-                self.stats.updates += 1
-                self.stats.update_seconds_total += update_seconds
+                self.stats.observe_update(update_seconds)
                 self._evict_over_budget()
             if self._prune_cache_bytes is not None and self._cache is not None:
                 self._cache.prune(self._prune_cache_bytes)
@@ -539,10 +717,10 @@ class SessionRegistry:
                 key = source.session_key
                 if key is None:
                     return False
-                removed = self._sessions.pop(key, None) is not None
-                if removed:
-                    self.stats.evictions += 1
-                return removed
+                dropped = self._sessions.pop(key, None)
+                if dropped is not None:
+                    self.stats.observe_eviction(dropped.memory_bytes())
+                return dropped is not None
         except KeyError:
             raise UnknownGraphError(name, self.names()) from None
 

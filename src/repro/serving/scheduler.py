@@ -46,6 +46,16 @@ from repro.exceptions import (
     ServiceOverloadedError,
     ServingError,
 )
+from repro.obs import tracing
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
 from repro.paths.label_path import LabelPath
 from repro.serving.registry import SessionRegistry
 from repro.testing import faults
@@ -59,53 +69,100 @@ _SHUTDOWN = object()
 
 
 class ServiceStats:
-    """Thread-safe latency/throughput counters for the serving layer.
+    """Latency/throughput counters for the serving layer, metric-backed.
 
-    All mutation happens under one lock; :meth:`snapshot` returns a plain
-    dict with the derived rates, so readers never observe torn counters.
+    Every number lives in a :mod:`repro.obs.metrics` instrument — the same
+    series ``GET /metrics`` exposes — and :meth:`snapshot` is a *view* over
+    those instruments that keeps the historical ``/stats`` JSON keys (plus
+    ``batch_paths_min``, new with the histogram backing).  Each
+    ``ServiceStats`` owns fresh instrument objects: the registry's
+    replace-on-register semantics make the newest instance the one the
+    scrape endpoint shows.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        reg = registry if registry is not None else default_registry()
         self._started_monotonic = time.perf_counter()
         self.started_unix = time.time()
-        self.requests_total = 0
-        self.paths_total = 0
-        self.rejected_total = 0
-        self.rejected_graph_total = 0
-        self.errors_total = 0
-        self.worker_restarts = 0
-        self.crashed_requests_total = 0
-        self.batches_total = 0
-        self.batch_requests_total = 0
-        self.batch_paths_total = 0
-        self.batch_paths_max = 0
-        self.batch_sessions_max = 0
-        self.batch_seconds_total = 0.0
-        self.batch_seconds_max = 0.0
-        self.wait_seconds_total = 0.0
-        self.wait_seconds_max = 0.0
+        self._requests = Counter(
+            "repro_scheduler_requests_total",
+            "Estimate requests accepted and drained by the scheduler.",
+            registry=reg,
+        )
+        self._paths = Counter(
+            "repro_scheduler_paths_total",
+            "Paths estimated across every drained request.",
+            registry=reg,
+        )
+        self._rejected = Counter(
+            "repro_scheduler_rejected_total",
+            "Requests rejected at admission, by scope (queue or graph).",
+            labelnames=("scope",),
+            registry=reg,
+        )
+        self._errors = Counter(
+            "repro_scheduler_errors_total",
+            "Requests that failed while being served.",
+            registry=reg,
+        )
+        self._restarts = Counter(
+            "repro_scheduler_worker_restarts_total",
+            "Supervisor-driven worker restarts after a crash.",
+            registry=reg,
+        )
+        self._crashed = Counter(
+            "repro_scheduler_crashed_requests_total",
+            "In-flight requests failed by a worker crash.",
+            registry=reg,
+        )
+        self._batch_paths = Histogram(
+            "repro_scheduler_batch_paths",
+            "Paths per coalesced batch.",
+            buckets=SIZE_BUCKETS,
+            registry=reg,
+        )
+        self._batch_requests = Histogram(
+            "repro_scheduler_batch_requests",
+            "Requests coalesced into each batch.",
+            buckets=SIZE_BUCKETS,
+            registry=reg,
+        )
+        self._batch_sessions = Histogram(
+            "repro_scheduler_batch_sessions",
+            "Distinct sessions touched per batch.",
+            buckets=SIZE_BUCKETS,
+            registry=reg,
+        )
+        self._batch_seconds = Histogram(
+            "repro_scheduler_batch_seconds",
+            "Batch execution latency in seconds.",
+            buckets=LATENCY_BUCKETS,
+            registry=reg,
+        )
+        self._wait_seconds = Histogram(
+            "repro_scheduler_wait_seconds",
+            "Per-request queue wait in seconds.",
+            buckets=LATENCY_BUCKETS,
+            registry=reg,
+        )
 
     def observe_rejected(self) -> None:
         """Count one request rejected at submission (queue full / closed)."""
-        with self._lock:
-            self.rejected_total += 1
+        self._rejected.inc(scope="queue")
 
     def observe_graph_rejected(self) -> None:
         """Count one request rejected by a per-graph admission budget (429)."""
-        with self._lock:
-            self.rejected_graph_total += 1
+        self._rejected.inc(scope="graph")
 
     def observe_worker_restart(self, crashed_requests: int) -> None:
         """Count one supervisor-driven worker restart and its failed batch."""
-        with self._lock:
-            self.worker_restarts += 1
-            self.crashed_requests_total += crashed_requests
+        self._restarts.inc()
+        if crashed_requests:
+            self._crashed.inc(crashed_requests)
 
     def observe_error(self, count: int = 1) -> None:
         """Count ``count`` requests that failed while being served."""
-        with self._lock:
-            self.errors_total += count
+        self._errors.inc(count)
 
     def observe_batch(
         self,
@@ -114,60 +171,65 @@ class ServiceStats:
         paths: int,
         sessions: int,
         batch_seconds: float,
-        wait_seconds_total: float,
-        wait_seconds_max: float,
+        wait_seconds: Sequence[float],
     ) -> None:
-        """Record one drained batch (sizes, wait times, session fan-out)."""
-        with self._lock:
-            # Submission counters are updated here too (not on the submit
-            # path) so 32 submitting threads never contend on this lock.
-            self.requests_total += requests
-            self.paths_total += paths
-            self.batches_total += 1
-            self.batch_requests_total += requests
-            self.batch_paths_total += paths
-            self.batch_paths_max = max(self.batch_paths_max, paths)
-            self.batch_sessions_max = max(self.batch_sessions_max, sessions)
-            self.batch_seconds_total += batch_seconds
-            self.batch_seconds_max = max(self.batch_seconds_max, batch_seconds)
-            self.wait_seconds_total += wait_seconds_total
-            self.wait_seconds_max = max(self.wait_seconds_max, wait_seconds_max)
+        """Record one drained batch (sizes, per-request waits, fan-out)."""
+        # Submission counters are updated here too (not on the submit
+        # path) so 32 submitting threads never contend on these series.
+        self._requests.inc(requests)
+        self._paths.inc(paths)
+        self._batch_requests.observe(requests)
+        self._batch_paths.observe(paths)
+        self._batch_sessions.observe(sessions)
+        self._batch_seconds.observe(batch_seconds)
+        for waited in wait_seconds:
+            self._wait_seconds.observe(waited)
 
     def snapshot(self) -> dict[str, object]:
-        """Counters + derived rates as one JSON-ready dict."""
-        with self._lock:
-            uptime = time.perf_counter() - self._started_monotonic
-            batches = self.batches_total
-            requests = self.batch_requests_total
-            return {
-                "uptime_seconds": uptime,
-                "requests_total": self.requests_total,
-                "paths_total": self.paths_total,
-                "rejected_total": self.rejected_total,
-                "rejected_graph_total": self.rejected_graph_total,
-                "errors_total": self.errors_total,
-                "worker_restarts": self.worker_restarts,
-                "crashed_requests_total": self.crashed_requests_total,
-                "batches_total": batches,
-                "batch_requests_total": requests,
-                "batch_paths_total": self.batch_paths_total,
-                "batch_paths_max": self.batch_paths_max,
-                "batch_sessions_max": self.batch_sessions_max,
-                "mean_batch_paths": (self.batch_paths_total / batches) if batches else 0.0,
-                "mean_coalesced_requests": (requests / batches) if batches else 0.0,
-                "batch_seconds_total": self.batch_seconds_total,
-                "batch_seconds_max": self.batch_seconds_max,
-                "mean_batch_seconds": (self.batch_seconds_total / batches) if batches else 0.0,
-                "wait_seconds_max": self.wait_seconds_max,
-                "mean_wait_seconds": (self.wait_seconds_total / requests) if requests else 0.0,
-                "paths_per_second": (self.batch_paths_total / uptime) if uptime > 0 else 0.0,
-            }
+        """Counters + derived rates as one JSON-ready dict.
+
+        A view over the backing instruments: the historical keys are all
+        preserved, with ``batch_paths_min`` added alongside the existing
+        max/mean so ``/stats`` reports the full batch-size spread.
+        """
+        uptime = time.perf_counter() - self._started_monotonic
+        batches = self._batch_paths.count()
+        requests = int(self._batch_requests.total())
+        batch_paths_total = int(self._batch_paths.total())
+        batch_seconds_total = self._batch_seconds.total()
+        wait_count = self._wait_seconds.count()
+        return {
+            "uptime_seconds": uptime,
+            "requests_total": int(self._requests.value()),
+            "paths_total": int(self._paths.value()),
+            "rejected_total": int(self._rejected.value(scope="queue")),
+            "rejected_graph_total": int(self._rejected.value(scope="graph")),
+            "errors_total": int(self._errors.value()),
+            "worker_restarts": int(self._restarts.value()),
+            "crashed_requests_total": int(self._crashed.value()),
+            "batches_total": batches,
+            "batch_requests_total": requests,
+            "batch_paths_total": batch_paths_total,
+            "batch_paths_min": int(self._batch_paths.minimum()),
+            "batch_paths_max": int(self._batch_paths.maximum()),
+            "batch_sessions_max": int(self._batch_sessions.maximum()),
+            "mean_batch_paths": (batch_paths_total / batches) if batches else 0.0,
+            "mean_coalesced_requests": (requests / batches) if batches else 0.0,
+            "batch_seconds_total": batch_seconds_total,
+            "batch_seconds_max": self._batch_seconds.maximum(),
+            "mean_batch_seconds": (batch_seconds_total / batches) if batches else 0.0,
+            "wait_seconds_max": self._wait_seconds.maximum(),
+            "mean_wait_seconds": (
+                (self._wait_seconds.total() / wait_count) if wait_count else 0.0
+            ),
+            "paths_per_second": (batch_paths_total / uptime) if uptime > 0 else 0.0,
+        }
 
 
 class _Request:
     """One queued estimate: a path batch bound to a graph and a future."""
 
-    __slots__ = ("graph", "paths", "scalar", "future", "enqueued", "released")
+    __slots__ = ("graph", "paths", "scalar", "future", "enqueued", "released", "trace")
 
     def __init__(self, graph: str, paths: list[PathLike], scalar: bool) -> None:
         self.graph = graph
@@ -179,6 +241,9 @@ class _Request:
         # request (idempotence guard: crash cleanup and normal delivery can
         # both try).
         self.released = False
+        # The submitting thread's active trace, carried across the queue so
+        # the worker can attach wait/batch spans to the originating request.
+        self.trace = tracing.current_trace()
 
 
 class EstimateScheduler:
@@ -252,6 +317,14 @@ class EstimateScheduler:
         # thread reads or writes it, so no lock is needed.
         self._active_batch: Optional[list[_Request]] = None
         self.stats = stats if stats is not None else ServiceStats()
+        # Scrape-time gauge: queue depth is read live from the queue rather
+        # than written on every put/get (replace-on-register makes the
+        # newest scheduler the one /metrics shows).
+        self._queue_gauge = Gauge(
+            "repro_scheduler_queue_depth",
+            "Requests currently waiting in the scheduler queue.",
+        )
+        self._queue_gauge.set_function(self._queue.qsize)
         self._worker = threading.Thread(
             target=self._supervise, name="repro-estimate-scheduler", daemon=True
         )
@@ -280,6 +353,7 @@ class EstimateScheduler:
         return self._enqueue(_Request(graph, list(paths), scalar=False))
 
     def _enqueue(self, request: _Request) -> "Future[object]":
+        started = time.perf_counter()
         if self._closed.is_set():
             raise ServiceClosedError("scheduler is closed")
         budget = self._max_pending_per_graph
@@ -298,6 +372,14 @@ class EstimateScheduler:
             raise ServiceOverloadedError(
                 f"request queue full ({self._queue.maxsize} pending)"
             ) from None
+        if request.trace is not None:
+            request.trace.add_span(
+                "scheduler.enqueue",
+                time.perf_counter() - started,
+                graph=request.graph,
+                paths=len(request.paths),
+                queue_depth=self._queue.qsize(),
+            )
         return request.future
 
     def _release(self, request: _Request) -> None:
@@ -315,6 +397,15 @@ class EstimateScheduler:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    def worker_alive(self) -> bool:
+        """Whether the supervised worker thread is running (readiness input)."""
+        return self._worker.is_alive()
+
+    @property
+    def is_closed(self) -> bool:
+        """Whether :meth:`close` has begun (no new work is accepted)."""
+        return self._closed.is_set()
+
     def close(self, timeout: Optional[float] = None) -> None:
         """Stop accepting work, drain what was queued, join the worker."""
         if not self._closed.is_set():
@@ -437,15 +528,15 @@ class EstimateScheduler:
         by_graph: dict[str, list[_Request]] = {}
         live_requests = 0
         live_paths = 0
-        wait_total = 0.0
-        wait_max = 0.0
+        waits: list[float] = []
         for request in batch:
             self._release(request)
             if not request.future.set_running_or_notify_cancel():
                 continue  # the caller gave up while the request was queued
             waited = started - request.enqueued
-            wait_total += waited
-            wait_max = max(wait_max, waited)
+            waits.append(waited)
+            if request.trace is not None:
+                request.trace.add_span("scheduler.wait", waited, graph=request.graph)
             live_requests += 1
             live_paths += len(request.paths)
             by_graph.setdefault(request.graph, []).append(request)
@@ -458,8 +549,7 @@ class EstimateScheduler:
                 paths=live_paths,
                 sessions=len(by_graph),
                 batch_seconds=time.perf_counter() - started,
-                wait_seconds_total=wait_total,
-                wait_seconds_max=wait_max,
+                wait_seconds=waits,
             )
         for request, succeeded, payload in deliveries:
             if succeeded:
@@ -470,21 +560,47 @@ class EstimateScheduler:
     def _prepare_group(
         self, graph: str, requests: list[_Request]
     ) -> list[tuple[_Request, bool, object]]:
-        """One session, one ``estimate_batch`` call, results split per request."""
+        """One session, one ``estimate_batch`` call, results split per request.
+
+        The batch leader's trace (the first traced request in the group) is
+        activated around the registry lookup and the batched estimate, so
+        nested spans — ``registry.build``, the session's per-stage spans —
+        attach to it; every traced request additionally gets a flat
+        ``scheduler.estimate_batch`` span covering the shared group work.
+        """
+        leader = next((r.trace for r in requests if r.trace is not None), None)
+        group_started = time.perf_counter()
+
+        def group_spans() -> None:
+            group_seconds = time.perf_counter() - group_started
+            for request in requests:
+                if request.trace is not None:
+                    request.trace.add_span(
+                        "scheduler.estimate_batch",
+                        group_seconds,
+                        graph=graph,
+                        coalesced_requests=len(requests),
+                    )
+
         try:
-            session = self._registry.get(graph)
+            with tracing.activate(leader):
+                session = self._registry.get(graph)
         except Exception as exc:  # noqa: BLE001 - every failure maps to futures
             self.stats.observe_error(len(requests))
+            group_spans()
             return [(request, False, exc) for request in requests]
         paths: list[PathLike] = []
         for request in requests:
             paths.extend(request.paths)
         try:
-            estimates = session.estimate_batch(paths)
+            with tracing.activate(leader):
+                estimates = session.estimate_batch(paths)
         except Exception:
             # One bad path must not fail its batch neighbours: retry each
             # request on its own so only the offender sees the error.
             return self._prepare_individually(session, requests)
+        finally:
+            group_spans()
         values = estimates.tolist()  # one C-level conversion for the whole batch
         deliveries: list[tuple[_Request, bool, object]] = []
         offset = 0

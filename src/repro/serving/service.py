@@ -20,6 +20,7 @@ from typing import Optional, Sequence, Union
 from repro.engine.session import EngineConfig, EstimationSession, SessionStats
 from repro.graph.delta import GraphDelta
 from repro.graph.digraph import LabeledDiGraph
+from repro.obs.metrics import MetricsRegistry
 from repro.paths.label_path import LabelPath
 from repro.serving.registry import SessionRegistry
 from repro.serving.scheduler import EstimateScheduler, ServiceStats
@@ -33,8 +34,10 @@ class EstimationService:
     """Async estimate/warm/evict API over a :class:`SessionRegistry`.
 
     Parameters mirror :class:`~repro.serving.scheduler.EstimateScheduler`;
-    ``registry`` defaults to a fresh in-memory one so the service can be
-    stood up in two lines::
+    ``metrics`` picks the :class:`~repro.obs.metrics.MetricsRegistry` the
+    scheduler's instruments register against (the process-wide default when
+    omitted), and ``registry`` defaults to a fresh in-memory one so the
+    service can be stood up in two lines::
 
         service = EstimationService()
         service.registry.register("g", graph=graph)
@@ -50,8 +53,11 @@ class EstimationService:
         min_coalesce_paths: int = 64,
         max_pending: int = 4096,
         stats: Optional[ServiceStats] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self._registry = registry if registry is not None else SessionRegistry()
+        if stats is None:
+            stats = ServiceStats(registry=metrics)
         self._scheduler = EstimateScheduler(
             self._registry,
             window_seconds=window_seconds,

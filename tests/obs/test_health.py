@@ -1,0 +1,118 @@
+"""Health state: readiness checks, the drain latch, server transitions."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import EngineConfig
+from repro.graph.generators import zipf_labeled_graph
+from repro.obs.health import HealthState
+from repro.serving import SessionRegistry, make_server
+
+CONFIG = EngineConfig(max_length=2, bucket_count=8)
+
+
+class TestHealthState:
+    def test_ready_with_no_checks(self):
+        state = HealthState()
+        ready, checks = state.readiness()
+        assert ready
+        assert checks == {"not_draining": True}
+
+    def test_failing_check_makes_unready(self):
+        state = HealthState()
+        state.add_check("ok", lambda: True)
+        state.add_check("broken", lambda: False)
+        ready, checks = state.readiness()
+        assert not ready
+        assert checks["ok"] and not checks["broken"]
+
+    def test_raising_check_counts_as_failed(self):
+        state = HealthState()
+
+        def boom() -> bool:
+            raise RuntimeError("nope")
+
+        state.add_check("boom", boom)
+        ready, checks = state.readiness()
+        assert not ready
+        assert checks["boom"] is False
+
+    def test_drain_latch_is_one_way_and_idempotent(self):
+        state = HealthState()
+        assert not state.draining
+        state.begin_drain()
+        first = state.as_row()["drain_started_unix"]
+        state.begin_drain()
+        assert state.draining
+        assert state.as_row()["drain_started_unix"] == first
+        ready, checks = state.readiness()
+        assert not ready
+        assert checks["not_draining"] is False
+
+    def test_as_row_status(self):
+        state = HealthState()
+        assert state.as_row()["status"] == "ready"
+        state.add_check("down", lambda: False)
+        assert state.as_row()["status"] == "unready"
+
+
+@pytest.fixture()
+def server():
+    registry = SessionRegistry(default_config=CONFIG)
+    registry.register(
+        "g", graph=zipf_labeled_graph(30, 100, 3, skew=1.0, seed=7, name="g")
+    )
+    server = make_server(registry, port=0, window_seconds=0.005)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestServerTransitions:
+    def test_readyz_flips_on_drain_while_healthz_stays_up(self, server):
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+
+        status, document = _get(f"{base}/readyz")
+        assert status == 200
+        assert document["status"] == "ready"
+        assert document["checks"]["scheduler_worker_alive"]
+        assert document["checks"]["scheduler_accepting"]
+
+        status, document = _get(f"{base}/healthz")
+        assert status == 200
+        assert document["status"] == "ok"
+        assert document["draining"] is False
+
+        server.begin_drain()
+
+        # Liveness keeps answering 200 during the drain window...
+        status, document = _get(f"{base}/healthz")
+        assert status == 200
+        assert document["status"] == "draining"
+        assert document["draining"] is True
+
+        # ...while readiness steers load balancers away.
+        status, document = _get(f"{base}/readyz")
+        assert status == 503
+        assert document["status"] == "unready"
+        assert document["checks"]["not_draining"] is False

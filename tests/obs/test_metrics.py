@@ -1,0 +1,241 @@
+"""Metric primitives: thread safety, cardinality cap, Prometheus exposition."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    OVERFLOW_LABEL_VALUE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    metrics_enabled,
+    set_enabled,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        counter = Counter("t_requests_total", "Requests.", registry=registry)
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self, registry):
+        counter = Counter("t_neg_total", "Neg.", registry=registry)
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_labelled_children_and_unlabelled_sum(self, registry):
+        counter = Counter(
+            "t_by_route_total", "By route.", labelnames=("route",), registry=registry
+        )
+        counter.inc(route="/a")
+        counter.inc(3, route="/b")
+        assert counter.value(route="/a") == 1
+        assert counter.value(route="/b") == 3
+        assert counter.value() == 4
+
+    def test_wrong_labels_rejected(self, registry):
+        counter = Counter(
+            "t_strict_total", "Strict.", labelnames=("route",), registry=registry
+        )
+        with pytest.raises(ValueError):
+            counter.inc(verb="GET")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_invalid_name_rejected(self, registry):
+        with pytest.raises(ValueError):
+            Counter("bad name", "Nope.", registry=registry)
+
+    def test_thread_contention_is_exact(self, registry):
+        counter = Counter("t_contended_total", "Contended.", registry=registry)
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000
+
+
+class TestGauge:
+    def test_set_and_inc(self, registry):
+        gauge = Gauge("t_depth", "Depth.", registry=registry)
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value() == 3
+
+    def test_scrape_function_wins(self, registry):
+        gauge = Gauge("t_live", "Live.", registry=registry)
+        gauge.set(1)
+        gauge.set_function(lambda: 42)
+        assert gauge.value() == 42
+        assert "t_live 42" in registry.render()
+
+    def test_raising_scrape_function_degrades(self, registry):
+        gauge = Gauge("t_flaky", "Flaky.", registry=registry)
+        gauge.set(7)
+
+        def boom() -> float:
+            raise RuntimeError("scrape me not")
+
+        gauge.set_function(boom)
+        assert gauge.value() == 7
+        assert "t_flaky 7" in registry.render()
+
+
+class TestHistogram:
+    def test_observe_readers(self, registry):
+        histogram = Histogram(
+            "t_seconds", "Latency.", buckets=(0.1, 1.0, 10.0), registry=registry
+        )
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count() == 3
+        assert histogram.total() == pytest.approx(5.55)
+        assert histogram.minimum() == pytest.approx(0.05)
+        assert histogram.maximum() == pytest.approx(5.0)
+        assert histogram.mean() == pytest.approx(5.55 / 3)
+
+    def test_empty_readers_are_zero(self, registry):
+        histogram = Histogram("t_empty_seconds", "Empty.", registry=registry)
+        assert histogram.count() == 0
+        assert histogram.minimum() == 0.0
+        assert histogram.maximum() == 0.0
+        assert histogram.mean() == 0.0
+
+    def test_unsorted_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            Histogram("t_bad_seconds", "Bad.", buckets=(1.0, 0.5), registry=registry)
+
+    def test_cumulative_bucket_rendering(self, registry):
+        histogram = Histogram(
+            "t_cum_seconds", "Cumulative.", buckets=(1.0, 2.0), registry=registry
+        )
+        for value in (0.5, 1.5, 1.7, 50.0):
+            histogram.observe(value)
+        text = registry.render()
+        assert 't_cum_seconds_bucket{le="1"} 1' in text
+        assert 't_cum_seconds_bucket{le="2"} 3' in text
+        assert 't_cum_seconds_bucket{le="+Inf"} 4' in text
+        assert "t_cum_seconds_count 4" in text
+
+    def test_thread_contention_is_exact(self, registry):
+        histogram = Histogram("t_race_seconds", "Race.", registry=registry)
+        threads = [
+            threading.Thread(
+                target=lambda: [histogram.observe(0.001) for _ in range(500)]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count() == 4000
+        assert histogram.total() == pytest.approx(4.0)
+
+
+class TestCardinalityCap:
+    def test_overflow_collapses_into_other(self, registry):
+        counter = Counter(
+            "t_capped_total",
+            "Capped.",
+            labelnames=("graph",),
+            registry=registry,
+            max_label_sets=4,
+        )
+        for index in range(10):
+            counter.inc(graph=f"g{index}")
+        # 4 real children; the six overflowing combinations share one child.
+        assert counter.label_set_count() == 5
+        assert counter.value(graph=OVERFLOW_LABEL_VALUE) == 6
+        assert counter.value() == 10
+        assert f'graph="{OVERFLOW_LABEL_VALUE}"' in registry.render()
+
+
+class TestRegistry:
+    def test_replace_on_register(self, registry):
+        first = Counter("t_replaced_total", "First.", registry=registry)
+        first.inc(5)
+        second = Counter("t_replaced_total", "Second.", registry=registry)
+        second.inc()
+        assert registry.get("t_replaced_total") is second
+        assert "t_replaced_total 1" in registry.render()
+
+    def test_render_golden_document(self):
+        registry = MetricsRegistry()
+        counter = Counter(
+            "g_requests_total", "Total requests.", labelnames=("route",), registry=registry
+        )
+        counter.inc(2, route="/estimate")
+        gauge = Gauge("g_depth", "Queue depth.", registry=registry)
+        gauge.set(3)
+        histogram = Histogram(
+            "g_wait_seconds", "Wait.", buckets=(0.5, 1.0), registry=registry
+        )
+        histogram.observe(0.25)
+        expected = "\n".join(
+            [
+                "# HELP g_depth Queue depth.",
+                "# TYPE g_depth gauge",
+                "g_depth 3",
+                "# HELP g_requests_total Total requests.",
+                "# TYPE g_requests_total counter",
+                'g_requests_total{route="/estimate"} 2',
+                "# HELP g_wait_seconds Wait.",
+                "# TYPE g_wait_seconds histogram",
+                'g_wait_seconds_bucket{le="0.5"} 1',
+                'g_wait_seconds_bucket{le="1"} 1',
+                'g_wait_seconds_bucket{le="+Inf"} 1',
+                "g_wait_seconds_sum 0.25",
+                "g_wait_seconds_count 1",
+                "",
+            ]
+        )
+        assert registry.render() == expected
+
+    def test_label_value_escaping(self, registry):
+        counter = Counter(
+            "t_escaped_total", "Escaped.", labelnames=("path",), registry=registry
+        )
+        counter.inc(path='a"b\\c\nd')
+        assert 'path="a\\"b\\\\c\\nd"' in registry.render()
+
+    def test_names_sorted(self, registry):
+        Counter("t_zz_total", "Z.", registry=registry)
+        Counter("t_aa_total", "A.", registry=registry)
+        assert registry.names() == ("t_aa_total", "t_zz_total")
+
+    def test_default_registry_is_a_singleton(self):
+        assert default_registry() is default_registry()
+
+
+class TestKillSwitch:
+    def test_disabled_mutation_is_a_noop(self, registry):
+        counter = Counter("t_switch_total", "Switch.", registry=registry)
+        histogram = Histogram("t_switch_seconds", "Switch.", registry=registry)
+        counter.inc()
+        try:
+            set_enabled(False)
+            assert not metrics_enabled()
+            counter.inc(100)
+            histogram.observe(1.0)
+        finally:
+            set_enabled(True)
+        assert metrics_enabled()
+        assert counter.value() == 1
+        assert histogram.count() == 0
