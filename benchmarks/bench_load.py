@@ -1,0 +1,486 @@
+#!/usr/bin/env python
+"""Keep-alive HTTP load benchmark for the pre-fork serving tier.
+
+Drives the **real** ``repro serve`` CLI twice over persistent HTTP
+connections — once with ``--workers 1`` (the classic in-process server,
+private catalog copy) and once with ``--workers N`` (the pre-fork tier,
+every worker adopting the shared sparse mmap sidecar) — and records
+p50/p99 latency, QPS and QPS-per-core for both, plus the per-worker
+memory cost of the fleet:
+
+* **throughput floor** — on a >= 4-core machine the multi-process tier
+  must clear ``SPEEDUP_FLOOR`` x the single-process QPS with p99 no worse
+  than ``P99_RATIO_CEILING`` x;
+* **memory floor** — with the sparse mmap sidecar, each worker past the
+  first must cost at most ``RSS_FRACTION_CEILING`` of a private catalog
+  copy (measured via ``/proc/<pid>/smaps_rollup`` PSS, which splits
+  shared pages across their mappers).
+
+The served catalog is synthetic: a small graph fixes the artifact keys,
+then a multi-million-nonzero sparse catalog is stored under those keys
+(with its ``.nzi.npy``/``.nzv.npy`` sidecar pair), so every server start
+is a warm start and the bytes being shared are big enough to measure.
+
+Usage::
+
+    python benchmarks/bench_load.py [--quick] [--json out.json] [--port 18993]
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: The key-fixing graph (small on purpose: only its digest matters).
+GRAPH_SPEC = dict(vertices=2000, edges=400, labels=20, skew=0.5, seed=29)
+MAX_LENGTH = 6
+BUCKETS = 16
+#: Nonzeros in the synthetic served catalog (16 bytes each).
+SYNTH_NNZ = 4_000_000
+SYNTH_NNZ_QUICK = 1_000_000
+#: Concurrent keep-alive clients (the ISSUE asks for 32-128).
+CLIENTS = 32
+CLIENTS_QUICK = 8
+DURATION_SECONDS = 6.0
+DURATION_SECONDS_QUICK = 1.5
+WARMUP_SECONDS = 1.0
+WARMUP_SECONDS_QUICK = 0.3
+
+#: Multi-process QPS must clear this multiple of single-process QPS...
+SPEEDUP_FLOOR = 2.0
+#: ...with tail latency no worse than this multiple of the single run's.
+P99_RATIO_CEILING = 1.5
+#: Cores below which the throughput floors are recorded but not enforced.
+SPEEDUP_MIN_CORES = 4
+#: Per-extra-worker PSS as a fraction of a private catalog copy.
+RSS_FRACTION_CEILING = 0.25
+#: Below this private-copy size the PSS signal drowns in interpreter
+#: noise, so the memory floor is recorded but not enforced.
+RSS_MIN_PRIVATE_BYTES = 32 * 2**20
+
+#: A mixed estimate bundle (labels are "1".."20" in the spec graph).
+PATHS = ["1/2", "2/2/1", "3", "4/1", "2/19/7/3", "5/5", "1", "18/2/2"]
+
+
+def _prepare_cache(tmp: Path, quick: bool) -> tuple[Path, Path, int]:
+    """Write the graph + warm artifact cache; returns (graph, cache, bytes).
+
+    The returned byte count is the in-memory size of a *private* copy of
+    the served catalog — the denominator of the memory floor.
+    """
+    import numpy as np
+
+    from repro.engine import EngineConfig, EstimationSession
+    from repro.engine.cache import ArtifactCache
+    from repro.graph.generators import zipf_labeled_graph
+    from repro.graph.io import write_edge_list
+    from repro.paths.catalog import SelectivityCatalog
+
+    graph = zipf_labeled_graph(
+        GRAPH_SPEC["vertices"],
+        GRAPH_SPEC["edges"],
+        GRAPH_SPEC["labels"],
+        skew=GRAPH_SPEC["skew"],
+        seed=GRAPH_SPEC["seed"],
+        name="load",
+    )
+    graph_path = tmp / "load.tsv"
+    write_edge_list(graph, graph_path)
+    cache_dir = tmp / "cache"
+    cache = ArtifactCache(cache_dir)
+    config = EngineConfig(
+        max_length=MAX_LENGTH, bucket_count=BUCKETS, storage="sparse"
+    )
+    session = EstimationSession.build(graph, config, cache_dir=cache)
+    key = session.stats.catalog_key
+
+    # Swap the (tiny) real catalog for a synthetic multi-MB one under the
+    # same key, with the mmap sidecar pair the workers will adopt.
+    rng = np.random.default_rng(GRAPH_SPEC["seed"])
+    domain = session.catalog.domain_size
+    nnz = SYNTH_NNZ_QUICK if quick else SYNTH_NNZ
+    indices = np.sort(rng.choice(domain, size=nnz, replace=False).astype(np.int64))
+    values = rng.integers(1, 1000, size=nnz, dtype=np.int64)
+    synthetic = SelectivityCatalog.from_nonzeros(
+        [str(label) for label in session.catalog.labels],
+        MAX_LENGTH,
+        indices,
+        values,
+        graph_name=graph.name,
+    )
+    cache.store_catalog(key, synthetic, mmap_sidecar=True)
+    return graph_path, cache_dir, synthetic.memory_bytes()
+
+
+def _start_server(
+    graph_path: Path, cache_dir: Path, *, port: int, workers: int
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--graph",
+            f"load={graph_path}",
+            "--port",
+            str(port),
+            "-k",
+            str(MAX_LENGTH),
+            "--buckets",
+            str(BUCKETS),
+            "--storage",
+            "sparse",
+            "--cache-dir",
+            str(cache_dir),
+            "--workers",
+            str(workers),
+            "--warm",
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_ready(port: int, deadline_seconds: float = 60.0) -> None:
+    deadline = time.perf_counter() + deadline_seconds
+    while True:
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+            conn.request("GET", "/healthz")
+            status = conn.getresponse().status
+            conn.close()
+            if status == 200:
+                return
+        except OSError:
+            pass
+        if time.perf_counter() > deadline:
+            raise RuntimeError(f"server on port {port} never became healthy")
+        time.sleep(0.2)
+
+
+def _load_phase(
+    port: int, *, clients: int, duration: float, warmup: float
+) -> dict:
+    """Fire keep-alive estimate traffic; stats cover the post-warmup window."""
+    body = json.dumps({"graph": "load", "paths": PATHS}).encode("utf-8")
+    headers = {"Content-Type": "application/json", "Connection": "keep-alive"}
+    stop = threading.Event()
+    start_gate = threading.Event()
+    results: list[list[tuple[float, float]]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+
+    def run_client(slot: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        start_gate.wait()
+        while not stop.is_set():
+            began = time.perf_counter()
+            try:
+                conn.request("POST", "/v1/estimate", body=body, headers=headers)
+                response = conn.getresponse()
+                response.read()
+                status = response.status
+            except OSError:
+                errors[slot] += 1
+                conn.close()
+                conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+                continue
+            finished = time.perf_counter()
+            if status != 200:
+                errors[slot] += 1
+            else:
+                results[slot].append((finished, finished - began))
+        conn.close()
+
+    threads = [
+        threading.Thread(target=run_client, args=(slot,), daemon=True)
+        for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    begin = time.perf_counter()
+    start_gate.set()
+    time.sleep(warmup + duration)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30)
+
+    window_start = begin + warmup
+    window_end = begin + warmup + duration
+    latencies = sorted(
+        latency
+        for slot in results
+        for finished, latency in slot
+        if window_start <= finished <= window_end
+    )
+    if not latencies:
+        raise RuntimeError("load phase produced no in-window responses")
+
+    def percentile(q: float) -> float:
+        index = min(len(latencies) - 1, int(q * (len(latencies) - 1)))
+        return latencies[index]
+
+    return {
+        "requests": len(latencies),
+        "qps": len(latencies) / duration,
+        "p50_ms": percentile(0.50) * 1000.0,
+        "p99_ms": percentile(0.99) * 1000.0,
+        "errors": sum(errors),
+    }
+
+
+def _worker_pids(server_pid: int, workers: int) -> list[int]:
+    """PIDs doing the serving: the forked children, or the server itself."""
+    if workers <= 1:
+        return [server_pid]
+    children_path = Path(f"/proc/{server_pid}/task/{server_pid}/children")
+    deadline = time.perf_counter() + 10.0
+    while True:
+        try:
+            pids = [int(pid) for pid in children_path.read_text().split()]
+        except (OSError, ValueError):
+            pids = []
+        if len(pids) >= workers or time.perf_counter() > deadline:
+            return pids or [server_pid]
+        time.sleep(0.1)
+
+
+def _pss_bytes(pid: int) -> int | None:
+    """Proportional set size (shared pages split across their mappers)."""
+    try:
+        for line in Path(f"/proc/{pid}/smaps_rollup").read_text().splitlines():
+            if line.startswith("Pss:"):
+                return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:  # pragma: no cover - smaps_rollup exists on all target kernels
+        for line in Path(f"/proc/{pid}/status").read_text().splitlines():
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        return None
+    return None
+
+
+def _stop_server(server: subprocess.Popen) -> None:
+    server.terminate()
+    try:
+        server.wait(timeout=30)
+    except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+        server.kill()
+        server.wait()
+
+
+def _measure_mode(
+    graph_path: Path,
+    cache_dir: Path,
+    *,
+    port: int,
+    workers: int,
+    clients: int,
+    duration: float,
+    warmup: float,
+) -> dict:
+    server = _start_server(graph_path, cache_dir, port=port, workers=workers)
+    try:
+        _wait_ready(port)
+        phase = _load_phase(
+            port, clients=clients, duration=duration, warmup=warmup
+        )
+        pids = _worker_pids(server.pid, workers)
+        pss = [bytes_ for pid in pids if (bytes_ := _pss_bytes(pid)) is not None]
+        phase["workers"] = workers
+        phase["worker_pss_bytes"] = pss
+    finally:
+        _stop_server(server)
+    return phase
+
+
+def run_load_bench(quick: bool = False, *, port: int = 18993) -> dict:
+    """Measure both serving modes; returns the ``load`` benchmark section."""
+    cores = os.cpu_count() or 1
+    multi_workers = max(2, min(4, cores))
+    clients = CLIENTS_QUICK if quick else CLIENTS
+    duration = DURATION_SECONDS_QUICK if quick else DURATION_SECONDS
+    warmup = WARMUP_SECONDS_QUICK if quick else WARMUP_SECONDS
+
+    with tempfile.TemporaryDirectory() as tmp:
+        graph_path, cache_dir, private_bytes = _prepare_cache(Path(tmp), quick)
+        single = _measure_mode(
+            graph_path,
+            cache_dir,
+            port=port,
+            workers=1,
+            clients=clients,
+            duration=duration,
+            warmup=warmup,
+        )
+        multi = _measure_mode(
+            graph_path,
+            cache_dir,
+            port=port,
+            workers=multi_workers,
+            clients=clients,
+            duration=duration,
+            warmup=warmup,
+        )
+
+    speedup = multi["qps"] / single["qps"] if single["qps"] else None
+    p99_ratio = (
+        multi["p99_ms"] / single["p99_ms"] if single["p99_ms"] else None
+    )
+    # PSS splits shared pages across mappers, so summing worker PSS counts
+    # each shared page once.  The single-process run resides the same
+    # catalog privately; the difference divided across the extra workers
+    # is what each additional worker really costs.
+    fraction = None
+    if (
+        len(multi["worker_pss_bytes"]) == multi_workers
+        and multi_workers > 1
+        and single["worker_pss_bytes"]
+        and private_bytes > 0
+    ):
+        extra = (
+            sum(multi["worker_pss_bytes"]) - single["worker_pss_bytes"][0]
+        ) / (multi_workers - 1)
+        fraction = max(0.0, extra) / private_bytes
+
+    enforce_speedup = cores >= SPEEDUP_MIN_CORES and multi_workers >= 4
+    enforce_rss = (
+        fraction is not None and private_bytes >= RSS_MIN_PRIVATE_BYTES
+    )
+    return {
+        "cpu_count": cores,
+        "workers": multi_workers,
+        "clients": clients,
+        "duration_seconds": duration,
+        "paths_per_request": len(PATHS),
+        "single": single,
+        "multi": multi,
+        "single_qps": single["qps"],
+        "multi_qps": multi["qps"],
+        "multi_qps_per_core": multi["qps"] / cores,
+        "multi_speedup": speedup,
+        "multi_speedup_floor": SPEEDUP_FLOOR,
+        "speedup_floor_enforced": enforce_speedup,
+        "p99_ratio": p99_ratio,
+        "p99_ratio_ceiling": P99_RATIO_CEILING,
+        "catalog_private_bytes": private_bytes,
+        "extra_worker_rss_fraction": fraction,
+        "extra_worker_rss_fraction_ceiling": RSS_FRACTION_CEILING,
+        "rss_floor_enforced": enforce_rss,
+        "errors_total": single["errors"] + multi["errors"],
+        "requests_total": single["requests"] + multi["requests"],
+    }
+
+
+def collect_failures(load: dict) -> list[str]:
+    """Every load floor the measured section violates (shared with CI)."""
+    failures: list[str] = []
+    speedup = load.get("multi_speedup")
+    floor = load.get("multi_speedup_floor", SPEEDUP_FLOOR)
+    if (
+        load.get("speedup_floor_enforced")
+        and speedup is not None
+        and speedup < floor
+    ):
+        failures.append(
+            f"multi-process serving {speedup:.2f}x < {floor}x single-process "
+            f"QPS on {load.get('cpu_count')} cores "
+            f"({load.get('workers')} workers, {load.get('clients')} clients)"
+        )
+    p99_ratio = load.get("p99_ratio")
+    p99_ceiling = load.get("p99_ratio_ceiling", P99_RATIO_CEILING)
+    if (
+        load.get("speedup_floor_enforced")
+        and p99_ratio is not None
+        and p99_ratio > p99_ceiling
+    ):
+        failures.append(
+            f"multi-process p99 is {p99_ratio:.2f}x the single-process p99 "
+            f"(ceiling {p99_ceiling}x)"
+        )
+    fraction = load.get("extra_worker_rss_fraction")
+    fraction_ceiling = load.get(
+        "extra_worker_rss_fraction_ceiling", RSS_FRACTION_CEILING
+    )
+    if (
+        load.get("rss_floor_enforced")
+        and fraction is not None
+        and fraction > fraction_ceiling
+    ):
+        failures.append(
+            f"each extra mmap worker costs {fraction:.0%} of a private "
+            f"catalog copy (ceiling {fraction_ceiling:.0%} of "
+            f"{load.get('catalog_private_bytes', 0) / 2**20:.0f}MiB)"
+        )
+    requests = load.get("requests_total", 0)
+    errors = load.get("errors_total", 0)
+    if requests and errors > max(1, requests // 100):
+        failures.append(
+            f"load phase errored on {errors}/{requests} requests (> 1%)"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--json", default=None, help="also write the section here")
+    parser.add_argument("--port", type=int, default=18993)
+    args = parser.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print(
+            f"load bench: measuring on {cores} core(s) — throughput floors "
+            "recorded but not enforced",
+            file=sys.stderr,
+        )
+    try:
+        load = run_load_bench(args.quick, port=args.port)
+    except Exception as exc:  # noqa: BLE001 - bench harness boundary
+        print(f"load bench FAILURE: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(load, indent=2) + "\n", encoding="utf-8"
+        )
+    failures = collect_failures(load)
+    for failure in failures:
+        print(f"load bench FAILURE: {failure}", file=sys.stderr)
+    fraction = load["extra_worker_rss_fraction"]
+    print(
+        f"load bench: single {load['single_qps']:.0f} qps "
+        f"(p99 {load['single']['p99_ms']:.1f}ms), "
+        f"{load['workers']}-worker {load['multi_qps']:.0f} qps "
+        f"(p99 {load['multi']['p99_ms']:.1f}ms, "
+        f"{load['multi_qps_per_core']:.0f} qps/core) "
+        f"on {load['cpu_count']} cores; extra-worker RSS "
+        + (f"{fraction:.1%}" if fraction is not None else "n/a")
+        + f" of a {load['catalog_private_bytes'] / 2**20:.0f}MiB private copy"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,9 @@ as the current run.  Two things are checked:
 * every floor **recorded in the baseline** (batch ≥ 10×, columnar ≥ 3×,
   npz ≤ 25%, coalesced ≥ 5×, delta ≥ 5×, sparse build ≥ 2×, matrix-chain
   build ≥ 2× the sparse DFS, sparse artifact ≤ 5%, sparse serve RSS
-  < 1 GiB, chaos availability ≥ 99%, open-circuit fast-fail < 10 ms, ...)
+  < 1 GiB, chaos availability ≥ 99%, open-circuit fast-fail < 10 ms,
+  pre-fork serving ≥ 2× single-process QPS with p99 ≤ 1.5×, extra mmap
+  worker ≤ 25% of a private catalog copy, ...)
   still holds for the current numbers — so a PR cannot silently relax a
   shipped floor by shrinking the constant in ``run_all.py``;
 * the correctness invariants (batch == loop, patched == cold, warm start
@@ -57,6 +59,14 @@ FLOORS: tuple[tuple[str, str, str, str], ...] = (
     ("chaos", "availability", "availability_floor", ">="),
     ("chaos", "circuit_fast_fail_seconds", "fast_fail_ceiling_seconds", "<="),
     ("obs", "overhead_ratio", "overhead_ratio_floor", ">="),
+    ("load", "multi_speedup", "multi_speedup_floor", ">="),
+    ("load", "p99_ratio", "p99_ratio_ceiling", "<="),
+    (
+        "load",
+        "extra_worker_rss_fraction",
+        "extra_worker_rss_fraction_ceiling",
+        "<=",
+    ),
 )
 
 
@@ -131,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
             ("sparse", "sparse-catalog"),
             ("chaos", "chaos-smoke"),
             ("obs", "observability"),
+            ("load", "serving-load"),
         ):
             if section not in document:
                 print(

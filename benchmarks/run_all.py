@@ -34,8 +34,11 @@ to it), sparse npz artifact > 5% of the dense npz at ≤ 1% density, sparse
 histogram boundaries diverging from the dense build, ``repro serve``
 exceeding 1 GiB peak RSS on that domain, or any chaos floor: availability
 under fault injection < 99%, a hung request thread, a worker crash or
-corrupt artifact that is not transparently healed, or an open circuit
-answering in ≥ 10 ms.  Floor failures are printed
+corrupt artifact that is not transparently healed, an open circuit
+answering in ≥ 10 ms, or any serving-load floor: (on ≥ 4-core machines)
+the pre-fork tier < 2× single-process QPS or p99 > 1.5× under 32
+keep-alive clients, or each extra mmap worker costing > 25% of a private
+catalog copy.  Floor failures are printed
 *first*, one readable line each, and never as tracebacks — CI logs lead
 with the failing floor.
 """
@@ -72,6 +75,11 @@ import chaos_smoke  # noqa: E402
 # The obs section runs the observability scenario in-process (metrics,
 # traces, readiness) and adds the instrumentation-overhead floor on top.
 import obs_smoke  # noqa: E402
+
+# The load section drives the real ``repro serve`` CLI over keep-alive
+# connections, once single-process and once pre-forked, and shares its
+# throughput/memory floors with the standalone CI load-smoke job.
+import bench_load  # noqa: E402
 
 #: Workload size for the direct batch-vs-loop measurement.
 BATCH_SIZE = 10_000
@@ -964,6 +972,20 @@ def measure_obs(quick: bool) -> dict[str, object]:
     return report
 
 
+def measure_load(quick: bool) -> dict[str, object]:
+    """The keep-alive serving-load scenario (see ``benchmarks/bench_load.py``).
+
+    Starts the real ``repro serve`` CLI twice — ``--workers 1`` (private
+    catalog copy) and ``--workers N`` (pre-fork tier over the shared sparse
+    mmap sidecar) — and records p50/p99/QPS for both plus the per-worker
+    PSS cost.  The throughput floors (multi >= 2x single QPS, p99 <= 1.5x)
+    are enforced on >= 4-core machines; the memory floor (each extra worker
+    <= 25% of a private catalog copy) whenever the fleet and catalog are
+    big enough to measure it.
+    """
+    return bench_load.run_load_bench(quick)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -993,6 +1015,7 @@ def main(argv: list[str] | None = None) -> int:
         sparse = measure_sparse(args.quick)
         chaos = measure_chaos(args.quick)
         obs = measure_obs(args.quick)
+        load = measure_load(args.quick)
     except FloorFailure as exc:
         # A broken invariant (builders disagreeing, a degenerate workload)
         # is a floor failure, not a crash: one readable line, exit 1.
@@ -1001,7 +1024,7 @@ def main(argv: list[str] | None = None) -> int:
     total_seconds = time.perf_counter() - started
 
     document = {
-        "schema": "repro-bench/v8",
+        "schema": "repro-bench/v9",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "generated_unix": time.time(),
@@ -1013,6 +1036,7 @@ def main(argv: list[str] | None = None) -> int:
         "sparse": sparse,
         "chaos": chaos,
         "obs": obs,
+        "load": load,
     }
     if suite is not None:
         document["suite"] = suite
@@ -1056,6 +1080,10 @@ def main(argv: list[str] | None = None) -> int:
         f"(circuit fast-fail {chaos['circuit_fast_fail_seconds'] * 1000:.2f}ms), "
         f"obs overhead ratio {obs['overhead_ratio']:.3f} "
         f"(floor {obs['overhead_ratio_floor']}), "
+        f"load {load['workers']}-worker {load['multi_qps']:.0f} qps vs "
+        f"single {load['single_qps']:.0f} qps on {load['cpu_count']} cores "
+        f"(extra-worker RSS {_format_fraction(load['extra_worker_rss_fraction'])} "
+        f"of a private copy), "
         f"total {total_seconds:.1f}s"
     )
     return 0 if not failures else 1
@@ -1065,6 +1093,12 @@ def _format_rss(rss_bytes: object) -> str:
     if not isinstance(rss_bytes, (int, float)):
         return "n/a"
     return f"{rss_bytes / 2**20:.0f}MiB"
+
+
+def _format_fraction(fraction: object) -> str:
+    if not isinstance(fraction, (int, float)):
+        return "n/a"
+    return f"{fraction:.1%}"
 
 
 def collect_floor_failures(document: dict) -> list[str]:
@@ -1207,6 +1241,11 @@ def collect_floor_failures(document: dict) -> list[str]:
                 f"{ratio:.1%} of the kill-switched baseline "
                 f"(floor {ratio_floor:.0%})"
             )
+    load = document.get("load")
+    if load is None:
+        failures.append("load section missing from the benchmark document")
+    else:
+        failures.extend(bench_load.collect_failures(load))
     if suite is not None and suite["exit_code"] != 0:
         failures.append("pytest-benchmark suite failed")
     return failures

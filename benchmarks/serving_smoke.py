@@ -5,7 +5,9 @@ Starts the real CLI server as a subprocess on an ephemeral port, fires 100
 mixed requests through the stdlib client — single-path estimates, multi-path
 bundles, warm/evict management calls, plus deliberate error cases — and
 asserts the ``/stats`` counters reflect the traffic (all requests served,
-coalescing active, backpressure/error accounting sane).  Exits non-zero on
+coalescing active, backpressure/error accounting sane).  Also asserts the
+pre-v1 unversioned routes still answer (marked ``Deprecation: true``) and
+that non-2xx responses carry the uniform error envelope.  Exits non-zero on
 any failed expectation, so a broken serving path fails the job even when
 the unit suite is green.
 
@@ -122,6 +124,10 @@ def _run(args: argparse.Namespace) -> int:
                 "16",
                 "--cache-dir",
                 str(Path(tmp) / "cache"),
+                # One worker process: the /stats assertions below expect a
+                # single server to have seen every request.
+                "--workers",
+                "1",
             ],
             env=env,
             cwd=REPO_ROOT,
@@ -217,6 +223,54 @@ def _run(args: argparse.Namespace) -> int:
             check(
                 registry["sessions_resident"] >= 1, "no resident session after traffic"
             )
+
+            # Pre-v1 compatibility: the unversioned aliases must still
+            # answer (with the Deprecation marker) and non-2xx responses
+            # must carry the uniform error envelope.
+            import http.client
+            import json as json_module
+
+            conn = http.client.HTTPConnection("127.0.0.1", args.port, timeout=30)
+            try:
+                for method, route, body in (
+                    ("GET", "/stats", None),
+                    ("GET", "/graphs", None),
+                    (
+                        "POST",
+                        "/estimate",
+                        json_module.dumps({"graph": "moreno", "paths": ["1"]}),
+                    ),
+                ):
+                    conn.request(
+                        method,
+                        route,
+                        body=body,
+                        headers={"Content-Type": "application/json"}
+                        if body
+                        else {},
+                    )
+                    response = conn.getresponse()
+                    response.read()
+                    check(
+                        response.status == 200,
+                        f"deprecated alias {route} answered {response.status}",
+                    )
+                    check(
+                        response.getheader("Deprecation") == "true",
+                        f"alias {route} missing the Deprecation header",
+                    )
+                conn.request("GET", "/v1/definitely-not-a-route")
+                response = conn.getresponse()
+                envelope = json_module.loads(response.read().decode("utf-8"))
+                check(response.status == 404, "unknown route was not a 404")
+                check(
+                    set(envelope)
+                    >= {"error", "code", "retry_after", "request_id"},
+                    f"error envelope incomplete: {envelope}",
+                )
+            finally:
+                conn.close()
+
             if not failures:
                 print(
                     f"smoke ok: {scheduler['requests_total']} requests in "

@@ -144,6 +144,10 @@ def _run(args: argparse.Namespace) -> int:
                 "64",
                 "--storage",
                 "sparse",
+                # One worker process: the RSS measurement below reads this
+                # pid's VmHWM and must cover the process that built/served.
+                "--workers",
+                "1",
             ],
             env=env,
             cwd=REPO_ROOT,

@@ -14,14 +14,20 @@ tables and figures can be regenerated without writing Python::
     repro engine estimate moreno.tsv "1/2/3" "2/2" --cache-dir .repro-cache
     repro engine update moreno.tsv --delta churn.delta --cache-dir .repro-cache
     repro engine cache prune --cache-dir .repro-cache --max-bytes 100000000
-    repro serve --graph moreno=moreno.tsv --port 8080 --cache-dir .repro-cache
+    repro serve --graph moreno=moreno.tsv --port 8080 --cache-dir .repro-cache --workers 4
     repro client estimate --graph moreno "1/2/3" "2/2" --url http://127.0.0.1:8080
+
+The engine-facing subcommands (``catalog``, ``engine *``, ``serve``) share
+one flag block installed by :func:`add_engine_options`;
+:meth:`repro.engine.EngineConfig.from_args` turns the resulting namespace
+back into an :class:`~repro.engine.EngineConfig`.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import sys
 import threading
@@ -44,7 +50,63 @@ from repro.graph.io import read_edge_list, write_edge_list
 from repro.paths.catalog import SelectivityCatalog
 from repro.paths.enumeration import CATALOG_BACKENDS
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "add_engine_options"]
+
+
+def add_engine_options(
+    parser: argparse.ArgumentParser,
+    *,
+    estimation: bool = True,
+    workers_flag: str = "--workers",
+) -> None:
+    """Install the shared engine flag block on ``parser``.
+
+    One definition of the ``-k/--max-length``, ``--ordering``, ``--buckets``,
+    ``--histogram``, ``--backend``, ``--storage``, ``--cache-dir`` and
+    build-workers flags shared by ``repro catalog``, every ``repro engine``
+    subcommand and ``repro serve``, so defaults and help text cannot drift
+    between them.  :meth:`repro.engine.EngineConfig.from_args` consumes the
+    resulting namespace.
+
+    ``estimation=False`` (used by ``repro catalog``) skips the
+    estimation-only flags (``--ordering``, ``--buckets``, ``--histogram``,
+    ``--cache-dir``).  ``workers_flag`` renames the catalog-construction
+    worker option — ``repro serve`` passes ``--build-workers`` so plain
+    ``--workers`` can mean serving processes — but the parsed attribute is
+    always ``build_workers``.
+    """
+    parser.add_argument("-k", "--max-length", type=int, default=3)
+    if estimation:
+        parser.add_argument("--ordering", default="sum-based")
+        parser.add_argument("--buckets", type=int, default=64)
+        parser.add_argument("--histogram", default="v-optimal")
+        parser.add_argument(
+            "--cache-dir",
+            default=None,
+            help="artifact cache directory (warm starts skip catalog construction)",
+        )
+    parser.add_argument(
+        workers_flag,
+        dest="build_workers",
+        type=int,
+        default=None,
+        help="workers for catalog construction on a cache miss",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=CATALOG_BACKENDS,
+        default=None,
+        help="catalog construction backend (default: thread when the build "
+        "worker count > 1, serial otherwise; matrix = stacked "
+        "matrix-chain kernel)",
+    )
+    parser.add_argument(
+        "--storage",
+        choices=("auto", "dense", "sparse"),
+        default="auto",
+        help="catalog representation: sparse stores only nonzero paths "
+        "(O(nnz) memory); auto picks by density",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -66,7 +128,6 @@ def build_parser() -> argparse.ArgumentParser:
 
     catalog = subparsers.add_parser("catalog", help="build a selectivity catalog")
     catalog.add_argument("graph", help="edge-list file of the graph")
-    catalog.add_argument("-k", "--max-length", type=int, default=3)
     catalog.add_argument(
         "-o",
         "--output",
@@ -74,15 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="catalog output path (.npz extension writes the compressed "
         "columnar form, anything else JSON)",
     )
-    catalog.add_argument("--workers", type=int, default=None)
-    catalog.add_argument("--backend", choices=CATALOG_BACKENDS, default=None)
-    catalog.add_argument(
-        "--storage",
-        choices=("auto", "dense", "sparse"),
-        default="auto",
-        help="catalog representation: sparse stores only nonzero paths "
-        "(O(nnz) memory); auto picks by density",
-    )
+    add_engine_options(catalog, estimation=False)
 
     estimate = subparsers.add_parser("estimate", help="estimate one path's selectivity")
     estimate.add_argument("catalog", help="catalog JSON produced by 'repro catalog'")
@@ -98,36 +151,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _engine_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("graph", help="edge-list file of the graph")
-        sub.add_argument("-k", "--max-length", type=int, default=3)
-        sub.add_argument("--ordering", default="sum-based")
-        sub.add_argument("--buckets", type=int, default=64)
-        sub.add_argument("--histogram", default="v-optimal")
-        sub.add_argument(
-            "--cache-dir",
-            default=None,
-            help="artifact cache directory (warm starts skip catalog construction)",
-        )
-        sub.add_argument(
-            "--workers",
-            type=int,
-            default=None,
-            help="workers for catalog construction on a cache miss",
-        )
-        sub.add_argument(
-            "--backend",
-            choices=CATALOG_BACKENDS,
-            default=None,
-            help="catalog construction backend (default: thread when "
-            "--workers > 1, serial otherwise; matrix = stacked "
-            "matrix-chain kernel)",
-        )
-        sub.add_argument(
-            "--storage",
-            choices=("auto", "dense", "sparse"),
-            default="auto",
-            help="catalog storage mode (sparse = O(nnz) memory; auto picks "
-            "by density)",
-        )
+        add_engine_options(sub)
         sub.add_argument("--json", action="store_true", help="emit JSON")
 
     engine_build = engine_commands.add_parser(
@@ -195,19 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
-    serve.add_argument("-k", "--max-length", type=int, default=3)
-    serve.add_argument("--ordering", default="sum-based")
-    serve.add_argument("--buckets", type=int, default=64)
-    serve.add_argument("--histogram", default="v-optimal")
-    serve.add_argument("--cache-dir", default=None, help="shared artifact cache")
-    serve.add_argument("--workers", type=int, default=None)
-    serve.add_argument("--backend", choices=CATALOG_BACKENDS, default=None)
+    add_engine_options(serve, workers_flag="--build-workers")
     serve.add_argument(
-        "--storage",
-        choices=("auto", "dense", "sparse"),
-        default="auto",
-        help="catalog storage mode for served sessions (sparse = O(nnz) "
-        "memory per graph)",
+        "--workers",
+        type=int,
+        default=None,
+        help="serving worker processes (default: os.cpu_count(); 1 serves "
+        "in-process, >1 pre-forks workers sharing the listening socket)",
     )
     serve.add_argument(
         "--mmap", action="store_true", help="memory-map cached catalogs when possible"
@@ -407,18 +425,12 @@ def _run_experiment(args: argparse.Namespace) -> int:
 
 def _build_session(args: argparse.Namespace) -> EstimationSession:
     graph = read_edge_list(args.graph)
-    config = EngineConfig(
-        max_length=args.max_length,
-        ordering=args.ordering,
-        histogram_kind=args.histogram,
-        bucket_count=args.buckets,
-        storage=args.storage,
-    )
+    config = EngineConfig.from_args(args)
     return EstimationSession.build(
         graph,
         config,
         cache_dir=args.cache_dir,
-        workers=args.workers,
+        workers=args.build_workers,
         backend=args.backend,
     )
 
@@ -482,46 +494,90 @@ def _run_serve(args: argparse.Namespace) -> int:
     if not args.graph:
         print("error: register at least one --graph NAME=EDGE_LIST", file=sys.stderr)
         return 2
-    config = EngineConfig(
-        max_length=args.max_length,
-        ordering=args.ordering,
-        histogram_kind=args.histogram,
-        bucket_count=args.buckets,
-        storage=args.storage,
-    )
-    registry = SessionRegistry(
-        cache_dir=args.cache_dir,
-        max_sessions=args.max_sessions,
-        max_bytes=args.max_bytes,
-        workers=args.workers,
-        backend=args.backend,
-        mmap=args.mmap,
-        prune_cache_bytes=args.prune_cache_bytes,
-        default_config=config,
-        breaker_threshold=args.breaker_threshold,
-        breaker_reset_seconds=args.breaker_reset,
-    )
+    worker_count = args.workers if args.workers is not None else (os.cpu_count() or 1)
+    if worker_count < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    config = EngineConfig.from_args(args)
+    graphs: list[tuple[str, str]] = []
     for spec in args.graph:
         name, separator, path = spec.partition("=")
         if not separator or not name or not path:
             print(f"error: --graph expects NAME=EDGE_LIST, got {spec!r}", file=sys.stderr)
             return 2
-        registry.register(name, path=path)
+        graphs.append((name, path))
+
+    # Pre-fork workers serve cached catalogs through the sparse mmap
+    # sidecar whenever a cache exists, so the big arrays are file-backed
+    # pages every worker shares instead of N private copies.
+    mmap = args.mmap or (worker_count > 1 and args.cache_dir is not None)
+
+    def make_registry() -> SessionRegistry:
+        registry = SessionRegistry(
+            cache_dir=args.cache_dir,
+            max_sessions=args.max_sessions,
+            max_bytes=args.max_bytes,
+            workers=args.build_workers,
+            backend=args.backend,
+            mmap=mmap,
+            prune_cache_bytes=args.prune_cache_bytes,
+            default_config=config,
+            breaker_threshold=args.breaker_threshold,
+            breaker_reset_seconds=args.breaker_reset,
+        )
+        for name, path in graphs:
+            registry.register(name, path=path)
+        return registry
+
+    def make_worker_server(registry, inherited_socket=None):
+        return make_server(
+            registry,
+            host=args.host,
+            port=args.port,
+            window_seconds=args.window_ms / 1000.0,
+            max_batch_paths=args.max_batch,
+            max_pending=args.max_pending,
+            max_pending_per_graph=args.max_pending_per_graph,
+            max_body_bytes=args.max_body_bytes,
+            verbose=args.verbose,
+            inherited_socket=inherited_socket,
+        )
+
+    if worker_count > 1:
+        from repro.serving.prefork import PreforkServer
+
+        def warm() -> None:
+            # The parent builds (or cache-loads) every session once before
+            # forking, so each worker's first request finds warm artifacts
+            # instead of racing N identical builds.
+            registry = make_registry()
+            for name in registry.names():
+                session = registry.get(name)
+                print(f"warmed {name}: domain={session.domain_size}", file=sys.stderr)
+
+        prefork = PreforkServer(
+            host=args.host,
+            port=args.port,
+            worker_count=worker_count,
+            registry_factory=make_registry,
+            server_factory=make_worker_server,
+            warm=warm if args.warm else None,
+        )
+        names = ", ".join(name for name, _ in graphs)
+        print(
+            f"serving {names} on http://{args.host}:{prefork.port} "
+            f"with {worker_count} worker processes "
+            f"(window {args.window_ms}ms, max batch {args.max_batch})",
+            flush=True,
+        )
+        return prefork.run()
+
+    registry = make_registry()
     if args.warm:
         for name in registry.names():
             session = registry.get(name)
             print(f"warmed {name}: domain={session.domain_size}", file=sys.stderr)
-    server = make_server(
-        registry,
-        host=args.host,
-        port=args.port,
-        window_seconds=args.window_ms / 1000.0,
-        max_batch_paths=args.max_batch,
-        max_pending=args.max_pending,
-        max_pending_per_graph=args.max_pending_per_graph,
-        max_body_bytes=args.max_body_bytes,
-        verbose=args.verbose,
-    )
+    server = make_worker_server(registry)
     host, port = server.server_address[:2]
     print(
         f"serving {', '.join(registry.names())} on http://{host}:{port} "
@@ -565,12 +621,22 @@ def _run_client(args: argparse.Namespace) -> int:
         verbose=args.verbose,
     )
     try:
-        return _run_client_command(args, client)
+        code = _run_client_command(args, client)
+        if args.verbose and client.last_request_id:
+            # Success path too: the id correlates this call with the
+            # server's traces and logs even when nothing went wrong.
+            print(
+                f"request_id={client.last_request_id} "
+                f"attempts={client.last_attempts}",
+                file=sys.stderr,
+            )
+        return code
     except ServiceRequestError as exc:
         status = exc.status if exc.status is not None else "none"
         print(
             f"error: {exc}\n"
-            f"  request_id={exc.request_id} attempts={exc.attempts} status={status}",
+            f"  request_id={exc.request_id} attempts={exc.attempts} "
+            f"status={status} code={exc.code or 'none'}",
             file=sys.stderr,
         )
         if args.verbose and client.last_attempt_seconds:
@@ -790,7 +856,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         catalog = SelectivityCatalog.from_graph(
             graph,
             args.max_length,
-            workers=args.workers,
+            workers=args.build_workers,
             backend=args.backend,
             storage=args.storage,
         )

@@ -14,11 +14,18 @@ Three artifact kinds are cached, each in its own file under one directory:
 * ``positions-<key>.npy`` — the domain-position table used by the batched
   hot path (the permutation mapping enumeration order to ordering order).
 
-Large catalogs additionally get an *uncompressed* ``catalog-<key>.npy``
-sibling holding just the frequency vector, so domains past ``|L|^6`` can be
-served through ``np.load(mmap_mode="r")`` without materialising the whole
-vector in memory (``load_catalog(..., mmap=True)``; metadata still comes from
-the ``.npz``, whose members are decompressed lazily per array).
+Large catalogs additionally get an *uncompressed* mmap sidecar next to the
+``.npz``: a ``catalog-<key>.npy`` sibling holding the frequency vector for
+dense-storage catalogs, or a ``catalog-<key>.nzi.npy`` /
+``catalog-<key>.nzv.npy`` pair holding the sorted nonzero indices and their
+counts for sparse-storage ones.  Either lets domains past ``|L|^6`` be served
+through ``np.load(mmap_mode="r")`` without materialising the arrays in
+memory (``load_catalog(..., mmap=True)``; metadata still comes from the
+``.npz``, whose members are decompressed lazily per array), and — because the
+pages are read-only file cache — lets N forked serving workers share one
+physical copy of the catalog.  A missing or stale sidecar (older than its
+``.npz``, truncated, or shape-mismatched) silently falls back to the regular
+in-memory ``.npz`` load.
 
 Artifacts that fail to load (truncated archive, flipped bits, wrong shape)
 surface as :class:`~repro.exceptions.EngineError`; the session reacts by
@@ -122,6 +129,22 @@ class ArtifactCache:
         """File path of the uncompressed frequency-vector sidecar for ``key``."""
         return self._root / f"catalog-{key}.npy"
 
+    def sparse_indices_path(self, key: str) -> Path:
+        """File path of the uncompressed sparse nonzero-index sidecar."""
+        return self._root / f"catalog-{key}.nzi.npy"
+
+    def sparse_values_path(self, key: str) -> Path:
+        """File path of the uncompressed sparse nonzero-count sidecar."""
+        return self._root / f"catalog-{key}.nzv.npy"
+
+    def _sidecar_paths(self, key: str) -> tuple[Path, Path, Path]:
+        """Every mmap sidecar path ``key`` can carry (dense + sparse pair)."""
+        return (
+            self.mmap_catalog_path(key),
+            self.sparse_indices_path(key),
+            self.sparse_values_path(key),
+        )
+
     def histogram_path(self, key: str) -> Path:
         """File path of the histogram artifact for ``key``."""
         return self._root / f"histogram-{key}.json"
@@ -144,12 +167,15 @@ class ArtifactCache:
         without the ``catalog_format`` field, so their keys differ), else
         under ``key`` itself.
 
-        ``mmap=True`` asks for a memory-mapped catalog: when the uncompressed
-        ``.npy`` sidecar exists, the frequency vector is opened with
-        ``np.load(mmap_mode="r")`` (read-only pages faulted in on demand) and
-        only the small metadata members of the ``.npz`` are decompressed.
-        Without a sidecar the request silently falls back to the regular
-        in-memory load, so callers can always pass their preference.
+        ``mmap=True`` asks for a memory-mapped catalog: when the matching
+        uncompressed sidecar exists — the ``.npy`` frequency vector for a
+        dense archive, the ``.nzi.npy``/``.nzv.npy`` nonzero pair for a
+        sparse one — the arrays are opened with ``np.load(mmap_mode="r")``
+        (read-only pages faulted in on demand) and only the small metadata
+        members of the ``.npz`` are decompressed.  Without a usable sidecar
+        (missing, stale, or shape-mismatched) the request silently falls
+        back to the regular in-memory load, so callers can always pass
+        their preference.
         """
         faults.fire("cache.load_catalog", key=key)
         path = self.catalog_path(key)
@@ -163,10 +189,8 @@ class ArtifactCache:
                 return None
             path = legacy
         try:
-            sidecar = self.mmap_catalog_path(key)
-            if mmap and path == self.catalog_path(key) and sidecar.exists():
-                catalog = self._load_catalog_mmap(path, sidecar)
-                self._touch(sidecar)
+            if mmap and path == self.catalog_path(key):
+                catalog = self._load_catalog_mmap(key, path)
             else:
                 catalog = SelectivityCatalog.load(path)
         except (
@@ -184,6 +208,11 @@ class ArtifactCache:
         self.hits += 1
         _CACHE_HITS.inc(kind="catalog")
         self._touch(path)
+        # Sidecars share the npz's recency so LRU pruning never splits the
+        # pair from its archive (a later mmap load would then go stale).
+        for sidecar in self._sidecar_paths(key):
+            if sidecar.exists():
+                self._touch(sidecar)
         return catalog
 
     @staticmethod
@@ -198,22 +227,74 @@ class ArtifactCache:
         error.artifact_path = path
         return error
 
-    @staticmethod
-    def _load_catalog_mmap(npz_path: Path, sidecar: Path) -> SelectivityCatalog:
-        """Catalog with metadata from ``npz_path`` and a mmap'd vector."""
+    def _load_catalog_mmap(self, key: str, npz_path: Path) -> SelectivityCatalog:
+        """Catalog with metadata from ``npz_path`` and mmap'd arrays.
+
+        Dense archives adopt the ``.npy`` frequency-vector sidecar; sparse
+        archives adopt the ``.nzi.npy``/``.nzv.npy`` nonzero pair.  A
+        *missing or stale* sidecar falls back silently to the regular
+        in-memory ``.npz`` load (it simply is not there to use — a deleted
+        sidecar never takes a key down).  A *fresh but unreadable or
+        mis-shaped* one is damage: the raised error flows through
+        :meth:`load_catalog`'s corrupt-artifact path, so the session
+        quarantines the family and rebuilds, exactly like a damaged
+        archive.
+        """
         with np.load(npz_path, allow_pickle=False) as archive:
-            if "explicit" in archive.files or "nz_indices" in archive.files:
-                # Pruned-mapping masks and sparse-storage archives are not
-                # modelled by the mmap path; both are small by construction
-                # (O(stored paths) on disk), so load them normally.
+            if "explicit" in archive.files:
+                # Pruned-mapping masks are not modelled by the mmap path;
+                # they are small by construction, so load them normally.
                 return SelectivityCatalog.load(npz_path)
+            sparse = "nz_indices" in archive.files
             labels = [str(label) for label in archive["labels"]]
             max_length = int(archive["max_length"])
             graph_name = str(archive["graph_name"])
+        if sparse:
+            indices_path = self.sparse_indices_path(key)
+            values_path = self.sparse_values_path(key)
+            if not self._sidecar_fresh(npz_path, indices_path, values_path):
+                return SelectivityCatalog.load(npz_path)
+            indices = np.load(indices_path, mmap_mode="r", allow_pickle=False)
+            values = np.load(values_path, mmap_mode="r", allow_pickle=False)
+            if (
+                indices.dtype != np.int64
+                or values.dtype != np.int64
+                or indices.ndim != 1
+                or indices.shape != values.shape
+            ):
+                raise ValueError(
+                    f"sparse sidecar shape/dtype mismatch for {key}: "
+                    f"{indices.dtype}{indices.shape} vs {values.dtype}{values.shape}"
+                )
+            return SelectivityCatalog.from_nonzeros(
+                labels,
+                max_length,
+                indices,
+                values,
+                graph_name=graph_name,
+                copy=False,
+            )
+        sidecar = self.mmap_catalog_path(key)
+        if not self._sidecar_fresh(npz_path, sidecar):
+            return SelectivityCatalog.load(npz_path)
         frequencies = np.load(sidecar, mmap_mode="r", allow_pickle=False)
         return SelectivityCatalog.from_frequencies(
             labels, max_length, frequencies, graph_name=graph_name, copy=False
         )
+
+    @staticmethod
+    def _sidecar_fresh(npz_path: Path, *sidecars: Path) -> bool:
+        """Whether every sidecar exists and is no older than its archive.
+
+        ``store_catalog`` writes sidecars after the ``.npz`` and loads touch
+        the whole family together, so a sidecar left behind by an *earlier*
+        store (the archive was since rewritten without one) reads as stale.
+        """
+        try:
+            npz_mtime = npz_path.stat().st_mtime
+            return all(path.stat().st_mtime >= npz_mtime for path in sidecars)
+        except OSError:
+            return False
 
     def _temp_path(self, final: Path, suffix: str = ".tmp") -> Path:
         """A unique temp path next to ``final`` (safe under concurrent writers)."""
@@ -241,11 +322,16 @@ class ArtifactCache:
     ) -> Path:
         """Persist ``catalog`` under ``key`` (atomic, ``.npz``); returns the path.
 
-        ``mmap_sidecar`` controls the uncompressed ``.npy`` frequency-vector
-        sibling that :meth:`load_catalog` needs for ``mmap=True``: ``True``
-        forces it, ``False`` suppresses it, and ``None`` (default) writes it
+        ``mmap_sidecar`` controls the uncompressed sidecar(s) that
+        :meth:`load_catalog` needs for ``mmap=True`` — the ``.npy``
+        frequency vector for dense storage, the ``.nzi.npy``/``.nzv.npy``
+        nonzero pair for sparse storage.  ``True`` forces the sidecar,
+        ``False`` suppresses it, and ``None`` (default) writes it
         automatically for domains at or past ``|L|^6`` — the scale where
-        holding the decompressed vector in every process stops being free.
+        holding a private decompressed copy in every process stops being
+        free.  Sidecars are written *after* the ``.npz`` so the freshness
+        check in :meth:`load_catalog` holds; a store that suppresses the
+        sidecar leaves any older one behind as stale rather than trusted.
         """
         path = self.catalog_path(key)
         temp = self._temp_path(path)
@@ -255,18 +341,29 @@ class ArtifactCache:
             mmap_sidecar = (
                 catalog.domain_size >= len(catalog.labels) ** _MMAP_SIDECAR_POWER
             )
-        if mmap_sidecar and (not catalog.is_dense or catalog.storage != "dense"):
-            # _load_catalog_mmap cannot model the explicit-path mask, and a
-            # sparse-storage catalog is already O(nnz) resident — writing
-            # (and faulting in) a dense O(|Lk|) sidecar for it would defeat
-            # the representation; both fall back, so a sidecar would be
-            # dead weight on disk.
+        if mmap_sidecar and not catalog.is_dense:
+            # _load_catalog_mmap cannot model the explicit-path mask; it
+            # falls back, so a sidecar would be dead weight on disk.
+            mmap_sidecar = False
+        if mmap_sidecar and catalog.storage == "sparse" and catalog.nnz == 0:
+            # A zero-length array cannot be memory-mapped; the npz load of
+            # an empty catalog is trivially cheap anyway.
             mmap_sidecar = False
         if mmap_sidecar:
-            sidecar = self.mmap_catalog_path(key)
-            temp = self._temp_path(sidecar, suffix=".tmp.npy")
-            np.save(temp, catalog.frequency_vector(), allow_pickle=False)
-            os.replace(temp, sidecar)
+            if catalog.storage == "sparse":
+                nz_indices, nz_values = catalog.nonzero_arrays()
+                for target, array in (
+                    (self.sparse_indices_path(key), nz_indices),
+                    (self.sparse_values_path(key), nz_values),
+                ):
+                    temp = self._temp_path(target, suffix=".tmp.npy")
+                    np.save(temp, np.asarray(array), allow_pickle=False)
+                    os.replace(temp, target)
+            else:
+                sidecar = self.mmap_catalog_path(key)
+                temp = self._temp_path(sidecar, suffix=".tmp.npy")
+                np.save(temp, catalog.frequency_vector(), allow_pickle=False)
+                os.replace(temp, sidecar)
         return path
 
     # ------------------------------------------------------------------
@@ -341,7 +438,7 @@ class ArtifactCache:
         if kind == "catalog":
             candidates = (
                 self.catalog_path(key),
-                self.mmap_catalog_path(key),
+                *self._sidecar_paths(key),
                 self.legacy_catalog_path(key),
             )
         elif kind == "histogram":
@@ -411,7 +508,7 @@ class ArtifactCache:
         removed = 0
         for path in (
             self.catalog_path(key),
-            self.mmap_catalog_path(key),
+            *self._sidecar_paths(key),
             self.legacy_catalog_path(key),
             self.histogram_path(key),
             self.positions_path(key),

@@ -88,6 +88,26 @@ class EngineConfig:
                 f"{CATALOG_STORAGE_MODES}"
             )
 
+    @classmethod
+    def from_args(cls, args: object, **overrides: object) -> "EngineConfig":
+        """Build a config from a parsed CLI namespace.
+
+        Reads the shared flag block (``-k/--max-length``, ``--ordering``,
+        ``--histogram``, ``--buckets``, ``--storage``) that
+        :func:`repro.cli.add_engine_options` installs on every engine-facing
+        subcommand, falling back to the dataclass defaults for any flag the
+        surface does not carry.  ``overrides`` win over both.
+        """
+        values = {
+            "max_length": getattr(args, "max_length", cls.max_length),
+            "ordering": getattr(args, "ordering", cls.ordering),
+            "histogram_kind": getattr(args, "histogram", cls.histogram_kind),
+            "bucket_count": getattr(args, "buckets", cls.bucket_count),
+            "storage": getattr(args, "storage", cls.storage),
+        }
+        values.update(overrides)
+        return cls(**values)  # type: ignore[arg-type]
+
     def catalog_fields(self) -> dict[str, object]:
         """The config fields the catalog artifact depends on.
 
@@ -463,9 +483,7 @@ class EstimationSession:
         stats.domain_size = ordering.size
         stats.extra["catalog_storage"] = catalog.storage
         stats.extra["catalog_nnz"] = catalog.nnz
-        if catalog.storage == "dense" and isinstance(
-            catalog.frequency_vector(), np.memmap
-        ):
+        if catalog.mmap_backed:
             stats.extra["catalog_mmap"] = True
         session = cls(
             catalog,

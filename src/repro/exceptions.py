@@ -231,9 +231,12 @@ class ServiceRequestError(ServingError):
     status code (``None`` for connection errors and client-side deadline
     exhaustion), ``retry_after`` the server's parsed ``Retry-After`` hint in
     seconds when one was sent (429/503 responses), ``attempts`` how many
-    attempts were made before giving up, and ``request_id`` the
-    ``X-Request-Id`` the client sent, for correlation with server-side
-    traces and logs.
+    attempts were made before giving up, ``request_id`` the ``X-Request-Id``
+    the client sent, for correlation with server-side traces and logs, and
+    ``code`` / ``envelope`` the machine-readable error code and the full
+    parsed v1 error envelope (``{"error", "code", "retry_after",
+    "request_id"}``) from the server's last non-2xx response, when one was
+    received.
     """
 
     def __init__(
@@ -244,9 +247,13 @@ class ServiceRequestError(ServingError):
         retry_after: float | None = None,
         attempts: int = 1,
         request_id: str | None = None,
+        code: str | None = None,
+        envelope: dict | None = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
         self.attempts = attempts
         self.request_id = request_id
+        self.code = code
+        self.envelope = envelope

@@ -215,6 +215,28 @@ class SelectivityCatalog:
     def _init_from_nonzeros(
         self, indices: np.ndarray, values: np.ndarray, *, storage: str
     ) -> None:
+        if (
+            storage != "dense"
+            and isinstance(indices, np.memmap)
+            and isinstance(values, np.memmap)
+            and indices.dtype == np.int64
+            and values.dtype == np.int64
+            and indices.ndim == 1
+            and indices.shape == values.shape
+            and indices.flags["C_CONTIGUOUS"]
+            and values.flags["C_CONTIGUOUS"]
+        ):
+            # Memory-mapped nonzero pairs are adopted as-is, mirroring the
+            # dense memmap branch of ``_init_from_vector``: converting would
+            # materialise (or silently strip) the memmap, and the
+            # monotonicity/range scans would fault in every page of a
+            # sidecar this library wrote and validated itself.
+            self._nz_indices = indices
+            self._nz_values = values
+            self._nz_indices.setflags(write=False)
+            self._nz_values.setflags(write=False)
+            self._storage = "sparse"
+            return
         indices = np.ascontiguousarray(indices, dtype=np.int64)
         values = np.ascontiguousarray(values, dtype=np.int64)
         if indices.ndim != 1 or indices.shape != values.shape:
@@ -593,6 +615,22 @@ class SelectivityCatalog:
         return self._storage
 
     @property
+    def mmap_backed(self) -> bool:
+        """Whether the stored representation lives in memory-mapped files.
+
+        ``True`` when the dense frequency vector, or both sparse nonzero
+        arrays, are :class:`numpy.memmap` instances — the state
+        ``ArtifactCache.load_catalog(mmap=True)`` produces from an
+        uncompressed sidecar.  Memmap-backed catalogs charge 0 in
+        :meth:`memory_bytes` and share pages across forked workers.
+        """
+        if self._storage == "sparse":
+            return isinstance(self._nz_indices, np.memmap) and isinstance(
+                self._nz_values, np.memmap
+            )
+        return isinstance(self._frequencies, np.memmap)
+
+    @property
     def is_dense(self) -> bool:
         """Whether every domain path has a stored (possibly implicit) value.
 
@@ -619,12 +657,16 @@ class SelectivityCatalog:
         """Resident bytes of the stored representation.
 
         O(nnz) for sparse storage (indices + counts), O(|Lk|) for dense —
-        except memory-mapped vectors, which charge 0 (their pages are
-        reclaimable file cache).  This is the number the serving layer's
-        byte-budget eviction charges per catalog.
+        except memory-mapped arrays, which charge 0 (their pages are
+        reclaimable file cache, shared across forked workers).  This is the
+        number the serving layer's byte-budget eviction charges per catalog.
         """
         if self._storage == "sparse":
-            return int(self._nz_indices.nbytes + self._nz_values.nbytes)
+            return sum(
+                int(array.nbytes)
+                for array in (self._nz_indices, self._nz_values)
+                if not isinstance(array, np.memmap)
+            )
         if isinstance(self._frequencies, np.memmap):
             return 0
         total = int(self._frequencies.nbytes)

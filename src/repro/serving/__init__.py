@@ -16,19 +16,27 @@ into a multi-graph, multi-client serving layer:
   (``await estimate / estimate_many / warm / evict``);
 * :mod:`repro.serving.http` / :mod:`repro.serving.client` are a stdlib JSON
   HTTP endpoint and client, drivable end-to-end via ``repro serve`` and
-  ``repro client`` with no dependencies beyond the standard library.
+  ``repro client`` with no dependencies beyond the standard library.  The
+  HTTP API is versioned under ``/v1/`` (see ``docs/API.md``);
+* :class:`~repro.serving.prefork.PreforkServer` scales the endpoint across
+  CPU cores: one parent forks N workers sharing the listening socket, each
+  running the full handler/scheduler stack against read-only memory-mapped
+  catalog artifacts (``repro serve --workers N``).
 """
 
 from repro.serving.client import ServiceClient
-from repro.serving.http import EstimationHTTPServer, make_server
+from repro.serving.http import API_PREFIX, EstimationHTTPServer, make_server
+from repro.serving.prefork import PreforkServer
 from repro.serving.registry import RegistryStats, SessionRegistry
 from repro.serving.scheduler import EstimateScheduler, ServiceStats
 from repro.serving.service import EstimationService
 
 __all__ = [
+    "API_PREFIX",
     "EstimateScheduler",
     "EstimationHTTPServer",
     "EstimationService",
+    "PreforkServer",
     "RegistryStats",
     "ServiceClient",
     "ServiceStats",

@@ -2,7 +2,9 @@
 
 Wraps :mod:`urllib.request` so the CLI (``repro client``), the CI smoke
 test and the benchmarks can drive a running ``repro serve`` without any
-HTTP dependency.  Every method returns the decoded JSON document.
+HTTP dependency.  Every method returns the decoded JSON document.  API
+methods speak the versioned ``/v1/`` routes; only the operational probes
+(``/healthz``) stay unversioned, matching the server.
 
 Transient failures — 429 (per-graph admission), 503 (backpressure, open
 circuit, closing), 504 (batch deadline) and connection errors — are retried
@@ -13,7 +15,9 @@ attempt sequence: per-attempt timeouts shrink to the remaining budget and
 the client gives up early rather than schedule a pause it cannot afford.
 Exhausted retries and non-retryable statuses raise
 :class:`~repro.exceptions.ServiceRequestError` carrying the final status,
-the server's retry hint, the attempt count and the request id.
+the server's retry hint, the attempt count, the request id, and — when the
+server answered with the v1 error envelope — its machine-readable ``code``
+and the full parsed ``envelope`` document.
 
 Every logical call carries a fresh ``X-Request-Id`` (a uuid4 hex) that the
 server echoes into its spans, JSON logs and ``/traces`` buffer, so one
@@ -35,6 +39,7 @@ from typing import Optional, Sequence
 
 from repro.exceptions import ServiceRequestError
 from repro.obs.tracing import new_request_id
+from repro.serving.http import API_PREFIX
 
 __all__ = ["ServiceClient"]
 
@@ -175,9 +180,14 @@ class ServiceClient:
             except urllib.error.HTTPError as exc:
                 self.last_attempt_seconds.append(time.perf_counter() - attempt_started)
                 retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
+                envelope: Optional[dict] = None
+                code: Optional[str] = None
                 try:
                     document = json.loads(exc.read().decode("utf-8"))
                     message = str(document.get("error", exc))
+                    if isinstance(document, dict):
+                        envelope = document
+                        code = document.get("code")
                 except (ValueError, UnicodeDecodeError):
                     message = str(exc)
                 error = ServiceRequestError(
@@ -186,6 +196,8 @@ class ServiceClient:
                     retry_after=retry_after,
                     attempts=attempt,
                     request_id=request_id,
+                    code=code,
+                    envelope=envelope,
                 )
                 self._narrate(
                     f"{route} HTTP {exc.code} request_id={request_id} "
@@ -245,11 +257,11 @@ class ServiceClient:
 
     def stats(self) -> dict:
         """Scheduler + registry counters."""
-        return self._request("/stats")
+        return self._request(f"{API_PREFIX}/stats")
 
     def graphs(self) -> list[dict]:
         """One row per registered graph."""
-        return self._request("/graphs")["graphs"]
+        return self._request(f"{API_PREFIX}/graphs")["graphs"]
 
     def estimate(
         self,
@@ -264,7 +276,7 @@ class ServiceClient:
         pause included — overriding the client-wide default.
         """
         document = self._request(
-            "/estimate",
+            f"{API_PREFIX}/estimate",
             {"graph": graph, "paths": list(paths)},
             deadline_seconds=deadline_seconds,
         )
@@ -272,11 +284,13 @@ class ServiceClient:
 
     def warm(self, graph: str) -> dict:
         """Build ``graph``'s session now; returns the build stats row."""
-        return self._request("/warm", {"graph": graph})["stats"]
+        return self._request(f"{API_PREFIX}/warm", {"graph": graph})["stats"]
 
     def evict(self, graph: str) -> bool:
         """Drop ``graph``'s built session; returns whether one was resident."""
-        return bool(self._request("/evict", {"graph": graph})["evicted"])
+        return bool(
+            self._request(f"{API_PREFIX}/evict", {"graph": graph})["evicted"]
+        )
 
     def update(
         self,
@@ -293,7 +307,7 @@ class ServiceClient:
         ``deadline_seconds`` caps the call like in :meth:`estimate`.
         """
         return self._request(
-            "/update",
+            f"{API_PREFIX}/update",
             {"graph": graph, "add": [list(t) for t in add], "remove": [list(t) for t in remove]},
             deadline_seconds=deadline_seconds,
         )

@@ -9,17 +9,27 @@ over the same core as the asyncio :class:`~repro.serving.service.EstimationServi
 
 Routes
 ------
-``GET  /healthz``   liveness + registered graph names (+ drain flag)
-``GET  /readyz``    readiness checks — 503 once draining or worker dead
-``GET  /metrics``   Prometheus text exposition of the metrics registry
-``GET  /traces``    slowest + most recent finished request traces
-``GET  /stats``     scheduler + registry counters (JSON)
-``GET  /graphs``    one row per registered graph (built?, domain, config)
-``POST /estimate``  ``{"graph": g, "paths": [...]}`` (or ``"path": "1/2"``)
-``POST /warm``      ``{"graph": g}`` — build now, return build stats
-``POST /evict``     ``{"graph": g}`` — drop the built session from memory
-``POST /update``    ``{"graph": g, "add": [[s,l,t],...], "remove": [...]}`` —
-                    apply an edge delta and swap the session incrementally
+The API surface is versioned under ``/v1/`` (see ``docs/API.md``); the
+operational probes stay unversioned:
+
+``GET  /healthz``       liveness + registered graph names (+ drain flag)
+``GET  /readyz``        readiness checks — 503 once draining or worker dead
+``GET  /metrics``       Prometheus text exposition of the metrics registry
+``GET  /traces``        slowest + most recent finished request traces
+``GET  /v1/stats``      scheduler + registry counters (JSON)
+``GET  /v1/graphs``     one row per registered graph (built?, domain, config)
+``POST /v1/estimate``   ``{"graph": g, "paths": [...]}`` (or ``"path": "1/2"``)
+``POST /v1/warm``       ``{"graph": g}`` — build now, return build stats
+``POST /v1/evict``      ``{"graph": g}`` — drop the built session from memory
+``POST /v1/update``     ``{"graph": g, "add": [[s,l,t],...], "remove":
+                        [...]}`` — apply an edge delta and swap the session
+
+The unversioned spellings (``/estimate``, ``/warm``, ``/evict``,
+``/update``, ``/stats``, ``/graphs``) remain as **deprecated aliases for
+one release**: they answer identically, carry a ``Deprecation: true``
+response header, and are counted in
+``repro_http_deprecated_requests_total`` so operators can watch the
+migration before the aliases are dropped.
 
 Observability
 -------------
@@ -33,17 +43,26 @@ Request counts and latency feed ``repro_http_requests_total`` /
 
 Error mapping
 -------------
+Every non-2xx response carries one uniform JSON envelope::
+
+    {"error": <human message>, "code": <machine code>,
+     "retry_after": <seconds or null>, "request_id": <echoed/minted id>}
+
 ==========================================  ==============================
-condition                                   response
+condition                                   response (``code``)
 ==========================================  ==============================
-unknown graph                               404
-bad request / path / delta                  400
-body over ``max_body_bytes``                413
+unknown graph                               404 (``unknown_graph``)
+unknown route                               404 (``not_found``)
+bad request / path / delta                  400 (``bad_request``)
+body over ``max_body_bytes``                413 (``body_too_large``)
 per-graph admission budget hit              429 + ``Retry-After``
-global queue full (backpressure)            503 + ``Retry-After``
-circuit open for the graph                  503 + ``Retry-After`` (circuit)
-scheduler crashed mid-flight / closing      503 + ``Retry-After``
-batch timeout                               504
+                                            (``graph_overloaded``)
+circuit open for the graph                  503 + ``Retry-After``
+                                            (``circuit_open``)
+global queue full / closing / crashed       503 + ``Retry-After``
+                                            (``unavailable``)
+batch timeout                               504 (``timeout``)
+unexpected handler fault                    500 (``internal``)
 ==========================================  ==============================
 
 429 means *this graph* is over its admission budget — other graphs are
@@ -63,6 +82,7 @@ queue, give in-flight handlers a bounded window to answer, then close.
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from contextlib import contextmanager
@@ -94,25 +114,41 @@ from repro.obs.tracing import Trace, TraceStore
 from repro.serving.registry import SessionRegistry
 from repro.serving.scheduler import EstimateScheduler, ServiceStats
 
-__all__ = ["EstimationHTTPServer", "make_server"]
+__all__ = ["API_PREFIX", "EstimationHTTPServer", "make_server"]
 
-#: Routes whose names may appear as a metric label; anything else is
-#: collapsed into ``other`` so a URL-scanning client cannot explode the
-#: label cardinality.
+#: The versioned prefix of the API surface; ``/v1/estimate`` and the
+#: deprecated alias ``/estimate`` dispatch identically.
+API_PREFIX = "/v1"
+
+#: The API routes that live under :data:`API_PREFIX` (and, for one release,
+#: as unversioned deprecated aliases).
+_API_ROUTES = frozenset(
+    {"/stats", "/graphs", "/estimate", "/warm", "/evict", "/update"}
+)
+
+#: Routes whose (normalized, unversioned) names may appear as a metric
+#: label; anything else is collapsed into ``other`` so a URL-scanning
+#: client cannot explode the label cardinality.
 _KNOWN_ROUTES = frozenset(
     {
         "/healthz",
         "/readyz",
         "/metrics",
         "/traces",
-        "/stats",
-        "/graphs",
-        "/estimate",
-        "/warm",
-        "/evict",
-        "/update",
     }
-)
+) | _API_ROUTES
+
+#: Default machine-readable envelope code per status, for call sites that
+#: do not name a more specific one.
+_DEFAULT_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    413: "body_too_large",
+    429: "graph_overloaded",
+    500: "internal",
+    503: "unavailable",
+    504: "timeout",
+}
 
 #: Observability endpoints are not themselves recorded as traces — a
 #: scraper polling ``/metrics`` every second would crowd real requests
@@ -143,6 +179,7 @@ class EstimationHTTPServer(ThreadingHTTPServer):
         metrics: Optional[MetricsRegistry] = None,
         traces: Optional[TraceStore] = None,
         health: Optional[HealthState] = None,
+        inherited_socket: Optional[socket.socket] = None,
     ) -> None:
         self.registry = registry
         self.scheduler = scheduler
@@ -171,12 +208,38 @@ class EstimationHTTPServer(ThreadingHTTPServer):
             labelnames=("route",),
             registry=self.metrics,
         )
-        super().__init__(address, _Handler)
+        self._http_deprecated = Counter(
+            "repro_http_deprecated_requests_total",
+            "Requests answered on a deprecated unversioned alias, by route.",
+            labelnames=("route",),
+            registry=self.metrics,
+        )
+        if inherited_socket is None:
+            super().__init__(address, _Handler)
+        else:
+            # Pre-fork worker: adopt a socket that was bound (and is already
+            # listening) before the fork instead of binding a fresh one.
+            # ``bind_and_activate=False`` still creates an unused socket
+            # object; swap it out before anything touches it.
+            super().__init__(address, _Handler, bind_and_activate=False)
+            self.socket.close()
+            self.socket = inherited_socket
+            self.server_address = inherited_socket.getsockname()
+            # ``server_bind`` never ran, so fill the handler-facing fields
+            # it would have set (skip its ``getfqdn`` reverse lookup).
+            host, port = self.server_address[:2]
+            self.server_name = host
+            self.server_port = port
+            self.server_activate()
 
     def observe_http(self, *, route: str, method: str, status: int, seconds: float) -> None:
         """Feed one answered request into the HTTP metrics."""
         self._http_requests.inc(route=route, method=method, status=status)
         self._http_seconds.observe(seconds, route=route)
+
+    def observe_deprecated(self, *, route: str) -> None:
+        """Count one request answered on a deprecated unversioned alias."""
+        self._http_deprecated.inc(route=route)
 
     def begin_drain(self) -> None:
         """Flip readiness to *unready* ahead of a graceful shutdown.
@@ -244,6 +307,7 @@ class _Handler(BaseHTTPRequestHandler):
     #: paths that bypass it (malformed request lines) safe.
     _request_id = ""
     _status = 0
+    _deprecated = False
 
     # ------------------------------------------------------------------
     # plumbing
@@ -253,6 +317,15 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
+    def _normalized_path(self) -> str:
+        """``self.path`` with the ``/v1`` prefix stripped for dispatch."""
+        path = self.path
+        if path == API_PREFIX:
+            return "/"
+        if path.startswith(API_PREFIX + "/"):
+            return path[len(API_PREFIX) :]
+        return path
+
     def _send_json(self, status: int, document: object) -> None:
         body = json.dumps(document).encode("utf-8")
         self._status = status
@@ -261,6 +334,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self._request_id:
             self.send_header("X-Request-Id", self._request_id)
+        if self._deprecated:
+            self.send_header("Deprecation", "true")
         self.end_headers()
         self.wfile.write(body)
 
@@ -276,25 +351,57 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _send_error_json(
-        self, status: int, message: str, *, retry_after: Optional[float] = None
+        self,
+        status: int,
+        message: str,
+        *,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+        extra: Optional[dict[str, object]] = None,
     ) -> None:
-        body = json.dumps(
-            {"error": message}
-            if retry_after is None
-            else {"error": message, "retry_after": retry_after}
-        ).encode("utf-8")
+        """Answer a non-2xx with the uniform v1 error envelope.
+
+        The body always carries the four envelope fields —
+        ``{"error", "code", "retry_after", "request_id"}`` — so clients can
+        branch on ``code`` without sniffing status-specific shapes;
+        ``extra`` merges additional context (e.g. the readiness checks)
+        without displacing them.
+        """
+        envelope: dict[str, object] = {
+            "error": message,
+            "code": code or _DEFAULT_CODES.get(status, "error"),
+            "retry_after": retry_after,
+            "request_id": self._request_id,
+        }
+        if extra:
+            envelope.update(extra)
+        body = json.dumps(envelope).encode("utf-8")
         self._status = status
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
         if self._request_id:
             self.send_header("X-Request-Id", self._request_id)
+        if self._deprecated:
+            self.send_header("Deprecation", "true")
         if retry_after is not None:
             # Decimal seconds: an internal convention the ServiceClient
             # parses; sub-second hints matter at micro-batching timescales.
             self.send_header("Retry-After", f"{retry_after:.3f}")
         self.end_headers()
         self.wfile.write(body)
+
+    def send_error(  # noqa: D102 - BaseHTTPRequestHandler API
+        self, code: int, message: Optional[str] = None, explain: Optional[str] = None
+    ) -> None:
+        # Protocol-level failures (malformed request line, unsupported
+        # method) otherwise answer with the stdlib HTML error page; route
+        # them through the envelope so *every* non-2xx is uniform.
+        self.close_connection = True
+        try:
+            self._send_error_json(code, message or str(explain or "request failed"))
+        except OSError:  # pragma: no cover - peer already gone
+            pass
 
     def _observe(self, method: str, route_fn: "Callable[[], None]") -> None:
         """Run one routed request under a trace, then feed the HTTP metrics.
@@ -308,7 +415,14 @@ class _Handler(BaseHTTPRequestHandler):
         rid = (self.headers.get("X-Request-Id") or "").strip()
         self._request_id = rid if rid else tracing.new_request_id()
         self._status = 0
-        route = self.path if self.path in _KNOWN_ROUTES else "other"
+        normalized = self._normalized_path()
+        # A deprecated alias is an API route spelled without the version
+        # prefix; responses carry ``Deprecation: true`` and the usage is
+        # counted so operators can watch the migration.
+        self._deprecated = normalized in _API_ROUTES and normalized == self.path
+        route = normalized if normalized in _KNOWN_ROUTES else "other"
+        if self._deprecated:
+            self.server.observe_deprecated(route=route)
         traced = tracing.tracing_enabled()
         trace = Trace(self._request_id, route=f"{method} {self.path}") if traced else None
         started = time.perf_counter()
@@ -325,7 +439,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
             if trace is not None:
                 trace.finish(self._status if self._status else None)
-                if self.path not in _UNTRACED_ROUTES:
+                if normalized not in _UNTRACED_ROUTES:
                     self.server.traces.record(trace)
                     tracing.emit_trace(trace)
 
@@ -373,7 +487,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._observe("GET", self._route_get)
 
     def _route_get(self) -> None:
-        if self.path == "/healthz":
+        route = self._normalized_path()
+        if route == "/healthz":
             draining = self.server.health.draining
             self._send_json(
                 200,
@@ -383,18 +498,26 @@ class _Handler(BaseHTTPRequestHandler):
                     "graphs": list(self.server.registry.names()),
                 },
             )
-        elif self.path == "/readyz":
+        elif route == "/readyz":
             ready, _ = self.server.health.readiness()
-            self._send_json(200 if ready else 503, self.server.health.as_row())
-        elif self.path == "/metrics":
+            if ready:
+                self._send_json(200, self.server.health.as_row())
+            else:
+                self._send_error_json(
+                    503,
+                    "not ready",
+                    code="not_ready",
+                    extra=self.server.health.as_row(),
+                )
+        elif route == "/metrics":
             self._send_text(
                 200,
                 self.server.metrics.render(),
                 "text/plain; version=0.0.4; charset=utf-8",
             )
-        elif self.path == "/traces":
+        elif route == "/traces":
             self._send_json(200, self.server.traces.snapshot())
-        elif self.path == "/stats":
+        elif route == "/stats":
             self._send_json(
                 200,
                 {
@@ -402,10 +525,12 @@ class _Handler(BaseHTTPRequestHandler):
                     "registry": self.server.registry.as_row(),
                 },
             )
-        elif self.path == "/graphs":
+        elif route == "/graphs":
             self._send_json(200, {"graphs": self.server.registry.describe()})
         else:
-            self._send_error_json(404, f"no such route: {self.path}")
+            self._send_error_json(
+                404, f"no such route: {self.path}", code="not_found"
+            )
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         """Route POST requests: ``/estimate``, ``/warm``, ``/evict``, ...."""
@@ -416,16 +541,19 @@ class _Handler(BaseHTTPRequestHandler):
         document = self._read_json()
         if document is None:
             return
-        if self.path == "/estimate":
+        route = self._normalized_path()
+        if route == "/estimate":
             self._handle_estimate(document)
-        elif self.path == "/warm":
+        elif route == "/warm":
             self._handle_warm(document)
-        elif self.path == "/evict":
+        elif route == "/evict":
             self._handle_evict(document)
-        elif self.path == "/update":
+        elif route == "/update":
             self._handle_update(document)
         else:
-            self._send_error_json(404, f"no such route: {self.path}")
+            self._send_error_json(
+                404, f"no such route: {self.path}", code="not_found"
+            )
 
     def _handle_estimate(self, document: dict[str, object]) -> None:
         graph = self._graph_name(document)
@@ -450,33 +578,43 @@ class _Handler(BaseHTTPRequestHandler):
             # This graph is over its own admission budget while the rest of
             # the service still has room: 429, not 503.
             self._send_error_json(
-                429, str(exc), retry_after=self.server.retry_after_seconds
+                429,
+                str(exc),
+                code="graph_overloaded",
+                retry_after=self.server.retry_after_seconds,
             )
             return
         except CircuitOpenError as exc:
-            self._send_error_json(503, str(exc), retry_after=exc.retry_after)
+            self._send_error_json(
+                503, str(exc), code="circuit_open", retry_after=exc.retry_after
+            )
             return
         except (ServiceOverloadedError, ServiceClosedError, SchedulerCrashError) as exc:
             # All transient server-side conditions: tell the client to
             # retry elsewhere/later, don't blame the request.
             self._send_error_json(
-                503, str(exc), retry_after=self.server.retry_after_seconds
+                503,
+                str(exc),
+                code="unavailable",
+                retry_after=self.server.retry_after_seconds,
             )
             return
         except UnknownGraphError as exc:
-            self._send_error_json(404, str(exc))
+            self._send_error_json(404, str(exc), code="unknown_graph")
             return
         except FutureTimeoutError:
             self._send_error_json(
-                504, f"estimate timed out after {self.server.request_timeout}s"
+                504,
+                f"estimate timed out after {self.server.request_timeout}s",
+                code="timeout",
             )
             return
         except ReproError as exc:
-            self._send_error_json(400, str(exc))
+            self._send_error_json(400, str(exc), code="bad_request")
             return
         except KeyError as exc:
             # Unknown labels surface as KeyError subclasses from the engine.
-            self._send_error_json(400, str(exc))
+            self._send_error_json(400, str(exc), code="bad_request")
             return
         except Exception as exc:  # noqa: BLE001 - last-resort fault barrier
             # Anything unexpected must still produce a response: a dropped
@@ -496,13 +634,15 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             session = self.server.registry.get(graph)
         except UnknownGraphError as exc:
-            self._send_error_json(404, str(exc))
+            self._send_error_json(404, str(exc), code="unknown_graph")
             return
         except CircuitOpenError as exc:
-            self._send_error_json(503, str(exc), retry_after=exc.retry_after)
+            self._send_error_json(
+                503, str(exc), code="circuit_open", retry_after=exc.retry_after
+            )
             return
         except ReproError as exc:
-            self._send_error_json(400, str(exc))
+            self._send_error_json(400, str(exc), code="bad_request")
             return
         self._send_json(200, {"graph": graph, "stats": session.stats.as_row()})
 
@@ -521,10 +661,10 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             row = self.server.registry.update_graph(graph, delta)
         except UnknownGraphError as exc:
-            self._send_error_json(404, str(exc))
+            self._send_error_json(404, str(exc), code="unknown_graph")
             return
         except ReproError as exc:
-            self._send_error_json(400, str(exc))
+            self._send_error_json(400, str(exc), code="bad_request")
             return
         self._send_json(200, row)
 
@@ -535,7 +675,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             evicted = self.server.registry.evict(graph)
         except UnknownGraphError as exc:
-            self._send_error_json(404, str(exc))
+            self._send_error_json(404, str(exc), code="unknown_graph")
             return
         self._send_json(200, {"graph": graph, "evicted": evicted})
 
@@ -558,12 +698,15 @@ def make_server(
     metrics: Optional[MetricsRegistry] = None,
     traces: Optional[TraceStore] = None,
     health: Optional[HealthState] = None,
+    inherited_socket: Optional[socket.socket] = None,
 ) -> EstimationHTTPServer:
     """Build a ready-to-run server (call ``serve_forever`` / ``close``).
 
     The scheduler is created here so the CLI and tests share one
     construction path; pass ``port=0`` to bind an ephemeral port (read it
-    back from ``server.server_address``).
+    back from ``server.server_address``).  Pre-fork workers pass
+    ``inherited_socket`` — a socket bound and listening before the fork —
+    and the server adopts it instead of binding ``host:port`` itself.
     """
     if request_timeout <= 0:
         raise ServingError("request_timeout must be > 0")
@@ -592,6 +735,7 @@ def make_server(
             metrics=metrics,
             traces=traces,
             health=health,
+            inherited_socket=inherited_socket,
         )
     except OSError:
         scheduler.close()

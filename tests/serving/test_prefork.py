@@ -1,0 +1,188 @@
+"""The pre-fork serving tier: socket strategy, supervision, drain.
+
+The integration tests fork real worker processes (each running the full
+handler/scheduler stack) from the test process, so they are skipped on
+platforms without ``os.fork``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import EngineConfig
+from repro.exceptions import ServingError
+from repro.graph.generators import zipf_labeled_graph
+from repro.serving import ServiceClient, SessionRegistry, make_server
+from repro.serving.prefork import PreforkServer, _bind_socket
+
+CONFIG = EngineConfig(max_length=2, bucket_count=8)
+
+fork_only = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pre-fork serving requires os.fork"
+)
+
+
+def _graph():
+    return zipf_labeled_graph(30, 100, 3, skew=1.0, seed=7, name="g")
+
+
+def _registry_factory():
+    registry = SessionRegistry(default_config=CONFIG)
+    registry.register("g", graph=_graph())
+    return registry
+
+
+def _server_factory(registry, inherited_socket):
+    return make_server(
+        registry,
+        window_seconds=0.0,
+        inherited_socket=inherited_socket,
+    )
+
+
+class TestBindSocket:
+    def test_resolves_ephemeral_port(self):
+        sock = _bind_socket("127.0.0.1", 0, reuse_port=False, listen=False)
+        try:
+            host, port = sock.getsockname()[:2]
+            assert host == "127.0.0.1"
+            assert port > 0
+        finally:
+            sock.close()
+
+    def test_listen_false_socket_is_not_accepting(self):
+        sock = _bind_socket("127.0.0.1", 0, reuse_port=False, listen=False)
+        try:
+            _, port = sock.getsockname()[:2]
+            probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            probe.settimeout(2.0)
+            with pytest.raises(OSError):
+                probe.connect(("127.0.0.1", port))
+            probe.close()
+        finally:
+            sock.close()
+
+    def test_bound_port_is_claimed(self):
+        sock = _bind_socket("127.0.0.1", 0, reuse_port=False, listen=True)
+        try:
+            _, port = sock.getsockname()[:2]
+            other = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            other.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            with pytest.raises(OSError):
+                other.bind(("127.0.0.1", port))
+            other.close()
+        finally:
+            sock.close()
+
+
+class TestInheritedSocket:
+    def test_http_server_adopts_prebound_socket(self):
+        sock = _bind_socket("127.0.0.1", 0, reuse_port=False, listen=False)
+        registry = _registry_factory()
+        server = make_server(registry, window_seconds=0.0, inherited_socket=sock)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            host, port = sock.getsockname()[:2]
+            assert server.server_address[:2] == (host, port)
+            client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+            values = client.estimate("g", ["1/2", "2"])
+            expected = registry.get("g").estimate_batch(["1/2", "2"])
+            assert np.allclose(values, expected)
+        finally:
+            server.shutdown()
+            server.close()
+            thread.join(timeout=10)
+
+
+class TestValidation:
+    def test_worker_count_must_be_positive(self):
+        with pytest.raises(ServingError, match="worker_count"):
+            PreforkServer(
+                host="127.0.0.1",
+                port=0,
+                worker_count=0,
+                registry_factory=_registry_factory,
+                server_factory=_server_factory,
+            )
+
+    def test_constructor_resolves_port_before_forking(self):
+        prefork = PreforkServer(
+            host="127.0.0.1",
+            port=0,
+            worker_count=1,
+            registry_factory=_registry_factory,
+            server_factory=_server_factory,
+        )
+        try:
+            assert prefork.port > 0
+            assert prefork.address == ("127.0.0.1", prefork.port)
+        finally:
+            prefork._socket.close()
+
+
+@fork_only
+class TestSupervision:
+    @pytest.fixture()
+    def prefork(self):
+        prefork = PreforkServer(
+            host="127.0.0.1",
+            port=0,
+            worker_count=1,
+            registry_factory=_registry_factory,
+            server_factory=_server_factory,
+            backoff_seconds=0.05,
+            drain_seconds=10.0,
+        )
+        # run() is driven from a thread, so its signal.signal calls are
+        # no-ops (caught ValueError); the tests drain by flipping the flag
+        # and signalling children directly, exactly what the handler does.
+        thread = threading.Thread(target=prefork.run, daemon=True)
+        thread.start()
+        try:
+            yield prefork
+        finally:
+            prefork._draining = True
+            prefork._terminate_children()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+
+    def _wait_healthy(self, prefork, deadline_seconds=30.0):
+        client = ServiceClient(f"http://127.0.0.1:{prefork.port}", timeout=30.0)
+        deadline = time.perf_counter() + deadline_seconds
+        while True:
+            try:
+                return client, client.healthz()
+            except ServingError:
+                if time.perf_counter() > deadline:
+                    raise
+                time.sleep(0.1)
+
+    def test_worker_serves_traffic(self, prefork):
+        client, health = self._wait_healthy(prefork)
+        assert health["status"] == "ok"
+        values = client.estimate("g", ["1/2", "2", "3"])
+        assert len(values) == 3
+
+    def test_killed_worker_is_respawned(self, prefork):
+        client, _ = self._wait_healthy(prefork)
+        original = set(prefork._children)
+        assert len(original) == 1
+        os.kill(next(iter(original)), signal.SIGKILL)
+        deadline = time.perf_counter() + 30.0
+        while True:
+            replacement = set(prefork._children) - original
+            if replacement:
+                break
+            assert time.perf_counter() < deadline, "worker never respawned"
+            time.sleep(0.05)
+        client, health = self._wait_healthy(prefork)
+        assert health["status"] == "ok"
+        assert client.estimate("g", ["1/2"])

@@ -244,6 +244,86 @@ class TestServeClientParsing:
         assert "error" in capsys.readouterr().err
 
 
+class TestSharedEngineFlagBlock:
+    """``add_engine_options`` installs one flag vocabulary everywhere."""
+
+    def test_engine_surfaces_share_the_estimation_block(self):
+        parser = build_parser()
+        for argv in (
+            ["engine", "build", "g.tsv"],
+            ["serve", "--graph", "g=g.tsv"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.max_length == 3
+            assert args.ordering == "sum-based"
+            assert args.buckets == 64
+            assert args.histogram == "v-optimal"
+            assert args.storage == "auto"
+            assert args.build_workers is None
+
+    def test_catalog_carries_construction_flags_only(self):
+        args = build_parser().parse_args(
+            [
+                "catalog", "g.tsv", "-o", "c.npz",
+                "-k", "4", "--storage", "sparse", "--workers", "2",
+            ]
+        )
+        assert args.max_length == 4
+        assert args.storage == "sparse"
+        assert args.build_workers == 2
+        assert not hasattr(args, "ordering")
+        assert not hasattr(args, "buckets")
+
+    def test_serve_separates_process_and_build_workers(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--graph", "g=g.tsv",
+                "--workers", "4", "--build-workers", "2",
+            ]
+        )
+        assert args.workers == 4
+        assert args.build_workers == 2
+
+    def test_serve_rejects_zero_workers(self, capsys):
+        assert main(["serve", "--graph", "g=missing.tsv", "--workers", "0"]) == 2
+        assert "--workers must be >= 1" in capsys.readouterr().err
+
+    def test_from_args_mirrors_the_block(self):
+        from repro.engine import EngineConfig
+
+        args = build_parser().parse_args(
+            [
+                "engine", "build", "g.tsv",
+                "-k", "5", "--ordering", "sum-based",
+                "--histogram", "equi-width", "--buckets", "16",
+                "--storage", "sparse",
+            ]
+        )
+        config = EngineConfig.from_args(args)
+        assert config.max_length == 5
+        assert config.histogram_kind == "equi-width"
+        assert config.bucket_count == 16
+        assert config.storage == "sparse"
+
+    def test_from_args_overrides_win(self):
+        from repro.engine import EngineConfig
+
+        args = build_parser().parse_args(["engine", "build", "g.tsv", "-k", "5"])
+        config = EngineConfig.from_args(args, max_length=2)
+        assert config.max_length == 2
+
+    def test_from_args_falls_back_to_defaults_off_surface(self):
+        from repro.engine import EngineConfig
+
+        args = build_parser().parse_args(
+            ["catalog", "g.tsv", "-o", "c.npz", "-k", "4"]
+        )
+        config = EngineConfig.from_args(args)
+        assert config.max_length == 4
+        assert config.bucket_count == EngineConfig.bucket_count
+        assert config.ordering == EngineConfig.ordering
+
+
 class TestServeEndToEnd:
     def test_serve_and_client_round_trip(self, tmp_path, capsys):
         import threading
