@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Chaos smoke: availability of the serving stack under injected faults.
 
-Runs one in-process ``make_server`` endpoint through five fault phases
+Runs one in-process ``make_server`` endpoint through the fault phases
 driven by :mod:`repro.testing.faults`:
 
 1. **baseline** — plain traffic through a retrying client;
@@ -15,7 +15,13 @@ driven by :mod:`repro.testing.faults`:
    stall) trips its circuit; once open, requests must fast-fail in under
    :data:`FAST_FAIL_CEILING_SECONDS` instead of queueing behind the stall;
 5. **backpressure burst** — more concurrent clients than the 8-deep queue
-   admits; retries with jitter + ``Retry-After`` must absorb the burst.
+   admits; retries with jitter + ``Retry-After`` must absorb the burst;
+6. **remote artifact tier** — a live ``make_artifact_server`` store first
+   bit-flips every payload in flight (the fetch must quarantine the damage
+   and the build degrade to a cold start), then dies entirely (the
+   :class:`~repro.engine.remote.RemoteArtifactStore` breaker must open and
+   fast-fail under the same ceiling as the registry circuit, with no
+   ``.tmp`` debris left in any cache).
 
 Every request is classified: ``ok`` (answered), ``clean_unavailable``
 (429/503 carrying a retry hint, or 504), ``clean_rejected`` (4xx client
@@ -130,11 +136,14 @@ def scrape_metric(text: str, name: str, **labels: str) -> float:
 
 def run_scenario(quick: bool = False) -> dict[str, object]:
     """Run every chaos phase in-process; returns the JSON-ready report."""
-    from repro.engine import EngineConfig
+    from repro.engine import ArtifactCache, EngineConfig, EstimationSession
+    from repro.engine.remote import RemoteArtifactStore
     from repro.exceptions import EngineError, ServiceRequestError
     from repro.graph.generators import zipf_labeled_graph
+    from repro.obs.metrics import MetricsRegistry
     from repro.serving import ServiceClient, SessionRegistry, make_server
-    from repro.testing import corrupt_file, injector
+    from repro.serving.artifacts import make_artifact_server
+    from repro.testing import bitflip_bytes, corrupt_file, injector
 
     baseline_requests = 20 if quick else 40
     burst_threads = 24 if quick else 60
@@ -255,7 +264,96 @@ def run_scenario(quick: bool = False) -> dict[str, object]:
                 worker.join(timeout=60)
             report["hangs"] = sum(worker.is_alive() for worker in threads)
 
-            # Phase 6: the metrics must tell the truth about the faults.
+            # Phase 6: remote artifact tier under chaos.  A store that
+            # corrupts every payload in flight must end in quarantine
+            # (the damage is never loaded) with the build degrading to
+            # cold; a dead store must trip the client's circuit breaker
+            # and then fast-fail instead of stalling builds.
+            remote_root = Path(cache_dir)
+            artifact_server = make_artifact_server(
+                remote_root / "remote-store", port=0, metrics=MetricsRegistry()
+            )
+            remote_host, remote_port = artifact_server.server_address[:2]
+            remote_url = f"http://{remote_host}:{remote_port}"
+            artifact_thread = threading.Thread(
+                target=artifact_server.serve_forever, daemon=True
+            )
+            artifact_thread.start()
+            remote_graph = zipf_labeled_graph(
+                30, 120, 3, skew=1.0, seed=23, name="remote-g"
+            )
+            remote_config = EngineConfig(max_length=2, bucket_count=8)
+            try:
+                seed_cache = ArtifactCache(
+                    remote_root / "remote-seed",
+                    remote=RemoteArtifactStore(remote_url),
+                )
+                outcomes.record(
+                    lambda: EstimationSession.build(
+                        remote_graph, remote_config, cache_dir=seed_cache
+                    )
+                )
+                seed_cache.remote.flush(timeout=30)
+                corrupting = injector.arm(
+                    "remote.fetch", mutate=bitflip_bytes, times=-1
+                )
+                try:
+                    chaos_cache = ArtifactCache(
+                        remote_root / "remote-chaos",
+                        remote=RemoteArtifactStore(remote_url),
+                    )
+                    rebuilt = outcomes.record(
+                        lambda: EstimationSession.build(
+                            remote_graph, remote_config, cache_dir=chaos_cache
+                        )
+                    )
+                finally:
+                    injector.disarm(corrupting)
+                report["remote_quarantined"] = chaos_cache.quarantined
+                report["remote_corrupt_rebuilt"] = (
+                    rebuilt is not None
+                    and not rebuilt.stats.catalog_from_cache
+                    and chaos_cache.quarantined >= 1
+                )
+            finally:
+                artifact_server.shutdown()
+                artifact_server.server_close()
+                artifact_thread.join(timeout=15)
+
+            # The store is now dead: the build degrades to cold and the
+            # breaker opens, after which fetches fast-fail.
+            dead_store = RemoteArtifactStore(
+                remote_url, timeout=1.0, max_retries=1, backoff_seconds=0.0
+            )
+            dead_cache = ArtifactCache(
+                remote_root / "remote-dead", remote=dead_store
+            )
+            degraded = outcomes.record(
+                lambda: EstimationSession.build(
+                    remote_graph, remote_config, cache_dir=dead_cache
+                )
+            )
+            report["remote_outage_degraded"] = (
+                degraded is not None and not degraded.stats.catalog_from_cache
+            )
+            probes = 0
+            sink = remote_root / "remote-dead" / "catalog-probe.npz"
+            while not dead_store.breaker_open and probes < 10:
+                dead_store.fetch("catalog-probe.npz", sink)
+                probes += 1
+            report["remote_breaker_opened"] = dead_store.breaker_open
+            remote_fast_fails = []
+            for _ in range(FAST_FAIL_PROBES):
+                started = time.perf_counter()
+                dead_store.fetch("catalog-probe.npz", sink)
+                remote_fast_fails.append(time.perf_counter() - started)
+            report["remote_fast_fail_seconds"] = min(remote_fast_fails)
+            report["remote_tmp_debris"] = sum(
+                len(cache.temp_files())
+                for cache in (seed_cache, chaos_cache, dead_cache)
+            )
+
+            # Phase 7: the metrics must tell the truth about the faults.
             with urllib.request.urlopen(f"{url}/metrics", timeout=10) as response:
                 exposition = response.read().decode("utf-8")
             report["metrics_breaker_open_transitions"] = scrape_metric(
@@ -269,6 +367,12 @@ def run_scenario(quick: bool = False) -> dict[str, object]:
             )
             report["metrics_worker_restarts_total"] = scrape_metric(
                 exposition, "repro_scheduler_worker_restarts_total"
+            )
+            report["metrics_remote_corrupt_total"] = scrape_metric(
+                exposition, "repro_remote_fetch_total", outcome="corrupt"
+            )
+            report["metrics_remote_breaker_open_transitions"] = scrape_metric(
+                exposition, "repro_remote_breaker_transitions_total", state="open"
             )
         finally:
             injector.reset()
@@ -312,10 +416,31 @@ def collect_failures(report: dict[str, object]) -> list[str]:
         )
     if report.get("circuits_opened", 0) < 1:
         failures.append("the doomed graph never tripped its circuit")
+    if not report.get("remote_corrupt_rebuilt", False):
+        failures.append(
+            "corrupting remote store was not quarantined + rebuilt cleanly"
+        )
+    if not report.get("remote_outage_degraded", False):
+        failures.append("dead remote store did not degrade to a cold build")
+    if not report.get("remote_breaker_opened", False):
+        failures.append("the dead remote store never tripped its breaker")
+    if report.get("remote_fast_fail_seconds", 0.0) >= ceiling:
+        failures.append(
+            f"open remote breaker answered in "
+            f"{report['remote_fast_fail_seconds'] * 1000:.1f}ms "
+            f">= {ceiling * 1000:.0f}ms ceiling"
+        )
+    if report.get("remote_tmp_debris", 0):
+        failures.append(
+            f"{report['remote_tmp_debris']} .tmp debris file(s) in "
+            "remote-backed caches"
+        )
     for key, label in (
         ("metrics_breaker_open_transitions", "breaker-open transition"),
         ("metrics_quarantined_total", "artifact quarantine"),
         ("metrics_worker_restarts_total", "worker restart"),
+        ("metrics_remote_corrupt_total", "remote corrupt-fetch counter"),
+        ("metrics_remote_breaker_open_transitions", "remote breaker-open"),
     ):
         if report.get(key, 0) < 1:
             failures.append(f"/metrics did not expose the {label} counter (>= 1)")
@@ -349,7 +474,9 @@ def main(argv: list[str] | None = None) -> int:
         f"rejected {report['clean_rejected']}, bad {report['bad']}, "
         f"hangs {report['hangs']}), worker restarts {report['worker_restarts']}, "
         f"quarantined {report['quarantined']}, circuit fast-fail "
-        f"{report['circuit_fast_fail_seconds'] * 1000:.2f}ms"
+        f"{report['circuit_fast_fail_seconds'] * 1000:.2f}ms, remote "
+        f"quarantined {report['remote_quarantined']}, remote breaker fast-fail "
+        f"{report['remote_fast_fail_seconds'] * 1000:.2f}ms"
     )
     return 0 if not failures else 1
 

@@ -10,7 +10,9 @@ as the current run.  Two things are checked:
   build ≥ 2× the sparse DFS, sparse artifact ≤ 5%, sparse serve RSS
   < 1 GiB, chaos availability ≥ 99%, open-circuit fast-fail < 10 ms,
   pre-fork serving ≥ 2× single-process QPS with p99 ≤ 1.5×, extra mmap
-  worker ≤ 25% of a private catalog copy, ...)
+  worker ≤ 25% of a private catalog copy, remote warm-start ≥ 10×,
+  remote availability ≥ 99% under store faults, open remote breaker
+  fast-fail < 10 ms, ...)
   still holds for the current numbers — so a PR cannot silently relax a
   shipped floor by shrinking the constant in ``run_all.py``;
 * the correctness invariants (batch == loop, patched == cold, warm start
@@ -65,6 +67,14 @@ FLOORS: tuple[tuple[str, str, str, str], ...] = (
         "load",
         "extra_worker_rss_fraction",
         "extra_worker_rss_fraction_ceiling",
+        "<=",
+    ),
+    ("remote", "warm_speedup", "warm_speedup_floor", ">="),
+    ("remote", "availability", "availability_floor", ">="),
+    (
+        "remote",
+        "breaker_fast_fail_seconds",
+        "fast_fail_ceiling_seconds",
         "<=",
     ),
 )
@@ -142,6 +152,7 @@ def main(argv: list[str] | None = None) -> int:
             ("chaos", "chaos-smoke"),
             ("obs", "observability"),
             ("load", "serving-load"),
+            ("remote", "remote-artifact-tier"),
         ):
             if section not in document:
                 print(

@@ -1,0 +1,224 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the remote artifact tier (CI ``remote-smoke`` job).
+
+Drives the fleet warm-start loop through the real CLI, process boundaries
+included:
+
+1. ``repro artifact-server`` starts as a subprocess on an ephemeral port
+   (the bound address is parsed from its stdout);
+2. a cold ``repro engine build --cache-dir A --remote-cache URL`` builds
+   from scratch and pushes the catalog/histogram/positions trio;
+3. a second build with a **fresh** cache directory warm-starts entirely
+   from the store (``catalog_from_cache`` in its ``--json`` stats);
+4. ``repro engine cache list --remote`` audits presence: every pushed
+   primary must show ``both``;
+5. fault phase — the server is killed and the build is rerun against yet
+   another fresh cache: it must degrade to a cold build with exit 0, and
+   no ``.tmp`` debris may remain in any cache directory.
+
+Exits non-zero on any failed expectation, so a broken remote path fails
+the CI job even when the unit suite is green.
+
+Usage::
+
+    python benchmarks/remote_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Seconds to wait for the artifact server to announce its address.
+SERVER_START_DEADLINE = 30.0
+
+
+def main() -> int:
+    """Entry point: readable one-line failures, never a traceback."""
+    try:
+        return _run()
+    except Exception as exc:  # noqa: BLE001 - smoke harness boundary
+        print(f"remote-smoke FAILURE: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        ":" + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+            print(f"remote-smoke FAILURE: {message}", file=sys.stderr)
+
+    def cli(*argv: str) -> subprocess.CompletedProcess:
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-remote-smoke-") as tmp:
+        root = Path(tmp)
+        graph_path = root / "graph.tsv"
+        generated = cli(
+            "generate", "moreno-health", "--scale", "0.05", "--seed", "5",
+            "-o", str(graph_path),
+        )
+        check(generated.returncode == 0, "could not generate the graph")
+        if generated.returncode != 0:
+            return 1
+
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "artifact-server",
+                "--dir", str(root / "store"), "--port", "0",
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            url = _wait_for_address(server)
+
+            # Phase 1: cold build pushes to the store.
+            cold = cli(
+                "engine", "build", str(graph_path), "-k", "3",
+                "--cache-dir", str(root / "cacheA"),
+                "--remote-cache", url, "--json",
+            )
+            check(cold.returncode == 0, f"cold build failed: {cold.stderr.strip()}")
+            cold_stats = json.loads(cold.stdout)
+            check(
+                cold_stats["catalog_from_cache"] is False,
+                "first build was unexpectedly warm",
+            )
+            deadline = time.perf_counter() + 30
+            while (
+                len(list((root / "store").iterdir())) < 3
+                and time.perf_counter() < deadline
+            ):
+                time.sleep(0.1)
+            stored = sorted(path.name for path in (root / "store").iterdir())
+            check(
+                len(stored) >= 3,
+                f"cold build pushed {len(stored)} artifacts, expected >= 3: {stored}",
+            )
+
+            # Phase 2: a fresh cache warm-starts from the store.
+            warm = cli(
+                "engine", "build", str(graph_path), "-k", "3",
+                "--cache-dir", str(root / "cacheB"),
+                "--remote-cache", url, "--json",
+            )
+            check(warm.returncode == 0, f"warm build failed: {warm.stderr.strip()}")
+            warm_stats = json.loads(warm.stdout)
+            check(
+                warm_stats["catalog_from_cache"] is True,
+                "second process did not warm-start from the remote store",
+            )
+
+            # Phase 3: the presence audit sees every primary on both tiers.
+            audit = cli(
+                "engine", "cache", "list",
+                "--cache-dir", str(root / "cacheB"),
+                "--remote", url, "--json",
+            )
+            check(audit.returncode == 0, f"cache audit failed: {audit.stderr.strip()}")
+            document = json.loads(audit.stdout)
+            presence = {
+                row["file"]: row["presence"] for row in document["files"]
+            }
+            primaries = [
+                name
+                for name in presence
+                if name.endswith((".npz", ".json"))
+                or (name.startswith("positions-") and name.endswith(".npy"))
+            ]
+            check(bool(primaries), f"audit saw no primary artifacts: {presence}")
+            wrong = {
+                name: presence[name]
+                for name in primaries
+                if presence[name] != "both"
+            }
+            check(not wrong, f"primaries not present on both tiers: {wrong}")
+        finally:
+            server.terminate()
+            try:
+                server.wait(timeout=15)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hung server
+                server.kill()
+                server.wait(timeout=15)
+
+        # Phase 4: the store is gone; the build must degrade to cold.
+        degraded = cli(
+            "engine", "build", str(graph_path), "-k", "3",
+            "--cache-dir", str(root / "cacheC"),
+            "--remote-cache", url, "--json",
+        )
+        check(
+            degraded.returncode == 0,
+            f"build with a dead store failed: {degraded.stderr.strip()}",
+        )
+        if degraded.returncode == 0:
+            degraded_stats = json.loads(degraded.stdout)
+            check(
+                degraded_stats["catalog_from_cache"] is False,
+                "dead-store build claimed a warm start",
+            )
+            check(
+                degraded_stats["domain_size"] > 0,
+                "dead-store build produced an empty domain",
+            )
+
+        # No half-written files anywhere, in caches or the store directory.
+        debris = [
+            str(path)
+            for name in ("cacheA", "cacheB", "cacheC", "store")
+            if (root / name).exists()
+            for path in (root / name).glob(".*.tmp*")
+        ]
+        check(not debris, f".tmp debris left behind: {debris}")
+
+    if not failures:
+        print(
+            "remote-smoke ok: cold build pushed, fresh process warm-started, "
+            "presence audit clean, dead-store build degraded cold, no debris"
+        )
+    return 0 if not failures else 1
+
+
+def _wait_for_address(server: subprocess.Popen) -> str:
+    """Parse the announced ``http://host:port`` from the server's stdout."""
+    assert server.stdout is not None
+    deadline = time.perf_counter() + SERVER_START_DEADLINE
+    while True:
+        if server.poll() is not None:
+            raise RuntimeError(
+                f"artifact server exited early with code {server.returncode}"
+            )
+        line = server.stdout.readline()
+        match = re.search(r"on (http://[^\s]+)", line)
+        if match:
+            return match.group(1)
+        if time.perf_counter() > deadline:
+            raise RuntimeError("artifact server never announced its address")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,7 +38,12 @@ corrupt artifact that is not transparently healed, an open circuit
 answering in ≥ 10 ms, or any serving-load floor: (on ≥ 4-core machines)
 the pre-fork tier < 2× single-process QPS or p99 > 1.5× under 32
 keep-alive clients, or each extra mmap worker costing > 25% of a private
-catalog copy.  Floor failures are printed
+catalog copy, or any remote-tier floor: a fresh replica warm-starting from
+the shared artifact store < 10× faster than rebuilding, its estimates
+diverging from the cold build, availability < 99% with the store down or
+corrupting payloads, a corrupt payload escaping quarantine, the remote
+circuit breaker never opening (or answering an open-circuit fetch in
+≥ 10 ms), or a ``.tmp`` file left behind.  Floor failures are printed
 *first*, one readable line each, and never as tracebacks — CI logs lead
 with the failing floor.
 """
@@ -80,6 +85,11 @@ import obs_smoke  # noqa: E402
 # connections, once single-process and once pre-forked, and shares its
 # throughput/memory floors with the standalone CI load-smoke job.
 import bench_load  # noqa: E402
+
+# The remote section exercises the shared artifact store (warm-start value,
+# corrupt-payload quarantine, outage degradation) and shares its floors
+# with the standalone CI remote-smoke job.
+import bench_remote  # noqa: E402
 
 #: Workload size for the direct batch-vs-loop measurement.
 BATCH_SIZE = 10_000
@@ -146,6 +156,14 @@ SPARSE_SMOKE_TIMEOUT_SECONDS = 240
 #: answering a request against an open circuit — shared with the smoke.
 CHAOS_AVAILABILITY_FLOOR = chaos_smoke.AVAILABILITY_FLOOR
 CHAOS_FAST_FAIL_CEILING_SECONDS = chaos_smoke.FAST_FAIL_CEILING_SECONDS
+
+#: Floors for the remote artifact tier — a fresh replica must warm-start
+#: this much faster than rebuilding, builds must survive a dead/corrupting
+#: store, and an open remote breaker must answer under the ceiling.
+#: Shared with benchmarks/bench_remote.py, which enforces them standalone.
+REMOTE_WARM_SPEEDUP_FLOOR = bench_remote.WARM_SPEEDUP_FLOOR
+REMOTE_AVAILABILITY_FLOOR = bench_remote.AVAILABILITY_FLOOR
+REMOTE_FAST_FAIL_CEILING_SECONDS = bench_remote.FAST_FAIL_CEILING_SECONDS
 
 #: Acceptance floor for serving throughput with the full observability
 #: stack on (metrics + per-request traces) relative to the kill-switched
@@ -986,6 +1004,22 @@ def measure_load(quick: bool) -> dict[str, object]:
     return bench_load.run_load_bench(quick)
 
 
+def measure_remote(quick: bool) -> dict[str, object]:
+    """The remote artifact tier (see ``benchmarks/bench_remote.py``).
+
+    Runs in-process against a live artifact server on an ephemeral port:
+    one replica's cold build seeds the store, a fresh replica warm-starts
+    from it (floor-gated speedup and estimate equality), then the store
+    corrupts every payload in flight and finally dies — builds must
+    quarantine the damage, degrade to cold builds, trip the circuit
+    breaker, fast-fail once open, and leave no ``.tmp`` debris.
+    """
+    report = bench_remote.run_remote_bench(quick=quick)
+    for failure in bench_remote.collect_failures(report):
+        raise FloorFailure(failure)
+    return report
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1016,6 +1050,7 @@ def main(argv: list[str] | None = None) -> int:
         chaos = measure_chaos(args.quick)
         obs = measure_obs(args.quick)
         load = measure_load(args.quick)
+        remote = measure_remote(args.quick)
     except FloorFailure as exc:
         # A broken invariant (builders disagreeing, a degenerate workload)
         # is a floor failure, not a crash: one readable line, exit 1.
@@ -1024,7 +1059,7 @@ def main(argv: list[str] | None = None) -> int:
     total_seconds = time.perf_counter() - started
 
     document = {
-        "schema": "repro-bench/v9",
+        "schema": "repro-bench/v10",
         "quick": args.quick,
         "python": sys.version.split()[0],
         "generated_unix": time.time(),
@@ -1037,6 +1072,7 @@ def main(argv: list[str] | None = None) -> int:
         "chaos": chaos,
         "obs": obs,
         "load": load,
+        "remote": remote,
     }
     if suite is not None:
         document["suite"] = suite
@@ -1084,6 +1120,10 @@ def main(argv: list[str] | None = None) -> int:
         f"single {load['single_qps']:.0f} qps on {load['cpu_count']} cores "
         f"(extra-worker RSS {_format_fraction(load['extra_worker_rss_fraction'])} "
         f"of a private copy), "
+        f"remote warm-start {remote['warm_speedup']:.1f}x vs cold with "
+        f"availability {remote['availability']:.4f} under store faults "
+        f"(breaker fast-fail "
+        f"{remote['breaker_fast_fail_seconds'] * 1000:.2f}ms), "
         f"total {total_seconds:.1f}s"
     )
     return 0 if not failures else 1
@@ -1246,6 +1286,11 @@ def collect_floor_failures(document: dict) -> list[str]:
         failures.append("load section missing from the benchmark document")
     else:
         failures.extend(bench_load.collect_failures(load))
+    remote = document.get("remote")
+    if remote is None:
+        failures.append("remote section missing from the benchmark document")
+    else:
+        failures.extend(bench_remote.collect_failures(remote))
     if suite is not None and suite["exit_code"] != 0:
         failures.append("pytest-benchmark suite failed")
     return failures

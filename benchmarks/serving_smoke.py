@@ -6,8 +6,9 @@ mixed requests through the stdlib client — single-path estimates, multi-path
 bundles, warm/evict management calls, plus deliberate error cases — and
 asserts the ``/stats`` counters reflect the traffic (all requests served,
 coalescing active, backpressure/error accounting sane).  Also asserts the
-pre-v1 unversioned routes still answer (marked ``Deprecation: true``) and
-that non-2xx responses carry the uniform error envelope.  Exits non-zero on
+pre-v1 unversioned routes are gone — they answer the 404 envelope pointing
+at the ``/v1`` spelling — and that non-2xx responses carry the uniform
+error envelope.  Exits non-zero on
 any failed expectation, so a broken serving path fails the job even when
 the unit suite is green.
 
@@ -224,9 +225,9 @@ def _run(args: argparse.Namespace) -> int:
                 registry["sessions_resident"] >= 1, "no resident session after traffic"
             )
 
-            # Pre-v1 compatibility: the unversioned aliases must still
-            # answer (with the Deprecation marker) and non-2xx responses
-            # must carry the uniform error envelope.
+            # The pre-v1 unversioned aliases are removed: they must answer
+            # the 404 envelope pointing at the /v1 spelling (and nothing
+            # else), so a straggler client gets an actionable error.
             import http.client
             import json as json_module
 
@@ -250,14 +251,18 @@ def _run(args: argparse.Namespace) -> int:
                         else {},
                     )
                     response = conn.getresponse()
-                    response.read()
-                    check(
-                        response.status == 200,
-                        f"deprecated alias {route} answered {response.status}",
+                    alias_envelope = json_module.loads(
+                        response.read().decode("utf-8")
                     )
                     check(
-                        response.getheader("Deprecation") == "true",
-                        f"alias {route} missing the Deprecation header",
+                        response.status == 404,
+                        f"removed alias {route} answered {response.status}, "
+                        "expected 404",
+                    )
+                    check(
+                        f"/v1{route}" in alias_envelope.get("error", ""),
+                        f"alias {route} 404 does not point at /v1{route}: "
+                        f"{alias_envelope}",
                     )
                 conn.request("GET", "/v1/definitely-not-a-route")
                 response = conn.getresponse()

@@ -86,6 +86,13 @@ def add_engine_options(
             help="artifact cache directory (warm starts skip catalog construction)",
         )
     parser.add_argument(
+        "--remote-cache",
+        default=None,
+        metavar="URL",
+        help="shared artifact store ('repro artifact-server') consulted on "
+        "local cache miss and pushed to after cold builds",
+    )
+    parser.add_argument(
         workers_flag,
         dest="build_workers",
         type=int,
@@ -205,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="byte budget for 'prune' (least-recently-used artifacts go first)",
     )
+    engine_cache.add_argument(
+        "--remote",
+        default=None,
+        metavar="URL",
+        help="for 'list': also probe this artifact store and report per-file "
+        "presence (local / remote / both)",
+    )
     engine_cache.add_argument("--json", action="store_true", help="emit JSON")
 
     serve = subparsers.add_parser(
@@ -296,6 +310,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("debug", "info", "warning", "error"),
         default="info",
         help="log level for the 'repro' logger (default: info)",
+    )
+
+    artifact_server = subparsers.add_parser(
+        "artifact-server",
+        help="serve a directory of build artifacts to a fleet "
+        "(the --remote-cache tier behind 'repro serve' / 'repro engine')",
+    )
+    artifact_server.add_argument(
+        "--dir", required=True, help="artifact directory to serve (created if absent)"
+    )
+    artifact_server.add_argument("--host", default="127.0.0.1")
+    artifact_server.add_argument("--port", type=int, default=8081)
+    artifact_server.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=256 * 2**20,
+        help="PUT body size cap; larger uploads get HTTP 413",
+    )
+    artifact_server.add_argument(
+        "--verbose", action="store_true", help="log HTTP requests"
     )
 
     client = subparsers.add_parser(
@@ -423,13 +457,36 @@ def _run_experiment(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled experiment {name!r}")  # pragma: no cover
 
 
+def _resolve_cache(args: argparse.Namespace):
+    """The artifact cache implied by ``--cache-dir``/``--remote-cache``.
+
+    Returns ``None`` without either flag; a plain local
+    :class:`~repro.engine.ArtifactCache` with only ``--cache-dir``; a
+    remote-backed one with both.  ``--remote-cache`` alone is an error —
+    the remote tier materialises artifacts *into* a local directory.
+    """
+    from repro.engine.cache import ArtifactCache
+
+    remote_url = getattr(args, "remote_cache", None)
+    if args.cache_dir is None:
+        if remote_url:
+            raise ReproError("--remote-cache requires --cache-dir")
+        return None
+    remote = None
+    if remote_url:
+        from repro.engine.remote import RemoteArtifactStore
+
+        remote = RemoteArtifactStore(remote_url)
+    return ArtifactCache(args.cache_dir, remote=remote)
+
+
 def _build_session(args: argparse.Namespace) -> EstimationSession:
     graph = read_edge_list(args.graph)
     config = EngineConfig.from_args(args)
     return EstimationSession.build(
         graph,
         config,
-        cache_dir=args.cache_dir,
+        cache_dir=_resolve_cache(args),
         workers=args.build_workers,
         backend=args.backend,
     )
@@ -444,12 +501,44 @@ def _run_engine_cache(args: argparse.Namespace) -> int:
         for path in cache.artifact_files():
             stat = path.stat()
             rows.append({"file": path.name, "bytes": stat.st_size, "mtime": stat.st_mtime})
+        if args.remote:
+            # Audit surface: HEAD each local artifact against the store and
+            # fold in remote-only names from its index, so one listing
+            # answers "is the fleet's shared tier in sync with this cache?".
+            from repro.engine.remote import RemoteArtifactStore
+
+            store = RemoteArtifactStore(args.remote)
+            for row in rows:
+                row["presence"] = (
+                    "both" if store.head_artifact(str(row["file"])) else "local"
+                )
+            local_names = {row["file"] for row in rows}
+            for entry in store.list_artifacts():
+                if entry.get("name") not in local_names:
+                    rows.append(
+                        {
+                            "file": entry.get("name"),
+                            "bytes": entry.get("bytes"),
+                            "mtime": entry.get("mtime"),
+                            "presence": "remote",
+                        }
+                    )
+            rows.sort(key=lambda row: str(row["file"]))
         if args.json:
-            print(json.dumps({"files": rows, "total_bytes": cache.total_bytes()}, indent=2))
+            document: dict[str, object] = {
+                "files": rows,
+                "total_bytes": cache.total_bytes(),
+            }
+            if args.remote:
+                document["remote_url"] = args.remote
+            print(json.dumps(document, indent=2))
         else:
             for row in rows:
-                print(f"{row['bytes']:>12}  {row['file']}")
-            print(f"{cache.total_bytes():>12}  total ({len(rows)} files)")
+                line = f"{row['bytes']:>12}  {row['file']}"
+                if args.remote:
+                    line += f"  [{row['presence']}]"
+                print(line)
+            print(f"{cache.total_bytes():>12}  total local bytes ({len(rows)} files)")
         return 0
     if args.cache_command == "prune":
         if args.max_bytes is None:
@@ -498,6 +587,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     if worker_count < 1:
         print("error: --workers must be >= 1", file=sys.stderr)
         return 2
+    if args.remote_cache and args.cache_dir is None:
+        print("error: --remote-cache requires --cache-dir", file=sys.stderr)
+        return 2
     config = EngineConfig.from_args(args)
     graphs: list[tuple[str, str]] = []
     for spec in args.graph:
@@ -514,7 +606,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     def make_registry() -> SessionRegistry:
         registry = SessionRegistry(
-            cache_dir=args.cache_dir,
+            cache_dir=_resolve_cache(args),
             max_sessions=args.max_sessions,
             max_bytes=args.max_bytes,
             workers=args.build_workers,
@@ -606,6 +698,99 @@ def _run_serve(args: argparse.Namespace) -> int:
     finally:
         server.close()
     print("drained; bye", file=sys.stderr, flush=True)
+    return 0
+
+
+def _run_catalog(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.graph)
+    remote = None
+    remote_name = None
+    if args.remote_cache:
+        # Standalone catalog builds participate in the shared tier under
+        # the same content-addressed key the engine cache would use, so a
+        # fleet's 'repro serve --remote-cache' warm-starts from them.
+        from repro.engine import config_digest, graph_digest
+        from repro.engine.remote import RemoteArtifactStore
+
+        remote = RemoteArtifactStore(args.remote_cache)
+        config = EngineConfig.from_args(args)
+        key = f"{graph_digest(graph)[:24]}-{config_digest(config.catalog_fields())}"
+        remote_name = f"catalog-{key}.npz"
+    catalog = None
+    if remote is not None:
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory(prefix="repro-catalog-") as scratch:
+            target = Path(scratch) / str(remote_name)
+            if remote.fetch(str(remote_name), target) == "hit":
+                catalog = SelectivityCatalog.load(target)
+                print(f"catalog fetched from {remote.base_url} ({remote_name})")
+    built = catalog is None
+    if catalog is None:
+        catalog = SelectivityCatalog.from_graph(
+            graph,
+            args.max_length,
+            workers=args.build_workers,
+            backend=args.backend,
+            storage=args.storage,
+        )
+    if str(args.output).endswith(".npz"):
+        catalog.save_npz(args.output)
+        push_source = str(args.output)
+    else:
+        catalog.save(args.output)
+        push_source = None
+    if remote is not None and built:
+        import tempfile
+        from pathlib import Path
+
+        if push_source is not None:
+            pushed = remote.push(push_source, name=str(remote_name))
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-catalog-") as scratch:
+                staged = Path(scratch) / str(remote_name)
+                catalog.save_npz(staged)
+                pushed = remote.push(staged, name=str(remote_name))
+        state = "pushed to" if pushed else "push failed for"
+        print(f"{state} {remote.base_url} ({remote_name})")
+    print(
+        f"catalog with {len(catalog)} paths (k={args.max_length}, "
+        f"|L|={len(catalog.labels)}, storage={catalog.storage}, "
+        f"nnz={catalog.nnz}) written to {args.output}"
+    )
+    return 0
+
+
+def _run_artifact_server(args: argparse.Namespace) -> int:
+    from repro.serving.artifacts import make_artifact_server
+
+    server = make_artifact_server(
+        args.dir,
+        host=args.host,
+        port=args.port,
+        max_body_bytes=args.max_body_bytes,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+    print(f"serving artifacts from {args.dir} on http://{host}:{port}", flush=True)
+
+    def _stop(signum: int, frame: object) -> None:
+        print(f"signal {signum}: shutting down", file=sys.stderr, flush=True)
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _stop)
+        except ValueError:  # pragma: no cover - non-main thread (embedding)
+            pass
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C without handler
+        pass
+    finally:
+        server.server_close()
+    print("artifact server stopped", file=sys.stderr, flush=True)
     return 0
 
 
@@ -852,24 +1037,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         return 0
     if args.command == "catalog":
-        graph = read_edge_list(args.graph)
-        catalog = SelectivityCatalog.from_graph(
-            graph,
-            args.max_length,
-            workers=args.build_workers,
-            backend=args.backend,
-            storage=args.storage,
-        )
-        if str(args.output).endswith(".npz"):
-            catalog.save_npz(args.output)
-        else:
-            catalog.save(args.output)
-        print(
-            f"catalog with {len(catalog)} paths (k={args.max_length}, "
-            f"|L|={len(catalog.labels)}, storage={catalog.storage}, "
-            f"nnz={catalog.nnz}) written to {args.output}"
-        )
-        return 0
+        return _run_catalog(args)
     if args.command == "estimate":
         catalog = SelectivityCatalog.load(args.catalog)
         estimator = PathSelectivityEstimator.build(
@@ -886,6 +1054,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_engine(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "artifact-server":
+        return _run_artifact_server(args)
     if args.command == "client":
         return _run_client(args)
     if args.command == "experiment":

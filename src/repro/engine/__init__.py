@@ -6,19 +6,25 @@ selectivity catalog → ordering → histogram) into a reusable
 
 * an on-disk :class:`~repro.engine.cache.ArtifactCache` keyed by graph and
   config fingerprints (:mod:`repro.engine.fingerprint`), so warm starts skip
-  catalog construction entirely, and
+  catalog construction entirely,
+* an optional :class:`~repro.engine.remote.RemoteArtifactStore` behind the
+  cache — a shared content-addressed HTTP tier with verified fetches,
+  best-effort pushes and a circuit breaker, so one replica's cold build
+  warm-starts the whole fleet, and
 * a vectorised ``estimate_batch`` hot path that answers thousands of
   selectivity estimates per call.
 """
 
 from repro.engine.cache import ArtifactCache
 from repro.engine.fingerprint import config_digest, graph_digest
+from repro.engine.remote import RemoteArtifactStore
 from repro.engine.session import EngineConfig, EstimationSession, SessionStats
 
 __all__ = [
     "ArtifactCache",
     "EngineConfig",
     "EstimationSession",
+    "RemoteArtifactStore",
     "SessionStats",
     "config_digest",
     "graph_digest",

@@ -49,17 +49,30 @@ artifact layout re-keys every catalog and a pre-columnar JSON entry is never
 half-trusted under a new-format key — the JSON fallback only ever fires for
 files that were written (and fully validated) by an older release under its
 own key.  Writes are atomic (temp file + ``os.replace``) so a crashed build
-never leaves a truncated artifact behind.
+never leaves a truncated artifact behind; a crashed *process* can still
+leave its temp file, so cache init sweeps dotfile temps older than an hour
+(counted in :attr:`ArtifactCache.temp_cleaned`) and every artifact glob
+skips in-flight temps.
+
+The cache can be backed by a **remote tier**
+(:class:`~repro.engine.remote.RemoteArtifactStore`): on a local miss the
+remote store is consulted — a digest-verified copy lands in the local
+directory and the load proceeds as a hit — and after a local build each
+stored primary artifact is pushed back, best-effort, in the background.
+Remote payloads that fail verification are quarantined (counted exactly
+like local corruption) and remote failures of any kind degrade to a plain
+local miss; the remote tier can never make a lookup raise.
 """
 
 from __future__ import annotations
 
 import os
+import time
 import uuid
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 import numpy as np
 
@@ -69,6 +82,9 @@ from repro.testing import faults
 from repro.histogram.builder import LabelPathHistogram
 from repro.histogram.serialization import load_histogram, save_histogram
 from repro.paths.catalog import SelectivityCatalog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (remote -> cache)
+    from repro.engine.remote import RemoteArtifactStore
 
 __all__ = ["ArtifactCache"]
 
@@ -92,6 +108,14 @@ _CACHE_QUARANTINED = Counter(
     "repro_cache_quarantined_total",
     "Corrupt artifact files renamed aside for cold rebuild.",
 )
+_CACHE_TEMP_CLEANED = Counter(
+    "repro_cache_temp_cleaned_total",
+    "Stale in-flight temp files swept at cache init.",
+)
+
+#: Temp files younger than this at init are presumed to belong to a live
+#: writer in another process and are left alone.
+_TEMP_MAX_AGE_SECONDS = 3600.0
 
 
 class ArtifactCache:
@@ -99,15 +123,28 @@ class ArtifactCache:
 
     The cache is deliberately dumb: it has no eviction and no locking beyond
     atomic renames, because artifacts are immutable for a given key.  ``hits``
-    and ``misses`` count lookups and feed the session's build stats.
+    and ``misses`` count lookups and feed the session's build stats;
+    ``remote_hits`` counts the subset of hits that were materialised from
+    the optional ``remote`` tier, and ``temp_cleaned`` the stale temp files
+    swept at init.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        remote: Optional["RemoteArtifactStore"] = None,
+        temp_max_age_seconds: float = _TEMP_MAX_AGE_SECONDS,
+    ) -> None:
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
+        self.remote = remote
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.remote_hits = 0
+        self.temp_cleaned = 0
+        self._sweep_temps(temp_max_age_seconds)
 
     @property
     def root(self) -> Path:
@@ -176,6 +213,10 @@ class ArtifactCache:
         (missing, stale, or shape-mismatched) the request silently falls
         back to the regular in-memory load, so callers can always pass
         their preference.
+
+        With a remote tier configured, a double local miss (no ``.npz``, no
+        legacy JSON) consults the remote store before giving up; a verified
+        fetch lands the ``.npz`` locally and the load proceeds as a hit.
         """
         faults.fire("cache.load_catalog", key=key)
         path = self.catalog_path(key)
@@ -183,16 +224,23 @@ class ArtifactCache:
             legacy = self.legacy_catalog_path(
                 legacy_key if legacy_key is not None else key
             )
-            if not legacy.exists():
+            if legacy.exists():
+                path = legacy
+            elif not self._fetch_remote(self.catalog_path(key)):
                 self.misses += 1
                 _CACHE_MISSES.inc(kind="catalog")
                 return None
-            path = legacy
         try:
             if mmap and path == self.catalog_path(key):
                 catalog = self._load_catalog_mmap(key, path)
             else:
                 catalog = SelectivityCatalog.load(path)
+        except FileNotFoundError:
+            # Racing eviction/prune between the existence probe and the
+            # open: the artifact is simply gone — a clean miss, not damage.
+            self.misses += 1
+            _CACHE_MISSES.inc(kind="catalog")
+            return None
         except (
             ReproError,
             OSError,
@@ -300,6 +348,38 @@ class ArtifactCache:
         """A unique temp path next to ``final`` (safe under concurrent writers)."""
         return final.with_name(f".{final.name}.{os.getpid()}.{uuid.uuid4().hex}{suffix}")
 
+    # ------------------------------------------------------------------
+    # remote tier
+    # ------------------------------------------------------------------
+    def _fetch_remote(self, final: Path) -> bool:
+        """Try to materialise ``final`` from the remote tier; whether it landed.
+
+        Every non-hit outcome — miss, store unavailable, open breaker,
+        failed verification — returns ``False`` and the caller records a
+        plain local miss; a corrupt payload additionally counts as a
+        quarantine (the remote store already parked it as a ``.corrupt``
+        sibling, never under the real name).
+        """
+        if self.remote is None:
+            return False
+        outcome = self.remote.fetch(final.name, final)
+        if outcome == "hit":
+            self.remote_hits += 1
+            return True
+        if outcome == "corrupt":
+            self.quarantined += 1
+            _CACHE_QUARANTINED.inc()
+        return False
+
+    def _push_remote(self, path: Path) -> None:
+        """Offer one freshly stored primary artifact to the remote tier.
+
+        Background and best-effort by contract: the push thread logs and
+        counts failures inside the store, and nothing propagates here.
+        """
+        if self.remote is not None:
+            self.remote.push_async(path)
+
     @staticmethod
     def _touch(path: Path) -> None:
         """Refresh ``path``'s timestamps so LRU pruning tracks reads.
@@ -337,6 +417,16 @@ class ArtifactCache:
         temp = self._temp_path(path)
         catalog.save_npz(temp)
         os.replace(temp, path)
+        self._push_remote(path)
+        if self._sidecar_wanted(catalog, mmap_sidecar):
+            self._write_sidecars(key, catalog)
+        return path
+
+    @staticmethod
+    def _sidecar_wanted(
+        catalog: SelectivityCatalog, mmap_sidecar: Optional[bool]
+    ) -> bool:
+        """Resolve the sidecar policy for one catalog (see :meth:`store_catalog`)."""
         if mmap_sidecar is None:
             mmap_sidecar = (
                 catalog.domain_size >= len(catalog.labels) ** _MMAP_SIDECAR_POWER
@@ -349,35 +439,70 @@ class ArtifactCache:
             # A zero-length array cannot be memory-mapped; the npz load of
             # an empty catalog is trivially cheap anyway.
             mmap_sidecar = False
-        if mmap_sidecar:
-            if catalog.storage == "sparse":
-                nz_indices, nz_values = catalog.nonzero_arrays()
-                for target, array in (
-                    (self.sparse_indices_path(key), nz_indices),
-                    (self.sparse_values_path(key), nz_values),
-                ):
-                    temp = self._temp_path(target, suffix=".tmp.npy")
-                    np.save(temp, np.asarray(array), allow_pickle=False)
-                    os.replace(temp, target)
-            else:
-                sidecar = self.mmap_catalog_path(key)
-                temp = self._temp_path(sidecar, suffix=".tmp.npy")
-                np.save(temp, catalog.frequency_vector(), allow_pickle=False)
-                os.replace(temp, sidecar)
-        return path
+        return bool(mmap_sidecar)
+
+    def _write_sidecars(self, key: str, catalog: SelectivityCatalog) -> None:
+        """Write the uncompressed mmap sidecar(s) for ``key`` (atomic).
+
+        Sidecars never travel to the remote tier — they are derivable from
+        the ``.npz`` and their freshness contract is local-mtime-based.
+        """
+        if catalog.storage == "sparse":
+            nz_indices, nz_values = catalog.nonzero_arrays()
+            for target, array in (
+                (self.sparse_indices_path(key), nz_indices),
+                (self.sparse_values_path(key), nz_values),
+            ):
+                temp = self._temp_path(target, suffix=".tmp.npy")
+                np.save(temp, np.asarray(array), allow_pickle=False)
+                os.replace(temp, target)
+        else:
+            sidecar = self.mmap_catalog_path(key)
+            temp = self._temp_path(sidecar, suffix=".tmp.npy")
+            np.save(temp, catalog.frequency_vector(), allow_pickle=False)
+            os.replace(temp, sidecar)
+
+    def ensure_sidecars(self, key: str, catalog: SelectivityCatalog) -> bool:
+        """Backfill the mmap sidecar(s) for an already stored ``key``.
+
+        A remote warm-start lands only the ``.npz`` (sidecars are local
+        derivatives), so a prefork parent that wants children sharing pages
+        calls this after the fetch.  Applies the same default policy as
+        :meth:`store_catalog`; fresh sidecars are left untouched.  Returns
+        whether usable sidecars exist afterwards.
+        """
+        npz = self.catalog_path(key)
+        if not npz.exists() or not self._sidecar_wanted(catalog, None):
+            return False
+        if catalog.storage == "sparse":
+            fresh = self._sidecar_fresh(
+                npz, self.sparse_indices_path(key), self.sparse_values_path(key)
+            )
+        else:
+            fresh = self._sidecar_fresh(npz, self.mmap_catalog_path(key))
+        if not fresh:
+            self._write_sidecars(key, catalog)
+        return True
 
     # ------------------------------------------------------------------
     # histogram
     # ------------------------------------------------------------------
     def load_histogram(self, key: str) -> Optional[LabelPathHistogram]:
-        """The cached histogram for ``key``, or ``None`` on a miss."""
+        """The cached histogram for ``key``, or ``None`` on a miss.
+
+        A local miss consults the remote tier when one is configured.
+        """
         path = self.histogram_path(key)
-        if not path.exists():
+        if not path.exists() and not self._fetch_remote(path):
             self.misses += 1
             _CACHE_MISSES.inc(kind="histogram")
             return None
         try:
             histogram = load_histogram(path)
+        except FileNotFoundError:
+            self.misses += 1
+            _CACHE_MISSES.inc(kind="histogram")
+            return None
         except (ReproError, OSError, ValueError) as exc:
             raise self._corrupt_error("histogram", path, exc) from exc
         self.hits += 1
@@ -391,20 +516,28 @@ class ArtifactCache:
         temp = self._temp_path(path)
         save_histogram(histogram, temp)
         os.replace(temp, path)
+        self._push_remote(path)
         return path
 
     # ------------------------------------------------------------------
     # position table
     # ------------------------------------------------------------------
     def load_positions(self, key: str) -> Optional[np.ndarray]:
-        """The cached position table for ``key``, or ``None`` on a miss."""
+        """The cached position table for ``key``, or ``None`` on a miss.
+
+        A local miss consults the remote tier when one is configured.
+        """
         path = self.positions_path(key)
-        if not path.exists():
+        if not path.exists() and not self._fetch_remote(path):
             self.misses += 1
             _CACHE_MISSES.inc(kind="positions")
             return None
         try:
             positions = np.load(path, allow_pickle=False)
+        except FileNotFoundError:
+            self.misses += 1
+            _CACHE_MISSES.inc(kind="positions")
+            return None
         except (OSError, ValueError) as exc:
             raise self._corrupt_error("position table", path, exc) from exc
         self.hits += 1
@@ -419,6 +552,7 @@ class ArtifactCache:
         temp = self._temp_path(path, suffix=".tmp.npy")
         np.save(temp, positions, allow_pickle=False)
         os.replace(temp, path)
+        self._push_remote(path)
         return path
 
     # ------------------------------------------------------------------
@@ -479,8 +613,47 @@ class ArtifactCache:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
+    def temp_files(self) -> list[Path]:
+        """Every in-flight temp file currently in the cache directory.
+
+        Writers stage under dot-prefixed names
+        (``.{artifact}.{pid}.{uuid}.tmp[.npy]``), so temps are invisible to
+        the artifact globs; this surfaces them for the init sweep, debris
+        checks in the chaos benchmarks, and operators.
+        """
+        return sorted(
+            path for path in self._root.glob(".*.tmp*") if path.is_file()
+        )
+
+    def _sweep_temps(self, max_age_seconds: float) -> None:
+        """Delete stale temp files left behind by crashed writers.
+
+        Only temps older than ``max_age_seconds`` go — a younger one may
+        belong to a live build in another process, and its writer's
+        ``os.replace`` would fail if the file vanished underneath it.
+        Counts into :attr:`temp_cleaned` and the process-wide metric.
+        """
+        if max_age_seconds < 0:
+            return
+        now = time.time()
+        for path in self.temp_files():
+            try:
+                if now - path.stat().st_mtime < max_age_seconds:
+                    continue
+                path.unlink()
+            except OSError:  # racing sweeper or live writer finishing
+                continue
+            self.temp_cleaned += 1
+            _CACHE_TEMP_CLEANED.inc()
+
     def artifact_files(self) -> list[Path]:
-        """All artifact files currently in the cache, sorted by name."""
+        """All artifact files currently in the cache, sorted by name.
+
+        In-flight temp files never count: writers stage under dot-prefixed
+        ``*.tmp*`` names, and the explicit filter here keeps any foreign
+        ``.tmp`` debris out of :meth:`total_bytes` and :meth:`prune` even if
+        it matches an artifact pattern.
+        """
         patterns = (
             "catalog-*.npz",
             "catalog-*.npy",
@@ -490,7 +663,9 @@ class ArtifactCache:
         )
         found: list[Path] = []
         for pattern in patterns:
-            found.extend(self._root.glob(pattern))
+            found.extend(
+                path for path in self._root.glob(pattern) if ".tmp" not in path.name
+            )
         return sorted(found)
 
     def total_bytes(self) -> int:

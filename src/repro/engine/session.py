@@ -330,6 +330,11 @@ class EstimationSession:
                 # Warm-started from a legacy JSON artifact: upgrade it to the
                 # columnar form so later starts skip the slow reader.
                 cache.store_catalog(catalog_key, catalog)
+            elif cache is not None and mmap and not catalog.mmap_backed:
+                # Warm-started from a remote fetch (which ships only the
+                # ``.npz``) with mmap requested: backfill the sidecars so a
+                # prefork parent's children share pages on the next load.
+                cache.ensure_sidecars(catalog_key, catalog)
         stats.catalog_seconds = time.perf_counter() - start
         _STAGE_SECONDS.observe(stats.catalog_seconds, stage="catalog")
 

@@ -24,6 +24,7 @@ __all__ = [
     "DatasetError",
     "PlanningError",
     "EngineError",
+    "RemoteStoreError",
     "ServingError",
     "UnknownGraphError",
     "ServiceOverloadedError",
@@ -128,6 +129,22 @@ class PlanningError(ReproError):
 
 class EngineError(ReproError):
     """The batched estimation engine could not build or serve a session."""
+
+
+class RemoteStoreError(EngineError):
+    """A remote artifact-store operation failed (after its retry budget).
+
+    Raised by :class:`~repro.engine.remote.RemoteArtifactStore` internals
+    and by the operator-facing surfaces (``repro engine cache list
+    --remote``); the cache-consultation path itself *never* propagates it —
+    a remote failure on the request path degrades to a local miss and a
+    cold build.  ``status`` carries the final HTTP status when the failure
+    was an HTTP answer rather than a transport error.
+    """
+
+    def __init__(self, message: str, *, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 class ServingError(ReproError):

@@ -21,9 +21,13 @@ into a multi-graph, multi-client serving layer:
 * :class:`~repro.serving.prefork.PreforkServer` scales the endpoint across
   CPU cores: one parent forks N workers sharing the listening socket, each
   running the full handler/scheduler stack against read-only memory-mapped
-  catalog artifacts (``repro serve --workers N``).
+  catalog artifacts (``repro serve --workers N``);
+* :mod:`repro.serving.artifacts` is the directory-backed content-addressed
+  artifact server (``repro artifact-server``) behind which a fleet shares
+  build artifacts through :class:`~repro.engine.remote.RemoteArtifactStore`.
 """
 
+from repro.serving.artifacts import ArtifactHTTPServer, make_artifact_server
 from repro.serving.client import ServiceClient
 from repro.serving.http import API_PREFIX, EstimationHTTPServer, make_server
 from repro.serving.prefork import PreforkServer
@@ -33,6 +37,7 @@ from repro.serving.service import EstimationService
 
 __all__ = [
     "API_PREFIX",
+    "ArtifactHTTPServer",
     "EstimateScheduler",
     "EstimationHTTPServer",
     "EstimationService",
@@ -41,5 +46,6 @@ __all__ = [
     "ServiceClient",
     "ServiceStats",
     "SessionRegistry",
+    "make_artifact_server",
     "make_server",
 ]

@@ -8,11 +8,12 @@ methods speak the versioned ``/v1/`` routes; only the operational probes
 
 Transient failures — 429 (per-graph admission), 503 (backpressure, open
 circuit, closing), 504 (batch deadline) and connection errors — are retried
-with exponential backoff and *full jitter*; when the server sent a
-``Retry-After`` header (it does on every backpressure rejection) the pause
-honours it as a lower bound.  An optional per-call deadline caps the whole
-attempt sequence: per-attempt timeouts shrink to the remaining budget and
-the client gives up early rather than schedule a pause it cannot afford.
+through the shared :class:`repro.retry.RetryPolicy` core (exponential
+backoff with *full jitter*; a server ``Retry-After`` hint — sent on every
+backpressure rejection — honoured as a lower bound).  An optional per-call
+deadline caps the whole attempt sequence: per-attempt timeouts shrink to
+the remaining budget and the client gives up early rather than schedule a
+pause it cannot afford.
 Exhausted retries and non-retryable statuses raise
 :class:`~repro.exceptions.ServiceRequestError` carrying the final status,
 the server's retry hint, the attempt count, the request id, and — when the
@@ -39,6 +40,7 @@ from typing import Optional, Sequence
 
 from repro.exceptions import ServiceRequestError
 from repro.obs.tracing import new_request_id
+from repro.retry import RetryPolicy, parse_retry_after
 from repro.serving.http import API_PREFIX
 
 __all__ = ["ServiceClient"]
@@ -46,17 +48,6 @@ __all__ = ["ServiceClient"]
 #: HTTP statuses worth retrying: admission/backpressure rejections and
 #: batch timeouts.  Everything else (400, 404, 413...) is the caller's bug.
 RETRYABLE_STATUSES = frozenset({429, 503, 504})
-
-
-def _parse_retry_after(value: Optional[str]) -> Optional[float]:
-    """The ``Retry-After`` header as non-negative seconds, if parseable."""
-    if not value:
-        return None
-    try:
-        seconds = float(value)
-    except ValueError:
-        return None
-    return max(0.0, seconds)
 
 
 class ServiceClient:
@@ -110,10 +101,13 @@ class ServiceClient:
         self._base_url = base_url.rstrip("/")
         self._timeout = timeout
         self._max_retries = max_retries
-        self._backoff = backoff_seconds
-        self._backoff_max = backoff_max_seconds
-        self._deadline = deadline_seconds
-        self._rng = rng if rng is not None else random.Random()
+        self._policy = RetryPolicy(
+            max_retries=max_retries,
+            backoff_seconds=backoff_seconds,
+            backoff_max_seconds=backoff_max_seconds,
+            deadline_seconds=deadline_seconds,
+            rng=rng,
+        )
         self._verbose = verbose
         self.last_request_id: Optional[str] = None
         self.last_attempts: int = 0
@@ -143,27 +137,21 @@ class ServiceClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        deadline = deadline_seconds if deadline_seconds is not None else self._deadline
-        cutoff = time.monotonic() + deadline if deadline is not None else None
+        state = self._policy.start(deadline_seconds=deadline_seconds)
         self.last_request_id = request_id
         self.last_attempts = 0
         self.last_attempt_seconds = []
-        attempt = 0
         while True:
-            attempt += 1
+            timeout = state.begin_attempt(self._timeout)
+            if timeout is None:
+                raise ServiceRequestError(
+                    f"{route}: deadline of {state.deadline:.3f}s exhausted "
+                    f"after {state.attempts} attempt(s)",
+                    attempts=state.attempts,
+                    request_id=request_id,
+                )
+            attempt = state.attempts
             self.last_attempts = attempt
-            timeout = self._timeout
-            if cutoff is not None:
-                remaining = cutoff - time.monotonic()
-                if remaining <= 0:
-                    self.last_attempts = attempt - 1
-                    raise ServiceRequestError(
-                        f"{route}: deadline of {deadline:.3f}s exhausted "
-                        f"after {attempt - 1} attempt(s)",
-                        attempts=attempt - 1,
-                        request_id=request_id,
-                    )
-                timeout = min(timeout, remaining)
             request = urllib.request.Request(url, data=data, headers=headers)
             retry_after: Optional[float] = None
             attempt_started = time.perf_counter()
@@ -179,7 +167,7 @@ class ServiceClient:
                 return document
             except urllib.error.HTTPError as exc:
                 self.last_attempt_seconds.append(time.perf_counter() - attempt_started)
-                retry_after = _parse_retry_after(exc.headers.get("Retry-After"))
+                retry_after = parse_retry_after(exc.headers.get("Retry-After"))
                 envelope: Optional[dict] = None
                 code: Optional[str] = None
                 try:
@@ -233,16 +221,11 @@ class ServiceClient:
                     attempts=attempt,
                     request_id=request_id,
                 ) from None
-            if attempt > self._max_retries:
-                raise error from None
-            pause = self._rng.uniform(
-                0.0, min(self._backoff_max, self._backoff * (2 ** (attempt - 1)))
-            )
-            if retry_after is not None:
-                pause = max(pause, retry_after)
-            if cutoff is not None and time.monotonic() + pause >= cutoff:
-                # The pause alone would blow the budget: surface the last
-                # failure now instead of sleeping into a guaranteed timeout.
+            pause = state.next_pause(retry_after=retry_after)
+            if pause is None:
+                # Retry budget spent, or the pause alone would blow the
+                # deadline: surface the last failure now instead of sleeping
+                # into a guaranteed timeout.
                 raise error from None
             self._narrate(f"{route} retrying in {pause:.3f}s (attempt {attempt + 1})")
             if pause > 0:

@@ -25,11 +25,12 @@ operational probes stay unversioned:
                         [...]}`` — apply an edge delta and swap the session
 
 The unversioned spellings (``/estimate``, ``/warm``, ``/evict``,
-``/update``, ``/stats``, ``/graphs``) remain as **deprecated aliases for
-one release**: they answer identically, carry a ``Deprecation: true``
-response header, and are counted in
-``repro_http_deprecated_requests_total`` so operators can watch the
-migration before the aliases are dropped.
+``/update``, ``/stats``, ``/graphs``) served as deprecated aliases for one
+release and are now **removed**: they answer with the 404 error envelope
+(``code="not_found"``) pointing at the ``/v1`` spelling.  Requests still
+arriving on them are counted in ``repro_http_deprecated_requests_total``
+— the series stays registered so dashboards watching the migration keep
+working and a straggler client is visible, not silent.
 
 Observability
 -------------
@@ -116,12 +117,12 @@ from repro.serving.scheduler import EstimateScheduler, ServiceStats
 
 __all__ = ["API_PREFIX", "EstimationHTTPServer", "make_server"]
 
-#: The versioned prefix of the API surface; ``/v1/estimate`` and the
-#: deprecated alias ``/estimate`` dispatch identically.
+#: The versioned prefix of the API surface.
 API_PREFIX = "/v1"
 
-#: The API routes that live under :data:`API_PREFIX` (and, for one release,
-#: as unversioned deprecated aliases).
+#: The API routes that live under :data:`API_PREFIX`.  Their unversioned
+#: spellings were removed after one deprecation release: they now 404 (and
+#: are counted, so a straggler client shows up on dashboards).
 _API_ROUTES = frozenset(
     {"/stats", "/graphs", "/estimate", "/warm", "/evict", "/update"}
 )
@@ -307,7 +308,6 @@ class _Handler(BaseHTTPRequestHandler):
     #: paths that bypass it (malformed request lines) safe.
     _request_id = ""
     _status = 0
-    _deprecated = False
 
     # ------------------------------------------------------------------
     # plumbing
@@ -334,8 +334,6 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self._request_id:
             self.send_header("X-Request-Id", self._request_id)
-        if self._deprecated:
-            self.send_header("Deprecation", "true")
         self.end_headers()
         self.wfile.write(body)
 
@@ -382,8 +380,6 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Length", str(len(body)))
         if self._request_id:
             self.send_header("X-Request-Id", self._request_id)
-        if self._deprecated:
-            self.send_header("Deprecation", "true")
         if retry_after is not None:
             # Decimal seconds: an internal convention the ServiceClient
             # parses; sub-second hints matter at micro-batching timescales.
@@ -416,13 +412,7 @@ class _Handler(BaseHTTPRequestHandler):
         self._request_id = rid if rid else tracing.new_request_id()
         self._status = 0
         normalized = self._normalized_path()
-        # A deprecated alias is an API route spelled without the version
-        # prefix; responses carry ``Deprecation: true`` and the usage is
-        # counted so operators can watch the migration.
-        self._deprecated = normalized in _API_ROUTES and normalized == self.path
         route = normalized if normalized in _KNOWN_ROUTES else "other"
-        if self._deprecated:
-            self.server.observe_deprecated(route=route)
         traced = tracing.tracing_enabled()
         trace = Trace(self._request_id, route=f"{method} {self.path}") if traced else None
         started = time.perf_counter()
@@ -486,8 +476,28 @@ class _Handler(BaseHTTPRequestHandler):
         with self.server.track_request():
             self._observe("GET", self._route_get)
 
+    def _reject_removed_alias(self, route: str) -> bool:
+        """404 an unversioned spelling of an API route; whether it answered.
+
+        The aliases were removed after their deprecation release.  The
+        rejection is still counted into the deprecated-requests series, so
+        a straggler client shows up on the same dashboard that watched the
+        migration instead of vanishing into generic 404 noise.
+        """
+        if route not in _API_ROUTES or self.path.startswith(API_PREFIX):
+            return False
+        self.server.observe_deprecated(route=route)
+        self._send_error_json(
+            404,
+            f"unversioned route {route} was removed; use {API_PREFIX}{route}",
+            code="not_found",
+        )
+        return True
+
     def _route_get(self) -> None:
         route = self._normalized_path()
+        if self._reject_removed_alias(route):
+            return
         if route == "/healthz":
             draining = self.server.health.draining
             self._send_json(
@@ -542,6 +552,8 @@ class _Handler(BaseHTTPRequestHandler):
         if document is None:
             return
         route = self._normalized_path()
+        if self._reject_removed_alias(route):
+            return
         if route == "/estimate":
             self._handle_estimate(document)
         elif route == "/warm":

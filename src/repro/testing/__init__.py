@@ -8,6 +8,24 @@ with exceptions, delays and trigger counts.  In production nothing is armed
 and every hook is a single dict check.
 """
 
-from repro.testing.faults import FaultInjector, FaultSpec, corrupt_file, fire, injector
+from repro.testing.faults import (
+    FaultInjector,
+    FaultSpec,
+    bitflip_bytes,
+    corrupt_file,
+    fire,
+    injector,
+    mutate_payload,
+    truncate_bytes,
+)
 
-__all__ = ["FaultInjector", "FaultSpec", "corrupt_file", "fire", "injector"]
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "bitflip_bytes",
+    "corrupt_file",
+    "fire",
+    "injector",
+    "mutate_payload",
+    "truncate_bytes",
+]

@@ -16,7 +16,12 @@ deterministically — no monkeypatching, no random kill loops:
   one graph name);
 * :func:`corrupt_file` deterministically damages an on-disk artifact
   (truncation or a seeded bit-flip) to drive the cache-quarantine path with
-  *real* corruption rather than a simulated error.
+  *real* corruption rather than a simulated error;
+* network boundaries additionally support **payload faults**: a spec armed
+  with ``mutate=`` (e.g. :func:`truncate_bytes` or :func:`bitflip_bytes`)
+  is applied by :func:`mutate_payload` to the bytes flowing through the
+  point — a truncated or bit-flipped remote artifact body — so integrity
+  verification is exercised with realistic damage, not just raised errors.
 
 Fault points currently wired into the stack:
 
@@ -27,6 +32,13 @@ Fault points currently wired into the stack:
                           executes; an armed error crashes the worker thread
 ``cache.load_catalog``    fires at the top of :meth:`ArtifactCache.load_catalog`;
                           context: ``key``
+``remote.fetch``          fires per GET/HEAD attempt in
+                          :class:`~repro.engine.remote.RemoteArtifactStore`
+                          (context: ``name``, ``method``); payload faults
+                          mutate the downloaded body before verification
+``remote.push``           fires per PUT attempt in the remote store
+                          (context: ``name``); payload faults mutate the
+                          uploaded body
 ========================  ====================================================
 """
 
@@ -43,18 +55,25 @@ __all__ = [
     "FaultInjector",
     "injector",
     "fire",
+    "mutate_payload",
     "corrupt_file",
+    "truncate_bytes",
+    "bitflip_bytes",
 ]
 
 #: Context predicate: receives the hook's keyword context, returns whether
 #: the armed fault applies to this firing.
 MatchFn = Callable[[dict[str, object]], bool]
 
+#: Payload transform: receives the bytes flowing through a point, returns
+#: the (damaged) bytes to substitute.
+MutateFn = Callable[[bytes], bytes]
+
 
 class FaultSpec:
     """One armed fault: what to do when its point fires, and how often."""
 
-    __slots__ = ("point", "error", "delay", "times", "match", "trips")
+    __slots__ = ("point", "error", "delay", "times", "match", "mutate", "trips")
 
     def __init__(
         self,
@@ -64,16 +83,20 @@ class FaultSpec:
         delay: float = 0.0,
         times: int = 1,
         match: Optional[MatchFn] = None,
+        mutate: Optional[MutateFn] = None,
     ) -> None:
         if times == 0 or times < -1:
             raise ValueError("times must be a positive count or -1 (unlimited)")
         if delay < 0:
             raise ValueError("delay must be >= 0")
+        if mutate is not None and error is not None:
+            raise ValueError("a fault is either an error or a payload mutation")
         self.point = point
         self.error = error
         self.delay = delay
         self.times = times
         self.match = match
+        self.mutate = mutate
         self.trips = 0
 
     def exhausted(self) -> bool:
@@ -116,6 +139,7 @@ class FaultInjector:
         delay: float = 0.0,
         times: int = 1,
         match: Optional[MatchFn] = None,
+        mutate: Optional[MutateFn] = None,
     ) -> FaultSpec:
         """Arm a fault at ``point``; returns the spec (its ``trips`` counts).
 
@@ -123,8 +147,13 @@ class FaultInjector:
         or a zero-argument factory; ``delay`` sleeps before raising (or on
         its own, for slow-path faults); ``times`` bounds how many firings
         trigger (``-1`` = unlimited); ``match`` filters by hook context.
+        ``mutate`` (exclusive with ``error``) arms a payload fault instead:
+        it is consumed by :meth:`mutate_payload` at points that move bytes,
+        never by :meth:`fire`.
         """
-        spec = FaultSpec(point, error=error, delay=delay, times=times, match=match)
+        spec = FaultSpec(
+            point, error=error, delay=delay, times=times, match=match, mutate=mutate
+        )
         with self._lock:
             self._specs.setdefault(point, []).append(spec)
         return spec
@@ -163,9 +192,12 @@ class FaultInjector:
         delay: float = 0.0,
         times: int = 1,
         match: Optional[MatchFn] = None,
+        mutate: Optional[MutateFn] = None,
     ) -> Iterator[FaultSpec]:
         """Context manager form of :meth:`arm` (disarms on exit)."""
-        spec = self.arm(point, error=error, delay=delay, times=times, match=match)
+        spec = self.arm(
+            point, error=error, delay=delay, times=times, match=match, mutate=mutate
+        )
         try:
             yield spec
         finally:
@@ -182,19 +214,9 @@ class FaultInjector:
         if point not in self._specs:  # fast path: nothing armed anywhere near
             return
         with self._lock:
-            specs = self._specs.get(point, ())
-            chosen: Optional[FaultSpec] = None
-            for spec in specs:
-                if spec.exhausted():
-                    continue
-                if spec.match is not None and not spec.match(dict(context)):
-                    continue
-                chosen = spec
-                break
+            chosen = self._choose(point, context, payload=False)
             if chosen is None:
                 return
-            chosen.trips += 1
-            self._fired[point] = self._fired.get(point, 0) + 1
             delay = chosen.delay
             error = chosen.make_error()
         # Sleep and raise outside the lock: a slow-build fault must not
@@ -204,6 +226,51 @@ class FaultInjector:
         if error is not None:
             raise error
 
+    def mutate_payload(self, point: str, data: bytes, **context: object) -> bytes:
+        """Hook entry for byte streams: apply any armed payload fault.
+
+        Returns ``data`` transformed by the first matching, non-exhausted
+        ``mutate=`` spec at ``point`` (after sleeping its ``delay``), or
+        unchanged when nothing payload-shaped is armed.  Like :meth:`fire`,
+        the no-fault path is a single dict membership check.
+        """
+        if point not in self._specs:
+            return data
+        with self._lock:
+            chosen = self._choose(point, context, payload=True)
+            if chosen is None:
+                return data
+            delay = chosen.delay
+            mutate = chosen.mutate
+        if delay > 0:
+            time.sleep(delay)
+        assert mutate is not None
+        return mutate(data)
+
+    def _choose(
+        self, point: str, context: dict[str, object], *, payload: bool
+    ) -> Optional[FaultSpec]:
+        """The first armed spec applicable to this firing; caller holds the lock.
+
+        ``payload`` selects between error/delay specs (:meth:`fire`) and
+        ``mutate=`` specs (:meth:`mutate_payload`); a chosen spec's trip and
+        the point's fired counter are recorded here.
+        """
+        chosen: Optional[FaultSpec] = None
+        for spec in self._specs.get(point, ()):
+            if spec.exhausted():
+                continue
+            if (spec.mutate is not None) != payload:
+                continue
+            if spec.match is not None and not spec.match(dict(context)):
+                continue
+            chosen = spec
+            break
+        if chosen is not None:
+            chosen.trips += 1
+            self._fired[point] = self._fired.get(point, 0) + 1
+        return chosen
+
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return f"<FaultInjector points={sorted(self._specs)}>"
 
@@ -211,8 +278,40 @@ class FaultInjector:
 #: The process-global injector every production hook point consults.
 injector = FaultInjector()
 
-#: Module-level hook entry (bound method of :data:`injector`).
+#: Module-level hook entries (bound methods of :data:`injector`).
 fire = injector.fire
+mutate_payload = injector.mutate_payload
+
+
+def truncate_bytes(data: bytes, *, keep: float = 0.5) -> bytes:
+    """The first ``keep`` fraction of ``data`` (at least one byte).
+
+    Keeping a prefix means zip/npy magic may survive, so the *deep* parsers
+    and checksums — not just the magic sniff — get exercised.  Usable
+    directly as a ``mutate=`` payload fault.
+    """
+    if not data:
+        raise ValueError("cannot truncate an empty payload")
+    return data[: max(1, int(len(data) * keep))]
+
+
+def bitflip_bytes(data: bytes, *, seed: int = 0) -> bytes:
+    """``data`` with one byte XOR-flipped at a seed-derived offset.
+
+    Aims at the middle of the payload: past any leading magic (so the
+    format is still recognised) and past container headers whose fields
+    readers may ignore (zip readers trust the central directory, not the
+    local header) — the flip must land in member *data*, where checksums
+    catch it.  Deterministic for a given (payload size, seed).
+    """
+    if not data:
+        raise ValueError("cannot bit-flip an empty payload")
+    lower = min(max(16, len(data) // 2), len(data) - 1)
+    offset = lower + (seed * 2654435761) % max(1, len(data) - lower)
+    offset = min(offset, len(data) - 1)
+    mutated = bytearray(data)
+    mutated[offset] ^= 0xFF
+    return bytes(mutated)
 
 
 def corrupt_file(
@@ -223,30 +322,20 @@ def corrupt_file(
 ) -> Path:
     """Deterministically corrupt an artifact file on disk.
 
-    ``mode="truncate"`` keeps only the first half of the file (at least one
-    byte, so zip/npy magic may survive and exercise the deep parsers);
-    ``mode="bitflip"`` XOR-flips one byte at a seed-derived offset past any
-    format magic.  Returns ``path``.  The damage is deterministic for a
-    given (file size, mode, seed), so corruption tests are reproducible.
+    ``mode="truncate"`` keeps only the first half of the file (see
+    :func:`truncate_bytes`); ``mode="bitflip"`` XOR-flips one byte at a
+    seed-derived offset past any format magic (see :func:`bitflip_bytes`).
+    Returns ``path``.  The damage is deterministic for a given (file size,
+    mode, seed), so corruption tests are reproducible.
     """
     target = Path(path)
     data = target.read_bytes()
     if not data:
         raise ValueError(f"cannot corrupt empty file: {target}")
     if mode == "truncate":
-        target.write_bytes(data[: max(1, len(data) // 2)])
+        target.write_bytes(truncate_bytes(data))
     elif mode == "bitflip":
-        # Aim at the middle of the file: past any leading magic (so the
-        # format is still recognised) and past container headers whose
-        # fields readers may ignore (zip readers trust the central
-        # directory, not the local header) — the flip must land in member
-        # *data*, where checksums catch it.
-        lower = min(max(16, len(data) // 2), len(data) - 1)
-        offset = lower + (seed * 2654435761) % max(1, len(data) - lower)
-        offset = min(offset, len(data) - 1)
-        mutated = bytearray(data)
-        mutated[offset] ^= 0xFF
-        target.write_bytes(bytes(mutated))
+        target.write_bytes(bitflip_bytes(data, seed=seed))
     else:
         raise ValueError(f"unknown corruption mode: {mode!r}")
     return target

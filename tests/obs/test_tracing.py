@@ -154,7 +154,7 @@ class TestEndToEndPropagation:
         host, port = server.server_address[:2]
         request_id = new_request_id()
         request = urllib.request.Request(
-            f"http://{host}:{port}/estimate",
+            f"http://{host}:{port}/v1/estimate",
             data=json.dumps({"graph": "g", "paths": ["1/2", "2"]}).encode(),
             headers={"Content-Type": "application/json", "X-Request-Id": request_id},
         )
@@ -183,7 +183,7 @@ class TestEndToEndPropagation:
         before = server.traces.recorded()
         request_id = new_request_id()
         request = urllib.request.Request(
-            f"http://{host}:{port}/estimate",
+            f"http://{host}:{port}/v1/estimate",
             data=json.dumps({"graph": "g", "paths": ["1/2"]}).encode(),
             headers={"Content-Type": "application/json", "X-Request-Id": request_id},
         )

@@ -54,7 +54,7 @@ class TestRoundTrip:
         assert np.allclose(estimates, expected)
 
     def test_single_path_field_accepted(self, server, client):
-        document = client._request("/estimate", {"graph": "g", "path": "1/2"})
+        document = client._request("/v1/estimate", {"graph": "g", "path": "1/2"})
         expected = server.registry.get("g").estimate("1/2")
         assert document["count"] == 1
         assert document["estimates"][0] == pytest.approx(expected)
@@ -129,17 +129,17 @@ class TestUpdateRoute:
 
     def test_update_empty_delta_is_400(self, client):
         with pytest.raises(ServingError, match="400"):
-            client._request("/update", {"graph": "g"})
+            client._request("/v1/update", {"graph": "g"})
 
     def test_update_malformed_delta_is_400(self, client):
         with pytest.raises(ServingError, match="400"):
-            client._request("/update", {"graph": "g", "add": "not-a-list"})
+            client._request("/v1/update", {"graph": "g", "add": "not-a-list"})
         with pytest.raises(ServingError, match="400"):
-            client._request("/update", {"graph": "g", "add": [["u", "1"]]})
+            client._request("/v1/update", {"graph": "g", "add": [["u", "1"]]})
         with pytest.raises(ServingError, match="400"):
-            client._request("/update", {"graph": "g", "add": [42]})
+            client._request("/v1/update", {"graph": "g", "add": [42]})
         with pytest.raises(ServingError, match="400"):
-            client._request("/update", {"graph": "g", "add": [[["x"], "1", "y"]]})
+            client._request("/v1/update", {"graph": "g", "add": [[["x"], "1", "y"]]})
 
 
 class TestErrors:
@@ -162,7 +162,7 @@ class TestErrors:
     def test_malformed_body_is_400(self, server):
         host, port = server.server_address[:2]
         request = urllib.request.Request(
-            f"http://{host}:{port}/estimate",
+            f"http://{host}:{port}/v1/estimate",
             data=b"not json",
             headers={"Content-Type": "application/json"},
         )
@@ -173,14 +173,14 @@ class TestErrors:
 
     def test_missing_paths_is_400(self, client):
         with pytest.raises(ServingError, match="400"):
-            client._request("/estimate", {"graph": "g"})
+            client._request("/v1/estimate", {"graph": "g"})
         with pytest.raises(ServingError, match="400"):
-            client._request("/estimate", {"graph": "g", "paths": []})
+            client._request("/v1/estimate", {"graph": "g", "paths": []})
 
     def test_non_object_body_is_400(self, server):
         host, port = server.server_address[:2]
         request = urllib.request.Request(
-            f"http://{host}:{port}/estimate",
+            f"http://{host}:{port}/v1/estimate",
             data=b"[1, 2, 3]",
             headers={"Content-Type": "application/json"},
         )
@@ -193,7 +193,7 @@ class TestErrors:
     def test_invalid_content_length_is_400(self, server):
         host, port = server.server_address[:2]
         request = urllib.request.Request(
-            f"http://{host}:{port}/estimate",
+            f"http://{host}:{port}/v1/estimate",
             data=b"{}",
             headers={"Content-Type": "application/json"},
         )

@@ -145,7 +145,7 @@ class TestPerGraphAdmission:
                 background.start()
                 _wait_for(lambda: injector.fired("scheduler.worker") == 1)
                 request = urllib.request.Request(
-                    f"{_url(server)}/estimate",
+                    f"{_url(server)}/v1/estimate",
                     data=json.dumps({"graph": "g", "paths": ["2"]}).encode(),
                     headers={"Content-Type": "application/json"},
                 )
@@ -317,7 +317,7 @@ class TestClientRetries:
     def test_retry_after_header_on_backpressure_503(self, server):
         server.scheduler.close()
         request = urllib.request.Request(
-            f"{_url(server)}/estimate",
+            f"{_url(server)}/v1/estimate",
             data=json.dumps({"graph": "g", "paths": ["1"]}).encode(),
             headers={"Content-Type": "application/json"},
         )

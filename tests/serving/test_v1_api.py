@@ -1,12 +1,12 @@
-"""The versioned ``/v1/`` API surface, its deprecated aliases, and the
+"""The versioned ``/v1/`` API surface, its removed aliases, and the
 uniform error envelope.
 
-Every API route lives under :data:`repro.serving.http.API_PREFIX`; the
-unversioned spellings remain for one release as deprecated aliases that
-answer identically, carry ``Deprecation: true`` and bump
-``repro_http_deprecated_requests_total``.  Every non-2xx response — on
-either spelling — carries the envelope
-``{"error", "code", "retry_after", "request_id"}``.
+Every API route lives under :data:`repro.serving.http.API_PREFIX`.  The
+unversioned spellings served one release as deprecated aliases and are now
+removed: they answer the 404 envelope pointing at the ``/v1`` route while
+still bumping ``repro_http_deprecated_requests_total``, so a straggler
+client stays visible on the migration dashboard.  Every non-2xx response
+carries the envelope ``{"error", "code", "retry_after", "request_id"}``.
 """
 
 from __future__ import annotations
@@ -130,32 +130,40 @@ class TestVersionedRoutes:
         assert "Deprecation" not in headers
 
 
-class TestDeprecatedAliases:
-    def test_alias_answers_identically_with_marker(self, base):
-        _, _, versioned = _post(
-            f"{base}{API_PREFIX}/estimate", {"graph": "g", "paths": ["1/2", "2"]}
-        )
-        status, headers, aliased = _post(
-            f"{base}/estimate", {"graph": "g", "paths": ["1/2", "2"]}
-        )
-        assert status == 200
-        assert headers.get("Deprecation") == "true"
-        assert np.allclose(aliased["estimates"], versioned["estimates"])
-
-    def test_alias_usage_is_counted(self, base, server):
-        _get(f"{base}/stats")
-        _get(f"{base}/graphs")
-        metrics = urllib.request.urlopen(f"{base}/metrics", timeout=30).read()
-        text = metrics.decode("utf-8")
-        assert "repro_http_deprecated_requests_total" in text
-
-    def test_alias_errors_carry_marker_and_envelope(self, base):
+class TestRemovedAliases:
+    def test_post_alias_is_gone_with_envelope(self, base):
         status, envelope = _error(
-            f"{base}/estimate", {"graph": "missing", "paths": ["1"]}
+            f"{base}/estimate", {"graph": "g", "paths": ["1/2", "2"]}
         )
         assert status == 404
         assert set(envelope) >= ENVELOPE_KEYS
-        assert envelope["code"] == "unknown_graph"
+        assert envelope["code"] == "not_found"
+        assert f"{API_PREFIX}/estimate" in envelope["error"]
+
+    def test_get_alias_is_gone_with_envelope(self, base):
+        status, envelope = _error(f"{base}/stats")
+        assert status == 404
+        assert envelope["code"] == "not_found"
+        assert f"{API_PREFIX}/stats" in envelope["error"]
+
+    def test_alias_usage_is_still_counted(self, base, server):
+        _error(f"{base}/stats")
+        _error(f"{base}/graphs")
+        _error(f"{base}/evict", {"graph": "g"})
+        metrics = urllib.request.urlopen(f"{base}/metrics", timeout=30).read()
+        text = metrics.decode("utf-8")
+        # The series survives the alias removal so dashboards watching the
+        # migration keep working — and now show stragglers hitting 404.
+        assert "repro_http_deprecated_requests_total" in text
+        assert 'repro_http_deprecated_requests_total{route="/stats"} 1' in text
+        assert 'repro_http_deprecated_requests_total{route="/evict"} 1' in text
+
+    def test_versioned_spelling_still_answers(self, base):
+        status, _, answer = _post(
+            f"{base}{API_PREFIX}/estimate", {"graph": "g", "paths": ["1/2", "2"]}
+        )
+        assert status == 200
+        assert answer["count"] == 2
 
 
 class TestErrorEnvelope:

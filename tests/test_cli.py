@@ -359,3 +359,195 @@ class TestServeEndToEnd:
             server.shutdown()
             server.close()
             thread.join(timeout=10)
+
+
+class TestRemoteCacheCommands:
+    @pytest.fixture()
+    def artifact_server(self, tmp_path):
+        import threading
+
+        from repro.obs.metrics import MetricsRegistry
+        from repro.serving.artifacts import make_artifact_server
+
+        server = make_artifact_server(
+            tmp_path / "remote-store", port=0, metrics=MetricsRegistry()
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            yield f"http://{host}:{port}"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    def _build_remote(self, tmp_path, url, cache_name="cacheA"):
+        from repro.engine import ArtifactCache, EngineConfig, EstimationSession
+        from repro.engine.remote import RemoteArtifactStore
+        from repro.graph.generators import zipf_labeled_graph
+
+        cache = ArtifactCache(
+            tmp_path / cache_name, remote=RemoteArtifactStore(url)
+        )
+        EstimationSession.build(
+            zipf_labeled_graph(30, 100, 3, skew=1.0, seed=7),
+            EngineConfig(max_length=2, bucket_count=8),
+            cache_dir=cache,
+        )
+        cache.remote.flush(timeout=30)
+        return tmp_path / cache_name
+
+    def test_dead_remote_is_a_clean_error(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "engine",
+                    "cache",
+                    "list",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--remote",
+                    "http://127.0.0.1:9",
+                ]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_cache_list_remote_presence_audit(self, tmp_path, capsys, artifact_server):
+        cache_dir = self._build_remote(tmp_path, artifact_server)
+        assert (
+            main(
+                [
+                    "engine",
+                    "cache",
+                    "list",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--remote",
+                    artifact_server,
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["remote_url"].startswith("http://")
+        presences = {row["presence"] for row in document["files"]}
+        # Primaries were pushed; mmap sidecars (if any) stay local-only.
+        assert "both" in presences
+        assert presences <= {"both", "local", "remote"}
+
+    def test_cache_list_remote_only_artifact_is_reported(
+        self, tmp_path, capsys, artifact_server
+    ):
+        self._build_remote(tmp_path, artifact_server)
+        empty = tmp_path / "empty-cache"
+        empty.mkdir()
+        assert (
+            main(
+                [
+                    "engine",
+                    "cache",
+                    "list",
+                    "--cache-dir",
+                    str(empty),
+                    "--remote",
+                    artifact_server,
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["files"]
+        assert {row["presence"] for row in document["files"]} == {"remote"}
+
+    def test_build_warm_starts_from_remote(self, tmp_path, capsys, artifact_server):
+        self._build_remote(tmp_path, artifact_server)
+        graph_path = tmp_path / "graph.tsv"
+        assert (
+            main(
+                [
+                    "generate",
+                    "moreno-health",
+                    "--scale",
+                    "0.02",
+                    "-o",
+                    str(graph_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "engine",
+                    "build",
+                    str(graph_path),
+                    "-k",
+                    "2",
+                    "--cache-dir",
+                    str(tmp_path / "fresh"),
+                    "--remote-cache",
+                    artifact_server,
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        first = json.loads(capsys.readouterr().out)
+        assert first["catalog_from_cache"] is False  # different graph: cold
+        assert (
+            main(
+                [
+                    "engine",
+                    "build",
+                    str(graph_path),
+                    "-k",
+                    "2",
+                    "--cache-dir",
+                    str(tmp_path / "fresh2"),
+                    "--remote-cache",
+                    artifact_server,
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        second = json.loads(capsys.readouterr().out)
+        assert second["catalog_from_cache"] is True  # warm via the remote tier
+
+    def test_remote_cache_without_cache_dir_is_an_error(self, tmp_path, capsys):
+        graph_path = tmp_path / "graph.tsv"
+        assert (
+            main(
+                [
+                    "generate",
+                    "moreno-health",
+                    "--scale",
+                    "0.02",
+                    "-o",
+                    str(graph_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "engine",
+                    "build",
+                    str(graph_path),
+                    "-k",
+                    "2",
+                    "--remote-cache",
+                    "http://127.0.0.1:9",
+                ]
+            )
+            == 1
+        )
+        assert "--cache-dir" in capsys.readouterr().err

@@ -6,7 +6,12 @@ import time
 
 import pytest
 
-from repro.testing import FaultInjector, corrupt_file
+from repro.testing import (
+    FaultInjector,
+    bitflip_bytes,
+    corrupt_file,
+    truncate_bytes,
+)
 
 
 class TestArmAndFire:
@@ -135,3 +140,73 @@ class TestCorruptFile:
         target.write_bytes(b"x")
         with pytest.raises(ValueError):
             corrupt_file(target, mode="nonsense")
+
+
+class TestPayloadFaults:
+    def test_mutate_is_exclusive_with_error(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="either an error or a payload"):
+            injector.arm(
+                "p", error=RuntimeError("boom"), mutate=lambda data: data
+            )
+
+    def test_unarmed_mutate_passes_bytes_through(self):
+        injector = FaultInjector()
+        assert injector.mutate_payload("p", b"payload") == b"payload"
+        assert injector.fired("p") == 0
+
+    def test_armed_mutate_damages_within_budget(self):
+        injector = FaultInjector()
+        injector.arm("p", mutate=lambda data: data[:1], times=1)
+        assert injector.mutate_payload("p", b"payload") == b"p"
+        assert injector.mutate_payload("p", b"payload") == b"payload"
+        assert injector.fired("p") == 1
+
+    def test_mutate_and_error_specs_consume_independently(self):
+        # fire() must never consume a payload spec, and mutate_payload()
+        # must never consume an error spec: a point can carry both.
+        injector = FaultInjector()
+        injector.arm("p", error=RuntimeError("boom"), times=1)
+        injector.arm("p", mutate=lambda data: b"damaged", times=1)
+        assert injector.mutate_payload("p", b"payload") == b"damaged"
+        with pytest.raises(RuntimeError, match="boom"):
+            injector.fire("p")
+        # Both budgets are now spent.
+        injector.fire("p")
+        assert injector.mutate_payload("p", b"payload") == b"payload"
+
+    def test_mutate_respects_match_predicate(self):
+        injector = FaultInjector()
+        injector.arm(
+            "p",
+            mutate=lambda data: b"damaged",
+            times=-1,
+            match=lambda ctx: ctx.get("name") == "catalog-x.npz",
+        )
+        assert injector.mutate_payload("p", b"ok", name="positions-x.npy") == b"ok"
+        assert (
+            injector.mutate_payload("p", b"ok", name="catalog-x.npz")
+            == b"damaged"
+        )
+
+
+class TestPayloadHelpers:
+    def test_truncate_keeps_a_prefix(self):
+        data = bytes(range(100))
+        cut = truncate_bytes(data)
+        assert cut == data[:50]
+        assert truncate_bytes(b"x", keep=0.0) == b"x"  # at least one byte
+        with pytest.raises(ValueError):
+            truncate_bytes(b"")
+
+    def test_bitflip_is_deterministic_single_byte(self):
+        data = bytes(100)
+        flipped = bitflip_bytes(data, seed=3)
+        assert flipped == bitflip_bytes(data, seed=3)
+        assert len(flipped) == len(data)
+        diffs = [i for i, (a, b) in enumerate(zip(data, flipped)) if a != b]
+        assert len(diffs) == 1
+        assert diffs[0] >= 16  # lands past any leading format magic
+        assert bitflip_bytes(data, seed=4) != flipped
+        with pytest.raises(ValueError):
+            bitflip_bytes(b"")
